@@ -1,0 +1,184 @@
+// Ablations of design choices called out in DESIGN.md.
+//
+//  A. select() vs the scalable event API with many idle persistent
+//     connections — the select() cost is linear in the size of the interest
+//     set (Section 5.5's residual Thigh growth; Banga & Mogul '98).
+//  B. Softint vs LRP protocol processing under overload — interrupt-priority
+//     processing steals CPU from the application (receive livelock,
+//     Mogul & Ramakrishnan '97); LRP/RC defer and discard early.
+//  C. CPU-limit window size vs enforcement accuracy of the CGI sand-box.
+#include <iostream>
+
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+namespace {
+
+// --- A: idle-connection scaling -------------------------------------------
+
+double ActiveLatencyWithIdleConns(bool use_event_api, int idle_conns) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.server_config.use_containers = true;
+  options.server_config.use_event_api = use_event_api;
+  options.server_config.accept_backlog = 512;
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+
+  // Idle population: persistent connections that think for a long time
+  // between requests, so they stay open but contribute no load.
+  for (int i = 0; i < idle_conns; ++i) {
+    load::HttpClient::Config idle;
+    idle.addr = net::Addr{net::MakeAddr(10, 7, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+    idle.requests_per_conn = 1000000;
+    idle.think_time = sim::Sec(30);  // effectively idle after the first hit
+    scenario.AddClient(idle);
+  }
+
+  load::HttpClient::Config active;
+  active.addr = net::MakeAddr(10, 8, 0, 1);
+  active.requests_per_conn = 1;
+  load::HttpClient* client = scenario.AddClient(active);
+
+  scenario.StartAllClients(sim::Msec(1));
+  scenario.RunFor(sim::Sec(3));
+  scenario.ResetClientStats();
+  scenario.RunFor(sim::Sec(5));
+  return client->latencies().mean();
+}
+
+// --- B: overload behavior ---------------------------------------------------
+
+double OverloadThroughput(const kernel::KernelConfig& kcfg, int clients) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kcfg;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  auto added = scenario.AddStaticClients(clients, net::MakeAddr(10, 1, 0, 0));
+  // Aggressive retry: a client that cannot connect tries again immediately,
+  // so offered load stays high (S-Client methodology).
+  (void)added;
+  for (auto& c : scenario.clients()) {
+    c->Start();
+  }
+  scenario.RunFor(sim::Sec(2));
+  scenario.ResetClientStats();
+  scenario.RunFor(sim::Sec(5));
+  return static_cast<double>(scenario.TotalCompleted()) / 5.0;
+}
+
+// --- C: limit-window accuracy -----------------------------------------------
+
+double CgiShareWithWindow(sim::Duration window) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.kernel_config.costs.limit_window = window;
+  options.server_config.use_containers = true;
+  options.server_config.cgi_sandbox = true;
+  options.server_config.cgi_share = 0.30;
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(16, net::MakeAddr(10, 1, 0, 0));
+  for (int i = 0; i < 3; ++i) {
+    load::HttpClient::Config cgi;
+    cgi.addr = net::Addr{net::MakeAddr(10, 3, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+    cgi.is_cgi = true;
+    cgi.cgi_cpu_usec = sim::Sec(2);
+    scenario.AddClient(cgi);
+  }
+  for (auto& c : scenario.clients()) {
+    c->Start();
+  }
+  scenario.RunFor(sim::Sec(3));
+  const sim::Duration cgi0 = scenario.kernel().ExecutedUsecForName("cgi");
+  const sim::SimTime t0 = scenario.simulator().now();
+  scenario.RunFor(sim::Sec(8));
+  const sim::Duration cgi1 = scenario.kernel().ExecutedUsecForName("cgi");
+  return static_cast<double>(cgi1 - cgi0) /
+         static_cast<double>(scenario.simulator().now() - t0);
+}
+
+// --- D: disk-bandwidth prioritization -----------------------------------------
+//
+// Four processes read from the simulated disk in a closed loop; one holds a
+// high-priority container. Requests are scheduled in container-priority
+// order, so the high-priority reader's latency stays near the raw service
+// time while the others queue.
+
+struct DiskAblation {
+  double hi_reads;
+  double lo_reads_each;
+};
+
+DiskAblation DiskPriorityBandwidth(int hi_priority) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::ResourceContainerSystemConfig());
+  rc::Attributes hi;
+  hi.sched.priority = hi_priority;
+  auto chi = kern.containers().Create(nullptr, "hi", hi).value();
+  auto clo = kern.containers().Create(nullptr, "lo").value();
+
+  auto reader = [](kernel::Sys sys) -> kernel::Program {
+    for (int i = 0; i < 100000; ++i) {
+      co_await sys.ReadDisk(static_cast<std::uint64_t>(i) * 64, 16);
+    }
+  };
+  kern.SpawnThread(kern.CreateProcess("hi", chi), "t", reader);
+  for (int i = 0; i < 3; ++i) {
+    kern.SpawnThread(kern.CreateProcess("lo", clo), "t", reader);
+  }
+  simr.RunUntil(sim::Sec(5));
+  return DiskAblation{static_cast<double>(chi->usage().disk_reads),
+                      static_cast<double>(clo->usage().disk_reads) / 3.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A: select() vs event API, idle persistent connections ===\n\n");
+  xp::Table a({"idle conns", "select() latency ms", "event API latency ms"});
+  for (int idle : {0, 100, 250, 500, 1000}) {
+    a.AddRow({std::to_string(idle),
+              xp::FormatDouble(ActiveLatencyWithIdleConns(false, idle), 3),
+              xp::FormatDouble(ActiveLatencyWithIdleConns(true, idle), 3)});
+    std::fflush(stdout);
+  }
+  a.Print(std::cout);
+  std::printf("\nexpect: select() latency grows with the interest set; event API flat.\n");
+
+  std::printf("\n=== Ablation B: overload behavior, softint vs LRP charging ===\n\n");
+  xp::Table b({"clients", "softint (unmodified)", "LRP"});
+  for (int n : {16, 64, 128, 256}) {
+    b.AddRow({std::to_string(n),
+              xp::FormatDouble(OverloadThroughput(kernel::UnmodifiedSystemConfig(), n), 0),
+              xp::FormatDouble(OverloadThroughput(kernel::LrpSystemConfig(), n), 0)});
+    std::fflush(stdout);
+  }
+  b.Print(std::cout);
+  std::printf("\nexpect: softint throughput degrades past saturation (interrupt-priority\n"
+              "processing steals the CPU); LRP holds steady by discarding early.\n");
+
+  std::printf("\n=== Ablation C: CPU-limit window vs sand-box accuracy (cap 30%%) ===\n\n");
+  xp::Table c({"window", "measured CGI share"});
+  for (sim::Duration w : {sim::Msec(10), sim::Msec(100), sim::Sec(1)}) {
+    c.AddRow({xp::FormatDouble(sim::ToSeconds(w) * 1000, 0) + " ms",
+              xp::FormatDouble(100 * CgiShareWithWindow(w), 1) + "%"});
+    std::fflush(stdout);
+  }
+  c.Print(std::cout);
+
+  std::printf("\n=== Ablation D: disk-bandwidth prioritization (1 reader vs 3) ===\n\n");
+  xp::Table d({"hi priority", "hi reads/s", "each lo reads/s"});
+  for (int prio : {16, 48}) {
+    DiskAblation r = DiskPriorityBandwidth(prio);
+    d.AddRow({std::to_string(prio), xp::FormatDouble(r.hi_reads / 5.0, 1),
+              xp::FormatDouble(r.lo_reads_each / 5.0, 1)});
+    std::fflush(stdout);
+  }
+  d.Print(std::cout);
+  std::printf("\nexpect: at equal priority (16) all four readers share the disk; at\n"
+              "priority 48 the high reader's requests jump the queue.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 11 — response time of one high-priority client (Thigh) as an
+// increasing number of low-priority clients saturates the server.
+//
+// Three systems, as in the paper:
+//   "without containers"            unmodified kernel; the application tries
+//                                   to prefer the high-priority client by
+//                                   handling its select() events first
+//   "with containers / select()"    RC kernel, per-class listen containers +
+//                                   per-connection containers; select()
+//   "with containers / event API"   same, with the scalable event API
+//
+// Paper shape: the first curve rises sharply once the server saturates
+// (most request processing is kernel-mode and uncontrolled); the second
+// rises mildly (residual select() overhead, linear in #descriptors); the
+// third stays nearly flat (residual = packet-arrival interrupts).
+#include <iostream>
+
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+namespace {
+
+constexpr int kHighClass = 1;
+constexpr int kLowClass = 0;
+
+double MeasureThigh(const kernel::KernelConfig& kcfg, bool use_containers,
+                    bool use_event_api, int low_clients) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kcfg;
+
+  httpd::ServerConfig& server = options.server_config;
+  server.use_containers = use_containers;
+  server.use_event_api = use_event_api;
+  server.classes.clear();
+  // Most-specific filter wins: the high-priority client population is
+  // 10.1.0.0/16; everything else lands on the default socket.
+  server.classes.push_back(
+      httpd::ListenClass{net::CidrFilter{net::MakeAddr(10, 1, 0, 0), 16}, 48, "high"});
+  server.classes.push_back(httpd::ListenClass{net::kMatchAll, 8, "low"});
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+
+  load::HttpClient::Config high;
+  high.addr = net::MakeAddr(10, 1, 0, 1);
+  high.client_class = kHighClass;
+  load::HttpClient* high_client = scenario.AddClient(high);
+
+  scenario.AddStaticClients(low_clients, net::MakeAddr(10, 2, 0, 0), kLowClass);
+
+  for (auto& c : scenario.clients()) {
+    c->Start();
+  }
+  scenario.RunFor(sim::Sec(2));
+  scenario.ResetClientStats();
+  scenario.RunFor(sim::Sec(5));
+  return high_client->latencies().mean();  // ms
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 11: Thigh (ms) vs number of concurrent low-priority clients ===\n\n");
+
+  xp::Table table({"low clients", "no containers", "containers+select", "containers+event API"});
+  for (int n : {0, 5, 10, 15, 20, 25, 30, 35}) {
+    const double plain = MeasureThigh(kernel::UnmodifiedSystemConfig(), false, false, n);
+    const double rc_select =
+        MeasureThigh(kernel::ResourceContainerSystemConfig(), true, false, n);
+    const double rc_event =
+        MeasureThigh(kernel::ResourceContainerSystemConfig(), true, true, n);
+    table.AddRow({std::to_string(n), xp::FormatDouble(plain, 2),
+                  xp::FormatDouble(rc_select, 2), xp::FormatDouble(rc_event, 2)});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: 'no containers' rises sharply at saturation (~8-9 ms at 35);\n"
+      "       'containers+select' rises mildly (select is O(#descriptors));\n"
+      "       'containers+event API' increases only very slightly.\n");
+  return 0;
+}

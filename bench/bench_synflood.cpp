@@ -1,0 +1,90 @@
+// Figure 14 — server behavior under a SYN-flood attack (Section 5.7).
+//
+// A set of malicious clients in one /24 prefix sends bogus SYNs at increasing
+// rates while well-behaved clients fetch a cached 1 KB document.
+//
+//   Unmodified: every bogus SYN costs full softint protocol processing at
+//               interrupt priority; throughput collapses, reaching ~zero at
+//               about 10,000 SYNs/s.
+//   RC:         the kernel notifies the server of SYN drops; the server
+//               isolates the offending prefix onto a filtered listen socket
+//               bound to a priority-0 container. Flood processing then runs
+//               only when the machine is otherwise idle, and the residual
+//               cost is per-packet interrupt + filter work (~73% of peak
+//               throughput left at 70,000 SYNs/s in the paper).
+#include <iostream>
+
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+namespace {
+
+struct FloodResult {
+  double throughput = 0;
+  std::uint64_t filters_installed = 0;
+};
+
+FloodResult RunFlood(const kernel::KernelConfig& kcfg, bool use_containers,
+                     bool defense, double syn_rate) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kcfg;
+  httpd::ServerConfig& server = options.server_config;
+  server.use_containers = use_containers;
+  server.use_event_api = defense;  // drop notifications arrive as events
+  server.syn_defense = defense;
+  server.syn_defense_threshold = 100;
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(16, net::MakeAddr(10, 1, 0, 0));
+
+  load::SynFlooder* flooder = nullptr;
+  if (syn_rate > 0) {
+    load::SynFlooder::Config fcfg;
+    fcfg.prefix = net::MakeAddr(10, 99, 1, 0);
+    fcfg.rate_per_sec = syn_rate;
+    flooder = scenario.AddFlooder(fcfg);
+  }
+
+  for (auto& c : scenario.clients()) {
+    c->Start();
+  }
+  if (flooder != nullptr) {
+    flooder->Start();
+  }
+
+  scenario.RunFor(sim::Sec(2));  // warm-up; adaptive defense installs here
+  scenario.ResetClientStats();
+  scenario.RunFor(sim::Sec(5));
+
+  FloodResult r;
+  r.throughput = static_cast<double>(scenario.TotalCompleted()) / 5.0;
+  r.filters_installed = scenario.server().stats().flood_filters_installed;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 14: throughput under SYN-flood ===\n\n");
+
+  xp::Table table({"SYNs/s", "unmodified", "RC + filter defense", "RC % of peak"});
+
+  const double rc_peak =
+      RunFlood(kernel::ResourceContainerSystemConfig(), true, true, 0).throughput;
+
+  for (double rate : {0.0, 2000.0, 5000.0, 10000.0, 20000.0, 30000.0, 40000.0,
+                      50000.0, 60000.0, 70000.0}) {
+    FloodResult unmod = RunFlood(kernel::UnmodifiedSystemConfig(), false, false, rate);
+    FloodResult rc = RunFlood(kernel::ResourceContainerSystemConfig(), true, true, rate);
+    table.AddRow({xp::FormatDouble(rate, 0), xp::FormatDouble(unmod.throughput, 0),
+                  xp::FormatDouble(rc.throughput, 0),
+                  xp::FormatDouble(100.0 * rc.throughput / rc_peak, 1) + "%"});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: unmodified is effectively zero by ~10,000 SYNs/s;\n"
+      "       RC keeps ~73%% of peak at 70,000 SYNs/s (interrupt overhead only).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Accurate per-customer billing (Section 4.8: "Because resource containers
+// enable precise accounting for the costs of an activity, they may be useful
+// to administrators simply for sending accurate bills to customers, and for
+// use in capacity planning").
+//
+// Three customers share one server. Each customer's connections are bound to
+// a per-customer parent container, so their CPU (user/kernel/network split),
+// network bytes, connection memory and disk transfers are all itemized —
+// including the kernel-mode work classic accounting loses.
+//
+//   $ ./billing
+#include <cstdio>
+#include <iostream>
+
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+int main() {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+
+  httpd::ServerConfig& server = options.server_config;
+  server.use_containers = true;
+  server.use_event_api = true;
+  server.use_disk_model = true;  // cache misses hit the simulated disk
+  server.classes.clear();
+  // Each customer class gets a fixed-share "account" container; per-request
+  // containers are created as its children, so the class subtree accumulates
+  // the customer's complete, itemized consumption.
+  server.classes.push_back(httpd::ListenClass{
+      net::CidrFilter{net::MakeAddr(10, 1, 0, 0), 16}, 32, "alpha", 0.5, 0.0});
+  server.classes.push_back(httpd::ListenClass{
+      net::CidrFilter{net::MakeAddr(10, 2, 0, 0), 16}, 16, "beta", 0.3, 0.0});
+  server.classes.push_back(httpd::ListenClass{net::kMatchAll, 8, "gamma", 0.2, 0.0});
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+
+  // Customer alpha: heavy small-file traffic (cache hits).
+  scenario.AddStaticClients(8, net::MakeAddr(10, 1, 0, 0), 0);
+  // Customer beta: fewer clients, large cold documents (disk traffic).
+  for (int i = 0; i < 3; ++i) {
+    load::HttpClient::Config big;
+    big.addr = net::Addr{net::MakeAddr(10, 2, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+    big.doc_id = 5000 + static_cast<std::uint32_t>(i * 131);  // cold docs
+    big.response_bytes = 64 * 1024;
+    scenario.AddClient(big);
+  }
+  // Customer gamma: light traffic.
+  scenario.AddStaticClients(1, net::MakeAddr(10, 3, 0, 0), 0);
+
+  // A billing ledger per customer: the server's per-connection containers
+  // are ephemeral, so we re-parent customers by listen class instead —
+  // create one fixed-share "account" container per class and nest the
+  // listen-class containers under them via attributes. For this demo we
+  // simply snapshot the listen-class containers' subtree usage, which
+  // accumulates retired per-connection usage.
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(5));
+
+  // The listen-class containers are children of the root; find them by name.
+  xp::Table bill({"customer", "CPU ms (user/kern/net)", "MB sent", "pkts in", "disk MB",
+                  "conn-mem peak KB"});
+  scenario.kernel().containers().root()->ForEachChild([&](rc::ResourceContainer& c) {
+    if (c.name().rfind("listen-", 0) != 0) {
+      return;
+    }
+    const rc::ResourceUsage u = c.SubtreeUsage();
+    char cpu[64];
+    std::snprintf(cpu, sizeof(cpu), "%.1f / %.1f / %.1f",
+                  static_cast<double>(u.cpu_user_usec) / 1000.0,
+                  static_cast<double>(u.cpu_kernel_usec) / 1000.0,
+                  static_cast<double>(u.cpu_network_usec) / 1000.0);
+    bill.AddRow({c.name().substr(7), cpu,
+                 xp::FormatDouble(static_cast<double>(u.bytes_sent) / 1e6, 2),
+                 std::to_string(u.packets_received),
+                 xp::FormatDouble(static_cast<double>(u.disk_kb) / 1024.0, 2),
+                 xp::FormatDouble(static_cast<double>(u.memory_peak_bytes) / 1024.0, 1)});
+  });
+  bill.Print(std::cout);
+
+  std::printf(
+      "\nNote the network column: on a classic kernel this kernel-mode work is\n"
+      "charged to nobody (or to an unlucky bystander); containers attribute it\n"
+      "to the customer whose connections caused it. Customer beta's bill is\n"
+      "dominated by disk transfers despite its tiny request count.\n");
+  return 0;
+}

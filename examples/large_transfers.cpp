@@ -1,0 +1,116 @@
+// The "long file transfer" story (Section 4.8, Figure 9):
+//
+//   "If a particular connection (for example, a long file transfer) consumes
+//    a lot of system resources, this consumption is charged to the resource
+//    container. As a result, the scheduling priority of the associated
+//    thread will decay, leading to the preferential scheduling of threads
+//    handling other connections."
+//
+// A multi-threaded server handles two persistent bulk-download connections
+// (1 MB responses: ~14 ms of kernel CPU each) alongside eight interactive
+// clients fetching 1 KB documents. With per-connection containers, the bulk
+// connections' containers accrue usage, so the interactive threads always
+// run first; without containers all threads share one principal and the
+// interactive requests queue behind the bulk work.
+//
+//   $ ./large_transfers
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/httpd/threaded_server.h"
+#include "src/load/http_client.h"
+#include "src/load/wire.h"
+#include "src/xp/table.h"
+
+namespace {
+
+struct Outcome {
+  double interactive_ms;
+  double bulk_tput;
+};
+
+Outcome Run(bool use_containers) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::ResourceContainerSystemConfig());
+  load::Wire wire(&simr, &kern);
+  kern.Start();
+  httpd::FileCache cache;
+  cache.AddDocument(1, 1024);
+  cache.AddDocument(9, 1024 * 1024);  // the big one
+
+  httpd::ServerConfig scfg;
+  scfg.use_containers = use_containers;
+  scfg.worker_threads = 16;
+  httpd::MultiThreadedServer server(&kern, &cache, scfg);
+  server.Start();
+
+  std::vector<std::unique_ptr<load::HttpClient>> interactive;
+  std::vector<std::unique_ptr<load::HttpClient>> bulk;
+  std::uint32_t id = 1;
+  for (int i = 0; i < 8; ++i) {
+    load::HttpClient::Config cfg;
+    cfg.addr = net::Addr{net::MakeAddr(10, 1, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+    cfg.requests_per_conn = 1000000;  // persistent
+    cfg.think_time = sim::Msec(5);
+    interactive.push_back(std::make_unique<load::HttpClient>(&simr, &wire, id++, cfg));
+  }
+  for (int i = 0; i < 2; ++i) {
+    load::HttpClient::Config cfg;
+    cfg.addr = net::Addr{net::MakeAddr(10, 2, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+    cfg.requests_per_conn = 1000000;
+    cfg.doc_id = 9;
+    cfg.response_bytes = 1024 * 1024;
+    bulk.push_back(std::make_unique<load::HttpClient>(&simr, &wire, id++, cfg));
+  }
+  sim::SimTime at = 0;
+  for (auto& c : interactive) {
+    c->Start(at += 1000);
+  }
+  for (auto& c : bulk) {
+    c->Start(at += 1000);
+  }
+
+  simr.RunUntil(sim::Sec(2));
+  for (auto& c : interactive) {
+    c->ResetStats();
+  }
+  for (auto& c : bulk) {
+    c->ResetStats();
+  }
+  simr.RunUntil(simr.now() + sim::Sec(5));
+
+  Outcome out{0, 0};
+  std::size_t n = 0;
+  for (auto& c : interactive) {
+    out.interactive_ms +=
+        c->latencies().mean() * static_cast<double>(c->latencies().count());
+    n += c->latencies().count();
+  }
+  out.interactive_ms = n ? out.interactive_ms / static_cast<double>(n) : 0;
+  for (auto& c : bulk) {
+    out.bulk_tput += static_cast<double>(c->completed()) / 5.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Outcome without = Run(false);
+  Outcome with = Run(true);
+
+  xp::Table table({"configuration", "interactive latency ms", "bulk transfers/s"});
+  table.AddRow({"shared principal (no containers)", xp::FormatDouble(without.interactive_ms, 2),
+                xp::FormatDouble(without.bulk_tput, 1)});
+  table.AddRow({"container per connection", xp::FormatDouble(with.interactive_ms, 2),
+                xp::FormatDouble(with.bulk_tput, 1)});
+  table.Print(std::cout);
+
+  std::printf(
+      "\nWith containers, each bulk connection's usage decays its own scheduling\n"
+      "standing instead of the whole server's, so interactive requests cut in\n"
+      "front of the 14 ms send bursts.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: bring up the resource-container kernel, run an event-driven
+// Web server with per-connection containers, drive it with a handful of
+// clients, and inspect container accounting.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/xp/scenario.h"
+
+int main() {
+  // 1. A simulated machine running the resource-container kernel.
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+
+  // 2. An event-driven server that creates one container per connection and
+  //    uses the scalable event API.
+  options.server_config.use_containers = true;
+  options.server_config.use_event_api = true;
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+
+  // 3. Ten closed-loop clients fetching a cached 1 KB document.
+  scenario.AddStaticClients(10, net::MakeAddr(10, 1, 0, 0));
+  for (auto& client : scenario.clients()) {
+    client->Start();
+  }
+
+  // 4. Run one simulated second of warm-up, then four measured seconds.
+  scenario.RunFor(sim::Sec(1));
+  scenario.ResetClientStats();
+  const auto cpu0 = scenario.SnapshotCpu();
+  scenario.RunFor(sim::Sec(4));
+  const auto cpu1 = scenario.SnapshotCpu();
+
+  // 5. Report.
+  const double secs = sim::ToSeconds(cpu1.at - cpu0.at);
+  std::printf("throughput:        %.0f requests/s\n",
+              static_cast<double>(scenario.TotalCompleted()) / secs);
+  double mean_ms = 0;
+  std::size_t n = 0;
+  for (auto& client : scenario.clients()) {
+    mean_ms += client->latencies().mean() * static_cast<double>(client->latencies().count());
+    n += client->latencies().count();
+  }
+  std::printf("mean latency:      %.2f ms\n", n ? mean_ms / static_cast<double>(n) : 0.0);
+  std::printf("CPU busy:          %.1f%%\n",
+              100.0 * static_cast<double>(cpu1.busy - cpu0.busy) / (cpu1.at - cpu0.at));
+  std::printf("interrupt time:    %.1f%%\n",
+              100.0 * static_cast<double>(cpu1.interrupt - cpu0.interrupt) /
+                  (cpu1.at - cpu0.at));
+
+  // 6. Container accounting: the whole machine, itemized.
+  auto& root = *scenario.kernel().containers().root();
+  std::printf("containers live:   %zu\n", scenario.kernel().containers().live_count());
+  auto usage = root.SubtreeUsage();
+  std::printf("charged CPU:       %.3f s (user %.3f, kernel %.3f, network %.3f)\n",
+              static_cast<double>(usage.TotalCpuUsec()) / sim::kSec,
+              static_cast<double>(usage.cpu_user_usec) / sim::kSec,
+              static_cast<double>(usage.cpu_kernel_usec) / sim::kSec,
+              static_cast<double>(usage.cpu_network_usec) / sim::kSec);
+  std::printf("server accepted:   %llu connections\n",
+              static_cast<unsigned long long>(scenario.server().stats().connections_accepted));
+  return 0;
+}

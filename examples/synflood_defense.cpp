@@ -1,0 +1,63 @@
+// Live SYN-flood defense timeline (Section 5.7).
+//
+// Legitimate clients fetch documents while an attacker starts flooding at
+// t = 3 s. The kernel notifies the server of SYN drops; the server identifies
+// the offending /24 prefix and binds it to a filtered listen socket whose
+// container has numeric priority 0 — so the flood's protocol processing runs
+// only when the machine is otherwise idle. The demo prints a per-second
+// throughput timeline showing the dip and recovery.
+//
+//   $ ./synflood_defense
+#include <cstdio>
+#include <iostream>
+
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+int main() {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.server_config.use_containers = true;
+  options.server_config.use_event_api = true;
+  options.server_config.syn_defense = true;
+  options.server_config.syn_defense_threshold = 100;
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(16, net::MakeAddr(10, 1, 0, 0));
+
+  load::SynFlooder::Config fcfg;
+  fcfg.prefix = net::MakeAddr(10, 66, 6, 0);
+  fcfg.rate_per_sec = 50000;
+  load::SynFlooder* flooder = scenario.AddFlooder(fcfg);
+
+  scenario.StartAllClients();
+  flooder->Start(sim::Sec(3));  // attack begins at t = 3 s
+
+  xp::Table table({"second", "good req/s", "filters", "note"});
+  std::uint64_t prev = 0;
+  for (int second = 1; second <= 10; ++second) {
+    scenario.RunFor(sim::Sec(1));
+    const std::uint64_t now_total = scenario.TotalCompleted();
+    const std::uint64_t delta = now_total - prev;
+    prev = now_total;
+    const std::uint64_t filters = scenario.server().stats().flood_filters_installed;
+    const char* note = "";
+    if (second == 3) {
+      note = "<- flood (50k SYNs/s) begins";
+    } else if (second == 4 && filters > 0) {
+      note = "<- server isolated the /24 prefix";
+    }
+    table.AddRow({std::to_string(second), std::to_string(delta),
+                  std::to_string(filters), note});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nSYNs sent by attacker: %llu\n",
+              static_cast<unsigned long long>(flooder->sent()));
+  std::printf(
+      "After the filter is installed, the flood costs only per-packet interrupt\n"
+      "and demultiplexing work; its protocol processing is priority-0 and its\n"
+      "backlog drops are cheap. Good-put recovers to near the clean rate.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Differentiated quality of service for a Web server (Sections 4.8, 5.5).
+//
+// An ISP serves two customer populations: "gold" clients (paid a premium,
+// addresses in 10.1.0.0/16) and "best-effort" clients (everyone else). The
+// server binds one listen socket per class using the <address, CIDR-mask>
+// namespace, attaches containers with different priorities, and creates a
+// per-connection container for each accepted connection.
+//
+// The demo saturates the machine with best-effort traffic and shows that
+// gold clients' response times stay low.
+//
+//   $ ./web_hosting
+#include <cstdio>
+#include <iostream>
+
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+int main() {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+
+  httpd::ServerConfig& server = options.server_config;
+  server.use_containers = true;
+  server.use_event_api = true;
+  server.classes.clear();
+  server.classes.push_back(
+      httpd::ListenClass{net::CidrFilter{net::MakeAddr(10, 1, 0, 0), 16}, 48, "gold"});
+  server.classes.push_back(httpd::ListenClass{net::kMatchAll, 8, "best-effort"});
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+
+  // Three gold clients, thirty best-effort clients (enough to saturate).
+  auto gold = scenario.AddStaticClients(3, net::MakeAddr(10, 1, 0, 0), /*class=*/1);
+  auto rest = scenario.AddStaticClients(30, net::MakeAddr(10, 2, 0, 0), /*class=*/0);
+  scenario.StartAllClients();
+
+  scenario.RunFor(sim::Sec(2));  // warm-up
+  scenario.ResetClientStats();
+  scenario.RunFor(sim::Sec(5));
+
+  auto aggregate = [](const std::vector<load::HttpClient*>& clients) {
+    std::uint64_t completed = 0;
+    for (auto* c : clients) {
+      completed += c->completed();
+    }
+    double mean = 0;
+    std::size_t n = 0;
+    for (auto* c : clients) {
+      mean += c->latencies().mean() * static_cast<double>(c->latencies().count());
+      n += c->latencies().count();
+    }
+    return std::make_pair(completed, n ? mean / static_cast<double>(n) : 0.0);
+  };
+
+  auto [gold_done, gold_ms] = aggregate(gold);
+  auto [rest_done, rest_ms] = aggregate(rest);
+
+  xp::Table table({"class", "clients", "req/s", "mean latency ms"});
+  table.AddRow({"gold", "3", xp::FormatDouble(static_cast<double>(gold_done) / 5.0, 0),
+                xp::FormatDouble(gold_ms, 2)});
+  table.AddRow({"best-effort", "30",
+                xp::FormatDouble(static_cast<double>(rest_done) / 5.0, 0),
+                xp::FormatDouble(rest_ms, 2)});
+  table.Print(std::cout);
+
+  std::printf(
+      "\nGold clients ride the high-priority containers: their kernel network\n"
+      "processing, event delivery and application handling all run first, so\n"
+      "their latency stays near the unloaded value while the machine is\n"
+      "saturated by best-effort traffic.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Lightweight invariant-checking macros for the resource-containers project.
+//
+// RC_CHECK is always on (it guards simulator and accounting invariants whose
+// violation would silently corrupt experiment results); RC_DCHECK compiles
+// out in NDEBUG builds.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rccommon {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace rccommon
+
+#define RC_CHECK(expr)                                     \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::rccommon::CheckFailed(#expr, __FILE__, __LINE__);  \
+    }                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define RC_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define RC_DCHECK(expr) RC_CHECK(expr)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,31 @@
+#include "src/common/expected.h"
+
+namespace rccommon {
+
+const char* ErrcName(Errc e) {
+  switch (e) {
+    case Errc::kOk:
+      return "ok";
+    case Errc::kInvalidArgument:
+      return "invalid argument";
+    case Errc::kNotFound:
+      return "not found";
+    case Errc::kPermissionDenied:
+      return "permission denied";
+    case Errc::kLimitExceeded:
+      return "limit exceeded";
+    case Errc::kWrongState:
+      return "wrong state";
+    case Errc::kWouldBlock:
+      return "would block";
+    case Errc::kQueueFull:
+      return "queue full";
+    case Errc::kNotLeaf:
+      return "not a leaf container";
+    case Errc::kHasChildren:
+      return "container has children";
+  }
+  return "unknown";
+}
+
+}  // namespace rccommon

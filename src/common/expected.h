@@ -1,0 +1,96 @@
+// Minimal expected<T, E> substitute (std::expected is C++23; this project
+// targets C++20). Only the operations the codebase needs are provided.
+#ifndef SRC_COMMON_EXPECTED_H_
+#define SRC_COMMON_EXPECTED_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace rccommon {
+
+// Error codes for fallible operations across the library. Kept in one enum so
+// call sites can report errors uniformly (cf. errno).
+enum class Errc {
+  kOk = 0,
+  kInvalidArgument,    // bad parameter (e.g. share > 1.0, bad fd)
+  kNotFound,           // no such container / descriptor / connection
+  kPermissionDenied,   // operation not allowed for this principal
+  kLimitExceeded,      // resource limit (memory, child count) exceeded
+  kWrongState,         // operation invalid in current object state
+  kWouldBlock,         // non-blocking operation has no data
+  kQueueFull,          // bounded queue overflow (SYN queue, accept queue)
+  kNotLeaf,            // thread bindings are restricted to leaf containers
+  kHasChildren,        // time-share containers cannot have children
+};
+
+const char* ErrcName(Errc e);
+
+// Tag type for constructing an error-holding Expected.
+struct Unexpected {
+  Errc error;
+};
+
+inline Unexpected MakeUnexpected(Errc e) { return Unexpected{e}; }
+
+// A value-or-error sum type. `Expected<void>` is specialized below.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}              // NOLINT(runtime/explicit)
+  Expected(Unexpected unexpected) : data_(unexpected.error) {  // NOLINT(runtime/explicit)
+    RC_DCHECK(unexpected.error != Errc::kOk);
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  Errc error() const { return ok() ? Errc::kOk : std::get<Errc>(data_); }
+
+  T& value() & {
+    RC_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    RC_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    RC_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Errc> data_;
+};
+
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() : error_(Errc::kOk) {}
+  Expected(Unexpected unexpected) : error_(unexpected.error) {  // NOLINT(runtime/explicit)
+    RC_DCHECK(unexpected.error != Errc::kOk);
+  }
+
+  bool ok() const { return error_ == Errc::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return error_; }
+
+ private:
+  Errc error_;
+};
+
+}  // namespace rccommon
+
+#endif  // SRC_COMMON_EXPECTED_H_

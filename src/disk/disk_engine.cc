@@ -1,0 +1,71 @@
+#include "src/disk/disk_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace disk {
+
+sim::Duration DiskEngine::ServiceTime(std::uint32_t kb, bool sequential) const {
+  sim::Duration t = static_cast<sim::Duration>(kb) * costs_.transfer_usec_per_kb;
+  if (!(sequential && costs_.sequential_optimization)) {
+    t += costs_.positioning_usec;
+  }
+  return std::max<sim::Duration>(t, 1);
+}
+
+void DiskEngine::Submit(IoRequest request) {
+  int prio = rc::kDefaultPriority;
+  if (request.container) {
+    prio = std::clamp(request.container->attributes().EffectiveNetworkPriority(),
+                      rc::kMinPriority, rc::kMaxPriority);
+  }
+  buckets_[static_cast<std::size_t>(prio)].push_back(std::move(request));
+  ++queued_;
+  MaybeStart();
+}
+
+void DiskEngine::MaybeStart() {
+  if (busy_ || queued_ == 0) {
+    return;
+  }
+  // Highest container priority first; FIFO within a priority class.
+  IoRequest req;
+  bool found = false;
+  for (int prio = rc::kMaxPriority; prio >= 0 && !found; --prio) {
+    auto& bucket = buckets_[static_cast<std::size_t>(prio)];
+    if (!bucket.empty()) {
+      req = std::move(bucket.front());
+      bucket.pop_front();
+      found = true;
+    }
+  }
+  RC_CHECK(found);
+  --queued_;
+  busy_ = true;
+
+  const bool sequential = req.block_kb == head_pos_kb_;
+  const sim::Duration service = ServiceTime(req.kb, sequential);
+  if (sequential) {
+    ++stats_.sequential_hits;
+  }
+  head_pos_kb_ = req.block_kb + req.kb;
+
+  simr_->After(service, [this, req = std::move(req), service]() mutable {
+    ++stats_.requests;
+    stats_.busy_usec += service;
+    stats_.kb_transferred += req.kb;
+    if (req.container) {
+      req.container->ChargeDisk(service, req.kb);
+    }
+    busy_ = false;
+    if (req.done) {
+      auto done = std::move(req.done);
+      done();
+    }
+    MaybeStart();
+  });
+}
+
+}  // namespace disk

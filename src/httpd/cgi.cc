@@ -1,0 +1,28 @@
+#include "src/httpd/cgi.h"
+
+namespace httpd {
+
+namespace {
+
+kernel::Program CgiMain(kernel::Sys sys, net::HttpRequestInfo req,
+                        std::uint64_t* completed) {
+  // The dynamic computation itself (the paper's CGI programs burn ~2 s of
+  // CPU each, Section 5.6).
+  co_await sys.Compute(req.cgi_cpu_usec, rc::CpuKind::kUser);
+  // Respond directly on the inherited connection and close it.
+  co_await sys.Send(/*conn_fd=*/0, req.response_bytes, req.request_id,
+                    /*close_after=*/true);
+  co_await sys.ReleaseFd(0);
+  if (completed != nullptr) {
+    ++*completed;
+  }
+}
+
+}  // namespace
+
+std::function<kernel::Program(kernel::Sys)> MakeCgiProgram(net::HttpRequestInfo req,
+                                                           std::uint64_t* completed) {
+  return [req, completed](kernel::Sys sys) { return CgiMain(sys, req, completed); };
+}
+
+}  // namespace httpd

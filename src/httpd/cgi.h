@@ -1,0 +1,21 @@
+// The CGI child program: consumes the request's CPU demand, writes the
+// response on the inherited connection (fd 0), and exits. One process per
+// dynamic request, as in classic CGI (Section 2).
+#ifndef SRC_HTTPD_CGI_H_
+#define SRC_HTTPD_CGI_H_
+
+#include <functional>
+
+#include "src/kernel/syscalls.h"
+#include "src/net/packet.h"
+
+namespace httpd {
+
+// Builds the body for a CGI process handling `req`. If `completed` is
+// non-null it is incremented when the response has been sent.
+std::function<kernel::Program(kernel::Sys)> MakeCgiProgram(
+    net::HttpRequestInfo req, std::uint64_t* completed = nullptr);
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_CGI_H_

@@ -1,0 +1,293 @@
+#include "src/httpd/event_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/httpd/cgi.h"
+
+namespace httpd {
+
+using kernel::Event;
+using kernel::SpawnOptions;
+using kernel::Sys;
+
+EventDrivenServer::EventDrivenServer(kernel::Kernel* kernel, FileCache* cache,
+                                     ServerConfig config)
+    : kernel_(kernel), cache_(cache), config_(std::move(config)) {
+  RC_CHECK(!config_.classes.empty());
+  RC_CHECK(!config_.syn_defense || config_.use_event_api);
+}
+
+void EventDrivenServer::Start(rc::ContainerRef default_container) {
+  RC_CHECK(proc_ == nullptr);
+  proc_ = kernel_->CreateProcess("httpd", std::move(default_container));
+  kernel_->SpawnThread(proc_, "httpd-main", [this](Sys sys) { return Run(sys); });
+}
+
+kernel::Program EventDrivenServer::Run(Sys sys) {
+  const kernel::CostModel& costs = sys.kernel().costs();
+
+  // Handle on our own default container, to rebind to between connections.
+  default_ct_fd_ =
+      (co_await sys.GetContainerHandle(proc_->default_container()->id())).value();
+
+  // The parent for per-connection containers: top level, or the default
+  // container in virtual-server setups (it must be fixed-share to have
+  // children).
+  const int scope_fd = config_.nest_under_default ? default_ct_fd_ : -1;
+
+  if (config_.use_containers && config_.cgi_sandbox) {
+    rc::Attributes a;
+    a.sched.cls = rc::SchedClass::kFixedShare;
+    a.sched.fixed_share = config_.cgi_share;
+    a.cpu_limit = config_.cgi_share;
+    cgi_parent_fd_ = (co_await sys.CreateContainer("cgi-parent", a, scope_fd)).value();
+  }
+
+  // One listen socket per client class (the <addr, CIDR-mask> namespace).
+  std::vector<int> listen_fds;
+  for (const ListenClass& cls : config_.classes) {
+    int ct_fd = -1;
+    bool class_is_parent = false;
+    if (config_.use_containers) {
+      rc::Attributes a;
+      a.sched.priority = cls.priority;
+      if (cls.fixed_share > 0.0) {
+        // Class-level resource control (Section 4.8): the class container is
+        // fixed-share (so it can parent per-request containers) and may be
+        // capped.
+        a.sched.cls = rc::SchedClass::kFixedShare;
+        a.sched.fixed_share = cls.fixed_share;
+        a.cpu_limit = cls.cpu_limit;
+        class_is_parent = true;
+      }
+      ct_fd = (co_await sys.CreateContainer("listen-" + cls.name, a, scope_fd)).value();
+    }
+    auto lfd = co_await sys.Listen(config_.port, cls.filter, ct_fd, config_.syn_backlog,
+                                   config_.accept_backlog);
+    RC_CHECK(lfd.ok());
+    listen_fds.push_back(*lfd);
+    listen_info_[*lfd] = ListenInfo{cls.priority, class_is_parent ? ct_fd : -1};
+    if (config_.use_event_api) {
+      co_await sys.EventRegister(*lfd);
+    }
+  }
+
+  for (;;) {
+    // Gather ready descriptors: (fd, is_accept, is_syn_drop).
+    struct Todo {
+      int fd;
+      bool accept;
+      bool syn_drop;
+      int priority;
+    };
+    std::vector<Todo> todo;
+
+    if (config_.use_event_api) {
+      std::vector<Event> events = co_await sys.WaitEvents(64);
+      todo.reserve(events.size());
+      for (const Event& e : events) {
+        const bool is_listen = listen_info_.contains(e.fd);
+        todo.push_back(Todo{e.fd, is_listen && e.kind != Event::Kind::kSynDrop,
+                            e.kind == Event::Kind::kSynDrop,
+                            is_listen ? listen_info_[e.fd].priority
+                                      : (conns_.contains(e.fd) ? conns_[e.fd].priority
+                                                               : 0)});
+      }
+      // RC-kernel event delivery is already priority-ordered; keep order.
+    } else {
+      std::vector<int> interest = listen_fds;
+      interest.reserve(interest.size() + conns_.size());
+      for (const auto& [fd, ctx] : conns_) {
+        interest.push_back(fd);
+      }
+      std::vector<int> ready = co_await sys.Select(std::move(interest));
+      todo.reserve(ready.size());
+      for (int fd : ready) {
+        const bool is_listen = listen_info_.contains(fd);
+        todo.push_back(Todo{fd, is_listen, false,
+                            is_listen ? listen_info_[fd].priority
+                                      : (conns_.contains(fd) ? conns_[fd].priority : 0)});
+      }
+      if (config_.sort_ready_by_priority) {
+        std::stable_sort(todo.begin(), todo.end(), [](const Todo& a, const Todo& b) {
+          return a.priority > b.priority;
+        });
+      }
+    }
+
+    for (const Todo& item : todo) {
+      if (item.syn_drop) {
+        // Section 5.7: the kernel told us SYNs are being dropped. Identify
+        // offending /24 prefixes and bind them to a priority-0 listen socket.
+        auto report = co_await sys.GetSynDropReport(item.fd);
+        if (!report.ok()) {
+          continue;
+        }
+        for (const auto& src : report->sources) {
+          // Reports are snapshot-and-clear; accumulate across reports so a
+          // steady drip of drops still crosses the threshold.
+          const std::uint64_t total = (drop_counts_[src.prefix.v] += src.drops);
+          if (total < config_.syn_defense_threshold ||
+              filtered_prefixes_.contains(src.prefix.v)) {
+            continue;
+          }
+          rc::Attributes a;
+          a.sched.priority = 0;
+          a.network_priority = 0;
+          auto flood_ct = co_await sys.CreateContainer("flood", a, -1);
+          if (!flood_ct.ok()) {
+            continue;
+          }
+          auto flood_fd =
+              co_await sys.Listen(config_.port, net::CidrFilter{src.prefix, 24},
+                                  *flood_ct, /*syn_backlog=*/64, /*accept_backlog=*/8);
+          if (flood_fd.ok()) {
+            filtered_prefixes_.insert(src.prefix.v);
+            ++stats_.flood_filters_installed;
+            listen_info_[*flood_fd] = ListenInfo{0, -1};
+            // Intentionally not added to the accept set: connections from
+            // the filtered class are serviced only if ever established.
+          }
+          co_await sys.CloseFd(*flood_ct);  // the listen socket keeps a ref
+        }
+        continue;
+      }
+
+      if (item.accept) {
+        // Drain the accept queue.
+        for (;;) {
+          auto accepted = co_await sys.TryAccept(item.fd);
+          if (!accepted.ok()) {
+            break;
+          }
+          const int cfd = *accepted;
+          ++stats_.connections_accepted;
+          ConnCtx ctx;
+          ctx.priority = item.priority;
+          if (config_.use_containers) {
+            rc::Attributes a;
+            a.sched.priority = ctx.priority;
+            // Nest under the class container when the class has one.
+            const int parent_fd = listen_info_.contains(item.fd) &&
+                                          listen_info_[item.fd].class_ct_fd >= 0
+                                      ? listen_info_[item.fd].class_ct_fd
+                                      : scope_fd;
+            auto ct = co_await sys.CreateContainer("conn", a, parent_fd);
+            if (ct.ok()) {
+              ctx.container_fd = *ct;
+              co_await sys.BindSocket(cfd, *ct);
+            }
+          }
+          if (config_.use_event_api) {
+            co_await sys.EventRegister(cfd);
+          }
+          conns_[cfd] = ctx;
+        }
+        continue;
+      }
+
+      // Data (or close) on a connection.
+      auto it = conns_.find(item.fd);
+      if (it == conns_.end()) {
+        continue;  // already handed off or closed
+      }
+      const int cfd = item.fd;
+      ConnCtx ctx = it->second;
+
+      // Charge this connection's work to its container (Figure 10).
+      if (ctx.container_fd >= 0) {
+        co_await sys.BindThread(ctx.container_fd);
+      }
+
+      auto received = co_await sys.TryRecv(cfd);
+      if (!received.ok()) {
+        // Spurious wakeup; nothing to do.
+      } else if (received->eof) {
+        ++stats_.eof_closed;
+        if (config_.use_event_api) {
+          co_await sys.EventUnregister(cfd);
+        }
+        co_await sys.CloseFd(cfd);
+        if (ctx.container_fd >= 0) {
+          co_await sys.CloseFd(ctx.container_fd);
+        }
+        conns_.erase(cfd);
+      } else {
+        const net::HttpRequestInfo req = received->request;
+        if (req.is_cgi) {
+          // Fork a CGI process; pass it the connection (and, on the RC
+          // kernel, a per-request container under the CGI sand-box).
+          SpawnOptions opts;
+          opts.pass_fds = {cfd};
+          opts.detach = true;
+          int request_ct = -1;
+          if (config_.use_containers && cgi_parent_fd_ >= 0) {
+            auto ct = co_await sys.CreateContainer("cgi-req", {}, cgi_parent_fd_);
+            if (ct.ok()) {
+              request_ct = *ct;
+              opts.container_fd = request_ct;
+            }
+          } else {
+            opts.container_fd = config_.cgi_new_principal ? -2 : -1;
+          }
+          auto pid = co_await sys.Spawn("cgi", MakeCgiProgram(req, &cgi_completed_), opts);
+          if (pid.ok()) {
+            ++stats_.cgi_started;
+          }
+          // Hand-off: stop watching and drop our references.
+          if (config_.use_event_api) {
+            co_await sys.EventUnregister(cfd);
+          }
+          co_await sys.ReleaseFd(cfd);
+          if (request_ct >= 0) {
+            co_await sys.CloseFd(request_ct);
+          }
+          if (ctx.container_fd >= 0) {
+            co_await sys.CloseFd(ctx.container_fd);
+          }
+          conns_.erase(cfd);
+        } else {
+          // Static document: parse, look up, respond.
+          co_await sys.Compute(costs.http_parse, rc::CpuKind::kUser);
+          auto size = cache_->Lookup(req.doc_id);
+          sim::Duration lookup_cost = costs.file_cache_lookup;
+          if (!size.has_value()) {
+            if (config_.use_disk_model) {
+              // Read from the simulated disk at this connection's priority.
+              co_await sys.ReadDisk(static_cast<std::uint64_t>(req.doc_id) * 64,
+                                    std::max(1u, req.response_bytes / 1024));
+            } else {
+              lookup_cost += config_.file_miss_penalty;
+            }
+            cache_->Insert(req.doc_id, req.response_bytes);
+            size = req.response_bytes;
+          }
+          co_await sys.Compute(lookup_cost, rc::CpuKind::kUser);
+          co_await sys.Send(cfd, *size, req.request_id, /*close_after=*/!req.keep_alive);
+          ++stats_.static_served;
+          if (req.client_class >= 0 && req.client_class < kMaxClientClasses) {
+            ++stats_.served_by_class[req.client_class];
+          }
+          if (!req.keep_alive) {
+            if (config_.use_event_api) {
+              co_await sys.EventUnregister(cfd);
+            }
+            co_await sys.ReleaseFd(cfd);  // Send(close_after) tore it down
+            if (ctx.container_fd >= 0) {
+              co_await sys.CloseFd(ctx.container_fd);
+            }
+            conns_.erase(cfd);
+          }
+        }
+      }
+
+      if (ctx.container_fd >= 0) {
+        co_await sys.BindThread(default_ct_fd_);
+      }
+    }
+  }
+}
+
+}  // namespace httpd

@@ -1,0 +1,63 @@
+// The single-process event-driven Web server (Figure 2; derived-from-thttpd
+// model the paper evaluates). One thread multiplexes every connection, using
+// either select() or the scalable event API, and — on the RC kernel — one
+// resource container per connection with dynamic thread rebinding
+// (Figure 10).
+#ifndef SRC_HTTPD_EVENT_SERVER_H_
+#define SRC_HTTPD_EVENT_SERVER_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/httpd/file_cache.h"
+#include "src/httpd/server_config.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscalls.h"
+
+namespace httpd {
+
+class EventDrivenServer {
+ public:
+  EventDrivenServer(kernel::Kernel* kernel, FileCache* cache, ServerConfig config);
+
+  // Creates the server process (optionally with a caller-provided default
+  // container, e.g. a fixed-share guest container) and starts the server.
+  void Start(rc::ContainerRef default_container = nullptr);
+
+  kernel::Process* process() const { return proc_; }
+  const ServerStats& stats() const { return stats_; }
+  std::uint64_t cgi_responses_completed() const { return cgi_completed_; }
+
+ private:
+  struct ConnCtx {
+    int container_fd = -1;  // per-connection container (RC mode)
+    int priority = rc::kDefaultPriority;
+  };
+
+  kernel::Program Run(kernel::Sys sys);
+
+  kernel::Kernel* const kernel_;
+  FileCache* const cache_;
+  const ServerConfig config_;
+  kernel::Process* proc_ = nullptr;
+
+  struct ListenInfo {
+    int priority = rc::kDefaultPriority;
+    int class_ct_fd = -1;  // parent for per-connection containers, if any
+  };
+
+  std::unordered_map<int, ConnCtx> conns_;
+  std::unordered_map<int, ListenInfo> listen_info_;  // by listen fd
+  std::unordered_set<std::uint32_t> filtered_prefixes_;
+  std::unordered_map<std::uint32_t, std::uint64_t> drop_counts_;  // per /24 prefix
+  int default_ct_fd_ = -1;
+  int cgi_parent_fd_ = -1;
+
+  ServerStats stats_;
+  std::uint64_t cgi_completed_ = 0;
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_EVENT_SERVER_H_

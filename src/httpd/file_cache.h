@@ -1,0 +1,45 @@
+// A minimal in-memory document cache. The paper's experiments all serve a
+// cached, 1 KB static file; the cache exists so lookup costs (and misses,
+// for non-paper workloads) are modeled and accounted.
+#ifndef SRC_HTTPD_FILE_CACHE_H_
+#define SRC_HTTPD_FILE_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace httpd {
+
+class FileCache {
+ public:
+  void AddDocument(std::uint32_t doc_id, std::uint32_t bytes) {
+    docs_[doc_id] = bytes;
+  }
+
+  // Returns the document size on a hit.
+  std::optional<std::uint32_t> Lookup(std::uint32_t doc_id) {
+    auto it = docs_.find(doc_id);
+    if (it == docs_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  // A miss is followed by an insert (the "disk read" populated the cache).
+  void Insert(std::uint32_t doc_id, std::uint32_t bytes) { docs_[doc_id] = bytes; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return docs_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> docs_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_FILE_CACHE_H_

@@ -1,0 +1,106 @@
+#include "src/httpd/prefork_server.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace httpd {
+
+using kernel::SpawnOptions;
+using kernel::Sys;
+
+PreforkServer::PreforkServer(kernel::Kernel* kernel, FileCache* cache,
+                             ServerConfig config)
+    : kernel_(kernel), cache_(cache), config_(std::move(config)) {
+  RC_CHECK(config_.worker_processes > 0);
+}
+
+void PreforkServer::Start() {
+  RC_CHECK(master_ == nullptr);
+  master_ = kernel_->CreateProcess("httpd-master");
+  kernel_->SpawnThread(master_, "master", [this](Sys sys) { return Master(sys); });
+}
+
+kernel::Program PreforkServer::Master(Sys sys) {
+  // Pre-fork the worker pool.
+  for (int i = 0; i < config_.worker_processes; ++i) {
+    auto state = std::make_unique<WorkerState>();
+    WorkerState* raw = state.get();
+    workers_.push_back(std::move(state));
+    SpawnOptions opts;
+    opts.detach = true;  // workers run for the whole simulation
+    auto pid = co_await sys.Spawn(
+        "httpd-worker", [this, raw](Sys worker_sys) { return Worker(worker_sys, raw); },
+        opts);
+    RC_CHECK(pid.ok());
+    raw->pid = *pid;
+  }
+
+  const ListenClass& cls = config_.classes.front();
+  auto lfd = co_await sys.Listen(config_.port, cls.filter, -1, config_.syn_backlog,
+                                 config_.accept_backlog);
+  RC_CHECK(lfd.ok());
+
+  std::size_t next = 0;
+  for (;;) {
+    auto accepted = co_await sys.Accept(*lfd);
+    if (!accepted.ok()) {
+      break;
+    }
+    ++stats_.connections_accepted;
+    WorkerState* w = workers_[next % workers_.size()].get();
+    ++next;
+    auto wfd = co_await sys.PassFd(w->pid, *accepted);
+    co_await sys.ReleaseFd(*accepted);
+    if (wfd.ok()) {
+      w->jobs.push_back(*wfd);
+      w->sem.Post();
+    }
+  }
+}
+
+kernel::Program PreforkServer::Worker(Sys sys, WorkerState* state) {
+  const kernel::CostModel& costs = sys.kernel().costs();
+  for (;;) {
+    co_await state->sem.Wait(sys);
+    RC_CHECK(!state->jobs.empty());
+    const int cfd = state->jobs.front();
+    state->jobs.pop_front();
+
+    for (;;) {
+      auto received = co_await sys.Recv(cfd);
+      if (!received.ok() || received->eof) {
+        co_await sys.CloseFd(cfd);
+        ++stats_.eof_closed;
+        break;
+      }
+      const net::HttpRequestInfo req = received->request;
+      co_await sys.Compute(costs.http_parse, rc::CpuKind::kUser);
+      if (req.is_cgi) {
+        // Library-based dynamic module: run the computation in-process.
+        co_await sys.Compute(req.cgi_cpu_usec, rc::CpuKind::kUser);
+        ++stats_.cgi_started;
+      } else {
+        auto size = cache_->Lookup(req.doc_id);
+        sim::Duration lookup_cost = costs.file_cache_lookup;
+        if (!size.has_value()) {
+          lookup_cost += config_.file_miss_penalty;
+          cache_->Insert(req.doc_id, req.response_bytes);
+        }
+        co_await sys.Compute(lookup_cost, rc::CpuKind::kUser);
+      }
+      co_await sys.Send(cfd, req.response_bytes, req.request_id,
+                        /*close_after=*/!req.keep_alive);
+      ++stats_.static_served;
+      if (req.client_class >= 0 && req.client_class < kMaxClientClasses) {
+        ++stats_.served_by_class[req.client_class];
+      }
+      if (!req.keep_alive) {
+        co_await sys.ReleaseFd(cfd);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace httpd

@@ -1,0 +1,50 @@
+// The process-per-connection server with a master and pre-forked workers
+// (Figure 1; the NCSA-httpd architecture). The master accepts connections
+// and passes descriptors to worker processes. Dynamic requests are handled
+// by a library module inside the worker (the ISAPI/NSAPI variant of
+// Section 2) rather than by forking.
+#ifndef SRC_HTTPD_PREFORK_SERVER_H_
+#define SRC_HTTPD_PREFORK_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/httpd/file_cache.h"
+#include "src/httpd/server_config.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/sync.h"
+#include "src/kernel/syscalls.h"
+
+namespace httpd {
+
+class PreforkServer {
+ public:
+  PreforkServer(kernel::Kernel* kernel, FileCache* cache, ServerConfig config);
+
+  void Start();
+
+  const ServerStats& stats() const { return stats_; }
+  kernel::Process* master() const { return master_; }
+
+ private:
+  struct WorkerState {
+    kernel::Pid pid = 0;
+    std::deque<int> jobs;  // worker-local connection descriptors
+    kernel::Semaphore sem;
+  };
+
+  kernel::Program Master(kernel::Sys sys);
+  kernel::Program Worker(kernel::Sys sys, WorkerState* state);
+
+  kernel::Kernel* const kernel_;
+  FileCache* const cache_;
+  const ServerConfig config_;
+  kernel::Process* master_ = nullptr;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  ServerStats stats_;
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_PREFORK_SERVER_H_

@@ -1,0 +1,90 @@
+// Configuration shared by the server models.
+#ifndef SRC_HTTPD_SERVER_CONFIG_H_
+#define SRC_HTTPD_SERVER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/addr.h"
+#include "src/sim/time.h"
+#include "src/rc/attributes.h"
+
+namespace httpd {
+
+inline constexpr int kMaxClientClasses = 8;
+
+// One listen socket: a <port, filter> binding with a container priority —
+// the paper's mechanism for prioritizing client populations before accept
+// (Section 4.8).
+struct ListenClass {
+  net::CidrFilter filter = net::kMatchAll;
+  int priority = rc::kDefaultPriority;
+  std::string name = "default";
+  // When > 0 the class container becomes a fixed-share container with this
+  // guarantee, per-connection containers are created as its children, and
+  // `cpu_limit` (if set) caps the whole class — Section 4.8's "restrict the
+  // total CPU consumption of certain classes of requests".
+  double fixed_share = 0.0;
+  double cpu_limit = 0.0;
+};
+
+struct ServerConfig {
+  std::uint16_t port = 80;
+  std::vector<ListenClass> classes = {ListenClass{}};
+
+  // Resource-container features (only meaningful on the RC kernel).
+  bool use_containers = false;  // per-connection containers + thread bindings
+  bool use_event_api = false;   // scalable event API instead of select()
+  // App-level preference: handle ready descriptors of high-priority classes
+  // first (what the paper's server does even without kernel support).
+  bool sort_ready_by_priority = true;
+  // Create per-connection containers as children of the process's default
+  // container (virtual-server setups where that container is a fixed-share
+  // guest); default is top-level containers.
+  bool nest_under_default = false;
+
+  // --- CGI -------------------------------------------------------------
+  // RC mode: per-request CGI containers under a "CGI-parent" container with
+  // a fixed share + CPU limit ("resource sand-box", Section 5.6).
+  bool cgi_sandbox = false;
+  double cgi_share = 0.30;
+  // Classic modes: each CGI process becomes its own principal (fresh default
+  // container), as a forked process does on a stock kernel.
+  bool cgi_new_principal = true;
+
+  // --- SYN-flood defense (Section 5.7) -----------------------------------
+  // Watch kernel SYN-drop notifications; when a /24 source prefix exceeds
+  // the threshold, bind a filtered listen socket for it to a priority-0
+  // container. Requires use_event_api.
+  bool syn_defense = false;
+  std::uint64_t syn_defense_threshold = 100;
+
+  int syn_backlog = 1024;
+  int accept_backlog = 128;
+
+  // Extra compute charged on a file-cache miss when the disk model is off.
+  sim::Duration file_miss_penalty = 200;
+  // Serve cache misses from the simulated disk (container-prioritized I/O)
+  // instead of a flat CPU penalty.
+  bool use_disk_model = false;
+
+  // Multi-threaded server: worker-pool size.
+  int worker_threads = 16;
+  // Process-per-connection server: pre-forked worker processes.
+  int worker_processes = 8;
+};
+
+// Per-server counters.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t static_served = 0;
+  std::uint64_t cgi_started = 0;
+  std::uint64_t eof_closed = 0;
+  std::uint64_t served_by_class[kMaxClientClasses] = {};
+  std::uint64_t flood_filters_installed = 0;
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_SERVER_CONFIG_H_

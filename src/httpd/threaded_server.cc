@@ -1,0 +1,114 @@
+#include "src/httpd/threaded_server.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/httpd/cgi.h"
+
+namespace httpd {
+
+using kernel::SpawnOptions;
+using kernel::Sys;
+
+MultiThreadedServer::MultiThreadedServer(kernel::Kernel* kernel, FileCache* cache,
+                                         ServerConfig config)
+    : kernel_(kernel), cache_(cache), config_(std::move(config)) {
+  RC_CHECK(config_.worker_threads > 0);
+}
+
+void MultiThreadedServer::Start(rc::ContainerRef default_container) {
+  RC_CHECK(proc_ == nullptr);
+  proc_ = kernel_->CreateProcess("httpd-mt", std::move(default_container));
+  kernel_->SpawnThread(proc_, "init", [this](Sys sys) { return Init(sys); });
+}
+
+kernel::Program MultiThreadedServer::Init(Sys sys) {
+  const ListenClass& cls = config_.classes.front();
+  auto lfd = co_await sys.Listen(config_.port, cls.filter, -1, config_.syn_backlog,
+                                 config_.accept_backlog);
+  RC_CHECK(lfd.ok());
+  listen_fd_ = *lfd;
+  for (int i = 0; i < config_.worker_threads; ++i) {
+    kernel_->SpawnThread(proc_, "worker", [this](Sys worker_sys) {
+      return Worker(worker_sys);
+    });
+  }
+}
+
+kernel::Program MultiThreadedServer::Worker(Sys sys) {
+  const kernel::CostModel& costs = sys.kernel().costs();
+  const int default_ct_fd =
+      (co_await sys.GetContainerHandle(proc_->default_container()->id())).value();
+  const int scope_fd = config_.nest_under_default ? default_ct_fd : -1;
+
+  for (;;) {
+    auto accepted = co_await sys.Accept(listen_fd_);
+    if (!accepted.ok()) {
+      break;
+    }
+    const int cfd = *accepted;
+    ++stats_.connections_accepted;
+
+    int conn_ct = -1;
+    if (config_.use_containers) {
+      rc::Attributes a;
+      a.sched.priority = config_.classes.front().priority;
+      auto ct = co_await sys.CreateContainer("conn", a, scope_fd);
+      if (ct.ok()) {
+        conn_ct = *ct;
+        co_await sys.BindSocket(cfd, conn_ct);
+        co_await sys.BindThread(conn_ct);
+      }
+    }
+
+    bool handed_off = false;
+    for (;;) {
+      auto received = co_await sys.Recv(cfd);
+      if (!received.ok() || received->eof) {
+        co_await sys.CloseFd(cfd);
+        ++stats_.eof_closed;
+        break;
+      }
+      const net::HttpRequestInfo req = received->request;
+      if (req.is_cgi) {
+        SpawnOptions opts;
+        opts.pass_fds = {cfd};
+        opts.detach = true;
+        opts.container_fd = config_.cgi_new_principal ? -2 : -1;
+        auto pid = co_await sys.Spawn("cgi", MakeCgiProgram(req, &cgi_completed_), opts);
+        if (pid.ok()) {
+          ++stats_.cgi_started;
+        }
+        co_await sys.ReleaseFd(cfd);
+        handed_off = true;
+        break;
+      }
+      co_await sys.Compute(costs.http_parse, rc::CpuKind::kUser);
+      auto size = cache_->Lookup(req.doc_id);
+      sim::Duration lookup_cost = costs.file_cache_lookup;
+      if (!size.has_value()) {
+        lookup_cost += config_.file_miss_penalty;
+        cache_->Insert(req.doc_id, req.response_bytes);
+        size = req.response_bytes;
+      }
+      co_await sys.Compute(lookup_cost, rc::CpuKind::kUser);
+      co_await sys.Send(cfd, *size, req.request_id, /*close_after=*/!req.keep_alive);
+      ++stats_.static_served;
+      if (req.client_class >= 0 && req.client_class < kMaxClientClasses) {
+        ++stats_.served_by_class[req.client_class];
+      }
+      if (!req.keep_alive) {
+        co_await sys.ReleaseFd(cfd);
+        break;
+      }
+    }
+    (void)handed_off;
+
+    if (conn_ct >= 0) {
+      co_await sys.BindThread(default_ct_fd);
+      co_await sys.CloseFd(conn_ct);
+    }
+  }
+}
+
+}  // namespace httpd

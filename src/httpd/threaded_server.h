@@ -1,0 +1,39 @@
+// The single-process multi-threaded server (Figure 3): a pool of kernel
+// threads, each handling one connection at a time; on the RC kernel each
+// connection gets a container and the handling thread binds to it
+// (Figure 9).
+#ifndef SRC_HTTPD_THREADED_SERVER_H_
+#define SRC_HTTPD_THREADED_SERVER_H_
+
+#include "src/httpd/file_cache.h"
+#include "src/httpd/server_config.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscalls.h"
+
+namespace httpd {
+
+class MultiThreadedServer {
+ public:
+  MultiThreadedServer(kernel::Kernel* kernel, FileCache* cache, ServerConfig config);
+
+  void Start(rc::ContainerRef default_container = nullptr);
+
+  kernel::Process* process() const { return proc_; }
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  kernel::Program Init(kernel::Sys sys);
+  kernel::Program Worker(kernel::Sys sys);
+
+  kernel::Kernel* const kernel_;
+  FileCache* const cache_;
+  const ServerConfig config_;
+  kernel::Process* proc_ = nullptr;
+  int listen_fd_ = -1;
+  ServerStats stats_;
+  std::uint64_t cgi_completed_ = 0;
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_THREADED_SERVER_H_

@@ -1,0 +1,241 @@
+#include "src/kernel/cpu_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/kernel/kernel.h"
+
+namespace kernel {
+
+CpuEngine::CpuEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs)
+    : simr_(simulator), kernel_(kernel), costs_(costs), start_(simulator->now()) {}
+
+void CpuEngine::QueueInterruptWork(sim::Duration cost, rc::ContainerRef charge_to,
+                                   std::function<void()> fn) {
+  RC_CHECK(cost >= 0);
+  irq_queue_.push_back(IrqItem{cost, std::move(charge_to), std::move(fn)});
+  if (state_ == CpuState::kSlice) {
+    PreemptSlice();
+  }
+  if (state_ == CpuState::kIdle) {
+    MaybeDispatch();
+  }
+  // kInterrupt / kProcessing: the current activity's completion chains here.
+}
+
+void CpuEngine::Poke() {
+  if (state_ == CpuState::kIdle) {
+    MaybeDispatch();
+    return;
+  }
+  if (state_ == CpuState::kSlice && sched_->ShouldPreempt(*running_)) {
+    PreemptSlice();
+    MaybeDispatch();
+  }
+}
+
+rc::ContainerRef CpuEngine::CurrentContainer() const {
+  if (running_ != nullptr && state_ == CpuState::kSlice) {
+    return running_->binding().resource_binding();
+  }
+  return nullptr;
+}
+
+sim::Duration CpuEngine::idle_usec() const {
+  return (simr_->now() - start_) - busy_usec_;
+}
+
+void CpuEngine::MaybeDispatch() {
+  if (state_ != CpuState::kIdle) {
+    return;  // a nested wake-up already started something
+  }
+  if (!irq_queue_.empty()) {
+    StartInterrupt();
+    return;
+  }
+  RC_CHECK(sched_ != nullptr);
+  Thread* t = sched_->PickNext(simr_->now());
+  if (t == nullptr) {
+    ScheduleThrottleRetry();
+    return;
+  }
+  RunThread(t, /*fresh=*/true);
+}
+
+void CpuEngine::StartInterrupt() {
+  state_ = CpuState::kInterrupt;
+  IrqItem item = std::move(irq_queue_.front());
+  irq_queue_.pop_front();
+  completion_ = simr_->After(item.cost, [this, item = std::move(item)]() mutable {
+    busy_usec_ += item.cost;
+    kernel_->tracer().Record(simr_->now(), TraceKind::kInterrupt, 0,
+                             item.charge_to ? item.charge_to->id() : 0, item.cost);
+    if (item.charge_to) {
+      kernel_->ChargeCpu(*item.charge_to, item.cost, rc::CpuKind::kNetwork);
+    } else {
+      interrupt_usec_ += item.cost;
+    }
+    state_ = CpuState::kProcessing;
+    if (item.fn) {
+      item.fn();
+    }
+    state_ = CpuState::kIdle;
+    MaybeDispatch();
+  });
+}
+
+void CpuEngine::RunThread(Thread* t, bool fresh) {
+  state_ = CpuState::kProcessing;
+  running_ = t;
+  t->MarkRunning();
+  if (fresh) {
+    dispatch_used_ = 0;
+    kernel_->tracer().Record(simr_->now(), TraceKind::kDispatch, t->id(),
+                             t->binding().resource_binding()
+                                 ? t->binding().resource_binding()->id()
+                                 : 0,
+                             0);
+  }
+  while (true) {
+    if (t->cpu_demand > 0) {
+      if (dispatch_used_ >= costs_->quantum) {
+        // Quantum exhausted across syscall boundaries: re-arbitrate.
+        running_ = nullptr;
+        state_ = CpuState::kIdle;
+        t->MarkRunnable();
+        sched_->Enqueue(t, simr_->now());
+        MaybeDispatch();
+        return;
+      }
+      StartSlice(t);
+      return;
+    }
+    if (t->after_demand) {
+      auto fn = std::exchange(t->after_demand, nullptr);
+      fn();
+      if (t->state() == Thread::State::kBlocked) {
+        break;
+      }
+      continue;
+    }
+    if (t->pending_resume) {
+      auto h = std::exchange(t->pending_resume, nullptr);
+      h.resume();
+      if (t->program_finished) {
+        running_ = nullptr;
+        state_ = CpuState::kIdle;
+        kernel_->ReapThread(t);  // destroys t; may start nested dispatch
+        MaybeDispatch();
+        return;
+      }
+      if (t->yield_requested) {
+        t->yield_requested = false;
+        running_ = nullptr;
+        state_ = CpuState::kIdle;
+        t->MarkRunnable();
+        sched_->Enqueue(t, simr_->now());
+        MaybeDispatch();
+        return;
+      }
+      if (t->state() == Thread::State::kBlocked) {
+        break;
+      }
+      continue;
+    }
+    // A runnable thread must have demand, a deferred action, or a
+    // continuation; anything else is a bug in the syscall layer.
+    RC_CHECK(false);
+  }
+  // Blocked.
+  kernel_->tracer().Record(simr_->now(), TraceKind::kBlock, t->id(), 0, 0);
+  running_ = nullptr;
+  state_ = CpuState::kIdle;
+  MaybeDispatch();
+}
+
+void CpuEngine::StartSlice(Thread* t) {
+  const sim::Duration budget = costs_->quantum - dispatch_used_;
+  slice_work_ = std::min(t->cpu_demand, budget);
+  slice_overhead_ = (last_dispatched_ == t) ? 0 : costs_->context_switch;
+  last_dispatched_ = t;
+  slice_start_ = simr_->now();
+  state_ = CpuState::kSlice;
+  completion_ = simr_->After(slice_overhead_ + slice_work_, [this] { OnSliceComplete(); });
+}
+
+void CpuEngine::OnSliceComplete() {
+  RC_CHECK(state_ == CpuState::kSlice);
+  kernel_->tracer().Record(simr_->now(), TraceKind::kSlice, running_->id(),
+                           running_->binding().resource_binding()
+                               ? running_->binding().resource_binding()->id()
+                               : 0,
+                           slice_overhead_ + slice_work_);
+  SettleSlice(slice_overhead_ + slice_work_);
+  Thread* t = running_;
+  running_ = nullptr;
+  state_ = CpuState::kIdle;
+  if (t->cpu_demand > 0) {
+    // Quantum expired with demand remaining: back to the run queue.
+    t->MarkRunnable();
+    sched_->Enqueue(t, simr_->now());
+    MaybeDispatch();
+  } else {
+    // Demand met: continue the thread's zero-cost actions immediately (no
+    // preemption point inside a syscall). The quantum budget carries over.
+    RunThread(t, /*fresh=*/false);
+  }
+}
+
+void CpuEngine::PreemptSlice() {
+  RC_CHECK(state_ == CpuState::kSlice);
+  completion_.Cancel();
+  const sim::Duration consumed = simr_->now() - slice_start_;
+  kernel_->tracer().Record(simr_->now(), TraceKind::kPreempt, running_->id(),
+                           running_->binding().resource_binding()
+                               ? running_->binding().resource_binding()->id()
+                               : 0,
+                           consumed);
+  SettleSlice(consumed);
+  Thread* t = running_;
+  running_ = nullptr;
+  state_ = CpuState::kIdle;
+  t->MarkRunnable();
+  sched_->Enqueue(t, simr_->now());
+}
+
+void CpuEngine::SettleSlice(sim::Duration consumed) {
+  RC_CHECK(consumed >= 0);
+  busy_usec_ += consumed;
+  const sim::Duration overhead = std::min(consumed, slice_overhead_);
+  csw_usec_ += overhead;
+  const sim::Duration work = consumed - overhead;
+  dispatch_used_ += work;
+  if (work > 0) {
+    Thread* t = running_;
+    t->AddExecuted(work);
+    rc::ContainerRef target = t->binding().resource_binding();
+    RC_CHECK(target != nullptr);
+    kernel_->ChargeCpu(*target, work, t->demand_kind);
+    t->cpu_demand -= work;
+    RC_CHECK(t->cpu_demand >= 0);
+  }
+  slice_overhead_ = 0;
+  slice_work_ = 0;
+}
+
+void CpuEngine::ScheduleThrottleRetry() {
+  auto when = sched_->NextEligibleTime(simr_->now());
+  if (!when.has_value()) {
+    return;
+  }
+  const sim::SimTime target = std::max(*when, simr_->now() + 1);
+  if (retry_.pending() && retry_time_ <= target) {
+    return;
+  }
+  retry_.Cancel();
+  retry_time_ = target;
+  retry_ = simr_->At(target, [this] { Poke(); });
+}
+
+}  // namespace kernel

@@ -1,0 +1,116 @@
+// The simulated CPU.
+//
+// A single processor (matching the paper's uniprocessor server) executes, in
+// strict priority order:
+//   1. interrupt-level work (device interrupts, and in softint mode the full
+//      protocol processing) — always preempts threads;
+//   2. thread CPU slices, chosen by the pluggable CpuScheduler.
+//
+// Threads are coroutines that express CPU consumption as "demand"; the engine
+// slices demand by the scheduling quantum, charges each consumed microsecond
+// to the thread's current resource binding, and resumes the coroutine when
+// the demand is met.
+#ifndef SRC_KERNEL_CPU_ENGINE_H_
+#define SRC_KERNEL_CPU_ENGINE_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/kernel/cost_model.h"
+#include "src/kernel/scheduler.h"
+#include "src/kernel/thread.h"
+#include "src/rc/container.h"
+#include "src/sim/simulator.h"
+
+namespace kernel {
+
+class Kernel;
+
+class CpuEngine {
+ public:
+  CpuEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs);
+
+  void set_scheduler(CpuScheduler* sched) { sched_ = sched; }
+
+  // Queues interrupt-level work: `cost` microseconds consumed at interrupt
+  // priority, then `fn` applied. `charge_to` null means the time is machine
+  // interrupt overhead (charged to no principal, as in classic kernels);
+  // non-null charges the container (used for softint misaccounting, where
+  // the caller captured the "unlucky" principal at arrival time).
+  void QueueInterruptWork(sim::Duration cost, rc::ContainerRef charge_to,
+                          std::function<void()> fn);
+
+  // Something became runnable; dispatch if the CPU is idle.
+  void Poke();
+
+  // The thread currently on the CPU (nullptr during interrupts / idle).
+  Thread* running() const { return running_; }
+
+  // Container of the currently running thread, for unlucky-principal capture.
+  rc::ContainerRef CurrentContainer() const;
+
+  // --- Machine-wide accounting -------------------------------------------
+  sim::Duration interrupt_usec() const { return interrupt_usec_; }
+  sim::Duration context_switch_usec() const { return csw_usec_; }
+  sim::Duration busy_usec() const { return busy_usec_; }
+  // Idle time since engine creation (assumes creation at sim time start_).
+  sim::Duration idle_usec() const;
+
+ private:
+  enum class CpuState {
+    kIdle,
+    kInterrupt,   // consuming interrupt work cost
+    kSlice,       // consuming a thread slice
+    kProcessing,  // running zero-cost thread/interrupt actions
+  };
+
+  struct IrqItem {
+    sim::Duration cost;
+    rc::ContainerRef charge_to;
+    std::function<void()> fn;
+  };
+
+  void MaybeDispatch();
+  void StartInterrupt();
+  // `fresh` marks a new dispatch from the scheduler (resets the quantum
+  // budget); continuations after a completed slice keep the current budget.
+  void RunThread(Thread* t, bool fresh);
+  void StartSlice(Thread* t);
+  void OnSliceComplete();
+  void PreemptSlice();
+  // Accounts `consumed` microseconds of the current slice (overhead first,
+  // then work charged to the thread's binding).
+  void SettleSlice(sim::Duration consumed);
+  void ScheduleThrottleRetry();
+
+  sim::Simulator* const simr_;
+  Kernel* const kernel_;
+  const CostModel* const costs_;
+  CpuScheduler* sched_ = nullptr;
+
+  CpuState state_ = CpuState::kIdle;
+  std::deque<IrqItem> irq_queue_;
+
+  Thread* running_ = nullptr;
+  Thread* last_dispatched_ = nullptr;
+  // CPU consumed by the current dispatch; once it reaches a quantum the
+  // thread is re-queued so the scheduler can arbitrate, even if the thread
+  // keeps generating demand across syscall boundaries.
+  sim::Duration dispatch_used_ = 0;
+  sim::SimTime slice_start_ = 0;
+  sim::Duration slice_overhead_ = 0;
+  sim::Duration slice_work_ = 0;
+  sim::EventHandle completion_;
+
+  sim::EventHandle retry_;
+  sim::SimTime retry_time_ = 0;
+
+  const sim::SimTime start_;
+  sim::Duration interrupt_usec_ = 0;
+  sim::Duration csw_usec_ = 0;
+  sim::Duration busy_usec_ = 0;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_CPU_ENGINE_H_

@@ -1,0 +1,89 @@
+#include "src/kernel/decay_scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/kernel/thread.h"
+
+namespace kernel {
+
+void DecayUsageScheduler::Enqueue(Thread* t, sim::SimTime /*now*/) {
+  RC_CHECK(t->sched_cookie == nullptr);
+  t->sched_cookie = this;
+  run_queue_.push_back(t);
+}
+
+double DecayUsageScheduler::UsageOf(const Thread* t) const {
+  const rc::ContainerRef& principal = t->binding().resource_binding();
+  RC_CHECK(principal != nullptr);
+  auto it = usage_.find(principal->id());
+  return it == usage_.end() ? 0.0 : it->second;
+}
+
+Thread* DecayUsageScheduler::PickNext(sim::SimTime /*now*/) {
+  if (run_queue_.empty()) {
+    return nullptr;
+  }
+  // Lowest decayed usage wins; FIFO among equals (strict < keeps the first).
+  auto best = run_queue_.begin();
+  double best_usage = UsageOf(*best);
+  for (auto it = std::next(run_queue_.begin()); it != run_queue_.end(); ++it) {
+    const double u = UsageOf(*it);
+    if (u < best_usage) {
+      best = it;
+      best_usage = u;
+    }
+  }
+  Thread* t = *best;
+  run_queue_.erase(best);
+  t->sched_cookie = nullptr;
+  return t;
+}
+
+void DecayUsageScheduler::OnCharge(rc::ResourceContainer& c, sim::Duration usec,
+                                   sim::SimTime /*now*/) {
+  usage_[c.id()] += static_cast<double>(usec);
+}
+
+bool DecayUsageScheduler::ShouldPreempt(const Thread& running) const {
+  const double running_usage = UsageOf(&running);
+  for (const Thread* t : run_queue_) {
+    if (UsageOf(t) < running_usage) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DecayUsageScheduler::MigrateQueued(Thread* /*t*/, sim::SimTime /*now*/) {
+  // Single global run queue; the principal is re-read at pick time.
+}
+
+void DecayUsageScheduler::Remove(Thread* t) {
+  if (t->sched_cookie == nullptr) {
+    return;
+  }
+  run_queue_.erase(std::remove(run_queue_.begin(), run_queue_.end(), t), run_queue_.end());
+  t->sched_cookie = nullptr;
+}
+
+void DecayUsageScheduler::Tick(sim::SimTime /*now*/) {
+  for (auto& [id, u] : usage_) {
+    u *= decay_;
+  }
+}
+
+std::optional<sim::SimTime> DecayUsageScheduler::NextEligibleTime(sim::SimTime /*now*/) {
+  return std::nullopt;  // no throttling in the classic policy
+}
+
+void DecayUsageScheduler::OnContainerDestroyed(rc::ResourceContainer& c) {
+  usage_.erase(c.id());
+}
+
+double DecayUsageScheduler::DecayedUsage(const rc::ResourceContainer& c) const {
+  auto it = usage_.find(c.id());
+  return it == usage_.end() ? 0.0 : it->second;
+}
+
+}  // namespace kernel

@@ -1,0 +1,43 @@
+// Classic 4.3BSD-style decay-usage time sharing, with the process (its
+// default container) as the resource principal. This models the paper's
+// "unmodified system" and, combined with LRP packet charging, the "LRP
+// system".
+#ifndef SRC_KERNEL_DECAY_SCHEDULER_H_
+#define SRC_KERNEL_DECAY_SCHEDULER_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/kernel/scheduler.h"
+
+namespace kernel {
+
+class DecayUsageScheduler : public CpuScheduler {
+ public:
+  explicit DecayUsageScheduler(double decay_per_tick) : decay_(decay_per_tick) {}
+
+  void Enqueue(Thread* t, sim::SimTime now) override;
+  Thread* PickNext(sim::SimTime now) override;
+  void OnCharge(rc::ResourceContainer& c, sim::Duration usec, sim::SimTime now) override;
+  bool ShouldPreempt(const Thread& running) const override;
+  void MigrateQueued(Thread* t, sim::SimTime now) override;
+  void Remove(Thread* t) override;
+  void Tick(sim::SimTime now) override;
+  std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) override;
+  void OnContainerDestroyed(rc::ResourceContainer& c) override;
+  int runnable_count() const override { return static_cast<int>(run_queue_.size()); }
+
+  // Decayed CPU usage currently recorded against a principal (tests).
+  double DecayedUsage(const rc::ResourceContainer& c) const;
+
+ private:
+  double UsageOf(const Thread* t) const;
+
+  const double decay_;
+  std::unordered_map<rc::ContainerId, double> usage_;
+  std::deque<Thread*> run_queue_;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_DECAY_SCHEDULER_H_

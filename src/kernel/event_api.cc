@@ -1,0 +1,41 @@
+#include "src/kernel/event_api.h"
+
+#include <algorithm>
+
+namespace kernel {
+
+void EventChannel::Push(Event e, bool priority_order, bool dedupe) {
+  if (dedupe) {
+    for (const Event& p : pending_) {
+      if (p.fd == e.fd && p.kind == e.kind) {
+        return;
+      }
+    }
+  }
+  if (!priority_order || pending_.empty()) {
+    pending_.push_back(e);
+  } else {
+    // Insert after the last pending event with priority >= e.priority.
+    auto it = pending_.end();
+    while (it != pending_.begin() && std::prev(it)->priority < e.priority) {
+      --it;
+    }
+    pending_.insert(it, e);
+  }
+  if (waiter) {
+    auto w = std::move(waiter);
+    waiter = nullptr;
+    w();
+  }
+}
+
+std::vector<Event> EventChannel::Drain(int max) {
+  std::vector<Event> out;
+  while (!pending_.empty() && static_cast<int>(out.size()) < max) {
+    out.push_back(pending_.front());
+    pending_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace kernel

@@ -1,0 +1,41 @@
+#include "src/kernel/fd_table.h"
+
+#include <utility>
+
+namespace kernel {
+
+using rccommon::Errc;
+using rccommon::Expected;
+using rccommon::MakeUnexpected;
+
+int FdTable::Install(FdEntry entry) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (std::holds_alternative<std::monostate>(entries_[i])) {
+      entries_[i] = std::move(entry);
+      return static_cast<int>(i);
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(entries_.size() - 1);
+}
+
+Expected<FdEntry> FdTable::Remove(int fd) {
+  if (!IsValid(fd)) {
+    return MakeUnexpected(Errc::kNotFound);
+  }
+  FdEntry out = std::move(entries_[static_cast<std::size_t>(fd)]);
+  entries_[static_cast<std::size_t>(fd)] = std::monostate{};
+  return out;
+}
+
+int FdTable::open_count() const {
+  int n = 0;
+  for (const auto& e : entries_) {
+    if (!std::holds_alternative<std::monostate>(e)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace kernel

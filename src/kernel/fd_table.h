@@ -1,0 +1,56 @@
+// Per-process descriptor table. Containers are "visible to the application
+// as file descriptors" (Section 4.6) and share the descriptor space with
+// sockets, exactly as the prototype grafted them onto the UNIX fd space.
+#ifndef SRC_KERNEL_FD_TABLE_H_
+#define SRC_KERNEL_FD_TABLE_H_
+
+#include <variant>
+#include <vector>
+
+#include "src/common/expected.h"
+#include "src/net/socket.h"
+#include "src/rc/container.h"
+
+namespace kernel {
+
+using FdEntry = std::variant<std::monostate, rc::ContainerRef, net::ListenRef, net::ConnRef>;
+
+class FdTable {
+ public:
+  // Installs an entry at the lowest free descriptor (classic UNIX rule).
+  int Install(FdEntry entry);
+
+  bool IsValid(int fd) const {
+    return fd >= 0 && fd < static_cast<int>(entries_.size()) &&
+           !std::holds_alternative<std::monostate>(entries_[static_cast<std::size_t>(fd)]);
+  }
+
+  // Typed accessors; default-constructed (null) result when the descriptor
+  // is absent or of a different type.
+  template <typename T>
+  T Get(int fd) const {
+    if (!IsValid(fd)) {
+      return nullptr;
+    }
+    const auto* p = std::get_if<T>(&entries_[static_cast<std::size_t>(fd)]);
+    return p ? *p : nullptr;
+  }
+
+  const FdEntry* GetEntry(int fd) const {
+    return IsValid(fd) ? &entries_[static_cast<std::size_t>(fd)] : nullptr;
+  }
+
+  // Removes the entry, returning it so the caller can run type-specific
+  // teardown (socket close, container release).
+  rccommon::Expected<FdEntry> Remove(int fd);
+
+  int open_count() const;
+  int capacity() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  std::vector<FdEntry> entries_;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_FD_TABLE_H_

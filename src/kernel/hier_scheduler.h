@@ -1,0 +1,111 @@
+// The resource-container hierarchical scheduler (Sections 4.3, 4.5, 5.1).
+//
+// The container tree is the scheduling structure. At each tree level the
+// scheduler arbitrates with *stride scheduling* between
+//
+//   * each fixed-share child (weight = its guaranteed fraction), and
+//   * the set of time-share children, treated as ONE aggregate client whose
+//     weight is the residual fraction left by the fixed shares.
+//
+// Every CPU charge advances the charged client's "pass" by usec/weight; the
+// client with the minimum pass runs next. Clients (re)entering the runnable
+// set are clamped to the level's virtual time, so they get no credit for
+// idle periods. Aggregating the time-share children is essential for a busy
+// server: per-connection containers are created and destroyed thousands of
+// times per second, and per-container usage alone would make every fresh
+// container look cheapest, starving fixed-share siblings (the CGI sand-box)
+// of their guarantee.
+//
+// Within the time-share group, siblings are picked by decayed usage scaled
+// by numeric priority. Priority 0 is the starvation class (Section 4.8):
+// selected only when nothing positive-priority is runnable anywhere.
+//
+// CPU limits ("resource sand-box", Section 5.6): a container whose windowed
+// subtree usage exceeds attributes().cpu_limit is throttled until the window
+// ends.
+#ifndef SRC_KERNEL_HIER_SCHEDULER_H_
+#define SRC_KERNEL_HIER_SCHEDULER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "src/kernel/scheduler.h"
+#include "src/rc/manager.h"
+
+namespace kernel {
+
+class HierarchicalScheduler : public CpuScheduler {
+ public:
+  HierarchicalScheduler(rc::ContainerManager* manager, double decay_per_tick,
+                        sim::Duration limit_window);
+
+  void Enqueue(Thread* t, sim::SimTime now) override;
+  Thread* PickNext(sim::SimTime now) override;
+  void OnCharge(rc::ResourceContainer& c, sim::Duration usec, sim::SimTime now) override;
+  void MigrateQueued(Thread* t, sim::SimTime now) override;
+  void Remove(Thread* t) override;
+  void Tick(sim::SimTime now) override;
+  std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) override;
+  void OnContainerDestroyed(rc::ResourceContainer& c) override;
+  void OnContainerReparented(rc::ResourceContainer& child, rc::ResourceContainer* old_parent,
+                             rc::ResourceContainer* new_parent) override;
+  int runnable_count() const override { return total_runnable_; }
+
+  // Test hooks.
+  double DecayedUsage(const rc::ResourceContainer& c) const;
+  bool IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const;
+
+ private:
+  struct Node {
+    rc::ResourceContainer* container = nullptr;
+
+    double decayed = 0.0;  // decayed subtree CPU charge (time-share pick, stats)
+
+    // Stride state. For a fixed-share container: its own pass. As a parent:
+    // the aggregate pass and virtual time of its time-share children.
+    double pass = 0.0;
+    double tshare_pass = 0.0;
+    double vtime = 0.0;
+    int tshare_runnable_children = 0;
+
+    // CPU-limit window state.
+    sim::Duration window_usage = 0;
+    sim::SimTime window_start = 0;
+    sim::SimTime throttled_until = 0;
+
+    // Runnable threads queued at this node (leaves only, normally).
+    std::deque<Thread*> run_queue;
+    // Queued threads at or below this node.
+    int runnable = 0;
+  };
+
+  Node* NodeFor(rc::ResourceContainer& c);
+  Node* NodeForIfExists(const rc::ResourceContainer& c) const;
+  bool Throttled(const Node& n, sim::SimTime now) const {
+    return n.throttled_until > now;
+  }
+
+  // Residual weight left for the time-share group under `parent`.
+  static double ResidualWeight(const rc::ResourceContainer& parent);
+
+  // Arbitration at `parent`: the eligible child with minimal pass (stride),
+  // descending into the time-share group by decayed/priority. `allow_zero`
+  // admits priority-0 time-share children.
+  Node* PickChild(Node* parent, sim::SimTime now, bool allow_zero);
+
+  // One full descent; nullptr if nothing eligible under this policy pass.
+  Thread* Descend(sim::SimTime now, bool allow_zero);
+
+  void AdjustRunnable(rc::ResourceContainer* leaf, int delta);
+
+  rc::ContainerManager* const manager_;
+  const double decay_;
+  const sim::Duration limit_window_;
+  std::unordered_map<rc::ContainerId, std::unique_ptr<Node>> nodes_;
+  int total_runnable_ = 0;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_HIER_SCHEDULER_H_

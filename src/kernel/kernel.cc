@@ -1,0 +1,461 @@
+#include "src/kernel/kernel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/kernel/decay_scheduler.h"
+#include "src/kernel/hier_scheduler.h"
+#include "src/kernel/syscalls.h"
+
+namespace kernel {
+
+KernelConfig UnmodifiedSystemConfig() {
+  KernelConfig cfg;
+  cfg.net_mode = net::NetMode::kSoftint;
+  cfg.sched = SchedulerKind::kDecayUsage;
+  return cfg;
+}
+
+KernelConfig LrpSystemConfig() {
+  KernelConfig cfg;
+  cfg.net_mode = net::NetMode::kLrp;
+  cfg.sched = SchedulerKind::kDecayUsage;
+  return cfg;
+}
+
+KernelConfig ResourceContainerSystemConfig() {
+  KernelConfig cfg;
+  cfg.net_mode = net::NetMode::kResourceContainer;
+  cfg.sched = SchedulerKind::kHierarchical;
+  return cfg;
+}
+
+Kernel::Kernel(sim::Simulator* simulator, KernelConfig config)
+    : simr_(simulator), config_(config) {
+  switch (config_.sched) {
+    case SchedulerKind::kDecayUsage:
+      sched_ = std::make_unique<DecayUsageScheduler>(config_.costs.decay_per_tick);
+      break;
+    case SchedulerKind::kHierarchical:
+      sched_ = std::make_unique<HierarchicalScheduler>(
+          &containers_, config_.costs.decay_per_tick, config_.costs.limit_window);
+      break;
+  }
+  cpu_ = std::make_unique<CpuEngine>(simr_, this, &config_.costs);
+  cpu_->set_scheduler(sched_.get());
+  stack_ = std::make_unique<net::Stack>(this, config_.costs.ToStackCosts(),
+                                        config_.net_mode);
+  disk_ = std::make_unique<disk::DiskEngine>(simr_, config_.disk_costs);
+  containers_.AddDestroyObserver([this](rc::ResourceContainer& c) {
+    if (!shutting_down_) {
+      sched_->OnContainerDestroyed(c);
+    }
+  });
+  containers_.AddReparentObserver(
+      [this](rc::ResourceContainer& child, rc::ResourceContainer* old_parent,
+             rc::ResourceContainer* new_parent) {
+        if (!shutting_down_) {
+          sched_->OnContainerReparented(child, old_parent, new_parent);
+        }
+      });
+}
+
+Kernel::~Kernel() {
+  Stop();
+  shutting_down_ = true;
+  // Destroy processes (and their threads' container references) while the
+  // scheduler still exists.
+  processes_.clear();
+}
+
+void Kernel::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ScheduleTick();
+  SchedulePrune();
+}
+
+void Kernel::Stop() {
+  running_ = false;
+  tick_timer_.Cancel();
+  prune_timer_.Cancel();
+}
+
+void Kernel::ScheduleTick() {
+  tick_timer_ = simr_->After(config_.costs.decay_tick, [this] {
+    sched_->Tick(simr_->now());
+    if (running_) {
+      ScheduleTick();
+    }
+  });
+}
+
+void Kernel::SchedulePrune() {
+  prune_timer_ = simr_->After(config_.costs.binding_prune_interval, [this] {
+    const sim::SimTime t = simr_->now();
+    for (auto& [pid, proc] : processes_) {
+      for (auto& thread : proc->threads()) {
+        thread->binding().scheduler_binding().Prune(
+            t, config_.costs.binding_idle_threshold);
+      }
+    }
+    if (running_) {
+      SchedulePrune();
+    }
+  });
+}
+
+Process* Kernel::CreateProcess(std::string name, rc::ContainerRef default_container) {
+  if (!default_container) {
+    auto created = containers_.Create(nullptr, name);
+    RC_CHECK(created.ok());
+    default_container = *std::move(created);
+  }
+  const Pid pid = next_pid_++;
+  auto proc = std::make_unique<Process>(this, pid, std::move(name),
+                                        std::move(default_container));
+  Process* raw = proc.get();
+  processes_[pid] = std::move(proc);
+  return raw;
+}
+
+Thread* Kernel::SpawnThread(Process* process, std::string name,
+                            std::function<Program(Sys)> body) {
+  RC_CHECK(process != nullptr);
+  auto owned = std::make_unique<Thread>(this, process, next_tid_++, std::move(name));
+  Thread* t = owned.get();
+  t->binding().Bind(process->default_container(), now());
+  process->threads().push_back(std::move(owned));
+  process->mark_started();
+
+  // Keep the callable alive for the thread's lifetime: a coroutine lambda
+  // reads its captures through the lambda object itself.
+  auto stored = std::make_shared<std::function<Program(Sys)>>(std::move(body));
+  t->body_keepalive = [stored] {};
+  Program prog = (*stored)(Sys(this, t));
+  t->frame = prog.handle();
+  t->frame.promise().thread = t;
+  t->pending_resume = t->frame;  // first dispatch starts the body
+  t->MarkRunnable();
+  sched_->Enqueue(t, now());
+  cpu_->Poke();
+  return t;
+}
+
+void Kernel::ReapThread(Thread* t) {
+  tracer_.Record(simr_->now(), TraceKind::kExit, t->id(), 0, 0);
+  sched_->Remove(t);
+  Process* p = t->process();
+  p->reaped_executed_usec += t->executed_usec();
+  if (p->net_thread == t) {
+    p->net_thread = nullptr;
+  }
+  auto& threads = p->threads();
+  threads.erase(std::remove_if(threads.begin(), threads.end(),
+                               [t](const std::unique_ptr<Thread>& owned) {
+                                 return owned.get() == t;
+                               }),
+                threads.end());
+  if (p->zombie()) {
+    const Pid pid = p->pid();
+    const bool auto_reap = p->auto_reap;
+    auto watchers = std::move(p->exit_watchers);
+    p->exit_watchers.clear();
+    for (auto& w : watchers) {
+      w();
+    }
+    if (auto_reap) {
+      ReapProcess(pid);  // may already be gone if a watcher reaped it
+    }
+  }
+}
+
+Process* Kernel::FindProcess(Pid pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+void Kernel::ReapProcess(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it != processes_.end() && it->second->zombie()) {
+    reaped_executed_by_name_[it->second->name()] += it->second->TotalExecutedUsec();
+    select_waiters_.erase(it->second.get());
+    processes_.erase(it);
+  }
+}
+
+void Kernel::ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind) {
+  c.ChargeCpu(usec, kind);
+  sched_->OnCharge(c, usec, simr_->now());
+}
+
+sim::Duration Kernel::TotalChargedCpuUsec() const {
+  return containers_.root()->SubtreeUsage().TotalCpuUsec();
+}
+
+sim::Duration Kernel::ExecutedUsecForName(const std::string& name) const {
+  sim::Duration total = 0;
+  auto it = reaped_executed_by_name_.find(name);
+  if (it != reaped_executed_by_name_.end()) {
+    total += it->second;
+  }
+  for (const auto& [pid, proc] : processes_) {
+    if (proc->name() == name) {
+      total += proc->TotalExecutedUsec();
+    }
+  }
+  return total;
+}
+
+void Kernel::DeliverFromWire(const net::Packet& p) {
+  // Softint misaccounting: protocol processing will be charged to whoever is
+  // running right now (captured here, at device-interrupt time).
+  rc::ContainerRef unlucky;
+  sim::Duration irq_cost = config_.costs.irq_overhead;
+  if (config_.net_mode == net::NetMode::kSoftint) {
+    unlucky = cpu_->CurrentContainer();
+  } else {
+    irq_cost += config_.costs.packet_filter;  // early demux at interrupt level
+  }
+  cpu_->QueueInterruptWork(irq_cost, nullptr, [this, p, unlucky] {
+    auto work = stack_->HandleArrival(p);
+    if (work.has_value()) {
+      // Softint mode: protocol processing runs now, at interrupt priority.
+      rc::ContainerRef charge = work->charge_to ? work->charge_to : unlucky;
+      cpu_->QueueInterruptWork(work->cost, std::move(charge), std::move(work->apply));
+    }
+  });
+}
+
+// --- Syscall-layer plumbing --------------------------------------------
+
+void Kernel::AddAcceptWaiter(net::ListenSocket* ls, std::function<bool()> waiter) {
+  accept_waiters_[ls].push_back(std::move(waiter));
+}
+
+void Kernel::AddConnWaiter(net::Connection* conn, std::function<bool()> waiter) {
+  conn_waiters_[conn].push_back(std::move(waiter));
+}
+
+void Kernel::AddSelectWaiter(Process* proc, std::function<bool()> waiter) {
+  select_waiters_[proc].push_back(std::move(waiter));
+}
+
+void Kernel::SetNetWorkWaiter(std::uint64_t owner_tag, std::function<void()> waiter) {
+  net_work_waiters_[owner_tag] = std::move(waiter);
+}
+
+void Kernel::AddProcessExitWaiter(Pid pid, std::function<void()> waiter) {
+  Process* p = FindProcess(pid);
+  RC_CHECK(p != nullptr);
+  p->exit_watchers.push_back(std::move(waiter));
+}
+
+bool Kernel::IsFdReady(Process& proc, int fd) const {
+  const FdEntry* entry = proc.fds().GetEntry(fd);
+  if (entry == nullptr) {
+    return false;
+  }
+  if (const auto* ls = std::get_if<net::ListenRef>(entry)) {
+    for (const auto& conn : (*ls)->accept_queue()) {
+      if (!conn->torn_down()) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (const auto* conn = std::get_if<net::ConnRef>(entry)) {
+    return (*conn)->has_data() || (*conn)->peer_closed() || (*conn)->torn_down();
+  }
+  return false;
+}
+
+void Kernel::DrainAcceptWaiters(net::ListenSocket* ls) {
+  auto it = accept_waiters_.find(ls);
+  if (it == accept_waiters_.end()) {
+    return;
+  }
+  auto waiters = std::move(it->second);
+  accept_waiters_.erase(it);
+  for (auto& w : waiters) {
+    w();  // each waiter re-checks; on a closed socket it completes with error
+  }
+}
+
+void Kernel::EnsureNetThread(Process* proc) {
+  if (config_.net_mode == net::NetMode::kSoftint || proc->net_thread != nullptr) {
+    return;
+  }
+  const std::uint64_t owner = proc->pid();
+  proc->net_thread = SpawnThread(proc, "knet", [this, owner](Sys sys) {
+    return NetThreadBody(sys, owner);
+  });
+}
+
+Program Kernel::NetThreadBody(Sys sys, std::uint64_t owner_tag) {
+  Thread* t = sys.thread();
+  for (;;) {
+    auto work = stack_->NextPendingWork(owner_tag);
+    if (!work.has_value()) {
+      // Block until the stack queues more work for this process.
+      co_await Sys::BlockingAwaiter<bool>{
+          t, 0, rc::CpuKind::kNetwork,
+          [this, t, owner_tag](std::optional<bool>* slot) -> bool {
+            if (stack_->HasPendingWork(owner_tag)) {
+              slot->emplace(true);
+              return true;
+            }
+            SetNetWorkWaiter(owner_tag, [t, slot] {
+              slot->emplace(true);
+              t->Unblock();
+            });
+            return false;
+          }};
+      continue;
+    }
+    // Charge (and schedule) this packet's processing in the context of the
+    // container it belongs to (Section 4.7).
+    rc::ContainerRef target =
+        work->charge_to ? work->charge_to : t->process()->default_container();
+    t->binding().Bind(target, simr_->now());
+    t->set_sched_hint(target);
+    co_await Sys::ComputeAwaiter{t, work->cost, rc::CpuKind::kNetwork};
+    work->apply();
+  }
+}
+
+// --- SYN-drop monitor -----------------------------------------------------
+
+Kernel::SynDropReport Kernel::TakeSynDrops(net::ListenSocket* ls) {
+  SynDropReport report;
+  auto it = syn_drops_.find(ls);
+  if (it == syn_drops_.end()) {
+    return report;
+  }
+  for (const auto& [prefix, count] : it->second) {
+    report.total += count;
+    report.sources.push_back(SynDropSource{net::Addr{prefix}, count});
+  }
+  std::sort(report.sources.begin(), report.sources.end(),
+            [](const SynDropSource& a, const SynDropSource& b) {
+              return a.drops > b.drops;
+            });
+  syn_drops_.erase(it);
+  return report;
+}
+
+// --- net::StackEnv ----------------------------------------------------------
+
+int Kernel::EventPriorityFor(const rc::ContainerRef& c) const {
+  if (config_.net_mode != net::NetMode::kResourceContainer || !c) {
+    return 0;
+  }
+  return c->attributes().EffectiveNetworkPriority();
+}
+
+void Kernel::EmitToWire(net::Packet p) {
+  if (wire_sink_) {
+    wire_sink_(p);
+  }
+}
+
+void Kernel::WakeAcceptors(net::ListenSocket& ls) {
+  auto it = accept_waiters_.find(&ls);
+  if (it != accept_waiters_.end() && !it->second.empty()) {
+    auto fn = std::move(it->second.front());
+    it->second.pop_front();
+    if (!fn()) {
+      it->second.push_front(std::move(fn));
+    }
+  }
+  Process* p = FindProcess(ls.owner_tag());
+  if (p != nullptr) {
+    if (auto fd = p->events().FdFor(&ls)) {
+      p->events().Push(Event{*fd, Event::Kind::kAcceptReady,
+                             EventPriorityFor(ls.container())},
+                       config_.net_mode == net::NetMode::kResourceContainer);
+    }
+    WakeSelectWaiters(*p);
+  }
+}
+
+void Kernel::WakeConnection(net::Connection& conn) {
+  auto it = conn_waiters_.find(&conn);
+  if (it != conn_waiters_.end() && !it->second.empty()) {
+    auto fn = std::move(it->second.front());
+    it->second.pop_front();
+    if (!fn()) {
+      it->second.push_front(std::move(fn));
+    }
+  }
+  Process* p = FindProcess(conn.owner_tag());
+  if (p != nullptr) {
+    if (auto fd = p->events().FdFor(&conn)) {
+      const Event::Kind kind =
+          conn.has_data() ? Event::Kind::kDataReady : Event::Kind::kConnClosed;
+      p->events().Push(Event{*fd, kind, EventPriorityFor(conn.container())},
+                       config_.net_mode == net::NetMode::kResourceContainer);
+    }
+    WakeSelectWaiters(*p);
+  }
+}
+
+void Kernel::WakeSelectWaiters(Process& proc) {
+  auto it = select_waiters_.find(&proc);
+  if (it == select_waiters_.end()) {
+    return;
+  }
+  auto& waiters = it->second;
+  waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                               [](std::function<bool()>& w) { return w(); }),
+                waiters.end());
+}
+
+void Kernel::NotifyPendingNetWork(std::uint64_t owner_tag) {
+  Process* p = FindProcess(owner_tag);
+  if (p == nullptr || p->net_thread == nullptr) {
+    return;
+  }
+  Thread* nt = p->net_thread;
+  rc::ContainerRef top = stack_->PeekPendingContainer(owner_tag);
+  if (!top) {
+    return;
+  }
+  if (nt->state() == Thread::State::kBlocked) {
+    nt->set_sched_hint(top);
+    auto it = net_work_waiters_.find(owner_tag);
+    if (it != net_work_waiters_.end()) {
+      auto fn = std::move(it->second);
+      net_work_waiters_.erase(it);
+      fn();
+    }
+    return;
+  }
+  if (nt->state() == Thread::State::kRunnable && nt->sched_cookie != nullptr) {
+    // Re-queue the network thread under the new top container when that
+    // raises its effective priority (scheduler-binding effect, Section 4.3).
+    const rc::ContainerRef& cur = nt->sched_hint();
+    const int cur_prio = cur ? cur->attributes().EffectiveNetworkPriority() : 0;
+    if (top->attributes().EffectiveNetworkPriority() > cur_prio) {
+      nt->set_sched_hint(top);
+      sched_->MigrateQueued(nt, simr_->now());
+    }
+  }
+}
+
+void Kernel::OnSynDrop(net::ListenSocket& ls, net::Addr source) {
+  syn_drops_[&ls][source.v & 0xffffff00u] += 1;
+  Process* p = FindProcess(ls.owner_tag());
+  if (p != nullptr) {
+    if (auto fd = p->events().FdFor(&ls)) {
+      p->events().Push(Event{*fd, Event::Kind::kSynDrop, 0},
+                       config_.net_mode == net::NetMode::kResourceContainer,
+                       /*dedupe=*/true);
+    }
+  }
+}
+
+}  // namespace kernel

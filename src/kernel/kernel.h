@@ -1,0 +1,204 @@
+// The simulated monolithic kernel: ties together the container manager, the
+// CPU engine and scheduler, the TCP/IP stack, processes and syscalls. One
+// Kernel instance is one simulated machine.
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/disk/disk_engine.h"
+#include "src/kernel/cost_model.h"
+#include "src/kernel/cpu_engine.h"
+#include "src/kernel/process.h"
+#include "src/kernel/scheduler.h"
+#include "src/kernel/thread.h"
+#include "src/kernel/trace.h"
+#include "src/net/stack.h"
+#include "src/rc/manager.h"
+#include "src/sim/simulator.h"
+
+namespace kernel {
+
+class Sys;
+
+enum class SchedulerKind {
+  kDecayUsage,    // classic process-centric time sharing
+  kHierarchical,  // resource containers as principals
+};
+
+struct KernelConfig {
+  net::NetMode net_mode = net::NetMode::kSoftint;
+  SchedulerKind sched = SchedulerKind::kDecayUsage;
+  CostModel costs;
+  disk::DiskCosts disk_costs;
+};
+
+// Canonical configurations matching the paper's four evaluated systems.
+KernelConfig UnmodifiedSystemConfig();        // softint + decay usage
+KernelConfig LrpSystemConfig();               // LRP charging + decay usage
+KernelConfig ResourceContainerSystemConfig(); // RC charging + hierarchical
+
+class Kernel : public net::StackEnv {
+ public:
+  Kernel(sim::Simulator* simulator, KernelConfig config);
+  ~Kernel() override;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  sim::Simulator& simulator() { return *simr_; }
+  rc::ContainerManager& containers() { return containers_; }
+  net::Stack& stack() { return *stack_; }
+  disk::DiskEngine& disk() { return *disk_; }
+  CpuEngine& cpu() { return *cpu_; }
+  CpuScheduler& scheduler() { return *sched_; }
+  const CostModel& costs() const { return config_.costs; }
+  Tracer& tracer() { return tracer_; }
+  const KernelConfig& config() const { return config_; }
+  sim::SimTime now() const { return simr_->now(); }
+
+  // Starts periodic housekeeping (scheduler decay ticks, scheduler-binding
+  // pruning). Call once before running the simulation.
+  void Start();
+  // Cancels periodic timers so the simulator can drain.
+  void Stop();
+
+  // --- Processes and threads ---------------------------------------------
+
+  // Creates a process. When `default_container` is null a fresh top-level
+  // container named after the process is created (the classic model: one
+  // resource principal per process).
+  Process* CreateProcess(std::string name, rc::ContainerRef default_container = nullptr);
+
+  // Spawns a thread running `body`; the thread starts bound to the process's
+  // default container.
+  Thread* SpawnThread(Process* process, std::string name,
+                      std::function<Program(Sys)> body);
+
+  // Destroys a finished thread; fires process-exit watchers when it was the
+  // last one.
+  void ReapThread(Thread* t);
+
+  Process* FindProcess(Pid pid);
+  // Removes a zombie process (after WaitProcess observed it).
+  void ReapProcess(Pid pid);
+
+  std::size_t process_count() const { return processes_.size(); }
+
+  // --- Accounting ----------------------------------------------------------
+
+  // Charges `usec` of CPU to `c` and informs the scheduler (feedback).
+  void ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind);
+
+  // Total CPU charged to any container (root subtree).
+  sim::Duration TotalChargedCpuUsec() const;
+
+  // Wall CPU actually executed by threads of all processes with this name
+  // (live and reaped). Ground truth for per-process-class CPU shares
+  // (Figure 13), independent of which container the time was charged to.
+  sim::Duration ExecutedUsecForName(const std::string& name) const;
+
+  // --- Wire ----------------------------------------------------------------
+
+  // Packet arrival from the network; raises the device interrupt.
+  void DeliverFromWire(const net::Packet& p);
+
+  // Outbound packets are handed to this sink (installed by the workload).
+  void set_wire_sink(std::function<void(const net::Packet&)> sink) {
+    wire_sink_ = std::move(sink);
+  }
+
+  // --- Syscall-layer plumbing (used by Sys awaitables) ---------------------
+
+  // Waiters return true when they completed and should be removed.
+  void AddAcceptWaiter(net::ListenSocket* ls, std::function<bool()> waiter);
+  void AddConnWaiter(net::Connection* conn, std::function<bool()> waiter);
+  void AddSelectWaiter(Process* proc, std::function<bool()> waiter);
+  void SetNetWorkWaiter(std::uint64_t owner_tag, std::function<void()> waiter);
+  void AddProcessExitWaiter(Pid pid, std::function<void()> waiter);
+
+  // select()-style readiness for a descriptor.
+  bool IsFdReady(Process& proc, int fd) const;
+
+  // Ensures the per-process kernel network thread exists (LRP/RC modes).
+  void EnsureNetThread(Process* proc);
+
+  // Drains (and runs) all accept waiters of `ls` — used when the listen
+  // socket closes so blocked acceptors observe the closure instead of
+  // hanging.
+  void DrainAcceptWaiters(net::ListenSocket* ls);
+
+  // --- SYN-drop monitor (Section 5.7) --------------------------------------
+
+  struct SynDropSource {
+    net::Addr prefix;  // /24 prefix of the offending source
+    std::uint64_t drops = 0;
+  };
+  struct SynDropReport {
+    std::uint64_t total = 0;
+    std::vector<SynDropSource> sources;  // sorted by drops, descending
+  };
+  // Snapshot-and-clear of drop counts on a listen socket.
+  SynDropReport TakeSynDrops(net::ListenSocket* ls);
+
+  // --- net::StackEnv --------------------------------------------------------
+  void EmitToWire(net::Packet p) override;
+  void WakeAcceptors(net::ListenSocket& ls) override;
+  void WakeConnection(net::Connection& conn) override;
+  void NotifyPendingNetWork(std::uint64_t owner_tag) override;
+  void OnSynDrop(net::ListenSocket& ls, net::Addr source) override;
+
+ private:
+  friend class Sys;
+
+  void ScheduleTick();
+  void SchedulePrune();
+  void WakeSelectWaiters(Process& proc);
+  int EventPriorityFor(const rc::ContainerRef& c) const;
+  Program NetThreadBody(Sys sys, std::uint64_t owner_tag);
+
+  sim::Simulator* const simr_;
+  KernelConfig config_;
+  rc::ContainerManager containers_;
+  std::unique_ptr<CpuScheduler> sched_;
+  std::unique_ptr<CpuEngine> cpu_;
+  std::unique_ptr<net::Stack> stack_;
+  std::unique_ptr<disk::DiskEngine> disk_;
+  Tracer tracer_;
+
+  std::function<void(const net::Packet&)> wire_sink_;
+
+  Pid next_pid_ = 1;
+  ThreadId next_tid_ = 1;
+  std::unordered_map<Pid, std::unique_ptr<Process>> processes_;
+
+  std::unordered_map<const net::ListenSocket*, std::deque<std::function<bool()>>>
+      accept_waiters_;
+  std::unordered_map<const net::Connection*, std::deque<std::function<bool()>>>
+      conn_waiters_;
+  std::unordered_map<const Process*, std::vector<std::function<bool()>>> select_waiters_;
+  std::unordered_map<std::uint64_t, std::function<void()>> net_work_waiters_;
+
+  std::unordered_map<const net::ListenSocket*,
+                     std::unordered_map<std::uint32_t, std::uint64_t>>
+      syn_drops_;
+
+  std::unordered_map<std::string, sim::Duration> reaped_executed_by_name_;
+
+  sim::EventHandle tick_timer_;
+  sim::EventHandle prune_timer_;
+  bool running_ = false;
+  // Set during destruction: container-destroy observers must not call into
+  // the scheduler, which is torn down before the container manager.
+  bool shutting_down_ = false;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,28 @@
+#include "src/kernel/process.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace kernel {
+
+Process::Process(Kernel* kernel, Pid pid, std::string name,
+                 rc::ContainerRef default_container)
+    : kernel_(kernel),
+      pid_(pid),
+      name_(std::move(name)),
+      default_container_(std::move(default_container)) {
+  RC_CHECK(default_container_ != nullptr);
+}
+
+Process::~Process() = default;
+
+sim::Duration Process::TotalExecutedUsec() const {
+  sim::Duration total = reaped_executed_usec;
+  for (const auto& t : threads_) {
+    total += t->executed_usec();
+  }
+  return total;
+}
+
+}  // namespace kernel

@@ -1,0 +1,80 @@
+// A process: the protection domain. Owns a descriptor table, threads, an
+// event channel, and a *default resource container* — the paper's bridge
+// between the classic process-centric world (where the default container is
+// the only principal a process ever has) and the container world.
+#ifndef SRC_KERNEL_PROCESS_H_
+#define SRC_KERNEL_PROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/event_api.h"
+#include "src/kernel/fd_table.h"
+#include "src/kernel/thread.h"
+#include "src/rc/container.h"
+
+namespace kernel {
+
+class Kernel;
+
+using Pid = std::uint64_t;
+
+class Process {
+ public:
+  Process(Kernel* kernel, Pid pid, std::string name, rc::ContainerRef default_container);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  Pid pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  Kernel* kernel() const { return kernel_; }
+
+  // The container new threads are bound to, and the classic-mode principal.
+  const rc::ContainerRef& default_container() const { return default_container_; }
+
+  FdTable& fds() { return fds_; }
+  EventChannel& events() { return events_; }
+
+  std::vector<std::unique_ptr<Thread>>& threads() { return threads_; }
+
+  // True once every thread has finished and been reaped.
+  bool zombie() const { return started_ && threads_.empty(); }
+  void mark_started() { started_ = true; }
+
+  // The per-process kernel network thread (LRP/RC modes; Section 5.1: "a
+  // per-process kernel thread is used to perform processing of network
+  // packets"). Owned by threads_; null in softint mode.
+  Thread* net_thread = nullptr;
+
+  // Callbacks fired when the process becomes a zombie (WaitProcess).
+  std::vector<std::function<void()>> exit_watchers;
+
+  // Reap automatically when the last thread exits (detached processes).
+  bool auto_reap = false;
+
+  // Wall CPU executed by already-reaped threads.
+  sim::Duration reaped_executed_usec = 0;
+
+  // Total wall CPU actually executed by this process's threads (live +
+  // reaped) — ground truth for Figure 13, independent of charging.
+  sim::Duration TotalExecutedUsec() const;
+
+ private:
+  Kernel* const kernel_;
+  const Pid pid_;
+  const std::string name_;
+  rc::ContainerRef default_container_;
+  FdTable fds_;
+  EventChannel events_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  bool started_ = false;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_PROCESS_H_

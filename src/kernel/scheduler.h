@@ -1,0 +1,79 @@
+// CPU scheduler interface. Two implementations:
+//   DecayUsageScheduler        — classic process-centric time sharing
+//                                (the "unmodified" and "LRP" systems)
+//   HierarchicalScheduler      — resource containers as principals, with
+//                                fixed shares, CPU limits, and priorities
+//                                (the "RC" system, Section 4.3 / 5.1)
+#ifndef SRC_KERNEL_SCHEDULER_H_
+#define SRC_KERNEL_SCHEDULER_H_
+
+#include <optional>
+
+#include "src/rc/container.h"
+#include "src/sim/time.h"
+
+namespace kernel {
+
+class Thread;
+
+class CpuScheduler {
+ public:
+  virtual ~CpuScheduler() = default;
+
+  // Adds a runnable thread to the run queue (keyed by its sched_hint leaf).
+  virtual void Enqueue(Thread* t, sim::SimTime now) = 0;
+
+  // Picks and removes the next thread to run; nullptr when nothing is
+  // eligible (idle, or all runnable work is throttled).
+  virtual Thread* PickNext(sim::SimTime now) = 0;
+
+  // Records a CPU charge against `c` (and, for hierarchical policies, its
+  // ancestors). Called for every consumed slice, including misaccounted
+  // softint charges — that is precisely how the paper's "unlucky process"
+  // effect feeds back into scheduling.
+  virtual void OnCharge(rc::ResourceContainer& c, sim::Duration usec,
+                        sim::SimTime now) = 0;
+
+  // Moves an already-queued thread to a new leaf (used when the kernel
+  // network thread's highest-priority pending container changes). No-op if
+  // the thread is not currently queued.
+  virtual void MigrateQueued(Thread* t, sim::SimTime now) = 0;
+
+  // Removes a thread from any run queue (exit while queued).
+  virtual void Remove(Thread* t) = 0;
+
+  // True when a queued thread should preempt `running` immediately (wakeup
+  // preemption, as in the BSD-derived schedulers the paper builds on).
+  // Default: rely on quantum-granularity re-arbitration only.
+  virtual bool ShouldPreempt(const Thread& running) const {
+    (void)running;
+    return false;
+  }
+
+  // Periodic usage decay.
+  virtual void Tick(sim::SimTime now) = 0;
+
+  // When PickNext() returned nullptr while throttled work exists: the time
+  // at which a throttled container becomes eligible again.
+  virtual std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) = 0;
+
+  // Drops scheduler state for a destroyed container.
+  virtual void OnContainerDestroyed(rc::ResourceContainer& c) = 0;
+
+  // Keeps hierarchical bookkeeping (runnable counts) consistent when a
+  // container moves in the tree. Default: no-op.
+  virtual void OnContainerReparented(rc::ResourceContainer& child,
+                                     rc::ResourceContainer* old_parent,
+                                     rc::ResourceContainer* new_parent) {
+    (void)child;
+    (void)old_parent;
+    (void)new_parent;
+  }
+
+  // Number of runnable threads currently queued (diagnostics).
+  virtual int runnable_count() const = 0;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_SCHEDULER_H_

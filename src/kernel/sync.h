@@ -1,0 +1,57 @@
+// A counting semaphore for simulated threads (used e.g. by the
+// process-per-connection server's master/worker hand-off).
+#ifndef SRC_KERNEL_SYNC_H_
+#define SRC_KERNEL_SYNC_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/kernel/syscalls.h"
+
+namespace kernel {
+
+class Semaphore {
+ public:
+  explicit Semaphore(int initial = 0) : count_(initial) {}
+
+  // Releases one unit; wakes the longest-waiting thread, if any.
+  void Post() {
+    if (!waiters_.empty()) {
+      auto w = std::move(waiters_.front());
+      waiters_.pop_front();
+      w();
+      return;
+    }
+    ++count_;
+  }
+
+  // Awaitable acquire for the thread behind `sys`.
+  Sys::BlockingAwaiter<bool> Wait(const Sys& sys) {
+    Thread* t = sys.thread();
+    Semaphore* self = this;
+    auto start = [self, t](std::optional<bool>* slot) -> bool {
+      if (self->count_ > 0) {
+        --self->count_;
+        slot->emplace(true);
+        return true;
+      }
+      self->waiters_.push_back([t, slot] {
+        slot->emplace(true);
+        t->Unblock();
+      });
+      return false;
+    };
+    return {t, sys.kernel().costs().syscall_base, rc::CpuKind::kKernel, std::move(start)};
+  }
+
+  int count() const { return count_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  int count_;
+  std::deque<std::function<void()>> waiters_;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_SYNC_H_

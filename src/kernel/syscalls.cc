@@ -1,0 +1,645 @@
+#include "src/kernel/syscalls.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace kernel {
+
+using rccommon::Errc;
+using rccommon::Expected;
+using rccommon::MakeUnexpected;
+
+Sys::BlockingAwaiter<bool> Sys::Sleep(sim::Duration usec) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto start = [k, t, usec](std::optional<bool>* slot) -> bool {
+    k->simulator().After(usec, [t, slot] {
+      slot->emplace(true);
+      t->Unblock();
+    });
+    return false;
+  };
+  return {thread_, kernel_->costs().syscall_base, rc::CpuKind::kKernel, std::move(start)};
+}
+
+Sys::BlockingAwaiter<bool> Sys::ReadDisk(std::uint64_t block_kb, std::uint32_t kb) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto start = [k, t, block_kb, kb](std::optional<bool>* slot) -> bool {
+    disk::IoRequest req;
+    req.block_kb = block_kb;
+    req.kb = kb;
+    req.container = t->binding().resource_binding();
+    req.done = [t, slot] {
+      slot->emplace(true);
+      t->Unblock();
+    };
+    k->disk().Submit(std::move(req));
+    return false;
+  };
+  return {thread_, kernel_->costs().syscall_base, rc::CpuKind::kKernel, std::move(start)};
+}
+
+Sys::ActionAwaiter<Expected<int>> Sys::CreateContainer(std::string name,
+                                                       const rc::Attributes& attrs,
+                                                       int parent_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, name = std::move(name), attrs, parent_fd]() -> Expected<int> {
+    rc::ContainerRef parent;  // null => top level
+    if (parent_fd >= 0) {
+      parent = t->process()->fds().Get<rc::ContainerRef>(parent_fd);
+      if (!parent) {
+        return MakeUnexpected(Errc::kNotFound);
+      }
+    }
+    auto created = k->containers().Create(parent, name, attrs);
+    if (!created.ok()) {
+      return MakeUnexpected(created.error());
+    }
+    return t->process()->fds().Install(*std::move(created));
+  };
+  return {thread_, kernel_->costs().container_create, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::CloseFd(int fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  // Cost is type-dependent: closing a connection includes protocol
+  // teardown; releasing a container descriptor is a Table 1 primitive.
+  sim::Duration cost = k->costs().close_syscall;
+  if (t->process()->fds().Get<net::ConnRef>(fd)) {
+    cost += k->costs().teardown;
+  } else if (t->process()->fds().Get<rc::ContainerRef>(fd)) {
+    cost = k->costs().container_destroy;
+  }
+  auto action = [k, t, fd]() -> Expected<void> {
+    auto removed = t->process()->fds().Remove(fd);
+    if (!removed.ok()) {
+      return MakeUnexpected(removed.error());
+    }
+    if (auto* conn = std::get_if<net::ConnRef>(&*removed)) {
+      k->stack().Close(**conn);
+    } else if (auto* ls = std::get_if<net::ListenRef>(&*removed)) {
+      k->stack().CloseListen(*ls);
+      k->DrainAcceptWaiters(ls->get());
+    }
+    // Containers: dropping the descriptor reference suffices; destruction
+    // happens when the last reference (descriptor or binding) goes away.
+    return {};
+  };
+  return {thread_, cost, rc::CpuKind::kKernel, std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::ReleaseFd(int fd) {
+  Thread* t = thread_;
+  auto action = [t, fd]() -> Expected<void> {
+    auto removed = t->process()->fds().Remove(fd);
+    if (!removed.ok()) {
+      return MakeUnexpected(removed.error());
+    }
+    return {};
+  };
+  return {thread_, kernel_->costs().close_syscall, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<int>> Sys::PassFd(Pid target, int fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, target, fd]() -> Expected<int> {
+    const FdEntry* entry = t->process()->fds().GetEntry(fd);
+    if (entry == nullptr) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    Process* other = k->FindProcess(target);
+    if (other == nullptr) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    return other->fds().Install(*entry);
+  };
+  return {thread_, kernel_->costs().container_move, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::BindThread(int container_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, container_fd]() -> Expected<void> {
+    rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    if (!c->IsLeaf()) {
+      return MakeUnexpected(Errc::kNotLeaf);  // prototype rule (Section 5.1)
+    }
+    t->binding().Bind(c, k->now());
+    t->set_sched_hint(nullptr);  // follow the resource binding again
+    return {};
+  };
+  return {thread_, kernel_->costs().container_bind_thread, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<bool> Sys::ResetSchedulerBinding() {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t]() -> bool {
+    t->binding().ResetSchedulerBinding(k->now());
+    return true;
+  };
+  return {thread_, kernel_->costs().container_bind_thread, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<rc::ResourceUsage>> Sys::GetUsage(int container_fd) {
+  Thread* t = thread_;
+  auto action = [t, container_fd]() -> Expected<rc::ResourceUsage> {
+    rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    return c->usage();
+  };
+  return {thread_, kernel_->costs().container_get_usage, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<rc::ResourceUsage>> Sys::GetSubtreeUsage(int container_fd) {
+  Thread* t = thread_;
+  auto action = [t, container_fd]() -> Expected<rc::ResourceUsage> {
+    rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    return c->SubtreeUsage();
+  };
+  return {thread_, kernel_->costs().container_get_usage, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<rc::Attributes>> Sys::GetAttributes(int container_fd) {
+  Thread* t = thread_;
+  auto action = [t, container_fd]() -> Expected<rc::Attributes> {
+    rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    return c->attributes();
+  };
+  return {thread_, kernel_->costs().container_set_attr, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::SetAttributes(int container_fd,
+                                                      const rc::Attributes& attrs) {
+  Thread* t = thread_;
+  auto action = [t, container_fd, attrs]() -> Expected<void> {
+    rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    return c->SetAttributes(attrs);
+  };
+  return {thread_, kernel_->costs().container_set_attr, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::SetContainerParent(int container_fd,
+                                                           int parent_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, container_fd, parent_fd]() -> Expected<void> {
+    rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    rc::ContainerRef parent;
+    if (parent_fd >= 0) {
+      parent = t->process()->fds().Get<rc::ContainerRef>(parent_fd);
+      if (!parent) {
+        return MakeUnexpected(Errc::kNotFound);
+      }
+    }
+    return k->containers().SetParent(c, parent);
+  };
+  return {thread_, kernel_->costs().container_set_attr, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<int>> Sys::PassContainer(Pid target, int container_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, target, container_fd]() -> Expected<int> {
+    rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    Process* other = k->FindProcess(target);
+    if (other == nullptr) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    return other->fds().Install(c);  // sender retains its descriptor
+  };
+  return {thread_, kernel_->costs().container_move, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<int>> Sys::GetContainerHandle(rc::ContainerId id) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, id]() -> Expected<int> {
+    auto found = k->containers().Lookup(id);
+    if (!found.ok()) {
+      return MakeUnexpected(found.error());
+    }
+    return t->process()->fds().Install(*std::move(found));
+  };
+  return {thread_, kernel_->costs().container_get_handle, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<int>> Sys::Listen(std::uint16_t port,
+                                              const net::CidrFilter& filter,
+                                              int container_fd, int syn_backlog,
+                                              int accept_backlog) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, port, filter, container_fd, syn_backlog,
+                 accept_backlog]() -> Expected<int> {
+    Process* p = t->process();
+    rc::ContainerRef c =
+        container_fd >= 0 ? p->fds().Get<rc::ContainerRef>(container_fd) : p->default_container();
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    auto ls = k->stack().Listen(port, filter, c, p->pid(), syn_backlog, accept_backlog);
+    if (!ls.ok()) {
+      return MakeUnexpected(ls.error());
+    }
+    k->EnsureNetThread(p);
+    return p->fds().Install(*std::move(ls));
+  };
+  return {thread_, kernel_->costs().listen_syscall, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::BlockingAwaiter<Expected<int>> Sys::Accept(int listen_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto start = [k, t, listen_fd](std::optional<Expected<int>>* slot) -> bool {
+    net::ListenRef ls = t->process()->fds().Get<net::ListenRef>(listen_fd);
+    if (!ls) {
+      slot->emplace(MakeUnexpected(Errc::kNotFound));
+      return true;
+    }
+    auto attempt = [k, t, ls, slot]() -> bool {
+      if (ls->closed()) {
+        slot->emplace(MakeUnexpected(Errc::kWrongState));
+        return true;
+      }
+      net::ConnRef conn = k->stack().Accept(*ls);
+      if (!conn) {
+        return false;
+      }
+      slot->emplace(t->process()->fds().Install(conn));
+      return true;
+    };
+    if (attempt()) {
+      return true;
+    }
+    k->AddAcceptWaiter(ls.get(), [attempt, t]() -> bool {
+      if (!attempt()) {
+        return false;
+      }
+      t->Unblock();
+      return true;
+    });
+    return false;
+  };
+  return {thread_, kernel_->costs().accept_syscall, rc::CpuKind::kKernel,
+          std::move(start)};
+}
+
+Sys::ActionAwaiter<Expected<int>> Sys::TryAccept(int listen_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, listen_fd]() -> Expected<int> {
+    net::ListenRef ls = t->process()->fds().Get<net::ListenRef>(listen_fd);
+    if (!ls) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    net::ConnRef conn = k->stack().Accept(*ls);
+    if (!conn) {
+      return MakeUnexpected(Errc::kWouldBlock);
+    }
+    return t->process()->fds().Install(conn);
+  };
+  return {thread_, kernel_->costs().accept_syscall, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::BlockingAwaiter<Expected<RecvResult>> Sys::Recv(int conn_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto start = [k, t, conn_fd](std::optional<Expected<RecvResult>>* slot) -> bool {
+    net::ConnRef conn = t->process()->fds().Get<net::ConnRef>(conn_fd);
+    if (!conn) {
+      slot->emplace(MakeUnexpected(Errc::kNotFound));
+      return true;
+    }
+    auto attempt = [k, conn, slot]() -> bool {
+      if (auto req = k->stack().Recv(*conn)) {
+        slot->emplace(RecvResult{false, *req});
+        return true;
+      }
+      if (conn->peer_closed() || conn->torn_down()) {
+        slot->emplace(RecvResult{true, {}});
+        return true;
+      }
+      return false;
+    };
+    if (attempt()) {
+      return true;
+    }
+    k->AddConnWaiter(conn.get(), [attempt, t]() -> bool {
+      if (!attempt()) {
+        return false;
+      }
+      t->Unblock();
+      return true;
+    });
+    return false;
+  };
+  return {thread_, kernel_->costs().recv_syscall, rc::CpuKind::kKernel, std::move(start)};
+}
+
+Sys::ActionAwaiter<Expected<RecvResult>> Sys::TryRecv(int conn_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, conn_fd]() -> Expected<RecvResult> {
+    net::ConnRef conn = t->process()->fds().Get<net::ConnRef>(conn_fd);
+    if (!conn) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    if (auto req = k->stack().Recv(*conn)) {
+      return RecvResult{false, *req};
+    }
+    if (conn->peer_closed() || conn->torn_down()) {
+      return RecvResult{true, {}};
+    }
+    return MakeUnexpected(Errc::kWouldBlock);
+  };
+  return {thread_, kernel_->costs().recv_syscall, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::Send(int conn_fd, std::uint32_t bytes,
+                                             std::uint64_t response_to,
+                                             bool close_after) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  sim::Duration cost = k->costs().send_syscall + k->stack().SendCost(bytes);
+  if (close_after) {
+    cost += k->costs().teardown;
+  }
+  auto action = [k, t, conn_fd, bytes, response_to, close_after]() -> Expected<void> {
+    net::ConnRef conn = t->process()->fds().Get<net::ConnRef>(conn_fd);
+    if (!conn) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    if (conn->torn_down()) {
+      return MakeUnexpected(Errc::kWrongState);
+    }
+    k->stack().Send(*conn, bytes, response_to, close_after);
+    return {};
+  };
+  return {thread_, cost, rc::CpuKind::kKernel, std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::BindSocket(int sock_fd, int container_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, sock_fd, container_fd]() -> Expected<void> {
+    rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
+    if (!c) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    if (net::ConnRef conn = t->process()->fds().Get<net::ConnRef>(sock_fd)) {
+      return k->stack().RebindConnection(*conn, c);
+    }
+    if (net::ListenRef ls = t->process()->fds().Get<net::ListenRef>(sock_fd)) {
+      ls->set_container(c);
+      return {};
+    }
+    return MakeUnexpected(Errc::kNotFound);
+  };
+  return {thread_, kernel_->costs().container_bind_thread, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::BlockingAwaiter<std::vector<int>> Sys::Select(std::vector<int> fds) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  const sim::Duration cost =
+      k->costs().select_base +
+      k->costs().select_per_fd * static_cast<sim::Duration>(fds.size());
+  auto start = [k, t, fds = std::move(fds)](std::optional<std::vector<int>>* slot) -> bool {
+    Process* p = t->process();
+    auto scan = [k, t, p, fds, slot]() -> bool {
+      std::vector<int> ready;
+      for (int fd : fds) {
+        if (k->IsFdReady(*p, fd)) {
+          ready.push_back(fd);
+        }
+      }
+      if (ready.empty()) {
+        return false;
+      }
+      slot->emplace(std::move(ready));
+      return true;
+    };
+    if (scan()) {
+      return true;
+    }
+    k->AddSelectWaiter(p, [scan, t]() -> bool {
+      if (!scan()) {
+        return false;
+      }
+      t->Unblock();
+      return true;
+    });
+    return false;
+  };
+  return {thread_, cost, rc::CpuKind::kKernel, std::move(start)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::EventRegister(int fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, fd]() -> Expected<void> {
+    Process* p = t->process();
+    const FdEntry* entry = p->fds().GetEntry(fd);
+    if (entry == nullptr) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    const bool rc_mode =
+        k->config().net_mode == net::NetMode::kResourceContainer;
+    if (auto* conn = std::get_if<net::ConnRef>(entry)) {
+      p->events().Register(conn->get(), fd);
+      // Level-trigger: data may have arrived before interest was declared.
+      if ((*conn)->has_data() || (*conn)->peer_closed() || (*conn)->torn_down()) {
+        const Event::Kind kind = (*conn)->has_data() ? Event::Kind::kDataReady
+                                                     : Event::Kind::kConnClosed;
+        int prio = 0;
+        if (rc_mode && (*conn)->container()) {
+          prio = (*conn)->container()->attributes().EffectiveNetworkPriority();
+        }
+        p->events().Push(Event{fd, kind, prio}, rc_mode);
+      }
+      return {};
+    }
+    if (auto* ls = std::get_if<net::ListenRef>(entry)) {
+      p->events().Register(ls->get(), fd);
+      if (!(*ls)->accept_queue().empty()) {
+        int prio = 0;
+        if (rc_mode && (*ls)->container()) {
+          prio = (*ls)->container()->attributes().EffectiveNetworkPriority();
+        }
+        p->events().Push(Event{fd, Event::Kind::kAcceptReady, prio}, rc_mode);
+      }
+      return {};
+    }
+    return MakeUnexpected(Errc::kInvalidArgument);
+  };
+  return {thread_, kernel_->costs().event_api_base, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<void>> Sys::EventUnregister(int fd) {
+  Thread* t = thread_;
+  auto action = [t, fd]() -> Expected<void> {
+    Process* p = t->process();
+    const FdEntry* entry = p->fds().GetEntry(fd);
+    if (entry == nullptr) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    if (auto* conn = std::get_if<net::ConnRef>(entry)) {
+      p->events().Unregister(conn->get());
+      return {};
+    }
+    if (auto* ls = std::get_if<net::ListenRef>(entry)) {
+      p->events().Unregister(ls->get());
+      return {};
+    }
+    return MakeUnexpected(Errc::kInvalidArgument);
+  };
+  return {thread_, kernel_->costs().event_api_base, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::BlockingAwaiter<std::vector<Event>> Sys::WaitEvents(int max_events) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto start = [k, t, max_events](std::optional<std::vector<Event>>* slot) -> bool {
+    Process* p = t->process();
+    auto drain = [k, t, p, max_events, slot]() -> bool {
+      if (!p->events().HasPending()) {
+        return false;
+      }
+      std::vector<Event> events = p->events().Drain(max_events);
+      // Delivery cost is per returned event; consumed before resumption.
+      t->cpu_demand += k->costs().event_api_per_event *
+                       static_cast<sim::Duration>(events.size());
+      t->demand_kind = rc::CpuKind::kKernel;
+      slot->emplace(std::move(events));
+      return true;
+    };
+    if (drain()) {
+      return true;
+    }
+    p->events().waiter = [drain, t] {
+      if (drain()) {
+        t->Unblock();
+      }
+    };
+    return false;
+  };
+  return {thread_, kernel_->costs().event_api_base, rc::CpuKind::kKernel,
+          std::move(start)};
+}
+
+Sys::ActionAwaiter<Expected<Kernel::SynDropReport>> Sys::GetSynDropReport(
+    int listen_fd) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, listen_fd]() -> Expected<Kernel::SynDropReport> {
+    net::ListenRef ls = t->process()->fds().Get<net::ListenRef>(listen_fd);
+    if (!ls) {
+      return MakeUnexpected(Errc::kNotFound);
+    }
+    return k->TakeSynDrops(ls.get());
+  };
+  return {thread_, kernel_->costs().container_get_usage, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
+Sys::ActionAwaiter<Expected<Pid>> Sys::Spawn(std::string name,
+                                             std::function<Program(Sys)> body,
+                                             SpawnOptions options) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, name = std::move(name), body = std::move(body),
+                 options = std::move(options)]() -> Expected<Pid> {
+    Process* parent = t->process();
+    rc::ContainerRef child_container;  // null => fresh top-level container
+    if (options.container_fd == -1) {
+      child_container = parent->default_container();
+    } else if (options.container_fd >= 0) {
+      child_container = parent->fds().Get<rc::ContainerRef>(options.container_fd);
+      if (!child_container) {
+        return MakeUnexpected(Errc::kNotFound);
+      }
+    }
+    Process* child = k->CreateProcess(name, child_container);
+    child->auto_reap = options.detach;
+    for (int fd : options.pass_fds) {
+      const FdEntry* entry = parent->fds().GetEntry(fd);
+      if (entry == nullptr) {
+        return MakeUnexpected(Errc::kNotFound);
+      }
+      child->fds().Install(*entry);
+    }
+    k->SpawnThread(child, "main", body);
+    return child->pid();
+  };
+  return {thread_, kernel_->costs().fork_cost, rc::CpuKind::kKernel, std::move(action)};
+}
+
+Sys::BlockingAwaiter<Expected<void>> Sys::WaitProcess(Pid pid) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto start = [k, t, pid](std::optional<Expected<void>>* slot) -> bool {
+    Process* target = k->FindProcess(pid);
+    if (target == nullptr) {
+      slot->emplace(MakeUnexpected(Errc::kNotFound));
+      return true;
+    }
+    if (target->zombie()) {
+      slot->emplace(Expected<void>{});
+      k->ReapProcess(pid);
+      return true;
+    }
+    k->AddProcessExitWaiter(pid, [k, t, pid, slot] {
+      slot->emplace(Expected<void>{});
+      k->ReapProcess(pid);
+      t->Unblock();
+    });
+    return false;
+  };
+  return {thread_, kernel_->costs().syscall_base, rc::CpuKind::kKernel, std::move(start)};
+}
+
+}  // namespace kernel

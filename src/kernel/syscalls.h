@@ -1,0 +1,283 @@
+// The syscall interface of the simulated kernel.
+//
+// Application programs are coroutines; every Sys method returns an awaitable.
+// Each syscall charges its CPU cost (from the CostModel) to the calling
+// thread's current resource binding before performing its action, exactly as
+// kernel-mode work is charged in the paper's prototype.
+//
+//   kernel::Program Server(kernel::Sys sys) {
+//     auto lfd = co_await sys.Listen(80, net::kMatchAll);
+//     while (true) {
+//       auto cfd = co_await sys.Accept(*lfd);
+//       auto req = co_await sys.Recv(*cfd);
+//       co_await sys.Compute(100);                  // application work
+//       co_await sys.Send(*cfd, 1024, 0, true);
+//     }
+//   }
+#ifndef SRC_KERNEL_SYSCALLS_H_
+#define SRC_KERNEL_SYSCALLS_H_
+
+#include <coroutine>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/expected.h"
+#include "src/kernel/event_api.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/process.h"
+#include "src/kernel/thread.h"
+#include "src/net/addr.h"
+#include "src/net/packet.h"
+#include "src/rc/attributes.h"
+#include "src/rc/usage.h"
+
+namespace kernel {
+
+// Result of Recv: either a request, or eof (peer closed with nothing queued).
+struct RecvResult {
+  bool eof = false;
+  net::HttpRequestInfo request;
+};
+
+struct SpawnOptions {
+  // -2: create a fresh top-level default container for the child (classic
+  //     fork semantics: every process its own principal);
+  // -1: share the parent's default container;
+  // >=0: use the container at this descriptor (e.g. a per-request container
+  //      passed to a CGI process, Section 4.8).
+  int container_fd = -2;
+  // Descriptors duplicated into the child, installed as fds 0..n-1.
+  std::vector<int> pass_fds;
+  // Auto-reap on exit (no WaitProcess needed) — daemons and CGI children.
+  bool detach = false;
+};
+
+class Sys {
+ public:
+  Sys(Kernel* kernel, Thread* thread) : kernel_(kernel), thread_(thread) {}
+
+  Kernel& kernel() const { return *kernel_; }
+  Thread* thread() const { return thread_; }
+  Process* process() const { return thread_->process(); }
+  sim::SimTime now() const { return kernel_->now(); }
+
+  // ---------------------------------------------------------------------
+  // Awaitable building blocks
+  // ---------------------------------------------------------------------
+
+  // Consumes `usec` of CPU, charged to the thread's resource binding.
+  struct ComputeAwaiter {
+    Thread* t;
+    sim::Duration usec;
+    rc::CpuKind kind;
+    bool await_ready() const { return usec <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      t->pending_resume = h;
+      t->cpu_demand += usec;
+      t->demand_kind = kind;
+    }
+    void await_resume() const {}
+  };
+
+  // Consumes `cost`, then runs `action` at zero simulated cost.
+  //
+  // Note: the awaiters have user-declared constructors (they must not be
+  // aggregates) — GCC 12 double-destroys std::function members of aggregate
+  // awaiter temporaries in co_await expressions.
+  template <typename T>
+  struct ActionAwaiter {
+    Thread* t;
+    sim::Duration cost;
+    rc::CpuKind kind;
+    std::function<T()> action;
+    std::optional<T> result;
+
+    ActionAwaiter(Thread* thread, sim::Duration c, rc::CpuKind k, std::function<T()> a)
+        : t(thread), cost(c), kind(k), action(std::move(a)) {}
+    ActionAwaiter(const ActionAwaiter&) = delete;
+    ActionAwaiter& operator=(const ActionAwaiter&) = delete;
+    ActionAwaiter(ActionAwaiter&&) = default;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      t->pending_resume = h;
+      t->cpu_demand += cost;
+      t->demand_kind = kind;
+      t->after_demand = [this] { result.emplace(action()); };
+    }
+    T await_resume() { return std::move(*result); }
+  };
+
+  // Consumes `cost`, then runs `start`. `start` either completes the call
+  // synchronously (fills *slot, returns true) or registers a waiter that
+  // will fill *slot and Unblock() the thread, and returns false.
+  template <typename T>
+  struct BlockingAwaiter {
+    Thread* t;
+    sim::Duration cost;
+    rc::CpuKind kind;
+    std::function<bool(std::optional<T>* slot)> start;
+    std::optional<T> result;
+
+    BlockingAwaiter(Thread* thread, sim::Duration c, rc::CpuKind k,
+                    std::function<bool(std::optional<T>*)> s)
+        : t(thread), cost(c), kind(k), start(std::move(s)) {}
+    BlockingAwaiter(const BlockingAwaiter&) = delete;
+    BlockingAwaiter& operator=(const BlockingAwaiter&) = delete;
+    BlockingAwaiter(BlockingAwaiter&&) = default;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      t->pending_resume = h;
+      t->cpu_demand += cost;
+      t->demand_kind = kind;
+      t->after_demand = [this] {
+        if (!start(&result)) {
+          t->Block();
+        }
+      };
+    }
+    T await_resume() { return std::move(*result); }
+  };
+
+  struct YieldAwaiter {
+    Thread* t;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      t->pending_resume = h;
+      t->yield_requested = true;
+    }
+    void await_resume() const {}
+  };
+
+  // ---------------------------------------------------------------------
+  // CPU and time
+  // ---------------------------------------------------------------------
+
+  ComputeAwaiter Compute(sim::Duration usec, rc::CpuKind kind = rc::CpuKind::kUser) {
+    return ComputeAwaiter{thread_, usec, kind};
+  }
+
+  BlockingAwaiter<bool> Sleep(sim::Duration usec);
+
+  // Reads `kb` kilobytes starting at disk block `block_kb`. The request is
+  // charged to (and scheduled at the priority of) the calling thread's
+  // current resource binding; the thread blocks until the transfer finishes.
+  BlockingAwaiter<bool> ReadDisk(std::uint64_t block_kb, std::uint32_t kb);
+
+  YieldAwaiter Yield() { return YieldAwaiter{thread_}; }
+
+  // ---------------------------------------------------------------------
+  // Resource-container operations (Section 4.6 / Table 1)
+  // ---------------------------------------------------------------------
+
+  // Creates a container; parent_fd -1 means top level ("no parent").
+  ActionAwaiter<rccommon::Expected<int>> CreateContainer(
+      std::string name, const rc::Attributes& attrs = {}, int parent_fd = -1);
+
+  // Releases a descriptor (containers: release reference; sockets: close).
+  ActionAwaiter<rccommon::Expected<void>> CloseFd(int fd);
+
+  // Drops a descriptor WITHOUT protocol close — used after handing a
+  // connection to another process (the other copy keeps it open).
+  ActionAwaiter<rccommon::Expected<void>> ReleaseFd(int fd);
+
+  // Duplicates any descriptor into another process (descriptor passing);
+  // returns the descriptor number in the target.
+  ActionAwaiter<rccommon::Expected<int>> PassFd(Pid target, int fd);
+
+  // Sets the calling thread's resource binding (Section 4.2).
+  ActionAwaiter<rccommon::Expected<void>> BindThread(int container_fd);
+
+  // Resets the scheduler binding to just the current resource binding.
+  ActionAwaiter<bool> ResetSchedulerBinding();
+
+  ActionAwaiter<rccommon::Expected<rc::ResourceUsage>> GetUsage(int container_fd);
+  ActionAwaiter<rccommon::Expected<rc::ResourceUsage>> GetSubtreeUsage(int container_fd);
+
+  ActionAwaiter<rccommon::Expected<rc::Attributes>> GetAttributes(int container_fd);
+  ActionAwaiter<rccommon::Expected<void>> SetAttributes(int container_fd,
+                                                        const rc::Attributes& attrs);
+
+  // Re-parents a container; parent_fd -1 means top level.
+  ActionAwaiter<rccommon::Expected<void>> SetContainerParent(int container_fd,
+                                                             int parent_fd);
+
+  // Shares a container with another process (the sender retains access);
+  // returns the descriptor in the *target* process.
+  ActionAwaiter<rccommon::Expected<int>> PassContainer(Pid target, int container_fd);
+
+  // Obtains a descriptor for an existing container by id.
+  ActionAwaiter<rccommon::Expected<int>> GetContainerHandle(rc::ContainerId id);
+
+  // ---------------------------------------------------------------------
+  // Sockets
+  // ---------------------------------------------------------------------
+
+  // Binds a listen socket on <port, filter>; container_fd -1 binds it to the
+  // process's default container.
+  ActionAwaiter<rccommon::Expected<int>> Listen(std::uint16_t port,
+                                                const net::CidrFilter& filter,
+                                                int container_fd = -1,
+                                                int syn_backlog = 1024,
+                                                int accept_backlog = 128);
+
+  // Blocking accept; returns the connection descriptor.
+  BlockingAwaiter<rccommon::Expected<int>> Accept(int listen_fd);
+
+  // Non-blocking accept; kWouldBlock when the queue is empty.
+  ActionAwaiter<rccommon::Expected<int>> TryAccept(int listen_fd);
+
+  // Blocking receive of one request.
+  BlockingAwaiter<rccommon::Expected<RecvResult>> Recv(int conn_fd);
+
+  // Non-blocking receive; kWouldBlock when nothing is queued (and not eof).
+  ActionAwaiter<rccommon::Expected<RecvResult>> TryRecv(int conn_fd);
+
+  // Sends an n-byte response (cost includes per-packet output processing).
+  ActionAwaiter<rccommon::Expected<void>> Send(int conn_fd, std::uint32_t bytes,
+                                               std::uint64_t response_to,
+                                               bool close_after);
+
+  // Binds a socket descriptor (connection or listen socket) to a container.
+  ActionAwaiter<rccommon::Expected<void>> BindSocket(int sock_fd, int container_fd);
+
+  // ---------------------------------------------------------------------
+  // Event waiting
+  // ---------------------------------------------------------------------
+
+  // select(): cost linear in the size of the interest set.
+  BlockingAwaiter<std::vector<int>> Select(std::vector<int> fds);
+
+  // Scalable event API: declare interest once...
+  ActionAwaiter<rccommon::Expected<void>> EventRegister(int fd);
+  ActionAwaiter<rccommon::Expected<void>> EventUnregister(int fd);
+  // ...then wait for batches; cost is per returned event.
+  BlockingAwaiter<std::vector<Event>> WaitEvents(int max_events = 64);
+
+  // Snapshot-and-clear the SYN-drop report of a listen socket (Section 5.7).
+  ActionAwaiter<rccommon::Expected<Kernel::SynDropReport>> GetSynDropReport(
+      int listen_fd);
+
+  // ---------------------------------------------------------------------
+  // Processes
+  // ---------------------------------------------------------------------
+
+  ActionAwaiter<rccommon::Expected<Pid>> Spawn(std::string name,
+                                               std::function<Program(Sys)> body,
+                                               SpawnOptions options = {});
+
+  // Blocks until the process exits, then reaps it.
+  BlockingAwaiter<rccommon::Expected<void>> WaitProcess(Pid pid);
+
+ private:
+  Kernel* kernel_;
+  Thread* thread_;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_SYSCALLS_H_

@@ -1,0 +1,41 @@
+#include "src/kernel/thread.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+#include "src/kernel/kernel.h"
+
+namespace kernel {
+
+void Program::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  Thread* t = h.promise().thread;
+  RC_CHECK(t != nullptr);
+  t->program_finished = true;
+  t->MarkDone();
+}
+
+void Program::promise_type::unhandled_exception() {
+  std::fprintf(stderr, "fatal: exception escaped a simulated program\n");
+  std::abort();
+}
+
+Thread::Thread(Kernel* kernel, Process* process, ThreadId id, std::string name)
+    : kernel_(kernel), process_(process), id_(id), name_(std::move(name)) {}
+
+Thread::~Thread() {
+  if (frame) {
+    frame.destroy();
+  }
+}
+
+void Thread::Unblock() {
+  RC_CHECK(state_ == State::kBlocked);
+  state_ = State::kRunnable;
+  kernel_->tracer().Record(kernel_->now(), TraceKind::kWake, id_, 0, 0);
+  kernel_->scheduler().Enqueue(this, kernel_->now());
+  kernel_->cpu().Poke();
+}
+
+}  // namespace kernel

@@ -1,0 +1,158 @@
+// Kernel threads as C++20 coroutines.
+//
+// Application code running on the simulated kernel is an ordinary coroutine
+// ("Program") whose co_awaits are syscalls. The CPU engine resumes the
+// coroutine only while the thread is dispatched, so all application logic
+// executes "on CPU" under the control of the scheduler, and every microsecond
+// of simulated CPU is charged to the thread's current resource binding.
+#ifndef SRC_KERNEL_THREAD_H_
+#define SRC_KERNEL_THREAD_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/rc/binding.h"
+#include "src/rc/usage.h"
+#include "src/sim/time.h"
+
+namespace kernel {
+
+class Kernel;
+class Process;
+class Thread;
+
+// Coroutine return object for a thread body. The Thread owns the coroutine
+// frame; the frame is destroyed when the thread is reaped.
+class Program {
+ public:
+  struct promise_type {
+    Thread* thread = nullptr;
+
+    Program get_return_object() {
+      return Program(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception();
+  };
+
+  explicit Program(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+using ThreadId = std::uint64_t;
+
+class Thread {
+ public:
+  enum class State {
+    kRunnable,  // in (or headed for) a scheduler run queue
+    kRunning,   // dispatched on the CPU
+    kBlocked,   // waiting on a syscall completion
+    kDone,      // program finished; awaiting reap
+  };
+
+  Thread(Kernel* kernel, Process* process, ThreadId id, std::string name);
+  ~Thread();
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  ThreadId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Process* process() const { return process_; }
+  Kernel* kernel() const { return kernel_; }
+
+  State state() const { return state_; }
+  bool done() const { return state_ == State::kDone; }
+
+  // Resource/scheduler bindings (Section 4.2 / 4.3).
+  rc::BindingPoint& binding() { return binding_; }
+  const rc::BindingPoint& binding() const { return binding_; }
+
+  // Leaf container the scheduler should queue this thread under. Normally
+  // the resource binding; the kernel network thread is re-pointed at the
+  // highest-priority container with pending work (scheduler-binding effect).
+  const rc::ContainerRef& sched_hint() const {
+    return sched_hint_ ? sched_hint_ : binding_.resource_binding();
+  }
+  void set_sched_hint(rc::ContainerRef c) { sched_hint_ = std::move(c); }
+
+  // Wall CPU this thread actually executed, independent of which container
+  // the time was *charged* to (exposes softint misaccounting in experiments).
+  sim::Duration executed_usec() const { return executed_usec_; }
+  void AddExecuted(sim::Duration d) { executed_usec_ += d; }
+
+  // --- CPU-demand protocol (driven by awaitables and the CPU engine) -----
+
+  // Outstanding CPU the thread must consume before it can proceed.
+  sim::Duration cpu_demand = 0;
+  rc::CpuKind demand_kind = rc::CpuKind::kUser;
+
+  // Deferred syscall action: runs (at zero simulated cost) once cpu_demand
+  // reaches zero. May complete a value, add more demand, or block the thread.
+  std::function<void()> after_demand;
+
+  // Coroutine continuation to resume once demand and after_demand are done.
+  std::coroutine_handle<> pending_resume;
+
+  // --- State transitions --------------------------------------------------
+
+  void MarkRunning() { state_ = State::kRunning; }
+  void MarkRunnable() { state_ = State::kRunnable; }
+
+  // Blocks the thread; it will not be scheduled until Unblock().
+  void Block() { state_ = State::kBlocked; }
+
+  // Wakes a blocked thread: enqueues it with the scheduler and pokes the CPU.
+  void Unblock();
+
+  void MarkDone() { state_ = State::kDone; }
+
+  // Set by the promise when the program runs to completion.
+  bool program_finished = false;
+
+  // Set by the Yield awaitable: requeue instead of continuing.
+  bool yield_requested = false;
+
+  // The coroutine frame (owned). Installed by Kernel at spawn.
+  std::coroutine_handle<Program::promise_type> frame;
+
+  // The thread body callable, kept alive for the thread's lifetime. A
+  // capturing lambda that is itself a coroutine reaches its captures through
+  // the lambda object — which must therefore outlive the coroutine frame.
+  std::function<void()> body_keepalive;
+
+  // Opaque per-scheduler run-queue state.
+  void* sched_cookie = nullptr;
+
+  // Invoked when the thread is reaped (used by join/wait primitives).
+  std::vector<std::function<void()>> exit_watchers;
+
+ private:
+  Kernel* const kernel_;
+  Process* const process_;
+  const ThreadId id_;
+  const std::string name_;
+
+  State state_ = State::kRunnable;
+  rc::BindingPoint binding_;
+  rc::ContainerRef sched_hint_;
+  sim::Duration executed_usec_ = 0;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_THREAD_H_

@@ -1,0 +1,93 @@
+// Kernel execution tracer: a bounded ring buffer of scheduling events
+// (dispatches, preemptions, blocks, wake-ups, interrupts), in the spirit of
+// ktrace. Disabled by default and cheap when off; when enabled it lets
+// experiments and tests inspect exactly how the CPU was multiplexed.
+#ifndef SRC_KERNEL_TRACE_H_
+#define SRC_KERNEL_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "src/rc/container.h"
+#include "src/sim/time.h"
+
+namespace kernel {
+
+enum class TraceKind : std::uint8_t {
+  kDispatch,   // thread put on CPU              arg = 0
+  kSlice,      // slice completed                arg = consumed usec
+  kPreempt,    // slice preempted                arg = consumed usec
+  kBlock,      // thread blocked
+  kWake,       // thread unblocked
+  kInterrupt,  // interrupt work executed        arg = cost usec
+  kExit,       // thread finished
+};
+
+const char* TraceKindName(TraceKind k);
+
+struct TraceEvent {
+  sim::SimTime at = 0;
+  TraceKind kind = TraceKind::kDispatch;
+  std::uint64_t thread_id = 0;         // 0 when not thread-related
+  rc::ContainerId container_id = 0;    // charged principal, 0 = none/machine
+  sim::Duration arg = 0;
+};
+
+class Tracer {
+ public:
+  // Starts recording into a ring of `capacity` events.
+  void Enable(std::size_t capacity = 65536) {
+    capacity_ = capacity;
+    ring_.clear();
+    ring_.reserve(capacity);
+    next_ = 0;
+    dropped_ = 0;
+    total_ = 0;
+    enabled_ = true;
+  }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Record(sim::SimTime at, TraceKind kind, std::uint64_t thread_id,
+              rc::ContainerId container_id, sim::Duration arg) {
+    if (!enabled_) {
+      return;
+    }
+    ++total_;
+    const TraceEvent e{at, kind, thread_id, container_id, arg};
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);
+      return;
+    }
+    ++dropped_;  // overwrote the oldest event
+    ring_[next_] = e;
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  // Visits retained events in chronological order.
+  void ForEach(const std::function<void(const TraceEvent&)>& fn) const;
+
+  // Number of retained events of `kind`.
+  std::size_t CountOf(TraceKind kind) const;
+
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t size() const { return ring_.size(); }
+
+  // Human-readable timeline.
+  void Dump(std::ostream& os, std::size_t max_lines = 100) const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // oldest slot once the ring wrapped
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_TRACE_H_

@@ -1,0 +1,213 @@
+#include "src/load/http_client.h"
+
+#include "src/common/check.h"
+
+namespace load {
+
+HttpClient::HttpClient(sim::Simulator* simulator, Wire* wire, std::uint32_t client_id,
+                       Config config)
+    : simr_(simulator), wire_(wire), client_id_(client_id), config_(config) {
+  RC_CHECK(config_.requests_per_conn >= 1);
+  wire_->Attach(config_.addr, this);
+}
+
+void HttpClient::Start(sim::SimTime at) {
+  if (at <= simr_->now()) {
+    BeginConnect();
+  } else {
+    simr_->At(at, [this] {
+      if (!stopped_) {
+        BeginConnect();
+      }
+    });
+  }
+}
+
+void HttpClient::Stop() {
+  stopped_ = true;
+  timeout_.Cancel();
+  request_timeout_.Cancel();
+}
+
+void HttpClient::ResetStats() {
+  completed_ = 0;
+  failures_ = 0;
+  timeouts_ = 0;
+  latencies_ = sim::SampleSet{};
+}
+
+void HttpClient::BeginConnect() {
+  if (stopped_) {
+    state_ = State::kStopped;
+    return;
+  }
+  state_ = State::kConnecting;
+  current_flow_ = (static_cast<std::uint64_t>(client_id_) << 24) | (flow_seq_++ & 0xffffff);
+  requests_done_on_conn_ = 0;
+  conn_start_ = simr_->now();
+
+  net::Packet syn;
+  syn.type = net::PacketType::kSyn;
+  syn.src = net::Endpoint{config_.addr, static_cast<std::uint16_t>(10000 + client_id_ % 50000)};
+  syn.dst = net::Endpoint{net::Addr{0}, config_.server_port};
+  syn.flow_id = current_flow_;
+  wire_->ToServer(syn);
+
+  const std::uint64_t flow = current_flow_;
+  timeout_.Cancel();
+  timeout_ = simr_->After(config_.connect_timeout, [this, flow] { OnConnectTimeout(flow); });
+}
+
+void HttpClient::SendRst() {
+  net::Packet rst;
+  rst.type = net::PacketType::kRst;
+  rst.src = net::Endpoint{config_.addr, static_cast<std::uint16_t>(10000 + client_id_ % 50000)};
+  rst.dst = net::Endpoint{net::Addr{0}, config_.server_port};
+  rst.flow_id = current_flow_;
+  wire_->ToServer(rst);
+}
+
+void HttpClient::OnRequestTimeout(std::uint64_t request) {
+  if (state_ != State::kAwaitingResponse || current_request_ != request) {
+    return;
+  }
+  ++timeouts_;
+  SendRst();  // abandon the connection so the server can clean up
+  if (stopped_) {
+    state_ = State::kStopped;
+    return;
+  }
+  BeginConnect();
+}
+
+void HttpClient::OnConnectTimeout(std::uint64_t flow) {
+  if (state_ != State::kConnecting || current_flow_ != flow) {
+    return;
+  }
+  ++timeouts_;
+  // S-Client behavior: abandon the attempt and try again immediately, so the
+  // server keeps seeing offered load.
+  BeginConnect();
+}
+
+void HttpClient::Failure() {
+  ++failures_;
+  timeout_.Cancel();
+  request_timeout_.Cancel();
+  if (stopped_) {
+    state_ = State::kStopped;
+    return;
+  }
+  state_ = State::kThinking;
+  ScheduleNext(config_.retry_backoff);
+}
+
+void HttpClient::ScheduleNext(sim::Duration delay) {
+  simr_->After(delay, [this] {
+    if (!stopped_) {
+      BeginConnect();
+    } else {
+      state_ = State::kStopped;
+    }
+  });
+}
+
+void HttpClient::SendRequest() {
+  state_ = State::kAwaitingResponse;
+  current_request_ = (static_cast<std::uint64_t>(client_id_) << 24) | (request_seq_++ & 0xffffff);
+  // For the first request on a fresh connection the measured response time
+  // includes connection establishment (connection-per-request HTTP).
+  request_start_ = requests_done_on_conn_ == 0 ? conn_start_ : simr_->now();
+  if (config_.request_timeout > 0) {
+    const std::uint64_t request = current_request_;
+    request_timeout_.Cancel();
+    request_timeout_ =
+        simr_->After(config_.request_timeout, [this, request] { OnRequestTimeout(request); });
+  }
+
+  net::Packet data;
+  data.type = net::PacketType::kData;
+  data.src = net::Endpoint{config_.addr, static_cast<std::uint16_t>(10000 + client_id_ % 50000)};
+  data.dst = net::Endpoint{net::Addr{0}, config_.server_port};
+  data.flow_id = current_flow_;
+  data.size_bytes = 300;  // typical HTTP GET
+  data.request.request_id = current_request_;
+  data.request.doc_id = config_.doc_id;
+  data.request.response_bytes = config_.response_bytes;
+  data.request.is_cgi = config_.is_cgi;
+  data.request.cgi_cpu_usec = config_.cgi_cpu_usec;
+  data.request.keep_alive = requests_done_on_conn_ + 1 < config_.requests_per_conn;
+  data.request.client_class = config_.client_class;
+  wire_->ToServer(data);
+}
+
+void HttpClient::OnPacket(const net::Packet& p) {
+  if (p.flow_id != current_flow_) {
+    return;  // stale (an earlier abandoned connection)
+  }
+  switch (p.type) {
+    case net::PacketType::kSynAck: {
+      if (state_ != State::kConnecting) {
+        return;
+      }
+      timeout_.Cancel();
+      net::Packet ack;
+      ack.type = net::PacketType::kAck;
+      ack.src = net::Endpoint{config_.addr,
+                              static_cast<std::uint16_t>(10000 + client_id_ % 50000)};
+      ack.dst = net::Endpoint{net::Addr{0}, config_.server_port};
+      ack.flow_id = current_flow_;
+      wire_->ToServer(ack);
+      SendRequest();
+      return;
+    }
+    case net::PacketType::kData: {
+      if (state_ != State::kAwaitingResponse || p.response_to != current_request_ ||
+          !p.last_segment) {
+        return;
+      }
+      ++completed_;
+      request_timeout_.Cancel();
+      latencies_.Add(static_cast<double>(simr_->now() - request_start_) / sim::kMsec);
+      ++requests_done_on_conn_;
+      if (stopped_) {
+        state_ = State::kStopped;
+        return;
+      }
+      if (requests_done_on_conn_ < config_.requests_per_conn) {
+        if (config_.think_time > 0) {
+          state_ = State::kThinking;
+          simr_->After(config_.think_time, [this] {
+            if (!stopped_ && state_ == State::kThinking) {
+              SendRequest();
+            }
+          });
+        } else {
+          SendRequest();
+        }
+        return;
+      }
+      // Connection exhausted; the server closes it (connection-per-request)
+      // or we simply open a fresh one.
+      state_ = State::kThinking;
+      ScheduleNext(config_.think_time);
+      return;
+    }
+    case net::PacketType::kFin: {
+      if (state_ == State::kAwaitingResponse) {
+        Failure();  // server closed mid-request
+      }
+      return;
+    }
+    case net::PacketType::kRst: {
+      if (state_ == State::kConnecting || state_ == State::kAwaitingResponse) {
+        Failure();
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace load

@@ -1,0 +1,102 @@
+// S-Client-style HTTP load generator (Banga & Druschel '97): a closed-loop
+// client that keeps exactly one request outstanding, aborts connection
+// attempts that exceed a timeout, and retries — so a saturated server sees
+// sustained offered load rather than livelocked clients.
+#ifndef SRC_LOAD_HTTP_CLIENT_H_
+#define SRC_LOAD_HTTP_CLIENT_H_
+
+#include <cstdint>
+
+#include "src/load/wire.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace load {
+
+class HttpClient : public PacketSink {
+ public:
+  struct Config {
+    net::Addr addr;                   // this client's address
+    std::uint16_t server_port = 80;
+    int requests_per_conn = 1;        // > 1 => persistent connections
+    std::uint32_t doc_id = 1;
+    std::uint32_t response_bytes = 1024;
+    bool is_cgi = false;
+    sim::Duration cgi_cpu_usec = 0;
+    int client_class = 0;
+    sim::Duration think_time = 0;
+    sim::Duration connect_timeout = sim::Msec(500);
+    // Abort a request whose response does not complete in time (the server
+    // may never have seen it: deferred-processing backlogs discard excess
+    // traffic early and the simulator does not model TCP retransmission).
+    // The client resets the connection and retries.
+    sim::Duration request_timeout = sim::Sec(10);
+    sim::Duration retry_backoff = sim::Msec(10);
+  };
+
+  HttpClient(sim::Simulator* simulator, Wire* wire, std::uint32_t client_id,
+             Config config);
+
+  // Begins issuing requests at `at` (absolute simulated time).
+  void Start(sim::SimTime at = 0);
+  // Stops issuing new requests (in-flight work completes).
+  void Stop();
+
+  // --- Statistics -----------------------------------------------------
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t failures() const { return failures_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+  // Response times in milliseconds.
+  sim::SampleSet& latencies() { return latencies_; }
+
+  // Forgets history at a measurement boundary (end of warm-up).
+  void ResetStats();
+
+  void OnPacket(const net::Packet& p) override;
+
+ private:
+  enum class State {
+    kIdle,
+    kConnecting,        // SYN sent, awaiting SYN-ACK
+    kAwaitingResponse,  // request sent
+    kThinking,          // between requests
+    kStopped,
+  };
+
+  void BeginConnect();
+  void SendRequest();
+  void OnRequestTimeout(std::uint64_t request);
+  void SendRst();
+  void ScheduleNext(sim::Duration delay);
+  void OnConnectTimeout(std::uint64_t flow);
+  void Failure();
+
+  sim::Simulator* const simr_;
+  Wire* const wire_;
+  const std::uint32_t client_id_;
+  const Config config_;
+
+  State state_ = State::kIdle;
+  bool stopped_ = false;
+
+  std::uint64_t flow_seq_ = 0;
+  std::uint64_t request_seq_ = 0;
+  std::uint64_t current_flow_ = 0;
+  std::uint64_t current_request_ = 0;
+  int requests_done_on_conn_ = 0;
+  sim::SimTime conn_start_ = 0;
+  sim::SimTime request_start_ = 0;
+  sim::EventHandle timeout_;
+  sim::EventHandle request_timeout_;
+
+  std::uint64_t completed_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t timeouts_ = 0;
+  sim::SampleSet latencies_;
+};
+
+}  // namespace load
+
+#endif  // SRC_LOAD_HTTP_CLIENT_H_

@@ -1,0 +1,62 @@
+// SYN-flood attacker (Section 5.7): bogus SYNs at a configurable rate from
+// addresses inside one /24 prefix, never completing the handshake.
+#ifndef SRC_LOAD_SYN_FLOOD_H_
+#define SRC_LOAD_SYN_FLOOD_H_
+
+#include <cstdint>
+
+#include "src/load/wire.h"
+#include "src/sim/rng.h"
+
+namespace load {
+
+class SynFlooder {
+ public:
+  struct Config {
+    net::Addr prefix = net::MakeAddr(10, 99, 0, 0);  // /24 source prefix
+    std::uint16_t server_port = 80;
+    double rate_per_sec = 10000.0;
+    std::uint64_t seed = 42;
+  };
+
+  SynFlooder(sim::Simulator* simulator, Wire* wire, Config config)
+      : simr_(simulator), wire_(wire), config_(config), rng_(config.seed) {}
+
+  void Start(sim::SimTime at = 0) {
+    running_ = true;
+    simr_->At(at, [this] { Fire(); });
+  }
+
+  void Stop() { running_ = false; }
+
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  void Fire() {
+    if (!running_ || config_.rate_per_sec <= 0) {
+      return;
+    }
+    net::Packet syn;
+    syn.type = net::PacketType::kSyn;
+    const std::uint32_t host = static_cast<std::uint32_t>(rng_.UniformInt(1, 254));
+    syn.src = net::Endpoint{net::Addr{(config_.prefix.v & 0xffffff00u) | host},
+                            static_cast<std::uint16_t>(rng_.UniformInt(1024, 65535))};
+    syn.dst = net::Endpoint{net::Addr{0}, config_.server_port};
+    // High bit marks attacker flows; they never collide with client flows.
+    syn.flow_id = (1ULL << 63) | sent_;
+    wire_->ToServer(syn);
+    ++sent_;
+    simr_->After(rng_.PoissonGap(config_.rate_per_sec), [this] { Fire(); });
+  }
+
+  sim::Simulator* const simr_;
+  Wire* const wire_;
+  const Config config_;
+  sim::Rng rng_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace load
+
+#endif  // SRC_LOAD_SYN_FLOOD_H_

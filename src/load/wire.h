@@ -1,0 +1,64 @@
+// The simulated network wire between client actors and the server kernel.
+// Client actors live outside the simulated kernel (they model the paper's
+// FreeBSD client machines); the wire adds fixed one-way latency in each
+// direction and routes server output packets to the right client.
+#ifndef SRC_LOAD_WIRE_H_
+#define SRC_LOAD_WIRE_H_
+
+#include <unordered_map>
+
+#include "src/kernel/kernel.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace load {
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void OnPacket(const net::Packet& p) = 0;
+};
+
+class Wire {
+ public:
+  Wire(sim::Simulator* simulator, kernel::Kernel* kernel,
+       sim::Duration one_way_latency = 100)
+      : simr_(simulator), kernel_(kernel), latency_(one_way_latency) {
+    kernel_->set_wire_sink([this](const net::Packet& p) { RouteToClient(p); });
+  }
+
+  sim::Duration latency() const { return latency_; }
+
+  // Registers the actor receiving packets addressed to `addr`.
+  void Attach(net::Addr addr, PacketSink* sink) { sinks_[addr.v] = sink; }
+  void Detach(net::Addr addr) { sinks_.erase(addr.v); }
+
+  // Client -> server, after one-way latency.
+  void ToServer(const net::Packet& p) {
+    simr_->After(latency_, [this, p] { kernel_->DeliverFromWire(p); });
+  }
+
+  std::uint64_t dropped_to_unknown() const { return dropped_; }
+
+ private:
+  void RouteToClient(const net::Packet& p) {
+    simr_->After(latency_, [this, p] {
+      auto it = sinks_.find(p.dst.addr.v);
+      if (it == sinks_.end()) {
+        ++dropped_;  // e.g. RSTs to a SYN flooder's spoofed sources
+        return;
+      }
+      it->second->OnPacket(p);
+    });
+  }
+
+  sim::Simulator* const simr_;
+  kernel::Kernel* const kernel_;
+  const sim::Duration latency_;
+  std::unordered_map<std::uint32_t, PacketSink*> sinks_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace load
+
+#endif  // SRC_LOAD_WIRE_H_

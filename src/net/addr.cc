@@ -1,0 +1,22 @@
+#include "src/net/addr.h"
+
+#include <cstdio>
+
+namespace net {
+
+std::string AddrToString(Addr a) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (a.v >> 24) & 0xff, (a.v >> 16) & 0xff,
+                (a.v >> 8) & 0xff, a.v & 0xff);
+  return buf;
+}
+
+std::string CidrFilter::ToString() const {
+  std::string s = AddrToString(base) + "/" + std::to_string(prefix_len);
+  if (negate) {
+    s.insert(0, "!");
+  }
+  return s;
+}
+
+}  // namespace net

@@ -1,0 +1,71 @@
+// IPv4-style addressing and the paper's new sockaddr namespace: a listen
+// socket binds <local-port> plus a <template-address, CIDR-mask> filter
+// (Section 4.8), and incoming connections are assigned to the listen socket
+// with the most specific matching filter.
+#ifndef SRC_NET_ADDR_H_
+#define SRC_NET_ADDR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace net {
+
+// IPv4 address, host byte order.
+struct Addr {
+  std::uint32_t v = 0;
+
+  friend bool operator==(Addr a, Addr b) { return a.v == b.v; }
+  friend bool operator!=(Addr a, Addr b) { return a.v != b.v; }
+};
+
+// Builds an address from dotted-quad components.
+constexpr Addr MakeAddr(unsigned a, unsigned b, unsigned c, unsigned d) {
+  return Addr{(static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) | static_cast<std::uint32_t>(d)};
+}
+
+std::string AddrToString(Addr a);
+
+struct Endpoint {
+  Addr addr;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.addr == b.addr && a.port == b.port;
+  }
+};
+
+// <template-address, CIDR-mask> filter (RFC 1518 style), as in Section 4.8.
+// `negate` implements the paper's suggested complement filters ("to accept
+// connections except from certain clients"): the filter matches addresses
+// OUTSIDE the prefix.
+struct CidrFilter {
+  Addr base;
+  int prefix_len = 0;  // 0..32; 0 matches everything
+  bool negate = false;
+
+  bool Matches(Addr a) const {
+    bool in_prefix = true;
+    if (prefix_len > 0) {
+      const std::uint32_t mask =
+          prefix_len >= 32 ? ~std::uint32_t{0}
+                           : ~((std::uint32_t{1} << (32 - prefix_len)) - 1);
+      in_prefix = (a.v & mask) == (base.v & mask);
+    }
+    return negate ? !in_prefix : in_prefix;
+  }
+
+  // Demultiplexing specificity: longer prefixes win; a complement filter is
+  // less specific than its positive counterpart (it matches "everything
+  // but"), so it ranks just above the wildcard.
+  int Specificity() const { return negate ? 0 : prefix_len; }
+
+  std::string ToString() const;
+};
+
+// The wildcard filter used by a default listen socket.
+inline constexpr CidrFilter kMatchAll{Addr{0}, 0};
+
+}  // namespace net
+
+#endif  // SRC_NET_ADDR_H_

@@ -1,0 +1,52 @@
+// The simulated wire format. Payloads carry structured request descriptions
+// instead of raw bytes; `size_bytes` drives per-byte costs and accounting.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+
+#include "src/net/addr.h"
+#include "src/sim/time.h"
+
+namespace net {
+
+enum class PacketType {
+  kSyn,       // connection request (client -> server)
+  kSynAck,    // handshake reply (server -> client)
+  kAck,       // handshake completion (client -> server)
+  kData,      // request or response payload
+  kFin,       // close (either direction)
+  kRst,       // reject (server -> client)
+};
+
+// An HTTP request, pre-parsed (the simulator does not model byte parsing;
+// the parse CPU cost is charged separately via the cost model).
+struct HttpRequestInfo {
+  std::uint64_t request_id = 0;
+  std::uint32_t doc_id = 0;             // which document (file-cache key)
+  std::uint32_t response_bytes = 1024;  // size of the requested document
+  bool is_cgi = false;
+  sim::Duration cgi_cpu_usec = 0;  // CPU the CGI program will consume
+  bool keep_alive = false;         // persistent-connection request
+  int client_class = 0;            // workload tag (e.g. 0=low, 1=high priority)
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  Endpoint src;              // client endpoint for inbound, server for outbound
+  Endpoint dst;
+  std::uint32_t size_bytes = 40;  // wire size incl. headers
+  std::uint64_t flow_id = 0;      // connection identifier assigned by the client
+
+  // Valid when type == kData and direction is client -> server.
+  HttpRequestInfo request;
+
+  // Valid for server -> client kData: which request this answers, and whether
+  // this is the final segment of the response.
+  std::uint64_t response_to = 0;
+  bool last_segment = false;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_PACKET_H_

@@ -1,0 +1,142 @@
+// Simulated sockets: listen sockets with CIDR filters and per-connection
+// state. These objects are passive data structures; all transitions are
+// driven by net::Stack, and the kernel observes them through StackEnv
+// callbacks.
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/net/addr.h"
+#include "src/net/packet.h"
+#include "src/rc/container.h"
+#include "src/sim/time.h"
+
+namespace net {
+
+class Connection;
+using ConnRef = std::shared_ptr<Connection>;
+
+class ListenSocket;
+using ListenRef = std::shared_ptr<ListenSocket>;
+
+enum class ConnState {
+  kSynRcvd,      // half-open, in the listen socket's SYN queue
+  kEstablished,  // handshake complete (queued for accept or accepted)
+  kClosed,       // torn down locally
+};
+
+// Server-side connection state (a protocol control block plus the socket
+// receive queue, collapsed into one object).
+class Connection {
+ public:
+  Connection(std::uint64_t flow_id, Endpoint client, std::uint16_t server_port,
+             rc::ContainerRef container, std::uint64_t owner_tag)
+      : flow_id_(flow_id),
+        client_(client),
+        server_port_(server_port),
+        container_(std::move(container)),
+        owner_tag_(owner_tag) {}
+
+  std::uint64_t flow_id() const { return flow_id_; }
+  Endpoint client() const { return client_; }
+  std::uint16_t server_port() const { return server_port_; }
+
+  ConnState state() const { return state_; }
+  void set_state(ConnState s) { state_ = s; }
+
+  // The resource container charged for this connection's kernel processing.
+  // Inherited from the listen socket at creation; rebindable by the
+  // application ("Binding a socket to a container", Section 4.6).
+  const rc::ContainerRef& container() const { return container_; }
+  void set_container(rc::ContainerRef c) { container_ = std::move(c); }
+
+  // Owning protection domain (used to route deferred protocol processing to
+  // that process's kernel network thread).
+  std::uint64_t owner_tag() const { return owner_tag_; }
+
+  bool peer_closed() const { return peer_closed_; }
+  void set_peer_closed() { peer_closed_ = true; }
+
+  bool has_data() const { return !recv_queue_.empty(); }
+  std::deque<HttpRequestInfo>& recv_queue() { return recv_queue_; }
+
+  // True once the application closed / the stack tore this connection down.
+  bool torn_down() const { return torn_down_; }
+  void set_torn_down() { torn_down_ = true; }
+
+  std::uint64_t requests_received = 0;
+  std::uint64_t responses_sent = 0;
+
+ private:
+  const std::uint64_t flow_id_;
+  const Endpoint client_;
+  const std::uint16_t server_port_;
+  rc::ContainerRef container_;
+  const std::uint64_t owner_tag_;
+
+  ConnState state_ = ConnState::kSynRcvd;
+  bool peer_closed_ = false;
+  bool torn_down_ = false;
+  std::deque<HttpRequestInfo> recv_queue_;
+};
+
+// A listening socket bound to <port, CIDR filter> (the paper's extended
+// sockaddr namespace). Multiple listen sockets may share a port with
+// different filters; demux picks the most specific match.
+class ListenSocket {
+ public:
+  ListenSocket(std::uint16_t port, CidrFilter filter, rc::ContainerRef container,
+               std::uint64_t owner_tag, int syn_backlog, int accept_backlog)
+      : port_(port),
+        filter_(filter),
+        container_(std::move(container)),
+        owner_tag_(owner_tag),
+        syn_backlog_(syn_backlog),
+        accept_backlog_(accept_backlog) {}
+
+  std::uint16_t port() const { return port_; }
+  const CidrFilter& filter() const { return filter_; }
+
+  const rc::ContainerRef& container() const { return container_; }
+  void set_container(rc::ContainerRef c) { container_ = std::move(c); }
+
+  std::uint64_t owner_tag() const { return owner_tag_; }
+
+  int syn_backlog() const { return syn_backlog_; }
+  int accept_backlog() const { return accept_backlog_; }
+
+  bool closed() const { return closed_; }
+  void set_closed() { closed_ = true; }
+
+  // Half-open connections, oldest first (drop-oldest eviction under SYN
+  // pressure, so a flood cannot permanently wedge the queue).
+  std::deque<ConnRef>& syn_queue() { return syn_queue_; }
+
+  // Fully established connections awaiting accept().
+  std::deque<ConnRef>& accept_queue() { return accept_queue_; }
+
+  // --- Statistics (Section 5.7 drop notification feeds off these) -------
+  std::uint64_t syns_received = 0;
+  std::uint64_t syns_dropped = 0;     // evicted half-open entries
+  std::uint64_t accept_drops = 0;     // accept-queue overflow resets
+  std::uint64_t connections_accepted = 0;
+
+ private:
+  const std::uint16_t port_;
+  const CidrFilter filter_;
+  rc::ContainerRef container_;
+  const std::uint64_t owner_tag_;
+  const int syn_backlog_;
+  const int accept_backlog_;
+  bool closed_ = false;
+
+  std::deque<ConnRef> syn_queue_;
+  std::deque<ConnRef> accept_queue_;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_SOCKET_H_

@@ -1,0 +1,445 @@
+#include "src/net/stack.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace net {
+
+using rccommon::Errc;
+using rccommon::Expected;
+using rccommon::MakeUnexpected;
+
+const char* NetModeName(NetMode mode) {
+  switch (mode) {
+    case NetMode::kSoftint:
+      return "softint";
+    case NetMode::kLrp:
+      return "lrp";
+    case NetMode::kResourceContainer:
+      return "resource-container";
+  }
+  return "?";
+}
+
+Stack::Stack(StackEnv* env, const StackCosts& costs, NetMode mode)
+    : env_(env), costs_(costs), mode_(mode) {
+  RC_CHECK(env != nullptr);
+}
+
+Expected<ListenRef> Stack::Listen(std::uint16_t port, const CidrFilter& filter,
+                                  rc::ContainerRef container, std::uint64_t owner_tag,
+                                  int syn_backlog, int accept_backlog) {
+  if (!container || syn_backlog <= 0 || accept_backlog <= 0) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  for (const ListenRef& ls : listeners_) {
+    if (!ls->closed() && ls->port() == port &&
+        ls->filter().prefix_len == filter.prefix_len &&
+        ls->filter().negate == filter.negate &&
+        ls->filter().Matches(filter.base) == !filter.negate &&
+        filter.Matches(ls->filter().base) == !filter.negate) {
+      return MakeUnexpected(Errc::kWrongState);  // exact duplicate binding
+    }
+  }
+  auto ls = std::make_shared<ListenSocket>(port, filter, std::move(container), owner_tag,
+                                           syn_backlog, accept_backlog);
+  listeners_.push_back(ls);
+  return ls;
+}
+
+void Stack::CloseListen(const ListenRef& ls) {
+  ls->set_closed();
+  // Tear down half-open and un-accepted connections.
+  for (auto& conn : ls->syn_queue()) {
+    Teardown(*conn);
+  }
+  ls->syn_queue().clear();
+  for (auto& conn : ls->accept_queue()) {
+    Teardown(*conn);
+  }
+  ls->accept_queue().clear();
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), ls), listeners_.end());
+}
+
+ConnRef Stack::Accept(ListenSocket& ls) {
+  while (!ls.accept_queue().empty()) {
+    ConnRef conn = ls.accept_queue().front();
+    ls.accept_queue().pop_front();
+    if (conn->torn_down()) {
+      continue;  // client reset it while queued
+    }
+    ++ls.connections_accepted;
+    return conn;
+  }
+  return nullptr;
+}
+
+std::optional<HttpRequestInfo> Stack::Recv(Connection& conn) {
+  if (conn.recv_queue().empty()) {
+    return std::nullopt;
+  }
+  HttpRequestInfo req = conn.recv_queue().front();
+  conn.recv_queue().pop_front();
+  return req;
+}
+
+sim::Duration Stack::SendCost(std::uint32_t bytes) const {
+  const std::uint32_t packets = std::max(1u, (bytes + costs_.mtu_bytes - 1) / costs_.mtu_bytes);
+  return static_cast<sim::Duration>(packets) * costs_.output_per_packet;
+}
+
+void Stack::Send(Connection& conn, std::uint32_t bytes, std::uint64_t response_to,
+                 bool close_after) {
+  if (conn.torn_down()) {
+    return;
+  }
+  const std::uint32_t packets = std::max(1u, (bytes + costs_.mtu_bytes - 1) / costs_.mtu_bytes);
+  std::uint32_t remaining = bytes;
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    Packet p;
+    p.type = PacketType::kData;
+    p.src = Endpoint{Addr{0}, conn.server_port()};
+    p.dst = conn.client();
+    p.flow_id = conn.flow_id();
+    p.size_bytes = std::min(remaining, costs_.mtu_bytes) + 40;
+    remaining -= std::min(remaining, costs_.mtu_bytes);
+    p.response_to = response_to;
+    p.last_segment = (i + 1 == packets);
+    ++stats_.packets_out;
+    env_->EmitToWire(p);
+  }
+  ++conn.responses_sent;
+  if (conn.container()) {
+    conn.container()->CountBytesSent(bytes);
+  }
+  if (close_after) {
+    Close(conn);
+  }
+}
+
+void Stack::Close(Connection& conn) {
+  if (conn.torn_down()) {
+    return;
+  }
+  Packet fin;
+  fin.type = PacketType::kFin;
+  fin.src = Endpoint{Addr{0}, conn.server_port()};
+  fin.dst = conn.client();
+  fin.flow_id = conn.flow_id();
+  ++stats_.packets_out;
+  env_->EmitToWire(fin);
+  Teardown(conn);
+}
+
+Expected<void> Stack::RebindConnection(Connection& conn, rc::ContainerRef c) {
+  if (!c) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  if (conn.torn_down()) {
+    return MakeUnexpected(Errc::kWrongState);
+  }
+  if (auto charged = c->ChargeMemory(costs_.connection_memory_bytes); !charged.ok()) {
+    return charged;
+  }
+  if (conn.container()) {
+    conn.container()->ReleaseMemory(costs_.connection_memory_bytes);
+  }
+  conn.set_container(std::move(c));
+  return {};
+}
+
+std::optional<ProtocolWork> Stack::HandleArrival(const Packet& p) {
+  ++stats_.packets_in;
+  if (p.type == PacketType::kSyn) {
+    ++stats_.syns_in;
+  }
+
+  if (mode_ == NetMode::kSoftint) {
+    // Full protocol processing happens inline at softint priority, charged
+    // to whomever the interrupt preempted (null charge target).
+    return MakeWork(p, nullptr);
+  }
+
+  // LRP / RC: early demultiplexing at interrupt level.
+  DemuxResult d = EarlyDemux(p);
+  if (!d.container) {
+    return std::nullopt;  // no match: discarded early, minimal cost
+  }
+
+  OwnerBacklog& backlog = backlogs_[d.owner_tag];
+  const rc::ContainerId key = d.container->id();
+  int& count = backlog.per_container_count[key];
+  if (count >= kPerContainerBacklogLimit) {
+    ++stats_.backlog_drops;
+    d.container->CountPacketDropped();
+    if (p.type == PacketType::kSyn && d.listener != nullptr) {
+      ++d.listener->syns_dropped;
+      env_->OnSynDrop(*d.listener, p.src.addr);
+    }
+    return std::nullopt;
+  }
+
+  int prio = rc::kDefaultPriority;
+  if (mode_ == NetMode::kResourceContainer) {
+    prio = std::clamp(d.container->attributes().EffectiveNetworkPriority(),
+                      rc::kMinPriority, rc::kMaxPriority);
+  }
+  backlog.buckets[static_cast<std::size_t>(prio)].push_back(
+      PendingPacket{p, d.container, key});
+  ++count;
+  ++backlog.total;
+  env_->NotifyPendingNetWork(d.owner_tag);
+  return std::nullopt;
+}
+
+std::optional<ProtocolWork> Stack::NextPendingWork(std::uint64_t owner_tag) {
+  auto it = backlogs_.find(owner_tag);
+  if (it == backlogs_.end() || it->second.total == 0) {
+    return std::nullopt;
+  }
+  OwnerBacklog& backlog = it->second;
+  for (int prio = rc::kMaxPriority; prio >= 0; --prio) {
+    auto& bucket = backlog.buckets[static_cast<std::size_t>(prio)];
+    if (bucket.empty()) {
+      continue;
+    }
+    PendingPacket pending = std::move(bucket.front());
+    bucket.pop_front();
+    --backlog.per_container_count[pending.backlog_key];
+    --backlog.total;
+    return MakeWork(pending.packet, std::move(pending.charge_to));
+  }
+  return std::nullopt;
+}
+
+bool Stack::HasPendingWork(std::uint64_t owner_tag) const {
+  auto it = backlogs_.find(owner_tag);
+  return it != backlogs_.end() && it->second.total > 0;
+}
+
+rc::ContainerRef Stack::PeekPendingContainer(std::uint64_t owner_tag) const {
+  auto it = backlogs_.find(owner_tag);
+  if (it == backlogs_.end() || it->second.total == 0) {
+    return nullptr;
+  }
+  for (int prio = rc::kMaxPriority; prio >= 0; --prio) {
+    const auto& bucket = it->second.buckets[static_cast<std::size_t>(prio)];
+    if (!bucket.empty()) {
+      return bucket.front().charge_to;
+    }
+  }
+  return nullptr;
+}
+
+ListenSocket* Stack::DemuxListen(std::uint16_t port, Addr source) {
+  ListenSocket* best = nullptr;
+  for (const ListenRef& ls : listeners_) {
+    if (ls->closed() || ls->port() != port || !ls->filter().Matches(source)) {
+      continue;
+    }
+    if (best == nullptr || ls->filter().Specificity() > best->filter().Specificity()) {
+      best = ls.get();
+    }
+  }
+  return best;
+}
+
+Stack::DemuxResult Stack::EarlyDemux(const Packet& p) {
+  if (p.type == PacketType::kSyn) {
+    ListenSocket* ls = DemuxListen(p.dst.port, p.src.addr);
+    if (ls == nullptr) {
+      return {};
+    }
+    return DemuxResult{ls->container(), ls->owner_tag(), ls};
+  }
+  auto it = pcbs_.find(p.flow_id);
+  if (it == pcbs_.end()) {
+    return {};
+  }
+  return DemuxResult{it->second->container(), it->second->owner_tag(), nullptr};
+}
+
+sim::Duration Stack::CostFor(PacketType t) const {
+  switch (t) {
+    case PacketType::kSyn:
+      return costs_.syn_processing;
+    case PacketType::kAck:
+      return costs_.ack_processing;
+    case PacketType::kData:
+      return costs_.data_in;
+    case PacketType::kFin:
+    case PacketType::kRst:
+      return costs_.fin_processing;
+    case PacketType::kSynAck:
+      break;  // never an input
+  }
+  return costs_.data_in;
+}
+
+ProtocolWork Stack::MakeWork(const Packet& p, rc::ContainerRef charge_to) {
+  ProtocolWork work;
+  work.cost = CostFor(p.type);
+  work.charge_to = std::move(charge_to);
+  work.apply = [this, p] {
+    switch (p.type) {
+      case PacketType::kSyn:
+        ApplySyn(p);
+        break;
+      case PacketType::kAck:
+        ApplyAck(p);
+        break;
+      case PacketType::kData:
+        ApplyData(p);
+        break;
+      case PacketType::kFin:
+        ApplyFin(p);
+        break;
+      case PacketType::kRst:
+        ApplyRst(p);
+        break;
+      case PacketType::kSynAck:
+        break;
+    }
+  };
+  return work;
+}
+
+void Stack::ApplySyn(const Packet& p) {
+  ListenSocket* ls = DemuxListen(p.dst.port, p.src.addr);
+  if (ls == nullptr) {
+    EmitRst(p);
+    return;
+  }
+  ++ls->syns_received;
+  if (pcbs_.contains(p.flow_id)) {
+    return;  // duplicate SYN (retransmission); SYN-ACK already sent
+  }
+
+  if (static_cast<int>(ls->syn_queue().size()) >= ls->syn_backlog()) {
+    // Drop-oldest eviction: a flood cannot permanently exclude well-behaved
+    // clients, but every eviction is a dropped SYN and is reported to the
+    // application (Section 5.7).
+    ConnRef victim = ls->syn_queue().front();
+    ls->syn_queue().pop_front();
+    const Addr victim_src = victim->client().addr;
+    Teardown(*victim);
+    ++ls->syns_dropped;
+    ++stats_.syn_drops;
+    env_->OnSynDrop(*ls, victim_src);
+  }
+
+  rc::ContainerRef container = ls->container();
+  if (auto charged = container->ChargeMemory(costs_.connection_memory_bytes);
+      !charged.ok()) {
+    ++stats_.mem_reject_drops;
+    EmitRst(p);
+    return;
+  }
+  auto conn = std::make_shared<Connection>(p.flow_id, p.src, p.dst.port, container,
+                                           ls->owner_tag());
+  pcbs_[p.flow_id] = conn;
+  ls->syn_queue().push_back(conn);
+
+  Packet synack;
+  synack.type = PacketType::kSynAck;
+  synack.src = Endpoint{Addr{0}, p.dst.port};
+  synack.dst = p.src;
+  synack.flow_id = p.flow_id;
+  ++stats_.packets_out;
+  env_->EmitToWire(synack);
+}
+
+void Stack::ApplyAck(const Packet& p) {
+  auto it = pcbs_.find(p.flow_id);
+  if (it == pcbs_.end()) {
+    EmitRst(p);  // half-open entry was evicted; client must retry
+    return;
+  }
+  ConnRef conn = it->second;
+  if (conn->state() != ConnState::kSynRcvd) {
+    return;  // duplicate ACK
+  }
+  ListenSocket* ls = DemuxListen(conn->server_port(), conn->client().addr);
+  if (ls == nullptr) {
+    Teardown(*conn);
+    EmitRst(p);
+    return;
+  }
+  auto& synq = ls->syn_queue();
+  synq.erase(std::remove(synq.begin(), synq.end(), conn), synq.end());
+
+  if (static_cast<int>(ls->accept_queue().size()) >= ls->accept_backlog()) {
+    ++ls->accept_drops;
+    ++stats_.accept_drops;
+    Teardown(*conn);
+    EmitRst(p);
+    return;
+  }
+  conn->set_state(ConnState::kEstablished);
+  ls->accept_queue().push_back(conn);
+  env_->WakeAcceptors(*ls);
+}
+
+void Stack::ApplyData(const Packet& p) {
+  auto it = pcbs_.find(p.flow_id);
+  if (it == pcbs_.end()) {
+    return;
+  }
+  ConnRef conn = it->second;
+  if (conn->state() != ConnState::kEstablished) {
+    return;
+  }
+  conn->recv_queue().push_back(p.request);
+  ++conn->requests_received;
+  if (conn->container()) {
+    conn->container()->CountPacketReceived(p.size_bytes);
+  }
+  env_->WakeConnection(*conn);
+}
+
+void Stack::ApplyFin(const Packet& p) {
+  auto it = pcbs_.find(p.flow_id);
+  if (it == pcbs_.end()) {
+    return;
+  }
+  it->second->set_peer_closed();
+  env_->WakeConnection(*it->second);
+}
+
+void Stack::ApplyRst(const Packet& p) {
+  auto it = pcbs_.find(p.flow_id);
+  if (it == pcbs_.end()) {
+    return;
+  }
+  ConnRef conn = it->second;
+  conn->set_peer_closed();
+  Teardown(*conn);
+  env_->WakeConnection(*conn);
+}
+
+void Stack::Teardown(Connection& conn) {
+  if (conn.torn_down()) {
+    return;
+  }
+  conn.set_torn_down();
+  conn.set_state(ConnState::kClosed);
+  if (conn.container()) {
+    conn.container()->ReleaseMemory(costs_.connection_memory_bytes);
+  }
+  pcbs_.erase(conn.flow_id());
+}
+
+void Stack::EmitRst(const Packet& cause) {
+  Packet rst;
+  rst.type = PacketType::kRst;
+  rst.src = cause.dst;
+  rst.dst = cause.src;
+  rst.flow_id = cause.flow_id;
+  ++stats_.rsts_out;
+  ++stats_.packets_out;
+  env_->EmitToWire(rst);
+}
+
+}  // namespace net

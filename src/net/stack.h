@@ -1,0 +1,221 @@
+// The simulated TCP/IP stack with the three protocol-processing disciplines
+// the paper compares:
+//
+//   kSoftint            — classic BSD-style: after the per-packet interrupt
+//                         overhead, full protocol processing runs inline at
+//                         software-interrupt priority and is charged to
+//                         whatever principal happened to be running
+//                         (Section 3.2's misaccounting).
+//   kLrp                — Lazy Receiver Processing: packets are demultiplexed
+//                         early (at interrupt level) onto a per-process queue;
+//                         protocol processing runs later in that process's
+//                         kernel network thread and is charged to the
+//                         receiving process's container.
+//   kResourceContainer  — the paper's system: like LRP, but the charge target
+//                         is the *container bound to the socket*, and pending
+//                         packets are serviced in container network-priority
+//                         order (Section 4.7).
+#ifndef SRC_NET_STACK_H_
+#define SRC_NET_STACK_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/expected.h"
+#include "src/net/packet.h"
+#include "src/net/socket.h"
+#include "src/rc/container.h"
+#include "src/sim/time.h"
+
+namespace net {
+
+enum class NetMode {
+  kSoftint,
+  kLrp,
+  kResourceContainer,
+};
+
+const char* NetModeName(NetMode mode);
+
+// Protocol-processing costs (populated from the kernel's CostModel).
+struct StackCosts {
+  sim::Duration syn_processing = 45;    // SYN validation + PCB + SYN-ACK output
+  sim::Duration ack_processing = 25;    // handshake completion
+  sim::Duration data_in = 25;           // inbound data segment
+  sim::Duration fin_processing = 20;    // inbound FIN
+  sim::Duration output_per_packet = 20; // outbound segment (checksum + driver)
+  sim::Duration teardown = 25;          // PCB teardown on close
+  std::uint32_t mtu_bytes = 1460;
+  std::int64_t connection_memory_bytes = 4096;  // PCB + socket buffers
+};
+
+// A unit of deferred protocol processing. `cost` must be consumed as CPU time
+// (charged to `charge_to`, or to the interrupted principal when null) before
+// `apply` commits the state transition.
+struct ProtocolWork {
+  sim::Duration cost = 0;
+  rc::ContainerRef charge_to;  // null => softint misaccounting
+  std::function<void()> apply;
+};
+
+// Kernel-facing environment. The stack never schedules or wakes threads
+// directly; it reports conditions and the kernel reacts.
+class StackEnv {
+ public:
+  virtual ~StackEnv() = default;
+
+  // Transmits a server-originated packet toward the client (the environment
+  // models wire latency and delivery).
+  virtual void EmitToWire(Packet p) = 0;
+
+  // An established connection reached `ls`'s accept queue.
+  virtual void WakeAcceptors(ListenSocket& ls) = 0;
+
+  // `conn` has new data, or its peer closed.
+  virtual void WakeConnection(Connection& conn) = 0;
+
+  // Deferred work was queued for `owner_tag`'s network thread (LRP/RC).
+  virtual void NotifyPendingNetWork(std::uint64_t owner_tag) = 0;
+
+  // A SYN from `source` was dropped on `ls` (queue overflow / backlog drop).
+  // This is the kernel-to-application notification of Section 5.7.
+  virtual void OnSynDrop(ListenSocket& ls, Addr source) = 0;
+};
+
+class Stack {
+ public:
+  Stack(StackEnv* env, const StackCosts& costs, NetMode mode);
+
+  NetMode mode() const { return mode_; }
+  const StackCosts& costs() const { return costs_; }
+
+  // --- Socket management (driven by kernel syscalls) --------------------
+
+  // Binds a listen socket on <port, filter>. Multiple sockets may share a
+  // port if their filters differ; an exact duplicate is rejected.
+  rccommon::Expected<ListenRef> Listen(std::uint16_t port, const CidrFilter& filter,
+                                       rc::ContainerRef container, std::uint64_t owner_tag,
+                                       int syn_backlog = 1024, int accept_backlog = 128);
+  void CloseListen(const ListenRef& ls);
+
+  // Pops the next established connection, or nullptr when the queue is empty.
+  ConnRef Accept(ListenSocket& ls);
+
+  // Pops the next received request, if any.
+  std::optional<HttpRequestInfo> Recv(Connection& conn);
+
+  // CPU cost of transmitting an n-byte response (charged by the caller as
+  // part of the send syscall, in the sending thread's context).
+  sim::Duration SendCost(std::uint32_t bytes) const;
+
+  // Emits the response packets for `bytes` toward the client; when
+  // `close_after` is set, a FIN follows and the connection is torn down.
+  void Send(Connection& conn, std::uint32_t bytes, std::uint64_t response_to,
+            bool close_after);
+
+  // Application close: emits FIN (if not already sent) and tears down.
+  void Close(Connection& conn);
+
+  // Moves a connection's charge target to `c` (the bind-socket-to-container
+  // operation). Connection memory is migrated between containers; fails if
+  // the new container's memory limit would be exceeded.
+  rccommon::Expected<void> RebindConnection(Connection& conn, rc::ContainerRef c);
+
+  // --- Wire input --------------------------------------------------------
+
+  // Handles a packet arrival. Must be called at interrupt level, after the
+  // per-packet interrupt overhead has been consumed by the CPU engine.
+  // Returns work to execute inline (softint mode); in LRP/RC modes the work
+  // is queued on the owner's backlog and nullopt is returned.
+  std::optional<ProtocolWork> HandleArrival(const Packet& p);
+
+  // Dequeues the highest-priority pending work for `owner_tag` (LRP is FIFO;
+  // RC services container network priorities from high to low).
+  std::optional<ProtocolWork> NextPendingWork(std::uint64_t owner_tag);
+  bool HasPendingWork(std::uint64_t owner_tag) const;
+
+  // Container of the highest-priority pending packet for `owner_tag`
+  // (informs the kernel network thread's scheduling placement); null if none.
+  rc::ContainerRef PeekPendingContainer(std::uint64_t owner_tag) const;
+
+  // --- Introspection -----------------------------------------------------
+
+  std::size_t pcb_count() const { return pcbs_.size(); }
+  std::size_t listen_count() const { return listeners_.size(); }
+
+  struct Stats {
+    std::uint64_t packets_in = 0;
+    std::uint64_t packets_out = 0;
+    std::uint64_t syns_in = 0;
+    std::uint64_t syn_drops = 0;      // half-open evictions
+    std::uint64_t backlog_drops = 0;  // per-container backlog overflow
+    std::uint64_t rsts_out = 0;
+    std::uint64_t accept_drops = 0;
+    std::uint64_t mem_reject_drops = 0;  // container memory limit hit
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingPacket {
+    Packet packet;
+    rc::ContainerRef charge_to;
+    rc::ContainerId backlog_key = 0;
+  };
+  // Per-process (owner_tag) backlog of deferred protocol processing, one
+  // FIFO bucket per network priority level.
+  struct OwnerBacklog {
+    std::array<std::deque<PendingPacket>, rc::kMaxPriority + 1> buckets;
+    std::unordered_map<rc::ContainerId, int> per_container_count;
+    int total = 0;
+  };
+
+  // Finds the listen socket with the most specific filter matching
+  // (port, source); nullptr when none match.
+  ListenSocket* DemuxListen(std::uint16_t port, Addr source);
+
+  // Builds the state-transition closure for `p` (shared by all modes).
+  ProtocolWork MakeWork(const Packet& p, rc::ContainerRef charge_to);
+
+  // State transitions (run inside ProtocolWork::apply).
+  void ApplySyn(const Packet& p);
+  void ApplyAck(const Packet& p);
+  void ApplyData(const Packet& p);
+  void ApplyFin(const Packet& p);
+  void ApplyRst(const Packet& p);
+
+  void Teardown(Connection& conn);
+  void EmitRst(const Packet& cause);
+
+  // Early-demultiplexing result: where deferred processing of a packet is
+  // charged and queued (LRP/RC modes).
+  struct DemuxResult {
+    rc::ContainerRef container;   // null when the packet matches nothing
+    std::uint64_t owner_tag = 0;
+    ListenSocket* listener = nullptr;  // set for SYNs
+  };
+  DemuxResult EarlyDemux(const Packet& p);
+
+  sim::Duration CostFor(PacketType t) const;
+
+  StackEnv* const env_;
+  const StackCosts costs_;
+  const NetMode mode_;
+
+  std::vector<ListenRef> listeners_;
+  std::unordered_map<std::uint64_t, ConnRef> pcbs_;
+  std::unordered_map<std::uint64_t, OwnerBacklog> backlogs_;
+
+  Stats stats_;
+
+  static constexpr int kPerContainerBacklogLimit = 256;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_STACK_H_

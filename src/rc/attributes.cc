@@ -1,0 +1,32 @@
+#include "src/rc/attributes.h"
+
+namespace rc {
+
+using rccommon::Errc;
+using rccommon::Expected;
+using rccommon::MakeUnexpected;
+
+Expected<void> Attributes::Validate() const {
+  if (sched.priority < kMinPriority || sched.priority > kMaxPriority) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  if (sched.cls == SchedClass::kFixedShare) {
+    if (sched.fixed_share <= 0.0 || sched.fixed_share > 1.0) {
+      return MakeUnexpected(Errc::kInvalidArgument);
+    }
+  } else if (sched.fixed_share != 0.0) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  if (cpu_limit < 0.0 || cpu_limit > 1.0) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  if (memory_limit_bytes < 0) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  if (network_priority < -1 || network_priority > kMaxPriority) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  return {};
+}
+
+}  // namespace rc

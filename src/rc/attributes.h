@@ -1,0 +1,64 @@
+// Container attributes: scheduling parameters, resource limits, and network
+// QoS values (Section 4.1: "Containers have attributes; these are used to
+// provide scheduling parameters, resource limits, and network QoS values").
+#ifndef SRC_RC_ATTRIBUTES_H_
+#define SRC_RC_ATTRIBUTES_H_
+
+#include <cstdint>
+
+#include "src/common/expected.h"
+
+namespace rc {
+
+// Scheduling class of a container, mirroring the prototype's multi-level
+// policy (Section 5.1): a container either holds a fixed-share guarantee
+// from its parent, or time-shares the CPU granted to its parent with its
+// sibling time-share containers. Only fixed-share containers may have
+// children.
+enum class SchedClass {
+  kTimeShare,
+  kFixedShare,
+};
+
+// Numeric priorities act as proportional weights among sibling time-share
+// containers. Priority 0 is the starvation class used for denial-of-service
+// defense (Section 4.8): a priority-0 container is scheduled — and its
+// pending network processing performed — only when nothing else is runnable.
+inline constexpr int kMinPriority = 0;
+inline constexpr int kMaxPriority = 63;
+inline constexpr int kDefaultPriority = 16;
+
+struct SchedParams {
+  SchedClass cls = SchedClass::kTimeShare;
+  int priority = kDefaultPriority;  // time-share weight; 0 = only-when-idle
+  double fixed_share = 0.0;         // fraction of parent, for kFixedShare
+};
+
+struct Attributes {
+  SchedParams sched;
+
+  // Maximum fraction of the whole machine's CPU this container (with its
+  // descendants) may consume, enforced over a sliding window; 0 = unlimited.
+  // This is the "resource sand-box" mechanism of Section 5.6.
+  double cpu_limit = 0.0;
+
+  // Maximum bytes charged to this container's subtree; 0 = unlimited.
+  std::int64_t memory_limit_bytes = 0;
+
+  // Priority used to order kernel protocol processing of this container's
+  // pending packets (Section 4.7); -1 means "use sched.priority".
+  int network_priority = -1;
+
+  // Checks internal consistency (ranges, share bounds). Cross-container
+  // constraints (sibling share sums) are checked by ContainerManager.
+  rccommon::Expected<void> Validate() const;
+
+  // The priority used for network processing order.
+  int EffectiveNetworkPriority() const {
+    return network_priority >= 0 ? network_priority : sched.priority;
+  }
+};
+
+}  // namespace rc
+
+#endif  // SRC_RC_ATTRIBUTES_H_

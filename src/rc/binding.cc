@@ -1,0 +1,74 @@
+#include "src/rc/binding.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace rc {
+
+void SchedulerBinding::Touch(const ContainerRef& c, sim::SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(c->id(), Entry{c, now});
+  if (!inserted) {
+    it->second.last_used = now;
+  }
+}
+
+void SchedulerBinding::Reset(const ContainerRef& current, sim::SimTime now) {
+  entries_.clear();
+  if (current) {
+    entries_.emplace(current->id(), Entry{current, now});
+  }
+}
+
+std::size_t SchedulerBinding::Prune(sim::SimTime now, sim::Duration idle_threshold) {
+  const std::size_t before = entries_.size();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_used > idle_threshold) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return before - entries_.size();
+}
+
+bool SchedulerBinding::Contains(const ResourceContainer* c) const {
+  return c != nullptr && entries_.contains(c->id());
+}
+
+void SchedulerBinding::ForEach(
+    const std::function<void(const ContainerRef&)>& fn) const {
+  for (const auto& [id, e] : entries_) {
+    fn(e.container);
+  }
+}
+
+int SchedulerBinding::CombinedPriority() const {
+  int sum = 0;
+  for (const auto& [id, e] : entries_) {
+    sum += e.container->attributes().sched.priority;
+  }
+  return sum;
+}
+
+BindingPoint::~BindingPoint() {
+  if (resource_binding_) {
+    --resource_binding_->bound_thread_count_;
+  }
+}
+
+void BindingPoint::Bind(const ContainerRef& c, sim::SimTime now) {
+  RC_CHECK(c != nullptr);
+  if (resource_binding_) {
+    --resource_binding_->bound_thread_count_;
+  }
+  resource_binding_ = c;
+  ++c->bound_thread_count_;
+  sched_binding_.Touch(c, now);
+}
+
+void BindingPoint::ResetSchedulerBinding(sim::SimTime now) {
+  sched_binding_.Reset(resource_binding_, now);
+}
+
+}  // namespace rc

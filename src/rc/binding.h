@@ -1,0 +1,87 @@
+// Thread <-> container bindings (Sections 4.2 and 4.3).
+//
+// A BindingPoint is the per-thread binding state: the *resource binding*
+// (the single container currently charged for the thread's consumption) and
+// the *scheduler binding* (the set of containers the thread has recently been
+// multiplexed over, used by the scheduler to derive the thread's combined
+// allocation). The kernel's Thread embeds one BindingPoint.
+#ifndef SRC_RC_BINDING_H_
+#define SRC_RC_BINDING_H_
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rc/container.h"
+#include "src/sim/time.h"
+
+namespace rc {
+
+// The set of containers a thread is currently multiplexed over, with
+// last-use timestamps so the kernel can periodically prune containers the
+// thread "has not recently had a resource binding to" (Section 4.3).
+class SchedulerBinding {
+ public:
+  // Records that the thread was bound to `c` at time `now`; adds the
+  // container if absent, refreshes the timestamp otherwise.
+  void Touch(const ContainerRef& c, sim::SimTime now);
+
+  // Resets the set to contain only `current` ("an application can explicitly
+  // reset a thread's scheduler binding to include only the container to
+  // which it currently has a resource binding").
+  void Reset(const ContainerRef& current, sim::SimTime now);
+
+  // Drops entries not touched within `idle_threshold` of `now`. Returns the
+  // number of entries removed.
+  std::size_t Prune(sim::SimTime now, sim::Duration idle_threshold);
+
+  std::size_t size() const { return entries_.size(); }
+  bool Contains(const ResourceContainer* c) const;
+
+  void ForEach(const std::function<void(const ContainerRef&)>& fn) const;
+
+  // Sum of the time-share priorities (weights) of the bound containers; the
+  // scheduler treats a multiplexed thread as having this combined weight.
+  int CombinedPriority() const;
+
+ private:
+  struct Entry {
+    ContainerRef container;
+    sim::SimTime last_used;
+  };
+  // Keyed by container id: a busy event-driven server touches thousands of
+  // connection containers between prunes, so Touch must be O(1).
+  std::unordered_map<ContainerId, Entry> entries_;
+};
+
+// Per-thread binding state. Maintains the bound-thread count on containers
+// (used for lifetime semantics: a container stays alive while threads are
+// bound to it, because the BindingPoint holds a ContainerRef).
+class BindingPoint {
+ public:
+  BindingPoint() = default;
+  ~BindingPoint();
+
+  BindingPoint(const BindingPoint&) = delete;
+  BindingPoint& operator=(const BindingPoint&) = delete;
+
+  // Sets the resource binding. All subsequent consumption is charged here.
+  // Also records the container in the scheduler binding.
+  void Bind(const ContainerRef& c, sim::SimTime now);
+
+  const ContainerRef& resource_binding() const { return resource_binding_; }
+  SchedulerBinding& scheduler_binding() { return sched_binding_; }
+  const SchedulerBinding& scheduler_binding() const { return sched_binding_; }
+
+  // Resets the scheduler binding to just the current resource binding.
+  void ResetSchedulerBinding(sim::SimTime now);
+
+ private:
+  ContainerRef resource_binding_;
+  SchedulerBinding sched_binding_;
+};
+
+}  // namespace rc
+
+#endif  // SRC_RC_BINDING_H_

@@ -1,0 +1,163 @@
+#include "src/rc/container.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/rc/manager.h"
+
+namespace rc {
+
+using rccommon::Errc;
+using rccommon::Expected;
+using rccommon::MakeUnexpected;
+
+ResourceContainer::ResourceContainer(ContainerManager* manager,
+                                     std::shared_ptr<const bool> manager_alive,
+                                     ContainerId id, std::string name, Attributes attrs)
+    : manager_(manager),
+      manager_alive_(std::move(manager_alive)),
+      id_(id),
+      name_(std::move(name)),
+      attrs_(attrs) {}
+
+ResourceContainer::~ResourceContainer() {
+  // Orphan children to the top level ("no parent"): they become children of
+  // the root container. Their subtree memory migrates with them. When the
+  // manager itself is being torn down (the dying container IS the root, or
+  // the root is already gone), children are simply detached.
+  const bool manager_alive = *manager_alive_;
+  ResourceContainer* root = manager_alive ? manager_->root().get() : nullptr;
+  if (root == this) {
+    root = nullptr;
+  }
+  while (!children_.empty()) {
+    ResourceContainer* child = children_.back();
+    children_.pop_back();
+    const std::int64_t m = child->subtree_memory_bytes_;
+    // Remove the child's memory from this dying chain (self upward), then
+    // account it at the root chain (just the root, its new parent).
+    PropagateMemory(-m);
+    child->parent_ = root;
+    if (root != nullptr) {
+      root->children_.push_back(child);
+      root->PropagateMemory(m);
+      manager_->NotifyReparent(*child, /*old_parent=*/this, /*new_parent=*/root);
+    }
+  }
+
+  if (parent_ != nullptr) {
+    // Retire accumulated usage into the parent so machine-wide accounting is
+    // conserved across container destruction.
+    ResourceUsage retired = usage_;
+    retired += retired_;
+    parent_->retired_ += retired;
+
+    parent_->RemoveChild(this);
+    parent_->PropagateMemory(-subtree_memory_bytes_);
+  }
+
+  if (manager_alive) {
+    manager_->OnDestroy(*this);
+  }
+}
+
+int ResourceContainer::depth() const {
+  int d = 0;
+  for (const ResourceContainer* p = parent_; p != nullptr; p = p->parent_) {
+    ++d;
+  }
+  return d;
+}
+
+bool ResourceContainer::IsSelfOrDescendant(const ResourceContainer* candidate) const {
+  for (const ResourceContainer* p = candidate; p != nullptr; p = p->parent_) {
+    if (p == this) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Expected<void> ResourceContainer::SetAttributes(const Attributes& attrs) {
+  if (auto v = attrs.Validate(); !v.ok()) {
+    return v;
+  }
+  // A container with children must stay fixed-share (time-share containers
+  // cannot have children).
+  if (!children_.empty() && attrs.sched.cls != SchedClass::kFixedShare) {
+    return MakeUnexpected(Errc::kHasChildren);
+  }
+  // Re-check the sibling share budget when this container holds (or takes) a
+  // fixed-share guarantee.
+  if (parent_ != nullptr && attrs.sched.cls == SchedClass::kFixedShare) {
+    const double others = ContainerManager::SiblingFixedShareSum(*parent_, this);
+    if (others + attrs.sched.fixed_share > 1.0 + 1e-9) {
+      return MakeUnexpected(Errc::kLimitExceeded);
+    }
+  }
+  attrs_ = attrs;
+  return {};
+}
+
+ResourceUsage ResourceContainer::SubtreeUsage() const {
+  ResourceUsage total = usage_;
+  total += retired_;
+  for (const ResourceContainer* child : children_) {
+    total += child->SubtreeUsage();
+  }
+  return total;
+}
+
+void ResourceContainer::ChargeCpu(sim::Duration usec, CpuKind kind) {
+  RC_DCHECK(usec >= 0);
+  usage_.AddCpu(usec, kind);
+}
+
+Expected<void> ResourceContainer::ChargeMemory(std::int64_t bytes) {
+  RC_CHECK(bytes >= 0);
+  for (const ResourceContainer* p = this; p != nullptr; p = p->parent_) {
+    const std::int64_t limit = p->attrs_.memory_limit_bytes;
+    if (limit > 0 && p->subtree_memory_bytes_ + bytes > limit) {
+      return MakeUnexpected(Errc::kLimitExceeded);
+    }
+  }
+  usage_.memory_bytes += bytes;
+  usage_.memory_peak_bytes = std::max(usage_.memory_peak_bytes, usage_.memory_bytes);
+  PropagateMemory(bytes);
+  return {};
+}
+
+void ResourceContainer::ReleaseMemory(std::int64_t bytes) {
+  RC_CHECK(bytes >= 0);
+  RC_CHECK(usage_.memory_bytes >= bytes);
+  usage_.memory_bytes -= bytes;
+  PropagateMemory(-bytes);
+}
+
+void ResourceContainer::ForEachChild(
+    const std::function<void(ResourceContainer&)>& fn) const {
+  for (ResourceContainer* child : children_) {
+    fn(*child);
+  }
+}
+
+void ResourceContainer::AdoptChild(ResourceContainer* child) {
+  children_.push_back(child);
+  child->parent_ = this;
+}
+
+void ResourceContainer::RemoveChild(ResourceContainer* child) {
+  auto it = std::find(children_.begin(), children_.end(), child);
+  RC_CHECK(it != children_.end());
+  children_.erase(it);
+}
+
+void ResourceContainer::PropagateMemory(std::int64_t delta) {
+  for (ResourceContainer* p = this; p != nullptr; p = p->parent_) {
+    p->subtree_memory_bytes_ += delta;
+    RC_DCHECK(p->subtree_memory_bytes_ >= 0);
+  }
+}
+
+}  // namespace rc

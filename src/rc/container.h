@@ -1,0 +1,144 @@
+// The resource container: "an abstract operating system entity that logically
+// contains all the system resources being used by an application to achieve a
+// particular independent activity" (Section 4.1).
+//
+// Lifetime follows the paper's reference model (Section 4.6): a container is
+// held alive by descriptor references and thread resource bindings, both of
+// which are represented as shared_ptr copies (ContainerRef). When the last
+// reference drops the container is destroyed: its accumulated usage is
+// retired into its parent, and its children are orphaned to the top level
+// ("If the parent P of a container C is destroyed, C's parent is set to
+// 'no parent'").
+#ifndef SRC_RC_CONTAINER_H_
+#define SRC_RC_CONTAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/expected.h"
+#include "src/rc/attributes.h"
+#include "src/rc/usage.h"
+#include "src/sim/time.h"
+
+namespace rc {
+
+class ContainerManager;
+class ResourceContainer;
+
+using ContainerId = std::uint64_t;
+using ContainerRef = std::shared_ptr<ResourceContainer>;
+
+class ResourceContainer {
+ public:
+  // Containers are created only through ContainerManager.
+  ResourceContainer(const ResourceContainer&) = delete;
+  ResourceContainer& operator=(const ResourceContainer&) = delete;
+  ~ResourceContainer();
+
+  ContainerId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Parent in the hierarchy; nullptr only for the root container.
+  ResourceContainer* parent() const { return parent_; }
+  bool is_root() const { return parent_ == nullptr; }
+  bool IsLeaf() const { return children_.empty(); }
+  std::size_t child_count() const { return children_.size(); }
+  int depth() const;
+
+  // True if `candidate` is this container or one of its descendants.
+  bool IsSelfOrDescendant(const ResourceContainer* candidate) const;
+
+  const Attributes& attributes() const { return attrs_; }
+
+  // Updates attributes; validated, and sibling fixed-share sums re-checked.
+  rccommon::Expected<void> SetAttributes(const Attributes& attrs);
+
+  // --- Accounting -----------------------------------------------------
+
+  // Usage charged directly to this container (excludes descendants).
+  const ResourceUsage& usage() const { return usage_; }
+
+  // Usage of destroyed descendants, retired into this container.
+  const ResourceUsage& retired_usage() const { return retired_; }
+
+  // This container plus all live descendants plus retired descendants.
+  ResourceUsage SubtreeUsage() const;
+
+  void ChargeCpu(sim::Duration usec, CpuKind kind);
+
+  // Charges `bytes` of memory, enforcing memory limits on this container and
+  // every ancestor (a parent's limit constrains its whole subtree).
+  rccommon::Expected<void> ChargeMemory(std::int64_t bytes);
+  void ReleaseMemory(std::int64_t bytes);
+
+  // Subtree memory currently charged (maintained incrementally).
+  std::int64_t subtree_memory_bytes() const { return subtree_memory_bytes_; }
+
+  // Records a completed disk transfer (service time + size).
+  void ChargeDisk(sim::Duration busy_usec, std::uint32_t kb) {
+    usage_.disk_busy_usec += busy_usec;
+    ++usage_.disk_reads;
+    usage_.disk_kb += kb;
+  }
+
+  void CountPacketReceived(std::uint64_t bytes) {
+    ++usage_.packets_received;
+    usage_.bytes_received += bytes;
+  }
+  void CountPacketDropped() { ++usage_.packets_dropped; }
+  void CountBytesSent(std::uint64_t bytes) { usage_.bytes_sent += bytes; }
+
+  // --- Hierarchy traversal --------------------------------------------
+
+  void ForEachChild(const std::function<void(ResourceContainer&)>& fn) const;
+
+  // --- Scheduler integration ------------------------------------------
+
+  // Opaque per-container state owned by the CPU scheduler. The scheduler
+  // installs and reclaims it via the manager's destruction observer.
+  void set_sched_cookie(void* cookie) { sched_cookie_ = cookie; }
+  void* sched_cookie() const { return sched_cookie_; }
+
+  // Monotonic count of threads whose *current* resource binding is this
+  // container; maintained by BindingPoint.
+  int bound_thread_count() const { return bound_thread_count_; }
+
+  ContainerManager* manager() const { return manager_; }
+
+ private:
+  friend class ContainerManager;
+  friend class BindingPoint;
+
+  ResourceContainer(ContainerManager* manager, std::shared_ptr<const bool> manager_alive,
+                    ContainerId id, std::string name, Attributes attrs);
+
+  void AdoptChild(ResourceContainer* child);
+  void RemoveChild(ResourceContainer* child);
+  // Adds `delta` to subtree_memory of this node and all ancestors.
+  void PropagateMemory(std::int64_t delta);
+
+  ContainerManager* manager_;
+  // Containers can outlive the manager (e.g. refs held by queued simulator
+  // events at teardown); this flag makes the destructor safe in that case.
+  std::shared_ptr<const bool> manager_alive_;
+  const ContainerId id_;
+  std::string name_;
+  Attributes attrs_;
+
+  ResourceContainer* parent_ = nullptr;
+  std::vector<ResourceContainer*> children_;
+
+  ResourceUsage usage_;
+  ResourceUsage retired_;
+  std::int64_t subtree_memory_bytes_ = 0;
+
+  void* sched_cookie_ = nullptr;
+  int bound_thread_count_ = 0;
+};
+
+}  // namespace rc
+
+#endif  // SRC_RC_CONTAINER_H_

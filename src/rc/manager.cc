@@ -1,0 +1,139 @@
+#include "src/rc/manager.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace rc {
+
+using rccommon::Errc;
+using rccommon::Expected;
+using rccommon::MakeUnexpected;
+
+ContainerManager::ContainerManager() : alive_(std::make_shared<bool>(true)) {
+  Attributes root_attrs;
+  root_attrs.sched.cls = SchedClass::kFixedShare;
+  root_attrs.sched.fixed_share = 1.0;
+  root_ = ContainerRef(new ResourceContainer(this, alive_, next_id_++, "root", root_attrs));
+  index_[root_->id()] = root_;
+}
+
+ContainerManager::~ContainerManager() {
+  // Containers still referenced elsewhere (e.g. by queued simulator events)
+  // may be destroyed after this point; the shared flag tells their
+  // destructors to skip manager interaction.
+  *alive_ = false;
+  root_.reset();
+}
+
+Expected<ContainerRef> ContainerManager::Create(const ContainerRef& parent,
+                                                std::string name,
+                                                const Attributes& attrs) {
+  if (auto v = attrs.Validate(); !v.ok()) {
+    return MakeUnexpected(v.error());
+  }
+  ResourceContainer* p = parent ? parent.get() : root_.get();
+  if (auto v = CheckParentEligible(*p, attrs, nullptr); !v.ok()) {
+    return MakeUnexpected(v.error());
+  }
+  ContainerRef c(new ResourceContainer(this, alive_, next_id_++, std::move(name), attrs));
+  p->AdoptChild(c.get());
+  index_[c->id()] = c;
+  return c;
+}
+
+Expected<void> ContainerManager::SetParent(const ContainerRef& c,
+                                           const ContainerRef& parent) {
+  if (!c || c == root_) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  ResourceContainer* new_parent = parent ? parent.get() : root_.get();
+  if (new_parent == c->parent()) {
+    return {};
+  }
+  // Reject cycles: the new parent must not be c or a descendant of c.
+  if (c->IsSelfOrDescendant(new_parent)) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  if (auto v = CheckParentEligible(*new_parent, c->attributes(), c.get()); !v.ok()) {
+    return v;
+  }
+
+  ResourceContainer* old_parent = c->parent();
+  RC_CHECK(old_parent != nullptr);
+  const std::int64_t m = c->subtree_memory_bytes();
+  old_parent->RemoveChild(c.get());
+  old_parent->PropagateMemory(-m);
+  new_parent->AdoptChild(c.get());
+  new_parent->PropagateMemory(m);
+  NotifyReparent(*c, old_parent, new_parent);
+  return {};
+}
+
+Expected<ContainerRef> ContainerManager::Lookup(ContainerId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return MakeUnexpected(Errc::kNotFound);
+  }
+  ContainerRef ref = it->second.lock();
+  if (!ref) {
+    return MakeUnexpected(Errc::kNotFound);
+  }
+  return ref;
+}
+
+void ContainerManager::AddDestroyObserver(
+    std::function<void(ResourceContainer&)> observer) {
+  destroy_observers_.push_back(std::move(observer));
+}
+
+void ContainerManager::AddReparentObserver(ReparentObserver observer) {
+  reparent_observers_.push_back(std::move(observer));
+}
+
+void ContainerManager::NotifyReparent(ResourceContainer& child,
+                                      ResourceContainer* old_parent,
+                                      ResourceContainer* new_parent) {
+  for (auto& observer : reparent_observers_) {
+    observer(child, old_parent, new_parent);
+  }
+}
+
+double ContainerManager::SiblingFixedShareSum(const ResourceContainer& parent,
+                                              const ResourceContainer* exclude) {
+  double sum = 0.0;
+  parent.ForEachChild([&](ResourceContainer& child) {
+    if (&child == exclude) {
+      return;
+    }
+    if (child.attributes().sched.cls == SchedClass::kFixedShare) {
+      sum += child.attributes().sched.fixed_share;
+    }
+  });
+  return sum;
+}
+
+void ContainerManager::OnDestroy(ResourceContainer& c) {
+  for (auto& observer : destroy_observers_) {
+    observer(c);
+  }
+  index_.erase(c.id());
+}
+
+Expected<void> ContainerManager::CheckParentEligible(
+    const ResourceContainer& parent, const Attributes& child_attrs,
+    const ResourceContainer* exclude) const {
+  // Time-share containers cannot have children (prototype rule, Section 5.1).
+  if (parent.attributes().sched.cls != SchedClass::kFixedShare) {
+    return MakeUnexpected(Errc::kHasChildren);
+  }
+  if (child_attrs.sched.cls == SchedClass::kFixedShare) {
+    const double others = SiblingFixedShareSum(parent, exclude);
+    if (others + child_attrs.sched.fixed_share > 1.0 + 1e-9) {
+      return MakeUnexpected(Errc::kLimitExceeded);
+    }
+  }
+  return {};
+}
+
+}  // namespace rc

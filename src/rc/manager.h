@@ -1,0 +1,88 @@
+// ContainerManager: creates containers, owns the root of the hierarchy, and
+// enforces cross-container invariants (sibling share sums, parenting rules).
+#ifndef SRC_RC_MANAGER_H_
+#define SRC_RC_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/expected.h"
+#include "src/rc/container.h"
+
+namespace rc {
+
+class ContainerManager {
+ public:
+  ContainerManager();
+  ~ContainerManager();
+
+  ContainerManager(const ContainerManager&) = delete;
+  ContainerManager& operator=(const ContainerManager&) = delete;
+
+  // The machine-wide root container: fixed-share, 100% of the CPU. All
+  // top-level ("no parent") containers are its children.
+  const ContainerRef& root() const { return root_; }
+
+  // Creates a container under `parent` (nullptr means top level). Fails if
+  // the parent is a time-share container ("time-share containers cannot have
+  // children", Section 5.1) or if a fixed share would oversubscribe the
+  // parent.
+  rccommon::Expected<ContainerRef> Create(const ContainerRef& parent, std::string name,
+                                          const Attributes& attrs = {});
+
+  // Re-parents `c` (Section 4.6 "Set a container's parent"); `parent` of
+  // nullptr means "no parent" (top level). Rejects cycles and
+  // oversubscription at the new parent.
+  rccommon::Expected<void> SetParent(const ContainerRef& c, const ContainerRef& parent);
+
+  // "Obtain handle for existing container" (Table 1). Returns kNotFound when
+  // the id does not name a live container.
+  rccommon::Expected<ContainerRef> Lookup(ContainerId id) const;
+
+  // Number of live containers, including the root.
+  std::size_t live_count() const { return index_.size(); }
+
+  // Registers a callback invoked when any container is destroyed (used by
+  // the CPU scheduler and the network stack to drop per-container state).
+  void AddDestroyObserver(std::function<void(ResourceContainer&)> observer);
+
+  // Registers a callback invoked after a container is re-parented (explicit
+  // SetParent, or orphaning to the top level when the parent is destroyed).
+  // `old_parent` is still a valid object at notification time.
+  using ReparentObserver = std::function<void(ResourceContainer& child,
+                                              ResourceContainer* old_parent,
+                                              ResourceContainer* new_parent)>;
+  void AddReparentObserver(ReparentObserver observer);
+
+  // Sum of fixed shares of `parent`'s fixed-share children, excluding
+  // `exclude` (used when re-validating an attribute change).
+  static double SiblingFixedShareSum(const ResourceContainer& parent,
+                                     const ResourceContainer* exclude);
+
+ private:
+  friend class ResourceContainer;
+
+  // Called from ResourceContainer's destructor.
+  void OnDestroy(ResourceContainer& c);
+
+  void NotifyReparent(ResourceContainer& child, ResourceContainer* old_parent,
+                      ResourceContainer* new_parent);
+
+  rccommon::Expected<void> CheckParentEligible(const ResourceContainer& parent,
+                                               const Attributes& child_attrs,
+                                               const ResourceContainer* exclude) const;
+
+  std::shared_ptr<bool> alive_;
+  ContainerRef root_;
+  ContainerId next_id_ = 1;
+  std::unordered_map<ContainerId, std::weak_ptr<ResourceContainer>> index_;
+  std::vector<std::function<void(ResourceContainer&)>> destroy_observers_;
+  std::vector<ReparentObserver> reparent_observers_;
+};
+
+}  // namespace rc
+
+#endif  // SRC_RC_MANAGER_H_

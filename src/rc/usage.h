@@ -1,0 +1,82 @@
+// Per-container resource usage accounting (Section 4.1 of the paper: "The
+// kernel carefully accounts for the system resources, such as CPU time and
+// memory, consumed by a resource container").
+#ifndef SRC_RC_USAGE_H_
+#define SRC_RC_USAGE_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace rc {
+
+// Which execution context consumed CPU time. The split lets experiments
+// distinguish application work from the kernel-mode network processing that
+// motivates the paper (Section 3.2).
+enum class CpuKind {
+  kUser,     // application-level processing
+  kKernel,   // syscall and other non-network kernel work
+  kNetwork,  // protocol processing (softint / LRP thread / RC net thread)
+};
+
+struct ResourceUsage {
+  std::int64_t cpu_user_usec = 0;
+  std::int64_t cpu_kernel_usec = 0;
+  std::int64_t cpu_network_usec = 0;
+
+  std::int64_t memory_bytes = 0;       // currently charged allocations
+  std::int64_t memory_peak_bytes = 0;  // high-water mark
+
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+
+  // Disk bandwidth consumption (Section 4.4 lists disk bandwidth among the
+  // resources containers control).
+  std::int64_t disk_busy_usec = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_kb = 0;
+
+  std::int64_t TotalCpuUsec() const {
+    return cpu_user_usec + cpu_kernel_usec + cpu_network_usec;
+  }
+
+  void AddCpu(sim::Duration usec, CpuKind kind) {
+    switch (kind) {
+      case CpuKind::kUser:
+        cpu_user_usec += usec;
+        break;
+      case CpuKind::kKernel:
+        cpu_kernel_usec += usec;
+        break;
+      case CpuKind::kNetwork:
+        cpu_network_usec += usec;
+        break;
+    }
+  }
+
+  // Folds another usage record into this one. Memory fields accumulate the
+  // *charged* totals (used when a destroyed child's usage is retired into its
+  // parent); current memory is also summed, since an exiting container must
+  // have released its memory first for the sum to stay meaningful.
+  ResourceUsage& operator+=(const ResourceUsage& other) {
+    cpu_user_usec += other.cpu_user_usec;
+    cpu_kernel_usec += other.cpu_kernel_usec;
+    cpu_network_usec += other.cpu_network_usec;
+    memory_bytes += other.memory_bytes;
+    memory_peak_bytes += other.memory_peak_bytes;
+    packets_received += other.packets_received;
+    packets_dropped += other.packets_dropped;
+    bytes_received += other.bytes_received;
+    bytes_sent += other.bytes_sent;
+    disk_busy_usec += other.disk_busy_usec;
+    disk_reads += other.disk_reads;
+    disk_kb += other.disk_kb;
+    return *this;
+  }
+};
+
+}  // namespace rc
+
+#endif  // SRC_RC_USAGE_H_

@@ -1,0 +1,44 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace sim {
+
+EventHandle EventQueue::Schedule(SimTime when, std::function<void()> fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventHandle(state);
+}
+
+void EventQueue::DropCanceledHead() {
+  while (!heap_.empty() && heap_.top().state->canceled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  DropCanceledHead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() {
+  DropCanceledHead();
+  RC_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+SimTime EventQueue::RunNext() {
+  DropCanceledHead();
+  RC_CHECK(!heap_.empty());
+  // Mark fired so a handle kept by the caller reports !pending().
+  heap_.top().state->canceled = true;
+  SimTime when = heap_.top().when;
+  std::function<void()> fn = std::move(heap_.top().fn);
+  heap_.pop();
+  fn();
+  return when;
+}
+
+}  // namespace sim

@@ -1,0 +1,87 @@
+// A cancelable pending-event priority queue for the discrete-event engine.
+//
+// Events at equal timestamps fire in insertion order (FIFO), which keeps
+// simulations deterministic regardless of heap internals.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace sim {
+
+// Handle to a scheduled event; lets the scheduler cancel in-flight work
+// (e.g. a CPU slice-completion event when an interrupt preempts the slice).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly and
+  // after the event fired.
+  void Cancel() {
+    if (auto s = state_.lock()) {
+      s->canceled = true;
+    }
+  }
+
+  // True while the event is scheduled and not canceled.
+  bool pending() const {
+    auto s = state_.lock();
+    return s && !s->canceled;
+  }
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool canceled = false;
+  };
+  explicit EventHandle(std::weak_ptr<State> state) : state_(std::move(state)) {}
+  std::weak_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `when`. Returns a handle usable to cancel.
+  EventHandle Schedule(SimTime when, std::function<void()> fn);
+
+  // True when no non-canceled event remains. Purges canceled entries.
+  bool empty();
+
+  // Time of the earliest non-canceled event. Precondition: !empty().
+  SimTime NextTime();
+
+  // Pops and runs the earliest non-canceled event; returns its timestamp.
+  // Precondition: !empty().
+  SimTime RunNext();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    // fn is mutable so it can be moved out of the priority queue's top().
+    mutable std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCanceledHead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,50 @@
+// Deterministic random-number generation for experiments.
+//
+// xoshiro256** seeded via SplitMix64: fast, high quality, and — unlike
+// std::mt19937 distributions — bit-for-bit reproducible across standard
+// library implementations, which EXPERIMENTS.md relies on.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  // Exponential with the given mean (> 0). Used for Poisson arrivals.
+  double Exponential(double mean);
+
+  // Exponential inter-arrival gap for a Poisson process of `rate_per_sec`
+  // events per simulated second, returned as a Duration (>= 1 usec).
+  Duration PoissonGap(double rate_per_sec);
+
+  // Bernoulli trial with probability p of returning true.
+  bool Chance(double p);
+
+  // Derives an independent stream (for giving each client its own RNG).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_RNG_H_

@@ -1,0 +1,45 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace sim {
+
+EventHandle Simulator::At(SimTime when, std::function<void()> fn) {
+  RC_CHECK(when >= now_);
+  return queue_.Schedule(when, std::move(fn));
+}
+
+EventHandle Simulator::After(Duration delay, std::function<void()> fn) {
+  RC_CHECK(delay >= 0);
+  return queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  SimTime when = queue_.NextTime();
+  RC_CHECK(when >= now_);
+  now_ = when;
+  queue_.RunNext();
+  ++events_run_;
+  return true;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace sim

@@ -1,0 +1,47 @@
+// The discrete-event simulator: a virtual clock plus an event queue.
+//
+// Every component of the simulated system (CPU engine, NIC, clients) advances
+// exclusively by scheduling callbacks here, so a whole experiment is a pure
+// function of its configuration and RNG seed.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `when` (>= now()).
+  EventHandle At(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` microseconds of simulated time.
+  EventHandle After(Duration delay, std::function<void()> fn);
+
+  // Runs the earliest pending event; returns false if none remain.
+  bool Step();
+
+  // Runs events until the clock reaches `deadline` (events at exactly
+  // `deadline` are executed) or the queue drains.
+  void RunUntil(SimTime deadline);
+
+  // Runs until no events remain.
+  void RunUntilIdle();
+
+  // Total number of events executed (diagnostics).
+  std::uint64_t events_run() const { return events_run_; }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  std::uint64_t events_run_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,74 @@
+// Online statistics used by the workload generators and benchmark harness.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace sim {
+
+// Welford-style running mean / variance / extrema.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Keeps all samples; supports exact percentiles. Fine at experiment scale
+// (at most a few million samples per run).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+
+  // Exact percentile by nearest-rank; p in [0, 100].
+  double Percentile(double p);
+  double Median() { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+// Events-per-second meter over a measurement interval.
+class RateMeter {
+ public:
+  void Start(SimTime now) { start_ = now; }
+  void Stop(SimTime now) { stop_ = now; }
+  void Count(std::uint64_t n = 1) { events_ += n; }
+
+  std::uint64_t events() const { return events_; }
+  // Events per simulated second over [start, stop].
+  double PerSecond() const;
+
+ private:
+  SimTime start_ = 0;
+  SimTime stop_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_STATS_H_

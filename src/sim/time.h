@@ -1,0 +1,33 @@
+// Simulated-time representation.
+//
+// All simulated time in this project is an integer count of microseconds
+// since the start of the simulation. Microsecond granularity matches the
+// paper's cost tables (Table 1 reports primitive costs in microseconds, the
+// per-request CPU costs in Section 5.3 are 338us / 105us).
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace sim {
+
+// Absolute simulated time (microseconds since simulation start).
+using SimTime = std::int64_t;
+
+// A duration in simulated microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kUsec = 1;
+constexpr Duration kMsec = 1000;
+constexpr Duration kSec = 1000 * 1000;
+
+constexpr Duration Usec(std::int64_t n) { return n * kUsec; }
+constexpr Duration Msec(std::int64_t n) { return n * kMsec; }
+constexpr Duration Sec(std::int64_t n) { return n * kSec; }
+
+// Converts a duration to fractional seconds (for reporting only).
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / kSec; }
+
+}  // namespace sim
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,85 @@
+#include "src/xp/scenario.h"
+
+#include "src/common/check.h"
+
+namespace xp {
+
+Scenario::Scenario(const ScenarioOptions& options) : options_(options) {
+  kernel_ = std::make_unique<kernel::Kernel>(&simr_, options_.kernel_config);
+  wire_ = std::make_unique<load::Wire>(&simr_, kernel_.get(), options_.wire_latency);
+  // The paper's experiments serve a cached 1 KB document (doc id 1).
+  cache_.AddDocument(1, 1024);
+  kernel_->Start();
+}
+
+void Scenario::StartServer(rc::ContainerRef guest) {
+  RC_CHECK(server_ == nullptr);
+  server_ = std::make_unique<httpd::EventDrivenServer>(kernel_.get(), &cache_,
+                                                       options_.server_config);
+  server_->Start(std::move(guest));
+}
+
+load::HttpClient* Scenario::AddClient(const load::HttpClient::Config& config) {
+  auto client =
+      std::make_unique<load::HttpClient>(&simr_, wire_.get(), next_client_id_++, config);
+  load::HttpClient* raw = client.get();
+  clients_.push_back(std::move(client));
+  return raw;
+}
+
+std::vector<load::HttpClient*> Scenario::AddStaticClients(int n, net::Addr base,
+                                                          int client_class,
+                                                          int requests_per_conn) {
+  std::vector<load::HttpClient*> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    load::HttpClient::Config cfg;
+    cfg.addr = net::Addr{base.v + static_cast<std::uint32_t>(i) + 1};
+    cfg.client_class = client_class;
+    cfg.requests_per_conn = requests_per_conn;
+    out.push_back(AddClient(cfg));
+  }
+  return out;
+}
+
+load::SynFlooder* Scenario::AddFlooder(const load::SynFlooder::Config& config) {
+  auto flooder = std::make_unique<load::SynFlooder>(&simr_, wire_.get(), config);
+  load::SynFlooder* raw = flooder.get();
+  flooders_.push_back(std::move(flooder));
+  return raw;
+}
+
+void Scenario::StartAllClients(sim::Duration step) {
+  sim::SimTime at = simr_.now();
+  for (auto& c : clients_) {
+    c->Start(at);
+    at += step;
+  }
+}
+
+void Scenario::RunFor(sim::Duration d) { simr_.RunUntil(simr_.now() + d); }
+
+void Scenario::ResetClientStats() {
+  for (auto& c : clients_) {
+    c->ResetStats();
+  }
+}
+
+std::uint64_t Scenario::TotalCompleted() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) {
+    total += c->completed();
+  }
+  return total;
+}
+
+CpuSnapshot Scenario::SnapshotCpu() const {
+  CpuSnapshot snap;
+  snap.at = simr_.now();
+  snap.busy = kernel_->cpu().busy_usec();
+  snap.interrupt = kernel_->cpu().interrupt_usec();
+  snap.charged = kernel_->TotalChargedCpuUsec();
+  return snap;
+}
+
+}  // namespace xp

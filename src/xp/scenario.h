@@ -1,0 +1,92 @@
+// Standard experiment scenario: one simulated server machine (kernel +
+// event-driven Web server + file cache), a wire, and a population of client
+// actors. Shared by the benchmark binaries and the integration tests.
+#ifndef SRC_XP_SCENARIO_H_
+#define SRC_XP_SCENARIO_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/httpd/event_server.h"
+#include "src/httpd/file_cache.h"
+#include "src/kernel/kernel.h"
+#include "src/load/http_client.h"
+#include "src/load/syn_flood.h"
+#include "src/load/wire.h"
+#include "src/sim/simulator.h"
+
+namespace xp {
+
+struct ScenarioOptions {
+  kernel::KernelConfig kernel_config;
+  httpd::ServerConfig server_config;
+  sim::Duration wire_latency = 100;  // one-way, usec
+};
+
+// Snapshot of machine-level CPU accounting (for utilization/share series).
+struct CpuSnapshot {
+  sim::SimTime at = 0;
+  sim::Duration busy = 0;
+  sim::Duration interrupt = 0;
+  sim::Duration charged = 0;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioOptions& options);
+
+  sim::Simulator& simulator() { return simr_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+  load::Wire& wire() { return *wire_; }
+  httpd::FileCache& cache() { return cache_; }
+  httpd::EventDrivenServer& server() { return *server_; }
+
+  // Starts the standard event-driven server (call once). `guest` optionally
+  // supplies a fixed-share default container (virtual-server experiments).
+  void StartServer(rc::ContainerRef guest = nullptr);
+
+  load::HttpClient* AddClient(const load::HttpClient::Config& config);
+
+  // N identical static-document clients with consecutive addresses
+  // base+1 ... base+n.
+  std::vector<load::HttpClient*> AddStaticClients(int n, net::Addr base,
+                                                  int client_class = 0,
+                                                  int requests_per_conn = 1);
+
+  load::SynFlooder* AddFlooder(const load::SynFlooder::Config& config);
+
+  // Starts every client, staggered by `step` so simultaneous connection
+  // bursts do not overwhelm bounded kernel queues unrealistically.
+  void StartAllClients(sim::Duration step = sim::Msec(1));
+
+  // Advances simulated time by `d`.
+  void RunFor(sim::Duration d);
+
+  // End-of-warm-up: clears client statistics so subsequent readings cover
+  // only the measurement interval.
+  void ResetClientStats();
+
+  // Aggregate completed requests across `clients` (or all clients).
+  std::uint64_t TotalCompleted() const;
+
+  CpuSnapshot SnapshotCpu() const;
+
+  const std::vector<std::unique_ptr<load::HttpClient>>& clients() const {
+    return clients_;
+  }
+
+ private:
+  ScenarioOptions options_;
+  sim::Simulator simr_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<load::Wire> wire_;
+  httpd::FileCache cache_;
+  std::unique_ptr<httpd::EventDrivenServer> server_;
+  std::vector<std::unique_ptr<load::HttpClient>> clients_;
+  std::vector<std::unique_ptr<load::SynFlooder>> flooders_;
+  std::uint32_t next_client_id_ = 1;
+};
+
+}  // namespace xp
+
+#endif  // SRC_XP_SCENARIO_H_

@@ -1,0 +1,33 @@
+// Fixed-width table output for benchmark harnesses (mirrors the rows/series
+// of the paper's tables and figures).
+#ifndef SRC_XP_TABLE_H_
+#define SRC_XP_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xp {
+
+std::string FormatDouble(double v, int precision = 1);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Aligned human-readable output.
+  void Print(std::ostream& os) const;
+
+  // Machine-readable CSV.
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xp
+
+#endif  // SRC_XP_TABLE_H_

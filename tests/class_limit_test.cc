@@ -1,0 +1,139 @@
+// Tests for class-level resource control (Section 4.8: "restrict the total
+// CPU consumption of certain classes of requests" by parenting per-request
+// containers under a class-specific container) and the harness utilities.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+namespace {
+
+TEST(ClassLimitTest, PerClassRequestContainersNestUnderClassContainer) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  httpd::ServerConfig& server = options.server_config;
+  server.use_containers = true;
+  server.use_event_api = true;
+  server.classes.clear();
+  server.classes.push_back(httpd::ListenClass{net::kMatchAll, 16, "metered", 0.8, 0.0});
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(4, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  EXPECT_GT(scenario.TotalCompleted(), 500u);
+
+  // The class container's subtree accumulated the per-request consumption.
+  rc::ResourceContainer* metered = nullptr;
+  scenario.kernel().containers().root()->ForEachChild([&](rc::ResourceContainer& c) {
+    if (c.name() == "listen-metered") {
+      metered = &c;
+    }
+  });
+  ASSERT_NE(metered, nullptr);
+  const rc::ResourceUsage u = metered->SubtreeUsage();
+  EXPECT_GT(u.TotalCpuUsec(), sim::Msec(500));
+  EXPECT_GT(u.bytes_sent, 100000u);
+}
+
+TEST(ClassLimitTest, ClassCpuLimitCapsWholeClass) {
+  // Two classes: "capped" is limited to 20% of the machine; "free" is not.
+  // Both offer saturating load; the capped class must stay near its cap.
+  //
+  // Note: with an event-driven server ONE thread serves both classes, so
+  // while the capped class is throttled mid-request the whole server waits
+  // out the window (head-of-line blocking). The cap itself is what this
+  // test asserts; hard caps without HOL effects require dedicated threads
+  // per capped activity, as in the paper's CGI sand-box experiments.
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  httpd::ServerConfig& server = options.server_config;
+  server.use_containers = true;
+  server.use_event_api = true;
+  server.classes.clear();
+  server.classes.push_back(httpd::ListenClass{
+      net::CidrFilter{net::MakeAddr(10, 5, 0, 0), 16}, 16, "capped", 0.2, 0.2});
+  server.classes.push_back(httpd::ListenClass{net::kMatchAll, 16, "free", 0.8, 0.0});
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  auto capped_clients = scenario.AddStaticClients(12, net::MakeAddr(10, 5, 0, 0), 1);
+  auto free_clients = scenario.AddStaticClients(12, net::MakeAddr(10, 6, 0, 0), 0);
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+  scenario.ResetClientStats();
+
+  rc::ResourceContainer* capped = nullptr;
+  scenario.kernel().containers().root()->ForEachChild([&](rc::ResourceContainer& c) {
+    if (c.name() == "listen-capped") {
+      capped = &c;
+    }
+  });
+  ASSERT_NE(capped, nullptr);
+  const sim::Duration used0 = capped->SubtreeUsage().TotalCpuUsec();
+  const sim::SimTime t0 = scenario.simulator().now();
+  scenario.RunFor(sim::Sec(4));
+  const double share =
+      static_cast<double>(capped->SubtreeUsage().TotalCpuUsec() - used0) /
+      static_cast<double>(scenario.simulator().now() - t0);
+  EXPECT_NEAR(share, 0.20, 0.03);
+
+  // Both classes still make progress.
+  std::uint64_t capped_done = 0;
+  for (auto* c : capped_clients) {
+    capped_done += c->completed();
+  }
+  std::uint64_t free_done = 0;
+  for (auto* c : free_clients) {
+    free_done += c->completed();
+  }
+  EXPECT_GT(capped_done, 100u);
+  EXPECT_GT(free_done, capped_done / 2);
+}
+
+TEST(TableTest, AlignsColumns) {
+  xp::Table t({"a", "long-header"});
+  t.AddRow({"xxxx", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header, rule, one row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  xp::Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(xp::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(xp::FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(xp::FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(ScenarioTest, SnapshotCpuMonotone) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::UnmodifiedSystemConfig();
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(2, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  auto s0 = scenario.SnapshotCpu();
+  scenario.RunFor(sim::Msec(500));
+  auto s1 = scenario.SnapshotCpu();
+  EXPECT_GT(s1.at, s0.at);
+  EXPECT_GE(s1.busy, s0.busy);
+  EXPECT_GE(s1.charged, s0.charged);
+}
+
+}  // namespace

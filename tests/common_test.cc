@@ -1,0 +1,67 @@
+// Unit tests for the shared Expected<T> type.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/expected.h"
+
+namespace rccommon {
+namespace {
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.error(), Errc::kOk);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e = MakeUnexpected(Errc::kNotFound);
+  EXPECT_FALSE(e.ok());
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(e.error(), Errc::kNotFound);
+}
+
+TEST(ExpectedTest, ValueOrFallsBack) {
+  Expected<int> ok(7);
+  Expected<int> err = MakeUnexpected(Errc::kWouldBlock);
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::string> e(std::string("hello"));
+  std::string s = *std::move(e);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string> e(std::string("hello"));
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(ExpectedVoidTest, DefaultIsOk) {
+  Expected<void> e;
+  EXPECT_TRUE(e.ok());
+  EXPECT_EQ(e.error(), Errc::kOk);
+}
+
+TEST(ExpectedVoidTest, Error) {
+  Expected<void> e = MakeUnexpected(Errc::kLimitExceeded);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.error(), Errc::kLimitExceeded);
+}
+
+TEST(ErrcTest, NamesAreDistinctAndNonNull) {
+  for (Errc e : {Errc::kOk, Errc::kInvalidArgument, Errc::kNotFound,
+                 Errc::kPermissionDenied, Errc::kLimitExceeded, Errc::kWrongState,
+                 Errc::kWouldBlock, Errc::kQueueFull, Errc::kNotLeaf,
+                 Errc::kHasChildren}) {
+    ASSERT_NE(ErrcName(e), nullptr);
+    EXPECT_GT(std::string(ErrcName(e)).size(), 0u);
+  }
+  EXPECT_STRNE(ErrcName(Errc::kNotFound), ErrcName(Errc::kWouldBlock));
+}
+
+}  // namespace
+}  // namespace rccommon

@@ -1,0 +1,311 @@
+// Tests of the server application models (event-driven, multi-threaded,
+// pre-forked) and the workload generators, driven through full scenarios.
+#include <gtest/gtest.h>
+
+#include "src/httpd/prefork_server.h"
+#include "src/httpd/threaded_server.h"
+#include "src/xp/scenario.h"
+
+namespace {
+
+TEST(FileCacheTest, HitMissAndInsert) {
+  httpd::FileCache cache;
+  cache.AddDocument(1, 1024);
+  EXPECT_EQ(cache.Lookup(1), std::optional<std::uint32_t>(1024));
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  cache.Insert(2, 2048);
+  EXPECT_EQ(cache.Lookup(2), std::optional<std::uint32_t>(2048));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(EventServerTest, ServesStaticRequests) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::UnmodifiedSystemConfig();
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  auto clients = scenario.AddStaticClients(4, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  EXPECT_GT(scenario.TotalCompleted(), 1000u);
+  EXPECT_EQ(scenario.server().stats().static_served, scenario.TotalCompleted());
+  for (auto* c : clients) {
+    EXPECT_EQ(c->failures(), 0u);
+    EXPECT_EQ(c->timeouts(), 0u);
+  }
+}
+
+TEST(EventServerTest, PersistentConnectionsAreFaster) {
+  auto run = [](int requests_per_conn) {
+    xp::ScenarioOptions options;
+    options.kernel_config = kernel::UnmodifiedSystemConfig();
+    xp::Scenario scenario(options);
+    scenario.StartServer();
+    scenario.AddStaticClients(8, net::MakeAddr(10, 1, 0, 0), 0, requests_per_conn);
+    scenario.StartAllClients();
+    scenario.RunFor(sim::Sec(2));
+    return scenario.TotalCompleted();
+  };
+  const std::uint64_t per_request = run(1);
+  const std::uint64_t persistent = run(1000);
+  EXPECT_GT(persistent, 2 * per_request);
+}
+
+TEST(EventServerTest, EventApiModeServes) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.server_config.use_containers = true;
+  options.server_config.use_event_api = true;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(4, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  EXPECT_GT(scenario.TotalCompleted(), 1000u);
+  // Per-connection containers come and go; at any instant only a bounded
+  // set should be live (conn containers of open connections + listen + misc).
+  EXPECT_LT(scenario.kernel().containers().live_count(), 5000u);
+}
+
+TEST(EventServerTest, CacheMissChargesPenaltyButServes) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::UnmodifiedSystemConfig();
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  load::HttpClient::Config cfg;
+  cfg.addr = net::MakeAddr(10, 1, 0, 1);
+  cfg.doc_id = 777;  // not in the cache
+  scenario.AddClient(cfg);
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  EXPECT_GT(scenario.TotalCompleted(), 100u);
+  EXPECT_GT(scenario.cache().misses(), 0u);
+  EXPECT_GT(scenario.cache().hits(), 0u);  // subsequent hits after insert
+}
+
+TEST(EventServerTest, CgiRequestForksAndResponds) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::UnmodifiedSystemConfig();
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  load::HttpClient::Config cgi;
+  cgi.addr = net::MakeAddr(10, 3, 0, 1);
+  cgi.is_cgi = true;
+  cgi.cgi_cpu_usec = sim::Msec(50);
+  cgi.request_timeout = sim::Sec(30);
+  scenario.AddClient(cgi);
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+  EXPECT_GT(scenario.TotalCompleted(), 10u);
+  EXPECT_GT(scenario.server().stats().cgi_started, 10u);
+  // CGI processes are detached and auto-reaped.
+  EXPECT_LE(scenario.kernel().process_count(), 3u);
+}
+
+TEST(EventServerTest, MixedStaticAndCgi) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.server_config.use_containers = true;
+  options.server_config.cgi_sandbox = true;
+  options.server_config.cgi_share = 0.3;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(4, net::MakeAddr(10, 1, 0, 0));
+  load::HttpClient::Config cgi;
+  cgi.addr = net::MakeAddr(10, 3, 0, 1);
+  cgi.is_cgi = true;
+  cgi.cgi_cpu_usec = sim::Msec(100);
+  cgi.request_timeout = sim::Sec(30);
+  scenario.AddClient(cgi);
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+  EXPECT_GT(scenario.server().stats().static_served, 1000u);
+  EXPECT_GT(scenario.server().cgi_responses_completed(), 2u);
+}
+
+TEST(EventServerTest, PriorityClassesTracked) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.server_config.use_containers = true;
+  options.server_config.classes.clear();
+  options.server_config.classes.push_back(
+      httpd::ListenClass{net::CidrFilter{net::MakeAddr(10, 1, 0, 0), 16}, 48, "gold"});
+  options.server_config.classes.push_back(httpd::ListenClass{net::kMatchAll, 8, "rest"});
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(2, net::MakeAddr(10, 1, 0, 0), /*class=*/1);
+  scenario.AddStaticClients(2, net::MakeAddr(10, 2, 0, 0), /*class=*/0);
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  EXPECT_GT(scenario.server().stats().served_by_class[0], 100u);
+  EXPECT_GT(scenario.server().stats().served_by_class[1], 100u);
+}
+
+// --- Multi-threaded server --------------------------------------------------
+
+class MtScenario {
+ public:
+  explicit MtScenario(kernel::KernelConfig kcfg, httpd::ServerConfig scfg = {}) {
+    kernel_ = std::make_unique<kernel::Kernel>(&simr_, kcfg);
+    wire_ = std::make_unique<load::Wire>(&simr_, kernel_.get());
+    cache_.AddDocument(1, 1024);
+    kernel_->Start();
+    server_ = std::make_unique<httpd::MultiThreadedServer>(kernel_.get(), &cache_, scfg);
+    server_->Start();
+  }
+  sim::Simulator simr_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<load::Wire> wire_;
+  httpd::FileCache cache_;
+  std::unique_ptr<httpd::MultiThreadedServer> server_;
+  std::vector<std::unique_ptr<load::HttpClient>> clients_;
+
+  void AddClients(int n) {
+    for (int i = 0; i < n; ++i) {
+      load::HttpClient::Config cfg;
+      cfg.addr = net::Addr{net::MakeAddr(10, 1, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+      clients_.push_back(std::make_unique<load::HttpClient>(
+          &simr_, wire_.get(), static_cast<std::uint32_t>(i + 1), cfg));
+    }
+  }
+  std::uint64_t Completed() const {
+    std::uint64_t total = 0;
+    for (auto& c : clients_) {
+      total += c->completed();
+    }
+    return total;
+  }
+};
+
+TEST(ThreadedServerTest, ServesWithThreadPool) {
+  MtScenario s(kernel::UnmodifiedSystemConfig());
+  s.AddClients(8);
+  for (auto& c : s.clients_) {
+    c->Start();
+  }
+  s.simr_.RunUntil(sim::Sec(1));
+  EXPECT_GT(s.Completed(), 1000u);
+  EXPECT_EQ(s.server_->stats().static_served, s.Completed());
+}
+
+TEST(ThreadedServerTest, PerConnectionContainersOnRcKernel) {
+  httpd::ServerConfig scfg;
+  scfg.use_containers = true;
+  MtScenario s(kernel::ResourceContainerSystemConfig(), scfg);
+  s.AddClients(8);
+  for (auto& c : s.clients_) {
+    c->Start();
+  }
+  s.simr_.RunUntil(sim::Sec(1));
+  EXPECT_GT(s.Completed(), 1000u);
+}
+
+// --- Pre-forked server -------------------------------------------------------
+
+TEST(PreforkServerTest, MasterPassesConnectionsToWorkers) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::UnmodifiedSystemConfig());
+  load::Wire wire(&simr, &kern);
+  httpd::FileCache cache;
+  cache.AddDocument(1, 1024);
+  kern.Start();
+  httpd::ServerConfig scfg;
+  scfg.worker_processes = 4;
+  httpd::PreforkServer server(&kern, &cache, scfg);
+  server.Start();
+
+  std::vector<std::unique_ptr<load::HttpClient>> clients;
+  for (int i = 0; i < 6; ++i) {
+    load::HttpClient::Config cfg;
+    cfg.addr = net::Addr{net::MakeAddr(10, 1, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+    clients.push_back(std::make_unique<load::HttpClient>(
+        &simr, &wire, static_cast<std::uint32_t>(i + 1), cfg));
+    clients.back()->Start();
+  }
+  simr.RunUntil(sim::Sec(1));
+  std::uint64_t total = 0;
+  for (auto& c : clients) {
+    total += c->completed();
+  }
+  EXPECT_GT(total, 500u);
+  EXPECT_EQ(server.stats().static_served, total);
+  EXPECT_GT(server.stats().connections_accepted, 500u);
+  // Master + 4 workers (+ no stray processes).
+  EXPECT_EQ(kern.process_count(), 5u);
+}
+
+// --- Workload generators ------------------------------------------------------
+
+TEST(HttpClientTest, MeasuresLatency) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::UnmodifiedSystemConfig();
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  auto clients = scenario.AddStaticClients(1, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  ASSERT_GT(clients[0]->latencies().count(), 0u);
+  // Unloaded: ~2 RTTs (SYN + request) + ~350 usec service.
+  EXPECT_GT(clients[0]->latencies().mean(), 0.4);
+  EXPECT_LT(clients[0]->latencies().mean(), 2.0);
+}
+
+TEST(HttpClientTest, ResetStatsClearsHistory) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::UnmodifiedSystemConfig();
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  auto clients = scenario.AddStaticClients(1, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Msec(100));
+  EXPECT_GT(clients[0]->completed(), 0u);
+  scenario.ResetClientStats();
+  EXPECT_EQ(clients[0]->completed(), 0u);
+  EXPECT_EQ(clients[0]->latencies().count(), 0u);
+}
+
+TEST(HttpClientTest, ConnectTimeoutRetriesWhenServerAbsent) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::UnmodifiedSystemConfig());
+  load::Wire wire(&simr, &kern);
+  kern.Start();
+  // No server process: SYNs meet no listener. In softint mode the stack
+  // RSTs them, producing failures and retries.
+  load::HttpClient::Config cfg;
+  cfg.addr = net::MakeAddr(10, 1, 0, 1);
+  load::HttpClient client(&simr, &wire, 1, cfg);
+  client.Start();
+  simr.RunUntil(sim::Sec(1));
+  EXPECT_EQ(client.completed(), 0u);
+  EXPECT_GT(client.failures() + client.timeouts(), 10u);
+}
+
+TEST(SynFlooderTest, GeneratesApproximatelyConfiguredRate) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::UnmodifiedSystemConfig());
+  load::Wire wire(&simr, &kern);
+  kern.Start();
+  load::SynFlooder::Config cfg;
+  cfg.rate_per_sec = 5000;
+  load::SynFlooder flooder(&simr, &wire, cfg);
+  flooder.Start();
+  simr.RunUntil(sim::Sec(2));
+  flooder.Stop();
+  EXPECT_NEAR(static_cast<double>(flooder.sent()), 10000.0, 500.0);
+}
+
+TEST(WireTest, DropsPacketsToUnknownAddresses) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::UnmodifiedSystemConfig());
+  load::Wire wire(&simr, &kern);
+  kern.Start();
+  // A flood SYN from a spoofed source gets a RST back to nowhere.
+  load::SynFlooder::Config cfg;
+  cfg.rate_per_sec = 100;
+  load::SynFlooder flooder(&simr, &wire, cfg);
+  flooder.Start();
+  simr.RunUntil(sim::Msec(500));
+  EXPECT_GT(wire.dropped_to_unknown(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Integration tests: miniature versions of every paper experiment, asserting
+// the *shape* of the result (who wins, in what direction, within coarse
+// bounds). These are the regression net for the bench/ binaries.
+#include <gtest/gtest.h>
+
+#include "src/xp/scenario.h"
+
+namespace {
+
+// --- Section 5.3 / 5.4 -------------------------------------------------------
+
+double Throughput(const kernel::KernelConfig& kcfg, bool use_containers,
+                  int requests_per_conn, int clients,
+                  sim::Duration measure = sim::Sec(2)) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kcfg;
+  options.server_config.use_containers = use_containers;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(clients, net::MakeAddr(10, 1, 0, 0), 0, requests_per_conn);
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  scenario.ResetClientStats();
+  scenario.RunFor(measure);
+  return static_cast<double>(scenario.TotalCompleted()) / sim::ToSeconds(measure);
+}
+
+TEST(BaselineShape, ConnectionPerRequestNearPaperValue) {
+  const double tput = Throughput(kernel::UnmodifiedSystemConfig(), false, 1, 24);
+  EXPECT_NEAR(tput, 2954.0, 2954.0 * 0.05);  // paper: 2954 req/s
+}
+
+TEST(BaselineShape, PersistentConnectionsNearPaperValue) {
+  const double tput = Throughput(kernel::UnmodifiedSystemConfig(), false, 1000, 24);
+  EXPECT_NEAR(tput, 9487.0, 9487.0 * 0.05);  // paper: 9487 req/s
+}
+
+TEST(BaselineShape, ContainerOverheadIsModest) {
+  // Section 5.4: "throughput remained effectively unchanged". Our deferred
+  // processing adds some overhead; assert it stays under 15%.
+  const double base = Throughput(kernel::UnmodifiedSystemConfig(), false, 1, 24);
+  const double rc = Throughput(kernel::ResourceContainerSystemConfig(), true, 1, 24);
+  EXPECT_GT(rc, base * 0.85);
+}
+
+// --- Figure 11 ----------------------------------------------------------------
+
+double Thigh(const kernel::KernelConfig& kcfg, bool containers, bool event_api,
+             int low_clients) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kcfg;
+  options.server_config.use_containers = containers;
+  options.server_config.use_event_api = event_api;
+  options.server_config.classes.clear();
+  options.server_config.classes.push_back(
+      httpd::ListenClass{net::CidrFilter{net::MakeAddr(10, 1, 0, 0), 16}, 48, "high"});
+  options.server_config.classes.push_back(httpd::ListenClass{net::kMatchAll, 8, "low"});
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  load::HttpClient::Config high;
+  high.addr = net::MakeAddr(10, 1, 0, 1);
+  high.client_class = 1;
+  load::HttpClient* hc = scenario.AddClient(high);
+  scenario.AddStaticClients(low_clients, net::MakeAddr(10, 2, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  scenario.ResetClientStats();
+  scenario.RunFor(sim::Sec(2));
+  return hc->latencies().mean();
+}
+
+TEST(PriorityShape, ContainersProtectHighPriorityClient) {
+  const int kLow = 20;
+  const double plain = Thigh(kernel::UnmodifiedSystemConfig(), false, false, kLow);
+  const double rc_event = Thigh(kernel::ResourceContainerSystemConfig(), true, true, kLow);
+  // Without containers Thigh blows up at saturation; with containers + event
+  // API it stays within ~3x of the unloaded response time.
+  EXPECT_GT(plain, 4.0);      // ms; queues behind 20 low-priority clients
+  EXPECT_LT(rc_event, 2.5);   // ms; nearly flat
+  EXPECT_GT(plain, 3.0 * rc_event);
+}
+
+// --- Figures 12 / 13 ------------------------------------------------------------
+
+struct CgiOutcome {
+  double static_tput;
+  double cgi_share;
+};
+
+CgiOutcome RunCgi(const kernel::KernelConfig& kcfg, bool containers, double cap,
+                  int cgi_clients) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kcfg;
+  options.server_config.use_containers = containers;
+  if (containers) {
+    options.server_config.cgi_sandbox = true;
+    options.server_config.cgi_share = cap;
+  }
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(16, net::MakeAddr(10, 1, 0, 0));
+  for (int i = 0; i < cgi_clients; ++i) {
+    load::HttpClient::Config cgi;
+    cgi.addr = net::Addr{net::MakeAddr(10, 3, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+    cgi.is_cgi = true;
+    cgi.cgi_cpu_usec = sim::Sec(2);
+    cgi.request_timeout = 0;  // CGI responses legitimately take many seconds
+    scenario.AddClient(cgi);
+  }
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(3));
+  scenario.ResetClientStats();
+  const sim::Duration cgi0 = scenario.kernel().ExecutedUsecForName("cgi");
+  const sim::SimTime t0 = scenario.simulator().now();
+  scenario.RunFor(sim::Sec(5));
+  CgiOutcome out;
+  out.static_tput =
+      static_cast<double>(scenario.TotalCompleted()) / sim::ToSeconds(sim::Sec(5));
+  out.cgi_share = static_cast<double>(scenario.kernel().ExecutedUsecForName("cgi") - cgi0) /
+                  static_cast<double>(scenario.simulator().now() - t0);
+  return out;
+}
+
+TEST(CgiShape, SandboxEnforcesCapAlmostExactly) {
+  const CgiOutcome rc30 = RunCgi(kernel::ResourceContainerSystemConfig(), true, 0.30, 3);
+  EXPECT_NEAR(rc30.cgi_share, 0.30, 0.02);
+  const CgiOutcome rc10 = RunCgi(kernel::ResourceContainerSystemConfig(), true, 0.10, 3);
+  EXPECT_NEAR(rc10.cgi_share, 0.10, 0.02);
+}
+
+TEST(CgiShape, LrpSharesExactlyEqually) {
+  // LRP: server and N CGI processes share the CPU equally => CGI = N/(N+1).
+  const int n = 3;
+  const CgiOutcome lrp = RunCgi(kernel::LrpSystemConfig(), false, 0, n);
+  EXPECT_NEAR(lrp.cgi_share, static_cast<double>(n) / (n + 1), 0.04);
+}
+
+TEST(CgiShape, MisaccountingFavorsServerOverLrp) {
+  // Softint charging inflates the CGI principals' usage, so the server gets
+  // MORE CPU (and throughput) than under LRP's correct accounting.
+  const CgiOutcome unmod = RunCgi(kernel::UnmodifiedSystemConfig(), false, 0, 3);
+  const CgiOutcome lrp = RunCgi(kernel::LrpSystemConfig(), false, 0, 3);
+  EXPECT_GT(unmod.static_tput, lrp.static_tput * 1.2);
+  EXPECT_LT(unmod.cgi_share, lrp.cgi_share);
+}
+
+TEST(CgiShape, RcThroughputIndependentOfCgiLoad) {
+  const CgiOutcome one = RunCgi(kernel::ResourceContainerSystemConfig(), true, 0.30, 1);
+  const CgiOutcome five = RunCgi(kernel::ResourceContainerSystemConfig(), true, 0.30, 5);
+  EXPECT_NEAR(five.static_tput / one.static_tput, 1.0, 0.05);
+}
+
+// --- Figure 14 -------------------------------------------------------------------
+
+double FloodThroughput(const kernel::KernelConfig& kcfg, bool defend, double rate) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kcfg;
+  options.server_config.use_containers = defend;
+  options.server_config.use_event_api = defend;
+  options.server_config.syn_defense = defend;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(12, net::MakeAddr(10, 1, 0, 0));
+  if (rate > 0) {
+    load::SynFlooder::Config fcfg;
+    fcfg.rate_per_sec = rate;
+    scenario.AddFlooder(fcfg)->Start();
+  }
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+  scenario.ResetClientStats();
+  scenario.RunFor(sim::Sec(2));
+  return static_cast<double>(scenario.TotalCompleted()) / 2.0;
+}
+
+TEST(FloodShape, UnmodifiedCollapsesNearTenThousand) {
+  const double clean = FloodThroughput(kernel::UnmodifiedSystemConfig(), false, 0);
+  const double attacked = FloodThroughput(kernel::UnmodifiedSystemConfig(), false, 12000);
+  EXPECT_GT(clean, 2500);
+  EXPECT_LT(attacked, clean * 0.05);  // effectively zero
+}
+
+TEST(FloodShape, RcDefenseRetainsMostThroughput) {
+  const double clean = FloodThroughput(kernel::ResourceContainerSystemConfig(), true, 0);
+  const double attacked =
+      FloodThroughput(kernel::ResourceContainerSystemConfig(), true, 40000);
+  // Paper keeps ~73% at 70k SYNs/s; at 40k we demand >= 75%.
+  EXPECT_GT(attacked, clean * 0.75);
+}
+
+// --- Section 5.8 -------------------------------------------------------------------
+
+TEST(VirtualServerShape, GuestsMatchConfiguredShares) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::ResourceContainerSystemConfig());
+  load::Wire wire(&simr, &kern);
+  kern.Start();
+  httpd::FileCache cache;
+  cache.AddDocument(1, 1024);
+
+  const double shares[] = {0.6, 0.4};
+  std::vector<rc::ContainerRef> guests;
+  std::vector<std::unique_ptr<httpd::EventDrivenServer>> servers;
+  std::vector<std::unique_ptr<load::HttpClient>> clients;
+  for (int g = 0; g < 2; ++g) {
+    rc::Attributes a;
+    a.sched.cls = rc::SchedClass::kFixedShare;
+    a.sched.fixed_share = shares[g];
+    auto gc = kern.containers().Create(nullptr, "guest", a).value();
+    guests.push_back(gc);
+    httpd::ServerConfig scfg;
+    scfg.port = static_cast<std::uint16_t>(80 + g);
+    scfg.use_containers = true;
+    scfg.use_event_api = true;
+    scfg.nest_under_default = true;
+    servers.push_back(std::make_unique<httpd::EventDrivenServer>(&kern, &cache, scfg));
+    servers.back()->Start(gc);
+    for (int i = 0; i < 12; ++i) {
+      load::HttpClient::Config ccfg;
+      ccfg.addr = net::Addr{net::MakeAddr(10, static_cast<unsigned>(20 + g), 0, 0).v +
+                            static_cast<std::uint32_t>(i) + 1};
+      ccfg.server_port = scfg.port;
+      clients.push_back(std::make_unique<load::HttpClient>(
+          &simr, &wire, static_cast<std::uint32_t>(clients.size() + 1), ccfg));
+      clients.back()->Start(static_cast<sim::SimTime>(clients.size()) * 1000);
+    }
+  }
+  simr.RunUntil(sim::Sec(1));
+  std::vector<sim::Duration> base;
+  for (auto& g : guests) {
+    base.push_back(g->SubtreeUsage().TotalCpuUsec());
+  }
+  const sim::SimTime t0 = simr.now();
+  simr.RunUntil(t0 + sim::Sec(4));
+  for (int g = 0; g < 2; ++g) {
+    const double used = static_cast<double>(
+        guests[static_cast<std::size_t>(g)]->SubtreeUsage().TotalCpuUsec() -
+        base[static_cast<std::size_t>(g)]);
+    const double share = used / static_cast<double>(simr.now() - t0);
+    // Some machine time goes to interrupts; shares hold within 3 points.
+    EXPECT_NEAR(share, shares[g] * 0.97, 0.03) << "guest " << g;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Unit tests for the descriptor table and the event channel.
+#include <gtest/gtest.h>
+
+#include "src/kernel/event_api.h"
+#include "src/kernel/fd_table.h"
+#include "src/rc/manager.h"
+
+namespace kernel {
+namespace {
+
+TEST(FdTableTest, InstallUsesLowestFreeDescriptor) {
+  rc::ContainerManager m;
+  FdTable t;
+  auto a = m.Create(nullptr, "a").value();
+  auto b = m.Create(nullptr, "b").value();
+  auto c = m.Create(nullptr, "c").value();
+  EXPECT_EQ(t.Install(a), 0);
+  EXPECT_EQ(t.Install(b), 1);
+  ASSERT_TRUE(t.Remove(0).ok());
+  EXPECT_EQ(t.Install(c), 0);  // reuses the hole
+  EXPECT_EQ(t.open_count(), 2);
+}
+
+TEST(FdTableTest, TypedGet) {
+  rc::ContainerManager m;
+  FdTable t;
+  auto c = m.Create(nullptr, "c").value();
+  const int fd = t.Install(c);
+  EXPECT_EQ(t.Get<rc::ContainerRef>(fd), c);
+  EXPECT_EQ(t.Get<net::ConnRef>(fd), nullptr);  // wrong type
+  EXPECT_EQ(t.Get<rc::ContainerRef>(99), nullptr);
+  EXPECT_EQ(t.Get<rc::ContainerRef>(-1), nullptr);
+}
+
+TEST(FdTableTest, RemoveReturnsEntryAndInvalidates) {
+  rc::ContainerManager m;
+  FdTable t;
+  auto c = m.Create(nullptr, "c").value();
+  const int fd = t.Install(c);
+  auto removed = t.Remove(fd);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(t.IsValid(fd));
+  EXPECT_FALSE(t.Remove(fd).ok());
+}
+
+TEST(FdTableTest, HoldsReference) {
+  rc::ContainerManager m;
+  FdTable t;
+  rc::ContainerId id;
+  {
+    auto c = m.Create(nullptr, "c").value();
+    id = c->id();
+    t.Install(c);
+  }
+  EXPECT_TRUE(m.Lookup(id).ok());  // fd table keeps it alive
+  t.Remove(0).value();
+  EXPECT_FALSE(m.Lookup(id).ok());
+}
+
+TEST(EventChannelTest, RegisterAndLookup) {
+  EventChannel ch;
+  int object = 0;
+  ch.Register(&object, 5);
+  EXPECT_EQ(ch.FdFor(&object), std::optional<int>(5));
+  ch.Unregister(&object);
+  EXPECT_FALSE(ch.FdFor(&object).has_value());
+}
+
+TEST(EventChannelTest, FifoWithoutPriorityOrder) {
+  EventChannel ch;
+  ch.Push(Event{1, Event::Kind::kDataReady, 50}, /*priority_order=*/false);
+  ch.Push(Event{2, Event::Kind::kDataReady, 10}, false);
+  auto events = ch.Drain(10);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].fd, 1);
+  EXPECT_EQ(events[1].fd, 2);
+}
+
+TEST(EventChannelTest, PriorityInsertionJumpsQueue) {
+  EventChannel ch;
+  ch.Push(Event{1, Event::Kind::kDataReady, 10}, true);
+  ch.Push(Event{2, Event::Kind::kDataReady, 40}, true);
+  ch.Push(Event{3, Event::Kind::kDataReady, 10}, true);
+  auto events = ch.Drain(10);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].fd, 2);
+  EXPECT_EQ(events[1].fd, 1);
+  EXPECT_EQ(events[2].fd, 3);
+}
+
+TEST(EventChannelTest, DedupeSuppressesDuplicates) {
+  EventChannel ch;
+  ch.Push(Event{7, Event::Kind::kSynDrop, 0}, false, /*dedupe=*/true);
+  ch.Push(Event{7, Event::Kind::kSynDrop, 0}, false, true);
+  ch.Push(Event{7, Event::Kind::kDataReady, 0}, false, true);  // different kind
+  EXPECT_EQ(ch.pending_count(), 2u);
+}
+
+TEST(EventChannelTest, DrainRespectsMax) {
+  EventChannel ch;
+  for (int i = 0; i < 10; ++i) {
+    ch.Push(Event{i, Event::Kind::kDataReady, 0}, false);
+  }
+  EXPECT_EQ(ch.Drain(3).size(), 3u);
+  EXPECT_EQ(ch.pending_count(), 7u);
+}
+
+TEST(EventChannelTest, WaiterFiredOncePerArm) {
+  EventChannel ch;
+  int fired = 0;
+  ch.waiter = [&] { ++fired; };
+  ch.Push(Event{1, Event::Kind::kDataReady, 0}, false);
+  ch.Push(Event{2, Event::Kind::kDataReady, 0}, false);  // waiter already consumed
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace kernel

@@ -1,0 +1,510 @@
+// End-to-end tests of the syscall layer: container operations (the Table 1
+// primitives), socket syscalls driven by crafted wire packets, event waiting,
+// process management, and descriptor passing.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/sync.h"
+#include "src/kernel/syscalls.h"
+
+namespace kernel {
+namespace {
+
+using rccommon::Errc;
+
+class SyscallTest : public ::testing::Test {
+ protected:
+  void MakeKernel(KernelConfig cfg = ResourceContainerSystemConfig()) {
+    kernel_ = std::make_unique<Kernel>(&simr_, cfg);
+    kernel_->set_wire_sink([this](const net::Packet& p) { wire_.push_back(p); });
+  }
+
+  // Runs `body` on a fresh process until the simulator reaches `until`.
+  Process* Run(std::function<Program(Sys)> body, sim::Duration until = sim::Sec(1)) {
+    Process* p = kernel_->CreateProcess("test");
+    kernel_->SpawnThread(p, "main", std::move(body));
+    simr_.RunUntil(simr_.now() + until);
+    return p;
+  }
+
+  void Deliver(net::Packet p) { kernel_->DeliverFromWire(p); }
+
+  net::Packet Syn(std::uint64_t flow, net::Addr src = net::MakeAddr(10, 1, 0, 1)) {
+    net::Packet p;
+    p.type = net::PacketType::kSyn;
+    p.src = net::Endpoint{src, 1234};
+    p.dst = net::Endpoint{net::Addr{0}, 80};
+    p.flow_id = flow;
+    return p;
+  }
+  net::Packet Ack(std::uint64_t flow, net::Addr src = net::MakeAddr(10, 1, 0, 1)) {
+    net::Packet p = Syn(flow, src);
+    p.type = net::PacketType::kAck;
+    return p;
+  }
+  net::Packet Request(std::uint64_t flow, net::Addr src = net::MakeAddr(10, 1, 0, 1)) {
+    net::Packet p = Syn(flow, src);
+    p.type = net::PacketType::kData;
+    p.request.request_id = flow;
+    p.request.response_bytes = 512;
+    return p;
+  }
+
+  // Client-side handshake + request, delivered over the wire at fixed delays.
+  void ConnectAndRequest(std::uint64_t flow) {
+    simr_.After(10, [this, flow] { Deliver(Syn(flow)); });
+    simr_.After(500, [this, flow] { Deliver(Ack(flow)); });
+    simr_.After(700, [this, flow] { Deliver(Request(flow)); });
+  }
+
+  sim::Simulator simr_;
+  std::unique_ptr<Kernel> kernel_;
+  std::vector<net::Packet> wire_;
+};
+
+TEST_F(SyscallTest, CreateContainerReturnsDescriptor) {
+  MakeKernel();
+  rccommon::Expected<int> fd = rccommon::MakeUnexpected(Errc::kNotFound);
+  Run([&](Sys sys) -> Program { fd = co_await sys.CreateContainer("web"); });
+  ASSERT_TRUE(fd.ok());
+  EXPECT_GE(*fd, 0);
+  // Container alive: held by the process descriptor table.
+  EXPECT_EQ(kernel_->containers().live_count(), 3u);  // root + proc default + web
+}
+
+TEST_F(SyscallTest, CloseFdReleasesContainer) {
+  MakeKernel();
+  Run([&](Sys sys) -> Program {
+    auto fd = co_await sys.CreateContainer("temp");
+    co_await sys.CloseFd(*fd);
+  });
+  EXPECT_EQ(kernel_->containers().live_count(), 2u);  // root + proc default
+}
+
+TEST_F(SyscallTest, BindThreadChargesNewContainer) {
+  MakeKernel();
+  rc::ResourceUsage usage;
+  Run([&](Sys sys) -> Program {
+    auto fd = co_await sys.CreateContainer("work");
+    co_await sys.BindThread(*fd);
+    co_await sys.Compute(1000, rc::CpuKind::kUser);
+    usage = (co_await sys.GetUsage(*fd)).value();
+  });
+  EXPECT_EQ(usage.cpu_user_usec, 1000);
+}
+
+TEST_F(SyscallTest, BindThreadRejectsNonLeaf) {
+  MakeKernel();
+  rccommon::Errc err = Errc::kOk;
+  Run([&](Sys sys) -> Program {
+    rc::Attributes fs;
+    fs.sched.cls = rc::SchedClass::kFixedShare;
+    fs.sched.fixed_share = 0.5;
+    auto parent = co_await sys.CreateContainer("parent", fs);
+    auto child = co_await sys.CreateContainer("child", {}, *parent);
+    (void)child;
+    auto bound = co_await sys.BindThread(*parent);
+    err = bound.error();
+  });
+  EXPECT_EQ(err, Errc::kNotLeaf);
+}
+
+TEST_F(SyscallTest, GetSubtreeUsageAggregates) {
+  MakeKernel();
+  rc::ResourceUsage subtree;
+  Run([&](Sys sys) -> Program {
+    rc::Attributes fs;
+    fs.sched.cls = rc::SchedClass::kFixedShare;
+    fs.sched.fixed_share = 0.5;
+    auto parent = co_await sys.CreateContainer("parent", fs);
+    auto child = co_await sys.CreateContainer("child", {}, *parent);
+    co_await sys.BindThread(*child);
+    co_await sys.Compute(500, rc::CpuKind::kUser);
+    subtree = (co_await sys.GetSubtreeUsage(*parent)).value();
+  });
+  EXPECT_EQ(subtree.cpu_user_usec, 500);
+}
+
+TEST_F(SyscallTest, SetAndGetAttributes) {
+  MakeKernel();
+  rc::Attributes read_back;
+  Run([&](Sys sys) -> Program {
+    auto fd = co_await sys.CreateContainer("c");
+    rc::Attributes a;
+    a.sched.priority = 42;
+    a.cpu_limit = 0.5;
+    co_await sys.SetAttributes(*fd, a);
+    read_back = (co_await sys.GetAttributes(*fd)).value();
+  });
+  EXPECT_EQ(read_back.sched.priority, 42);
+  EXPECT_DOUBLE_EQ(read_back.cpu_limit, 0.5);
+}
+
+TEST_F(SyscallTest, GetContainerHandleById) {
+  MakeKernel();
+  bool same = false;
+  Run([&](Sys sys) -> Program {
+    auto fd = co_await sys.CreateContainer("c");
+    auto attrs1 = (co_await sys.GetAttributes(*fd)).value();
+    // Find the id via the process fd table, then reopen a handle.
+    rc::ContainerRef c = sys.process()->fds().Get<rc::ContainerRef>(*fd);
+    auto fd2 = co_await sys.GetContainerHandle(c->id());
+    rc::ContainerRef c2 = sys.process()->fds().Get<rc::ContainerRef>(*fd2);
+    same = (c == c2);
+    (void)attrs1;
+  });
+  EXPECT_TRUE(same);
+}
+
+TEST_F(SyscallTest, PassContainerSharesWithTargetProcess) {
+  MakeKernel();
+  // Process B just sleeps; A passes it a container.
+  Process* b = kernel_->CreateProcess("b");
+  kernel_->SpawnThread(b, "main", [](Sys sys) -> Program {
+    co_await sys.Sleep(sim::Msec(100));
+  });
+  bool ok = false;
+  int remote_fd = -1;
+  Pid b_pid = b->pid();
+  Run([&](Sys sys) -> Program {
+    auto fd = co_await sys.CreateContainer("shared");
+    auto passed = co_await sys.PassContainer(b_pid, *fd);
+    ok = passed.ok();
+    remote_fd = passed.value_or(-1);
+    // The sender retains access.
+    auto still = co_await sys.GetAttributes(*fd);
+    ok = ok && still.ok();
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_GE(remote_fd, 0);
+}
+
+TEST_F(SyscallTest, ResetSchedulerBindingShrinksSet) {
+  MakeKernel();
+  std::size_t before = 0;
+  std::size_t after = 0;
+  Run([&](Sys sys) -> Program {
+    auto a = co_await sys.CreateContainer("a");
+    auto b = co_await sys.CreateContainer("b");
+    co_await sys.BindThread(*a);
+    co_await sys.BindThread(*b);
+    before = sys.thread()->binding().scheduler_binding().size();
+    co_await sys.ResetSchedulerBinding();
+    after = sys.thread()->binding().scheduler_binding().size();
+  });
+  EXPECT_GE(before, 3u);  // default + a + b
+  EXPECT_EQ(after, 1u);
+}
+
+TEST_F(SyscallTest, ListenAcceptRecvSendLifecycle) {
+  MakeKernel();
+  bool got_request = false;
+  std::uint32_t bytes = 0;
+  Run([&](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    auto cfd = co_await sys.Accept(*lfd);  // blocks for the handshake
+    auto req = co_await sys.Recv(*cfd);    // blocks for the request
+    got_request = req.ok() && !req->eof;
+    bytes = req->request.response_bytes;
+    co_await sys.Send(*cfd, bytes, req->request.request_id, /*close_after=*/true);
+    co_await sys.ReleaseFd(*cfd);
+  });
+  ConnectAndRequest(7);
+  simr_.RunUntil(simr_.now() + sim::Sec(1));
+  EXPECT_TRUE(got_request);
+  EXPECT_EQ(bytes, 512u);
+  // Wire saw: SYN-ACK, response DATA, FIN.
+  ASSERT_GE(wire_.size(), 3u);
+  EXPECT_EQ(wire_.front().type, net::PacketType::kSynAck);
+  EXPECT_EQ(wire_.back().type, net::PacketType::kFin);
+}
+
+TEST_F(SyscallTest, TryAcceptWouldBlock) {
+  MakeKernel();
+  rccommon::Errc err = Errc::kOk;
+  Run([&](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    auto r = co_await sys.TryAccept(*lfd);
+    err = r.error();
+  });
+  EXPECT_EQ(err, Errc::kWouldBlock);
+}
+
+TEST_F(SyscallTest, RecvReportsEofAfterFin) {
+  MakeKernel();
+  bool eof = false;
+  Run([&](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    auto cfd = co_await sys.Accept(*lfd);
+    auto req = co_await sys.Recv(*cfd);  // first: the request
+    (void)req;
+    auto second = co_await sys.Recv(*cfd);  // then the FIN
+    eof = second.ok() && second->eof;
+    co_await sys.CloseFd(*cfd);
+  });
+  ConnectAndRequest(9);
+  simr_.After(900, [this] {
+    net::Packet fin = Syn(9);
+    fin.type = net::PacketType::kFin;
+    Deliver(fin);
+  });
+  simr_.RunUntil(simr_.now() + sim::Sec(1));
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(SyscallTest, SelectReturnsReadyDescriptors) {
+  MakeKernel();
+  std::vector<int> ready;
+  int lfd_out = -1;
+  Run([&](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    lfd_out = *lfd;
+    std::vector<int> interest(1, *lfd);  // GCC 12: no init-lists in co_await args
+    ready = co_await sys.Select(interest);
+  });
+  ConnectAndRequest(11);
+  simr_.RunUntil(simr_.now() + sim::Sec(1));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], lfd_out);
+}
+
+TEST_F(SyscallTest, EventApiDeliversAcceptAndData) {
+  MakeKernel();
+  std::vector<Event::Kind> kinds;
+  Run([&](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    co_await sys.EventRegister(*lfd);
+    auto events = co_await sys.WaitEvents();
+    for (const Event& e : events) {
+      kinds.push_back(e.kind);
+    }
+    auto cfd = co_await sys.TryAccept(*lfd);
+    co_await sys.EventRegister(*cfd);  // request may already be queued
+    auto more = co_await sys.WaitEvents();
+    for (const Event& e : more) {
+      kinds.push_back(e.kind);
+    }
+  });
+  ConnectAndRequest(13);
+  simr_.RunUntil(simr_.now() + sim::Sec(1));
+  ASSERT_GE(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], Event::Kind::kAcceptReady);
+  EXPECT_EQ(kinds[1], Event::Kind::kDataReady);
+}
+
+TEST_F(SyscallTest, SpawnAndWaitProcess) {
+  MakeKernel();
+  bool child_ran = false;
+  bool wait_ok = false;
+  Run([&](Sys sys) -> Program {
+    auto pid = co_await sys.Spawn("child", [&child_ran](Sys child) -> Program {
+      co_await child.Compute(100, rc::CpuKind::kUser);
+      child_ran = true;
+    });
+    auto waited = co_await sys.WaitProcess(*pid);
+    wait_ok = waited.ok();
+  });
+  EXPECT_TRUE(child_ran);
+  EXPECT_TRUE(wait_ok);
+  // Child reaped: only the "test" process remains.
+  EXPECT_EQ(kernel_->process_count(), 1u);
+}
+
+TEST_F(SyscallTest, DetachedChildAutoReaps) {
+  MakeKernel();
+  Run([&](Sys sys) -> Program {
+    SpawnOptions opts;
+    opts.detach = true;
+    auto pid = co_await sys.Spawn(
+        "fire-and-forget",
+        [](Sys child) -> Program { co_await child.Compute(50, rc::CpuKind::kUser); },
+        opts);
+    (void)pid;
+    co_await sys.Sleep(sim::Msec(10));
+  });
+  EXPECT_EQ(kernel_->process_count(), 1u);
+}
+
+TEST_F(SyscallTest, SpawnInheritsContainerByDescriptor) {
+  MakeKernel();
+  sim::Duration charged = 0;
+  Run([&](Sys sys) -> Program {
+    auto ct = co_await sys.CreateContainer("sandbox");
+    SpawnOptions opts;
+    opts.container_fd = *ct;
+    auto pid = co_await sys.Spawn(
+        "child",
+        [](Sys child) -> Program { co_await child.Compute(777, rc::CpuKind::kUser); },
+        opts);
+    co_await sys.WaitProcess(*pid);
+    charged = (co_await sys.GetUsage(*ct)).value().cpu_user_usec;
+  });
+  EXPECT_EQ(charged, 777);
+}
+
+TEST_F(SyscallTest, PassFdSharesConnection) {
+  MakeKernel();
+  // Parent accepts, passes the connection to a child, child responds.
+  bool child_sent = false;
+  Run([&](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    auto cfd = co_await sys.Accept(*lfd);
+    SpawnOptions opts;
+    opts.pass_fds = {*cfd};
+    opts.detach = true;
+    auto pid = co_await sys.Spawn("responder", [&child_sent](Sys child) -> Program {
+      auto req = co_await child.Recv(0);
+      if (req.ok() && !req->eof) {
+        co_await child.Send(0, 128, req->request.request_id, true);
+        child_sent = true;
+      }
+    }, opts);
+    (void)pid;
+    co_await sys.ReleaseFd(*cfd);
+  });
+  ConnectAndRequest(21);
+  simr_.RunUntil(simr_.now() + sim::Sec(1));
+  EXPECT_TRUE(child_sent);
+}
+
+TEST_F(SyscallTest, BindSocketChargesConnectionContainer) {
+  MakeKernel();
+  std::uint64_t sent_bytes = 0;
+  Run([&](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    auto cfd = co_await sys.Accept(*lfd);
+    auto ct = co_await sys.CreateContainer("conn");
+    co_await sys.BindSocket(*cfd, *ct);
+    auto req = co_await sys.Recv(*cfd);
+    co_await sys.Send(*cfd, 2048, req->request.request_id, false);
+    sent_bytes = (co_await sys.GetUsage(*ct)).value().bytes_sent;
+  });
+  ConnectAndRequest(23);
+  simr_.RunUntil(simr_.now() + sim::Sec(1));
+  EXPECT_EQ(sent_bytes, 2048u);
+}
+
+TEST_F(SyscallTest, SemaphorePostWakesWaiter) {
+  MakeKernel();
+  Semaphore sem;
+  std::vector<int> order;
+  Process* p = kernel_->CreateProcess("sync");
+  kernel_->SpawnThread(p, "waiter", [&](Sys sys) -> Program {
+    order.push_back(1);
+    co_await sem.Wait(sys);
+    order.push_back(3);
+  });
+  kernel_->SpawnThread(p, "poster", [&](Sys sys) -> Program {
+    co_await sys.Sleep(sim::Msec(5));
+    order.push_back(2);
+    sem.Post();
+  });
+  simr_.RunUntil(sim::Msec(50));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SyscallTest, SemaphoreCountsWithoutWaiters) {
+  MakeKernel();
+  Semaphore sem;
+  sem.Post();
+  sem.Post();
+  EXPECT_EQ(sem.count(), 2);
+  bool done = false;
+  Run([&](Sys sys) -> Program {
+    co_await sem.Wait(sys);
+    co_await sem.Wait(sys);
+    done = true;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sem.count(), 0);
+}
+
+TEST_F(SyscallTest, SynDropReportAccumulatesBySource) {
+  MakeKernel();
+  Kernel::SynDropReport report;
+  // Four SYNs into a backlog of 2: two evictions from 10.9.9.0/24. Scheduled
+  // before Run() so they arrive while the program is sleeping.
+  for (int i = 0; i < 4; ++i) {
+    simr_.After(1000 + i, [this, i] {
+      Deliver(Syn(100 + static_cast<std::uint64_t>(i),
+                  net::MakeAddr(10, 9, 9, static_cast<unsigned>(i + 1))));
+    });
+  }
+  Run([&](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll, -1, /*syn_backlog=*/2);
+    co_await sys.Sleep(sim::Msec(50));
+    report = (co_await sys.GetSynDropReport(*lfd)).value();
+  });
+  EXPECT_EQ(report.total, 2u);
+  ASSERT_EQ(report.sources.size(), 1u);
+  EXPECT_EQ(report.sources[0].prefix.v, net::MakeAddr(10, 9, 9, 0).v);
+}
+
+TEST_F(SyscallTest, SyscallsOnBadDescriptorsFail) {
+  MakeKernel();
+  std::vector<rccommon::Errc> errs;
+  Run([&](Sys sys) -> Program {
+    errs.push_back((co_await sys.BindThread(99)).error());
+    errs.push_back((co_await sys.GetUsage(99)).error());
+    errs.push_back((co_await sys.CloseFd(99)).error());
+    errs.push_back((co_await sys.Accept(99)).error());
+    errs.push_back((co_await sys.Recv(99)).error());
+    errs.push_back((co_await sys.Send(99, 10, 0, false)).error());
+  });
+  for (auto e : errs) {
+    EXPECT_EQ(e, Errc::kNotFound);
+  }
+  EXPECT_EQ(errs.size(), 6u);
+}
+
+TEST_F(SyscallTest, NetThreadSpawnedOnlyInDeferredModes) {
+  MakeKernel(UnmodifiedSystemConfig());
+  Process* p = Run([](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    (void)lfd;
+    co_await sys.Sleep(sim::Msec(1));
+  });
+  EXPECT_EQ(p->net_thread, nullptr);
+
+  MakeKernel(LrpSystemConfig());
+  Process* q = Run([](Sys sys) -> Program {
+    auto lfd = co_await sys.Listen(80, net::kMatchAll);
+    (void)lfd;
+    co_await sys.Sleep(sim::Msec(1));
+  });
+  EXPECT_NE(q->net_thread, nullptr);
+}
+
+}  // namespace
+}  // namespace kernel
+
+namespace kernel {
+namespace close_listen_tests {
+
+TEST(CloseListenTest, BlockedAcceptorObservesClosure) {
+  sim::Simulator simr;
+  Kernel kern(&simr, UnmodifiedSystemConfig());
+  rccommon::Errc accept_err = rccommon::Errc::kOk;
+
+  Process* p = kern.CreateProcess("server");
+  int lfd = -1;
+  kern.SpawnThread(p, "acceptor", [&](Sys sys) -> Program {
+    auto l = co_await sys.Listen(80, net::kMatchAll);
+    lfd = *l;
+    auto conn = co_await sys.Accept(*l);  // blocks; nothing ever connects
+    accept_err = conn.error();
+  });
+  kern.SpawnThread(p, "closer", [&](Sys sys) -> Program {
+    co_await sys.Sleep(sim::Msec(10));
+    co_await sys.CloseFd(lfd);
+  });
+  simr.RunUntil(sim::Sec(1));
+  EXPECT_EQ(accept_err, rccommon::Errc::kWrongState);
+  EXPECT_TRUE(p->zombie());  // both threads finished; no hang
+}
+
+}  // namespace close_listen_tests
+}  // namespace kernel

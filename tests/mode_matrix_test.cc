@@ -1,0 +1,158 @@
+// Cross-configuration matrix: every kernel mode and wait API serves the same
+// workload correctly, plus end-to-end behaviors that cut across modules
+// (memory limits rejecting connections, scheduler-binding pruning, container
+// population staying bounded).
+#include <gtest/gtest.h>
+
+#include "src/xp/scenario.h"
+
+namespace {
+
+struct MatrixCase {
+  const char* name;
+  kernel::KernelConfig (*config)();
+  bool containers;
+  bool event_api;
+  int persistent;
+};
+
+class ModeMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ModeMatrix, ServesWorkloadWithoutLossOrLeak) {
+  const MatrixCase& mc = GetParam();
+  xp::ScenarioOptions options;
+  options.kernel_config = mc.config();
+  options.server_config.use_containers = mc.containers;
+  options.server_config.use_event_api = mc.event_api;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  auto clients =
+      scenario.AddStaticClients(6, net::MakeAddr(10, 1, 0, 0), 0, mc.persistent);
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+
+  EXPECT_GT(scenario.TotalCompleted(), 1000u) << mc.name;
+  for (auto* c : clients) {
+    EXPECT_EQ(c->failures(), 0u) << mc.name;
+    EXPECT_EQ(c->timeouts(), 0u) << mc.name;
+  }
+  // CPU accounting is conserved in every configuration.
+  auto& cpu = scenario.kernel().cpu();
+  EXPECT_EQ(cpu.busy_usec(), scenario.kernel().TotalChargedCpuUsec() +
+                                 cpu.interrupt_usec() + cpu.context_switch_usec())
+      << mc.name;
+  // No runaway state: PCBs bounded by open connections.
+  EXPECT_LT(scenario.kernel().stack().pcb_count(), 50u) << mc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ModeMatrix,
+    ::testing::Values(
+        MatrixCase{"softint-select", kernel::UnmodifiedSystemConfig, false, false, 1},
+        MatrixCase{"softint-event", kernel::UnmodifiedSystemConfig, false, true, 1},
+        MatrixCase{"softint-persistent", kernel::UnmodifiedSystemConfig, false, false, 50},
+        MatrixCase{"lrp-select", kernel::LrpSystemConfig, false, false, 1},
+        MatrixCase{"lrp-persistent", kernel::LrpSystemConfig, false, false, 50},
+        MatrixCase{"rc-select", kernel::ResourceContainerSystemConfig, true, false, 1},
+        MatrixCase{"rc-event", kernel::ResourceContainerSystemConfig, true, true, 1},
+        MatrixCase{"rc-event-persistent", kernel::ResourceContainerSystemConfig, true,
+                   true, 50},
+        MatrixCase{"rc-no-containers", kernel::ResourceContainerSystemConfig, false,
+                   false, 1}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      std::string n = info.param.name;
+      for (char& ch : n) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
+TEST(CrossModuleTest, SchedulerBindingPrunedOverTime) {
+  // The event-driven server's thread touches one container per connection;
+  // the kernel prunes entries idle for > binding_idle_threshold. After load
+  // stops, the binding (and the container population) must shrink back.
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.server_config.use_containers = true;
+  options.server_config.use_event_api = true;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  auto clients = scenario.AddStaticClients(6, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+  const std::size_t live_under_load = scenario.kernel().containers().live_count();
+  EXPECT_GT(live_under_load, 100u);  // binding refs keep recent containers alive
+
+  for (auto* c : clients) {
+    c->Stop();
+  }
+  // Past the prune interval + idle threshold, the population collapses to
+  // the handful of long-lived containers.
+  scenario.RunFor(sim::Sec(5));
+  EXPECT_LT(scenario.kernel().containers().live_count(), 20u);
+}
+
+TEST(CrossModuleTest, ServerMemoryLimitRejectsExcessConnections) {
+  // The server's default container capped at ~16 connections' worth of
+  // socket memory: excess SYNs are refused (RST) but service continues.
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::UnmodifiedSystemConfig();
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+
+  rc::Attributes attrs = scenario.server().process()->default_container()->attributes();
+  attrs.memory_limit_bytes = 16 * 4096;
+  ASSERT_TRUE(scenario.server().process()->default_container()->SetAttributes(attrs).ok());
+
+  scenario.AddStaticClients(40, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+  EXPECT_GT(scenario.kernel().stack().stats().mem_reject_drops, 0u);
+  EXPECT_GT(scenario.TotalCompleted(), 1000u);  // still serving within the cap
+  EXPECT_LE(scenario.server().process()->default_container()->subtree_memory_bytes(),
+            16 * 4096);
+}
+
+TEST(CrossModuleTest, RetiredUsageKeepsMachineTotalsExact) {
+  // Thousands of per-connection containers are created and destroyed; the
+  // root's subtree usage (live + retired) must still equal everything the
+  // engine charged.
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.server_config.use_containers = true;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(8, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+  auto& cpu = scenario.kernel().cpu();
+  EXPECT_EQ(cpu.busy_usec() - cpu.interrupt_usec() - cpu.context_switch_usec(),
+            scenario.kernel().containers().root()->SubtreeUsage().TotalCpuUsec());
+}
+
+TEST(CrossModuleTest, PersistentAndNonPersistentClientsCoexist) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.server_config.use_containers = true;
+  options.server_config.use_event_api = true;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  auto oneshot = scenario.AddStaticClients(4, net::MakeAddr(10, 1, 0, 0), 0, 1);
+  auto keepalive = scenario.AddStaticClients(4, net::MakeAddr(10, 2, 0, 0), 0, 100);
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  for (auto* c : oneshot) {
+    a += c->completed();
+  }
+  for (auto* c : keepalive) {
+    b += c->completed();
+  }
+  EXPECT_GT(a, 500u);
+  EXPECT_GT(b, a);  // persistent connections amortize setup cost
+}
+
+}  // namespace

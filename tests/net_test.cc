@@ -1,0 +1,547 @@
+// Unit tests for the simulated TCP/IP stack: demultiplexing, connection
+// lifecycle, SYN-queue behavior, the three processing modes, and accounting.
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/addr.h"
+#include "src/net/stack.h"
+#include "src/rc/manager.h"
+
+namespace net {
+namespace {
+
+using rccommon::Errc;
+
+// Captures every callback the stack makes.
+class FakeEnv : public StackEnv {
+ public:
+  void EmitToWire(Packet p) override { wire.push_back(p); }
+  void WakeAcceptors(ListenSocket& ls) override { accept_wakes.push_back(&ls); }
+  void WakeConnection(Connection& conn) override { conn_wakes.push_back(&conn); }
+  void NotifyPendingNetWork(std::uint64_t owner) override {
+    pending_notifies.push_back(owner);
+  }
+  void OnSynDrop(ListenSocket& ls, Addr source) override {
+    syn_drops.push_back({&ls, source});
+  }
+
+  std::vector<Packet> wire;
+  std::vector<ListenSocket*> accept_wakes;
+  std::vector<Connection*> conn_wakes;
+  std::vector<std::uint64_t> pending_notifies;
+  std::vector<std::pair<ListenSocket*, Addr>> syn_drops;
+};
+
+Packet MakeSyn(std::uint64_t flow, Addr src = MakeAddr(10, 1, 0, 1),
+               std::uint16_t port = 80) {
+  Packet p;
+  p.type = PacketType::kSyn;
+  p.src = Endpoint{src, 12345};
+  p.dst = Endpoint{Addr{0}, port};
+  p.flow_id = flow;
+  return p;
+}
+
+Packet MakeAck(std::uint64_t flow, Addr src = MakeAddr(10, 1, 0, 1)) {
+  Packet p = MakeSyn(flow, src);
+  p.type = PacketType::kAck;
+  return p;
+}
+
+Packet MakeRequest(std::uint64_t flow, Addr src = MakeAddr(10, 1, 0, 1)) {
+  Packet p = MakeSyn(flow, src);
+  p.type = PacketType::kData;
+  p.request.request_id = flow * 100;
+  p.request.response_bytes = 1024;
+  return p;
+}
+
+class StackTest : public ::testing::Test {
+ protected:
+  // Runs softint-style: applies returned work immediately.
+  void Deliver(Stack& stack, const Packet& p) {
+    auto work = stack.HandleArrival(p);
+    if (work.has_value()) {
+      work->apply();
+    }
+  }
+
+  // Drains all deferred work for `owner` (LRP/RC modes).
+  int DrainPending(Stack& stack, std::uint64_t owner) {
+    int n = 0;
+    while (auto work = stack.NextPendingWork(owner)) {
+      work->apply();
+      ++n;
+    }
+    return n;
+  }
+
+  rc::ContainerManager manager_;
+  FakeEnv env_;
+  StackCosts costs_;
+};
+
+TEST_F(StackTest, ListenRejectsDuplicateBinding) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  ASSERT_TRUE(stack.Listen(80, kMatchAll, c, 1).ok());
+  auto dup = stack.Listen(80, kMatchAll, c, 1);
+  EXPECT_FALSE(dup.ok());
+  // Same port, different filter: fine.
+  EXPECT_TRUE(stack.Listen(80, CidrFilter{MakeAddr(10, 0, 0, 0), 8}, c, 1).ok());
+  // Different port: fine.
+  EXPECT_TRUE(stack.Listen(81, kMatchAll, c, 1).ok());
+  EXPECT_EQ(stack.listen_count(), 3u);
+}
+
+TEST_F(StackTest, ListenValidatesArguments) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  EXPECT_FALSE(stack.Listen(80, kMatchAll, nullptr, 1).ok());
+  auto c = manager_.Create(nullptr, "c").value();
+  EXPECT_FALSE(stack.Listen(80, kMatchAll, c, 1, /*syn_backlog=*/0).ok());
+}
+
+TEST_F(StackTest, HandshakeEstablishesConnection) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+
+  Deliver(stack, MakeSyn(7));
+  ASSERT_EQ(env_.wire.size(), 1u);
+  EXPECT_EQ(env_.wire[0].type, PacketType::kSynAck);
+  EXPECT_EQ(stack.pcb_count(), 1u);
+  EXPECT_TRUE(ls->accept_queue().empty());
+
+  Deliver(stack, MakeAck(7));
+  EXPECT_EQ(ls->accept_queue().size(), 1u);
+  EXPECT_EQ(env_.accept_wakes.size(), 1u);
+
+  ConnRef conn = stack.Accept(*ls);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(conn->state(), ConnState::kEstablished);
+  EXPECT_EQ(conn->flow_id(), 7u);
+}
+
+TEST_F(StackTest, DuplicateSynIsIgnored) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(7));
+  Deliver(stack, MakeSyn(7));
+  EXPECT_EQ(stack.pcb_count(), 1u);
+  EXPECT_EQ(ls->syn_queue().size(), 1u);
+}
+
+TEST_F(StackTest, SynWithNoListenerGetsRst) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  Deliver(stack, MakeSyn(7, MakeAddr(10, 1, 0, 1), /*port=*/9999));
+  ASSERT_EQ(env_.wire.size(), 1u);
+  EXPECT_EQ(env_.wire[0].type, PacketType::kRst);
+  EXPECT_EQ(stack.stats().rsts_out, 1u);
+}
+
+TEST_F(StackTest, MostSpecificFilterWins) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto wide = manager_.Create(nullptr, "wide").value();
+  auto narrow = manager_.Create(nullptr, "narrow").value();
+  auto ls_wide = stack.Listen(80, kMatchAll, wide, 1).value();
+  auto ls_narrow =
+      stack.Listen(80, CidrFilter{MakeAddr(10, 2, 0, 0), 16}, narrow, 1).value();
+
+  Deliver(stack, MakeSyn(1, MakeAddr(10, 2, 3, 4)));  // matches /16
+  Deliver(stack, MakeSyn(2, MakeAddr(10, 9, 0, 1)));  // only wildcard
+  EXPECT_EQ(ls_narrow->syns_received, 1u);
+  EXPECT_EQ(ls_wide->syns_received, 1u);
+
+  Deliver(stack, MakeAck(1, MakeAddr(10, 2, 3, 4)));
+  ConnRef conn = stack.Accept(*ls_narrow);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(conn->container(), narrow);
+}
+
+TEST_F(StackTest, RequestDeliveredToEstablishedConnection) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(7));
+  Deliver(stack, MakeAck(7));
+  ConnRef conn = stack.Accept(*ls);
+  ASSERT_NE(conn, nullptr);
+
+  Deliver(stack, MakeRequest(7));
+  EXPECT_EQ(env_.conn_wakes.size(), 1u);
+  auto req = stack.Recv(*conn);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->request_id, 700u);
+  EXPECT_FALSE(stack.Recv(*conn).has_value());
+  EXPECT_EQ(conn->container()->usage().packets_received, 1u);
+}
+
+TEST_F(StackTest, DataBeforeEstablishIsDropped) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(7));
+  Deliver(stack, MakeRequest(7));  // still half-open
+  EXPECT_TRUE(env_.conn_wakes.empty());
+  (void)ls;
+}
+
+TEST_F(StackTest, SendSegmentsByMtu) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(7));
+  Deliver(stack, MakeAck(7));
+  ConnRef conn = stack.Accept(*ls);
+  env_.wire.clear();
+
+  stack.Send(*conn, 4000, /*response_to=*/42, /*close_after=*/false);
+  // ceil(4000/1460) = 3 segments.
+  ASSERT_EQ(env_.wire.size(), 3u);
+  EXPECT_FALSE(env_.wire[0].last_segment);
+  EXPECT_TRUE(env_.wire[2].last_segment);
+  EXPECT_EQ(env_.wire[2].response_to, 42u);
+  EXPECT_EQ(conn->container()->usage().bytes_sent, 4000u);
+  EXPECT_EQ(stack.SendCost(4000), 3 * costs_.output_per_packet);
+}
+
+TEST_F(StackTest, SendCloseAfterEmitsFinAndTearsDown) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(7));
+  Deliver(stack, MakeAck(7));
+  ConnRef conn = stack.Accept(*ls);
+  env_.wire.clear();
+
+  stack.Send(*conn, 1024, 1, /*close_after=*/true);
+  ASSERT_EQ(env_.wire.size(), 2u);
+  EXPECT_EQ(env_.wire[0].type, PacketType::kData);
+  EXPECT_EQ(env_.wire[1].type, PacketType::kFin);
+  EXPECT_TRUE(conn->torn_down());
+  EXPECT_EQ(stack.pcb_count(), 0u);
+}
+
+TEST_F(StackTest, ConnectionMemoryChargedAndReleased) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(7));
+  EXPECT_EQ(c->usage().memory_bytes, costs_.connection_memory_bytes);
+  Deliver(stack, MakeAck(7));
+  ConnRef conn = stack.Accept(*ls);
+  stack.Close(*conn);
+  EXPECT_EQ(c->usage().memory_bytes, 0);
+}
+
+TEST_F(StackTest, MemoryLimitRejectsConnections) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  rc::Attributes attrs;
+  attrs.memory_limit_bytes = costs_.connection_memory_bytes + 100;
+  auto c = manager_.Create(nullptr, "c", attrs).value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  (void)ls;
+  Deliver(stack, MakeSyn(1));
+  env_.wire.clear();
+  Deliver(stack, MakeSyn(2));  // second PCB exceeds the memory limit
+  EXPECT_EQ(stack.stats().mem_reject_drops, 1u);
+  ASSERT_EQ(env_.wire.size(), 1u);
+  EXPECT_EQ(env_.wire[0].type, PacketType::kRst);
+}
+
+TEST_F(StackTest, RebindConnectionMovesMemory) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto a = manager_.Create(nullptr, "a").value();
+  auto b = manager_.Create(nullptr, "b").value();
+  auto ls = stack.Listen(80, kMatchAll, a, 1).value();
+  Deliver(stack, MakeSyn(7));
+  Deliver(stack, MakeAck(7));
+  ConnRef conn = stack.Accept(*ls);
+  ASSERT_TRUE(stack.RebindConnection(*conn, b).ok());
+  EXPECT_EQ(a->usage().memory_bytes, 0);
+  EXPECT_EQ(b->usage().memory_bytes, costs_.connection_memory_bytes);
+  EXPECT_EQ(conn->container(), b);
+}
+
+TEST_F(StackTest, SynQueueEvictsOldestAndNotifies) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1, /*syn_backlog=*/2).value();
+  Deliver(stack, MakeSyn(1, MakeAddr(10, 5, 0, 1)));
+  Deliver(stack, MakeSyn(2, MakeAddr(10, 5, 0, 2)));
+  Deliver(stack, MakeSyn(3, MakeAddr(10, 5, 0, 3)));  // evicts flow 1
+  EXPECT_EQ(ls->syn_queue().size(), 2u);
+  EXPECT_EQ(stack.stats().syn_drops, 1u);
+  ASSERT_EQ(env_.syn_drops.size(), 1u);
+  EXPECT_EQ(env_.syn_drops[0].second, MakeAddr(10, 5, 0, 1));
+  // The evicted flow's ACK now gets a RST (client must retry).
+  env_.wire.clear();
+  Deliver(stack, MakeAck(1, MakeAddr(10, 5, 0, 1)));
+  ASSERT_EQ(env_.wire.size(), 1u);
+  EXPECT_EQ(env_.wire[0].type, PacketType::kRst);
+}
+
+TEST_F(StackTest, AcceptQueueOverflowResets) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1, 16, /*accept_backlog=*/1).value();
+  Deliver(stack, MakeSyn(1));
+  Deliver(stack, MakeSyn(2));
+  Deliver(stack, MakeAck(1));
+  env_.wire.clear();
+  Deliver(stack, MakeAck(2));  // accept queue already holds flow 1
+  EXPECT_EQ(ls->accept_drops, 1u);
+  ASSERT_EQ(env_.wire.size(), 1u);
+  EXPECT_EQ(env_.wire[0].type, PacketType::kRst);
+  EXPECT_EQ(stack.pcb_count(), 1u);
+}
+
+TEST_F(StackTest, ClientRstTearsDownQueuedConnection) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(1));
+  Deliver(stack, MakeAck(1));
+  Packet rst = MakeSyn(1);
+  rst.type = PacketType::kRst;
+  Deliver(stack, rst);
+  // Accept skips the reset connection.
+  EXPECT_EQ(stack.Accept(*ls), nullptr);
+  EXPECT_EQ(stack.pcb_count(), 0u);
+}
+
+TEST_F(StackTest, FinMarksPeerClosed) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(1));
+  Deliver(stack, MakeAck(1));
+  ConnRef conn = stack.Accept(*ls);
+  Packet fin = MakeSyn(1);
+  fin.type = PacketType::kFin;
+  Deliver(stack, fin);
+  EXPECT_TRUE(conn->peer_closed());
+  EXPECT_FALSE(conn->torn_down());  // server still owns it
+}
+
+TEST_F(StackTest, SoftintReturnsInlineWork) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  (void)ls;
+  auto work = stack.HandleArrival(MakeSyn(1));
+  ASSERT_TRUE(work.has_value());
+  EXPECT_EQ(work->cost, costs_.syn_processing);
+  EXPECT_EQ(work->charge_to, nullptr);  // charged to the unlucky principal
+  EXPECT_FALSE(stack.HasPendingWork(1));
+}
+
+TEST_F(StackTest, LrpDefersToOwnerBacklog) {
+  Stack stack(&env_, costs_, NetMode::kLrp);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, /*owner=*/42).value();
+  (void)ls;
+  auto work = stack.HandleArrival(MakeSyn(1));
+  EXPECT_FALSE(work.has_value());
+  EXPECT_TRUE(stack.HasPendingWork(42));
+  ASSERT_EQ(env_.pending_notifies.size(), 1u);
+  EXPECT_EQ(env_.pending_notifies[0], 42u);
+
+  auto deferred = stack.NextPendingWork(42);
+  ASSERT_TRUE(deferred.has_value());
+  EXPECT_EQ(deferred->charge_to, c);  // charged to the receiving principal
+  deferred->apply();
+  EXPECT_EQ(stack.pcb_count(), 1u);
+  EXPECT_FALSE(stack.HasPendingWork(42));
+}
+
+TEST_F(StackTest, UnmatchedPacketDiscardedEarlyInLrp) {
+  Stack stack(&env_, costs_, NetMode::kLrp);
+  auto work = stack.HandleArrival(MakeRequest(99));  // no such flow
+  EXPECT_FALSE(work.has_value());
+  EXPECT_FALSE(stack.HasPendingWork(0));
+  EXPECT_TRUE(env_.wire.empty());  // no RST work generated at interrupt level
+}
+
+TEST_F(StackTest, RcServicesBacklogInPriorityOrder) {
+  Stack stack(&env_, costs_, NetMode::kResourceContainer);
+  rc::Attributes high;
+  high.sched.priority = 40;
+  rc::Attributes low;
+  low.sched.priority = 4;
+  auto hc = manager_.Create(nullptr, "high", high).value();
+  auto lc = manager_.Create(nullptr, "low", low).value();
+  auto ls_high =
+      stack.Listen(80, CidrFilter{MakeAddr(10, 1, 0, 0), 16}, hc, /*owner=*/1).value();
+  auto ls_low = stack.Listen(80, kMatchAll, lc, /*owner=*/1).value();
+  (void)ls_high;
+  (void)ls_low;
+
+  // Low-priority SYN arrives first, then a high-priority one.
+  (void)stack.HandleArrival(MakeSyn(1, MakeAddr(10, 9, 0, 1)));
+  (void)stack.HandleArrival(MakeSyn(2, MakeAddr(10, 1, 0, 1)));
+
+  EXPECT_EQ(stack.PeekPendingContainer(1), hc);
+  auto first = stack.NextPendingWork(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->charge_to, hc);  // high priority served first
+  auto second = stack.NextPendingWork(1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->charge_to, lc);
+}
+
+TEST_F(StackTest, PerContainerBacklogBoundDropsAndNotifies) {
+  Stack stack(&env_, costs_, NetMode::kResourceContainer);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, /*owner=*/1).value();
+  (void)ls;
+  // 256 is the per-container pending cap; the 257th SYN is dropped early.
+  for (int i = 0; i < 257; ++i) {
+    (void)stack.HandleArrival(MakeSyn(static_cast<std::uint64_t>(i) + 1));
+  }
+  EXPECT_EQ(stack.stats().backlog_drops, 1u);
+  EXPECT_EQ(env_.syn_drops.size(), 1u);
+  EXPECT_EQ(c->usage().packets_dropped, 1u);
+}
+
+TEST_F(StackTest, CloseListenTearsDownQueuedConnections) {
+  Stack stack(&env_, costs_, NetMode::kSoftint);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, 1).value();
+  Deliver(stack, MakeSyn(1));
+  Deliver(stack, MakeSyn(2));
+  Deliver(stack, MakeAck(1));
+  EXPECT_EQ(stack.pcb_count(), 2u);
+  stack.CloseListen(ls);
+  EXPECT_EQ(stack.pcb_count(), 0u);
+  EXPECT_EQ(stack.listen_count(), 0u);
+  EXPECT_EQ(c->usage().memory_bytes, 0);
+}
+
+TEST_F(StackTest, DrainPendingProcessesWholeHandshake) {
+  Stack stack(&env_, costs_, NetMode::kResourceContainer);
+  auto c = manager_.Create(nullptr, "c").value();
+  auto ls = stack.Listen(80, kMatchAll, c, /*owner=*/1).value();
+  (void)stack.HandleArrival(MakeSyn(1));
+  EXPECT_EQ(DrainPending(stack, 1), 1);
+  (void)stack.HandleArrival(MakeAck(1));
+  (void)stack.HandleArrival(MakeRequest(1));
+  EXPECT_EQ(DrainPending(stack, 1), 2);
+  ConnRef conn = stack.Accept(*ls);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_TRUE(conn->has_data());
+}
+
+TEST(AddrTest, ToStringRoundTrip) {
+  EXPECT_EQ(AddrToString(MakeAddr(10, 1, 2, 3)), "10.1.2.3");
+  EXPECT_EQ(AddrToString(Addr{0}), "0.0.0.0");
+  EXPECT_EQ(AddrToString(MakeAddr(255, 255, 255, 255)), "255.255.255.255");
+}
+
+TEST(AddrTest, CidrFilterBasics) {
+  CidrFilter f{MakeAddr(192, 168, 1, 0), 24};
+  EXPECT_TRUE(f.Matches(MakeAddr(192, 168, 1, 77)));
+  EXPECT_FALSE(f.Matches(MakeAddr(192, 168, 2, 77)));
+  EXPECT_EQ(f.ToString(), "192.168.1.0/24");
+}
+
+TEST(AddrTest, WildcardMatchesEverything) {
+  EXPECT_TRUE(kMatchAll.Matches(Addr{0}));
+  EXPECT_TRUE(kMatchAll.Matches(MakeAddr(255, 1, 2, 3)));
+}
+
+TEST(AddrTest, FullPrefixIsExactMatch) {
+  CidrFilter f{MakeAddr(10, 0, 0, 1), 32};
+  EXPECT_TRUE(f.Matches(MakeAddr(10, 0, 0, 1)));
+  EXPECT_FALSE(f.Matches(MakeAddr(10, 0, 0, 2)));
+}
+
+}  // namespace
+}  // namespace net
+
+namespace net {
+namespace complement_filter_tests {
+
+TEST(AddrTest, ComplementFilterMatchesOutsidePrefix) {
+  CidrFilter except{MakeAddr(10, 5, 0, 0), 16, /*negate=*/true};
+  EXPECT_FALSE(except.Matches(MakeAddr(10, 5, 1, 2)));
+  EXPECT_TRUE(except.Matches(MakeAddr(10, 6, 1, 2)));
+  EXPECT_EQ(except.ToString(), "!10.5.0.0/16");
+  EXPECT_EQ(except.Specificity(), 0);
+}
+
+TEST(AddrTest, ComplementOfWildcardMatchesNothing) {
+  CidrFilter none{Addr{0}, 0, true};
+  EXPECT_FALSE(none.Matches(MakeAddr(1, 2, 3, 4)));
+}
+
+class ComplementDemuxTest : public ::testing::Test {
+ protected:
+  class NullEnv : public StackEnv {
+   public:
+    void EmitToWire(Packet) override {}
+    void WakeAcceptors(ListenSocket&) override {}
+    void WakeConnection(Connection&) override {}
+    void NotifyPendingNetWork(std::uint64_t) override {}
+    void OnSynDrop(ListenSocket&, Addr) override {}
+  };
+  rc::ContainerManager manager_;
+  NullEnv env_;
+};
+
+TEST_F(ComplementDemuxTest, AcceptExceptFromCertainClients) {
+  // Section 4.8's suggestion: accept connections EXCEPT from a set of
+  // clients. The complement socket serves everyone outside the banned
+  // prefix; the banned prefix falls through to a low-priority socket.
+  Stack stack(&env_, StackCosts{}, NetMode::kSoftint);
+  auto good = manager_.Create(nullptr, "good").value();
+  auto banned = manager_.Create(nullptr, "banned").value();
+  auto ls_good =
+      stack.Listen(80, CidrFilter{MakeAddr(10, 66, 0, 0), 16, true}, good, 1).value();
+  auto ls_banned = stack.Listen(80, kMatchAll, banned, 1).value();
+
+  auto syn = [](std::uint64_t flow, Addr src) {
+    Packet p;
+    p.type = PacketType::kSyn;
+    p.src = Endpoint{src, 999};
+    p.dst = Endpoint{Addr{0}, 80};
+    p.flow_id = flow;
+    return p;
+  };
+  auto deliver = [&](const Packet& p) {
+    auto work = stack.HandleArrival(p);
+    if (work.has_value()) {
+      work->apply();
+    }
+  };
+  deliver(syn(1, MakeAddr(10, 1, 2, 3)));   // outsider -> complement socket
+  deliver(syn(2, MakeAddr(10, 66, 4, 5)));  // banned prefix -> wildcard socket
+  EXPECT_EQ(ls_good->syns_received, 1u);
+  EXPECT_EQ(ls_banned->syns_received, 1u);
+}
+
+TEST_F(ComplementDemuxTest, PositiveFilterBeatsComplement) {
+  Stack stack(&env_, StackCosts{}, NetMode::kSoftint);
+  auto a = manager_.Create(nullptr, "a").value();
+  auto b = manager_.Create(nullptr, "b").value();
+  // A positive /8 and a complement of some other prefix both match 10.x;
+  // the positive prefix is more specific.
+  auto ls_pos = stack.Listen(80, CidrFilter{MakeAddr(10, 0, 0, 0), 8}, a, 1).value();
+  auto ls_neg =
+      stack.Listen(80, CidrFilter{MakeAddr(192, 168, 0, 0), 16, true}, b, 1).value();
+  Packet p;
+  p.type = PacketType::kSyn;
+  p.src = Endpoint{MakeAddr(10, 1, 1, 1), 999};
+  p.dst = Endpoint{Addr{0}, 80};
+  p.flow_id = 9;
+  auto work = stack.HandleArrival(p);
+  work->apply();
+  EXPECT_EQ(ls_pos->syns_received, 1u);
+  EXPECT_EQ(ls_neg->syns_received, 0u);
+}
+
+}  // namespace complement_filter_tests
+}  // namespace net

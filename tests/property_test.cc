@@ -1,0 +1,273 @@
+// Property-style tests (parameterized sweeps) over core invariants:
+//   * CIDR demultiplexing equals a reference implementation on random input
+//   * memory accounting stays conserved under random charge/release/reparent
+//   * CPU-time conservation holds across kernel configurations and seeds
+//   * fixed-share allocation matches configuration for random share vectors
+//   * the event channel maintains priority order under random pushes
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/event_api.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscalls.h"
+#include "src/net/addr.h"
+#include "src/rc/manager.h"
+#include "src/sim/rng.h"
+#include "src/xp/scenario.h"
+
+namespace {
+
+// --- CIDR matching vs reference ------------------------------------------
+
+class CidrProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+bool ReferenceMatch(net::Addr base, int prefix, net::Addr a) {
+  for (int bit = 0; bit < prefix; ++bit) {
+    const std::uint32_t mask = 1u << (31 - bit);
+    if ((base.v & mask) != (a.v & mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST_P(CidrProperty, MatchEqualsBitwiseReference) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const net::Addr base{static_cast<std::uint32_t>(rng.NextU64())};
+    const int prefix = static_cast<int>(rng.UniformInt(0, 32));
+    const net::CidrFilter f{base, prefix};
+    // Half the probes are perturbations of the base (interesting cases).
+    net::Addr probe{static_cast<std::uint32_t>(rng.NextU64())};
+    if (rng.Chance(0.5)) {
+      probe.v = base.v ^ (1u << rng.UniformInt(0, 31));
+    }
+    EXPECT_EQ(f.Matches(probe), ReferenceMatch(base, prefix, probe))
+        << f.ToString() << " vs " << net::AddrToString(probe);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CidrProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Memory conservation under random operations ---------------------------
+
+class MemoryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryProperty, SubtreeMemoryAlwaysConsistent) {
+  sim::Rng rng(GetParam());
+  rc::ContainerManager m;
+  rc::Attributes fs;
+  fs.sched.cls = rc::SchedClass::kFixedShare;
+  fs.sched.fixed_share = 0.01;
+
+  std::vector<rc::ContainerRef> cs;
+  for (int i = 0; i < 12; ++i) {
+    // Random parent among the fixed-share containers created so far.
+    rc::ContainerRef parent;
+    if (!cs.empty() && rng.Chance(0.6)) {
+      parent = cs[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(cs.size()) - 1))];
+    }
+    auto created = m.Create(parent, "c", fs);
+    ASSERT_TRUE(created.ok());
+    cs.push_back(*created);
+  }
+
+  std::map<rc::ContainerId, std::int64_t> own;
+  for (int step = 0; step < 3000; ++step) {
+    auto& c = cs[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(cs.size()) - 1))];
+    const int op = static_cast<int>(rng.UniformInt(0, 2));
+    if (op == 0) {
+      const std::int64_t bytes = rng.UniformInt(1, 4096);
+      if (c->ChargeMemory(bytes).ok()) {
+        own[c->id()] += bytes;
+      }
+    } else if (op == 1 && own[c->id()] > 0) {
+      const std::int64_t bytes = rng.UniformInt(1, own[c->id()]);
+      c->ReleaseMemory(bytes);
+      own[c->id()] -= bytes;
+    } else {
+      // Random reparent (cycles rejected, which is fine).
+      auto& p = cs[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(cs.size()) - 1))];
+      (void)m.SetParent(c, p);
+    }
+  }
+
+  // Invariant: every node's subtree memory equals the sum of its descendants'
+  // own memory, and the root sees the total.
+  std::int64_t total = 0;
+  for (auto& [id, bytes] : own) {
+    total += bytes;
+  }
+  EXPECT_EQ(m.root()->subtree_memory_bytes(), total);
+  for (auto& c : cs) {
+    EXPECT_EQ(c->usage().memory_bytes, own[c->id()]);
+    EXPECT_GE(c->subtree_memory_bytes(), c->usage().memory_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryProperty, ::testing::Values(11, 22, 33, 44));
+
+// --- CPU conservation across configurations and workloads ------------------
+
+struct ConservationCase {
+  kernel::KernelConfig (*config)();
+  bool use_containers;
+  bool use_event_api;
+  int clients;
+};
+
+class ConservationProperty : public ::testing::TestWithParam<ConservationCase> {};
+
+TEST_P(ConservationProperty, ChargedPlusOverheadEqualsBusy) {
+  const ConservationCase& c = GetParam();
+  xp::ScenarioOptions options;
+  options.kernel_config = c.config();
+  options.server_config.use_containers = c.use_containers;
+  options.server_config.use_event_api = c.use_event_api;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(c.clients, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+
+  auto& cpu = scenario.kernel().cpu();
+  const sim::Duration accounted = scenario.kernel().TotalChargedCpuUsec() +
+                                  cpu.interrupt_usec() + cpu.context_switch_usec();
+  EXPECT_EQ(cpu.busy_usec(), accounted);
+  EXPECT_EQ(cpu.idle_usec(), scenario.simulator().now() - cpu.busy_usec());
+  EXPECT_GE(cpu.idle_usec(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConservationProperty,
+    ::testing::Values(ConservationCase{kernel::UnmodifiedSystemConfig, false, false, 4},
+                      ConservationCase{kernel::UnmodifiedSystemConfig, false, false, 24},
+                      ConservationCase{kernel::LrpSystemConfig, false, false, 12},
+                      ConservationCase{kernel::ResourceContainerSystemConfig, true, false, 12},
+                      ConservationCase{kernel::ResourceContainerSystemConfig, true, true, 12}));
+
+// --- Fixed-share accuracy for random share vectors --------------------------
+
+class ShareProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+kernel::Program Spin(kernel::Sys sys) {
+  for (;;) {
+    co_await sys.Compute(100, rc::CpuKind::kUser);
+  }
+}
+
+TEST_P(ShareProperty, AllocationTracksConfiguredShares) {
+  sim::Rng rng(GetParam());
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::ResourceContainerSystemConfig());
+
+  const int n = static_cast<int>(rng.UniformInt(2, 5));
+  std::vector<double> shares;
+  double remaining = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double s =
+        (i == n - 1) ? remaining : rng.UniformReal(0.1, remaining - 0.1 * (n - i - 1));
+    shares.push_back(s);
+    remaining -= s;
+  }
+
+  std::vector<kernel::Process*> procs;
+  for (int i = 0; i < n; ++i) {
+    rc::Attributes a;
+    a.sched.cls = rc::SchedClass::kFixedShare;
+    a.sched.fixed_share = shares[static_cast<std::size_t>(i)];
+    auto c = kern.containers().Create(nullptr, "g", a).value();
+    kernel::Process* p = kern.CreateProcess("spin", c);
+    kern.SpawnThread(p, "t", Spin);
+    procs.push_back(p);
+  }
+  simr.RunUntil(sim::Sec(5));
+
+  sim::Duration total = 0;
+  for (auto* p : procs) {
+    total += p->TotalExecutedUsec();
+  }
+  for (int i = 0; i < n; ++i) {
+    const double got = static_cast<double>(procs[static_cast<std::size_t>(i)]
+                                               ->TotalExecutedUsec()) /
+                       static_cast<double>(total);
+    EXPECT_NEAR(got, shares[static_cast<std::size_t>(i)], 0.02)
+        << "share " << i << " of " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShareProperty, ::testing::Values(7, 17, 27, 37, 47));
+
+// --- Event channel ordering ---------------------------------------------------
+
+class EventOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventOrderProperty, PriorityOrderIsMaintained) {
+  sim::Rng rng(GetParam());
+  kernel::EventChannel ch;
+  for (int i = 0; i < 500; ++i) {
+    kernel::Event e;
+    e.fd = static_cast<int>(rng.UniformInt(0, 50));
+    e.priority = static_cast<int>(rng.UniformInt(0, 63));
+    ch.Push(e, /*priority_order=*/true);
+  }
+  auto events = ch.Drain(1000);
+  ASSERT_EQ(events.size(), 500u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i - 1].priority, events[i].priority) << "index " << i;
+  }
+}
+
+TEST_P(EventOrderProperty, FifoWithinEqualPriority) {
+  sim::Rng rng(GetParam());
+  kernel::EventChannel ch;
+  // fd encodes insertion order within its priority class.
+  std::map<int, int> next_seq;
+  for (int i = 0; i < 300; ++i) {
+    kernel::Event e;
+    e.priority = static_cast<int>(rng.UniformInt(0, 3));
+    e.fd = next_seq[e.priority]++;
+    ch.Push(e, true);
+  }
+  auto events = ch.Drain(1000);
+  std::map<int, int> last_seen;
+  for (const auto& e : events) {
+    auto it = last_seen.find(e.priority);
+    if (it != last_seen.end()) {
+      EXPECT_GT(e.fd, it->second);  // strictly increasing within a class
+    }
+    last_seen[e.priority] = e.fd;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderProperty, ::testing::Values(3, 13, 23));
+
+// --- Determinism ---------------------------------------------------------------
+
+TEST(DeterminismProperty, IdenticalScenariosProduceIdenticalResults) {
+  auto run = [] {
+    xp::ScenarioOptions options;
+    options.kernel_config = kernel::ResourceContainerSystemConfig();
+    options.server_config.use_containers = true;
+    xp::Scenario scenario(options);
+    scenario.StartServer();
+    scenario.AddStaticClients(8, net::MakeAddr(10, 1, 0, 0));
+    scenario.StartAllClients();
+    scenario.RunFor(sim::Sec(1));
+    return std::make_pair(scenario.TotalCompleted(),
+                          scenario.kernel().TotalChargedCpuUsec());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Unit tests for thread<->container bindings (Sections 4.2/4.3).
+#include <gtest/gtest.h>
+
+#include "src/rc/binding.h"
+#include "src/rc/manager.h"
+
+namespace rc {
+namespace {
+
+TEST(SchedulerBindingTest, TouchAddsOnce) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "c").value();
+  SchedulerBinding b;
+  b.Touch(c, 10);
+  b.Touch(c, 20);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.Contains(c.get()));
+}
+
+TEST(SchedulerBindingTest, PruneRemovesStaleEntries) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a").value();
+  auto b = m.Create(nullptr, "b").value();
+  SchedulerBinding sb;
+  sb.Touch(a, 0);
+  sb.Touch(b, 900);
+  EXPECT_EQ(sb.Prune(/*now=*/1000, /*idle_threshold=*/500), 1u);
+  EXPECT_FALSE(sb.Contains(a.get()));
+  EXPECT_TRUE(sb.Contains(b.get()));
+}
+
+TEST(SchedulerBindingTest, PruneKeepsFreshEntries) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a").value();
+  SchedulerBinding sb;
+  sb.Touch(a, 999);
+  EXPECT_EQ(sb.Prune(1000, 500), 0u);
+  EXPECT_EQ(sb.size(), 1u);
+}
+
+TEST(SchedulerBindingTest, ResetToSingleContainer) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a").value();
+  auto b = m.Create(nullptr, "b").value();
+  SchedulerBinding sb;
+  sb.Touch(a, 1);
+  sb.Touch(b, 2);
+  sb.Reset(b, 3);
+  EXPECT_EQ(sb.size(), 1u);
+  EXPECT_TRUE(sb.Contains(b.get()));
+  EXPECT_FALSE(sb.Contains(a.get()));
+}
+
+TEST(SchedulerBindingTest, CombinedPrioritySums) {
+  ContainerManager m;
+  Attributes a16;
+  a16.sched.priority = 16;
+  Attributes a32;
+  a32.sched.priority = 32;
+  auto a = m.Create(nullptr, "a", a16).value();
+  auto b = m.Create(nullptr, "b", a32).value();
+  SchedulerBinding sb;
+  sb.Touch(a, 1);
+  sb.Touch(b, 1);
+  EXPECT_EQ(sb.CombinedPriority(), 48);
+}
+
+TEST(SchedulerBindingTest, HoldsContainerAlive) {
+  ContainerManager m;
+  ContainerId id;
+  SchedulerBinding sb;
+  {
+    auto c = m.Create(nullptr, "c").value();
+    id = c->id();
+    sb.Touch(c, 0);
+  }
+  // The binding's reference keeps it alive.
+  EXPECT_TRUE(m.Lookup(id).ok());
+  sb.Prune(1000000, 1);
+  EXPECT_FALSE(m.Lookup(id).ok());
+}
+
+TEST(BindingPointTest, BindSetsResourceBindingAndCount) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "c").value();
+  {
+    BindingPoint bp;
+    bp.Bind(c, 5);
+    EXPECT_EQ(bp.resource_binding(), c);
+    EXPECT_EQ(c->bound_thread_count(), 1);
+    EXPECT_TRUE(bp.scheduler_binding().Contains(c.get()));
+  }
+  EXPECT_EQ(c->bound_thread_count(), 0);  // destructor unbinds
+}
+
+TEST(BindingPointTest, RebindMovesCount) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a").value();
+  auto b = m.Create(nullptr, "b").value();
+  BindingPoint bp;
+  bp.Bind(a, 1);
+  bp.Bind(b, 2);
+  EXPECT_EQ(a->bound_thread_count(), 0);
+  EXPECT_EQ(b->bound_thread_count(), 1);
+  // The scheduler binding remembers both (multiplexed thread).
+  EXPECT_EQ(bp.scheduler_binding().size(), 2u);
+}
+
+TEST(BindingPointTest, BindingKeepsContainerAlive) {
+  ContainerManager m;
+  ContainerId id;
+  BindingPoint bp;
+  {
+    auto c = m.Create(nullptr, "c").value();
+    id = c->id();
+    bp.Bind(c, 0);
+  }
+  // "once there are no such descriptors, and no threads with resource
+  // bindings, to the container, it is destroyed" — binding still exists.
+  EXPECT_TRUE(m.Lookup(id).ok());
+}
+
+TEST(BindingPointTest, ResetSchedulerBindingKeepsCurrent) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a").value();
+  auto b = m.Create(nullptr, "b").value();
+  BindingPoint bp;
+  bp.Bind(a, 1);
+  bp.Bind(b, 2);
+  bp.ResetSchedulerBinding(3);
+  EXPECT_EQ(bp.scheduler_binding().size(), 1u);
+  EXPECT_TRUE(bp.scheduler_binding().Contains(b.get()));
+}
+
+TEST(BindingPointTest, MultipleThreadsOneContainer) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "c").value();
+  BindingPoint t1;
+  BindingPoint t2;
+  t1.Bind(c, 0);
+  t2.Bind(c, 0);
+  EXPECT_EQ(c->bound_thread_count(), 2);
+}
+
+}  // namespace
+}  // namespace rc

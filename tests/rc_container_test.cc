@@ -1,0 +1,407 @@
+// Unit tests for the resource-container core: hierarchy rules, attributes,
+// lifetime semantics, and accounting.
+#include <gtest/gtest.h>
+
+#include "src/rc/container.h"
+#include "src/rc/manager.h"
+
+namespace rc {
+namespace {
+
+using rccommon::Errc;
+
+Attributes FixedShare(double share) {
+  Attributes a;
+  a.sched.cls = SchedClass::kFixedShare;
+  a.sched.fixed_share = share;
+  return a;
+}
+
+TEST(ContainerManagerTest, RootExists) {
+  ContainerManager m;
+  ASSERT_NE(m.root(), nullptr);
+  EXPECT_TRUE(m.root()->is_root());
+  EXPECT_EQ(m.live_count(), 1u);
+  EXPECT_EQ(m.root()->attributes().sched.cls, SchedClass::kFixedShare);
+}
+
+TEST(ContainerManagerTest, CreateTopLevel) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "web");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)->parent(), m.root().get());
+  EXPECT_EQ((*c)->name(), "web");
+  EXPECT_EQ((*c)->depth(), 1);
+  EXPECT_EQ(m.live_count(), 2u);
+}
+
+TEST(ContainerManagerTest, IdsAreUnique) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a").value();
+  auto b = m.Create(nullptr, "b").value();
+  EXPECT_NE(a->id(), b->id());
+}
+
+TEST(ContainerManagerTest, TimeShareCannotHaveChildren) {
+  ContainerManager m;
+  auto ts = m.Create(nullptr, "ts").value();  // default: time-share
+  auto child = m.Create(ts, "child");
+  EXPECT_FALSE(child.ok());
+  EXPECT_EQ(child.error(), Errc::kHasChildren);
+}
+
+TEST(ContainerManagerTest, FixedShareCanHaveChildren) {
+  ContainerManager m;
+  auto fs = m.Create(nullptr, "fs", FixedShare(0.5)).value();
+  auto child = m.Create(fs, "child");
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ((*child)->parent(), fs.get());
+  EXPECT_EQ((*child)->depth(), 2);
+}
+
+TEST(ContainerManagerTest, SiblingSharesCannotOversubscribe) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a", FixedShare(0.6)).value();
+  auto b = m.Create(nullptr, "b", FixedShare(0.5));
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.error(), Errc::kLimitExceeded);
+  auto c = m.Create(nullptr, "c", FixedShare(0.4));
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(ContainerManagerTest, NestedShareBudgetIsPerParent) {
+  ContainerManager m;
+  auto p = m.Create(nullptr, "p", FixedShare(0.5)).value();
+  // Children of p can themselves sum to 100% *of p*.
+  auto c1 = m.Create(p, "c1", FixedShare(0.7));
+  ASSERT_TRUE(c1.ok());
+  auto c2 = m.Create(p, "c2", FixedShare(0.3));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_FALSE(m.Create(p, "c3", FixedShare(0.1)).ok());
+}
+
+TEST(ContainerManagerTest, LookupFindsLiveContainer) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "x").value();
+  auto found = m.Lookup(c->id());
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->get(), c.get());
+}
+
+TEST(ContainerManagerTest, LookupFailsAfterDestroy) {
+  ContainerManager m;
+  ContainerId id;
+  {
+    auto c = m.Create(nullptr, "gone").value();
+    id = c->id();
+  }
+  EXPECT_FALSE(m.Lookup(id).ok());
+  EXPECT_EQ(m.live_count(), 1u);
+}
+
+TEST(ContainerManagerTest, SetParentMovesSubtree) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a", FixedShare(0.3)).value();
+  auto b = m.Create(nullptr, "b", FixedShare(0.3)).value();
+  auto child = m.Create(a, "child").value();
+  ASSERT_TRUE(m.SetParent(child, b).ok());
+  EXPECT_EQ(child->parent(), b.get());
+  EXPECT_EQ(a->child_count(), 0u);
+  EXPECT_EQ(b->child_count(), 1u);
+}
+
+TEST(ContainerManagerTest, SetParentNullMeansTopLevel) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a", FixedShare(0.3)).value();
+  auto child = m.Create(a, "child").value();
+  ASSERT_TRUE(m.SetParent(child, nullptr).ok());
+  EXPECT_EQ(child->parent(), m.root().get());
+}
+
+TEST(ContainerManagerTest, SetParentRejectsCycle) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a", FixedShare(0.3)).value();
+  auto b = m.Create(a, "b", FixedShare(0.5)).value();
+  EXPECT_FALSE(m.SetParent(a, b).ok());   // b is a descendant of a
+  EXPECT_FALSE(m.SetParent(a, a).ok());   // self
+  EXPECT_FALSE(m.SetParent(m.root(), a).ok());  // root is immovable
+}
+
+TEST(ContainerManagerTest, SetParentChecksShareBudgetAtNewParent) {
+  ContainerManager m;
+  auto p = m.Create(nullptr, "p", FixedShare(0.3)).value();
+  auto existing = m.Create(p, "existing", FixedShare(0.8));
+  ASSERT_TRUE(existing.ok());
+  auto mover = m.Create(nullptr, "mover", FixedShare(0.5)).value();
+  EXPECT_FALSE(m.SetParent(mover, p).ok());  // 0.8 + 0.5 > 1
+}
+
+TEST(ContainerLifetimeTest, DestroyOrphansChildrenToTopLevel) {
+  ContainerManager m;
+  ContainerRef child;
+  {
+    auto parent = m.Create(nullptr, "parent", FixedShare(0.5)).value();
+    child = m.Create(parent, "child").value();
+    EXPECT_EQ(child->depth(), 2);
+  }
+  // "If the parent P of a container C is destroyed, C's parent is set to
+  // 'no parent'".
+  EXPECT_EQ(child->parent(), m.root().get());
+  EXPECT_EQ(child->depth(), 1);
+}
+
+TEST(ContainerLifetimeTest, DestroyRetiresUsageIntoParent) {
+  ContainerManager m;
+  auto parent = m.Create(nullptr, "parent", FixedShare(0.5)).value();
+  {
+    auto child = m.Create(parent, "child").value();
+    child->ChargeCpu(1000, CpuKind::kUser);
+  }
+  EXPECT_EQ(parent->retired_usage().cpu_user_usec, 1000);
+  EXPECT_EQ(parent->SubtreeUsage().cpu_user_usec, 1000);
+}
+
+TEST(ContainerLifetimeTest, RetiredUsageChainsThroughGenerations) {
+  ContainerManager m;
+  auto top = m.Create(nullptr, "top", FixedShare(0.5)).value();
+  {
+    auto mid = m.Create(top, "mid", FixedShare(0.5)).value();
+    {
+      auto leaf = m.Create(mid, "leaf").value();
+      leaf->ChargeCpu(500, CpuKind::kKernel);
+    }
+    EXPECT_EQ(mid->retired_usage().cpu_kernel_usec, 500);
+  }
+  EXPECT_EQ(top->retired_usage().cpu_kernel_usec, 500);
+}
+
+TEST(ContainerLifetimeTest, DestroyObserverFires) {
+  ContainerManager m;
+  ContainerId destroyed = 0;
+  m.AddDestroyObserver([&](ResourceContainer& c) { destroyed = c.id(); });
+  ContainerId id;
+  {
+    auto c = m.Create(nullptr, "watched").value();
+    id = c->id();
+  }
+  EXPECT_EQ(destroyed, id);
+}
+
+TEST(ContainerLifetimeTest, ReparentObserverFiresOnExplicitMove) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a", FixedShare(0.3)).value();
+  auto child = m.Create(a, "child").value();
+  ResourceContainer* seen_old = nullptr;
+  ResourceContainer* seen_new = nullptr;
+  m.AddReparentObserver([&](ResourceContainer& c, ResourceContainer* o,
+                            ResourceContainer* n) {
+    seen_old = o;
+    seen_new = n;
+  });
+  ASSERT_TRUE(m.SetParent(child, nullptr).ok());
+  EXPECT_EQ(seen_old, a.get());
+  EXPECT_EQ(seen_new, m.root().get());
+}
+
+TEST(ContainerUsageTest, CpuKindsSeparated) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "c").value();
+  c->ChargeCpu(10, CpuKind::kUser);
+  c->ChargeCpu(20, CpuKind::kKernel);
+  c->ChargeCpu(30, CpuKind::kNetwork);
+  EXPECT_EQ(c->usage().cpu_user_usec, 10);
+  EXPECT_EQ(c->usage().cpu_kernel_usec, 20);
+  EXPECT_EQ(c->usage().cpu_network_usec, 30);
+  EXPECT_EQ(c->usage().TotalCpuUsec(), 60);
+}
+
+TEST(ContainerUsageTest, SubtreeAggregates) {
+  ContainerManager m;
+  auto p = m.Create(nullptr, "p", FixedShare(0.5)).value();
+  auto c1 = m.Create(p, "c1").value();
+  auto c2 = m.Create(p, "c2").value();
+  p->ChargeCpu(1, CpuKind::kUser);
+  c1->ChargeCpu(2, CpuKind::kUser);
+  c2->ChargeCpu(4, CpuKind::kUser);
+  EXPECT_EQ(p->SubtreeUsage().cpu_user_usec, 7);
+  EXPECT_EQ(p->usage().cpu_user_usec, 1);
+}
+
+TEST(ContainerUsageTest, NetworkCounters) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "c").value();
+  c->CountPacketReceived(1500);
+  c->CountPacketReceived(500);
+  c->CountPacketDropped();
+  c->CountBytesSent(4096);
+  EXPECT_EQ(c->usage().packets_received, 2u);
+  EXPECT_EQ(c->usage().bytes_received, 2000u);
+  EXPECT_EQ(c->usage().packets_dropped, 1u);
+  EXPECT_EQ(c->usage().bytes_sent, 4096u);
+}
+
+TEST(ContainerMemoryTest, ChargeAndRelease) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "c").value();
+  ASSERT_TRUE(c->ChargeMemory(4096).ok());
+  EXPECT_EQ(c->usage().memory_bytes, 4096);
+  EXPECT_EQ(c->subtree_memory_bytes(), 4096);
+  EXPECT_EQ(m.root()->subtree_memory_bytes(), 4096);
+  c->ReleaseMemory(4096);
+  EXPECT_EQ(c->usage().memory_bytes, 0);
+  EXPECT_EQ(m.root()->subtree_memory_bytes(), 0);
+}
+
+TEST(ContainerMemoryTest, PeakTracksHighWater) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "c").value();
+  ASSERT_TRUE(c->ChargeMemory(100).ok());
+  c->ReleaseMemory(50);
+  ASSERT_TRUE(c->ChargeMemory(20).ok());
+  EXPECT_EQ(c->usage().memory_peak_bytes, 100);
+  EXPECT_EQ(c->usage().memory_bytes, 70);
+}
+
+TEST(ContainerMemoryTest, OwnLimitEnforced) {
+  ContainerManager m;
+  Attributes a;
+  a.memory_limit_bytes = 1000;
+  auto c = m.Create(nullptr, "c", a).value();
+  EXPECT_TRUE(c->ChargeMemory(900).ok());
+  auto over = c->ChargeMemory(200);
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.error(), Errc::kLimitExceeded);
+  EXPECT_EQ(c->usage().memory_bytes, 900);  // failed charge not applied
+}
+
+TEST(ContainerMemoryTest, ParentLimitConstrainsSubtree) {
+  ContainerManager m;
+  Attributes pa = FixedShare(0.5);
+  pa.memory_limit_bytes = 1000;
+  auto p = m.Create(nullptr, "p", pa).value();
+  auto c1 = m.Create(p, "c1").value();
+  auto c2 = m.Create(p, "c2").value();
+  EXPECT_TRUE(c1->ChargeMemory(600).ok());
+  EXPECT_FALSE(c2->ChargeMemory(600).ok());  // would exceed parent's limit
+  EXPECT_TRUE(c2->ChargeMemory(400).ok());
+}
+
+TEST(ContainerMemoryTest, ReparentMigratesSubtreeMemory) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a", FixedShare(0.3)).value();
+  auto b = m.Create(nullptr, "b", FixedShare(0.3)).value();
+  auto child = m.Create(a, "child").value();
+  ASSERT_TRUE(child->ChargeMemory(512).ok());
+  EXPECT_EQ(a->subtree_memory_bytes(), 512);
+  ASSERT_TRUE(m.SetParent(child, b).ok());
+  EXPECT_EQ(a->subtree_memory_bytes(), 0);
+  EXPECT_EQ(b->subtree_memory_bytes(), 512);
+  EXPECT_EQ(m.root()->subtree_memory_bytes(), 512);
+}
+
+TEST(ContainerMemoryTest, DestroyedParentMovesChildMemoryToRoot) {
+  ContainerManager m;
+  ContainerRef child;
+  {
+    auto parent = m.Create(nullptr, "parent", FixedShare(0.5)).value();
+    child = m.Create(parent, "child").value();
+    ASSERT_TRUE(child->ChargeMemory(256).ok());
+  }
+  EXPECT_EQ(child->parent(), m.root().get());
+  EXPECT_EQ(child->subtree_memory_bytes(), 256);
+  EXPECT_EQ(m.root()->subtree_memory_bytes(), 256);
+}
+
+TEST(AttributesTest, ValidateRejectsBadPriority) {
+  Attributes a;
+  a.sched.priority = -1;
+  EXPECT_FALSE(a.Validate().ok());
+  a.sched.priority = kMaxPriority + 1;
+  EXPECT_FALSE(a.Validate().ok());
+}
+
+TEST(AttributesTest, ValidateRejectsBadShares) {
+  EXPECT_FALSE(FixedShare(0.0).Validate().ok());
+  EXPECT_FALSE(FixedShare(1.5).Validate().ok());
+  EXPECT_TRUE(FixedShare(1.0).Validate().ok());
+  Attributes ts;  // time-share with nonzero share is inconsistent
+  ts.sched.fixed_share = 0.5;
+  EXPECT_FALSE(ts.Validate().ok());
+}
+
+TEST(AttributesTest, ValidateRejectsBadLimits) {
+  Attributes a;
+  a.cpu_limit = 1.5;
+  EXPECT_FALSE(a.Validate().ok());
+  a.cpu_limit = 0.5;
+  a.memory_limit_bytes = -1;
+  EXPECT_FALSE(a.Validate().ok());
+}
+
+TEST(AttributesTest, EffectiveNetworkPriority) {
+  Attributes a;
+  a.sched.priority = 20;
+  EXPECT_EQ(a.EffectiveNetworkPriority(), 20);
+  a.network_priority = 3;
+  EXPECT_EQ(a.EffectiveNetworkPriority(), 3);
+}
+
+TEST(AttributesTest, SetAttributesValidatesAndApplies) {
+  ContainerManager m;
+  auto c = m.Create(nullptr, "c").value();
+  Attributes a = c->attributes();
+  a.sched.priority = 40;
+  ASSERT_TRUE(c->SetAttributes(a).ok());
+  EXPECT_EQ(c->attributes().sched.priority, 40);
+  a.sched.priority = 1000;
+  EXPECT_FALSE(c->SetAttributes(a).ok());
+  EXPECT_EQ(c->attributes().sched.priority, 40);
+}
+
+TEST(AttributesTest, CannotBecomeTimeShareWithChildren) {
+  ContainerManager m;
+  auto p = m.Create(nullptr, "p", FixedShare(0.5)).value();
+  auto child = m.Create(p, "c").value();
+  (void)child;
+  Attributes ts;  // time-share
+  auto result = p->SetAttributes(ts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), Errc::kHasChildren);
+}
+
+TEST(AttributesTest, ShareChangeCheckedAgainstSiblings) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a", FixedShare(0.5)).value();
+  auto b = m.Create(nullptr, "b", FixedShare(0.4)).value();
+  (void)a;
+  EXPECT_FALSE(b->SetAttributes(FixedShare(0.6)).ok());
+  EXPECT_TRUE(b->SetAttributes(FixedShare(0.5)).ok());
+}
+
+TEST(ContainerTest, IsSelfOrDescendant) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "a", FixedShare(0.5)).value();
+  auto b = m.Create(a, "b", FixedShare(0.5)).value();
+  auto c = m.Create(b, "c").value();
+  EXPECT_TRUE(a->IsSelfOrDescendant(a.get()));
+  EXPECT_TRUE(a->IsSelfOrDescendant(c.get()));
+  EXPECT_FALSE(b->IsSelfOrDescendant(a.get()));
+  EXPECT_TRUE(m.root()->IsSelfOrDescendant(c.get()));
+}
+
+TEST(ContainerTest, ForEachChildVisitsAll) {
+  ContainerManager m;
+  auto p = m.Create(nullptr, "p", FixedShare(0.5)).value();
+  auto c1 = m.Create(p, "c1").value();
+  auto c2 = m.Create(p, "c2").value();
+  (void)c1;
+  (void)c2;
+  int count = 0;
+  p->ForEachChild([&](ResourceContainer&) { ++count; });
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(p->IsLeaf());
+  EXPECT_TRUE(c1->IsLeaf());
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,277 @@
+// Unit tests for the discrete-event simulation engine.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.RunNext();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.Schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsSafe) {
+  EventQueue q;
+  EventHandle h = q.Schedule(10, [] {});
+  q.RunNext();
+  EXPECT_FALSE(h.pending());
+  h.Cancel();  // no effect, no crash
+}
+
+TEST(EventQueueTest, CancelMiddleEventKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(1); });
+  EventHandle h = q.Schedule(20, [&] { order.push_back(2); });
+  q.Schedule(30, [&] { order.push_back(3); });
+  h.Cancel();
+  while (!q.empty()) {
+    q.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator simr;
+  SimTime seen = -1;
+  simr.After(100, [&] { seen = simr.now(); });
+  simr.RunUntilIdle();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(simr.now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator simr;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    simr.At(i * 10, [&] { ++count; });
+  }
+  simr.RunUntil(50);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(simr.now(), 50);
+  simr.RunUntil(100);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator simr;
+  simr.RunUntil(1000);
+  EXPECT_EQ(simr.now(), 1000);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator simr;
+  std::vector<SimTime> times;
+  simr.After(10, [&] {
+    times.push_back(simr.now());
+    simr.After(10, [&] { times.push_back(simr.now()); });
+  });
+  simr.RunUntilIdle();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(SimulatorTest, EventsRunCounter) {
+  Simulator simr;
+  for (int i = 0; i < 7; ++i) {
+    simr.After(i, [] {});
+  }
+  simr.RunUntilIdle();
+  EXPECT_EQ(simr.events_run(), 7u);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(50.0);
+  }
+  EXPECT_NEAR(sum / n, 50.0, 2.0);
+}
+
+TEST(RngTest, PoissonGapMatchesRate) {
+  Rng rng(13);
+  // 1000 events/s => mean gap 1000 usec.
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.PoissonGap(1000.0));
+  }
+  EXPECT_NEAR(sum / n, 1000.0, 40.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.Fork();
+  // The fork and the parent should not track each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSetTest, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 0.01);
+}
+
+TEST(SampleSetTest, MeanAndCount) {
+  SampleSet s;
+  s.Add(1);
+  s.Add(2);
+  s.Add(3);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(SampleSetTest, PercentileAfterLateAdd) {
+  SampleSet s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);
+  s.Add(20);  // resorting required
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);
+}
+
+TEST(RateMeterTest, PerSecond) {
+  RateMeter m;
+  m.Start(Sec(1));
+  m.Count(500);
+  m.Stop(Sec(2));
+  EXPECT_DOUBLE_EQ(m.PerSecond(), 500.0);
+}
+
+TEST(RateMeterTest, ZeroSpanIsZeroRate) {
+  RateMeter m;
+  m.Start(10);
+  m.Stop(10);
+  m.Count();
+  EXPECT_DOUBLE_EQ(m.PerSecond(), 0.0);
+}
+
+TEST(TimeTest, ConversionHelpers) {
+  EXPECT_EQ(Usec(5), 5);
+  EXPECT_EQ(Msec(5), 5000);
+  EXPECT_EQ(Sec(5), 5000000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Msec(1500)), 1.5);
+}
+
+}  // namespace
+}  // namespace sim

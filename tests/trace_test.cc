@@ -1,0 +1,114 @@
+// Tests for the kernel execution tracer.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscalls.h"
+
+namespace kernel {
+namespace {
+
+TEST(TracerTest, DisabledByDefaultAndCheap) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.Record(1, TraceKind::kDispatch, 1, 1, 0);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TracerTest, RecordsInOrder) {
+  Tracer t;
+  t.Enable(16);
+  for (int i = 0; i < 5; ++i) {
+    t.Record(i * 10, TraceKind::kSlice, 1, 0, i);
+  }
+  std::vector<sim::SimTime> times;
+  t.ForEach([&](const TraceEvent& e) { times.push_back(e.at); });
+  EXPECT_EQ(times, (std::vector<sim::SimTime>{0, 10, 20, 30, 40}));
+}
+
+TEST(TracerTest, RingOverwritesOldest) {
+  Tracer t;
+  t.Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    t.Record(i, TraceKind::kSlice, 1, 0, 0);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_EQ(t.total_recorded(), 10u);
+  std::vector<sim::SimTime> times;
+  t.ForEach([&](const TraceEvent& e) { times.push_back(e.at); });
+  EXPECT_EQ(times, (std::vector<sim::SimTime>{6, 7, 8, 9}));
+}
+
+TEST(TracerTest, KindNamesDistinct) {
+  EXPECT_STREQ(TraceKindName(TraceKind::kDispatch), "dispatch");
+  EXPECT_STREQ(TraceKindName(TraceKind::kPreempt), "preempt");
+  EXPECT_STRNE(TraceKindName(TraceKind::kBlock), TraceKindName(TraceKind::kWake));
+}
+
+TEST(TracerTest, CapturesKernelActivity) {
+  sim::Simulator simr;
+  Kernel kern(&simr, UnmodifiedSystemConfig());
+  kern.tracer().Enable();
+
+  Process* p = kern.CreateProcess("traced");
+  kern.SpawnThread(p, "t", [](Sys sys) -> Program {
+    co_await sys.Compute(500, rc::CpuKind::kUser);
+    co_await sys.Sleep(1000);
+    co_await sys.Compute(500, rc::CpuKind::kUser);
+  });
+  simr.RunUntil(sim::Msec(100));
+
+  EXPECT_GE(kern.tracer().CountOf(TraceKind::kDispatch), 2u);  // before+after sleep
+  EXPECT_GE(kern.tracer().CountOf(TraceKind::kSlice), 2u);
+  EXPECT_EQ(kern.tracer().CountOf(TraceKind::kBlock), 1u);     // the sleep
+  EXPECT_EQ(kern.tracer().CountOf(TraceKind::kWake), 1u);
+  EXPECT_EQ(kern.tracer().CountOf(TraceKind::kExit), 1u);
+
+  // Slice events carry the charged container and consumed time.
+  sim::Duration charged = 0;
+  kern.tracer().ForEach([&](const TraceEvent& e) {
+    if (e.kind == TraceKind::kSlice) {
+      EXPECT_EQ(e.container_id, p->default_container()->id());
+      charged += e.arg;
+    }
+  });
+  // 1000 usec of work plus context-switch overhead inside the slices.
+  EXPECT_GE(charged, 1000);
+}
+
+TEST(TracerTest, CapturesInterrupts) {
+  sim::Simulator simr;
+  Kernel kern(&simr, UnmodifiedSystemConfig());
+  kern.tracer().Enable();
+  kern.cpu().QueueInterruptWork(123, nullptr, nullptr);
+  simr.RunUntilIdle();
+  ASSERT_EQ(kern.tracer().CountOf(TraceKind::kInterrupt), 1u);
+  kern.tracer().ForEach([&](const TraceEvent& e) {
+    if (e.kind == TraceKind::kInterrupt) {
+      EXPECT_EQ(e.arg, 123);
+      EXPECT_EQ(e.container_id, 0u);
+    }
+  });
+}
+
+TEST(TracerTest, DumpProducesTimeline) {
+  sim::Simulator simr;
+  Kernel kern(&simr, UnmodifiedSystemConfig());
+  kern.tracer().Enable();
+  Process* p = kern.CreateProcess("traced");
+  kern.SpawnThread(p, "t", [](Sys sys) -> Program {
+    co_await sys.Compute(100, rc::CpuKind::kUser);
+  });
+  simr.RunUntil(sim::Msec(1));
+  std::ostringstream os;
+  kern.tracer().Dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("dispatch"), std::string::npos);
+  EXPECT_NE(out.find("slice"), std::string::npos);
+  EXPECT_NE(out.find("thread="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kernel

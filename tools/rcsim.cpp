@@ -1,0 +1,215 @@
+// rcsim — command-line driver for the simulated server machine.
+//
+// Runs a configurable scenario and prints a report, so experiments beyond
+// the canned benchmarks can be run without writing C++:
+//
+//   rcsim --kernel=rc --containers --event-api --clients=24 --seconds=5
+//   rcsim --kernel=unmodified --clients=16 --cgi=4 --cgi-seconds=2
+//   rcsim --kernel=rc --containers --event-api --defend --flood=50000
+//   rcsim --kernel=lrp --clients=64 --persistent=100 --csv
+//
+// Flags:
+//   --kernel=unmodified|lrp|rc   which of the paper's systems to run
+//   --containers                 per-connection containers (RC kernel)
+//   --event-api                  scalable event API instead of select()
+//   --clients=N                  static-document clients (default 16)
+//   --persistent=K               requests per connection (default 1)
+//   --doc-bytes=N                document size (default 1024)
+//   --cgi=N                      concurrent CGI clients (default 0)
+//   --cgi-seconds=S              CPU burned per CGI request (default 2)
+//   --cgi-cap=F                  CGI-parent sand-box share/limit (default 0.3)
+//   --flood=RATE                 SYN flood rate per second (default 0)
+//   --defend                     adaptive SYN-flood filter defense
+//   --warmup=S --seconds=S       warm-up / measured simulated seconds
+//   --csv                        machine-readable output
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+namespace {
+
+struct Flags {
+  std::string kernel = "unmodified";
+  bool containers = false;
+  bool event_api = false;
+  int clients = 16;
+  int persistent = 1;
+  std::uint32_t doc_bytes = 1024;
+  int cgi = 0;
+  double cgi_seconds = 2.0;
+  double cgi_cap = 0.3;
+  double flood = 0.0;
+  bool defend = false;
+  double warmup = 2.0;
+  double seconds = 5.0;
+  bool csv = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr, "see the header of tools/rcsim.cpp for flag reference\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* a = argv[i];
+    if (ParseFlag(a, "--kernel", &value)) {
+      flags.kernel = value;
+    } else if (std::strcmp(a, "--containers") == 0) {
+      flags.containers = true;
+    } else if (std::strcmp(a, "--event-api") == 0) {
+      flags.event_api = true;
+    } else if (ParseFlag(a, "--clients", &value)) {
+      flags.clients = std::atoi(value.c_str());
+    } else if (ParseFlag(a, "--persistent", &value)) {
+      flags.persistent = std::atoi(value.c_str());
+    } else if (ParseFlag(a, "--doc-bytes", &value)) {
+      flags.doc_bytes = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(a, "--cgi", &value)) {
+      flags.cgi = std::atoi(value.c_str());
+    } else if (ParseFlag(a, "--cgi-seconds", &value)) {
+      flags.cgi_seconds = std::atof(value.c_str());
+    } else if (ParseFlag(a, "--cgi-cap", &value)) {
+      flags.cgi_cap = std::atof(value.c_str());
+    } else if (ParseFlag(a, "--flood", &value)) {
+      flags.flood = std::atof(value.c_str());
+    } else if (std::strcmp(a, "--defend") == 0) {
+      flags.defend = true;
+    } else if (ParseFlag(a, "--warmup", &value)) {
+      flags.warmup = std::atof(value.c_str());
+    } else if (ParseFlag(a, "--seconds", &value)) {
+      flags.seconds = std::atof(value.c_str());
+    } else if (std::strcmp(a, "--csv") == 0) {
+      flags.csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return Usage();
+    }
+  }
+
+  xp::ScenarioOptions options;
+  if (flags.kernel == "unmodified") {
+    options.kernel_config = kernel::UnmodifiedSystemConfig();
+  } else if (flags.kernel == "lrp") {
+    options.kernel_config = kernel::LrpSystemConfig();
+  } else if (flags.kernel == "rc") {
+    options.kernel_config = kernel::ResourceContainerSystemConfig();
+  } else {
+    std::fprintf(stderr, "bad --kernel value: %s\n", flags.kernel.c_str());
+    return Usage();
+  }
+  if ((flags.containers || flags.defend) && flags.kernel != "rc") {
+    std::fprintf(stderr, "--containers/--defend require --kernel=rc\n");
+    return Usage();
+  }
+
+  httpd::ServerConfig& server = options.server_config;
+  server.use_containers = flags.containers;
+  server.use_event_api = flags.event_api || flags.defend;
+  server.syn_defense = flags.defend;
+  if (flags.containers && flags.cgi > 0) {
+    server.cgi_sandbox = true;
+    server.cgi_share = flags.cgi_cap;
+  }
+
+  xp::Scenario scenario(options);
+  scenario.cache().AddDocument(2, flags.doc_bytes);
+  scenario.StartServer();
+
+  for (int i = 0; i < flags.clients; ++i) {
+    load::HttpClient::Config cfg;
+    cfg.addr = net::Addr{net::MakeAddr(10, 1, static_cast<unsigned>(i / 250), 0).v +
+                         static_cast<std::uint32_t>(i % 250) + 1};
+    cfg.requests_per_conn = flags.persistent;
+    cfg.doc_id = 2;
+    cfg.response_bytes = flags.doc_bytes;
+    scenario.AddClient(cfg);
+  }
+  for (int i = 0; i < flags.cgi; ++i) {
+    load::HttpClient::Config cgi;
+    cgi.addr = net::Addr{net::MakeAddr(10, 3, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
+    cgi.is_cgi = true;
+    cgi.cgi_cpu_usec = static_cast<sim::Duration>(flags.cgi_seconds * sim::kSec);
+    cgi.client_class = 2;
+    cgi.request_timeout = 0;
+    scenario.AddClient(cgi);
+  }
+  if (flags.flood > 0) {
+    load::SynFlooder::Config fcfg;
+    fcfg.rate_per_sec = flags.flood;
+    scenario.AddFlooder(fcfg)->Start();
+  }
+
+  scenario.StartAllClients();
+  scenario.RunFor(static_cast<sim::Duration>(flags.warmup * sim::kSec));
+  scenario.ResetClientStats();
+  const auto cpu0 = scenario.SnapshotCpu();
+  const sim::Duration cgi0 = scenario.kernel().ExecutedUsecForName("cgi");
+  scenario.RunFor(static_cast<sim::Duration>(flags.seconds * sim::kSec));
+  const auto cpu1 = scenario.SnapshotCpu();
+  const sim::Duration cgi1 = scenario.kernel().ExecutedUsecForName("cgi");
+
+  const double secs = sim::ToSeconds(cpu1.at - cpu0.at);
+  const double tput = static_cast<double>(scenario.TotalCompleted()) / secs;
+  double mean_ms = 0;
+  std::size_t samples = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+  for (const auto& c : scenario.clients()) {
+    mean_ms += c->latencies().mean() * static_cast<double>(c->latencies().count());
+    samples += c->latencies().count();
+    timeouts += c->timeouts();
+    failures += c->failures();
+  }
+  mean_ms = samples ? mean_ms / static_cast<double>(samples) : 0;
+  const double busy = static_cast<double>(cpu1.busy - cpu0.busy) /
+                      static_cast<double>(cpu1.at - cpu0.at);
+  const double irq = static_cast<double>(cpu1.interrupt - cpu0.interrupt) /
+                     static_cast<double>(cpu1.at - cpu0.at);
+  const double cgi_share =
+      static_cast<double>(cgi1 - cgi0) / static_cast<double>(cpu1.at - cpu0.at);
+
+  if (flags.csv) {
+    std::printf("throughput,mean_ms,cpu_busy,interrupt,cgi_share,timeouts,failures\n");
+    std::printf("%.1f,%.3f,%.4f,%.4f,%.4f,%llu,%llu\n", tput, mean_ms, busy, irq,
+                cgi_share, static_cast<unsigned long long>(timeouts),
+                static_cast<unsigned long long>(failures));
+    return 0;
+  }
+
+  xp::Table report({"metric", "value"});
+  report.AddRow({"kernel", flags.kernel});
+  report.AddRow({"throughput", xp::FormatDouble(tput, 0) + " req/s"});
+  report.AddRow({"mean latency", xp::FormatDouble(mean_ms, 2) + " ms"});
+  report.AddRow({"CPU busy", xp::FormatDouble(100 * busy, 1) + "%"});
+  report.AddRow({"interrupt time", xp::FormatDouble(100 * irq, 1) + "%"});
+  if (flags.cgi > 0) {
+    report.AddRow({"CGI CPU share", xp::FormatDouble(100 * cgi_share, 1) + "%"});
+  }
+  if (flags.flood > 0) {
+    report.AddRow({"flood filters", std::to_string(
+                                        scenario.server().stats().flood_filters_installed)});
+  }
+  report.AddRow({"client timeouts", std::to_string(timeouts)});
+  report.AddRow({"client failures", std::to_string(failures)});
+  report.Print(std::cout);
+  return 0;
+}
