@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cgi.dir/bench_cgi.cpp.o"
+  "CMakeFiles/bench_cgi.dir/bench_cgi.cpp.o.d"
+  "bench_cgi"
+  "bench_cgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

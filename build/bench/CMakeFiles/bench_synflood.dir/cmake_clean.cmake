@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synflood.dir/bench_synflood.cpp.o"
+  "CMakeFiles/bench_synflood.dir/bench_synflood.cpp.o.d"
+  "bench_synflood"
+  "bench_synflood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synflood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

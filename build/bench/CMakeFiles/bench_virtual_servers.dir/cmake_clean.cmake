@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtual_servers.dir/bench_virtual_servers.cpp.o"
+  "CMakeFiles/bench_virtual_servers.dir/bench_virtual_servers.cpp.o.d"
+  "bench_virtual_servers"
+  "bench_virtual_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtual_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing.dir/billing.cpp.o"
+  "CMakeFiles/billing.dir/billing.cpp.o.d"
+  "billing"
+  "billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

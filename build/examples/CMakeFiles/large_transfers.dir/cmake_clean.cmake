@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_transfers.dir/large_transfers.cpp.o"
+  "CMakeFiles/large_transfers.dir/large_transfers.cpp.o.d"
+  "large_transfers"
+  "large_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rent_a_server.dir/rent_a_server.cpp.o"
+  "CMakeFiles/rent_a_server.dir/rent_a_server.cpp.o.d"
+  "rent_a_server"
+  "rent_a_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rent_a_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_architectures.dir/server_architectures.cpp.o"
+  "CMakeFiles/server_architectures.dir/server_architectures.cpp.o.d"
+  "server_architectures"
+  "server_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synflood_defense.dir/synflood_defense.cpp.o"
+  "CMakeFiles/synflood_defense.dir/synflood_defense.cpp.o.d"
+  "synflood_defense"
+  "synflood_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synflood_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

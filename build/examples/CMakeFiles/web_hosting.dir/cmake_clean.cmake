@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_hosting.dir/web_hosting.cpp.o"
+  "CMakeFiles/web_hosting.dir/web_hosting.cpp.o.d"
+  "web_hosting"
+  "web_hosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_hosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_common.dir/expected.cc.o"
+  "CMakeFiles/rc_common.dir/expected.cc.o.d"
+  "librc_common.a"
+  "librc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

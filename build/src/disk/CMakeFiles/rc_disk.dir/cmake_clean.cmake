@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_disk.dir/disk_engine.cc.o"
+  "CMakeFiles/rc_disk.dir/disk_engine.cc.o.d"
+  "librc_disk.a"
+  "librc_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_httpd.dir/cgi.cc.o"
+  "CMakeFiles/rc_httpd.dir/cgi.cc.o.d"
+  "CMakeFiles/rc_httpd.dir/event_server.cc.o"
+  "CMakeFiles/rc_httpd.dir/event_server.cc.o.d"
+  "CMakeFiles/rc_httpd.dir/prefork_server.cc.o"
+  "CMakeFiles/rc_httpd.dir/prefork_server.cc.o.d"
+  "CMakeFiles/rc_httpd.dir/threaded_server.cc.o"
+  "CMakeFiles/rc_httpd.dir/threaded_server.cc.o.d"
+  "librc_httpd.a"
+  "librc_httpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_httpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

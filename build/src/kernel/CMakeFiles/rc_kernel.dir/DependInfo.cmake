@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/cpu_engine.cc" "src/kernel/CMakeFiles/rc_kernel.dir/cpu_engine.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/cpu_engine.cc.o.d"
+  "/root/repo/src/kernel/decay_scheduler.cc" "src/kernel/CMakeFiles/rc_kernel.dir/decay_scheduler.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/decay_scheduler.cc.o.d"
+  "/root/repo/src/kernel/event_api.cc" "src/kernel/CMakeFiles/rc_kernel.dir/event_api.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/event_api.cc.o.d"
+  "/root/repo/src/kernel/fd_table.cc" "src/kernel/CMakeFiles/rc_kernel.dir/fd_table.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/fd_table.cc.o.d"
+  "/root/repo/src/kernel/hier_scheduler.cc" "src/kernel/CMakeFiles/rc_kernel.dir/hier_scheduler.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/hier_scheduler.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/rc_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/kernel/CMakeFiles/rc_kernel.dir/process.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/process.cc.o.d"
+  "/root/repo/src/kernel/syscalls.cc" "src/kernel/CMakeFiles/rc_kernel.dir/syscalls.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/syscalls.cc.o.d"
+  "/root/repo/src/kernel/thread.cc" "src/kernel/CMakeFiles/rc_kernel.dir/thread.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/thread.cc.o.d"
+  "/root/repo/src/kernel/trace.cc" "src/kernel/CMakeFiles/rc_kernel.dir/trace.cc.o" "gcc" "src/kernel/CMakeFiles/rc_kernel.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rc/CMakeFiles/rc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/rc_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_kernel.dir/cpu_engine.cc.o"
+  "CMakeFiles/rc_kernel.dir/cpu_engine.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/decay_scheduler.cc.o"
+  "CMakeFiles/rc_kernel.dir/decay_scheduler.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/event_api.cc.o"
+  "CMakeFiles/rc_kernel.dir/event_api.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/fd_table.cc.o"
+  "CMakeFiles/rc_kernel.dir/fd_table.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/hier_scheduler.cc.o"
+  "CMakeFiles/rc_kernel.dir/hier_scheduler.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/kernel.cc.o"
+  "CMakeFiles/rc_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/process.cc.o"
+  "CMakeFiles/rc_kernel.dir/process.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/syscalls.cc.o"
+  "CMakeFiles/rc_kernel.dir/syscalls.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/thread.cc.o"
+  "CMakeFiles/rc_kernel.dir/thread.cc.o.d"
+  "CMakeFiles/rc_kernel.dir/trace.cc.o"
+  "CMakeFiles/rc_kernel.dir/trace.cc.o.d"
+  "librc_kernel.a"
+  "librc_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/load/http_client.cc" "src/load/CMakeFiles/rc_load.dir/http_client.cc.o" "gcc" "src/load/CMakeFiles/rc_load.dir/http_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/rc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/rc_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rc/CMakeFiles/rc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

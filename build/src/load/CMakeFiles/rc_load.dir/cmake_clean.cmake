@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_load.dir/http_client.cc.o"
+  "CMakeFiles/rc_load.dir/http_client.cc.o.d"
+  "librc_load.a"
+  "librc_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_net.dir/addr.cc.o"
+  "CMakeFiles/rc_net.dir/addr.cc.o.d"
+  "CMakeFiles/rc_net.dir/stack.cc.o"
+  "CMakeFiles/rc_net.dir/stack.cc.o.d"
+  "librc_net.a"
+  "librc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

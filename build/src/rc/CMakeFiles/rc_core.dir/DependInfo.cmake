@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rc/attributes.cc" "src/rc/CMakeFiles/rc_core.dir/attributes.cc.o" "gcc" "src/rc/CMakeFiles/rc_core.dir/attributes.cc.o.d"
+  "/root/repo/src/rc/binding.cc" "src/rc/CMakeFiles/rc_core.dir/binding.cc.o" "gcc" "src/rc/CMakeFiles/rc_core.dir/binding.cc.o.d"
+  "/root/repo/src/rc/container.cc" "src/rc/CMakeFiles/rc_core.dir/container.cc.o" "gcc" "src/rc/CMakeFiles/rc_core.dir/container.cc.o.d"
+  "/root/repo/src/rc/manager.cc" "src/rc/CMakeFiles/rc_core.dir/manager.cc.o" "gcc" "src/rc/CMakeFiles/rc_core.dir/manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_core.dir/attributes.cc.o"
+  "CMakeFiles/rc_core.dir/attributes.cc.o.d"
+  "CMakeFiles/rc_core.dir/binding.cc.o"
+  "CMakeFiles/rc_core.dir/binding.cc.o.d"
+  "CMakeFiles/rc_core.dir/container.cc.o"
+  "CMakeFiles/rc_core.dir/container.cc.o.d"
+  "CMakeFiles/rc_core.dir/manager.cc.o"
+  "CMakeFiles/rc_core.dir/manager.cc.o.d"
+  "librc_core.a"
+  "librc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/rc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/rc_sim.dir/rng.cc.o"
+  "CMakeFiles/rc_sim.dir/rng.cc.o.d"
+  "CMakeFiles/rc_sim.dir/simulator.cc.o"
+  "CMakeFiles/rc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/rc_sim.dir/stats.cc.o"
+  "CMakeFiles/rc_sim.dir/stats.cc.o.d"
+  "librc_sim.a"
+  "librc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

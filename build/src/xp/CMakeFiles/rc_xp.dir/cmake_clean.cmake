@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_xp.dir/scenario.cc.o"
+  "CMakeFiles/rc_xp.dir/scenario.cc.o.d"
+  "CMakeFiles/rc_xp.dir/table.cc.o"
+  "CMakeFiles/rc_xp.dir/table.cc.o.d"
+  "librc_xp.a"
+  "librc_xp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_xp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

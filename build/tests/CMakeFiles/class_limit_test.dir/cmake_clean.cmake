@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_limit_test.dir/class_limit_test.cc.o"
+  "CMakeFiles/class_limit_test.dir/class_limit_test.cc.o.d"
+  "class_limit_test"
+  "class_limit_test.pdb"
+  "class_limit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpd_load_test.dir/httpd_load_test.cc.o"
+  "CMakeFiles/httpd_load_test.dir/httpd_load_test.cc.o.d"
+  "httpd_load_test"
+  "httpd_load_test.pdb"
+  "httpd_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpd_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

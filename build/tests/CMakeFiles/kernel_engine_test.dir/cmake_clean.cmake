@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_engine_test.dir/kernel_engine_test.cc.o"
+  "CMakeFiles/kernel_engine_test.dir/kernel_engine_test.cc.o.d"
+  "kernel_engine_test"
+  "kernel_engine_test.pdb"
+  "kernel_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

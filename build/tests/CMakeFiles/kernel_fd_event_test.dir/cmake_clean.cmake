@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_fd_event_test.dir/kernel_fd_event_test.cc.o"
+  "CMakeFiles/kernel_fd_event_test.dir/kernel_fd_event_test.cc.o.d"
+  "kernel_fd_event_test"
+  "kernel_fd_event_test.pdb"
+  "kernel_fd_event_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_fd_event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

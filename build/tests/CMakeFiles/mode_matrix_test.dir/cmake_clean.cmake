@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_matrix_test.dir/mode_matrix_test.cc.o"
+  "CMakeFiles/mode_matrix_test.dir/mode_matrix_test.cc.o.d"
+  "mode_matrix_test"
+  "mode_matrix_test.pdb"
+  "mode_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

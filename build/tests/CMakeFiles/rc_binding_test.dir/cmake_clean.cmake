@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_binding_test.dir/rc_binding_test.cc.o"
+  "CMakeFiles/rc_binding_test.dir/rc_binding_test.cc.o.d"
+  "rc_binding_test"
+  "rc_binding_test.pdb"
+  "rc_binding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_binding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

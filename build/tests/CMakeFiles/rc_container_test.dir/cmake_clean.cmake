@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_container_test.dir/rc_container_test.cc.o"
+  "CMakeFiles/rc_container_test.dir/rc_container_test.cc.o.d"
+  "rc_container_test"
+  "rc_container_test.pdb"
+  "rc_container_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rc_container_test[1]_include.cmake")
+include("/root/repo/build/tests/rc_binding_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_syscalls_test[1]_include.cmake")
+include("/root/repo/build/tests/httpd_load_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_fd_event_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/class_limit_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/mode_matrix_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim.dir/rcsim.cpp.o"
+  "CMakeFiles/rcsim.dir/rcsim.cpp.o.d"
+  "rcsim"
+  "rcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
