@@ -9,6 +9,7 @@
 //  C. CPU-limit window size vs enforcement accuracy of the CGI sand-box.
 #include <iostream>
 
+#include "src/telemetry/bench_io.h"
 #include "src/xp/scenario.h"
 #include "src/xp/table.h"
 
@@ -136,13 +137,18 @@ DiskAblation DiskPriorityBandwidth(int hi_priority) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("ablation", argc, argv);
+
   std::printf("=== Ablation A: select() vs event API, idle persistent connections ===\n\n");
   xp::Table a({"idle conns", "select() latency ms", "event API latency ms"});
   for (int idle : {0, 100, 250, 500, 1000}) {
-    a.AddRow({std::to_string(idle),
-              xp::FormatDouble(ActiveLatencyWithIdleConns(false, idle), 3),
-              xp::FormatDouble(ActiveLatencyWithIdleConns(true, idle), 3)});
+    const double sel = ActiveLatencyWithIdleConns(false, idle);
+    const double evt = ActiveLatencyWithIdleConns(true, idle);
+    report.Add("active_latency_select", sel, "ms", "idle_conns=" + std::to_string(idle));
+    report.Add("active_latency_event_api", evt, "ms",
+               "idle_conns=" + std::to_string(idle));
+    a.AddRow({std::to_string(idle), xp::FormatDouble(sel, 3), xp::FormatDouble(evt, 3)});
     std::fflush(stdout);
   }
   a.Print(std::cout);
@@ -151,9 +157,12 @@ int main() {
   std::printf("\n=== Ablation B: overload behavior, softint vs LRP charging ===\n\n");
   xp::Table b({"clients", "softint (unmodified)", "LRP"});
   for (int n : {16, 64, 128, 256}) {
-    b.AddRow({std::to_string(n),
-              xp::FormatDouble(OverloadThroughput(kernel::UnmodifiedSystemConfig(), n), 0),
-              xp::FormatDouble(OverloadThroughput(kernel::LrpSystemConfig(), n), 0)});
+    const double softint = OverloadThroughput(kernel::UnmodifiedSystemConfig(), n);
+    const double lrp = OverloadThroughput(kernel::LrpSystemConfig(), n);
+    report.Add("overload_throughput_softint", softint, "req/s",
+               "clients=" + std::to_string(n));
+    report.Add("overload_throughput_lrp", lrp, "req/s", "clients=" + std::to_string(n));
+    b.AddRow({std::to_string(n), xp::FormatDouble(softint, 0), xp::FormatDouble(lrp, 0)});
     std::fflush(stdout);
   }
   b.Print(std::cout);
@@ -163,8 +172,11 @@ int main() {
   std::printf("\n=== Ablation C: CPU-limit window vs sand-box accuracy (cap 30%%) ===\n\n");
   xp::Table c({"window", "measured CGI share"});
   for (sim::Duration w : {sim::Msec(10), sim::Msec(100), sim::Sec(1)}) {
+    const double share = CgiShareWithWindow(w);
+    report.Add("cgi_share_at_cap30", 100 * share, "percent",
+               "limit_window_ms=" + std::to_string(w / sim::kMsec));
     c.AddRow({xp::FormatDouble(sim::ToSeconds(w) * 1000, 0) + " ms",
-              xp::FormatDouble(100 * CgiShareWithWindow(w), 1) + "%"});
+              xp::FormatDouble(100 * share, 1) + "%"});
     std::fflush(stdout);
   }
   c.Print(std::cout);
@@ -173,6 +185,10 @@ int main() {
   xp::Table d({"hi priority", "hi reads/s", "each lo reads/s"});
   for (int prio : {16, 48}) {
     DiskAblation r = DiskPriorityBandwidth(prio);
+    report.Add("disk_reads_per_sec_hi", r.hi_reads / 5.0, "reads/s",
+               "hi_priority=" + std::to_string(prio));
+    report.Add("disk_reads_per_sec_lo_each", r.lo_reads_each / 5.0, "reads/s",
+               "hi_priority=" + std::to_string(prio));
     d.AddRow({std::to_string(prio), xp::FormatDouble(r.hi_reads / 5.0, 1),
               xp::FormatDouble(r.lo_reads_each / 5.0, 1)});
     std::fflush(stdout);
@@ -180,5 +196,9 @@ int main() {
   d.Print(std::cout);
   std::printf("\nexpect: at equal priority (16) all four readers share the disk; at\n"
               "priority 48 the high reader's requests jump the queue.\n");
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "src/telemetry/bench_io.h"
 #include "src/xp/scenario.h"
 #include "src/xp/table.h"
 
@@ -52,18 +53,28 @@ Result RunBaseline(const kernel::KernelConfig& kcfg, bool use_containers,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("baseline", argc, argv);
+
   std::printf("=== Section 5.3: baseline throughput (cached 1 KB document) ===\n\n");
 
   xp::Table table({"configuration", "req/s", "us/req", "CPU busy", "paper req/s"});
 
+  auto record = [&report](const char* config, const Result& r) {
+    report.Add("throughput", r.throughput, "req/s", config);
+    report.Add("usec_per_request", r.usec_per_request, "usec", config);
+    report.Add("cpu_busy_frac", r.cpu_busy_frac, "fraction", config);
+  };
+
   // Unmodified system (softint + decay-usage + select()).
   Result cpr = RunBaseline(kernel::UnmodifiedSystemConfig(), false, false, 1, 24);
+  record("unmodified,conn-per-req,clients=24", cpr);
   table.AddRow({"unmodified, connection/request", xp::FormatDouble(cpr.throughput, 0),
                 xp::FormatDouble(cpr.usec_per_request, 1),
                 xp::FormatDouble(100 * cpr.cpu_busy_frac, 1) + "%", "2954"});
 
   Result pers = RunBaseline(kernel::UnmodifiedSystemConfig(), false, false, 1000, 24);
+  record("unmodified,persistent=1000,clients=24", pers);
   table.AddRow({"unmodified, persistent", xp::FormatDouble(pers.throughput, 0),
                 xp::FormatDouble(pers.usec_per_request, 1),
                 xp::FormatDouble(100 * pers.cpu_busy_frac, 1) + "%", "9487"});
@@ -72,6 +83,7 @@ int main() {
 
   Result rc_cpr =
       RunBaseline(kernel::ResourceContainerSystemConfig(), true, false, 1, 24);
+  record("rc,containers,conn-per-req,clients=24", rc_cpr);
   table.AddRow({"RC kernel + containers, conn/req", xp::FormatDouble(rc_cpr.throughput, 0),
                 xp::FormatDouble(rc_cpr.usec_per_request, 1),
                 xp::FormatDouble(100 * rc_cpr.cpu_busy_frac, 1) + "%",
@@ -79,6 +91,7 @@ int main() {
 
   Result rc_pers =
       RunBaseline(kernel::ResourceContainerSystemConfig(), true, false, 1000, 24);
+  record("rc,containers,persistent=1000,clients=24", rc_pers);
   table.AddRow({"RC kernel + containers, persistent",
                 xp::FormatDouble(rc_pers.throughput, 0),
                 xp::FormatDouble(rc_pers.usec_per_request, 1),
@@ -91,5 +104,11 @@ int main() {
       100.0 * (1.0 - rc_cpr.throughput / (cpr.throughput > 0 ? cpr.throughput : 1));
   std::printf("\ncontainer overhead (connection/request): %.1f%%  (paper: ~0%%)\n",
               overhead);
+  report.Add("container_overhead_pct", overhead, "percent",
+             "rc,containers,conn-per-req vs unmodified");
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -20,6 +20,7 @@
 // actually consumed by CGI processing (ground truth, not charged numbers).
 #include <iostream>
 
+#include "src/telemetry/bench_io.h"
 #include "src/xp/scenario.h"
 #include "src/xp/table.h"
 
@@ -88,7 +89,9 @@ CgiResult RunCgi(const kernel::KernelConfig& kcfg, bool use_containers,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("cgi", argc, argv);
+
   std::printf("=== Figures 12 & 13: competing CGI requests (each ~2 s CPU) ===\n\n");
 
   xp::Table tput({"CGI reqs", "Unmodified", "LRP", "RC 30% cap", "RC 10% cap"});
@@ -99,6 +102,17 @@ int main() {
     CgiResult lrp = RunCgi(kernel::LrpSystemConfig(), false, 0, n);
     CgiResult rc30 = RunCgi(kernel::ResourceContainerSystemConfig(), true, 0.30, n);
     CgiResult rc10 = RunCgi(kernel::ResourceContainerSystemConfig(), true, 0.10, n);
+
+    const struct {
+      const char* system;
+      const CgiResult* r;
+    } rows[] = {{"unmodified", &unmod}, {"lrp", &lrp}, {"rc,cap=0.30", &rc30},
+                {"rc,cap=0.10", &rc10}};
+    for (const auto& row : rows) {
+      const std::string config = std::string(row.system) + ",cgi=" + std::to_string(n);
+      report.Add("static_throughput", row.r->static_tput, "req/s", config);
+      report.Add("cgi_cpu_share", 100 * row.r->cgi_share, "percent", config);
+    }
 
     tput.AddRow({std::to_string(n), xp::FormatDouble(unmod.static_tput, 0),
                  xp::FormatDouble(lrp.static_tput, 0),
@@ -122,5 +136,9 @@ int main() {
   std::printf(
       "\npaper: unmodified ~60%% at 4 CGI (server over-favored by misaccounting);\n"
       "       LRP = exact N/(N+1); RC capped at 30%% / 10%% almost exactly.\n");
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -10,9 +10,13 @@
 // bench_baseline's Section 5.4 rows).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "src/kernel/fd_table.h"
 #include "src/rc/binding.h"
 #include "src/rc/manager.h"
+#include "src/telemetry/bench_io.h"
 
 namespace {
 
@@ -137,6 +141,52 @@ void BM_ChargeCpuWithHierarchy(benchmark::State& state) {
 }
 BENCHMARK(BM_ChargeCpuWithHierarchy)->Arg(1)->Arg(4)->Arg(16);
 
+// Console reporter that additionally records every run's real time into the
+// BENCH_primitives.json report.
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(telemetry::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_->Add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                   benchmark::GetTimeUnitString(run.time_unit), "per_iteration");
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  telemetry::BenchReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("primitives", argc, argv);
+
+  // benchmark::Initialize rejects flags it does not know; hide ours.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out", 13) == 0) {
+      if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) ++i;
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+
+  ReportingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
+  return 0;
+}

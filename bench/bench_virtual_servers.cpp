@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "src/httpd/event_server.h"
+#include "src/telemetry/bench_io.h"
 #include "src/load/http_client.h"
 #include "src/load/syn_flood.h"
 #include "src/load/wire.h"
@@ -25,7 +26,9 @@ struct Guest {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("virtual_servers", argc, argv);
+
   std::printf("=== Section 5.8: virtual-server isolation (fixed shares 50/30/20) ===\n\n");
 
   sim::Simulator simr;
@@ -110,6 +113,10 @@ int main() {
     const double share = used / static_cast<double>(t1 - t0);
     const double tput = static_cast<double>(servers[g]->stats().static_served) /
                         sim::ToSeconds(t1 - t0 + sim::Sec(2));
+    const std::string config = "guest=" + std::to_string(g) + ",share=" +
+                               xp::FormatDouble(guests[g].share, 2);
+    report.Add("measured_cpu_share", 100 * share, "percent", config);
+    report.Add("static_throughput", tput, "req/s", config);
     table.AddRow({"guest" + std::to_string(g),
                   xp::FormatDouble(100 * guests[g].share, 0) + "%",
                   xp::FormatDouble(100 * share, 1) + "%", xp::FormatDouble(tput, 0)});
@@ -119,5 +126,9 @@ int main() {
       "\npaper: 'the total CPU time consumed by each guest server exactly\n"
       "matched its allocation'. Guests subdivide recursively (each runs its\n"
       "own CGI sand-box inside its share).\n");
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
   return 0;
 }

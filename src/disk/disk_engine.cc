@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/telemetry/registry.h"
 
 namespace disk {
 
@@ -66,6 +67,19 @@ void DiskEngine::MaybeStart() {
     }
     MaybeStart();
   });
+}
+
+void DiskEngine::RegisterMetrics(telemetry::Registry& registry) {
+  registry.AddProbe("disk.requests", "requests",
+                    [this] { return static_cast<double>(stats_.requests); });
+  registry.AddProbe("disk.busy_usec", "usec",
+                    [this] { return static_cast<double>(stats_.busy_usec); });
+  registry.AddProbe("disk.kb_transferred", "kb",
+                    [this] { return static_cast<double>(stats_.kb_transferred); });
+  registry.AddProbe("disk.sequential_hits", "requests",
+                    [this] { return static_cast<double>(stats_.sequential_hits); });
+  registry.AddProbe("disk.queue_depth", "requests",
+                    [this] { return static_cast<double>(queued_); });
 }
 
 }  // namespace disk

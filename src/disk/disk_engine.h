@@ -23,6 +23,10 @@
 #include "src/rc/container.h"
 #include "src/sim/simulator.h"
 
+namespace telemetry {
+class Registry;
+}
+
 namespace disk {
 
 struct DiskCosts {
@@ -61,6 +65,10 @@ class DiskEngine {
     std::uint64_t sequential_hits = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  // Installs pull-based probes for the disk counters (disk.*) and the
+  // current queue depth; `this` must outlive reads of the registry.
+  void RegisterMetrics(telemetry::Registry& registry);
 
  private:
   void MaybeStart();

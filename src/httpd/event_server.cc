@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/httpd/cgi.h"
+#include "src/httpd/metrics.h"
 
 namespace httpd {
 
@@ -288,6 +289,10 @@ kernel::Program EventDrivenServer::Run(Sys sys) {
       }
     }
   }
+}
+
+void EventDrivenServer::RegisterMetrics(telemetry::Registry& registry) {
+  RegisterServerMetrics(registry, &stats_, cache_);
 }
 
 }  // namespace httpd

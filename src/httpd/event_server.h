@@ -15,6 +15,10 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscalls.h"
 
+namespace telemetry {
+class Registry;
+}
+
 namespace httpd {
 
 class EventDrivenServer {
@@ -28,6 +32,9 @@ class EventDrivenServer {
   kernel::Process* process() const { return proc_; }
   const ServerStats& stats() const { return stats_; }
   std::uint64_t cgi_responses_completed() const { return cgi_completed_; }
+
+  // Installs the httpd.* probes (server counters + file cache) on `registry`.
+  void RegisterMetrics(telemetry::Registry& registry);
 
  private:
   struct ConnCtx {

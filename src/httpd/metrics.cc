@@ -1,0 +1,38 @@
+#include "src/httpd/metrics.h"
+
+#include <string>
+
+#include "src/telemetry/registry.h"
+
+namespace httpd {
+
+void RegisterServerMetrics(telemetry::Registry& registry, const ServerStats* stats,
+                           const FileCache* cache) {
+  registry.AddProbe("httpd.connections_accepted", "connections", [stats] {
+    return static_cast<double>(stats->connections_accepted);
+  });
+  registry.AddProbe("httpd.static_served", "requests", [stats] {
+    return static_cast<double>(stats->static_served);
+  });
+  registry.AddProbe("httpd.cgi_started", "requests",
+                    [stats] { return static_cast<double>(stats->cgi_started); });
+  registry.AddProbe("httpd.eof_closed", "connections",
+                    [stats] { return static_cast<double>(stats->eof_closed); });
+  registry.AddProbe("httpd.flood_filters_installed", "filters", [stats] {
+    return static_cast<double>(stats->flood_filters_installed);
+  });
+  for (int k = 0; k < kMaxClientClasses; ++k) {
+    registry.AddProbe("httpd.class" + std::to_string(k) + ".served", "requests",
+                      [stats, k] { return static_cast<double>(stats->served_by_class[k]); });
+  }
+  if (cache != nullptr) {
+    registry.AddProbe("httpd.cache.hits", "lookups",
+                      [cache] { return static_cast<double>(cache->hits()); });
+    registry.AddProbe("httpd.cache.misses", "lookups",
+                      [cache] { return static_cast<double>(cache->misses()); });
+    registry.AddProbe("httpd.cache.documents", "documents",
+                      [cache] { return static_cast<double>(cache->size()); });
+  }
+}
+
+}  // namespace httpd

@@ -1,0 +1,23 @@
+// Telemetry registration shared by the three server architectures: they all
+// expose the same ServerStats counters (plus the file cache), so one helper
+// installs the httpd.* probes regardless of which server model is running.
+#ifndef SRC_HTTPD_METRICS_H_
+#define SRC_HTTPD_METRICS_H_
+
+#include "src/httpd/file_cache.h"
+#include "src/httpd/server_config.h"
+
+namespace telemetry {
+class Registry;
+}
+
+namespace httpd {
+
+// Installs pull-based probes for `stats` (httpd.*) and, when non-null,
+// `cache` (httpd.cache.*). Both pointers must outlive reads of the registry.
+void RegisterServerMetrics(telemetry::Registry& registry, const ServerStats* stats,
+                           const FileCache* cache);
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_METRICS_H_

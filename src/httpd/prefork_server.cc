@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/httpd/metrics.h"
 
 namespace httpd {
 
@@ -101,6 +102,10 @@ kernel::Program PreforkServer::Worker(Sys sys, WorkerState* state) {
       }
     }
   }
+}
+
+void PreforkServer::RegisterMetrics(telemetry::Registry& registry) {
+  RegisterServerMetrics(registry, &stats_, cache_);
 }
 
 }  // namespace httpd

@@ -16,6 +16,10 @@
 #include "src/kernel/sync.h"
 #include "src/kernel/syscalls.h"
 
+namespace telemetry {
+class Registry;
+}
+
 namespace httpd {
 
 class PreforkServer {
@@ -26,6 +30,9 @@ class PreforkServer {
 
   const ServerStats& stats() const { return stats_; }
   kernel::Process* master() const { return master_; }
+
+  // Installs the httpd.* probes (server counters + file cache) on `registry`.
+  void RegisterMetrics(telemetry::Registry& registry);
 
  private:
   struct WorkerState {

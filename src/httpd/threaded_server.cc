@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/httpd/cgi.h"
+#include "src/httpd/metrics.h"
 
 namespace httpd {
 
@@ -109,6 +110,10 @@ kernel::Program MultiThreadedServer::Worker(Sys sys) {
       co_await sys.CloseFd(conn_ct);
     }
   }
+}
+
+void MultiThreadedServer::RegisterMetrics(telemetry::Registry& registry) {
+  RegisterServerMetrics(registry, &stats_, cache_);
 }
 
 }  // namespace httpd

@@ -10,6 +10,10 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscalls.h"
 
+namespace telemetry {
+class Registry;
+}
+
 namespace httpd {
 
 class MultiThreadedServer {
@@ -20,6 +24,9 @@ class MultiThreadedServer {
 
   kernel::Process* process() const { return proc_; }
   const ServerStats& stats() const { return stats_; }
+
+  // Installs the httpd.* probes (server counters + file cache) on `registry`.
+  void RegisterMetrics(telemetry::Registry& registry);
 
  private:
   kernel::Program Init(kernel::Sys sys);

@@ -187,8 +187,31 @@ void Kernel::ReapProcess(Pid pid) {
   }
 }
 
+void Kernel::AttachTelemetry(telemetry::Registry* registry) {
+  telemetry_ = registry;
+  if (registry == nullptr) {
+    charge_counters_[0] = charge_counters_[1] = charge_counters_[2] = nullptr;
+    tracer_.set_recorded_counter(nullptr);
+    return;
+  }
+  charge_counters_[static_cast<int>(rc::CpuKind::kUser)] =
+      registry->GetCounter("rc.cpu.user_usec", "usec");
+  charge_counters_[static_cast<int>(rc::CpuKind::kKernel)] =
+      registry->GetCounter("rc.cpu.kernel_usec", "usec");
+  charge_counters_[static_cast<int>(rc::CpuKind::kNetwork)] =
+      registry->GetCounter("rc.cpu.network_usec", "usec");
+  tracer_.set_recorded_counter(registry->GetCounter("kernel.trace.recorded", "events"));
+  registry->AddProbe("rc.containers.live", "containers",
+                     [this] { return static_cast<double>(containers_.live_count()); });
+  registry->AddProbe("kernel.processes", "processes",
+                     [this] { return static_cast<double>(processes_.size()); });
+}
+
 void Kernel::ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind) {
   c.ChargeCpu(usec, kind);
+  if (telemetry_ != nullptr) {
+    charge_counters_[static_cast<int>(kind)]->Add(static_cast<std::uint64_t>(usec));
+  }
   sched_->OnCharge(c, usec, simr_->now());
 }
 

@@ -22,6 +22,7 @@
 #include "src/net/stack.h"
 #include "src/rc/manager.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/registry.h"
 
 namespace kernel {
 
@@ -92,6 +93,13 @@ class Kernel : public net::StackEnv {
   std::size_t process_count() const { return processes_.size(); }
 
   // --- Accounting ----------------------------------------------------------
+
+  // Attaches a metrics registry: machine-wide charge counters
+  // (rc.cpu.*_usec), the tracer's recorded-event counter, and kernel-level
+  // probes are resolved once here, so the charge path below costs one null
+  // check when telemetry was never attached. Pass nullptr to detach.
+  void AttachTelemetry(telemetry::Registry* registry);
+  telemetry::Registry* telemetry_registry() const { return telemetry_; }
 
   // Charges `usec` of CPU to `c` and informs the scheduler (feedback).
   void ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind);
@@ -171,6 +179,10 @@ class Kernel : public net::StackEnv {
   std::unique_ptr<net::Stack> stack_;
   std::unique_ptr<disk::DiskEngine> disk_;
   Tracer tracer_;
+
+  telemetry::Registry* telemetry_ = nullptr;
+  // Charge counters indexed by rc::CpuKind; null while telemetry is detached.
+  telemetry::Counter* charge_counters_[3] = {nullptr, nullptr, nullptr};
 
   std::function<void(const net::Packet&)> wire_sink_;
 

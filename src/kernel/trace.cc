@@ -4,48 +4,6 @@
 
 namespace kernel {
 
-const char* TraceKindName(TraceKind k) {
-  switch (k) {
-    case TraceKind::kDispatch:
-      return "dispatch";
-    case TraceKind::kSlice:
-      return "slice";
-    case TraceKind::kPreempt:
-      return "preempt";
-    case TraceKind::kBlock:
-      return "block";
-    case TraceKind::kWake:
-      return "wake";
-    case TraceKind::kInterrupt:
-      return "interrupt";
-    case TraceKind::kExit:
-      return "exit";
-  }
-  return "?";
-}
-
-void Tracer::ForEach(const std::function<void(const TraceEvent&)>& fn) const {
-  if (ring_.size() < capacity_) {
-    for (const TraceEvent& e : ring_) {
-      fn(e);
-    }
-    return;
-  }
-  for (std::size_t i = 0; i < ring_.size(); ++i) {
-    fn(ring_[(next_ + i) % ring_.size()]);
-  }
-}
-
-std::size_t Tracer::CountOf(TraceKind kind) const {
-  std::size_t n = 0;
-  ForEach([&](const TraceEvent& e) {
-    if (e.kind == kind) {
-      ++n;
-    }
-  });
-  return n;
-}
-
 void Tracer::Dump(std::ostream& os, std::size_t max_lines) const {
   std::size_t emitted = 0;
   ForEach([&](const TraceEvent& e) {

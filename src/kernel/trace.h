@@ -12,6 +12,7 @@
 
 #include "src/rc/container.h"
 #include "src/sim/time.h"
+#include "src/telemetry/metric.h"
 
 namespace kernel {
 
@@ -25,7 +26,27 @@ enum class TraceKind : std::uint8_t {
   kExit,       // thread finished
 };
 
-const char* TraceKindName(TraceKind k);
+// Inline (with the ring accessors below) so the telemetry trace exporter can
+// consume Tracer from headers alone, without linking against rc_kernel.
+inline const char* TraceKindName(TraceKind k) {
+  switch (k) {
+    case TraceKind::kDispatch:
+      return "dispatch";
+    case TraceKind::kSlice:
+      return "slice";
+    case TraceKind::kPreempt:
+      return "preempt";
+    case TraceKind::kBlock:
+      return "block";
+    case TraceKind::kWake:
+      return "wake";
+    case TraceKind::kInterrupt:
+      return "interrupt";
+    case TraceKind::kExit:
+      return "exit";
+  }
+  return "?";
+}
 
 struct TraceEvent {
   sim::SimTime at = 0;
@@ -50,12 +71,19 @@ class Tracer {
   void Disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
+  // Telemetry hook: when attached, every recorded event also bumps this
+  // registry counter (null and disabled-tracer cases stay one branch each).
+  void set_recorded_counter(telemetry::Counter* counter) { recorded_counter_ = counter; }
+
   void Record(sim::SimTime at, TraceKind kind, std::uint64_t thread_id,
               rc::ContainerId container_id, sim::Duration arg) {
     if (!enabled_) {
       return;
     }
     ++total_;
+    if (recorded_counter_ != nullptr) {
+      recorded_counter_->Add();
+    }
     const TraceEvent e{at, kind, thread_id, container_id, arg};
     if (ring_.size() < capacity_) {
       ring_.push_back(e);
@@ -67,10 +95,28 @@ class Tracer {
   }
 
   // Visits retained events in chronological order.
-  void ForEach(const std::function<void(const TraceEvent&)>& fn) const;
+  void ForEach(const std::function<void(const TraceEvent&)>& fn) const {
+    if (ring_.size() < capacity_) {
+      for (const TraceEvent& e : ring_) {
+        fn(e);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      fn(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
 
   // Number of retained events of `kind`.
-  std::size_t CountOf(TraceKind kind) const;
+  std::size_t CountOf(TraceKind kind) const {
+    std::size_t n = 0;
+    ForEach([&](const TraceEvent& e) {
+      if (e.kind == kind) {
+        ++n;
+      }
+    });
+    return n;
+  }
 
   std::uint64_t total_recorded() const { return total_; }
   std::uint64_t dropped() const { return dropped_; }
@@ -86,6 +132,7 @@ class Tracer {
   std::size_t next_ = 0;  // oldest slot once the ring wrapped
   std::uint64_t dropped_ = 0;
   std::uint64_t total_ = 0;
+  telemetry::Counter* recorded_counter_ = nullptr;
 };
 
 }  // namespace kernel

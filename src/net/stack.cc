@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/telemetry/registry.h"
 
 namespace net {
 
@@ -440,6 +441,36 @@ void Stack::EmitRst(const Packet& cause) {
   ++stats_.rsts_out;
   ++stats_.packets_out;
   env_->EmitToWire(rst);
+}
+
+void Stack::RegisterMetrics(telemetry::Registry& registry) {
+  registry.AddProbe("net.packets_in", "packets",
+                    [this] { return static_cast<double>(stats_.packets_in); });
+  registry.AddProbe("net.packets_out", "packets",
+                    [this] { return static_cast<double>(stats_.packets_out); });
+  registry.AddProbe("net.syns_in", "packets",
+                    [this] { return static_cast<double>(stats_.syns_in); });
+  registry.AddProbe("net.syn_drops", "drops",
+                    [this] { return static_cast<double>(stats_.syn_drops); });
+  registry.AddProbe("net.backlog_drops", "drops",
+                    [this] { return static_cast<double>(stats_.backlog_drops); });
+  registry.AddProbe("net.rsts_out", "packets",
+                    [this] { return static_cast<double>(stats_.rsts_out); });
+  registry.AddProbe("net.accept_drops", "drops",
+                    [this] { return static_cast<double>(stats_.accept_drops); });
+  registry.AddProbe("net.mem_reject_drops", "drops",
+                    [this] { return static_cast<double>(stats_.mem_reject_drops); });
+  registry.AddProbe("net.pcbs", "connections",
+                    [this] { return static_cast<double>(pcbs_.size()); });
+  registry.AddProbe("net.listeners", "sockets",
+                    [this] { return static_cast<double>(listeners_.size()); });
+  registry.AddProbe("net.backlog_depth", "packets", [this] {
+    int total = 0;
+    for (const auto& [tag, backlog] : backlogs_) {
+      total += backlog.total;
+    }
+    return static_cast<double>(total);
+  });
 }
 
 }  // namespace net

@@ -33,6 +33,10 @@
 #include "src/rc/container.h"
 #include "src/sim/time.h"
 
+namespace telemetry {
+class Registry;
+}
+
 namespace net {
 
 enum class NetMode {
@@ -160,6 +164,10 @@ class Stack {
     std::uint64_t mem_reject_drops = 0;  // container memory limit hit
   };
   const Stats& stats() const { return stats_; }
+
+  // Installs pull-based probes for every stack counter (net.*) plus the
+  // deferred-work queue depth; `this` must outlive reads of the registry.
+  void RegisterMetrics(telemetry::Registry& registry);
 
  private:
   struct PendingPacket {

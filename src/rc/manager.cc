@@ -1,5 +1,6 @@
 #include "src/rc/manager.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -80,6 +81,23 @@ Expected<ContainerRef> ContainerManager::Lookup(ContainerId id) const {
     return MakeUnexpected(Errc::kNotFound);
   }
   return ref;
+}
+
+void ContainerManager::ForEachLive(
+    const std::function<void(ResourceContainer&)>& fn) const {
+  // id order keeps telemetry exports deterministic across runs.
+  std::vector<ContainerRef> live;
+  live.reserve(index_.size());
+  for (const auto& [id, weak] : index_) {
+    if (ContainerRef ref = weak.lock()) {
+      live.push_back(std::move(ref));
+    }
+  }
+  std::sort(live.begin(), live.end(),
+            [](const ContainerRef& a, const ContainerRef& b) { return a->id() < b->id(); });
+  for (const ContainerRef& ref : live) {
+    fn(*ref);
+  }
 }
 
 void ContainerManager::AddDestroyObserver(

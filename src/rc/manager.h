@@ -45,6 +45,10 @@ class ContainerManager {
   // Number of live containers, including the root.
   std::size_t live_count() const { return index_.size(); }
 
+  // Visits every live container (including the root) in id order. Used by
+  // the telemetry epoch sampler to snapshot per-container usage.
+  void ForEachLive(const std::function<void(ResourceContainer&)>& fn) const;
+
   // Registers a callback invoked when any container is destroyed (used by
   // the CPU scheduler and the network stack to drop per-container state).
   void AddDestroyObserver(std::function<void(ResourceContainer&)> observer);

@@ -43,7 +43,9 @@ class SampleSet {
   std::size_t count() const { return samples_.size(); }
   double mean() const;
 
-  // Exact percentile by nearest-rank; p in [0, 100].
+  // Percentile with linear interpolation between closest ranks (the
+  // numpy/Excel "inclusive" definition); p in [0, 100]. Sorts lazily, so
+  // the first call after an Add is O(n log n) and repeats are O(1).
   double Percentile(double p);
   double Median() { return Percentile(50.0); }
 
@@ -60,7 +62,8 @@ class RateMeter {
   void Count(std::uint64_t n = 1) { events_ += n; }
 
   std::uint64_t events() const { return events_; }
-  // Events per simulated second over [start, stop].
+  // Events per simulated second over [start, stop]; 0 when the interval is
+  // empty or inverted.
   double PerSecond() const;
 
  private:

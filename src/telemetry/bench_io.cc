@@ -1,0 +1,61 @@
+#include "src/telemetry/bench_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "src/telemetry/json.h"
+
+namespace telemetry {
+
+BenchReport::BenchReport(std::string name, int argc, char** argv)
+    : name_(std::move(name)) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--metrics-out") == 0) {
+      requested_ = true;
+    } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+      requested_ = true;
+      path_ = a + 14;
+    }
+  }
+  if (requested_ && path_.empty()) {
+    path_ = "BENCH_" + name_ + ".json";
+  }
+}
+
+void BenchReport::Add(std::string metric, double value, std::string unit,
+                      std::string config) {
+  entries_.push_back(Entry{std::move(metric), value, std::move(unit), std::move(config)});
+}
+
+void BenchReport::WriteJson(std::ostream& os) const {
+  const auto old_precision = os.precision(15);
+  os << "[\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    os << "  {\"metric\":\"" << EscapeJson(e.metric) << "\",\"value\":" << e.value
+       << ",\"unit\":\"" << EscapeJson(e.unit) << "\",\"config\":\""
+       << EscapeJson(e.config) << "\"}";
+    if (i + 1 < entries_.size()) {
+      os << ",";
+    }
+    os << "\n";
+  }
+  os << "]\n";
+  os.precision(old_precision);
+}
+
+bool BenchReport::Flush() const {
+  if (!requested_) {
+    return true;
+  }
+  std::ofstream out(path_);
+  if (!out) {
+    return false;
+  }
+  WriteJson(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace telemetry

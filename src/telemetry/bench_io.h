@@ -1,0 +1,52 @@
+// Machine-readable benchmark artifacts. Every bench binary (and rcsim)
+// accepts --metrics-out[=<file>]; when given, the headline numbers that the
+// human-readable tables print are also written as a JSON array of
+//   {"metric": ..., "value": ..., "unit": ..., "config": ...}
+// records (file default: BENCH_<name>.json), so the repo's perf trajectory
+// is diffable run over run and CI can archive it.
+#ifndef SRC_TELEMETRY_BENCH_IO_H_
+#define SRC_TELEMETRY_BENCH_IO_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace telemetry {
+
+class BenchReport {
+ public:
+  // `name` labels the default artifact path BENCH_<name>.json. Scans argv
+  // for --metrics-out or --metrics-out=<file>; the flag is recognized
+  // anywhere and does not disturb other argument handling.
+  BenchReport(std::string name, int argc, char** argv);
+
+  // True when --metrics-out was present.
+  bool requested() const { return requested_; }
+  const std::string& path() const { return path_; }
+
+  void Add(std::string metric, double value, std::string unit, std::string config);
+
+  void WriteJson(std::ostream& os) const;
+
+  // Writes the artifact when --metrics-out was given (no-op otherwise).
+  // Returns false only on I/O failure.
+  bool Flush() const;
+
+  struct Entry {
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+    std::string config;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::string name_;
+  bool requested_ = false;
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace telemetry
+
+#endif  // SRC_TELEMETRY_BENCH_IO_H_

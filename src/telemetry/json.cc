@@ -1,0 +1,292 @@
+#include "src/telemetry/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace telemetry {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->type == Type::kNumber ? v->number_value : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key, std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->type == Type::kString ? v->string_value
+                                                  : std::string(fallback);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    JsonValue v;
+    if (!ParseValue(&v)) {
+      return std::nullopt;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // trailing garbage
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) {
+      return false;
+    }
+    SkipSpace();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key) || !Consume(':')) {
+        return false;
+      }
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) {
+      return false;
+    }
+    SkipSpace();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->array.push_back(std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += esc;
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          if (std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16)
+                  .ec != std::errc{}) {
+            return false;
+          }
+          pos_ += 4;
+          // Telemetry output only escapes control characters; represent
+          // anything in the BMP as UTF-8.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->type = JsonValue::Type::kNumber;
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc{}) {
+      return false;
+    }
+    out->number_value = value;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace telemetry

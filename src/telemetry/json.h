@@ -1,0 +1,49 @@
+// Minimal JSON support for the telemetry exporters and their tests: string
+// escaping for the writers, and a small recursive-descent parser so tests can
+// round-trip exported documents (metrics JSONL, Chrome traces, bench
+// artifacts) without an external dependency.
+#ifndef SRC_TELEMETRY_JSON_H_
+#define SRC_TELEMETRY_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace telemetry {
+
+// Escapes `s` for embedding inside a JSON string literal (quotes not
+// included).
+std::string EscapeJson(std::string_view s);
+
+// A parsed JSON document. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  // Member lookup on an object; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  // Convenience accessors: the member's value, or `fallback` when the key is
+  // missing or has a different type.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+};
+
+// Parses one JSON document; nullopt on any syntax error or trailing garbage.
+std::optional<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace telemetry
+
+#endif  // SRC_TELEMETRY_JSON_H_

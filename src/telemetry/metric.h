@@ -1,0 +1,125 @@
+// Metric handle types for the telemetry registry.
+//
+// Handles are created and owned by a telemetry::Registry; emitters keep raw
+// pointers resolved once (at attach/registration time) and update them on hot
+// paths. Every mutation is guarded by the owning registry's enabled flag, so
+// a disabled registry costs one predictable branch per update — the same
+// cheap-when-off discipline kernel::Tracer::Record follows. Holders of a
+// null handle pointer (telemetry never attached) pay only their own null
+// check and never touch the registry at all.
+#ifndef SRC_TELEMETRY_METRIC_H_
+#define SRC_TELEMETRY_METRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/sim/stats.h"
+
+namespace telemetry {
+
+class Registry;
+
+enum class MetricKind {
+  kCounter,    // monotonically increasing integer total
+  kGauge,      // last-set value
+  kHistogram,  // sample distribution (exact percentiles at export time)
+  kProbe,      // pull-based: evaluated when the registry is read
+};
+
+const char* MetricKindName(MetricKind kind);
+
+// Common identity shared by every metric. `name` is the stable dotted id
+// (e.g. "rc.cpu.network_usec"); `unit` is a free-form suffix for display and
+// export ("usec", "packets", ...).
+class Metric {
+ public:
+  const std::string& name() const { return name_; }
+  const std::string& unit() const { return unit_; }
+  MetricKind kind() const { return kind_; }
+
+ protected:
+  Metric(const bool* enabled, MetricKind kind, std::string name, std::string unit)
+      : enabled_(enabled), kind_(kind), name_(std::move(name)), unit_(std::move(unit)) {}
+
+  bool on() const { return *enabled_; }
+
+ private:
+  const bool* enabled_;  // points at the owning registry's enabled flag
+  MetricKind kind_;
+  std::string name_;
+  std::string unit_;
+};
+
+class Counter : public Metric {
+ public:
+  void Add(std::uint64_t n = 1) {
+    if (on()) {
+      value_ += n;
+    }
+  }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  friend class Registry;
+  Counter(const bool* enabled, std::string name, std::string unit)
+      : Metric(enabled, MetricKind::kCounter, std::move(name), std::move(unit)) {}
+  std::uint64_t value_ = 0;
+};
+
+class Gauge : public Metric {
+ public:
+  void Set(double v) {
+    if (on()) {
+      value_ = v;
+    }
+  }
+  double value() const { return value_; }
+
+ private:
+  friend class Registry;
+  Gauge(const bool* enabled, std::string name, std::string unit)
+      : Metric(enabled, MetricKind::kGauge, std::move(name), std::move(unit)) {}
+  double value_ = 0.0;
+};
+
+class Histogram : public Metric {
+ public:
+  void Record(double v) {
+    if (on()) {
+      samples_.Add(v);
+    }
+  }
+  std::size_t count() const { return samples_.count(); }
+  double mean() const { return samples_.mean(); }
+  double Percentile(double p) const { return samples_.Percentile(p); }
+
+ private:
+  friend class Registry;
+  Histogram(const bool* enabled, std::string name, std::string unit)
+      : Metric(enabled, MetricKind::kHistogram, std::move(name), std::move(unit)) {}
+  // mutable: SampleSet::Percentile sorts lazily, which is invisible to
+  // readers; exports take percentiles through const references.
+  mutable sim::SampleSet samples_;
+};
+
+// Pull-based metric: `fn` is evaluated whenever the registry is snapshotted
+// or exported, so registering a probe adds zero cost to the emitting hot
+// path. The callback must stay valid for as long as the registry is read.
+class Probe : public Metric {
+ public:
+  double value() const { return fn_(); }
+
+ private:
+  friend class Registry;
+  Probe(const bool* enabled, std::string name, std::string unit,
+        std::function<double()> fn)
+      : Metric(enabled, MetricKind::kProbe, std::move(name), std::move(unit)),
+        fn_(std::move(fn)) {}
+  std::function<double()> fn_;
+};
+
+}  // namespace telemetry
+
+#endif  // SRC_TELEMETRY_METRIC_H_

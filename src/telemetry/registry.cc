@@ -1,0 +1,129 @@
+#include "src/telemetry/registry.h"
+
+#include "src/common/check.h"
+#include "src/telemetry/json.h"
+
+namespace telemetry {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+    case MetricKind::kProbe:
+      return "probe";
+  }
+  return "?";
+}
+
+template <typename T>
+T* Registry::GetTyped(std::string_view name, std::string_view unit, MetricKind kind) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    RC_CHECK(it->second->kind() == kind);
+    return static_cast<T*>(it->second.get());
+  }
+  ++total_allocations_;
+  auto metric = std::unique_ptr<T>(
+      new T(&enabled_, std::string(name), std::string(unit)));
+  T* raw = metric.get();
+  metrics_.emplace(std::string(name), std::move(metric));
+  return raw;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view unit) {
+  return GetTyped<Counter>(name, unit, MetricKind::kCounter);
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view unit) {
+  return GetTyped<Gauge>(name, unit, MetricKind::kGauge);
+}
+
+Histogram* Registry::GetHistogram(std::string_view name, std::string_view unit) {
+  return GetTyped<Histogram>(name, unit, MetricKind::kHistogram);
+}
+
+void Registry::AddProbe(std::string_view name, std::string_view unit,
+                        std::function<double()> fn) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    RC_CHECK(it->second->kind() == MetricKind::kProbe);
+    static_cast<Probe&>(*it->second) =
+        Probe(&enabled_, std::string(name), std::string(unit), std::move(fn));
+    return;
+  }
+  ++total_allocations_;
+  metrics_.emplace(std::string(name),
+                   std::unique_ptr<Metric>(new Probe(&enabled_, std::string(name),
+                                                     std::string(unit), std::move(fn))));
+}
+
+const Metric* Registry::Find(std::string_view name) const {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+double ScalarOf(const Metric& m) {
+  switch (m.kind()) {
+    case MetricKind::kCounter:
+      return static_cast<double>(static_cast<const Counter&>(m).value());
+    case MetricKind::kGauge:
+      return static_cast<const Gauge&>(m).value();
+    case MetricKind::kHistogram:
+      return static_cast<const Histogram&>(m).mean();
+    case MetricKind::kProbe:
+      return static_cast<const Probe&>(m).value();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double Registry::Value(std::string_view name) const {
+  const Metric* m = Find(name);
+  return m == nullptr ? 0.0 : ScalarOf(*m);
+}
+
+std::vector<Registry::Row> Registry::Snapshot() const {
+  std::vector<Row> rows;
+  rows.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {
+    Row row;
+    row.name = name;
+    row.unit = metric->unit();
+    row.kind = metric->kind();
+    row.value = ScalarOf(*metric);
+    if (metric->kind() == MetricKind::kHistogram) {
+      const auto& h = static_cast<const Histogram&>(*metric);
+      row.count = h.count();
+      row.p50 = h.Percentile(50.0);
+      row.p95 = h.Percentile(95.0);
+      row.p99 = h.Percentile(99.0);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void Registry::WriteJsonLines(std::ostream& os, sim::SimTime at) const {
+  // 15 significant digits: integer-valued counters survive the round trip.
+  const auto old_precision = os.precision(15);
+  for (const Row& row : Snapshot()) {
+    os << "{\"at\":" << at << ",\"name\":\"" << EscapeJson(row.name)
+       << "\",\"kind\":\"" << MetricKindName(row.kind) << "\",\"unit\":\""
+       << EscapeJson(row.unit) << "\",\"value\":" << row.value;
+    if (row.kind == MetricKind::kHistogram) {
+      os << ",\"count\":" << row.count << ",\"p50\":" << row.p50
+         << ",\"p95\":" << row.p95 << ",\"p99\":" << row.p99;
+    }
+    os << "}\n";
+  }
+  os.precision(old_precision);
+}
+
+}  // namespace telemetry

@@ -1,0 +1,92 @@
+// The metrics registry: the single home for every counter, gauge, histogram
+// and probe the simulated system exposes, keyed by stable dotted names
+// ("rc.cpu.network_usec", "net.syn_drops", ...). Emitting layers resolve
+// handles once and update them on their hot paths; consuming layers (tables,
+// JSONL export, bench artifacts) read the registry instead of reaching into
+// per-module stats structs.
+#ifndef SRC_TELEMETRY_REGISTRY_H_
+#define SRC_TELEMETRY_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/telemetry/metric.h"
+
+namespace telemetry {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // When disabled, every Counter/Gauge/Histogram mutation is a no-op (one
+  // branch). Probes are unaffected: they are only evaluated on reads.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Handle lookup-or-create. Handles are owned by the registry and stay
+  // valid for its lifetime. Re-requesting an existing name returns the same
+  // handle; it is an error (RC_CHECK) to re-request it as a different kind.
+  Counter* GetCounter(std::string_view name, std::string_view unit = "");
+  Gauge* GetGauge(std::string_view name, std::string_view unit = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view unit = "");
+
+  // Registers a pull-based metric; `fn` runs on every snapshot/export and
+  // must outlive those reads. Re-registering a name replaces the callback.
+  void AddProbe(std::string_view name, std::string_view unit,
+                std::function<double()> fn);
+
+  const Metric* Find(std::string_view name) const;
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+  std::size_t size() const { return metrics_.size(); }
+
+  // Number of metric objects ever created. Lets tests assert that a code
+  // path performed no registry allocations (the `telemetry disabled => free
+  // charge path` guarantee).
+  std::uint64_t total_allocations() const { return total_allocations_; }
+
+  // Scalar value of `name` (counter total, gauge value, probe evaluation,
+  // histogram mean); 0 when absent.
+  double Value(std::string_view name) const;
+
+  // Point-in-time view of every metric, sorted by name. Probes are
+  // evaluated; histograms carry their distribution summary.
+  struct Row {
+    std::string name;
+    std::string unit;
+    MetricKind kind = MetricKind::kGauge;
+    double value = 0.0;
+    // Histogram-only extras (count == 0 for scalar kinds).
+    std::size_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<Row> Snapshot() const;
+
+  // JSON Lines export: one object per metric —
+  //   {"at":<usec>,"name":...,"kind":...,"unit":...,"value":...}
+  // histograms additionally carry "count","p50","p95","p99".
+  void WriteJsonLines(std::ostream& os, sim::SimTime at) const;
+
+ private:
+  template <typename T>
+  T* GetTyped(std::string_view name, std::string_view unit, MetricKind kind);
+
+  bool enabled_ = true;
+  std::uint64_t total_allocations_ = 0;
+  // Sorted so snapshots and exports are deterministically ordered.
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
+};
+
+}  // namespace telemetry
+
+#endif  // SRC_TELEMETRY_REGISTRY_H_

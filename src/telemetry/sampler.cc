@@ -1,0 +1,97 @@
+#include "src/telemetry/sampler.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/telemetry/json.h"
+
+namespace telemetry {
+
+EpochSampler::EpochSampler(sim::Simulator* simulator, rc::ContainerManager* containers,
+                           sim::Duration interval)
+    : simr_(simulator),
+      containers_(containers),
+      interval_(interval),
+      self_(std::make_shared<EpochSampler*>(this)) {
+  // A non-positive interval would make Tick() reschedule itself at the same
+  // instant and pin the simulator at the current time forever.
+  RC_CHECK(interval_ > 0);
+  // Stamp retirement on destroy so a series is never mistaken for a live
+  // container that merely stopped accumulating.
+  std::weak_ptr<EpochSampler*> weak = self_;
+  containers_->AddDestroyObserver([weak](rc::ResourceContainer& c) {
+    auto self = weak.lock();
+    if (!self) {
+      return;  // sampler destroyed before the manager
+    }
+    EpochSampler& sampler = **self;
+    auto it = sampler.series_.find(c.id());
+    if (it != sampler.series_.end() && !it->second.retired()) {
+      it->second.retired_at = sampler.simr_->now();
+    }
+  });
+}
+
+EpochSampler::~EpochSampler() { Stop(); }
+
+void EpochSampler::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  timer_ = simr_->After(interval_, [this] { Tick(); });
+}
+
+void EpochSampler::Stop() {
+  running_ = false;
+  timer_.Cancel();
+}
+
+void EpochSampler::Tick() {
+  if (!running_) {
+    return;
+  }
+  SampleNow();
+  timer_ = simr_->After(interval_, [this] { Tick(); });
+}
+
+void EpochSampler::SampleNow() {
+  const sim::SimTime now = simr_->now();
+  ++epochs_;
+  containers_->ForEachLive([&](rc::ResourceContainer& c) {
+    auto [it, inserted] = series_.try_emplace(c.id());
+    ContainerSeries& s = it->second;
+    if (inserted) {
+      s.id = c.id();
+      s.name = c.name();
+      s.first_sample_at = now;
+    }
+    s.samples.push_back(UsageSample{now, c.usage()});
+  });
+}
+
+void EpochSampler::WriteJsonLines(std::ostream& os) const {
+  const auto old_precision = os.precision(15);
+  for (const auto& [id, s] : series_) {
+    for (const UsageSample& sample : s.samples) {
+      const rc::ResourceUsage& u = sample.usage;
+      os << "{\"at\":" << sample.at << ",\"container\":" << id << ",\"name\":\""
+         << EscapeJson(s.name) << "\",\"cpu_user_usec\":" << u.cpu_user_usec
+         << ",\"cpu_kernel_usec\":" << u.cpu_kernel_usec
+         << ",\"cpu_network_usec\":" << u.cpu_network_usec
+         << ",\"memory_bytes\":" << u.memory_bytes
+         << ",\"packets_received\":" << u.packets_received
+         << ",\"packets_dropped\":" << u.packets_dropped
+         << ",\"bytes_received\":" << u.bytes_received
+         << ",\"bytes_sent\":" << u.bytes_sent
+         << ",\"disk_busy_usec\":" << u.disk_busy_usec << "}\n";
+    }
+    if (s.retired()) {
+      os << "{\"container\":" << id << ",\"name\":\"" << EscapeJson(s.name)
+         << "\",\"retired\":" << s.retired_at << "}\n";
+    }
+  }
+  os.precision(old_precision);
+}
+
+}  // namespace telemetry

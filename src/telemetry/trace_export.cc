@@ -1,0 +1,81 @@
+#include "src/telemetry/trace_export.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/rc/manager.h"
+#include "src/telemetry/json.h"
+
+namespace telemetry {
+
+namespace {
+
+bool IsDurationEvent(kernel::TraceKind k) {
+  return k == kernel::TraceKind::kSlice || k == kernel::TraceKind::kPreempt ||
+         k == kernel::TraceKind::kInterrupt;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const kernel::Tracer& tracer, const ContainerNameFn& name_of,
+                      std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+  };
+
+  // Track-name metadata first: one thread_name entry per container id seen.
+  std::set<rc::ContainerId> tids;
+  tracer.ForEach([&](const kernel::TraceEvent& e) { tids.insert(e.container_id); });
+  comma();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"rc kernel\"}}";
+  for (rc::ContainerId tid : tids) {
+    std::string label;
+    if (tid == 0) {
+      label = "(unattributed)";
+    } else if (name_of) {
+      label = name_of(tid);
+    }
+    if (label.empty()) {
+      label = "container " + std::to_string(tid);
+    } else {
+      label += " [ct " + std::to_string(tid) + "]";
+    }
+    comma();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << EscapeJson(label) << "\"}}";
+  }
+
+  tracer.ForEach([&](const kernel::TraceEvent& e) {
+    comma();
+    const char* name = kernel::TraceKindName(e.kind);
+    if (IsDurationEvent(e.kind)) {
+      // Recorded at completion; the consumed CPU (`arg`) ends at `at`.
+      const sim::SimTime start = e.at - e.arg;
+      os << "{\"name\":\"" << name << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":"
+         << start << ",\"dur\":" << e.arg << ",\"pid\":1,\"tid\":" << e.container_id
+         << ",\"args\":{\"thread\":" << e.thread_id << "}}";
+    } else {
+      os << "{\"name\":\"" << name << "\",\"cat\":\"kernel\",\"ph\":\"i\",\"ts\":"
+         << e.at << ",\"s\":\"t\",\"pid\":1,\"tid\":" << e.container_id
+         << ",\"args\":{\"thread\":" << e.thread_id << "}}";
+    }
+  });
+
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+ContainerNameFn ContainerNamesFrom(const rc::ContainerManager& manager) {
+  return [&manager](rc::ContainerId id) -> std::string {
+    auto ref = manager.Lookup(id);
+    return ref.ok() ? (*ref)->name() : std::string();
+  };
+}
+
+}  // namespace telemetry

@@ -1,0 +1,40 @@
+// Chrome trace-event export of the kernel Tracer ring: the output loads in
+// chrome://tracing and in Perfetto (legacy JSON import), with one track per
+// charged container so misaccounting vs correct attribution is visible on a
+// timeline (Figures 11-14 territory).
+//
+// Mapping:
+//   kSlice / kPreempt / kInterrupt -> complete events ("ph":"X") whose
+//       duration is the consumed CPU (the event is recorded at completion,
+//       so ts = at - arg);
+//   kDispatch / kBlock / kWake / kExit -> instant events ("ph":"i").
+// Every event lands on pid 1 ("rc kernel"), tid = charged container id
+// (tid 0 collects unattributed machine events), with thread_name metadata
+// naming each container track.
+#ifndef SRC_TELEMETRY_TRACE_EXPORT_H_
+#define SRC_TELEMETRY_TRACE_EXPORT_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "src/kernel/trace.h"
+#include "src/rc/container.h"
+
+namespace telemetry {
+
+// Maps a container id to the label of its track; may be null (tracks are
+// then named "container <id>"). Ids the callback does not recognize should
+// return an empty string to fall back to the default label.
+using ContainerNameFn = std::function<std::string(rc::ContainerId)>;
+
+// Writes the full trace document: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+void WriteChromeTrace(const kernel::Tracer& tracer, const ContainerNameFn& name_of,
+                      std::ostream& os);
+
+// Convenience: a ContainerNameFn backed by a live ContainerManager.
+ContainerNameFn ContainerNamesFrom(const rc::ContainerManager& manager);
+
+}  // namespace telemetry
+
+#endif  // SRC_TELEMETRY_TRACE_EXPORT_H_

@@ -9,13 +9,57 @@ Scenario::Scenario(const ScenarioOptions& options) : options_(options) {
   wire_ = std::make_unique<load::Wire>(&simr_, kernel_.get(), options_.wire_latency);
   // The paper's experiments serve a cached 1 KB document (doc id 1).
   cache_.AddDocument(1, 1024);
+  RegisterProbes();
+  if (options_.telemetry) {
+    kernel_->AttachTelemetry(&registry_);
+    sampler_ = std::make_unique<telemetry::EpochSampler>(
+        &simr_, &kernel_->containers(), options_.telemetry_interval);
+    sampler_->Start();
+  }
   kernel_->Start();
+}
+
+void Scenario::RegisterProbes() {
+  registry_.AddProbe("sim.now_usec", "usec",
+                     [this] { return static_cast<double>(simr_.now()); });
+  registry_.AddProbe("sim.events_run", "events",
+                     [this] { return static_cast<double>(simr_.events_run()); });
+  registry_.AddProbe("cpu.busy_usec", "usec",
+                     [this] { return static_cast<double>(kernel_->cpu().busy_usec()); });
+  registry_.AddProbe("cpu.interrupt_usec", "usec", [this] {
+    return static_cast<double>(kernel_->cpu().interrupt_usec());
+  });
+  registry_.AddProbe("cpu.charged_usec", "usec", [this] {
+    return static_cast<double>(kernel_->TotalChargedCpuUsec());
+  });
+  registry_.AddProbe("rc.containers.live", "containers", [this] {
+    return static_cast<double>(kernel_->containers().live_count());
+  });
+  registry_.AddProbe("clients.completed", "requests",
+                     [this] { return static_cast<double>(TotalCompleted()); });
+  registry_.AddProbe("clients.timeouts", "requests", [this] {
+    std::uint64_t n = 0;
+    for (const auto& c : clients_) {
+      n += c->timeouts();
+    }
+    return static_cast<double>(n);
+  });
+  registry_.AddProbe("clients.failures", "requests", [this] {
+    std::uint64_t n = 0;
+    for (const auto& c : clients_) {
+      n += c->failures();
+    }
+    return static_cast<double>(n);
+  });
+  kernel_->stack().RegisterMetrics(registry_);
+  kernel_->disk().RegisterMetrics(registry_);
 }
 
 void Scenario::StartServer(rc::ContainerRef guest) {
   RC_CHECK(server_ == nullptr);
   server_ = std::make_unique<httpd::EventDrivenServer>(kernel_.get(), &cache_,
                                                        options_.server_config);
+  server_->RegisterMetrics(registry_);
   server_->Start(std::move(guest));
 }
 
@@ -74,11 +118,13 @@ std::uint64_t Scenario::TotalCompleted() const {
 }
 
 CpuSnapshot Scenario::SnapshotCpu() const {
+  // Rendered from the registry: the probes installed in RegisterProbes are
+  // the single source for machine-level CPU attribution.
   CpuSnapshot snap;
-  snap.at = simr_.now();
-  snap.busy = kernel_->cpu().busy_usec();
-  snap.interrupt = kernel_->cpu().interrupt_usec();
-  snap.charged = kernel_->TotalChargedCpuUsec();
+  snap.at = static_cast<sim::SimTime>(registry_.Value("sim.now_usec"));
+  snap.busy = static_cast<sim::Duration>(registry_.Value("cpu.busy_usec"));
+  snap.interrupt = static_cast<sim::Duration>(registry_.Value("cpu.interrupt_usec"));
+  snap.charged = static_cast<sim::Duration>(registry_.Value("cpu.charged_usec"));
   return snap;
 }
 

@@ -14,6 +14,8 @@
 #include "src/load/syn_flood.h"
 #include "src/load/wire.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/registry.h"
+#include "src/telemetry/sampler.h"
 
 namespace xp {
 
@@ -21,6 +23,11 @@ struct ScenarioOptions {
   kernel::KernelConfig kernel_config;
   httpd::ServerConfig server_config;
   sim::Duration wire_latency = 100;  // one-way, usec
+  // Push-side telemetry: attaches the kernel's charge counters and runs the
+  // per-container epoch sampler. Pull-based probes (cpu.*, net.*, disk.*,
+  // httpd.*) are registered unconditionally — they cost nothing until read.
+  bool telemetry = false;
+  sim::Duration telemetry_interval = sim::Msec(100);
 };
 
 // Snapshot of machine-level CPU accounting (for utilization/share series).
@@ -40,6 +47,13 @@ class Scenario {
   load::Wire& wire() { return *wire_; }
   httpd::FileCache& cache() { return cache_; }
   httpd::EventDrivenServer& server() { return *server_; }
+
+  // The scenario-wide metrics registry; every layer (kernel, stack, disk,
+  // server, clients) publishes here, and the tables/exporters read it.
+  telemetry::Registry& metrics() { return registry_; }
+  const telemetry::Registry& metrics() const { return registry_; }
+  // Non-null when options.telemetry enabled the epoch sampler.
+  telemetry::EpochSampler* sampler() { return sampler_.get(); }
 
   // Starts the standard event-driven server (call once). `guest` optionally
   // supplies a fixed-share default container (virtual-server experiments).
@@ -76,7 +90,13 @@ class Scenario {
   }
 
  private:
+  void RegisterProbes();
+
   ScenarioOptions options_;
+  // Declared before the kernel so probe callbacks into kernel-owned objects
+  // are dropped only after everything they reference is already gone — no
+  // export may run during destruction either way.
+  telemetry::Registry registry_;
   sim::Simulator simr_;
   std::unique_ptr<kernel::Kernel> kernel_;
   std::unique_ptr<load::Wire> wire_;
@@ -84,6 +104,7 @@ class Scenario {
   std::unique_ptr<httpd::EventDrivenServer> server_;
   std::vector<std::unique_ptr<load::HttpClient>> clients_;
   std::vector<std::unique_ptr<load::SynFlooder>> flooders_;
+  std::unique_ptr<telemetry::EpochSampler> sampler_;
   std::uint32_t next_client_id_ = 1;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/telemetry/registry.h"
+
 namespace xp {
 
 std::string FormatDouble(double v, int precision) {
@@ -56,6 +58,16 @@ void Table::PrintCsv(std::ostream& os) const {
   for (const auto& row : rows_) {
     emit(row);
   }
+}
+
+Table MetricsTable(const telemetry::Registry& registry) {
+  Table table({"metric", "value", "unit"});
+  for (const telemetry::Registry::Row& row : registry.Snapshot()) {
+    // Integral values (counters, most probes) print without a fraction.
+    const bool integral = row.value == static_cast<double>(static_cast<long long>(row.value));
+    table.AddRow({row.name, FormatDouble(row.value, integral ? 0 : 3), row.unit});
+  }
+  return table;
 }
 
 }  // namespace xp

@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+namespace telemetry {
+class Registry;
+}
+
 namespace xp {
 
 std::string FormatDouble(double v, int precision = 1);
@@ -27,6 +31,11 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// Renders every metric in `registry` (sorted by name, probes evaluated) as a
+// {metric, value, unit} table — the registry-backed replacement for
+// hand-rolled per-benchmark stat structs.
+Table MetricsTable(const telemetry::Registry& registry);
 
 }  // namespace xp
 

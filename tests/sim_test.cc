@@ -233,6 +233,17 @@ TEST(SampleSetTest, ExactPercentiles) {
   EXPECT_NEAR(s.Percentile(99), 99.01, 0.01);
 }
 
+TEST(SampleSetTest, PercentileInterpolatesBetweenRanks) {
+  // Linear interpolation between closest ranks, not nearest-rank: the median
+  // of an even-sized set falls halfway between the middle samples.
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 1.75);
+}
+
 TEST(SampleSetTest, MeanAndCount) {
   SampleSet s;
   s.Add(1);

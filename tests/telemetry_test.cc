@@ -1,0 +1,377 @@
+// Tests for the telemetry subsystem: JSON helpers, the metrics registry,
+// the epoch sampler, the Chrome trace exporter, bench artifacts, and the
+// kernel integration (charge counters; disabled telemetry stays free).
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscalls.h"
+#include "src/telemetry/bench_io.h"
+#include "src/telemetry/json.h"
+#include "src/telemetry/registry.h"
+#include "src/telemetry/sampler.h"
+#include "src/telemetry/trace_export.h"
+
+namespace telemetry {
+namespace {
+
+// --- JSON helpers -----------------------------------------------------------
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(EscapeJson("plain"), "plain");
+  EXPECT_EQ(EscapeJson("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(EscapeJson("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(JsonTest, ParsesScalarsArraysAndObjects) {
+  auto doc = ParseJson(R"({"n":1.5,"neg":-3,"s":"he\"llo","b":true,"z":null,"a":[1,2,3]})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_DOUBLE_EQ(doc->NumberOr("n", 0), 1.5);
+  EXPECT_DOUBLE_EQ(doc->NumberOr("neg", 0), -3);
+  EXPECT_EQ(doc->StringOr("s", ""), "he\"llo");
+  ASSERT_NE(doc->Find("a"), nullptr);
+  ASSERT_TRUE(doc->Find("a")->is_array());
+  EXPECT_EQ(doc->Find("a")->array.size(), 3u);
+  EXPECT_EQ(doc->Find("z")->type, JsonValue::Type::kNull);
+  EXPECT_TRUE(doc->Find("b")->bool_value);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("{").has_value());
+  EXPECT_FALSE(ParseJson("[1,]").has_value());
+  EXPECT_FALSE(ParseJson("{} trailing").has_value());
+  EXPECT_FALSE(ParseJson("").has_value());
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(RegistryTest, HandlesAreStableAndTyped) {
+  Registry reg;
+  Counter* c = reg.GetCounter("a.count", "events");
+  EXPECT_EQ(reg.GetCounter("a.count"), c);  // lookup-or-create returns same handle
+  c->Add(2);
+  c->Add();
+  EXPECT_EQ(c->value(), 3u);
+  EXPECT_DOUBLE_EQ(reg.Value("a.count"), 3.0);
+
+  Gauge* g = reg.GetGauge("b.gauge");
+  g->Set(7.25);
+  EXPECT_DOUBLE_EQ(reg.Value("b.gauge"), 7.25);
+
+  Histogram* h = reg.GetHistogram("c.hist", "ms");
+  for (int i = 1; i <= 100; ++i) {
+    h->Record(i);
+  }
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_DOUBLE_EQ(reg.Value("c.hist"), 50.5);  // scalar view is the mean
+
+  double probe_source = 1.0;
+  reg.AddProbe("d.probe", "", [&probe_source] { return probe_source; });
+  probe_source = 42.0;
+  EXPECT_DOUBLE_EQ(reg.Value("d.probe"), 42.0);  // evaluated at read time
+
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_DOUBLE_EQ(reg.Value("absent"), 0.0);
+}
+
+TEST(RegistryTest, DisabledMutationsAreNoOps) {
+  Registry reg;
+  Counter* c = reg.GetCounter("x");
+  Gauge* g = reg.GetGauge("y");
+  Histogram* h = reg.GetHistogram("z");
+  reg.set_enabled(false);
+  c->Add(5);
+  g->Set(5);
+  h->Record(5);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  reg.set_enabled(true);
+  c->Add(5);
+  EXPECT_EQ(c->value(), 5u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndJsonlParses) {
+  Registry reg;
+  reg.GetCounter("b.second", "events")->Add(2);
+  reg.GetGauge("a.first", "usec")->Set(1.5);
+  Histogram* h = reg.GetHistogram("c.third", "ms");
+  h->Record(1);
+  h->Record(3);
+
+  auto rows = reg.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "a.first");
+  EXPECT_EQ(rows[1].name, "b.second");
+  EXPECT_EQ(rows[2].name, "c.third");
+  EXPECT_EQ(rows[2].count, 2u);
+
+  std::ostringstream os;
+  reg.WriteJsonLines(os, /*at=*/1234);
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<JsonValue> parsed;
+  while (std::getline(is, line)) {
+    auto doc = ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    parsed.push_back(*doc);
+  }
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed[0].NumberOr("at", 0), 1234);
+  EXPECT_EQ(parsed[0].StringOr("name", ""), "a.first");
+  EXPECT_EQ(parsed[0].StringOr("unit", ""), "usec");
+  EXPECT_EQ(parsed[2].StringOr("kind", ""), "histogram");
+  EXPECT_DOUBLE_EQ(parsed[2].NumberOr("count", 0), 2);
+}
+
+// --- Epoch sampler ----------------------------------------------------------
+
+TEST(EpochSamplerTest, TracksCreateChargeAndRetire) {
+  sim::Simulator simr;
+  rc::ContainerManager manager;
+  EpochSampler sampler(&simr, &manager, sim::Msec(100));
+
+  auto c1 = manager.Create(nullptr, "first").value();
+  const rc::ContainerId id1 = c1->id();
+  c1->ChargeCpu(500, rc::CpuKind::kUser);
+
+  sampler.Start();
+  simr.RunUntil(sim::Msec(350));  // epochs at 100, 200, 300 ms
+  EXPECT_EQ(sampler.epochs(), 3u);
+
+  // Mid-run: a new container appears, the first one retires.
+  auto c2 = manager.Create(nullptr, "second").value();
+  const rc::ContainerId id2 = c2->id();
+  c2->ChargeCpu(40, rc::CpuKind::kNetwork);
+  c1.reset();  // destroy observer stamps retired_at
+
+  simr.RunUntil(sim::Msec(650));  // epochs at 400, 500, 600 ms
+  sampler.Stop();
+  EXPECT_EQ(sampler.epochs(), 6u);
+
+  const auto& series = sampler.series();
+  ASSERT_TRUE(series.count(id1));
+  const ContainerSeries& s1 = series.at(id1);
+  EXPECT_EQ(s1.name, "first");
+  EXPECT_EQ(s1.first_sample_at, sim::Msec(100));
+  EXPECT_EQ(s1.samples.size(), 3u);  // stopped accumulating once destroyed
+  EXPECT_TRUE(s1.retired());
+  EXPECT_EQ(s1.retired_at, sim::Msec(350));
+  for (const UsageSample& s : s1.samples) {
+    EXPECT_EQ(s.usage.cpu_user_usec, 500);
+  }
+
+  ASSERT_TRUE(series.count(id2));
+  const ContainerSeries& s2 = series.at(id2);
+  EXPECT_EQ(s2.first_sample_at, sim::Msec(400));
+  EXPECT_EQ(s2.samples.size(), 3u);
+  EXPECT_FALSE(s2.retired());
+  EXPECT_EQ(s2.samples.front().usage.cpu_network_usec, 40);
+
+  // The root container is sampled too, on every epoch.
+  ASSERT_TRUE(series.count(manager.root()->id()));
+  EXPECT_EQ(series.at(manager.root()->id()).samples.size(), 6u);
+
+  // Export round-trip: every line parses; the retired line carries the stamp.
+  std::ostringstream os;
+  sampler.WriteJsonLines(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t sample_lines = 0;
+  std::size_t retired_lines = 0;
+  while (std::getline(is, line)) {
+    auto doc = ParseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    if (doc->Find("retired") != nullptr) {
+      ++retired_lines;
+      EXPECT_DOUBLE_EQ(doc->NumberOr("retired", 0), sim::Msec(350));
+      EXPECT_EQ(doc->StringOr("name", ""), "first");
+    } else {
+      ++sample_lines;
+    }
+  }
+  EXPECT_EQ(sample_lines, 3u + 3u + 6u);
+  EXPECT_EQ(retired_lines, 1u);
+}
+
+TEST(EpochSamplerTest, DestroyObserverSafeAfterSamplerDies) {
+  sim::Simulator simr;
+  rc::ContainerManager manager;
+  {
+    EpochSampler sampler(&simr, &manager, sim::Msec(100));
+    sampler.SampleNow();
+  }
+  // The manager still holds the observer; destroying a container now must
+  // not touch the dead sampler.
+  auto c = manager.Create(nullptr, "late").value();
+  c.reset();
+  SUCCEED();
+}
+
+// --- Chrome trace export ----------------------------------------------------
+
+TEST(TraceExportTest, RoundTripsThroughJsonWithContainerTracks) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::UnmodifiedSystemConfig());
+  kern.tracer().Enable();
+
+  kernel::Process* p = kern.CreateProcess("traced");
+  kern.SpawnThread(p, "t", [](kernel::Sys sys) -> kernel::Program {
+    co_await sys.Compute(500, rc::CpuKind::kUser);
+    co_await sys.Sleep(1000);
+    co_await sys.Compute(500, rc::CpuKind::kUser);
+  });
+  kern.cpu().QueueInterruptWork(123, nullptr, nullptr);
+  simr.RunUntil(sim::Msec(100));
+
+  std::ostringstream os;
+  WriteChromeTrace(kern.tracer(), ContainerNamesFrom(kern.containers()), os);
+  auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->StringOr("displayTimeUnit", ""), "ms");
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  const kernel::Tracer& t = kern.tracer();
+  const std::size_t want_complete = t.CountOf(kernel::TraceKind::kSlice) +
+                                    t.CountOf(kernel::TraceKind::kPreempt) +
+                                    t.CountOf(kernel::TraceKind::kInterrupt);
+  const std::size_t want_instant = t.CountOf(kernel::TraceKind::kDispatch) +
+                                   t.CountOf(kernel::TraceKind::kBlock) +
+                                   t.CountOf(kernel::TraceKind::kWake) +
+                                   t.CountOf(kernel::TraceKind::kExit);
+  ASSERT_GT(want_complete, 0u);
+  ASSERT_GT(want_instant, 0u);
+
+  std::size_t complete = 0;
+  std::size_t instant = 0;
+  bool saw_container_track = false;
+  for (const JsonValue& e : events->array) {
+    const std::string ph = e.StringOr("ph", "");
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e.NumberOr("ts", -1), 0);
+      EXPECT_GE(e.NumberOr("dur", -1), 0);
+    } else if (ph == "i") {
+      ++instant;
+    } else if (ph == "M" && e.StringOr("name", "") == "thread_name") {
+      const JsonValue* cargs = e.Find("args");
+      ASSERT_NE(cargs, nullptr);
+      if (cargs->StringOr("name", "").find("traced") != std::string::npos) {
+        saw_container_track = true;
+        EXPECT_DOUBLE_EQ(e.NumberOr("tid", 0),
+                         static_cast<double>(p->default_container()->id()));
+      }
+    }
+  }
+  EXPECT_EQ(complete, want_complete);
+  EXPECT_EQ(instant, want_instant);
+  EXPECT_TRUE(saw_container_track);
+}
+
+// --- Kernel integration -----------------------------------------------------
+
+TEST(KernelTelemetryTest, ChargeCountersFollowAttribution) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::UnmodifiedSystemConfig());
+  Registry reg;
+  kern.AttachTelemetry(&reg);
+  kern.tracer().Enable();
+
+  kernel::Process* p = kern.CreateProcess("worker");
+  kern.SpawnThread(p, "t", [](kernel::Sys sys) -> kernel::Program {
+    co_await sys.Compute(1000, rc::CpuKind::kUser);
+    co_await sys.Compute(200, rc::CpuKind::kKernel);
+  });
+  simr.RunUntil(sim::Msec(100));
+
+  EXPECT_GE(reg.Value("rc.cpu.user_usec"), 1000.0);
+  EXPECT_GE(reg.Value("rc.cpu.kernel_usec"), 200.0);
+  // Every ring record also bumped the registry counter.
+  EXPECT_DOUBLE_EQ(reg.Value("kernel.trace.recorded"),
+                   static_cast<double>(kern.tracer().total_recorded()));
+  EXPECT_DOUBLE_EQ(reg.Value("rc.containers.live"),
+                   static_cast<double>(kern.containers().live_count()));
+}
+
+TEST(KernelTelemetryTest, DetachedKernelNeverTouchesRegistry) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::UnmodifiedSystemConfig());
+  Registry reg;  // never attached
+
+  kernel::Process* p = kern.CreateProcess("worker");
+  kern.SpawnThread(p, "t", [](kernel::Sys sys) -> kernel::Program {
+    co_await sys.Compute(1000, rc::CpuKind::kUser);
+  });
+  simr.RunUntil(sim::Msec(100));
+
+  EXPECT_EQ(reg.total_allocations(), 0u);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(KernelTelemetryTest, DisabledRegistryFreezesCountersWithoutAllocating) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::UnmodifiedSystemConfig());
+  Registry reg;
+  kern.AttachTelemetry(&reg);
+  const std::uint64_t allocations_after_attach = reg.total_allocations();
+  reg.set_enabled(false);
+
+  kernel::Process* p = kern.CreateProcess("worker");
+  kern.SpawnThread(p, "t", [](kernel::Sys sys) -> kernel::Program {
+    co_await sys.Compute(1000, rc::CpuKind::kUser);
+  });
+  simr.RunUntil(sim::Msec(100));
+
+  EXPECT_DOUBLE_EQ(reg.Value("rc.cpu.user_usec"), 0.0);
+  EXPECT_EQ(reg.total_allocations(), allocations_after_attach);
+
+  // Detach restores the fully-free path.
+  kern.AttachTelemetry(nullptr);
+  EXPECT_EQ(kern.telemetry_registry(), nullptr);
+}
+
+// --- Bench artifacts --------------------------------------------------------
+
+TEST(BenchReportTest, ScansArgvAndWritesParsableJson) {
+  const char* argv_c[] = {"bench", "--other=1", "--metrics-out=/tmp/out.json"};
+  BenchReport report("demo", 3, const_cast<char**>(argv_c));
+  EXPECT_TRUE(report.requested());
+  EXPECT_EQ(report.path(), "/tmp/out.json");
+
+  report.Add("throughput", 2954.5, "req/s", "clients=24");
+  report.Add("latency", 0.338, "ms", "clients=24");
+
+  std::ostringstream os;
+  report.WriteJson(os);
+  auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_EQ(doc->array.size(), 2u);
+  EXPECT_EQ(doc->array[0].StringOr("metric", ""), "throughput");
+  EXPECT_DOUBLE_EQ(doc->array[0].NumberOr("value", 0), 2954.5);
+  EXPECT_EQ(doc->array[0].StringOr("unit", ""), "req/s");
+  EXPECT_EQ(doc->array[1].StringOr("config", ""), "clients=24");
+}
+
+TEST(BenchReportTest, DefaultsPathAndStaysQuietWhenNotRequested) {
+  const char* with_flag[] = {"bench", "--metrics-out"};
+  BenchReport on("demo", 2, const_cast<char**>(with_flag));
+  EXPECT_TRUE(on.requested());
+  EXPECT_EQ(on.path(), "BENCH_demo.json");
+
+  const char* without[] = {"bench"};
+  BenchReport off("demo", 1, const_cast<char**>(without));
+  EXPECT_FALSE(off.requested());
+  off.Add("m", 1, "", "");
+  EXPECT_TRUE(off.Flush());  // no-op, still succeeds
+}
+
+}  // namespace
+}  // namespace telemetry

@@ -22,12 +22,21 @@
 //   --defend                     adaptive SYN-flood filter defense
 //   --warmup=S --seconds=S       warm-up / measured simulated seconds
 //   --csv                        machine-readable output
+//   --metrics-out[=FILE]         write headline metrics as BENCH_rcsim.json
+//   --trace-out=FILE             record the kernel tracer and export the run
+//                                as Chrome trace-event JSON (chrome://tracing)
+//   --series-out=FILE            per-container usage time series (JSON Lines)
+//   --epoch-ms=N                 sampling interval for --series-out (default 100)
+//   --print-metrics              dump the full metric registry after the run
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "src/telemetry/bench_io.h"
+#include "src/telemetry/trace_export.h"
 #include "src/xp/scenario.h"
 #include "src/xp/table.h"
 
@@ -48,6 +57,10 @@ struct Flags {
   double warmup = 2.0;
   double seconds = 5.0;
   bool csv = false;
+  std::string trace_out;
+  std::string series_out;
+  int epoch_ms = 100;
+  bool print_metrics = false;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -99,6 +112,16 @@ int main(int argc, char** argv) {
       flags.seconds = std::atof(value.c_str());
     } else if (std::strcmp(a, "--csv") == 0) {
       flags.csv = true;
+    } else if (std::strncmp(a, "--metrics-out", 13) == 0) {
+      // Consumed by BenchReport, which scans argv itself.
+    } else if (ParseFlag(a, "--trace-out", &value)) {
+      flags.trace_out = value;
+    } else if (ParseFlag(a, "--series-out", &value)) {
+      flags.series_out = value;
+    } else if (ParseFlag(a, "--epoch-ms", &value)) {
+      flags.epoch_ms = std::atoi(value.c_str());
+    } else if (std::strcmp(a, "--print-metrics") == 0) {
+      flags.print_metrics = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return Usage();
@@ -121,6 +144,15 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  if (flags.epoch_ms <= 0) {
+    std::fprintf(stderr, "--epoch-ms must be positive\n");
+    return Usage();
+  }
+  if (!flags.series_out.empty() || flags.print_metrics) {
+    options.telemetry = true;
+    options.telemetry_interval = sim::Msec(flags.epoch_ms);
+  }
+
   httpd::ServerConfig& server = options.server_config;
   server.use_containers = flags.containers;
   server.use_event_api = flags.event_api || flags.defend;
@@ -131,6 +163,9 @@ int main(int argc, char** argv) {
   }
 
   xp::Scenario scenario(options);
+  if (!flags.trace_out.empty()) {
+    scenario.kernel().tracer().Enable();
+  }
   scenario.cache().AddDocument(2, flags.doc_bytes);
   scenario.StartServer();
 
@@ -186,6 +221,52 @@ int main(int argc, char** argv) {
                      static_cast<double>(cpu1.at - cpu0.at);
   const double cgi_share =
       static_cast<double>(cgi1 - cgi0) / static_cast<double>(cpu1.at - cpu0.at);
+
+  if (!flags.trace_out.empty()) {
+    std::ofstream os(flags.trace_out);
+    telemetry::WriteChromeTrace(scenario.kernel().tracer(),
+                                telemetry::ContainerNamesFrom(scenario.kernel().containers()),
+                                os);
+    if (!os) {
+      std::fprintf(stderr, "failed to write %s\n", flags.trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!flags.series_out.empty()) {
+    std::ofstream os(flags.series_out);
+    scenario.sampler()->WriteJsonLines(os);
+    if (!os) {
+      std::fprintf(stderr, "failed to write %s\n", flags.series_out.c_str());
+      return 1;
+    }
+  }
+
+  telemetry::BenchReport bench("rcsim", argc, argv);
+  {
+    std::string config = "kernel=" + flags.kernel +
+                         ",clients=" + std::to_string(flags.clients) +
+                         ",persistent=" + std::to_string(flags.persistent);
+    if (flags.cgi > 0) config += ",cgi=" + std::to_string(flags.cgi);
+    if (flags.flood > 0) {
+      config += ",flood=" + std::to_string(static_cast<long>(flags.flood));
+    }
+    bench.Add("throughput", tput, "req/s", config);
+    bench.Add("mean_latency", mean_ms, "ms", config);
+    bench.Add("cpu_busy_frac", busy, "fraction", config);
+    bench.Add("interrupt_frac", irq, "fraction", config);
+    if (flags.cgi > 0) bench.Add("cgi_cpu_share", cgi_share, "fraction", config);
+    bench.Add("client_timeouts", static_cast<double>(timeouts), "count", config);
+    bench.Add("client_failures", static_cast<double>(failures), "count", config);
+    if (!bench.Flush()) {
+      std::fprintf(stderr, "failed to write %s\n", bench.path().c_str());
+      return 1;
+    }
+  }
+
+  if (flags.print_metrics) {
+    xp::MetricsTable(scenario.metrics()).Print(std::cout);
+    std::printf("\n");
+  }
 
   if (flags.csv) {
     std::printf("throughput,mean_ms,cpu_busy,interrupt,cgi_share,timeouts,failures\n");
