@@ -1,0 +1,303 @@
+// SMP scaling — throughput vs CPU count, and machine-wide fixed shares.
+//
+// The paper's prototype is a uniprocessor; this bench exercises the
+// simulator's SMP extension (per-CPU run queues + interrupt steering,
+// DESIGN.md Section 4) and answers two questions:
+//
+//  1. Scaling: how does aggregate throughput grow with CPUs for (a) one
+//     single-threaded event-driven server instance per CPU and (b) one
+//     multi-threaded server whose worker pool spreads across CPUs by idle
+//     stealing? Interrupts are flow-hash steered (RSS-style), so protocol
+//     processing parallelizes with the application.
+//  2. Share accuracy: do the Section 5.8 fixed shares (50/30/20) hold
+//     machine-wide on 4 CPUs? Guest threads are spawned interleaved so every
+//     per-CPU queue holds all three guests (the placement rule of
+//     DESIGN.md Section 4); usage broadcasting then makes each guest's
+//     *machine-wide* consumption track its share.
+//
+// Flags: --cpus=1,2,4,8 (CPU counts to sweep; CI smoke uses --cpus=1,4),
+//        --seconds=N (measurement window per point), --metrics-out[=file].
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/httpd/event_server.h"
+#include "src/httpd/threaded_server.h"
+#include "src/telemetry/bench_io.h"
+#include "src/load/http_client.h"
+#include "src/load/wire.h"
+#include "src/xp/table.h"
+
+namespace {
+
+constexpr int kClientsPerCpu = 24;  // saturates one CPU at connection/request
+
+struct ScaleResult {
+  double throughput = 0;   // aggregate req/s
+  double busy_cpus = 0;    // machine busy time / wall time (units of CPUs)
+  std::uint64_t steals = 0;
+};
+
+kernel::Program Spinner(kernel::Sys sys) {
+  while (true) {
+    co_await sys.Compute(100, rc::CpuKind::kUser);
+  }
+}
+
+ScaleResult Measure(sim::Simulator& simr, kernel::Kernel& kern,
+                    std::vector<std::unique_ptr<load::HttpClient>>& clients,
+                    sim::Duration measure) {
+  sim::SimTime at = 0;
+  for (auto& c : clients) {
+    c->Start(at);
+    at += sim::Msec(1);  // staggered, as in xp::Scenario
+  }
+  simr.RunUntil(sim::Sec(1));  // warm-up
+  for (auto& c : clients) {
+    c->ResetStats();
+  }
+  const sim::SimTime t0 = simr.now();
+  const sim::Duration busy0 = kern.smp().busy_usec();
+  simr.RunUntil(t0 + measure);
+  const sim::SimTime t1 = simr.now();
+
+  ScaleResult r;
+  std::uint64_t completed = 0;
+  for (auto& c : clients) {
+    completed += c->completed();
+  }
+  r.throughput = static_cast<double>(completed) / sim::ToSeconds(t1 - t0);
+  r.busy_cpus = static_cast<double>(kern.smp().busy_usec() - busy0) /
+                static_cast<double>(t1 - t0);
+  if (kern.sharded_scheduler() != nullptr) {
+    r.steals = kern.sharded_scheduler()->steals();
+  }
+  return r;
+}
+
+// One single-threaded event-driven server instance per CPU (ports 80+i),
+// kClientsPerCpu closed-loop clients each.
+ScaleResult RunEventDriven(int cpus, sim::Duration measure) {
+  sim::Simulator simr;
+  kernel::KernelConfig kcfg = kernel::UnmodifiedSystemConfig();
+  kcfg.cpus = cpus;
+  kcfg.irq_steering = kernel::IrqSteering::kFlowHash;
+  kernel::Kernel kern(&simr, kcfg);
+  load::Wire wire(&simr, &kern);
+  kern.Start();
+
+  httpd::FileCache cache;
+  cache.AddDocument(1, 1024);
+
+  std::vector<std::unique_ptr<httpd::EventDrivenServer>> servers;
+  std::vector<std::unique_ptr<load::HttpClient>> clients;
+  std::uint32_t client_id = 1;
+  for (int i = 0; i < cpus; ++i) {
+    httpd::ServerConfig scfg;
+    scfg.port = static_cast<std::uint16_t>(80 + i);
+    auto server = std::make_unique<httpd::EventDrivenServer>(&kern, &cache, scfg);
+    server->Start();
+    servers.push_back(std::move(server));
+    for (int c = 0; c < kClientsPerCpu; ++c) {
+      load::HttpClient::Config ccfg;
+      ccfg.addr = net::Addr{net::MakeAddr(10, static_cast<unsigned>(1 + i), 0, 0).v +
+                            static_cast<std::uint32_t>(c) + 1};
+      ccfg.server_port = scfg.port;
+      clients.push_back(
+          std::make_unique<load::HttpClient>(&simr, &wire, client_id++, ccfg));
+    }
+  }
+  return Measure(simr, kern, clients, measure);
+}
+
+// One multi-threaded server (16-worker pool, port 80); offered load grows
+// with the machine. Workers have no static placement — idle CPUs steal them.
+ScaleResult RunThreadPool(int cpus, sim::Duration measure) {
+  sim::Simulator simr;
+  kernel::KernelConfig kcfg = kernel::UnmodifiedSystemConfig();
+  kcfg.cpus = cpus;
+  kcfg.irq_steering = kernel::IrqSteering::kFlowHash;
+  kernel::Kernel kern(&simr, kcfg);
+  load::Wire wire(&simr, &kern);
+  kern.Start();
+
+  httpd::FileCache cache;
+  cache.AddDocument(1, 1024);
+
+  httpd::ServerConfig scfg;
+  scfg.worker_threads = 16;
+  httpd::MultiThreadedServer server(&kern, &cache, scfg);
+  server.Start();
+
+  std::vector<std::unique_ptr<load::HttpClient>> clients;
+  for (int c = 0; c < kClientsPerCpu * cpus; ++c) {
+    load::HttpClient::Config ccfg;
+    ccfg.addr = net::Addr{net::MakeAddr(10, 1, 0, 0).v + static_cast<std::uint32_t>(c) + 1};
+    clients.push_back(std::make_unique<load::HttpClient>(
+        &simr, &wire, static_cast<std::uint32_t>(c) + 1, ccfg));
+  }
+  return Measure(simr, kern, clients, measure);
+}
+
+// Section 5.8 machine-wide: three CPU-bound guests at 50/30/20 on 4 CPUs.
+void RunShares(telemetry::BenchReport& report, xp::Table& table, int cpus,
+               sim::Duration measure) {
+  sim::Simulator simr;
+  kernel::KernelConfig kcfg = kernel::ResourceContainerSystemConfig();
+  kcfg.cpus = cpus;
+  kernel::Kernel kern(&simr, kcfg);
+  kern.Start();
+
+  const double shares[3] = {0.50, 0.30, 0.20};
+  std::vector<rc::ContainerRef> guests;
+  for (int g = 0; g < 3; ++g) {
+    rc::Attributes attrs;
+    attrs.sched.cls = rc::SchedClass::kFixedShare;
+    attrs.sched.fixed_share = shares[g];
+    guests.push_back(
+        kern.containers().Create(nullptr, "guest" + std::to_string(g), attrs).value());
+  }
+  // Interleaved spawn (A,B,C,A,B,C,...), one thread per CPU per guest: the
+  // least-loaded home assignment then gives every per-CPU queue one thread
+  // of each guest, so shares hold without migration.
+  for (int round = 0; round < cpus; ++round) {
+    for (int g = 0; g < 3; ++g) {
+      kernel::Process* p = kern.CreateProcess(
+          "guest" + std::to_string(g) + ".t" + std::to_string(round), guests[g]);
+      kern.SpawnThread(p, "spin", [](kernel::Sys sys) { return Spinner(sys); });
+    }
+  }
+
+  simr.RunUntil(sim::Sec(1));  // let the stride state settle
+  std::vector<rc::ResourceUsage> usage0;
+  for (auto& g : guests) {
+    usage0.push_back(g->SubtreeUsage());
+  }
+  const sim::SimTime t0 = simr.now();
+  simr.RunUntil(t0 + measure);
+  const sim::SimTime t1 = simr.now();
+  // All CPUs are saturated: shares are of the whole machine.
+  const double machine = static_cast<double>(cpus) * static_cast<double>(t1 - t0);
+
+  for (int g = 0; g < 3; ++g) {
+    const double used = static_cast<double>(guests[g]->SubtreeUsage().TotalCpuUsec() -
+                                            usage0[g].TotalCpuUsec());
+    const double share = used / machine;
+    const std::string config = "smp-shares,cpus=" + std::to_string(cpus) + ",guest=" +
+                               std::to_string(g) + ",configured=" +
+                               xp::FormatDouble(shares[g], 2);
+    report.Add("measured_cpu_share", 100 * share, "percent", config);
+    report.Add("share_error", 100 * (share - shares[g]), "points", config);
+    table.AddRow({"shares cpus=" + std::to_string(cpus) + " guest" + std::to_string(g),
+                  xp::FormatDouble(100 * shares[g], 0) + "% of machine",
+                  xp::FormatDouble(100 * share, 1) + "%", "-", "-"});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("smp", argc, argv);
+
+  std::vector<int> cpu_counts = {1, 2, 4, 8};
+  sim::Duration measure = sim::Sec(3);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--cpus=", 7) == 0) {
+      cpu_counts.clear();
+      std::string list = arg + 7;
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        const int n = std::atoi(list.substr(pos, comma - pos).c_str());
+        if (n < 1) {
+          std::fprintf(stderr, "bad --cpus list: %s\n", arg);
+          return 2;
+        }
+        cpu_counts.push_back(n);
+        pos = comma + 1;
+      }
+    } else if (std::strncmp(arg, "--seconds=", 10) == 0) {
+      const int s = std::atoi(arg + 10);
+      if (s < 1) {
+        std::fprintf(stderr, "bad --seconds: %s\n", arg);
+        return 2;
+      }
+      measure = sim::Sec(s);
+    } else if (std::strncmp(arg, "--metrics-out", 13) != 0) {
+      std::fprintf(stderr,
+                   "usage: bench_smp [--cpus=1,2,4,8] [--seconds=N] "
+                   "[--metrics-out[=file]]\n");
+      return 2;
+    }
+  }
+
+  std::printf("=== SMP scaling: per-CPU run queues + flow-hash interrupt steering ===\n\n");
+
+  xp::Table table({"configuration", "load", "req/s or share", "CPUs busy", "speedup"});
+  double event_base = 0;
+  double pool_base = 0;
+
+  for (int cpus : cpu_counts) {
+    const ScaleResult ev = RunEventDriven(cpus, measure);
+    if (cpus == cpu_counts.front()) {
+      event_base = ev.throughput / cpus;  // per-CPU baseline
+    }
+    const double speedup = event_base > 0 ? ev.throughput / event_base : 0;
+    std::string config = "event-driven,instances=" + std::to_string(cpus) +
+                         ",clients=" + std::to_string(kClientsPerCpu) +
+                         "/instance,cpus=" + std::to_string(cpus);
+    report.Add("throughput", ev.throughput, "req/s", config);
+    report.Add("cpu_busy", ev.busy_cpus, "cpus", config);
+    report.Add("speedup", speedup, "x", config);
+    table.AddRow({"event-driven cpus=" + std::to_string(cpus),
+                  std::to_string(cpus) + "x" + std::to_string(kClientsPerCpu) + " clients",
+                  xp::FormatDouble(ev.throughput, 0), xp::FormatDouble(ev.busy_cpus, 2),
+                  xp::FormatDouble(speedup, 2) + "x"});
+
+    const ScaleResult tp = RunThreadPool(cpus, measure);
+    if (cpus == cpu_counts.front()) {
+      pool_base = tp.throughput / cpus;
+    }
+    const double tp_speedup = pool_base > 0 ? tp.throughput / pool_base : 0;
+    config = "thread-pool,workers=16,clients=" +
+             std::to_string(kClientsPerCpu * cpus) + ",cpus=" + std::to_string(cpus);
+    report.Add("throughput", tp.throughput, "req/s", config);
+    report.Add("cpu_busy", tp.busy_cpus, "cpus", config);
+    report.Add("speedup", tp_speedup, "x", config);
+    report.Add("steals", static_cast<double>(tp.steals), "count", config);
+    table.AddRow({"thread-pool cpus=" + std::to_string(cpus),
+                  std::to_string(kClientsPerCpu * cpus) + " clients",
+                  xp::FormatDouble(tp.throughput, 0), xp::FormatDouble(tp.busy_cpus, 2),
+                  xp::FormatDouble(tp_speedup, 2) + "x"});
+  }
+
+  // Machine-wide fixed shares on the largest multi-CPU point (4 preferred).
+  int share_cpus = 0;
+  for (int cpus : cpu_counts) {
+    if (cpus > 1 && (share_cpus == 0 || cpus == 4)) {
+      share_cpus = cpus;
+    }
+  }
+  if (share_cpus > 0) {
+    RunShares(report, table, share_cpus, measure);
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nevent-driven: one single-threaded instance per CPU; speedup is vs the\n"
+      "per-CPU baseline of the first point. shares: 50/30/20 of the whole\n"
+      "machine (Section 5.8 semantics, machine-wide on SMP).\n");
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
+  return 0;
+}

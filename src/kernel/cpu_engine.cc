@@ -8,8 +8,13 @@
 
 namespace kernel {
 
-CpuEngine::CpuEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs)
-    : simr_(simulator), kernel_(kernel), costs_(costs), start_(simulator->now()) {}
+CpuEngine::CpuEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs,
+                     int cpu_id)
+    : simr_(simulator),
+      kernel_(kernel),
+      costs_(costs),
+      cpu_id_(cpu_id),
+      created_at_(simulator->now()) {}
 
 void CpuEngine::QueueInterruptWork(sim::Duration cost, rc::ContainerRef charge_to,
                                    std::function<void()> fn) {
@@ -43,7 +48,7 @@ rc::ContainerRef CpuEngine::CurrentContainer() const {
 }
 
 sim::Duration CpuEngine::idle_usec() const {
-  return (simr_->now() - start_) - busy_usec_;
+  return (simr_->now() - created_at_) - busy_usec_;
 }
 
 void CpuEngine::MaybeDispatch() {
@@ -70,7 +75,8 @@ void CpuEngine::StartInterrupt() {
   completion_ = simr_->After(item.cost, [this, item = std::move(item)]() mutable {
     busy_usec_ += item.cost;
     kernel_->tracer().Record(simr_->now(), TraceKind::kInterrupt, 0,
-                             item.charge_to ? item.charge_to->id() : 0, item.cost);
+                             item.charge_to ? item.charge_to->id() : 0, item.cost,
+                             cpu_id_);
     if (item.charge_to) {
       kernel_->ChargeCpu(*item.charge_to, item.cost, rc::CpuKind::kNetwork);
     } else {
@@ -95,7 +101,7 @@ void CpuEngine::RunThread(Thread* t, bool fresh) {
                              t->binding().resource_binding()
                                  ? t->binding().resource_binding()->id()
                                  : 0,
-                             0);
+                             0, cpu_id_);
   }
   while (true) {
     if (t->cpu_demand > 0) {
@@ -148,7 +154,7 @@ void CpuEngine::RunThread(Thread* t, bool fresh) {
     RC_CHECK(false);
   }
   // Blocked.
-  kernel_->tracer().Record(simr_->now(), TraceKind::kBlock, t->id(), 0, 0);
+  kernel_->tracer().Record(simr_->now(), TraceKind::kBlock, t->id(), 0, 0, cpu_id_);
   running_ = nullptr;
   state_ = CpuState::kIdle;
   MaybeDispatch();
@@ -170,7 +176,7 @@ void CpuEngine::OnSliceComplete() {
                            running_->binding().resource_binding()
                                ? running_->binding().resource_binding()->id()
                                : 0,
-                           slice_overhead_ + slice_work_);
+                           slice_overhead_ + slice_work_, cpu_id_);
   SettleSlice(slice_overhead_ + slice_work_);
   Thread* t = running_;
   running_ = nullptr;
@@ -195,7 +201,7 @@ void CpuEngine::PreemptSlice() {
                            running_->binding().resource_binding()
                                ? running_->binding().resource_binding()->id()
                                : 0,
-                           consumed);
+                           consumed, cpu_id_);
   SettleSlice(consumed);
   Thread* t = running_;
   running_ = nullptr;

@@ -1,7 +1,7 @@
-// The simulated CPU.
+// One simulated CPU.
 //
-// A single processor (matching the paper's uniprocessor server) executes, in
-// strict priority order:
+// A processor (one of the SmpEngine's N, or the whole machine when N = 1, as
+// on the paper's uniprocessor server) executes, in strict priority order:
 //   1. interrupt-level work (device interrupts, and in softint mode the full
 //      protocol processing) — always preempts threads;
 //   2. thread CPU slices, chosen by the pluggable CpuScheduler.
@@ -28,9 +28,12 @@ class Kernel;
 
 class CpuEngine {
  public:
-  CpuEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs);
+  CpuEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs,
+            int cpu_id = 0);
 
   void set_scheduler(CpuScheduler* sched) { sched_ = sched; }
+
+  int cpu_id() const { return cpu_id_; }
 
   // Queues interrupt-level work: `cost` microseconds consumed at interrupt
   // priority, then `fn` applied. `charge_to` null means the time is machine
@@ -49,11 +52,16 @@ class CpuEngine {
   // Container of the currently running thread, for unlucky-principal capture.
   rc::ContainerRef CurrentContainer() const;
 
-  // --- Machine-wide accounting -------------------------------------------
+  // --- Per-CPU accounting -------------------------------------------------
   sim::Duration interrupt_usec() const { return interrupt_usec_; }
   sim::Duration context_switch_usec() const { return csw_usec_; }
   sim::Duration busy_usec() const { return busy_usec_; }
-  // Idle time since engine creation (assumes creation at sim time start_).
+  // When this engine came online; busy/idle accounting starts here, so an
+  // engine created (hot-plugged) after t=0 reports no phantom idle time for
+  // the interval before it existed.
+  sim::SimTime created_at() const { return created_at_; }
+  // Idle time since the engine came online: busy_usec() + idle_usec() always
+  // equals now - created_at(), whatever the creation time.
   sim::Duration idle_usec() const;
 
  private:
@@ -86,6 +94,7 @@ class CpuEngine {
   sim::Simulator* const simr_;
   Kernel* const kernel_;
   const CostModel* const costs_;
+  const int cpu_id_;
   CpuScheduler* sched_ = nullptr;
 
   CpuState state_ = CpuState::kIdle;
@@ -105,7 +114,7 @@ class CpuEngine {
   sim::EventHandle retry_;
   sim::SimTime retry_time_ = 0;
 
-  const sim::SimTime start_;
+  const sim::SimTime created_at_;
   sim::Duration interrupt_usec_ = 0;
   sim::Duration csw_usec_ = 0;
   sim::Duration busy_usec_ = 0;

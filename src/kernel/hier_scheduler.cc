@@ -16,24 +16,43 @@ constexpr double kResidualFloor = 0.02;
 
 HierarchicalScheduler::HierarchicalScheduler(rc::ContainerManager* manager,
                                              double decay_per_tick,
-                                             sim::Duration limit_window)
-    : manager_(manager), decay_(decay_per_tick), limit_window_(limit_window) {}
+                                             sim::Duration limit_window,
+                                             int capacity_cpus,
+                                             bool cache_in_container)
+    : manager_(manager),
+      decay_(decay_per_tick),
+      limit_window_(limit_window),
+      capacity_cpus_(capacity_cpus),
+      cache_in_container_(cache_in_container) {}
 
 HierarchicalScheduler::Node* HierarchicalScheduler::NodeFor(rc::ResourceContainer& c) {
-  if (c.sched_cookie() != nullptr) {
-    return static_cast<Node*>(c.sched_cookie());
+  if (cache_in_container_) {
+    if (c.sched_cookie() != nullptr) {
+      return static_cast<Node*>(c.sched_cookie());
+    }
+  } else {
+    auto it = nodes_.find(c.id());
+    if (it != nodes_.end()) {
+      return it->second.get();
+    }
   }
   auto node = std::make_unique<Node>();
   node->container = &c;
   Node* raw = node.get();
-  c.set_sched_cookie(raw);
+  if (cache_in_container_) {
+    c.set_sched_cookie(raw);
+  }
   nodes_[c.id()] = std::move(node);
   return raw;
 }
 
 HierarchicalScheduler::Node* HierarchicalScheduler::NodeForIfExists(
     const rc::ResourceContainer& c) const {
-  return static_cast<Node*>(c.sched_cookie());
+  if (cache_in_container_) {
+    return static_cast<Node*>(c.sched_cookie());
+  }
+  auto it = nodes_.find(c.id());
+  return it == nodes_.end() ? nullptr : it->second.get();
 }
 
 double HierarchicalScheduler::ResidualWeight(const rc::ResourceContainer& parent) {
@@ -208,19 +227,10 @@ void HierarchicalScheduler::OnCharge(rc::ResourceContainer& c, sim::Duration use
       }
     }
 
-    // CPU-limit window.
+    // CPU-limit window, budgeted against the whole machine's capacity.
     const double limit = p->attributes().cpu_limit;
     if (limit > 0.0) {
-      if (now - n->window_start >= limit_window_) {
-        n->window_start = now;
-        n->window_usage = 0;
-      }
-      n->window_usage += usec;
-      const auto budget =
-          static_cast<sim::Duration>(limit * static_cast<double>(limit_window_));
-      if (n->window_usage > budget) {
-        n->throttled_until = n->window_start + limit_window_;
-      }
+      n->window.Charge(usec, now, limit, limit_window_, capacity_cpus_);
     }
   }
 }
@@ -257,9 +267,9 @@ void HierarchicalScheduler::Tick(sim::SimTime /*now*/) {
 std::optional<sim::SimTime> HierarchicalScheduler::NextEligibleTime(sim::SimTime now) {
   std::optional<sim::SimTime> earliest;
   for (const auto& [id, node] : nodes_) {
-    if (node->runnable > 0 && node->throttled_until > now) {
-      if (!earliest.has_value() || node->throttled_until < *earliest) {
-        earliest = node->throttled_until;
+    if (node->runnable > 0 && node->window.throttled_until > now) {
+      if (!earliest.has_value() || node->window.throttled_until < *earliest) {
+        earliest = node->window.throttled_until;
       }
     }
   }
@@ -274,7 +284,9 @@ void HierarchicalScheduler::OnContainerDestroyed(rc::ResourceContainer& c) {
   // Threads hold refs to their binding containers, so a container with
   // queued threads can never be destroyed.
   RC_CHECK(n->run_queue.empty());
-  c.set_sched_cookie(nullptr);
+  if (cache_in_container_) {
+    c.set_sched_cookie(nullptr);
+  }
   nodes_.erase(c.id());
 }
 

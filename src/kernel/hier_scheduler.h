@@ -37,8 +37,15 @@ namespace kernel {
 
 class HierarchicalScheduler : public CpuScheduler {
  public:
+  // `capacity_cpus` scales CPU-limit budgets to the machine size (a window of
+  // length W holds capacity_cpus * W of CPU), so limits stay fractions of the
+  // whole machine under SMP. `cache_in_container` lets the scheduler stash
+  // its per-container Node in the container's sched_cookie (fast path, valid
+  // only for a single instance); per-CPU shards must pass false, since N
+  // instances share one container tree and would clobber each other's cookie.
   HierarchicalScheduler(rc::ContainerManager* manager, double decay_per_tick,
-                        sim::Duration limit_window);
+                        sim::Duration limit_window, int capacity_cpus = 1,
+                        bool cache_in_container = true);
 
   void Enqueue(Thread* t, sim::SimTime now) override;
   Thread* PickNext(sim::SimTime now) override;
@@ -69,10 +76,8 @@ class HierarchicalScheduler : public CpuScheduler {
     double vtime = 0.0;
     int tshare_runnable_children = 0;
 
-    // CPU-limit window state.
-    sim::Duration window_usage = 0;
-    sim::SimTime window_start = 0;
-    sim::SimTime throttled_until = 0;
+    // CPU-limit window state (machine-wide; see rc::UsageWindow).
+    rc::UsageWindow window;
 
     // Runnable threads queued at this node (leaves only, normally).
     std::deque<Thread*> run_queue;
@@ -83,7 +88,7 @@ class HierarchicalScheduler : public CpuScheduler {
   Node* NodeFor(rc::ResourceContainer& c);
   Node* NodeForIfExists(const rc::ResourceContainer& c) const;
   bool Throttled(const Node& n, sim::SimTime now) const {
-    return n.throttled_until > now;
+    return n.window.Throttled(now);
   }
 
   // Residual weight left for the time-share group under `parent`.
@@ -102,6 +107,8 @@ class HierarchicalScheduler : public CpuScheduler {
   rc::ContainerManager* const manager_;
   const double decay_;
   const sim::Duration limit_window_;
+  const int capacity_cpus_;
+  const bool cache_in_container_;
   std::unordered_map<rc::ContainerId, std::unique_ptr<Node>> nodes_;
   int total_runnable_ = 0;
 };

@@ -33,30 +33,49 @@ KernelConfig ResourceContainerSystemConfig() {
 
 Kernel::Kernel(sim::Simulator* simulator, KernelConfig config)
     : simr_(simulator), config_(config) {
-  switch (config_.sched) {
-    case SchedulerKind::kDecayUsage:
-      sched_ = std::make_unique<DecayUsageScheduler>(config_.costs.decay_per_tick);
-      break;
-    case SchedulerKind::kHierarchical:
-      sched_ = std::make_unique<HierarchicalScheduler>(
-          &containers_, config_.costs.decay_per_tick, config_.costs.limit_window);
-      break;
+  const int ncpus = std::max(1, config_.cpus);
+  config_.cpus = ncpus;
+  // One policy instance per CPU; on a uniprocessor the single instance is
+  // wired directly to the engine (no sharding layer on the hot path).
+  auto make_policy = [this, ncpus]() -> std::unique_ptr<CpuScheduler> {
+    switch (config_.sched) {
+      case SchedulerKind::kDecayUsage:
+        return std::make_unique<DecayUsageScheduler>(config_.costs.decay_per_tick);
+      case SchedulerKind::kHierarchical:
+        return std::make_unique<HierarchicalScheduler>(
+            &containers_, config_.costs.decay_per_tick, config_.costs.limit_window,
+            /*capacity_cpus=*/ncpus, /*cache_in_container=*/ncpus == 1);
+    }
+    return nullptr;
+  };
+  if (ncpus == 1) {
+    sched_ = make_policy();
+    active_sched_ = sched_.get();
+  } else {
+    sharded_ = std::make_unique<ShardedScheduler>(ncpus, make_policy);
+    active_sched_ = sharded_.get();
   }
-  cpu_ = std::make_unique<CpuEngine>(simr_, this, &config_.costs);
-  cpu_->set_scheduler(sched_.get());
+  smp_ = std::make_unique<SmpEngine>(simr_, this, &config_.costs, ncpus,
+                                     config_.irq_steering);
+  for (int i = 0; i < ncpus; ++i) {
+    smp_->engine(i).set_scheduler(ncpus == 1 ? active_sched_ : sharded_->ViewFor(i));
+  }
+  if (sharded_ != nullptr) {
+    sharded_->set_poke([this](int cpu) { smp_->engine(cpu).Poke(); });
+  }
   stack_ = std::make_unique<net::Stack>(this, config_.costs.ToStackCosts(),
                                         config_.net_mode);
   disk_ = std::make_unique<disk::DiskEngine>(simr_, config_.disk_costs);
   containers_.AddDestroyObserver([this](rc::ResourceContainer& c) {
     if (!shutting_down_) {
-      sched_->OnContainerDestroyed(c);
+      active_sched_->OnContainerDestroyed(c);
     }
   });
   containers_.AddReparentObserver(
       [this](rc::ResourceContainer& child, rc::ResourceContainer* old_parent,
              rc::ResourceContainer* new_parent) {
         if (!shutting_down_) {
-          sched_->OnContainerReparented(child, old_parent, new_parent);
+          active_sched_->OnContainerReparented(child, old_parent, new_parent);
         }
       });
 }
@@ -86,7 +105,7 @@ void Kernel::Stop() {
 
 void Kernel::ScheduleTick() {
   tick_timer_ = simr_->After(config_.costs.decay_tick, [this] {
-    sched_->Tick(simr_->now());
+    active_sched_->Tick(simr_->now());
     if (running_) {
       ScheduleTick();
     }
@@ -140,14 +159,14 @@ Thread* Kernel::SpawnThread(Process* process, std::string name,
   t->frame.promise().thread = t;
   t->pending_resume = t->frame;  // first dispatch starts the body
   t->MarkRunnable();
-  sched_->Enqueue(t, now());
-  cpu_->Poke();
+  active_sched_->Enqueue(t, now());
+  PokeCpus();
   return t;
 }
 
 void Kernel::ReapThread(Thread* t) {
   tracer_.Record(simr_->now(), TraceKind::kExit, t->id(), 0, 0);
-  sched_->Remove(t);
+  active_sched_->Remove(t);
   Process* p = t->process();
   p->reaped_executed_usec += t->executed_usec();
   if (p->net_thread == t) {
@@ -212,7 +231,30 @@ void Kernel::ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind
   if (telemetry_ != nullptr) {
     charge_counters_[static_cast<int>(kind)]->Add(static_cast<std::uint64_t>(usec));
   }
-  sched_->OnCharge(c, usec, simr_->now());
+  active_sched_->OnCharge(c, usec, simr_->now());
+}
+
+rccommon::Expected<void> Kernel::SetThreadAffinity(Thread* t, int cpu) {
+  if (cpu < -1 || cpu >= smp_->cpus()) {
+    return rccommon::MakeUnexpected(rccommon::Errc::kInvalidArgument);
+  }
+  t->pinned_cpu = cpu;
+  if (cpu < 0) {
+    return {};  // unpinned; the thread keeps its current home
+  }
+  if (t->state() == Thread::State::kRunnable && t->home_cpu != cpu) {
+    // Queued on another shard: move it now so the pin takes effect before
+    // the next dispatch.
+    active_sched_->Remove(t);
+    t->home_cpu = cpu;
+    active_sched_->Enqueue(t, now());
+    PokeCpus();
+  } else {
+    // Running or blocked: not in any queue. The next enqueue (slice end or
+    // wake-up) routes to the pinned CPU via HomeFor.
+    t->home_cpu = cpu;
+  }
+  return {};
 }
 
 sim::Duration Kernel::TotalChargedCpuUsec() const {
@@ -234,21 +276,26 @@ sim::Duration Kernel::ExecutedUsecForName(const std::string& name) const {
 }
 
 void Kernel::DeliverFromWire(const net::Packet& p) {
+  // Interrupt steering: the chosen CPU takes the device interrupt AND any
+  // protocol processing queued behind it, so softint misaccounting and
+  // livelock reproduce per-CPU.
+  CpuEngine* eng = &smp_->SteerFor(p);
   // Softint misaccounting: protocol processing will be charged to whoever is
-  // running right now (captured here, at device-interrupt time).
+  // running right now on the interrupted CPU (captured here, at
+  // device-interrupt time).
   rc::ContainerRef unlucky;
   sim::Duration irq_cost = config_.costs.irq_overhead;
   if (config_.net_mode == net::NetMode::kSoftint) {
-    unlucky = cpu_->CurrentContainer();
+    unlucky = eng->CurrentContainer();
   } else {
     irq_cost += config_.costs.packet_filter;  // early demux at interrupt level
   }
-  cpu_->QueueInterruptWork(irq_cost, nullptr, [this, p, unlucky] {
+  eng->QueueInterruptWork(irq_cost, nullptr, [this, p, unlucky, eng] {
     auto work = stack_->HandleArrival(p);
     if (work.has_value()) {
       // Softint mode: protocol processing runs now, at interrupt priority.
       rc::ContainerRef charge = work->charge_to ? work->charge_to : unlucky;
-      cpu_->QueueInterruptWork(work->cost, std::move(charge), std::move(work->apply));
+      eng->QueueInterruptWork(work->cost, std::move(charge), std::move(work->apply));
     }
   });
 }
@@ -464,7 +511,7 @@ void Kernel::NotifyPendingNetWork(std::uint64_t owner_tag) {
     const int cur_prio = cur ? cur->attributes().EffectiveNetworkPriority() : 0;
     if (top->attributes().EffectiveNetworkPriority() > cur_prio) {
       nt->set_sched_hint(top);
-      sched_->MigrateQueued(nt, simr_->now());
+      active_sched_->MigrateQueued(nt, simr_->now());
     }
   }
 }

@@ -17,8 +17,11 @@
 #include "src/kernel/cpu_engine.h"
 #include "src/kernel/process.h"
 #include "src/kernel/scheduler.h"
+#include "src/kernel/sharded_scheduler.h"
+#include "src/kernel/smp_engine.h"
 #include "src/kernel/thread.h"
 #include "src/kernel/trace.h"
+#include "src/common/expected.h"
 #include "src/net/stack.h"
 #include "src/rc/manager.h"
 #include "src/sim/simulator.h"
@@ -36,6 +39,12 @@ enum class SchedulerKind {
 struct KernelConfig {
   net::NetMode net_mode = net::NetMode::kSoftint;
   SchedulerKind sched = SchedulerKind::kDecayUsage;
+  // Number of simulated CPUs. 1 reproduces the paper's uniprocessor exactly;
+  // N > 1 shards the run queue per CPU (shares and limits stay machine-wide).
+  int cpus = 1;
+  // Which CPU device interrupts (and trailing protocol work) land on. Only
+  // meaningful when cpus > 1.
+  IrqSteering irq_steering = IrqSteering::kFlowHash;
   CostModel costs;
   disk::DiskCosts disk_costs;
 };
@@ -57,8 +66,12 @@ class Kernel : public net::StackEnv {
   rc::ContainerManager& containers() { return containers_; }
   net::Stack& stack() { return *stack_; }
   disk::DiskEngine& disk() { return *disk_; }
-  CpuEngine& cpu() { return *cpu_; }
-  CpuScheduler& scheduler() { return *sched_; }
+  // The multiprocessor, and (for uniprocessor-era call sites) CPU 0.
+  SmpEngine& smp() { return *smp_; }
+  CpuEngine& cpu() { return smp_->engine(0); }
+  CpuScheduler& scheduler() { return *active_sched_; }
+  // Per-CPU policy shards when cpus > 1; null on a uniprocessor.
+  ShardedScheduler* sharded_scheduler() { return sharded_.get(); }
   const CostModel& costs() const { return config_.costs; }
   Tracer& tracer() { return tracer_; }
   const KernelConfig& config() const { return config_; }
@@ -103,6 +116,14 @@ class Kernel : public net::StackEnv {
 
   // Charges `usec` of CPU to `c` and informs the scheduler (feedback).
   void ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind);
+
+  // Gives every CPU a dispatch opportunity (wake-up path). On a uniprocessor
+  // this is exactly one Poke of the single engine.
+  void PokeCpus() { smp_->PokeAll(); }
+
+  // Pins `t` to `cpu` (-1 unpins). Fails on an out-of-range CPU. A queued
+  // thread is re-queued on the target shard immediately.
+  rccommon::Expected<void> SetThreadAffinity(Thread* t, int cpu);
 
   // Total CPU charged to any container (root subtree).
   sim::Duration TotalChargedCpuUsec() const;
@@ -174,8 +195,13 @@ class Kernel : public net::StackEnv {
   sim::Simulator* const simr_;
   KernelConfig config_;
   rc::ContainerManager containers_;
+  // cpus == 1: `sched_` is the policy, wired straight to the single engine
+  // (bit-identical to the uniprocessor code path). cpus > 1: `sharded_` owns
+  // one policy instance per CPU. `active_sched_` points at whichever is live.
   std::unique_ptr<CpuScheduler> sched_;
-  std::unique_ptr<CpuEngine> cpu_;
+  std::unique_ptr<ShardedScheduler> sharded_;
+  CpuScheduler* active_sched_ = nullptr;
+  std::unique_ptr<SmpEngine> smp_;
   std::unique_ptr<net::Stack> stack_;
   std::unique_ptr<disk::DiskEngine> disk_;
   Tracer tracer_;

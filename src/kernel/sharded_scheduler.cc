@@ -1,0 +1,158 @@
+#include "src/kernel/sharded_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/kernel/thread.h"
+
+namespace kernel {
+
+ShardedScheduler::ShardedScheduler(int cpus, const ShardFactory& make_shard) {
+  RC_CHECK(cpus >= 1);
+  shards_.reserve(static_cast<std::size_t>(cpus));
+  views_.reserve(static_cast<std::size_t>(cpus));
+  for (int i = 0; i < cpus; ++i) {
+    shards_.push_back(make_shard());
+    views_.push_back(std::make_unique<View>(this, i));
+  }
+}
+
+CpuScheduler* ShardedScheduler::ViewFor(int cpu) {
+  return views_[static_cast<std::size_t>(cpu)].get();
+}
+
+int ShardedScheduler::HomeFor(Thread* t) const {
+  if (t->pinned_cpu >= 0 && t->pinned_cpu < cpus()) {
+    return t->pinned_cpu;
+  }
+  if (t->home_cpu >= 0 && t->home_cpu < cpus()) {
+    return t->home_cpu;
+  }
+  int best = 0;
+  int best_load = shards_[0]->runnable_count();
+  for (int i = 1; i < cpus(); ++i) {
+    const int load = shards_[static_cast<std::size_t>(i)]->runnable_count();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void ShardedScheduler::Enqueue(Thread* t, sim::SimTime now) {
+  const int home = HomeFor(t);
+  // home_cpu is the routing key for Remove/MigrateQueued: it must name the
+  // shard that holds the thread for as long as the thread is queued.
+  t->home_cpu = home;
+  shards_[static_cast<std::size_t>(home)]->Enqueue(t, now);
+  if (poke_) {
+    poke_(home);  // no-op unless that CPU is idle (or should preempt)
+  }
+}
+
+Thread* ShardedScheduler::PickFor(int cpu, sim::SimTime now) {
+  Thread* t = shards_[static_cast<std::size_t>(cpu)]->PickNext(now);
+  if (t != nullptr) {
+    return t;
+  }
+  // Idle steal: take work from the most-loaded shard that holds a movable
+  // candidate. Victims in decreasing-load order (ties: lowest CPU first);
+  // pinned threads are popped and put straight back — never migrated.
+  std::vector<std::pair<int, int>> victims;  // (-load, cpu)
+  for (int i = 0; i < cpus(); ++i) {
+    const int load = shards_[static_cast<std::size_t>(i)]->runnable_count();
+    if (i != cpu && load > 0) {
+      victims.emplace_back(-load, i);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [neg_load, victim] : victims) {
+    auto& shard = shards_[static_cast<std::size_t>(victim)];
+    std::vector<Thread*> skipped;
+    Thread* stolen = nullptr;
+    while ((stolen = shard->PickNext(now)) != nullptr) {
+      if (stolen->pinned_cpu >= 0 && stolen->pinned_cpu != cpu) {
+        skipped.push_back(stolen);
+        continue;
+      }
+      break;
+    }
+    for (Thread* p : skipped) {
+      // Routed through HomeFor: a pinned thread stranded on the wrong shard
+      // (pinned while queued elsewhere) migrates to its own CPU here.
+      Enqueue(p, now);
+    }
+    if (stolen != nullptr) {
+      stolen->home_cpu = cpu;
+      ++steals_;
+      return stolen;
+    }
+    // Everything here was pinned elsewhere or throttled; try the next shard.
+  }
+  return nullptr;
+}
+
+void ShardedScheduler::OnCharge(rc::ResourceContainer& c, sim::Duration usec,
+                                sim::SimTime now) {
+  // Broadcast: every shard observes the machine-wide charge stream, so the
+  // per-shard stride/decay/limit state is global, not per-CPU.
+  for (auto& shard : shards_) {
+    shard->OnCharge(c, usec, now);
+  }
+}
+
+void ShardedScheduler::MigrateQueued(Thread* t, sim::SimTime now) {
+  if (t->home_cpu >= 0 && t->home_cpu < cpus()) {
+    shards_[static_cast<std::size_t>(t->home_cpu)]->MigrateQueued(t, now);
+  }
+}
+
+void ShardedScheduler::Remove(Thread* t) {
+  if (t->home_cpu >= 0 && t->home_cpu < cpus()) {
+    shards_[static_cast<std::size_t>(t->home_cpu)]->Remove(t);
+  }
+}
+
+void ShardedScheduler::Tick(sim::SimTime now) {
+  for (auto& shard : shards_) {
+    shard->Tick(now);
+  }
+}
+
+std::optional<sim::SimTime> ShardedScheduler::NextEligibleTime(sim::SimTime now) {
+  std::optional<sim::SimTime> earliest;
+  for (auto& shard : shards_) {
+    const auto when = shard->NextEligibleTime(now);
+    if (when.has_value() && (!earliest.has_value() || *when < *earliest)) {
+      earliest = when;
+    }
+  }
+  return earliest;
+}
+
+void ShardedScheduler::OnContainerDestroyed(rc::ResourceContainer& c) {
+  for (auto& shard : shards_) {
+    shard->OnContainerDestroyed(c);
+  }
+}
+
+void ShardedScheduler::OnContainerReparented(rc::ResourceContainer& child,
+                                             rc::ResourceContainer* old_parent,
+                                             rc::ResourceContainer* new_parent) {
+  for (auto& shard : shards_) {
+    shard->OnContainerReparented(child, old_parent, new_parent);
+  }
+}
+
+int ShardedScheduler::runnable_count() const {
+  int total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->runnable_count();
+  }
+  return total;
+}
+
+}  // namespace kernel

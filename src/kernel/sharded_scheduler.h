@@ -1,0 +1,124 @@
+// Per-CPU run-queue sharding for SMP (one scheduler instance per CPU behind
+// the single-CPU CpuScheduler interface).
+//
+// Each CPU engine is handed a View that routes scheduler calls to that CPU's
+// shard, so the engine code is identical on a uniprocessor and on an N-way
+// machine. The policy inside each shard is unchanged (DecayUsageScheduler or
+// HierarchicalScheduler); what makes shares and limits *machine-wide* is that
+// OnCharge and Tick are broadcast to every shard: all N copies of the policy
+// observe the same global charge stream, so stride passes, decayed usage and
+// CPU-limit windows advance identically everywhere, and each CPU's local
+// arbitration reflects machine-wide consumption.
+//
+// Placement: a thread is homed on the least-loaded shard at its first
+// enqueue and stays there (cache affinity); an idle CPU steals from the
+// most-loaded shard, re-homing the stolen thread. Sys::SetThreadAffinity pins
+// a thread to one CPU, exempting it from stealing.
+#ifndef SRC_KERNEL_SHARDED_SCHEDULER_H_
+#define SRC_KERNEL_SHARDED_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/scheduler.h"
+
+namespace kernel {
+
+class ShardedScheduler : public CpuScheduler {
+ public:
+  using ShardFactory = std::function<std::unique_ptr<CpuScheduler>()>;
+
+  ShardedScheduler(int cpus, const ShardFactory& make_shard);
+
+  int cpus() const { return static_cast<int>(shards_.size()); }
+
+  // The per-CPU facade to install on CPU `cpu`'s engine.
+  CpuScheduler* ViewFor(int cpu);
+
+  // Underlying policy instance of one shard (tests/diagnostics).
+  CpuScheduler& shard(int cpu) { return *shards_[static_cast<std::size_t>(cpu)]; }
+
+  // Threads migrated by idle stealing since construction.
+  std::uint64_t steals() const { return steals_; }
+
+  // Called with the home CPU after every enqueue, so the owning engine can
+  // re-arbitrate. Without this a thread re-homed at slice end (pin or steal
+  // changed its home while it ran elsewhere) would sit in an idle CPU's
+  // queue until the next machine-wide wake-up.
+  void set_poke(std::function<void(int cpu)> poke) { poke_ = std::move(poke); }
+
+  // --- CpuScheduler (machine-wide view; PickNext == CPU 0's view) ----------
+  void Enqueue(Thread* t, sim::SimTime now) override;
+  Thread* PickNext(sim::SimTime now) override { return PickFor(0, now); }
+  void OnCharge(rc::ResourceContainer& c, sim::Duration usec, sim::SimTime now) override;
+  void MigrateQueued(Thread* t, sim::SimTime now) override;
+  void Remove(Thread* t) override;
+  void Tick(sim::SimTime now) override;
+  std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) override;
+  void OnContainerDestroyed(rc::ResourceContainer& c) override;
+  void OnContainerReparented(rc::ResourceContainer& child, rc::ResourceContainer* old_parent,
+                             rc::ResourceContainer* new_parent) override;
+  int runnable_count() const override;
+
+ private:
+  // Facade bound to one CPU; everything an engine calls lands on the shard
+  // (or, for charges and container lifecycle, on the broadcast path).
+  class View : public CpuScheduler {
+   public:
+    View(ShardedScheduler* owner, int cpu) : owner_(owner), cpu_(cpu) {}
+
+    void Enqueue(Thread* t, sim::SimTime now) override { owner_->Enqueue(t, now); }
+    Thread* PickNext(sim::SimTime now) override { return owner_->PickFor(cpu_, now); }
+    void OnCharge(rc::ResourceContainer& c, sim::Duration usec,
+                  sim::SimTime now) override {
+      owner_->OnCharge(c, usec, now);
+    }
+    void MigrateQueued(Thread* t, sim::SimTime now) override {
+      owner_->MigrateQueued(t, now);
+    }
+    void Remove(Thread* t) override { owner_->Remove(t); }
+    bool ShouldPreempt(const Thread& running) const override {
+      return owner_->shard(cpu_).ShouldPreempt(running);
+    }
+    void Tick(sim::SimTime now) override { owner_->Tick(now); }
+    std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) override {
+      // Machine-wide: when any shard's throttled work becomes eligible this
+      // CPU can pick it up locally or by stealing.
+      return owner_->NextEligibleTime(now);
+    }
+    void OnContainerDestroyed(rc::ResourceContainer& c) override {
+      owner_->OnContainerDestroyed(c);
+    }
+    void OnContainerReparented(rc::ResourceContainer& child,
+                               rc::ResourceContainer* old_parent,
+                               rc::ResourceContainer* new_parent) override {
+      owner_->OnContainerReparented(child, old_parent, new_parent);
+    }
+    int runnable_count() const override {
+      return owner_->shard(cpu_).runnable_count();
+    }
+
+   private:
+    ShardedScheduler* const owner_;
+    const int cpu_;
+  };
+
+  // Pick for CPU `cpu`: its own shard first, then idle-steal from the
+  // most-loaded shard.
+  Thread* PickFor(int cpu, sim::SimTime now);
+
+  // Shard a (possibly fresh) thread belongs on: its pin, then its sticky
+  // home, then the least-loaded shard.
+  int HomeFor(Thread* t) const;
+
+  std::vector<std::unique_ptr<CpuScheduler>> shards_;
+  std::vector<std::unique_ptr<View>> views_;
+  std::function<void(int)> poke_;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_SHARDED_SCHEDULER_H_

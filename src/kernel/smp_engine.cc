@@ -1,0 +1,71 @@
+#include "src/kernel/smp_engine.h"
+
+#include "src/common/check.h"
+
+namespace kernel {
+
+SmpEngine::SmpEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs,
+                     int cpus, IrqSteering steering)
+    : steering_(steering) {
+  RC_CHECK(cpus >= 1);
+  engines_.reserve(static_cast<std::size_t>(cpus));
+  for (int i = 0; i < cpus; ++i) {
+    engines_.push_back(std::make_unique<CpuEngine>(simulator, kernel, costs, i));
+  }
+}
+
+CpuEngine& SmpEngine::SteerFor(const net::Packet& p) {
+  const auto n = engines_.size();
+  if (n == 1) {
+    return *engines_[0];
+  }
+  switch (steering_) {
+    case IrqSteering::kFixed:
+      return *engines_[0];
+    case IrqSteering::kRoundRobin:
+      return *engines_[rr_next_++ % n];
+    case IrqSteering::kFlowHash:
+      return *engines_[net::FlowHash(p) % n];
+  }
+  return *engines_[0];
+}
+
+void SmpEngine::PokeAll() {
+  for (auto& engine : engines_) {
+    engine->Poke();
+  }
+}
+
+sim::Duration SmpEngine::busy_usec() const {
+  sim::Duration total = 0;
+  for (const auto& engine : engines_) {
+    total += engine->busy_usec();
+  }
+  return total;
+}
+
+sim::Duration SmpEngine::interrupt_usec() const {
+  sim::Duration total = 0;
+  for (const auto& engine : engines_) {
+    total += engine->interrupt_usec();
+  }
+  return total;
+}
+
+sim::Duration SmpEngine::context_switch_usec() const {
+  sim::Duration total = 0;
+  for (const auto& engine : engines_) {
+    total += engine->context_switch_usec();
+  }
+  return total;
+}
+
+sim::Duration SmpEngine::idle_usec() const {
+  sim::Duration total = 0;
+  for (const auto& engine : engines_) {
+    total += engine->idle_usec();
+  }
+  return total;
+}
+
+}  // namespace kernel

@@ -1,0 +1,61 @@
+// The simulated multiprocessor: N CpuEngines plus interrupt steering.
+//
+// Each engine runs the single-CPU state machine unchanged; the SmpEngine
+// decides which CPU takes a device interrupt (and, in softint mode, the
+// protocol processing that follows it), aggregates machine-wide accounting,
+// and fans wake-up pokes out to every CPU. With cpus = 1 it degenerates to
+// exactly the paper's uniprocessor: one engine, all interrupts on CPU 0.
+#ifndef SRC_KERNEL_SMP_ENGINE_H_
+#define SRC_KERNEL_SMP_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/cpu_engine.h"
+#include "src/net/packet.h"
+
+namespace kernel {
+
+// Where device interrupts (and the softint/LRP work queued behind them) run.
+enum class IrqSteering {
+  kFixed,       // everything on CPU 0 (classic single-NIC wiring)
+  kRoundRobin,  // arrivals rotate across CPUs
+  kFlowHash,    // net::FlowHash(packet) % cpus — per-connection CPU locality
+};
+
+class SmpEngine {
+ public:
+  SmpEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs,
+            int cpus, IrqSteering steering);
+
+  int cpus() const { return static_cast<int>(engines_.size()); }
+  CpuEngine& engine(int cpu) { return *engines_[static_cast<std::size_t>(cpu)]; }
+  const CpuEngine& engine(int cpu) const {
+    return *engines_[static_cast<std::size_t>(cpu)];
+  }
+
+  IrqSteering steering() const { return steering_; }
+
+  // The CPU that takes `p`'s device interrupt under the steering policy.
+  CpuEngine& SteerFor(const net::Packet& p);
+
+  // Something became runnable somewhere: give every idle CPU a chance to
+  // dispatch (deterministic order, CPU 0 first).
+  void PokeAll();
+
+  // --- Machine-wide accounting (sums over all CPUs) ------------------------
+  sim::Duration busy_usec() const;
+  sim::Duration interrupt_usec() const;
+  sim::Duration context_switch_usec() const;
+  sim::Duration idle_usec() const;
+
+ private:
+  std::vector<std::unique_ptr<CpuEngine>> engines_;
+  const IrqSteering steering_;
+  std::uint64_t rr_next_ = 0;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_SMP_ENGINE_H_

@@ -143,6 +143,18 @@ Sys::ActionAwaiter<Expected<void>> Sys::BindThread(int container_fd) {
           std::move(action)};
 }
 
+int Sys::CpuCount() const { return kernel_->smp().cpus(); }
+
+Sys::ActionAwaiter<Expected<void>> Sys::SetThreadAffinity(int cpu) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, cpu]() -> Expected<void> {
+    return k->SetThreadAffinity(t, cpu);
+  };
+  return {thread_, kernel_->costs().syscall_base, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
 Sys::ActionAwaiter<bool> Sys::ResetSchedulerBinding() {
   Kernel* k = kernel_;
   Thread* t = thread_;

@@ -170,6 +170,13 @@ class Sys {
 
   YieldAwaiter Yield() { return YieldAwaiter{thread_}; }
 
+  // Number of CPUs on the simulated machine (constant; free to read).
+  int CpuCount() const;
+
+  // Pins the calling thread to one CPU (-1 unpins): it only runs there and
+  // idle CPUs never steal it. Fails with kInvalidArgument out of range.
+  ActionAwaiter<rccommon::Expected<void>> SetThreadAffinity(int cpu);
+
   // ---------------------------------------------------------------------
   // Resource-container operations (Section 4.6 / Table 1)
   // ---------------------------------------------------------------------

@@ -35,7 +35,7 @@ void Thread::Unblock() {
   state_ = State::kRunnable;
   kernel_->tracer().Record(kernel_->now(), TraceKind::kWake, id_, 0, 0);
   kernel_->scheduler().Enqueue(this, kernel_->now());
-  kernel_->cpu().Poke();
+  kernel_->PokeCpus();
 }
 
 }  // namespace kernel

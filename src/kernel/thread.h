@@ -138,6 +138,15 @@ class Thread {
   // Opaque per-scheduler run-queue state.
   void* sched_cookie = nullptr;
 
+  // --- SMP placement ------------------------------------------------------
+  // CPU whose run-queue shard holds (or last held) this thread. -1 until the
+  // sharded scheduler first places the thread; stays 0 on a uniprocessor.
+  // Idle stealing re-homes the thread to the stealing CPU.
+  int home_cpu = -1;
+  // Hard affinity set via Sys::SetThreadAffinity: the thread only runs on
+  // this CPU and is never stolen away from it. -1 = unpinned.
+  int pinned_cpu = -1;
+
   // Invoked when the thread is reaped (used by join/wait primitives).
   std::vector<std::function<void()>> exit_watchers;
 

@@ -20,6 +20,9 @@ void Tracer::Dump(std::ostream& os, std::size_t max_lines) const {
     if (e.arg != 0) {
       os << "  " << e.arg << "us";
     }
+    if (e.cpu != 0) {
+      os << "  cpu=" << e.cpu;
+    }
     os << '\n';
   });
   if (dropped_ > 0) {

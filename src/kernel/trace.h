@@ -54,6 +54,7 @@ struct TraceEvent {
   std::uint64_t thread_id = 0;         // 0 when not thread-related
   rc::ContainerId container_id = 0;    // charged principal, 0 = none/machine
   sim::Duration arg = 0;
+  int cpu = 0;                         // which CPU the event happened on
 };
 
 class Tracer {
@@ -76,7 +77,7 @@ class Tracer {
   void set_recorded_counter(telemetry::Counter* counter) { recorded_counter_ = counter; }
 
   void Record(sim::SimTime at, TraceKind kind, std::uint64_t thread_id,
-              rc::ContainerId container_id, sim::Duration arg) {
+              rc::ContainerId container_id, sim::Duration arg, int cpu = 0) {
     if (!enabled_) {
       return;
     }
@@ -84,7 +85,7 @@ class Tracer {
     if (recorded_counter_ != nullptr) {
       recorded_counter_->Add();
     }
-    const TraceEvent e{at, kind, thread_id, container_id, arg};
+    const TraceEvent e{at, kind, thread_id, container_id, arg, cpu};
     if (ring_.size() < capacity_) {
       ring_.push_back(e);
       return;

@@ -47,6 +47,20 @@ struct Packet {
   bool last_segment = false;
 };
 
+// Deterministic flow hash for interrupt steering: packets of one connection
+// always land on the same CPU (the SMP engine's kFlowHash policy), like a
+// NIC's receive-side scaling over the 4-tuple. Keyed by the client-assigned
+// flow id, falling back to the source endpoint for flow-less packets.
+inline std::uint64_t FlowHash(const Packet& p) {
+  std::uint64_t h = p.flow_id != 0
+                        ? p.flow_id
+                        : (static_cast<std::uint64_t>(p.src.addr.v) << 16) | p.src.port;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;  // 64-bit finalizer (splittable-mix style)
+  h ^= h >> 33;
+  return h;
+}
+
 }  // namespace net
 
 #endif  // SRC_NET_PACKET_H_

@@ -77,6 +77,39 @@ struct ResourceUsage {
   }
 };
 
+// Windowed usage meter for CPU limits ("resource sand-box", Section 5.6).
+// The limit is a fraction of the *machine*: on an N-way machine a window of
+// length W holds N*W microseconds of capacity, so a 30% cap means 30% of the
+// machine, not 30% of one CPU. Charges from every CPU fold into one window,
+// which is what makes the cap machine-wide under SMP.
+struct UsageWindow {
+  sim::Duration usage = 0;      // charged in the current window
+  sim::SimTime start = 0;       // when the current window opened
+  sim::SimTime throttled_until = 0;
+
+  // Folds `usec` charged at `now` into the window; (re)opens the window when
+  // it has expired. Returns true when the subtree exceeded its budget and is
+  // now throttled until the window ends. `capacity_cpus` scales the budget to
+  // the machine size.
+  bool Charge(sim::Duration usec, sim::SimTime now, double limit,
+              sim::Duration window, int capacity_cpus) {
+    if (now - start >= window) {
+      start = now;
+      usage = 0;
+    }
+    usage += usec;
+    const auto budget = static_cast<sim::Duration>(
+        limit * static_cast<double>(window) * static_cast<double>(capacity_cpus));
+    if (usage > budget) {
+      throttled_until = start + window;
+      return true;
+    }
+    return false;
+  }
+
+  bool Throttled(sim::SimTime now) const { return throttled_until > now; }
+};
+
 }  // namespace rc
 
 #endif  // SRC_RC_USAGE_H_

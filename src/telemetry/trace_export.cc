@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/rc/manager.h"
@@ -29,13 +30,30 @@ void WriteChromeTrace(const kernel::Tracer& tracer, const ContainerNameFn& name_
     first = false;
   };
 
-  // Track-name metadata first: one thread_name entry per container id seen.
-  std::set<rc::ContainerId> tids;
-  tracer.ForEach([&](const kernel::TraceEvent& e) { tids.insert(e.container_id); });
-  comma();
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-        "\"args\":{\"name\":\"rc kernel\"}}";
-  for (rc::ContainerId tid : tids) {
+  // Track-name metadata first: one trace "process" per CPU (pid = 1 + cpu;
+  // a uniprocessor run keeps the historical single pid 1), and inside each,
+  // one thread_name entry per container id seen on that CPU.
+  std::set<std::pair<int, rc::ContainerId>> tracks;
+  tracer.ForEach([&](const kernel::TraceEvent& e) {
+    tracks.insert({e.cpu, e.container_id});
+  });
+  std::set<int> cpus_seen;
+  for (const auto& [cpu, tid] : tracks) {
+    cpus_seen.insert(cpu);
+  }
+  if (cpus_seen.empty()) {
+    cpus_seen.insert(0);
+  }
+  for (int cpu : cpus_seen) {
+    std::string pname = "rc kernel";
+    if (cpu != 0 || cpus_seen.size() > 1) {
+      pname += " cpu" + std::to_string(cpu);
+    }
+    comma();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << 1 + cpu
+       << ",\"tid\":0,\"args\":{\"name\":\"" << EscapeJson(pname) << "\"}}";
+  }
+  for (const auto& [cpu, tid] : tracks) {
     std::string label;
     if (tid == 0) {
       label = "(unattributed)";
@@ -48,8 +66,9 @@ void WriteChromeTrace(const kernel::Tracer& tracer, const ContainerNameFn& name_
       label += " [ct " + std::to_string(tid) + "]";
     }
     comma();
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-       << ",\"args\":{\"name\":\"" << EscapeJson(label) << "\"}}";
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << 1 + cpu
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << EscapeJson(label)
+       << "\"}}";
   }
 
   tracer.ForEach([&](const kernel::TraceEvent& e) {
@@ -59,12 +78,14 @@ void WriteChromeTrace(const kernel::Tracer& tracer, const ContainerNameFn& name_
       // Recorded at completion; the consumed CPU (`arg`) ends at `at`.
       const sim::SimTime start = e.at - e.arg;
       os << "{\"name\":\"" << name << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":"
-         << start << ",\"dur\":" << e.arg << ",\"pid\":1,\"tid\":" << e.container_id
-         << ",\"args\":{\"thread\":" << e.thread_id << "}}";
+         << start << ",\"dur\":" << e.arg << ",\"pid\":" << 1 + e.cpu
+         << ",\"tid\":" << e.container_id << ",\"args\":{\"thread\":"
+         << e.thread_id << "}}";
     } else {
       os << "{\"name\":\"" << name << "\",\"cat\":\"kernel\",\"ph\":\"i\",\"ts\":"
-         << e.at << ",\"s\":\"t\",\"pid\":1,\"tid\":" << e.container_id
-         << ",\"args\":{\"thread\":" << e.thread_id << "}}";
+         << e.at << ",\"s\":\"t\",\"pid\":" << 1 + e.cpu
+         << ",\"tid\":" << e.container_id << ",\"args\":{\"thread\":"
+         << e.thread_id << "}}";
     }
   });
 

@@ -4,7 +4,8 @@
 
 namespace xp {
 
-Scenario::Scenario(const ScenarioOptions& options) : options_(options) {
+Scenario::Scenario(const ScenarioOptions& options)
+    : options_(options), rng_(options.seed) {
   kernel_ = std::make_unique<kernel::Kernel>(&simr_, options_.kernel_config);
   wire_ = std::make_unique<load::Wire>(&simr_, kernel_.get(), options_.wire_latency);
   // The paper's experiments serve a cached 1 KB document (doc id 1).
@@ -25,10 +26,29 @@ void Scenario::RegisterProbes() {
   registry_.AddProbe("sim.events_run", "events",
                      [this] { return static_cast<double>(simr_.events_run()); });
   registry_.AddProbe("cpu.busy_usec", "usec",
-                     [this] { return static_cast<double>(kernel_->cpu().busy_usec()); });
+                     [this] { return static_cast<double>(kernel_->smp().busy_usec()); });
   registry_.AddProbe("cpu.interrupt_usec", "usec", [this] {
-    return static_cast<double>(kernel_->cpu().interrupt_usec());
+    return static_cast<double>(kernel_->smp().interrupt_usec());
   });
+  // Per-CPU breakdown (cpu.<i>.*). On a uniprocessor cpu.0.* duplicates the
+  // machine-wide cpu.* values above.
+  for (int i = 0; i < kernel_->smp().cpus(); ++i) {
+    const std::string prefix = "cpu." + std::to_string(i) + ".";
+    registry_.AddProbe(prefix + "busy_usec", "usec", [this, i] {
+      return static_cast<double>(kernel_->smp().engine(i).busy_usec());
+    });
+    registry_.AddProbe(prefix + "idle_usec", "usec", [this, i] {
+      return static_cast<double>(kernel_->smp().engine(i).idle_usec());
+    });
+    registry_.AddProbe(prefix + "interrupt_usec", "usec", [this, i] {
+      return static_cast<double>(kernel_->smp().engine(i).interrupt_usec());
+    });
+  }
+  if (kernel_->sharded_scheduler() != nullptr) {
+    registry_.AddProbe("smp.steals", "threads", [this] {
+      return static_cast<double>(kernel_->sharded_scheduler()->steals());
+    });
+  }
   registry_.AddProbe("cpu.charged_usec", "usec", [this] {
     return static_cast<double>(kernel_->TotalChargedCpuUsec());
   });

@@ -13,6 +13,7 @@
 #include "src/load/http_client.h"
 #include "src/load/syn_flood.h"
 #include "src/load/wire.h"
+#include "src/sim/rng.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/registry.h"
 #include "src/telemetry/sampler.h"
@@ -23,6 +24,10 @@ struct ScenarioOptions {
   kernel::KernelConfig kernel_config;
   httpd::ServerConfig server_config;
   sim::Duration wire_latency = 100;  // one-way, usec
+  // Root seed for the scenario's random streams (flooders, ad-hoc load
+  // generators fork from Scenario::rng()). The default matches the load
+  // generators' historical built-in seed, so runs stay reproducible.
+  std::uint64_t seed = 42;
   // Push-side telemetry: attaches the kernel's charge counters and runs the
   // per-container epoch sampler. Pull-based probes (cpu.*, net.*, disk.*,
   // httpd.*) are registered unconditionally — they cost nothing until read.
@@ -54,6 +59,10 @@ class Scenario {
   const telemetry::Registry& metrics() const { return registry_; }
   // Non-null when options.telemetry enabled the epoch sampler.
   telemetry::EpochSampler* sampler() { return sampler_.get(); }
+
+  // Scenario-level random stream, seeded from options.seed. Fork() it for
+  // independent per-actor streams.
+  sim::Rng& rng() { return rng_; }
 
   // Starts the standard event-driven server (call once). `guest` optionally
   // supplies a fixed-share default container (virtual-server experiments).
@@ -93,6 +102,7 @@ class Scenario {
   void RegisterProbes();
 
   ScenarioOptions options_;
+  sim::Rng rng_;
   // Declared before the kernel so probe callbacks into kernel-owned objects
   // are dropped only after everything they reference is already gone — no
   // export may run during destruction either way.

@@ -1,0 +1,324 @@
+// SMP conformance: both scheduling policies must satisfy the same invariants
+// on 1, 2, and 4 CPUs — conservation, no double-running, full utilization,
+// wake preemption, affinity, stealing, machine-wide caps and shares, and the
+// exact-determinism guarantee. Plus idle accounting for kernels that start
+// after t = 0 (regression for the created-at-zero assumption).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscalls.h"
+
+namespace kernel {
+namespace {
+
+struct SpinnerState {
+  bool stop = false;
+};
+
+Program Spinner(Sys sys, SpinnerState* state, sim::Duration chunk) {
+  while (!state->stop) {
+    co_await sys.Compute(chunk, rc::CpuKind::kUser);
+  }
+}
+
+rc::Attributes FixedShare(double share) {
+  rc::Attributes a;
+  a.sched.cls = rc::SchedClass::kFixedShare;
+  a.sched.fixed_share = share;
+  return a;
+}
+
+struct SmpParam {
+  bool hier = false;  // false: decay-usage policy, true: hierarchical
+  int cpus = 1;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<SmpParam>& info) {
+  return std::string(info.param.hier ? "Hier" : "Decay") + "Cpus" +
+         std::to_string(info.param.cpus);
+}
+
+class SmpSchedulerTest : public ::testing::TestWithParam<SmpParam> {
+ protected:
+  void MakeKernel() {
+    KernelConfig cfg = GetParam().hier ? ResourceContainerSystemConfig()
+                                       : UnmodifiedSystemConfig();
+    cfg.cpus = GetParam().cpus;
+    kernel_ = std::make_unique<Kernel>(&simr_, cfg);
+  }
+
+  struct Spin {
+    SpinnerState state;
+    Process* process = nullptr;
+    Thread* thread = nullptr;
+  };
+
+  void SpawnSpinner(Spin* s, rc::ContainerRef c = nullptr, sim::Duration chunk = 100) {
+    s->process = kernel_->CreateProcess("spin", std::move(c));
+    SpinnerState* state = &s->state;
+    s->thread = kernel_->SpawnThread(s->process, "t", [state, chunk](Sys sys) {
+      return Spinner(sys, state, chunk);
+    });
+  }
+
+  int cpus() const { return GetParam().cpus; }
+
+  sim::Simulator simr_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+// busy time == charged + interrupt + context-switch time, machine-wide, and
+// idle is the exact complement of busy on every CPU.
+TEST_P(SmpSchedulerTest, MachineWideConservation) {
+  MakeKernel();
+  std::vector<std::unique_ptr<Spin>> spins;
+  for (int i = 0; i < 2 * cpus(); ++i) {
+    spins.push_back(std::make_unique<Spin>());
+    SpawnSpinner(spins.back().get());
+  }
+  simr_.RunUntil(sim::Msec(500));
+  for (auto& s : spins) {
+    s->state.stop = true;
+  }
+  simr_.RunUntil(sim::Sec(1));
+  const auto& smp = kernel_->smp();
+  EXPECT_EQ(smp.busy_usec(), kernel_->TotalChargedCpuUsec() + smp.interrupt_usec() +
+                                 smp.context_switch_usec());
+  for (int i = 0; i < cpus(); ++i) {
+    const auto& e = smp.engine(i);
+    EXPECT_EQ(e.busy_usec() + e.idle_usec(), simr_.now() - e.created_at()) << "cpu " << i;
+  }
+}
+
+// One runnable thread occupies exactly one CPU: it is never double-run, and
+// the other CPUs stay idle.
+TEST_P(SmpSchedulerTest, SingleThreadRunsOnOneCpuAtATime) {
+  MakeKernel();
+  Spin s;
+  SpawnSpinner(&s);
+  simr_.RunUntil(sim::Sec(1));
+  EXPECT_LE(s.process->TotalExecutedUsec(), simr_.now());
+  EXPECT_LE(kernel_->smp().busy_usec(), simr_.now());
+  EXPECT_GT(s.process->TotalExecutedUsec(), static_cast<sim::Duration>(
+                                                0.95 * static_cast<double>(simr_.now())));
+}
+
+// With at least one runnable thread per CPU, every CPU saturates.
+TEST_P(SmpSchedulerTest, AllCpusSaturateWithEnoughWork) {
+  MakeKernel();
+  std::vector<std::unique_ptr<Spin>> spins;
+  for (int i = 0; i < 2 * cpus(); ++i) {
+    spins.push_back(std::make_unique<Spin>());
+    SpawnSpinner(spins.back().get());
+  }
+  simr_.RunUntil(sim::Sec(1));
+  for (int i = 0; i < cpus(); ++i) {
+    EXPECT_GT(kernel_->smp().engine(i).busy_usec(), sim::Msec(950)) << "cpu " << i;
+  }
+}
+
+// Threads that exit are removed everywhere: the run queues drain to zero.
+TEST_P(SmpSchedulerTest, RunQueuesDrainWhenThreadsExit) {
+  MakeKernel();
+  for (int i = 0; i < 2 * cpus(); ++i) {
+    Process* p = kernel_->CreateProcess("once");
+    kernel_->SpawnThread(p, "t", [](Sys sys) -> Program {
+      co_await sys.Compute(1000, rc::CpuKind::kUser);
+    });
+  }
+  simr_.RunUntil(sim::Sec(1));
+  EXPECT_EQ(kernel_->scheduler().runnable_count(), 0u);
+  EXPECT_EQ(kernel_->smp().idle_usec() > 0, true);
+}
+
+// A waking low-usage thread preempts promptly even when every CPU runs a
+// long-slice hog (the wake lands on one specific run queue; that CPU must
+// re-arbitrate rather than wait out the hog's demand).
+TEST_P(SmpSchedulerTest, WakePreemptsOnBusyMachine) {
+  MakeKernel();
+  std::vector<std::unique_ptr<Spin>> hogs;
+  for (int i = 0; i < cpus(); ++i) {
+    hogs.push_back(std::make_unique<Spin>());
+    SpawnSpinner(hogs.back().get(), nullptr, /*chunk=*/sim::Msec(50));
+  }
+  sim::SimTime woke = 0;
+  Process* p = kernel_->CreateProcess("sleeper");
+  kernel_->SpawnThread(p, "t", [&woke](Sys sys) -> Program {
+    co_await sys.Sleep(sim::Msec(20));
+    co_await sys.Compute(10, rc::CpuKind::kUser);
+    woke = sys.now();
+  });
+  simr_.RunUntil(sim::Sec(1));
+  EXPECT_GT(woke, sim::Msec(20));
+  EXPECT_LT(woke, sim::Msec(20) + 2 * kernel_->costs().quantum);
+}
+
+// Affinity: a pinned thread runs only on its CPU; out-of-range CPUs are
+// rejected; re-pinning a queued thread migrates it.
+TEST_P(SmpSchedulerTest, AffinityPinsAndMigrates) {
+  MakeKernel();
+  Spin s;
+  SpawnSpinner(&s);
+  const int last = cpus() - 1;
+  ASSERT_TRUE(kernel_->SetThreadAffinity(s.thread, last).ok());
+  EXPECT_FALSE(kernel_->SetThreadAffinity(s.thread, cpus()).ok());
+  EXPECT_FALSE(kernel_->SetThreadAffinity(s.thread, -2).ok());
+  simr_.RunUntil(sim::Sec(1));
+  EXPECT_GT(kernel_->smp().engine(last).busy_usec(), sim::Msec(950));
+  for (int i = 0; i < last; ++i) {
+    EXPECT_LT(kernel_->smp().engine(i).busy_usec(), sim::Msec(5)) << "cpu " << i;
+  }
+  // Migrate the (running or queued) thread to CPU 0 and release the pin; it
+  // keeps CPU 0 as its home.
+  ASSERT_TRUE(kernel_->SetThreadAffinity(s.thread, 0).ok());
+  ASSERT_TRUE(kernel_->SetThreadAffinity(s.thread, -1).ok());
+  const sim::Duration before = kernel_->smp().engine(0).busy_usec();
+  simr_.RunUntil(sim::Sec(2));
+  EXPECT_GT(kernel_->smp().engine(0).busy_usec() - before, sim::Msec(950));
+}
+
+// An idle CPU steals queued (unpinned) work from a loaded sibling instead of
+// letting two threads time-share one CPU.
+TEST_P(SmpSchedulerTest, IdleCpuStealsQueuedWork) {
+  if (cpus() < 2) {
+    GTEST_SKIP() << "needs at least two CPUs";
+  }
+  MakeKernel();
+  Spin pinned;
+  SpawnSpinner(&pinned);
+  ASSERT_TRUE(kernel_->SetThreadAffinity(pinned.thread, 0).ok());
+  // Homed on CPU 0 behind the pinned spinner, but free to move.
+  Spin movable;
+  SpawnSpinner(&movable);
+  ASSERT_TRUE(kernel_->SetThreadAffinity(movable.thread, 0).ok());
+  ASSERT_TRUE(kernel_->SetThreadAffinity(movable.thread, -1).ok());
+  // A wake on any queue pokes every CPU; an idle one grabs the movable
+  // spinner from CPU 0's queue.
+  Process* waker = kernel_->CreateProcess("waker");
+  kernel_->SpawnThread(waker, "t", [](Sys sys) -> Program {
+    co_await sys.Sleep(sim::Msec(10));
+  });
+  simr_.RunUntil(sim::Sec(1));
+  ASSERT_NE(kernel_->sharded_scheduler(), nullptr);
+  EXPECT_GE(kernel_->sharded_scheduler()->steals(), 1u);
+  // Both spinners now run in parallel on different CPUs.
+  const sim::Duration total =
+      pinned.process->TotalExecutedUsec() + movable.process->TotalExecutedUsec();
+  EXPECT_GT(total, static_cast<sim::Duration>(1.8 * static_cast<double>(sim::Sec(1))));
+}
+
+// A CPU limit is a machine-wide cap: a 25% limit on an N-CPU machine allows
+// 25% of N CPUs, no matter how many threads the container spreads out.
+TEST_P(SmpSchedulerTest, CpuLimitIsMachineWide) {
+  if (!GetParam().hier) {
+    GTEST_SKIP() << "limits are a hierarchical-scheduler feature";
+  }
+  MakeKernel();
+  rc::Attributes attrs;
+  attrs.cpu_limit = 0.25;
+  auto capped = kernel_->containers().Create(nullptr, "capped", attrs).value();
+  std::vector<std::unique_ptr<Spin>> spins;
+  for (int i = 0; i < cpus(); ++i) {
+    spins.push_back(std::make_unique<Spin>());
+    SpawnSpinner(spins.back().get(), capped);
+  }
+  simr_.RunUntil(sim::Sec(2));
+  sim::Duration total = 0;
+  for (auto& s : spins) {
+    total += s->process->TotalExecutedUsec();
+  }
+  const double machine = static_cast<double>(cpus()) * static_cast<double>(sim::Sec(2));
+  EXPECT_NEAR(static_cast<double>(total) / machine, 0.25, 0.02);
+}
+
+// Fixed shares are machine-wide when every run queue holds both guests —
+// here enforced by pinning one thread of each guest to every CPU (the
+// placement rule of DESIGN.md Section 4).
+TEST_P(SmpSchedulerTest, FixedSharesHoldMachineWide) {
+  if (!GetParam().hier) {
+    GTEST_SKIP() << "fixed shares are a hierarchical-scheduler feature";
+  }
+  MakeKernel();
+  auto ca = kernel_->containers().Create(nullptr, "a", FixedShare(0.7)).value();
+  auto cb = kernel_->containers().Create(nullptr, "b", FixedShare(0.3)).value();
+  std::vector<std::unique_ptr<Spin>> spins;
+  sim::Duration ua = 0;
+  sim::Duration ub = 0;
+  for (int i = 0; i < cpus(); ++i) {
+    for (const auto& c : {ca, cb}) {
+      spins.push_back(std::make_unique<Spin>());
+      SpawnSpinner(spins.back().get(), c);
+      ASSERT_TRUE(kernel_->SetThreadAffinity(spins.back()->thread, i).ok());
+    }
+  }
+  simr_.RunUntil(sim::Sec(5));
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    (i % 2 == 0 ? ua : ub) += spins[i]->process->TotalExecutedUsec();
+  }
+  const double total = static_cast<double>(ua + ub);
+  EXPECT_NEAR(static_cast<double>(ua) / total, 0.7, 0.02);
+}
+
+// Two identical runs produce identical accounting, CPU by CPU: the SMP
+// engine introduces no hidden ordering dependence.
+TEST_P(SmpSchedulerTest, RunsAreDeterministic) {
+  std::vector<sim::Duration> busy[2];
+  std::vector<sim::Duration> executed[2];
+  for (int run = 0; run < 2; ++run) {
+    sim::Simulator simr;
+    KernelConfig cfg = GetParam().hier ? ResourceContainerSystemConfig()
+                                       : UnmodifiedSystemConfig();
+    cfg.cpus = GetParam().cpus;
+    Kernel kern(&simr, cfg);
+    std::vector<SpinnerState> states(static_cast<std::size_t>(2 * cpus() + 1));
+    std::vector<Process*> procs;
+    for (auto& state : states) {
+      Process* p = kern.CreateProcess("spin");
+      SpinnerState* s = &state;
+      kern.SpawnThread(p, "t", [s](Sys sys) { return Spinner(sys, s, 100); });
+      procs.push_back(p);
+    }
+    simr.RunUntil(sim::Msec(200));
+    for (int i = 0; i < cpus(); ++i) {
+      busy[run].push_back(kern.smp().engine(i).busy_usec());
+    }
+    for (Process* p : procs) {
+      executed[run].push_back(p->TotalExecutedUsec());
+    }
+  }
+  EXPECT_EQ(busy[0], busy[1]);
+  EXPECT_EQ(executed[0], executed[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SmpSchedulerTest,
+    ::testing::Values(SmpParam{false, 1}, SmpParam{false, 2}, SmpParam{false, 4},
+                      SmpParam{true, 1}, SmpParam{true, 2}, SmpParam{true, 4}),
+    ParamName);
+
+// A kernel brought up mid-simulation (created_at > 0) must not count the
+// time before its creation as idle.
+TEST(SmpLateStartTest, IdleAccountingStartsAtCreation) {
+  sim::Simulator simr;
+  simr.At(sim::Msec(100), [] {});
+  simr.RunUntil(sim::Msec(100));
+  ASSERT_EQ(simr.now(), sim::Msec(100));
+  KernelConfig cfg = UnmodifiedSystemConfig();
+  cfg.cpus = 2;
+  Kernel kern(&simr, cfg);
+  simr.At(sim::Msec(300), [] {});
+  simr.RunUntil(sim::Msec(300));
+  for (int i = 0; i < 2; ++i) {
+    const auto& e = kern.smp().engine(i);
+    EXPECT_EQ(e.created_at(), sim::Msec(100)) << "cpu " << i;
+    EXPECT_EQ(e.idle_usec(), sim::Msec(200)) << "cpu " << i;
+    EXPECT_EQ(e.busy_usec(), 0) << "cpu " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kernel

@@ -20,6 +20,12 @@
 //   --cgi-cap=F                  CGI-parent sand-box share/limit (default 0.3)
 //   --flood=RATE                 SYN flood rate per second (default 0)
 //   --defend                     adaptive SYN-flood filter defense
+//   --cpus=N                     simulated CPUs (default 1, the paper's
+//                                uniprocessor; N>1 shards the run queues)
+//   --irq-steering=fixed|rr|flow interrupt steering policy for --cpus>1
+//                                (default flow: per-connection flow hash)
+//   --seed=N                     root seed for the load generators (default
+//                                42; same seed + flags => same run)
 //   --warmup=S --seconds=S       warm-up / measured simulated seconds
 //   --csv                        machine-readable output
 //   --metrics-out[=FILE]         write headline metrics as BENCH_rcsim.json
@@ -54,6 +60,9 @@ struct Flags {
   double cgi_cap = 0.3;
   double flood = 0.0;
   bool defend = false;
+  int cpus = 1;
+  std::string irq_steering = "flow";
+  std::uint64_t seed = 42;
   double warmup = 2.0;
   double seconds = 5.0;
   bool csv = false;
@@ -106,6 +115,12 @@ int main(int argc, char** argv) {
       flags.flood = std::atof(value.c_str());
     } else if (std::strcmp(a, "--defend") == 0) {
       flags.defend = true;
+    } else if (ParseFlag(a, "--cpus", &value)) {
+      flags.cpus = std::atoi(value.c_str());
+    } else if (ParseFlag(a, "--irq-steering", &value)) {
+      flags.irq_steering = value;
+    } else if (ParseFlag(a, "--seed", &value)) {
+      flags.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(a, "--warmup", &value)) {
       flags.warmup = std::atof(value.c_str());
     } else if (ParseFlag(a, "--seconds", &value)) {
@@ -143,6 +158,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--containers/--defend require --kernel=rc\n");
     return Usage();
   }
+  if (flags.cpus < 1) {
+    std::fprintf(stderr, "--cpus must be >= 1\n");
+    return Usage();
+  }
+  options.kernel_config.cpus = flags.cpus;
+  if (flags.irq_steering == "fixed") {
+    options.kernel_config.irq_steering = kernel::IrqSteering::kFixed;
+  } else if (flags.irq_steering == "rr") {
+    options.kernel_config.irq_steering = kernel::IrqSteering::kRoundRobin;
+  } else if (flags.irq_steering == "flow") {
+    options.kernel_config.irq_steering = kernel::IrqSteering::kFlowHash;
+  } else {
+    std::fprintf(stderr, "bad --irq-steering value: %s\n", flags.irq_steering.c_str());
+    return Usage();
+  }
+  options.seed = flags.seed;
 
   if (flags.epoch_ms <= 0) {
     std::fprintf(stderr, "--epoch-ms must be positive\n");
@@ -190,6 +221,7 @@ int main(int argc, char** argv) {
   if (flags.flood > 0) {
     load::SynFlooder::Config fcfg;
     fcfg.rate_per_sec = flags.flood;
+    fcfg.seed = flags.seed;
     scenario.AddFlooder(fcfg)->Start();
   }
 
@@ -246,6 +278,7 @@ int main(int argc, char** argv) {
     std::string config = "kernel=" + flags.kernel +
                          ",clients=" + std::to_string(flags.clients) +
                          ",persistent=" + std::to_string(flags.persistent);
+    if (flags.cpus > 1) config += ",cpus=" + std::to_string(flags.cpus);
     if (flags.cgi > 0) config += ",cgi=" + std::to_string(flags.cgi);
     if (flags.flood > 0) {
       config += ",flood=" + std::to_string(static_cast<long>(flags.flood));
