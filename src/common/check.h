@@ -2,12 +2,17 @@
 //
 // RC_CHECK is always on (it guards simulator and accounting invariants whose
 // violation would silently corrupt experiment results); RC_DCHECK compiles
-// out in NDEBUG builds.
+// out in NDEBUG builds. The comparison forms (RC_CHECK_EQ/NE/LE/GE/LT/GT)
+// print both operand values on failure, so a violated invariant reports what
+// the values actually were, not just the stringified expression.
 #ifndef SRC_COMMON_CHECK_H_
 #define SRC_COMMON_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
 
 namespace rccommon {
 
@@ -16,6 +21,46 @@ namespace rccommon {
   std::abort();
 }
 
+[[noreturn]] inline void CheckOpFailed(const char* expr, const char* file, int line,
+                                       const std::string& lhs, const std::string& rhs) {
+  std::fprintf(stderr, "CHECK failed: %s (lhs=%s, rhs=%s) at %s:%d\n", expr,
+               lhs.c_str(), rhs.c_str(), file, line);
+  std::abort();
+}
+
+namespace internal {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+// Best-effort value rendering for failure messages: enums print as their
+// underlying integer, pointers as addresses, anything streamable through
+// operator<<, everything else as a placeholder.
+template <typename T>
+std::string DescribeValue(const T& value) {
+  if constexpr (std::is_same_v<std::decay_t<T>, std::nullptr_t>) {
+    return "nullptr";
+  } else if constexpr (std::is_enum_v<std::decay_t<T>>) {
+    return std::to_string(
+        static_cast<long long>(static_cast<std::underlying_type_t<std::decay_t<T>>>(value)));
+  } else if constexpr (std::is_pointer_v<std::decay_t<T>>) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%p", static_cast<const void*>(value));
+    return std::string(buf);
+  } else if constexpr (IsStreamable<std::decay_t<T>>::value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+}  // namespace internal
 }  // namespace rccommon
 
 #define RC_CHECK(expr)                                     \
@@ -25,12 +70,38 @@ namespace rccommon {
     }                                                      \
   } while (0)
 
+#define RC_CHECK_OP(op, a, b)                                                  \
+  do {                                                                         \
+    auto&& rc_check_lhs = (a);                                                 \
+    auto&& rc_check_rhs = (b);                                                 \
+    if (!(rc_check_lhs op rc_check_rhs)) {                                     \
+      ::rccommon::CheckOpFailed(#a " " #op " " #b, __FILE__, __LINE__,         \
+                                ::rccommon::internal::DescribeValue(rc_check_lhs), \
+                                ::rccommon::internal::DescribeValue(rc_check_rhs)); \
+    }                                                                          \
+  } while (0)
+
+#define RC_CHECK_EQ(a, b) RC_CHECK_OP(==, a, b)
+#define RC_CHECK_NE(a, b) RC_CHECK_OP(!=, a, b)
+#define RC_CHECK_LE(a, b) RC_CHECK_OP(<=, a, b)
+#define RC_CHECK_GE(a, b) RC_CHECK_OP(>=, a, b)
+#define RC_CHECK_LT(a, b) RC_CHECK_OP(<, a, b)
+#define RC_CHECK_GT(a, b) RC_CHECK_OP(>, a, b)
+
 #ifdef NDEBUG
 #define RC_DCHECK(expr) \
   do {                  \
   } while (0)
+#define RC_DCHECK_EQ(a, b) RC_DCHECK((a) == (b))
+#define RC_DCHECK_NE(a, b) RC_DCHECK((a) != (b))
+#define RC_DCHECK_LE(a, b) RC_DCHECK((a) <= (b))
+#define RC_DCHECK_GE(a, b) RC_DCHECK((a) >= (b))
 #else
 #define RC_DCHECK(expr) RC_CHECK(expr)
+#define RC_DCHECK_EQ(a, b) RC_CHECK_EQ(a, b)
+#define RC_DCHECK_NE(a, b) RC_CHECK_NE(a, b)
+#define RC_DCHECK_LE(a, b) RC_CHECK_LE(a, b)
+#define RC_DCHECK_GE(a, b) RC_CHECK_GE(a, b)
 #endif
 
 #endif  // SRC_COMMON_CHECK_H_

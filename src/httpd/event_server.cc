@@ -21,7 +21,7 @@ EventDrivenServer::EventDrivenServer(kernel::Kernel* kernel, FileCache* cache,
 }
 
 void EventDrivenServer::Start(rc::ContainerRef default_container) {
-  RC_CHECK(proc_ == nullptr);
+  RC_CHECK_EQ(proc_, nullptr);
   proc_ = kernel_->CreateProcess("httpd", std::move(default_container));
   kernel_->SpawnThread(proc_, "httpd-main", [this](Sys sys) { return Run(sys); });
 }

@@ -13,11 +13,11 @@ using kernel::Sys;
 PreforkServer::PreforkServer(kernel::Kernel* kernel, FileCache* cache,
                              ServerConfig config)
     : kernel_(kernel), cache_(cache), config_(std::move(config)) {
-  RC_CHECK(config_.worker_processes > 0);
+  RC_CHECK_GT(config_.worker_processes, 0);
 }
 
 void PreforkServer::Start() {
-  RC_CHECK(master_ == nullptr);
+  RC_CHECK_EQ(master_, nullptr);
   master_ = kernel_->CreateProcess("httpd-master");
   kernel_->SpawnThread(master_, "master", [this](Sys sys) { return Master(sys); });
 }

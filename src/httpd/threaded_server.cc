@@ -14,11 +14,11 @@ using kernel::Sys;
 MultiThreadedServer::MultiThreadedServer(kernel::Kernel* kernel, FileCache* cache,
                                          ServerConfig config)
     : kernel_(kernel), cache_(cache), config_(std::move(config)) {
-  RC_CHECK(config_.worker_threads > 0);
+  RC_CHECK_GT(config_.worker_threads, 0);
 }
 
 void MultiThreadedServer::Start(rc::ContainerRef default_container) {
-  RC_CHECK(proc_ == nullptr);
+  RC_CHECK_EQ(proc_, nullptr);
   proc_ = kernel_->CreateProcess("httpd-mt", std::move(default_container));
   kernel_->SpawnThread(proc_, "init", [this](Sys sys) { return Init(sys); });
 }

@@ -5,8 +5,39 @@
 
 #include "src/common/check.h"
 #include "src/kernel/kernel.h"
+#include "src/verify/audit.h"
+#include "src/verify/lockset.h"
 
 namespace kernel {
+
+namespace {
+
+// Marks the race detector's current simulated thread for the duration of a
+// RunThread body, restoring the previous context (usually the kernel) on
+// every exit path. Null-safe and one branch when verification is off.
+class ScopedCurrentThread {
+ public:
+  ScopedCurrentThread(verify::RaceDetector* detector, std::uint64_t tid)
+      : detector_(detector) {
+    if (detector_ != nullptr) {
+      previous_ = detector_->current_thread();
+      detector_->SetCurrentThread(tid);
+    }
+  }
+  ~ScopedCurrentThread() {
+    if (detector_ != nullptr) {
+      detector_->SetCurrentThread(previous_);
+    }
+  }
+  ScopedCurrentThread(const ScopedCurrentThread&) = delete;
+  ScopedCurrentThread& operator=(const ScopedCurrentThread&) = delete;
+
+ private:
+  verify::RaceDetector* const detector_;
+  std::uint64_t previous_ = verify::RaceDetector::kKernelContext;
+};
+
+}  // namespace
 
 CpuEngine::CpuEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs,
                      int cpu_id)
@@ -18,7 +49,7 @@ CpuEngine::CpuEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel*
 
 void CpuEngine::QueueInterruptWork(sim::Duration cost, rc::ContainerRef charge_to,
                                    std::function<void()> fn) {
-  RC_CHECK(cost >= 0);
+  RC_CHECK_GE(cost, 0);
   irq_queue_.push_back(IrqItem{cost, std::move(charge_to), std::move(fn)});
   if (state_ == CpuState::kSlice) {
     PreemptSlice();
@@ -59,8 +90,14 @@ void CpuEngine::MaybeDispatch() {
     StartInterrupt();
     return;
   }
-  RC_CHECK(sched_ != nullptr);
-  Thread* t = sched_->PickNext(simr_->now());
+  RC_CHECK_NE(sched_, nullptr);
+  Thread* t = nullptr;
+  {
+    verify::ScopedLock sched_lock(kernel_->race_detector(), &kernel_->scheduler(),
+                                  "sched_lock");
+    RC_SHARED_WRITE(kernel_->race_detector(), kernel_->scheduler());
+    t = sched_->PickNext(simr_->now());
+  }
   if (t == nullptr) {
     ScheduleThrottleRetry();
     return;
@@ -74,6 +111,9 @@ void CpuEngine::StartInterrupt() {
   irq_queue_.pop_front();
   completion_ = simr_->After(item.cost, [this, item = std::move(item)]() mutable {
     busy_usec_ += item.cost;
+    if (auto* aud = kernel_->auditor()) {
+      aud->OnInterrupt(cpu_id_, item.cost, item.charge_to != nullptr);
+    }
     kernel_->tracer().Record(simr_->now(), TraceKind::kInterrupt, 0,
                              item.charge_to ? item.charge_to->id() : 0, item.cost,
                              cpu_id_);
@@ -92,6 +132,7 @@ void CpuEngine::StartInterrupt() {
 }
 
 void CpuEngine::RunThread(Thread* t, bool fresh) {
+  ScopedCurrentThread in_thread(kernel_->race_detector(), t->id());
   state_ = CpuState::kProcessing;
   running_ = t;
   t->MarkRunning();
@@ -171,7 +212,7 @@ void CpuEngine::StartSlice(Thread* t) {
 }
 
 void CpuEngine::OnSliceComplete() {
-  RC_CHECK(state_ == CpuState::kSlice);
+  RC_CHECK_EQ(state_, CpuState::kSlice);
   kernel_->tracer().Record(simr_->now(), TraceKind::kSlice, running_->id(),
                            running_->binding().resource_binding()
                                ? running_->binding().resource_binding()->id()
@@ -194,7 +235,7 @@ void CpuEngine::OnSliceComplete() {
 }
 
 void CpuEngine::PreemptSlice() {
-  RC_CHECK(state_ == CpuState::kSlice);
+  RC_CHECK_EQ(state_, CpuState::kSlice);
   completion_.Cancel();
   const sim::Duration consumed = simr_->now() - slice_start_;
   kernel_->tracer().Record(simr_->now(), TraceKind::kPreempt, running_->id(),
@@ -211,20 +252,23 @@ void CpuEngine::PreemptSlice() {
 }
 
 void CpuEngine::SettleSlice(sim::Duration consumed) {
-  RC_CHECK(consumed >= 0);
+  RC_CHECK_GE(consumed, 0);
   busy_usec_ += consumed;
   const sim::Duration overhead = std::min(consumed, slice_overhead_);
   csw_usec_ += overhead;
   const sim::Duration work = consumed - overhead;
   dispatch_used_ += work;
+  if (auto* aud = kernel_->auditor()) {
+    aud->OnSlice(cpu_id_, overhead, work);
+  }
   if (work > 0) {
     Thread* t = running_;
     t->AddExecuted(work);
     rc::ContainerRef target = t->binding().resource_binding();
-    RC_CHECK(target != nullptr);
+    RC_CHECK_NE(target, nullptr);
     kernel_->ChargeCpu(*target, work, t->demand_kind);
     t->cpu_demand -= work;
-    RC_CHECK(t->cpu_demand >= 0);
+    RC_CHECK_GE(t->cpu_demand, 0);
   }
   slice_overhead_ = 0;
   slice_work_ = 0;

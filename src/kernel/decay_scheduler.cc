@@ -8,14 +8,14 @@
 namespace kernel {
 
 void DecayUsageScheduler::Enqueue(Thread* t, sim::SimTime /*now*/) {
-  RC_CHECK(t->sched_cookie == nullptr);
+  RC_CHECK_EQ(t->sched_cookie, nullptr);
   t->sched_cookie = this;
   run_queue_.push_back(t);
 }
 
 double DecayUsageScheduler::UsageOf(const Thread* t) const {
   const rc::ContainerRef& principal = t->binding().resource_binding();
-  RC_CHECK(principal != nullptr);
+  RC_CHECK_NE(principal, nullptr);
   auto it = usage_.find(principal->id());
   return it == usage_.end() ? 0.0 : it->second;
 }

@@ -70,7 +70,7 @@ void HierarchicalScheduler::AdjustRunnable(rc::ResourceContainer* leaf, int delt
     Node* n = NodeFor(*c);
     const int before = n->runnable;
     n->runnable += delta;
-    RC_CHECK(n->runnable >= 0);
+    RC_CHECK_GE(n->runnable, 0);
     rc::ResourceContainer* parent = c->parent();
     if (parent == nullptr) {
       continue;
@@ -87,7 +87,7 @@ void HierarchicalScheduler::AdjustRunnable(rc::ResourceContainer* leaf, int delt
     } else if (before == 1 && n->runnable == 0) {
       if (!fixed) {
         --pn->tshare_runnable_children;
-        RC_CHECK(pn->tshare_runnable_children >= 0);
+        RC_CHECK_GE(pn->tshare_runnable_children, 0);
       }
     }
   }
@@ -95,9 +95,9 @@ void HierarchicalScheduler::AdjustRunnable(rc::ResourceContainer* leaf, int delt
 }
 
 void HierarchicalScheduler::Enqueue(Thread* t, sim::SimTime now) {
-  RC_CHECK(t->sched_cookie == nullptr);
+  RC_CHECK_EQ(t->sched_cookie, nullptr);
   const rc::ContainerRef& leaf = t->sched_hint();
-  RC_CHECK(leaf != nullptr);
+  RC_CHECK_NE(leaf, nullptr);
   (void)now;
   // Note: a thread queued under a throttled container waits out the window,
   // even if it is multiplexed over other (un-throttled) containers. Hard CPU
@@ -306,7 +306,7 @@ void HierarchicalScheduler::OnContainerReparented(rc::ResourceContainer& child,
         --n->tshare_runnable_children;
       }
       n->runnable -= k;
-      RC_CHECK(n->runnable >= 0);
+      RC_CHECK_GE(n->runnable, 0);
     }
   }
   for (rc::ResourceContainer* p = new_parent; p != nullptr; p = p->parent()) {

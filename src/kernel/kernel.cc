@@ -7,6 +7,8 @@
 #include "src/kernel/decay_scheduler.h"
 #include "src/kernel/hier_scheduler.h"
 #include "src/kernel/syscalls.h"
+#include "src/verify/audit.h"
+#include "src/verify/lockset.h"
 
 namespace kernel {
 
@@ -143,7 +145,7 @@ Process* Kernel::CreateProcess(std::string name, rc::ContainerRef default_contai
 
 Thread* Kernel::SpawnThread(Process* process, std::string name,
                             std::function<Program(Sys)> body) {
-  RC_CHECK(process != nullptr);
+  RC_CHECK_NE(process, nullptr);
   auto owned = std::make_unique<Thread>(this, process, next_tid_++, std::move(name));
   Thread* t = owned.get();
   t->binding().Bind(process->default_container(), now());
@@ -159,14 +161,22 @@ Thread* Kernel::SpawnThread(Process* process, std::string name,
   t->frame.promise().thread = t;
   t->pending_resume = t->frame;  // first dispatch starts the body
   t->MarkRunnable();
-  active_sched_->Enqueue(t, now());
+  {
+    verify::ScopedLock sched_lock(race_detector_, active_sched_, "sched_lock");
+    RC_SHARED_WRITE(race_detector_, *active_sched_);
+    active_sched_->Enqueue(t, now());
+  }
   PokeCpus();
   return t;
 }
 
 void Kernel::ReapThread(Thread* t) {
   tracer_.Record(simr_->now(), TraceKind::kExit, t->id(), 0, 0);
-  active_sched_->Remove(t);
+  {
+    verify::ScopedLock sched_lock(race_detector_, active_sched_, "sched_lock");
+    RC_SHARED_WRITE(race_detector_, *active_sched_);
+    active_sched_->Remove(t);
+  }
   Process* p = t->process();
   p->reaped_executed_usec += t->executed_usec();
   if (p->net_thread == t) {
@@ -226,11 +236,49 @@ void Kernel::AttachTelemetry(telemetry::Registry* registry) {
                      [this] { return static_cast<double>(processes_.size()); });
 }
 
+void Kernel::AttachAuditor(verify::ChargeAuditor* auditor) {
+  auditor_ = auditor;
+  if (auditor != nullptr) {
+    auditor->ObserveHierarchy(&containers_);
+  }
+}
+
+std::vector<std::string> Kernel::AuditCheck() const {
+  if (auditor_ == nullptr) {
+    return {};
+  }
+  std::vector<verify::ChargeAuditor::CpuSample> samples;
+  for (int i = 0; i < smp_->cpus(); ++i) {
+    const CpuEngine& eng = smp_->engine(i);
+    verify::ChargeAuditor::CpuSample s;
+    s.cpu = i;
+    s.busy = eng.busy_usec();
+    s.idle = eng.idle_usec();
+    s.wallclock = simr_->now() - eng.created_at();
+    samples.push_back(s);
+  }
+  return auditor_->Check(samples);
+}
+
 void Kernel::ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind) {
+  if (auditor_ != nullptr) {
+    auditor_->OnCharge(c, usec);
+    switch (auditor_->TakeFault()) {
+      case verify::AuditFault::kDropCharge:
+        return;  // the charge silently vanishes — the auditor must notice
+      case verify::AuditFault::kDuplicateCharge:
+        c.ChargeCpu(usec, kind);  // charged once here, once again below
+        break;
+      case verify::AuditFault::kNone:
+        break;
+    }
+  }
   c.ChargeCpu(usec, kind);
   if (telemetry_ != nullptr) {
     charge_counters_[static_cast<int>(kind)]->Add(static_cast<std::uint64_t>(usec));
   }
+  verify::ScopedLock sched_lock(race_detector_, active_sched_, "sched_lock");
+  RC_SHARED_WRITE(race_detector_, *active_sched_);
   active_sched_->OnCharge(c, usec, simr_->now());
 }
 
@@ -320,7 +368,7 @@ void Kernel::SetNetWorkWaiter(std::uint64_t owner_tag, std::function<void()> wai
 
 void Kernel::AddProcessExitWaiter(Pid pid, std::function<void()> waiter) {
   Process* p = FindProcess(pid);
-  RC_CHECK(p != nullptr);
+  RC_CHECK_NE(p, nullptr);
   p->exit_watchers.push_back(std::move(waiter));
 }
 

@@ -27,6 +27,11 @@
 #include "src/sim/simulator.h"
 #include "src/telemetry/registry.h"
 
+namespace verify {
+class ChargeAuditor;
+class RaceDetector;
+}  // namespace verify
+
 namespace kernel {
 
 class Sys;
@@ -116,6 +121,26 @@ class Kernel : public net::StackEnv {
 
   // Charges `usec` of CPU to `c` and informs the scheduler (feedback).
   void ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind);
+
+  // --- Verification (src/verify, opt-in) -----------------------------------
+
+  // Attaches the charge-conservation auditor. Must be called before any
+  // simulated work runs (tallies start empty), and the auditor must outlive
+  // this kernel (destroy notifications fire during teardown). Null detaches
+  // the charge-path hook but not hierarchy observation.
+  void AttachAuditor(verify::ChargeAuditor* auditor);
+  verify::ChargeAuditor* auditor() const { return auditor_; }
+
+  // Runs the auditor's conservation checks against the engines' accounting.
+  // Empty result == clean (or no auditor attached).
+  std::vector<std::string> AuditCheck() const;
+
+  // Attaches the lockset race detector; instrumentation hooks throughout the
+  // engine, semaphores and scheduler sections feed it. Null detaches.
+  void AttachRaceDetector(verify::RaceDetector* detector) {
+    race_detector_ = detector;
+  }
+  verify::RaceDetector* race_detector() const { return race_detector_; }
 
   // Gives every CPU a dispatch opportunity (wake-up path). On a uniprocessor
   // this is exactly one Poke of the single engine.
@@ -209,6 +234,9 @@ class Kernel : public net::StackEnv {
   telemetry::Registry* telemetry_ = nullptr;
   // Charge counters indexed by rc::CpuKind; null while telemetry is detached.
   telemetry::Counter* charge_counters_[3] = {nullptr, nullptr, nullptr};
+
+  verify::ChargeAuditor* auditor_ = nullptr;
+  verify::RaceDetector* race_detector_ = nullptr;
 
   std::function<void(const net::Packet&)> wire_sink_;
 

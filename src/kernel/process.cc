@@ -12,7 +12,7 @@ Process::Process(Kernel* kernel, Pid pid, std::string name,
       pid_(pid),
       name_(std::move(name)),
       default_container_(std::move(default_container)) {
-  RC_CHECK(default_container_ != nullptr);
+  RC_CHECK_NE(default_container_, nullptr);
 }
 
 Process::~Process() = default;

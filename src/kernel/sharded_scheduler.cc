@@ -10,7 +10,7 @@
 namespace kernel {
 
 ShardedScheduler::ShardedScheduler(int cpus, const ShardFactory& make_shard) {
-  RC_CHECK(cpus >= 1);
+  RC_CHECK_GE(cpus, 1);
   shards_.reserve(static_cast<std::size_t>(cpus));
   views_.reserve(static_cast<std::size_t>(cpus));
   for (int i = 0; i < cpus; ++i) {

@@ -7,7 +7,7 @@ namespace kernel {
 SmpEngine::SmpEngine(sim::Simulator* simulator, Kernel* kernel, const CostModel* costs,
                      int cpus, IrqSteering steering)
     : steering_(steering) {
-  RC_CHECK(cpus >= 1);
+  RC_CHECK_GE(cpus, 1);
   engines_.reserve(static_cast<std::size_t>(cpus));
   for (int i = 0; i < cpus; ++i) {
     engines_.push_back(std::make_unique<CpuEngine>(simulator, kernel, costs, i));

@@ -6,7 +6,9 @@
 #include <deque>
 #include <functional>
 
+#include "src/kernel/kernel.h"
 #include "src/kernel/syscalls.h"
+#include "src/verify/lockset.h"
 
 namespace kernel {
 
@@ -14,8 +16,13 @@ class Semaphore {
  public:
   explicit Semaphore(int initial = 0) : count_(initial) {}
 
-  // Releases one unit; wakes the longest-waiting thread, if any.
+  // Releases one unit; wakes the longest-waiting thread, if any. In lockset
+  // terms a Post releases the semaphore (a release of a lock the poster never
+  // acquired — the hand-off pattern — is a no-op in the detector).
   void Post() {
+    if (det_ != nullptr) {
+      det_->OnRelease(det_->current_thread(), this);
+    }
     if (!waiters_.empty()) {
       auto w = std::move(waiters_.front());
       waiters_.pop_front();
@@ -29,13 +36,22 @@ class Semaphore {
   Sys::BlockingAwaiter<bool> Wait(const Sys& sys) {
     Thread* t = sys.thread();
     Semaphore* self = this;
+    det_ = sys.kernel().race_detector();
     auto start = [self, t](std::optional<bool>* slot) -> bool {
       if (self->count_ > 0) {
         --self->count_;
+        if (self->det_ != nullptr) {
+          self->det_->OnAcquire(t->id(), self, "semaphore");
+        }
         slot->emplace(true);
         return true;
       }
-      self->waiters_.push_back([t, slot] {
+      self->waiters_.push_back([self, t, slot] {
+        // Runs in the poster's context: the semaphore is handed to the
+        // *waiting* thread, hence the explicit tid.
+        if (self->det_ != nullptr) {
+          self->det_->OnAcquire(t->id(), self, "semaphore");
+        }
         slot->emplace(true);
         t->Unblock();
       });
@@ -50,6 +66,8 @@ class Semaphore {
  private:
   int count_;
   std::deque<std::function<void()>> waiters_;
+  // Captured from the kernel on Wait; null while verification is off.
+  verify::RaceDetector* det_ = nullptr;
 };
 
 }  // namespace kernel

@@ -1,24 +1,21 @@
 #include "src/kernel/thread.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "src/common/check.h"
 #include "src/kernel/kernel.h"
+#include "src/verify/lockset.h"
 
 namespace kernel {
 
 void Program::promise_type::FinalAwaiter::await_suspend(
     std::coroutine_handle<promise_type> h) noexcept {
   Thread* t = h.promise().thread;
-  RC_CHECK(t != nullptr);
+  RC_CHECK_NE(t, nullptr);
   t->program_finished = true;
   t->MarkDone();
 }
 
 void Program::promise_type::unhandled_exception() {
-  std::fprintf(stderr, "fatal: exception escaped a simulated program\n");
-  std::abort();
+  ::rccommon::CheckFailed("exception escaped a simulated program", __FILE__, __LINE__);
 }
 
 Thread::Thread(Kernel* kernel, Process* process, ThreadId id, std::string name)
@@ -31,10 +28,15 @@ Thread::~Thread() {
 }
 
 void Thread::Unblock() {
-  RC_CHECK(state_ == State::kBlocked);
+  RC_CHECK_EQ(state_, State::kBlocked);
   state_ = State::kRunnable;
   kernel_->tracer().Record(kernel_->now(), TraceKind::kWake, id_, 0, 0);
-  kernel_->scheduler().Enqueue(this, kernel_->now());
+  {
+    verify::ScopedLock sched_lock(kernel_->race_detector(), &kernel_->scheduler(),
+                                  "sched_lock");
+    RC_SHARED_WRITE(kernel_->race_detector(), kernel_->scheduler());
+    kernel_->scheduler().Enqueue(this, kernel_->now());
+  }
   kernel_->PokeCpus();
 }
 

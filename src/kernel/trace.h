@@ -13,6 +13,7 @@
 #include "src/rc/container.h"
 #include "src/sim/time.h"
 #include "src/telemetry/metric.h"
+#include "src/verify/digest.h"
 
 namespace kernel {
 
@@ -76,8 +77,17 @@ class Tracer {
   // registry counter (null and disabled-tracer cases stay one branch each).
   void set_recorded_counter(telemetry::Counter* counter) { recorded_counter_ = counter; }
 
+  // Determinism-digest hook: when attached, every event folds into the
+  // digest, whether or not the ring buffer is enabled.
+  void set_digest(verify::TimelineDigest* digest) { digest_ = digest; }
+  verify::TimelineDigest* digest() const { return digest_; }
+
   void Record(sim::SimTime at, TraceKind kind, std::uint64_t thread_id,
               rc::ContainerId container_id, sim::Duration arg, int cpu = 0) {
+    if (digest_ != nullptr) {
+      digest_->Absorb(at, static_cast<std::uint8_t>(kind), thread_id, container_id,
+                      cpu);
+    }
     if (!enabled_) {
       return;
     }
@@ -134,6 +144,7 @@ class Tracer {
   std::uint64_t dropped_ = 0;
   std::uint64_t total_ = 0;
   telemetry::Counter* recorded_counter_ = nullptr;
+  verify::TimelineDigest* digest_ = nullptr;
 };
 
 }  // namespace kernel

@@ -7,7 +7,7 @@ namespace load {
 HttpClient::HttpClient(sim::Simulator* simulator, Wire* wire, std::uint32_t client_id,
                        Config config)
     : simr_(simulator), wire_(wire), client_id_(client_id), config_(config) {
-  RC_CHECK(config_.requests_per_conn >= 1);
+  RC_CHECK_GE(config_.requests_per_conn, 1);
   wire_->Attach(config_.addr, this);
 }
 

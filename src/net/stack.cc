@@ -26,7 +26,7 @@ const char* NetModeName(NetMode mode) {
 
 Stack::Stack(StackEnv* env, const StackCosts& costs, NetMode mode)
     : env_(env), costs_(costs), mode_(mode) {
-  RC_CHECK(env != nullptr);
+  RC_CHECK_NE(env, nullptr);
 }
 
 Expected<ListenRef> Stack::Listen(std::uint16_t port, const CidrFilter& filter,

@@ -58,7 +58,7 @@ BindingPoint::~BindingPoint() {
 }
 
 void BindingPoint::Bind(const ContainerRef& c, sim::SimTime now) {
-  RC_CHECK(c != nullptr);
+  RC_CHECK_NE(c, nullptr);
   if (resource_binding_) {
     --resource_binding_->bound_thread_count_;
   }

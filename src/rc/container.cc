@@ -115,7 +115,7 @@ void ResourceContainer::ChargeCpu(sim::Duration usec, CpuKind kind) {
 }
 
 Expected<void> ResourceContainer::ChargeMemory(std::int64_t bytes) {
-  RC_CHECK(bytes >= 0);
+  RC_CHECK_GE(bytes, 0);
   for (const ResourceContainer* p = this; p != nullptr; p = p->parent_) {
     const std::int64_t limit = p->attrs_.memory_limit_bytes;
     if (limit > 0 && p->subtree_memory_bytes_ + bytes > limit) {
@@ -129,8 +129,8 @@ Expected<void> ResourceContainer::ChargeMemory(std::int64_t bytes) {
 }
 
 void ResourceContainer::ReleaseMemory(std::int64_t bytes) {
-  RC_CHECK(bytes >= 0);
-  RC_CHECK(usage_.memory_bytes >= bytes);
+  RC_CHECK_GE(bytes, 0);
+  RC_CHECK_GE(usage_.memory_bytes, bytes);
   usage_.memory_bytes -= bytes;
   PropagateMemory(-bytes);
 }

@@ -61,7 +61,7 @@ Expected<void> ContainerManager::SetParent(const ContainerRef& c,
   }
 
   ResourceContainer* old_parent = c->parent();
-  RC_CHECK(old_parent != nullptr);
+  RC_CHECK_NE(old_parent, nullptr);
   const std::int64_t m = c->subtree_memory_bytes();
   old_parent->RemoveChild(c.get());
   old_parent->PropagateMemory(-m);

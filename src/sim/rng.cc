@@ -45,7 +45,7 @@ double Rng::NextDouble() {
 }
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  RC_CHECK(lo <= hi);
+  RC_CHECK_LE(lo, hi);
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
   if (span == 0) {  // full 64-bit range
     return static_cast<std::int64_t>(NextU64());
@@ -60,12 +60,12 @@ std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
 }
 
 double Rng::UniformReal(double lo, double hi) {
-  RC_CHECK(lo <= hi);
+  RC_CHECK_LE(lo, hi);
   return lo + (hi - lo) * NextDouble();
 }
 
 double Rng::Exponential(double mean) {
-  RC_CHECK(mean > 0);
+  RC_CHECK_GT(mean, 0);
   double u;
   do {
     u = NextDouble();
@@ -74,7 +74,7 @@ double Rng::Exponential(double mean) {
 }
 
 Duration Rng::PoissonGap(double rate_per_sec) {
-  RC_CHECK(rate_per_sec > 0);
+  RC_CHECK_GT(rate_per_sec, 0);
   const double mean_usec = static_cast<double>(kSec) / rate_per_sec;
   const double gap = Exponential(mean_usec);
   return gap < 1.0 ? 1 : static_cast<Duration>(gap);

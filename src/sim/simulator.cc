@@ -7,12 +7,12 @@
 namespace sim {
 
 EventHandle Simulator::At(SimTime when, std::function<void()> fn) {
-  RC_CHECK(when >= now_);
+  RC_CHECK_GE(when, now_);
   return queue_.Schedule(when, std::move(fn));
 }
 
 EventHandle Simulator::After(Duration delay, std::function<void()> fn) {
-  RC_CHECK(delay >= 0);
+  RC_CHECK_GE(delay, 0);
   return queue_.Schedule(now_ + delay, std::move(fn));
 }
 
@@ -21,7 +21,7 @@ bool Simulator::Step() {
     return false;
   }
   SimTime when = queue_.NextTime();
-  RC_CHECK(when >= now_);
+  RC_CHECK_GE(when, now_);
   now_ = when;
   queue_.RunNext();
   ++events_run_;

@@ -15,7 +15,7 @@ EpochSampler::EpochSampler(sim::Simulator* simulator, rc::ContainerManager* cont
       self_(std::make_shared<EpochSampler*>(this)) {
   // A non-positive interval would make Tick() reschedule itself at the same
   // instant and pin the simulator at the current time forever.
-  RC_CHECK(interval_ > 0);
+  RC_CHECK_GT(interval_, 0);
   // Stamp retirement on destroy so a series is never mistaken for a live
   // container that merely stopped accumulating.
   std::weak_ptr<EpochSampler*> weak = self_;

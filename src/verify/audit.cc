@@ -1,0 +1,200 @@
+#include "src/verify/audit.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/telemetry/registry.h"
+
+namespace verify {
+
+namespace {
+
+std::string Fmt(const char* format, long long a, long long b) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void ChargeAuditor::ObserveHierarchy(rc::ContainerManager* manager) {
+  RC_CHECK_EQ(manager_, nullptr);
+  RC_CHECK_NE(manager, nullptr);
+  manager_ = manager;
+  manager->AddDestroyObserver([this](rc::ResourceContainer& c) {
+    auto it = tallies_.find(c.id());
+    if (it == tallies_.end()) {
+      return;  // never charged and no retired descendants
+    }
+    const rc::ResourceContainer* parent = c.parent();
+    if (parent != nullptr) {
+      // Mirror the kernel: a dying container's accumulated usage (direct and
+      // already-retired) retires into its parent.
+      ContainerTally& up = tallies_[parent->id()];
+      up.retired += it->second.direct + it->second.retired;
+      if (up.name.empty()) {
+        up.name = parent->name();
+      }
+    }
+    tallies_.erase(it);
+  });
+}
+
+void ChargeAuditor::OnCharge(const rc::ResourceContainer& c, sim::Duration usec) {
+  ContainerTally& tally = tallies_[c.id()];
+  tally.direct += usec;
+  if (tally.name.empty()) {
+    tally.name = c.name();
+  }
+  ++charge_events_;
+  charged_total_ += usec;
+  if (charge_counter_ != nullptr) {
+    charge_counter_->Add();
+    usec_counter_->Add(static_cast<std::uint64_t>(usec));
+  }
+}
+
+void ChargeAuditor::OnSlice(int cpu, sim::Duration overhead, sim::Duration work) {
+  CpuTally& tally = CpuAt(cpu);
+  tally.busy += overhead + work;
+  tally.overhead += overhead;
+  tally.charged += work;
+  engine_charged_total_ += work;
+}
+
+void ChargeAuditor::OnInterrupt(int cpu, sim::Duration cost, bool charged) {
+  CpuTally& tally = CpuAt(cpu);
+  tally.busy += cost;
+  if (charged) {
+    tally.charged += cost;
+    engine_charged_total_ += cost;
+  } else {
+    tally.irq += cost;
+  }
+}
+
+AuditFault ChargeAuditor::TakeFault() {
+  const AuditFault f = fault_;
+  fault_ = AuditFault::kNone;
+  if (f != AuditFault::kNone) {
+    ++faults_injected_;
+    if (fault_counter_ != nullptr) {
+      fault_counter_->Add();
+    }
+  }
+  return f;
+}
+
+ChargeAuditor::CpuTally& ChargeAuditor::CpuAt(int cpu) {
+  if (static_cast<std::size_t>(cpu) >= cpus_.size()) {
+    cpus_.resize(static_cast<std::size_t>(cpu) + 1);
+  }
+  return cpus_[static_cast<std::size_t>(cpu)];
+}
+
+std::vector<std::string> ChargeAuditor::Check(
+    const std::vector<CpuSample>& cpus) const {
+  std::vector<std::string> out;
+
+  // 1. Per-CPU: busy + idle == wallclock, and the engine's busy counter
+  //    matches the busy microseconds the auditor observed accruing.
+  for (const CpuSample& s : cpus) {
+    if (s.busy + s.idle != s.wallclock) {
+      out.push_back("audit: cpu " + std::to_string(s.cpu) +
+                    Fmt(": busy+idle %lld != wallclock %lld usec",
+                        static_cast<long long>(s.busy + s.idle),
+                        static_cast<long long>(s.wallclock)));
+    }
+    const CpuTally tally = static_cast<std::size_t>(s.cpu) < cpus_.size()
+                               ? cpus_[static_cast<std::size_t>(s.cpu)]
+                               : CpuTally{};
+    if (tally.busy != s.busy) {
+      out.push_back("audit: cpu " + std::to_string(s.cpu) +
+                    Fmt(": engine busy %lld != audited busy %lld usec",
+                        static_cast<long long>(s.busy),
+                        static_cast<long long>(tally.busy)));
+    }
+    // 2. Every busy microsecond lands in exactly one bucket: container
+    //    charge, machine interrupt overhead, or context-switch overhead.
+    const sim::Duration accounted = tally.charged + tally.irq + tally.overhead;
+    if (accounted != tally.busy) {
+      out.push_back("audit: cpu " + std::to_string(s.cpu) +
+                    Fmt(": accounted %lld != busy %lld usec",
+                        static_cast<long long>(accounted),
+                        static_cast<long long>(tally.busy)));
+    }
+  }
+
+  // 3. Engine-side charges and kernel-side charges agree: every microsecond
+  //    an engine handed to Kernel::ChargeCpu arrived exactly once.
+  if (engine_charged_total_ != charged_total_) {
+    out.push_back(Fmt("audit: engines charged %lld usec but the kernel charge "
+                      "path recorded %lld usec",
+                      static_cast<long long>(engine_charged_total_),
+                      static_cast<long long>(charged_total_)));
+  }
+
+  if (manager_ == nullptr) {
+    return out;
+  }
+
+  // 4. Per-container: the kernel's usage records match the audit tallies,
+  //    both for direct charges and for usage retired from destroyed
+  //    children. A dropped or duplicated charge shows up here, naming the
+  //    container involved.
+  sim::Duration tally_sum = 0;
+  manager_->ForEachLive([&](rc::ResourceContainer& c) {
+    auto it = tallies_.find(c.id());
+    const ContainerTally tally =
+        it != tallies_.end() ? it->second : ContainerTally{};
+    tally_sum += tally.direct + tally.retired;
+    const sim::Duration direct = c.usage().TotalCpuUsec();
+    if (direct != tally.direct) {
+      out.push_back("audit: container '" + c.name() + "' (id " +
+                    std::to_string(c.id()) + ")" +
+                    Fmt(": usage records %lld usec but %lld usec were charged",
+                        static_cast<long long>(direct),
+                        static_cast<long long>(tally.direct)));
+    }
+    const sim::Duration retired = c.retired_usage().TotalCpuUsec();
+    if (retired != tally.retired) {
+      out.push_back("audit: container '" + c.name() + "' (id " +
+                    std::to_string(c.id()) + ")" +
+                    Fmt(": retired usage %lld usec but audit retired %lld usec",
+                        static_cast<long long>(retired),
+                        static_cast<long long>(tally.retired)));
+    }
+  });
+
+  // 5. Hierarchy conservation: the root subtree (parents fold in children
+  //    and retired usage) accounts for every charged microsecond, no more,
+  //    no less.
+  const sim::Duration subtree = manager_->root()->SubtreeUsage().TotalCpuUsec();
+  if (subtree != charged_total_) {
+    out.push_back(Fmt("audit: root subtree records %lld usec but %lld usec "
+                      "were charged machine-wide",
+                      static_cast<long long>(subtree),
+                      static_cast<long long>(charged_total_)));
+  }
+  if (tally_sum != charged_total_) {
+    out.push_back(Fmt("audit: live container tallies sum to %lld usec but "
+                      "%lld usec were charged (a destroyed container leaked "
+                      "its usage)",
+                      static_cast<long long>(tally_sum),
+                      static_cast<long long>(charged_total_)));
+  }
+
+  return out;
+}
+
+void ChargeAuditor::AttachTelemetry(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    charge_counter_ = usec_counter_ = fault_counter_ = nullptr;
+    return;
+  }
+  charge_counter_ = registry->GetCounter("audit.charge_events", "events");
+  usec_counter_ = registry->GetCounter("audit.charged_usec", "usec");
+  fault_counter_ = registry->GetCounter("audit.faults_injected", "faults");
+}
+
+}  // namespace verify

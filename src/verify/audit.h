@@ -1,0 +1,136 @@
+// Charge-conservation auditor.
+//
+// The paper's contribution rests on accounting correctness: every microsecond
+// a CPU is busy must be charged to exactly one place — a resource container,
+// machine interrupt overhead, or context-switch overhead — and per-container
+// charges must add up across the hierarchy, including usage retired into a
+// parent when a container is destroyed. The auditor observes every charging
+// event through hooks in the kernel's charge paths and keeps independent
+// tallies; Check() then compares those tallies against the kernel's own
+// accounting and reports any microsecond that was lost or double-charged.
+//
+// The auditor is opt-in (attach it with kernel::Kernel::AttachAuditor before
+// any simulated work runs) and costs the charge path one null check when
+// detached. It must outlive the kernel it observes: container-destroy
+// notifications fire during kernel teardown.
+#ifndef SRC_VERIFY_AUDIT_H_
+#define SRC_VERIFY_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rc/container.h"
+#include "src/rc/manager.h"
+#include "src/rc/usage.h"
+#include "src/sim/time.h"
+
+namespace telemetry {
+class Registry;
+class Counter;
+}  // namespace telemetry
+
+namespace verify {
+
+// Test-only fault injection: perturbs the next container charge so tests can
+// prove the auditor actually catches accounting bugs.
+enum class AuditFault {
+  kNone,
+  kDropCharge,       // the container never receives the charge
+  kDuplicateCharge,  // the container receives the charge twice
+};
+
+class ChargeAuditor {
+ public:
+  ChargeAuditor() = default;
+  ChargeAuditor(const ChargeAuditor&) = delete;
+  ChargeAuditor& operator=(const ChargeAuditor&) = delete;
+
+  // Mirrors container destruction (usage retires into the parent) so the
+  // audit tallies follow the same lifecycle as the kernel's accounting.
+  // Called once by Kernel::AttachAuditor.
+  void ObserveHierarchy(rc::ContainerManager* manager);
+
+  // --- Observation hooks (kernel charge paths) ---------------------------
+
+  // Kernel::ChargeCpu is about to charge `usec` to `c`. Records the intended
+  // charge; the kernel separately applies it (unless a fault is injected).
+  void OnCharge(const rc::ResourceContainer& c, sim::Duration usec);
+
+  // A CPU engine consumed a thread slice: `overhead` microseconds of
+  // context-switch cost plus `work` microseconds charged to a container.
+  void OnSlice(int cpu, sim::Duration overhead, sim::Duration work);
+
+  // A CPU engine consumed interrupt work; `charged` says whether the cost
+  // was charged to a container (early-demux modes) or counted as machine
+  // interrupt overhead.
+  void OnInterrupt(int cpu, sim::Duration cost, bool charged);
+
+  // --- Fault injection (tests only) --------------------------------------
+
+  void InjectFault(AuditFault fault) { fault_ = fault; }
+  // Consumes the pending fault (applies to exactly one charge).
+  AuditFault TakeFault();
+
+  // --- Checking -----------------------------------------------------------
+
+  // Per-CPU accounting snapshot, provided by the kernel (Kernel::AuditCheck).
+  struct CpuSample {
+    int cpu = 0;
+    sim::Duration busy = 0;
+    sim::Duration idle = 0;
+    sim::Duration wallclock = 0;  // now - engine creation time
+  };
+
+  // Runs every conservation invariant; returns one human-readable diagnostic
+  // per violation (empty == clean). Diagnostics name the CPU or container
+  // (id and name) involved and both sides of the failed equality.
+  std::vector<std::string> Check(const std::vector<CpuSample>& cpus) const;
+
+  // --- Introspection / telemetry ------------------------------------------
+
+  std::uint64_t charge_events() const { return charge_events_; }
+  sim::Duration charged_usec() const { return charged_total_; }
+  std::uint64_t faults_injected() const { return faults_injected_; }
+
+  // Exports audit counters (audit.charge_events, audit.charged_usec,
+  // audit.faults_injected) into `registry` on every future observation.
+  void AttachTelemetry(telemetry::Registry* registry);
+
+ private:
+  struct ContainerTally {
+    sim::Duration direct = 0;   // charges observed for this container
+    sim::Duration retired = 0;  // tallies folded in from destroyed children
+    std::string name;           // for diagnostics after destruction
+  };
+
+  struct CpuTally {
+    sim::Duration busy = 0;      // every busy accrual observed
+    sim::Duration overhead = 0;  // context-switch share
+    sim::Duration irq = 0;       // uncharged machine interrupt overhead
+    sim::Duration charged = 0;   // work + charged interrupt cost
+  };
+
+  CpuTally& CpuAt(int cpu);
+
+  rc::ContainerManager* manager_ = nullptr;
+
+  std::unordered_map<rc::ContainerId, ContainerTally> tallies_;
+  std::vector<CpuTally> cpus_;
+
+  std::uint64_t charge_events_ = 0;
+  sim::Duration charged_total_ = 0;        // Σ OnCharge (kernel charge path)
+  sim::Duration engine_charged_total_ = 0;  // Σ engine-side charged usec
+
+  AuditFault fault_ = AuditFault::kNone;
+  std::uint64_t faults_injected_ = 0;
+
+  telemetry::Counter* charge_counter_ = nullptr;
+  telemetry::Counter* usec_counter_ = nullptr;
+  telemetry::Counter* fault_counter_ = nullptr;
+};
+
+}  // namespace verify
+
+#endif  // SRC_VERIFY_AUDIT_H_

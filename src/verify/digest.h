@@ -1,0 +1,55 @@
+// Determinism digest: a running FNV-1a hash over the kernel's event
+// timeline (event type, time, thread, container, CPU). Two runs with the
+// same seed and configuration must produce byte-identical digests; any
+// divergence means nondeterminism crept into the simulation — unordered
+// iteration on a hot path, uninitialized state, or a real scheduling bug.
+//
+// The digest is fed by kernel::Tracer::Record and works independently of the
+// tracer's ring buffer: attaching a digest costs one null check per event
+// when detached, one hash step when attached.
+#ifndef SRC_VERIFY_DIGEST_H_
+#define SRC_VERIFY_DIGEST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace verify {
+
+class TimelineDigest {
+ public:
+  void Absorb(std::uint64_t at, std::uint8_t kind, std::uint64_t thread_id,
+              std::uint64_t container_id, int cpu) {
+    Mix(at);
+    Mix(kind);
+    Mix(thread_id);
+    Mix(container_id);
+    Mix(static_cast<std::uint64_t>(cpu));
+    ++events_;
+  }
+
+  std::uint64_t value() const { return hash_; }
+  std::uint64_t events() const { return events_; }
+
+  std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return std::string(buf);
+  }
+
+ private:
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ (v & 0xffu)) * 1099511628211ull;
+      v >>= 8;
+    }
+  }
+
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV-1a offset basis
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace verify
+
+#endif  // SRC_VERIFY_DIGEST_H_

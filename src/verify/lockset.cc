@@ -1,0 +1,104 @@
+#include "src/verify/lockset.h"
+
+#include <algorithm>
+
+namespace verify {
+
+namespace {
+
+// Address used as the implicit kernel-context lock (see header).
+const int kKernelLockTag = 0;
+const void* const kKernelLock = &kKernelLockTag;
+
+}  // namespace
+
+void RaceDetector::OnAcquire(std::uint64_t tid, const void* lock,
+                             const char* name) {
+  held_[tid].insert(lock);
+  auto& stored = lock_names_[lock];
+  if (stored.empty()) {
+    stored = name;
+  }
+}
+
+void RaceDetector::OnRelease(std::uint64_t tid, const void* lock) {
+  auto it = held_.find(tid);
+  if (it != held_.end()) {
+    it->second.erase(lock);  // releasing an unheld lock is a no-op
+  }
+}
+
+std::set<const void*> RaceDetector::CurrentLocks() const {
+  std::set<const void*> locks;
+  auto it = held_.find(current_);
+  if (it != held_.end()) {
+    locks = it->second;
+  }
+  if (current_ == kKernelContext) {
+    locks.insert(kKernelLock);
+  }
+  return locks;
+}
+
+void RaceDetector::OnAccess(const void* addr, const char* name, bool is_write) {
+  ++access_count_;
+  VarState& var = vars_[addr];
+  if (var.name.empty()) {
+    var.name = name;
+  }
+  switch (var.phase) {
+    case Phase::kVirgin:
+      var.phase = Phase::kExclusive;
+      var.owner = current_;
+      return;
+    case Phase::kExclusive:
+      if (current_ == var.owner) {
+        return;  // still single-threaded: no refinement yet
+      }
+      // Second thread: initialize the candidate lockset from its held locks
+      // and leave the exclusive phase.
+      var.lockset = CurrentLocks();
+      var.last_other = current_;
+      var.phase = is_write ? Phase::kSharedModified : Phase::kShared;
+      MaybeReport(var, is_write);
+      return;
+    case Phase::kShared:
+    case Phase::kSharedModified: {
+      const std::set<const void*> locks = CurrentLocks();
+      std::set<const void*> refined;
+      std::set_intersection(var.lockset.begin(), var.lockset.end(),
+                            locks.begin(), locks.end(),
+                            std::inserter(refined, refined.begin()));
+      var.lockset = std::move(refined);
+      if (current_ != var.owner) {
+        var.last_other = current_;
+      }
+      if (is_write) {
+        var.phase = Phase::kSharedModified;
+      }
+      MaybeReport(var, is_write);
+      return;
+    }
+  }
+}
+
+void RaceDetector::MaybeReport(VarState& var, bool is_write) {
+  if (var.phase != Phase::kSharedModified || !var.lockset.empty() ||
+      var.reported) {
+    return;
+  }
+  var.reported = true;
+  Report r;
+  r.variable = var.name;
+  r.first_thread = var.owner;
+  r.second_thread = var.last_other;
+  r.on_write = is_write;
+  r.what = "race: '" + var.name + "' accessed by thread " +
+           std::to_string(var.owner) + " and thread " +
+           std::to_string(var.last_other) +
+           " with no common lock (candidate lockset empty on a " +
+           (is_write ? "write" : "read") + ")";
+  reports_.push_back(std::move(r));
+}
+
+}  // namespace verify

@@ -1,0 +1,145 @@
+// Eraser-style lockset race detector for *simulated* threads.
+//
+// The simulator is single-threaded, so host-level TSan can never see a data
+// race between two simulated threads — yet the coroutine threads multiplexed
+// over kernel::Semaphore and the per-CPU run queues have exactly the same
+// interleaving hazards as real threads: any blocking point (semaphore wait,
+// syscall, quantum preemption) is a point where another simulated thread may
+// run and touch the same state.
+//
+// This detector implements the classic Eraser algorithm (Savage et al. 1997)
+// over simulation-level events:
+//   - shared state is annotated with RC_SHARED_READ / RC_SHARED_WRITE;
+//   - lock acquire/release is instrumented on kernel::Semaphore and on the
+//     scheduler's run-queue sections (verify::ScopedLock);
+//   - each variable's candidate lockset is the intersection of the locks
+//     held at every access once a second thread has touched it. A write
+//     with an empty candidate lockset is reported as a race, naming the
+//     variable and the threads involved.
+//
+// Context model: accesses made while no simulated thread is dispatched
+// (interrupt handlers, simulator callbacks) run in "kernel context", which
+// implicitly holds the kernel lock — the single-threaded event loop *is* a
+// big kernel lock for such state. Thread-context accesses hold only the
+// semaphores/sections the thread actually acquired.
+#ifndef SRC_VERIFY_LOCKSET_H_
+#define SRC_VERIFY_LOCKSET_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace verify {
+
+class RaceDetector {
+ public:
+  // The "thread id" of kernel context (interrupts, simulator callbacks).
+  static constexpr std::uint64_t kKernelContext = 0;
+
+  RaceDetector() = default;
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  // Set by the CPU engine around coroutine execution; kKernelContext
+  // otherwise.
+  void SetCurrentThread(std::uint64_t tid) { current_ = tid; }
+  std::uint64_t current_thread() const { return current_; }
+
+  // Lock acquire/release. `tid` is explicit because a semaphore hand-off
+  // grants the lock to the *waiting* thread from the poster's context.
+  void OnAcquire(std::uint64_t tid, const void* lock, const char* name);
+  void OnRelease(std::uint64_t tid, const void* lock);
+
+  // A shared-state access by the current context. Drives the Eraser state
+  // machine for `addr`; `name` labels the variable in reports.
+  void OnAccess(const void* addr, const char* name, bool is_write);
+
+  struct Report {
+    std::string variable;
+    std::uint64_t first_thread = 0;   // thread that owned the exclusive phase
+    std::uint64_t second_thread = 0;  // access that emptied the lockset
+    bool on_write = false;
+    std::string what;  // full human-readable diagnostic
+  };
+  const std::vector<Report>& reports() const { return reports_; }
+  std::uint64_t access_count() const { return access_count_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kVirgin,          // never accessed
+    kExclusive,       // accessed by one thread only — no lockset refinement
+    kShared,          // read-shared across threads
+    kSharedModified,  // written by more than one thread: races reportable
+  };
+
+  struct VarState {
+    Phase phase = Phase::kVirgin;
+    std::uint64_t owner = 0;  // exclusive-phase thread
+    std::uint64_t last_other = 0;
+    std::set<const void*> lockset;
+    bool reported = false;
+    std::string name;
+  };
+
+  // The lockset of the current context: held locks, plus the implicit
+  // kernel lock in kernel context.
+  std::set<const void*> CurrentLocks() const;
+  void MaybeReport(VarState& var, bool is_write);
+
+  std::uint64_t current_ = kKernelContext;
+  std::unordered_map<std::uint64_t, std::set<const void*>> held_;
+  std::unordered_map<const void*, std::string> lock_names_;
+  std::unordered_map<const void*, VarState> vars_;
+  std::vector<Report> reports_;
+  std::uint64_t access_count_ = 0;
+};
+
+// RAII acquire/release of an instrumentation lock (e.g. the scheduler
+// run-queue lock). Null-safe: a detached detector costs one branch.
+class ScopedLock {
+ public:
+  ScopedLock(RaceDetector* detector, const void* lock, const char* name)
+      : detector_(detector), lock_(lock) {
+    if (detector_ != nullptr) {
+      tid_ = detector_->current_thread();
+      detector_->OnAcquire(tid_, lock_, name);
+    }
+  }
+  ~ScopedLock() {
+    if (detector_ != nullptr) {
+      detector_->OnRelease(tid_, lock_);
+    }
+  }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  RaceDetector* const detector_;
+  const void* const lock_;
+  std::uint64_t tid_ = 0;
+};
+
+}  // namespace verify
+
+// Shared-state annotations. `var` must be an lvalue; its address identifies
+// the state, its spelling labels it in race reports. One branch when the
+// detector is detached (null).
+#define RC_SHARED_READ(detector, var)                    \
+  do {                                                   \
+    ::verify::RaceDetector* rc_det = (detector);         \
+    if (rc_det != nullptr) {                             \
+      rc_det->OnAccess(&(var), #var, /*is_write=*/false); \
+    }                                                    \
+  } while (0)
+
+#define RC_SHARED_WRITE(detector, var)                   \
+  do {                                                   \
+    ::verify::RaceDetector* rc_det = (detector);         \
+    if (rc_det != nullptr) {                             \
+      rc_det->OnAccess(&(var), #var, /*is_write=*/true); \
+    }                                                    \
+  } while (0)
+
+#endif  // SRC_VERIFY_LOCKSET_H_

@@ -1,8 +1,20 @@
 #include "src/xp/scenario.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/common/check.h"
 
 namespace xp {
+
+namespace {
+
+bool AuditEnvSet() {
+  const char* v = std::getenv("RC_AUDIT");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
 
 Scenario::Scenario(const ScenarioOptions& options)
     : options_(options), rng_(options.seed) {
@@ -11,13 +23,54 @@ Scenario::Scenario(const ScenarioOptions& options)
   // The paper's experiments serve a cached 1 KB document (doc id 1).
   cache_.AddDocument(1, 1024);
   RegisterProbes();
+  if (options_.audit || AuditEnvSet()) {
+    auditor_ = std::make_unique<verify::ChargeAuditor>();
+    kernel_->AttachAuditor(auditor_.get());
+  }
+  if (options_.digest) {
+    digest_ = std::make_unique<verify::TimelineDigest>();
+    kernel_->tracer().set_digest(digest_.get());
+  }
   if (options_.telemetry) {
     kernel_->AttachTelemetry(&registry_);
+    if (auditor_ != nullptr) {
+      auditor_->AttachTelemetry(&registry_);
+    }
     sampler_ = std::make_unique<telemetry::EpochSampler>(
         &simr_, &kernel_->containers(), options_.telemetry_interval);
     sampler_->Start();
   }
   kernel_->Start();
+}
+
+Scenario::~Scenario() {
+  // Final conservation check while the kernel (and its containers) are still
+  // alive, so a violated invariant fails the run even if the binary never
+  // audits explicitly.
+  CheckAuditOrDie();
+}
+
+std::vector<std::string> Scenario::AuditCheck() const {
+  if (auditor_ == nullptr) {
+    return {};
+  }
+  return kernel_->AuditCheck();
+}
+
+void Scenario::CheckAuditOrDie() const {
+  if (auditor_ == nullptr) {
+    return;
+  }
+  const std::vector<std::string> violations = kernel_->AuditCheck();
+  if (violations.empty()) {
+    return;
+  }
+  std::fprintf(stderr, "charge-conservation audit FAILED (%zu violation%s):\n",
+               violations.size(), violations.size() == 1 ? "" : "s");
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "  %s\n", v.c_str());
+  }
+  std::exit(1);
 }
 
 void Scenario::RegisterProbes() {
@@ -76,7 +129,7 @@ void Scenario::RegisterProbes() {
 }
 
 void Scenario::StartServer(rc::ContainerRef guest) {
-  RC_CHECK(server_ == nullptr);
+  RC_CHECK_EQ(server_, nullptr);
   server_ = std::make_unique<httpd::EventDrivenServer>(kernel_.get(), &cache_,
                                                        options_.server_config);
   server_->RegisterMetrics(registry_);
@@ -121,7 +174,10 @@ void Scenario::StartAllClients(sim::Duration step) {
   }
 }
 
-void Scenario::RunFor(sim::Duration d) { simr_.RunUntil(simr_.now() + d); }
+void Scenario::RunFor(sim::Duration d) {
+  simr_.RunUntil(simr_.now() + d);
+  CheckAuditOrDie();
+}
 
 void Scenario::ResetClientStats() {
   for (auto& c : clients_) {

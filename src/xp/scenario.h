@@ -17,6 +17,8 @@
 #include "src/sim/simulator.h"
 #include "src/telemetry/registry.h"
 #include "src/telemetry/sampler.h"
+#include "src/verify/audit.h"
+#include "src/verify/digest.h"
 
 namespace xp {
 
@@ -33,6 +35,15 @@ struct ScenarioOptions {
   // httpd.*) are registered unconditionally — they cost nothing until read.
   bool telemetry = false;
   sim::Duration telemetry_interval = sim::Msec(100);
+  // Charge-conservation auditing (src/verify). Also enabled by the RC_AUDIT
+  // environment variable (any value but "" or "0"), so existing bench
+  // binaries audit without code changes. When on, every RunFor and the
+  // scenario destructor verify conservation and abort the process with the
+  // violations on stderr if any microsecond was lost or double-charged.
+  bool audit = false;
+  // Determinism digest: fold every trace event into an FNV-1a hash
+  // (Scenario::digest()), independent of the tracer ring buffer.
+  bool digest = false;
 };
 
 // Snapshot of machine-level CPU accounting (for utilization/share series).
@@ -46,6 +57,7 @@ struct CpuSnapshot {
 class Scenario {
  public:
   explicit Scenario(const ScenarioOptions& options);
+  ~Scenario();
 
   sim::Simulator& simulator() { return simr_; }
   kernel::Kernel& kernel() { return *kernel_; }
@@ -59,6 +71,15 @@ class Scenario {
   const telemetry::Registry& metrics() const { return registry_; }
   // Non-null when options.telemetry enabled the epoch sampler.
   telemetry::EpochSampler* sampler() { return sampler_.get(); }
+
+  // Non-null when auditing is on (option or RC_AUDIT env).
+  verify::ChargeAuditor* auditor() { return auditor_.get(); }
+  // Non-null when options.digest is set.
+  verify::TimelineDigest* digest() { return digest_.get(); }
+
+  // Runs the charge-conservation audit now; empty == clean (or auditing
+  // off). RunFor and the destructor call the fatal variant automatically.
+  std::vector<std::string> AuditCheck() const;
 
   // Scenario-level random stream, seeded from options.seed. Fork() it for
   // independent per-actor streams.
@@ -100,6 +121,9 @@ class Scenario {
 
  private:
   void RegisterProbes();
+  // Prints audit violations to stderr and exits nonzero. No-op when clean
+  // or auditing is off.
+  void CheckAuditOrDie() const;
 
   ScenarioOptions options_;
   sim::Rng rng_;
@@ -107,6 +131,11 @@ class Scenario {
   // are dropped only after everything they reference is already gone — no
   // export may run during destruction either way.
   telemetry::Registry registry_;
+  // Declared before the kernel: container-destroy notifications reach the
+  // auditor during kernel teardown, and the tracer holds a raw digest
+  // pointer until it dies.
+  std::unique_ptr<verify::ChargeAuditor> auditor_;
+  std::unique_ptr<verify::TimelineDigest> digest_;
   sim::Simulator simr_;
   std::unique_ptr<kernel::Kernel> kernel_;
   std::unique_ptr<load::Wire> wire_;

@@ -1,0 +1,158 @@
+// Tests for kernel::Semaphore semantics (FIFO hand-off, counting, fast path)
+// and for its lockset instrumentation: semaphore-protected shared state must
+// be race-free, unprotected shared state must be reported.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/sync.h"
+#include "src/kernel/syscalls.h"
+#include "src/verify/lockset.h"
+
+namespace kernel {
+namespace {
+
+class SemaphoreTest : public ::testing::Test {
+ protected:
+  void MakeKernel(KernelConfig cfg = ResourceContainerSystemConfig()) {
+    kernel_ = std::make_unique<Kernel>(&simr_, cfg);
+    proc_ = kernel_->CreateProcess("test");
+  }
+
+  Thread* Spawn(std::string name, std::function<Program(Sys)> body) {
+    return kernel_->SpawnThread(proc_, std::move(name), std::move(body));
+  }
+
+  void Run(sim::Duration until = sim::Sec(1)) { simr_.RunUntil(simr_.now() + until); }
+
+  sim::Simulator simr_;
+  std::unique_ptr<Kernel> kernel_;
+  Process* proc_ = nullptr;
+};
+
+TEST_F(SemaphoreTest, PostWakesWaitersInFifoOrder) {
+  MakeKernel();
+  Semaphore sem(0);
+  std::vector<int> order;
+  for (int i = 1; i <= 3; ++i) {
+    Spawn("w" + std::to_string(i), [&sem, &order, i](Sys sys) -> Program {
+      co_await sem.Wait(sys);
+      order.push_back(i);
+    });
+  }
+  Spawn("poster", [&sem](Sys sys) -> Program {
+    co_await sys.Sleep(1000);  // let all three waiters block first
+    sem.Post();
+    sem.Post();
+    sem.Post();
+  });
+  Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sem.count(), 0);
+  EXPECT_EQ(sem.waiter_count(), 0u);
+}
+
+TEST_F(SemaphoreTest, PostWithWaiterHandsOffInsteadOfCounting) {
+  MakeKernel();
+  Semaphore sem(0);
+  bool resumed = false;
+  Spawn("waiter", [&](Sys sys) -> Program {
+    co_await sem.Wait(sys);
+    resumed = true;
+  });
+  Run(sim::Msec(10));
+  ASSERT_EQ(sem.waiter_count(), 1u);
+  sem.Post();
+  // The unit went to the waiter, not into the count.
+  EXPECT_EQ(sem.count(), 0);
+  EXPECT_EQ(sem.waiter_count(), 0u);
+  Run(sim::Msec(10));
+  EXPECT_TRUE(resumed);
+}
+
+TEST_F(SemaphoreTest, PostWithoutWaitersAccumulates) {
+  MakeKernel();
+  Semaphore sem(0);
+  sem.Post();
+  sem.Post();
+  EXPECT_EQ(sem.count(), 2);
+}
+
+TEST_F(SemaphoreTest, WaitAfterPostTakesTheFastPath) {
+  MakeKernel();
+  Semaphore sem(1);
+  bool resumed = false;
+  Spawn("waiter", [&](Sys sys) -> Program {
+    co_await sem.Wait(sys);
+    resumed = true;
+  });
+  Run(sim::Msec(10));
+  // The unit was available: the wait decremented the count and never
+  // registered a waiter.
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(sem.count(), 0);
+  EXPECT_EQ(sem.waiter_count(), 0u);
+}
+
+// --- Lockset instrumentation over simulated threads --------------------------
+
+class SemaphoreLocksetTest : public SemaphoreTest {
+ protected:
+  void MakeInstrumentedKernel() {
+    MakeKernel();
+    kernel_->AttachRaceDetector(&detector_);
+  }
+
+  verify::RaceDetector detector_;
+};
+
+TEST_F(SemaphoreLocksetTest, SemaphoreProtectedSharedStateIsRaceFree) {
+  MakeInstrumentedKernel();
+  Semaphore mutex(1);
+  int shared = 0;
+  for (int i = 0; i < 2; ++i) {
+    Spawn("t" + std::to_string(i), [&](Sys sys) -> Program {
+      for (int round = 0; round < 3; ++round) {
+        co_await mutex.Wait(sys);
+        RC_SHARED_WRITE(kernel_->race_detector(), shared);
+        ++shared;
+        co_await sys.Compute(200);
+        RC_SHARED_WRITE(kernel_->race_detector(), shared);
+        mutex.Post();
+        co_await sys.Sleep(100);
+      }
+    });
+  }
+  Run();
+  EXPECT_EQ(shared, 2 * 3);  // one increment per round per thread
+  EXPECT_GT(detector_.access_count(), 0u);
+  for (const auto& r : detector_.reports()) {
+    ADD_FAILURE() << r.what;
+  }
+}
+
+TEST_F(SemaphoreLocksetTest, UnprotectedSharedStateIsReported) {
+  MakeInstrumentedKernel();
+  int shared = 0;
+  for (int i = 0; i < 2; ++i) {
+    Spawn("t" + std::to_string(i), [&](Sys sys) -> Program {
+      for (int round = 0; round < 3; ++round) {
+        RC_SHARED_WRITE(kernel_->race_detector(), shared);
+        ++shared;
+        co_await sys.Compute(200);
+      }
+    });
+  }
+  Run();
+  ASSERT_EQ(detector_.reports().size(), 1u);  // one report per variable
+  const verify::RaceDetector::Report& r = detector_.reports().front();
+  EXPECT_EQ(r.variable, "shared");
+  EXPECT_NE(r.first_thread, r.second_thread);
+  EXPECT_NE(r.what.find("no common lock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kernel

@@ -34,6 +34,14 @@
 //   --series-out=FILE            per-container usage time series (JSON Lines)
 //   --epoch-ms=N                 sampling interval for --series-out (default 100)
 //   --print-metrics              dump the full metric registry after the run
+//   --audit                      charge-conservation auditing (src/verify):
+//                                every RunFor verifies that busy CPU time,
+//                                container charges and overheads conserve;
+//                                violations go to stderr and exit nonzero.
+//                                RC_AUDIT=1 in the environment does the same.
+//   --digest                     print "digest: <16 hex>" — an FNV-1a hash of
+//                                the full event timeline. Same seed + flags
+//                                must reproduce the same digest.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +78,8 @@ struct Flags {
   std::string series_out;
   int epoch_ms = 100;
   bool print_metrics = false;
+  bool audit = false;
+  bool digest = false;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -137,6 +147,10 @@ int main(int argc, char** argv) {
       flags.epoch_ms = std::atoi(value.c_str());
     } else if (std::strcmp(a, "--print-metrics") == 0) {
       flags.print_metrics = true;
+    } else if (std::strcmp(a, "--audit") == 0) {
+      flags.audit = true;
+    } else if (std::strcmp(a, "--digest") == 0) {
+      flags.digest = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return Usage();
@@ -174,6 +188,8 @@ int main(int argc, char** argv) {
     return Usage();
   }
   options.seed = flags.seed;
+  options.audit = flags.audit;
+  options.digest = flags.digest;
 
   if (flags.epoch_ms <= 0) {
     std::fprintf(stderr, "--epoch-ms must be positive\n");
@@ -299,6 +315,10 @@ int main(int argc, char** argv) {
   if (flags.print_metrics) {
     xp::MetricsTable(scenario.metrics()).Print(std::cout);
     std::printf("\n");
+  }
+
+  if (flags.digest) {
+    std::printf("digest: %s\n", scenario.digest()->hex().c_str());
   }
 
   if (flags.csv) {
