@@ -1,0 +1,204 @@
+// I/O bandwidth shares — do container fixed shares hold on the disk and on
+// the transmit link the way they hold on the CPU?
+//
+// The share tree (src/sched) arbitrates every schedulable resource with the
+// same stride machinery; this bench measures how accurately the configured
+// 50/30/20 fixed shares translate into bandwidth under saturation:
+//
+//  1. Disk: three containers with fixed disk shares, four closed-loop 4 KB
+//     readers each, so the disk queue always holds requests from every
+//     container. Measured split = each container's disk_busy_usec fraction.
+//  2. Link: a 10 Mbps transmit link (kernel link model), an RC-kernel Web
+//     server with three listen classes holding fixed shares, and enough
+//     closed-loop HTTP clients per class to saturate the link. Measured
+//     split = each class subtree's link_busy_usec fraction — this exercises
+//     the whole path (stack -> per-connection containers -> class
+//     containers -> link scheduler).
+//
+// Flags: --seconds=N (measurement window, default 5), --metrics-out[=file]
+// (BENCH_io.json).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/kernel/syscalls.h"
+#include "src/telemetry/bench_io.h"
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+namespace {
+
+constexpr double kShares[3] = {0.50, 0.30, 0.20};
+
+void RunDiskShares(telemetry::BenchReport& report, xp::Table& table,
+                   sim::Duration measure) {
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::ResourceContainerSystemConfig());
+  kern.Start();
+
+  std::vector<rc::ContainerRef> cts;
+  for (int g = 0; g < 3; ++g) {
+    rc::Attributes a;
+    a.disk.override_sched = true;
+    a.disk.sched.cls = rc::SchedClass::kFixedShare;
+    a.disk.sched.fixed_share = kShares[g];
+    cts.push_back(
+        kern.containers().Create(nullptr, "disk" + std::to_string(g), a).value());
+    // Four readers per container keep its queue backlogged at every
+    // arbitration point.
+    for (int t = 0; t < 4; ++t) {
+      kernel::Process* p = kern.CreateProcess("reader" + std::to_string(g), cts[g]);
+      kern.SpawnThread(p, "r", [](kernel::Sys sys) -> kernel::Program {
+        for (std::uint64_t n = 0;; ++n) {
+          co_await sys.ReadDisk(n * 9973u * 64, 4);
+        }
+      });
+    }
+  }
+
+  simr.RunUntil(sim::Sec(1));  // stride state settles
+  std::vector<sim::Duration> busy0;
+  for (auto& c : cts) {
+    busy0.push_back(c->usage().disk_busy_usec);
+  }
+  const sim::SimTime t0 = simr.now();
+  simr.RunUntil(t0 + measure);
+
+  sim::Duration total = 0;
+  std::vector<sim::Duration> busy(3);
+  for (int g = 0; g < 3; ++g) {
+    busy[g] = cts[g]->usage().disk_busy_usec - busy0[g];
+    total += busy[g];
+  }
+  for (int g = 0; g < 3; ++g) {
+    const double frac =
+        total > 0 ? static_cast<double>(busy[g]) / static_cast<double>(total) : 0.0;
+    const std::string config = "disk-shares,guest=" + std::to_string(g) +
+                               ",configured=" + xp::FormatDouble(kShares[g], 2);
+    report.Add("measured_disk_share", 100 * frac, "percent", config);
+    report.Add("share_error", 100 * (frac - kShares[g]), "points", config);
+    table.AddRow({"disk guest" + std::to_string(g),
+                  xp::FormatDouble(100 * kShares[g], 0) + "%",
+                  xp::FormatDouble(100 * frac, 1) + "%",
+                  xp::FormatDouble(100 * (frac - kShares[g]), 2) + " pts"});
+  }
+}
+
+void RunLinkShares(telemetry::BenchReport& report, xp::Table& table,
+                   sim::Duration measure) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.kernel_config.link_mbps = 10.0;  // the bottleneck: ~1200 x 1 KB/s
+  options.server_config.use_containers = true;
+  options.server_config.use_event_api = true;
+  options.server_config.classes.clear();
+  const char* names[3] = {"gold", "silver", "bronze"};
+  for (int g = 0; g < 3; ++g) {
+    httpd::ListenClass cls;
+    cls.filter = net::CidrFilter{net::MakeAddr(10, static_cast<unsigned>(1 + g), 0, 0), 16};
+    cls.name = names[g];
+    cls.fixed_share = kShares[g];
+    options.server_config.classes.push_back(cls);
+  }
+
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  for (int g = 0; g < 3; ++g) {
+    scenario.AddStaticClients(24, net::MakeAddr(10, static_cast<unsigned>(1 + g), 0, 0),
+                              g, /*requests_per_conn=*/8);
+  }
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(2));  // warm-up: all classes active, link saturated
+
+  // The class containers were created by the server; find them by name.
+  std::vector<rc::ContainerRef> cls_cts(3);
+  scenario.kernel().containers().ForEachLive([&](rc::ResourceContainer& c) {
+    for (int g = 0; g < 3; ++g) {
+      if (c.name() == std::string("listen-") + names[g]) {
+        cls_cts[g] = scenario.kernel().containers().Lookup(c.id()).value();
+      }
+    }
+  });
+  for (auto& c : cls_cts) {
+    if (c == nullptr) {
+      std::fprintf(stderr, "class container not found\n");
+      std::exit(1);
+    }
+  }
+
+  std::vector<sim::Duration> busy0;
+  for (auto& c : cls_cts) {
+    busy0.push_back(c->SubtreeUsage().link_busy_usec);
+  }
+  const sim::Duration link_busy0 = scenario.kernel().link().stats().busy_usec;
+  const sim::SimTime t0 = scenario.simulator().now();
+  scenario.RunFor(measure);
+  const sim::SimTime t1 = scenario.simulator().now();
+
+  sim::Duration total = 0;
+  std::vector<sim::Duration> busy(3);
+  for (int g = 0; g < 3; ++g) {
+    busy[g] = cls_cts[g]->SubtreeUsage().link_busy_usec - busy0[g];
+    total += busy[g];
+  }
+  const double utilization =
+      static_cast<double>(scenario.kernel().link().stats().busy_usec - link_busy0) /
+      static_cast<double>(t1 - t0);
+  report.Add("link_utilization", utilization, "fraction", "link-shares,mbps=10");
+  for (int g = 0; g < 3; ++g) {
+    const double frac =
+        total > 0 ? static_cast<double>(busy[g]) / static_cast<double>(total) : 0.0;
+    const std::string config = std::string("link-shares,class=") + names[g] +
+                               ",configured=" + xp::FormatDouble(kShares[g], 2);
+    report.Add("measured_link_share", 100 * frac, "percent", config);
+    report.Add("share_error", 100 * (frac - kShares[g]), "points", config);
+    table.AddRow({std::string("link ") + names[g],
+                  xp::FormatDouble(100 * kShares[g], 0) + "%",
+                  xp::FormatDouble(100 * frac, 1) + "%",
+                  xp::FormatDouble(100 * (frac - kShares[g]), 2) + " pts"});
+  }
+  table.AddRow({"link utilization", "-", xp::FormatDouble(100 * utilization, 1) + "%",
+                "-"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("io", argc, argv);
+
+  sim::Duration measure = sim::Sec(5);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seconds=", 10) == 0) {
+      const int s = std::atoi(arg + 10);
+      if (s < 1) {
+        std::fprintf(stderr, "bad --seconds: %s\n", arg);
+        return 2;
+      }
+      measure = sim::Sec(s);
+    } else if (std::strncmp(arg, "--metrics-out", 13) != 0) {
+      std::fprintf(stderr, "usage: bench_io [--seconds=N] [--metrics-out[=file]]\n");
+      return 2;
+    }
+  }
+
+  std::printf("=== I/O bandwidth shares: one share tree for disk and link ===\n\n");
+
+  xp::Table table({"configuration", "configured", "measured", "error"});
+  RunDiskShares(report, table, measure);
+  RunLinkShares(report, table, measure);
+  table.Print(std::cout);
+  std::printf(
+      "\ndisk: three containers with fixed disk shares, 4 closed-loop readers\n"
+      "each. link: 10 Mbps transmit link, three fixed-share listen classes,\n"
+      "24 closed-loop clients each. both splits should track 50/30/20.\n");
+
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -5,8 +5,41 @@
 
 #include "src/common/check.h"
 #include "src/telemetry/registry.h"
+#include "src/verify/audit.h"
 
 namespace disk {
+
+sched::ShareTreeOptions DiskEngine::TreeOptions(const DiskCosts& costs) {
+  sched::ShareTreeOptions options;
+  options.resource = rc::ResourceKind::kDisk;
+  options.decay_per_tick = costs.decay_per_tick;
+  options.limit_window = costs.limit_window;
+  options.capacity = 1;  // one spindle
+  // The CPU scheduler owns the containers' sched_cookie fast path.
+  options.cache_in_container = false;
+  // Priority-0 I/O is background work, not a starvation class: it keeps a
+  // weight-1 trickle even under saturating higher-priority streams.
+  options.starve_priority_zero = false;
+  return options;
+}
+
+DiskEngine::DiskEngine(sim::Simulator* simulator, const DiskCosts& costs,
+                       rc::ContainerManager* manager)
+    : simr_(simulator),
+      costs_(costs),
+      manager_(manager),
+      tree_(manager, TreeOptions(costs)),
+      created_at_(simulator->now()) {
+  RC_CHECK_NE(manager, nullptr);
+}
+
+DiskEngine::~DiskEngine() {
+  // Requests still queued at teardown are dropped without completion; free
+  // them (they were heap-allocated in Submit).
+  for (void* item : tree_.DrainAll()) {
+    delete static_cast<IoRequest*>(item);
+  }
+}
 
 sim::Duration DiskEngine::ServiceTime(std::uint32_t kb, bool sequential) const {
   sim::Duration t = static_cast<sim::Duration>(kb) * costs_.transfer_usec_per_kb;
@@ -17,56 +50,78 @@ sim::Duration DiskEngine::ServiceTime(std::uint32_t kb, bool sequential) const {
 }
 
 void DiskEngine::Submit(IoRequest request) {
-  int prio = rc::kDefaultPriority;
-  if (request.container) {
-    prio = std::clamp(request.container->attributes().EffectiveNetworkPriority(),
-                      rc::kMinPriority, rc::kMaxPriority);
-  }
-  buckets_[static_cast<std::size_t>(prio)].push_back(std::move(request));
-  ++queued_;
+  // Unowned requests queue at the root: served only when no owned request is
+  // eligible, so they cannot crowd out containers with guarantees.
+  rc::ResourceContainer* leaf =
+      request.container ? request.container.get() : manager_->root().get();
+  tree_.Push(leaf, new IoRequest(std::move(request)));
   MaybeStart();
 }
 
 void DiskEngine::MaybeStart() {
-  if (busy_ || queued_ == 0) {
+  if (busy_ || tree_.queued_total() == 0) {
     return;
   }
-  // Highest container priority first; FIFO within a priority class.
-  IoRequest req;
-  bool found = false;
-  for (int prio = rc::kMaxPriority; prio >= 0 && !found; --prio) {
-    auto& bucket = buckets_[static_cast<std::size_t>(prio)];
-    if (!bucket.empty()) {
-      req = std::move(bucket.front());
-      bucket.pop_front();
-      found = true;
+  const sim::SimTime now = simr_->now();
+  void* item = tree_.Pop(now);
+  if (item == nullptr) {
+    // Everything queued is limit-throttled; retry when the earliest window
+    // re-opens.
+    if (!retry_armed_) {
+      if (auto next = tree_.NextEligibleTime(now); next.has_value()) {
+        retry_armed_ = true;
+        simr_->At(*next, [this] {
+          retry_armed_ = false;
+          MaybeStart();
+        });
+      }
     }
+    return;
   }
-  RC_CHECK(found);
-  --queued_;
+  inflight_.reset(static_cast<IoRequest*>(item));
   busy_ = true;
 
-  const bool sequential = req.block_kb == head_pos_kb_;
-  const sim::Duration service = ServiceTime(req.kb, sequential);
+  const bool sequential = inflight_->block_kb == head_pos_kb_;
+  const sim::Duration service = ServiceTime(inflight_->kb, sequential);
   if (sequential) {
     ++stats_.sequential_hits;
   }
-  head_pos_kb_ = req.block_kb + req.kb;
+  head_pos_kb_ = inflight_->block_kb + inflight_->kb;
 
-  simr_->After(service, [this, req = std::move(req), service]() mutable {
-    ++stats_.requests;
-    stats_.busy_usec += service;
-    stats_.kb_transferred += req.kb;
-    if (req.container) {
-      req.container->ChargeDisk(service, req.kb);
+  // Advance the share tree at dispatch so back-to-back picks under
+  // contention interleave by share, not in bursts.
+  rc::ResourceContainer* charged =
+      inflight_->container ? inflight_->container.get() : manager_->root().get();
+  tree_.OnCharge(*charged, service, now);
+
+  simr_->After(service, [this, service] { CompleteInflight(service); });
+}
+
+void DiskEngine::CompleteInflight(sim::Duration service) {
+  RC_CHECK(busy_);
+  RC_CHECK(inflight_ != nullptr);
+  std::unique_ptr<IoRequest> req = std::move(inflight_);
+
+  ++stats_.requests;
+  stats_.busy_usec += service;
+  stats_.kb_transferred += req->kb;
+  const bool owned = req->container != nullptr;
+  if (owned) {
+    if (auditor_ != nullptr) {
+      auditor_->OnResourceCharge(rc::ResourceKind::kDisk, *req->container, service);
     }
-    busy_ = false;
-    if (req.done) {
-      auto done = std::move(req.done);
-      done();
-    }
-    MaybeStart();
-  });
+    req->container->ChargeDisk(service, req->kb);
+  }
+  if (auditor_ != nullptr) {
+    auditor_->OnDeviceWork(rc::ResourceKind::kDisk, service, owned);
+  }
+  busy_ = false;
+  if (req->done) {
+    auto done = std::move(req->done);
+    req.reset();
+    done();
+  }
+  MaybeStart();
 }
 
 void DiskEngine::RegisterMetrics(telemetry::Registry& registry) {
@@ -79,7 +134,7 @@ void DiskEngine::RegisterMetrics(telemetry::Registry& registry) {
   registry.AddProbe("disk.sequential_hits", "requests",
                     [this] { return static_cast<double>(stats_.sequential_hits); });
   registry.AddProbe("disk.queue_depth", "requests",
-                    [this] { return static_cast<double>(queued_); });
+                    [this] { return static_cast<double>(queued()); });
 }
 
 }  // namespace disk

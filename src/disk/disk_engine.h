@@ -5,9 +5,17 @@
 // resource containers… the container mechanism causes resource consumption
 // to be charged to the correct principal". This module provides that
 // substrate for disk bandwidth: requests carry the container of the activity
-// that issued them, the disk services pending requests in container network-
-// priority order (FIFO within a priority), and each request's service time
-// (seek + transfer) is charged to the container's disk-usage accounting.
+// that issued them, pending requests arbitrate through the same hierarchical
+// share tree as the CPU scheduler (sched::ShareTree over the disk attributes:
+// fixed shares are bandwidth guarantees, time-share priorities are weights,
+// and per-container disk limits throttle a subtree), and each request's
+// service time (seek + transfer) is charged to the container's disk-usage
+// accounting.
+//
+// Unlike the CPU tree, priority 0 here is not a starvation class: a
+// priority-0 container's requests make proportional (weight-1) progress even
+// under a saturating high-priority stream, so background I/O is slowed, not
+// starved.
 //
 // The model is a single-spindle disk with a fixed average positioning time
 // and a linear transfer rate — 1999-era numbers by default, matching the
@@ -15,16 +23,20 @@
 #ifndef SRC_DISK_DISK_ENGINE_H_
 #define SRC_DISK_DISK_ENGINE_H_
 
-#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 
 #include "src/rc/container.h"
+#include "src/rc/manager.h"
+#include "src/sched/share_tree.h"
 #include "src/sim/simulator.h"
 
 namespace telemetry {
 class Registry;
+}
+namespace verify {
+class ChargeAuditor;
 }
 
 namespace disk {
@@ -35,6 +47,10 @@ struct DiskCosts {
   // Requests whose blocks are adjacent to the previous request skip the
   // positioning cost (sequential-read optimization).
   bool sequential_optimization = true;
+  // Decay applied to per-container decayed disk usage on every kernel tick.
+  double decay_per_tick = 0.9;
+  // Window length for per-container disk limits (attributes().disk.limit).
+  sim::Duration limit_window = 100000;
 };
 
 struct IoRequest {
@@ -46,8 +62,14 @@ struct IoRequest {
 
 class DiskEngine {
  public:
-  DiskEngine(sim::Simulator* simulator, const DiskCosts& costs)
-      : simr_(simulator), costs_(costs) {}
+  // `manager` keys the share tree; unowned requests (null container) queue
+  // at the root and are served only when no owned request is eligible.
+  DiskEngine(sim::Simulator* simulator, const DiskCosts& costs,
+             rc::ContainerManager* manager);
+  ~DiskEngine();
+
+  DiskEngine(const DiskEngine&) = delete;
+  DiskEngine& operator=(const DiskEngine&) = delete;
 
   // Enqueues a request; `done` fires when the transfer completes.
   void Submit(IoRequest request);
@@ -56,7 +78,7 @@ class DiskEngine {
   sim::Duration ServiceTime(std::uint32_t kb, bool sequential) const;
 
   bool busy() const { return busy_; }
-  int queued() const { return queued_; }
+  int queued() const { return tree_.queued_total(); }
 
   struct Stats {
     std::uint64_t requests = 0;
@@ -65,27 +87,60 @@ class DiskEngine {
     std::uint64_t sequential_hits = 0;
   };
   const Stats& stats() const { return stats_; }
+  // Simulated time at which this disk came into existence (audit wallclock).
+  sim::SimTime created_at() const { return created_at_; }
+
+  // Charge-conservation observer for disk service intervals (may be null).
+  void set_auditor(verify::ChargeAuditor* auditor) { auditor_ = auditor; }
+
+  // Periodic decay of the share tree's usage (kernel housekeeping tick).
+  void Tick() { tree_.Tick(); }
+
+  // Hierarchy lifecycle, forwarded from the kernel's container observers.
+  void OnContainerDestroyed(rc::ResourceContainer& c) {
+    tree_.OnContainerDestroyed(c);
+  }
+  void OnContainerReparented(rc::ResourceContainer& child,
+                             rc::ResourceContainer* old_parent,
+                             rc::ResourceContainer* new_parent) {
+    tree_.OnContainerReparented(child, old_parent, new_parent);
+  }
+
+  // Test hooks.
+  double DecayedUsage(const rc::ResourceContainer& c) const {
+    return tree_.DecayedUsage(c);
+  }
+  bool IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const {
+    return tree_.IsThrottled(c, now);
+  }
 
   // Installs pull-based probes for the disk counters (disk.*) and the
   // current queue depth; `this` must outlive reads of the registry.
   void RegisterMetrics(telemetry::Registry& registry);
 
  private:
+  static sched::ShareTreeOptions TreeOptions(const DiskCosts& costs);
+
   void MaybeStart();
+  void CompleteInflight(sim::Duration service);
 
   sim::Simulator* const simr_;
   const DiskCosts costs_;
+  rc::ContainerManager* const manager_;
 
-  // Pending requests bucketed by container network priority (FIFO within).
-  std::array<std::deque<IoRequest>, rc::kMaxPriority + 1> buckets_;
-  int queued_ = 0;
+  sched::ShareTree tree_;
+  std::unique_ptr<IoRequest> inflight_;
   bool busy_ = false;
+  // A retry is pending because everything queued was limit-throttled.
+  bool retry_armed_ = false;
   // Block after the last transfer; the sentinel means "no transfer yet", so
   // the first request always pays the positioning cost.
   static constexpr std::uint64_t kNoPosition = ~std::uint64_t{0};
   std::uint64_t head_pos_kb_ = kNoPosition;
 
+  const sim::SimTime created_at_;
   Stats stats_;
+  verify::ChargeAuditor* auditor_ = nullptr;
 };
 
 }  // namespace disk

@@ -23,6 +23,10 @@ EventDrivenServer::EventDrivenServer(kernel::Kernel* kernel, FileCache* cache,
 void EventDrivenServer::Start(rc::ContainerRef default_container) {
   RC_CHECK_EQ(proc_, nullptr);
   proc_ = kernel_->CreateProcess("httpd", std::move(default_container));
+  // The document cache's memory belongs to the server: bound it and charge
+  // resident bytes to the server's container.
+  cache_->set_capacity_bytes(config_.file_cache_capacity_bytes);
+  cache_->AttachContainer(proc_->default_container());
   kernel_->SpawnThread(proc_, "httpd-main", [this](Sys sys) { return Run(sys); });
 }
 

@@ -1,22 +1,61 @@
-// A minimal in-memory document cache. The paper's experiments all serve a
-// cached, 1 KB static file; the cache exists so lookup costs (and misses,
-// for non-paper workloads) are modeled and accounted.
+// A bounded in-memory document cache with LRU eviction. The paper's
+// experiments all serve a cached, 1 KB static file; the cache exists so
+// lookup costs (and misses, for non-paper workloads) are modeled and
+// accounted.
+//
+// The cache's resident bytes are a server resource like any other
+// (Section 4.4: physical memory consumption belongs to a principal), so a
+// container can be attached: every cached byte is charged to it with
+// ChargeMemory and released on eviction. When a charge would exceed the
+// container's memory limit the cache evicts least-recently-used documents to
+// make room, and refuses the insert if eviction cannot free enough — memory
+// pressure degrades the hit rate instead of blowing the limit.
 #ifndef SRC_HTTPD_FILE_CACHE_H_
 #define SRC_HTTPD_FILE_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <unordered_map>
+
+#include "src/rc/container.h"
 
 namespace httpd {
 
 class FileCache {
  public:
-  void AddDocument(std::uint32_t doc_id, std::uint32_t bytes) {
-    docs_[doc_id] = bytes;
+  FileCache() = default;
+  // `capacity_bytes` of 0 means unbounded (the default, and the paper's
+  // configuration: the working set is one small file).
+  explicit FileCache(std::int64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  void set_capacity_bytes(std::int64_t bytes) { capacity_bytes_ = bytes; }
+
+  // Attaches the container charged for resident bytes (normally the server's
+  // default container). Already-resident documents are charged immediately,
+  // evicting LRU entries if the container cannot hold them all.
+  void AttachContainer(rc::ContainerRef c) {
+    if (container_) {
+      container_->ReleaseMemory(resident_bytes_);
+    }
+    container_ = std::move(c);
+    if (!container_) {
+      return;
+    }
+    while (!container_->ChargeMemory(resident_bytes_).ok()) {
+      if (lru_.empty()) {
+        return;  // nothing left to evict; cache is empty and uncharged
+      }
+      EvictOne(/*release=*/false);
+    }
   }
 
-  // Returns the document size on a hit.
+  void AddDocument(std::uint32_t doc_id, std::uint32_t bytes) {
+    Put(doc_id, bytes);
+  }
+
+  // Returns the document size on a hit (and marks it most recently used).
   std::optional<std::uint32_t> Lookup(std::uint32_t doc_id) {
     auto it = docs_.find(doc_id);
     if (it == docs_.end()) {
@@ -24,20 +63,77 @@ class FileCache {
       return std::nullopt;
     }
     ++hits_;
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.bytes;
   }
 
   // A miss is followed by an insert (the "disk read" populated the cache).
-  void Insert(std::uint32_t doc_id, std::uint32_t bytes) { docs_[doc_id] = bytes; }
+  void Insert(std::uint32_t doc_id, std::uint32_t bytes) { Put(doc_id, bytes); }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
   std::size_t size() const { return docs_.size(); }
+  std::int64_t resident_bytes() const { return resident_bytes_; }
 
  private:
-  std::unordered_map<std::uint32_t, std::uint32_t> docs_;
+  struct Entry {
+    std::uint32_t bytes = 0;
+    std::list<std::uint32_t>::iterator lru_it;
+  };
+
+  void Put(std::uint32_t doc_id, std::uint32_t bytes) {
+    if (auto it = docs_.find(doc_id); it != docs_.end()) {
+      Erase(it, /*release=*/true);
+    }
+    // Evict for the byte budget first, then for the container's memory
+    // limit; give up (serve uncached) when the document can never fit.
+    if (capacity_bytes_ > 0) {
+      if (static_cast<std::int64_t>(bytes) > capacity_bytes_) {
+        return;
+      }
+      while (resident_bytes_ + bytes > capacity_bytes_) {
+        EvictOne(/*release=*/true);
+      }
+    }
+    if (container_) {
+      while (!container_->ChargeMemory(bytes).ok()) {
+        if (lru_.empty()) {
+          return;
+        }
+        EvictOne(/*release=*/true);
+      }
+    }
+    lru_.push_front(doc_id);
+    docs_[doc_id] = Entry{bytes, lru_.begin()};
+    resident_bytes_ += bytes;
+  }
+
+  // `release` is false only while AttachContainer is retrying a bulk charge
+  // (the bytes being evicted were never successfully charged).
+  void EvictOne(bool release) {
+    auto it = docs_.find(lru_.back());
+    Erase(it, release);
+    ++evictions_;
+  }
+
+  void Erase(std::unordered_map<std::uint32_t, Entry>::iterator it, bool release) {
+    resident_bytes_ -= it->second.bytes;
+    if (release && container_) {
+      container_->ReleaseMemory(it->second.bytes);
+    }
+    lru_.erase(it->second.lru_it);
+    docs_.erase(it);
+  }
+
+  std::list<std::uint32_t> lru_;  // front = most recently used
+  std::unordered_map<std::uint32_t, Entry> docs_;
+  std::int64_t capacity_bytes_ = 0;  // 0 = unbounded
+  std::int64_t resident_bytes_ = 0;
+  rc::ContainerRef container_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace httpd

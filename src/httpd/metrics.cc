@@ -32,6 +32,11 @@ void RegisterServerMetrics(telemetry::Registry& registry, const ServerStats* sta
                       [cache] { return static_cast<double>(cache->misses()); });
     registry.AddProbe("httpd.cache.documents", "documents",
                       [cache] { return static_cast<double>(cache->size()); });
+    registry.AddProbe("httpd.cache.evictions", "documents",
+                      [cache] { return static_cast<double>(cache->evictions()); });
+    registry.AddProbe("httpd.cache.resident_bytes", "bytes", [cache] {
+      return static_cast<double>(cache->resident_bytes());
+    });
   }
 }
 

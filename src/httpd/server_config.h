@@ -63,6 +63,11 @@ struct ServerConfig {
   int syn_backlog = 1024;
   int accept_backlog = 128;
 
+  // Bound on the file cache's resident bytes (LRU eviction); 0 = unbounded.
+  // Resident bytes are charged to the server's default container with
+  // ChargeMemory, so a memory_limit_bytes on that container (or an ancestor)
+  // also bounds the cache.
+  std::int64_t file_cache_capacity_bytes = 0;
   // Extra compute charged on a file-cache miss when the disk model is off.
   sim::Duration file_miss_penalty = 200;
   // Serve cache misses from the simulated disk (container-prioritized I/O)

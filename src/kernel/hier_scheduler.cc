@@ -1,7 +1,5 @@
 #include "src/kernel/hier_scheduler.h"
 
-#include <algorithm>
-
 #include "src/common/check.h"
 #include "src/kernel/process.h"
 #include "src/kernel/thread.h"
@@ -9,9 +7,21 @@
 namespace kernel {
 
 namespace {
-// Floor for the residual share granted to time-share children when fixed
-// shares (nearly) exhaust the parent; keeps time-share work from starving.
-constexpr double kResidualFloor = 0.02;
+
+sched::ShareTreeOptions CpuTreeOptions(double decay_per_tick,
+                                       sim::Duration limit_window,
+                                       int capacity_cpus,
+                                       bool cache_in_container) {
+  sched::ShareTreeOptions options;
+  options.resource = rc::ResourceKind::kCpu;
+  options.decay_per_tick = decay_per_tick;
+  options.limit_window = limit_window;
+  options.capacity = capacity_cpus;
+  options.cache_in_container = cache_in_container;
+  options.starve_priority_zero = true;
+  return options;
+}
+
 }  // namespace
 
 HierarchicalScheduler::HierarchicalScheduler(rc::ContainerManager* manager,
@@ -19,80 +29,8 @@ HierarchicalScheduler::HierarchicalScheduler(rc::ContainerManager* manager,
                                              sim::Duration limit_window,
                                              int capacity_cpus,
                                              bool cache_in_container)
-    : manager_(manager),
-      decay_(decay_per_tick),
-      limit_window_(limit_window),
-      capacity_cpus_(capacity_cpus),
-      cache_in_container_(cache_in_container) {}
-
-HierarchicalScheduler::Node* HierarchicalScheduler::NodeFor(rc::ResourceContainer& c) {
-  if (cache_in_container_) {
-    if (c.sched_cookie() != nullptr) {
-      return static_cast<Node*>(c.sched_cookie());
-    }
-  } else {
-    auto it = nodes_.find(c.id());
-    if (it != nodes_.end()) {
-      return it->second.get();
-    }
-  }
-  auto node = std::make_unique<Node>();
-  node->container = &c;
-  Node* raw = node.get();
-  if (cache_in_container_) {
-    c.set_sched_cookie(raw);
-  }
-  nodes_[c.id()] = std::move(node);
-  return raw;
-}
-
-HierarchicalScheduler::Node* HierarchicalScheduler::NodeForIfExists(
-    const rc::ResourceContainer& c) const {
-  if (cache_in_container_) {
-    return static_cast<Node*>(c.sched_cookie());
-  }
-  auto it = nodes_.find(c.id());
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-double HierarchicalScheduler::ResidualWeight(const rc::ResourceContainer& parent) {
-  double fixed_total = 0.0;
-  parent.ForEachChild([&](rc::ResourceContainer& child) {
-    if (child.attributes().sched.cls == rc::SchedClass::kFixedShare) {
-      fixed_total += child.attributes().sched.fixed_share;
-    }
-  });
-  return std::max(kResidualFloor, 1.0 - fixed_total);
-}
-
-void HierarchicalScheduler::AdjustRunnable(rc::ResourceContainer* leaf, int delta) {
-  for (rc::ResourceContainer* c = leaf; c != nullptr; c = c->parent()) {
-    Node* n = NodeFor(*c);
-    const int before = n->runnable;
-    n->runnable += delta;
-    RC_CHECK_GE(n->runnable, 0);
-    rc::ResourceContainer* parent = c->parent();
-    if (parent == nullptr) {
-      continue;
-    }
-    Node* pn = NodeFor(*parent);
-    const bool fixed = c->attributes().sched.cls == rc::SchedClass::kFixedShare;
-    if (before == 0 && n->runnable == 1) {
-      // (Re)entering the runnable set: no credit for idle time.
-      if (fixed) {
-        n->pass = std::max(n->pass, pn->vtime);
-      } else if (++pn->tshare_runnable_children == 1) {
-        pn->tshare_pass = std::max(pn->tshare_pass, pn->vtime);
-      }
-    } else if (before == 1 && n->runnable == 0) {
-      if (!fixed) {
-        --pn->tshare_runnable_children;
-        RC_CHECK_GE(pn->tshare_runnable_children, 0);
-      }
-    }
-  }
-  total_runnable_ += delta;
-}
+    : tree_(manager, CpuTreeOptions(decay_per_tick, limit_window, capacity_cpus,
+                                    cache_in_container)) {}
 
 void HierarchicalScheduler::Enqueue(Thread* t, sim::SimTime now) {
   RC_CHECK_EQ(t->sched_cookie, nullptr);
@@ -105,144 +43,27 @@ void HierarchicalScheduler::Enqueue(Thread* t, sim::SimTime now) {
   // have dedicated threads/processes (the paper's CGI sand-box and guest
   // servers); an event-driven server applying caps to a subset of its own
   // connections must cooperate by deferring those connections itself.
-  Node* node = NodeFor(*leaf);
-  node->run_queue.push_back(t);
-  t->sched_cookie = node;
-  AdjustRunnable(leaf.get(), +1);
-}
-
-HierarchicalScheduler::Node* HierarchicalScheduler::PickChild(Node* parent,
-                                                              sim::SimTime now,
-                                                              bool allow_zero) {
-  // Collect the stride candidates at this level: eligible fixed-share
-  // children, and the time-share group if any of its members is eligible.
-  Node* best_fixed = nullptr;
-  bool group_eligible = false;
-
-  parent->container->ForEachChild([&](rc::ResourceContainer& child) {
-    Node* cn = NodeForIfExists(child);
-    if (cn == nullptr || cn->runnable == 0 || Throttled(*cn, now)) {
-      return;
-    }
-    const rc::Attributes& a = child.attributes();
-    if (a.sched.cls == rc::SchedClass::kFixedShare) {
-      if (best_fixed == nullptr || cn->pass < best_fixed->pass) {
-        best_fixed = cn;
-      }
-    } else {
-      if (a.sched.priority <= 0 && !allow_zero) {
-        return;
-      }
-      group_eligible = true;
-    }
-  });
-
-  const bool pick_group =
-      group_eligible && (best_fixed == nullptr || parent->tshare_pass <= best_fixed->pass);
-
-  if (!pick_group && best_fixed == nullptr) {
-    return nullptr;
-  }
-
-  parent->vtime =
-      std::max(parent->vtime, pick_group ? parent->tshare_pass : best_fixed->pass);
-
-  if (!pick_group) {
-    return best_fixed;
-  }
-
-  // Inside the group: decayed usage scaled by numeric priority, preferring
-  // positive-priority children.
-  Node* best = nullptr;
-  double best_key = 0.0;
-  bool best_positive = false;
-  parent->container->ForEachChild([&](rc::ResourceContainer& child) {
-    Node* cn = NodeForIfExists(child);
-    if (cn == nullptr || cn->runnable == 0 || Throttled(*cn, now)) {
-      return;
-    }
-    const rc::Attributes& a = child.attributes();
-    if (a.sched.cls == rc::SchedClass::kFixedShare) {
-      return;
-    }
-    const bool positive = a.sched.priority > 0;
-    if (!positive && !allow_zero) {
-      return;
-    }
-    const double key = cn->decayed / static_cast<double>(std::max(1, a.sched.priority));
-    if (best == nullptr || (positive && !best_positive) ||
-        (positive == best_positive && key < best_key)) {
-      best = cn;
-      best_key = key;
-      best_positive = positive;
-    }
-  });
-  return best;
-}
-
-Thread* HierarchicalScheduler::Descend(sim::SimTime now, bool allow_zero) {
-  Node* n = NodeFor(*manager_->root());
-  if (n->runnable == 0) {
-    return nullptr;
-  }
-  while (true) {
-    Node* child = PickChild(n, now, allow_zero);
-    if (child != nullptr) {
-      n = child;
-      continue;
-    }
-    if (n->run_queue.empty()) {
-      return nullptr;  // everything below is throttled or priority-0
-    }
-    Thread* t = n->run_queue.front();
-    n->run_queue.pop_front();
-    t->sched_cookie = nullptr;
-    AdjustRunnable(n->container, -1);
-    return t;
-  }
+  t->sched_cookie = tree_.Push(leaf.get(), t);
 }
 
 Thread* HierarchicalScheduler::PickNext(sim::SimTime now) {
-  if (Thread* t = Descend(now, /*allow_zero=*/false)) {
-    return t;
+  Thread* t = static_cast<Thread*>(tree_.Pop(now));
+  if (t != nullptr) {
+    t->sched_cookie = nullptr;
   }
-  // Nothing with positive priority: admit the starvation (priority-0) class.
-  return Descend(now, /*allow_zero=*/true);
+  return t;
 }
 
 void HierarchicalScheduler::OnCharge(rc::ResourceContainer& c, sim::Duration usec,
                                      sim::SimTime now) {
-  for (rc::ResourceContainer* p = &c; p != nullptr; p = p->parent()) {
-    Node* n = NodeFor(*p);
-    n->decayed += static_cast<double>(usec);
-
-    // Stride pass advance at this level.
-    if (rc::ResourceContainer* parent = p->parent()) {
-      Node* pn = NodeFor(*parent);
-      const rc::Attributes& a = p->attributes();
-      if (a.sched.cls == rc::SchedClass::kFixedShare) {
-        n->pass += static_cast<double>(usec) / std::max(1e-6, a.sched.fixed_share);
-      } else {
-        pn->tshare_pass += static_cast<double>(usec) / ResidualWeight(*parent);
-      }
-    }
-
-    // CPU-limit window, budgeted against the whole machine's capacity.
-    const double limit = p->attributes().cpu_limit;
-    if (limit > 0.0) {
-      n->window.Charge(usec, now, limit, limit_window_, capacity_cpus_);
-    }
-  }
+  tree_.OnCharge(c, usec, now);
 }
 
 void HierarchicalScheduler::MigrateQueued(Thread* t, sim::SimTime now) {
   if (t->sched_cookie == nullptr) {
     return;
   }
-  Node* old_node = static_cast<Node*>(t->sched_cookie);
-  auto& q = old_node->run_queue;
-  q.erase(std::remove(q.begin(), q.end(), t), q.end());
-  AdjustRunnable(old_node->container, -1);
+  tree_.Erase(static_cast<sched::ShareTree::Node*>(t->sched_cookie), t);
   t->sched_cookie = nullptr;
   Enqueue(t, now);
 }
@@ -251,82 +72,24 @@ void HierarchicalScheduler::Remove(Thread* t) {
   if (t->sched_cookie == nullptr) {
     return;
   }
-  Node* node = static_cast<Node*>(t->sched_cookie);
-  auto& q = node->run_queue;
-  q.erase(std::remove(q.begin(), q.end(), t), q.end());
-  AdjustRunnable(node->container, -1);
+  tree_.Erase(static_cast<sched::ShareTree::Node*>(t->sched_cookie), t);
   t->sched_cookie = nullptr;
 }
 
-void HierarchicalScheduler::Tick(sim::SimTime /*now*/) {
-  for (auto& [id, node] : nodes_) {
-    node->decayed *= decay_;
-  }
-}
+void HierarchicalScheduler::Tick(sim::SimTime /*now*/) { tree_.Tick(); }
 
 std::optional<sim::SimTime> HierarchicalScheduler::NextEligibleTime(sim::SimTime now) {
-  std::optional<sim::SimTime> earliest;
-  for (const auto& [id, node] : nodes_) {
-    if (node->runnable > 0 && node->window.throttled_until > now) {
-      if (!earliest.has_value() || node->window.throttled_until < *earliest) {
-        earliest = node->window.throttled_until;
-      }
-    }
-  }
-  return earliest;
+  return tree_.NextEligibleTime(now);
 }
 
 void HierarchicalScheduler::OnContainerDestroyed(rc::ResourceContainer& c) {
-  Node* n = NodeForIfExists(c);
-  if (n == nullptr) {
-    return;
-  }
-  // Threads hold refs to their binding containers, so a container with
-  // queued threads can never be destroyed.
-  RC_CHECK(n->run_queue.empty());
-  if (cache_in_container_) {
-    c.set_sched_cookie(nullptr);
-  }
-  nodes_.erase(c.id());
+  tree_.OnContainerDestroyed(c);
 }
 
 void HierarchicalScheduler::OnContainerReparented(rc::ResourceContainer& child,
                                                   rc::ResourceContainer* old_parent,
                                                   rc::ResourceContainer* new_parent) {
-  Node* cn = NodeForIfExists(child);
-  if (cn == nullptr || cn->runnable == 0) {
-    return;
-  }
-  const int k = cn->runnable;
-  const bool fixed = child.attributes().sched.cls == rc::SchedClass::kFixedShare;
-  for (rc::ResourceContainer* p = old_parent; p != nullptr; p = p->parent()) {
-    Node* n = NodeForIfExists(*p);
-    if (n != nullptr) {
-      if (p == old_parent && !fixed) {
-        --n->tshare_runnable_children;
-      }
-      n->runnable -= k;
-      RC_CHECK_GE(n->runnable, 0);
-    }
-  }
-  for (rc::ResourceContainer* p = new_parent; p != nullptr; p = p->parent()) {
-    Node* n = NodeFor(*p);
-    if (p == new_parent && !fixed) {
-      ++n->tshare_runnable_children;
-    }
-    n->runnable += k;
-  }
-}
-
-double HierarchicalScheduler::DecayedUsage(const rc::ResourceContainer& c) const {
-  Node* n = NodeForIfExists(c);
-  return n == nullptr ? 0.0 : n->decayed;
-}
-
-bool HierarchicalScheduler::IsThrottled(const rc::ResourceContainer& c,
-                                        sim::SimTime now) const {
-  Node* n = NodeForIfExists(c);
-  return n != nullptr && Throttled(*n, now);
+  tree_.OnContainerReparented(child, old_parent, new_parent);
 }
 
 }  // namespace kernel

@@ -1,37 +1,25 @@
-// The resource-container hierarchical scheduler (Sections 4.3, 4.5, 5.1).
+// The resource-container hierarchical CPU scheduler (Sections 4.3, 4.5, 5.1).
 //
-// The container tree is the scheduling structure. At each tree level the
-// scheduler arbitrates with *stride scheduling* between
+// The container tree is the scheduling structure; the arbitration itself —
+// stride scheduling between fixed-share children and the aggregated
+// time-share group, decayed-usage picks inside the group, the priority-0
+// starvation class (Section 4.8), and windowed CPU limits (Section 5.6) —
+// lives in the resource-generic sched::ShareTree. This class is the thin CPU
+// adapter: it maps Thread* to share-tree queue items via the thread's
+// sched_cookie and binds the tree to the CPU attributes
+// (rc::ResourceKind::kCpu).
 //
-//   * each fixed-share child (weight = its guaranteed fraction), and
-//   * the set of time-share children, treated as ONE aggregate client whose
-//     weight is the residual fraction left by the fixed shares.
-//
-// Every CPU charge advances the charged client's "pass" by usec/weight; the
-// client with the minimum pass runs next. Clients (re)entering the runnable
-// set are clamped to the level's virtual time, so they get no credit for
-// idle periods. Aggregating the time-share children is essential for a busy
-// server: per-connection containers are created and destroyed thousands of
-// times per second, and per-container usage alone would make every fresh
-// container look cheapest, starving fixed-share siblings (the CGI sand-box)
-// of their guarantee.
-//
-// Within the time-share group, siblings are picked by decayed usage scaled
-// by numeric priority. Priority 0 is the starvation class (Section 4.8):
-// selected only when nothing positive-priority is runnable anywhere.
-//
-// CPU limits ("resource sand-box", Section 5.6): a container whose windowed
-// subtree usage exceeds attributes().cpu_limit is throttled until the window
-// ends.
+// Aggregating the time-share children is essential for a busy server:
+// per-connection containers are created and destroyed thousands of times per
+// second, and per-container usage alone would make every fresh container
+// look cheapest, starving fixed-share siblings (the CGI sand-box) of their
+// guarantee.
 #ifndef SRC_KERNEL_HIER_SCHEDULER_H_
 #define SRC_KERNEL_HIER_SCHEDULER_H_
 
-#include <deque>
-#include <memory>
-#include <unordered_map>
-
 #include "src/kernel/scheduler.h"
 #include "src/rc/manager.h"
+#include "src/sched/share_tree.h"
 
 namespace kernel {
 
@@ -40,7 +28,7 @@ class HierarchicalScheduler : public CpuScheduler {
   // `capacity_cpus` scales CPU-limit budgets to the machine size (a window of
   // length W holds capacity_cpus * W of CPU), so limits stay fractions of the
   // whole machine under SMP. `cache_in_container` lets the scheduler stash
-  // its per-container Node in the container's sched_cookie (fast path, valid
+  // its per-container node in the container's sched_cookie (fast path, valid
   // only for a single instance); per-CPU shards must pass false, since N
   // instances share one container tree and would clobber each other's cookie.
   HierarchicalScheduler(rc::ContainerManager* manager, double decay_per_tick,
@@ -57,60 +45,18 @@ class HierarchicalScheduler : public CpuScheduler {
   void OnContainerDestroyed(rc::ResourceContainer& c) override;
   void OnContainerReparented(rc::ResourceContainer& child, rc::ResourceContainer* old_parent,
                              rc::ResourceContainer* new_parent) override;
-  int runnable_count() const override { return total_runnable_; }
+  int runnable_count() const override { return tree_.queued_total(); }
 
   // Test hooks.
-  double DecayedUsage(const rc::ResourceContainer& c) const;
-  bool IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const;
-
- private:
-  struct Node {
-    rc::ResourceContainer* container = nullptr;
-
-    double decayed = 0.0;  // decayed subtree CPU charge (time-share pick, stats)
-
-    // Stride state. For a fixed-share container: its own pass. As a parent:
-    // the aggregate pass and virtual time of its time-share children.
-    double pass = 0.0;
-    double tshare_pass = 0.0;
-    double vtime = 0.0;
-    int tshare_runnable_children = 0;
-
-    // CPU-limit window state (machine-wide; see rc::UsageWindow).
-    rc::UsageWindow window;
-
-    // Runnable threads queued at this node (leaves only, normally).
-    std::deque<Thread*> run_queue;
-    // Queued threads at or below this node.
-    int runnable = 0;
-  };
-
-  Node* NodeFor(rc::ResourceContainer& c);
-  Node* NodeForIfExists(const rc::ResourceContainer& c) const;
-  bool Throttled(const Node& n, sim::SimTime now) const {
-    return n.window.Throttled(now);
+  double DecayedUsage(const rc::ResourceContainer& c) const {
+    return tree_.DecayedUsage(c);
+  }
+  bool IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const {
+    return tree_.IsThrottled(c, now);
   }
 
-  // Residual weight left for the time-share group under `parent`.
-  static double ResidualWeight(const rc::ResourceContainer& parent);
-
-  // Arbitration at `parent`: the eligible child with minimal pass (stride),
-  // descending into the time-share group by decayed/priority. `allow_zero`
-  // admits priority-0 time-share children.
-  Node* PickChild(Node* parent, sim::SimTime now, bool allow_zero);
-
-  // One full descent; nullptr if nothing eligible under this policy pass.
-  Thread* Descend(sim::SimTime now, bool allow_zero);
-
-  void AdjustRunnable(rc::ResourceContainer* leaf, int delta);
-
-  rc::ContainerManager* const manager_;
-  const double decay_;
-  const sim::Duration limit_window_;
-  const int capacity_cpus_;
-  const bool cache_in_container_;
-  std::unordered_map<rc::ContainerId, std::unique_ptr<Node>> nodes_;
-  int total_runnable_ = 0;
+ private:
+  sched::ShareTree tree_;
 };
 
 }  // namespace kernel

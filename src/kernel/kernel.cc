@@ -67,10 +67,21 @@ Kernel::Kernel(sim::Simulator* simulator, KernelConfig config)
   }
   stack_ = std::make_unique<net::Stack>(this, config_.costs.ToStackCosts(),
                                         config_.net_mode);
-  disk_ = std::make_unique<disk::DiskEngine>(simr_, config_.disk_costs);
+  disk_ = std::make_unique<disk::DiskEngine>(simr_, config_.disk_costs,
+                                             &containers_);
+  net::LinkConfig link_config;
+  link_config.mbps = config_.link_mbps;
+  link_ = std::make_unique<net::LinkScheduler>(simr_, &containers_, link_config);
+  link_->set_sink([this](const net::Packet& p) {
+    if (wire_sink_) {
+      wire_sink_(p);
+    }
+  });
   containers_.AddDestroyObserver([this](rc::ResourceContainer& c) {
     if (!shutting_down_) {
       active_sched_->OnContainerDestroyed(c);
+      disk_->OnContainerDestroyed(c);
+      link_->OnContainerDestroyed(c);
     }
   });
   containers_.AddReparentObserver(
@@ -78,6 +89,8 @@ Kernel::Kernel(sim::Simulator* simulator, KernelConfig config)
              rc::ResourceContainer* new_parent) {
         if (!shutting_down_) {
           active_sched_->OnContainerReparented(child, old_parent, new_parent);
+          disk_->OnContainerReparented(child, old_parent, new_parent);
+          link_->OnContainerReparented(child, old_parent, new_parent);
         }
       });
 }
@@ -108,6 +121,8 @@ void Kernel::Stop() {
 void Kernel::ScheduleTick() {
   tick_timer_ = simr_->After(config_.costs.decay_tick, [this] {
     active_sched_->Tick(simr_->now());
+    disk_->Tick();
+    link_->Tick();
     if (running_) {
       ScheduleTick();
     }
@@ -238,6 +253,8 @@ void Kernel::AttachTelemetry(telemetry::Registry* registry) {
 
 void Kernel::AttachAuditor(verify::ChargeAuditor* auditor) {
   auditor_ = auditor;
+  disk_->set_auditor(auditor);
+  link_->set_auditor(auditor);
   if (auditor != nullptr) {
     auditor->ObserveHierarchy(&containers_);
   }
@@ -257,7 +274,26 @@ std::vector<std::string> Kernel::AuditCheck() const {
     s.wallclock = simr_->now() - eng.created_at();
     samples.push_back(s);
   }
-  return auditor_->Check(samples);
+  // Scheduled devices: the disk always exists; the link participates even
+  // when disabled (all tallies stay zero, so the checks are vacuous).
+  std::vector<verify::ChargeAuditor::DeviceSample> devices;
+  {
+    verify::ChargeAuditor::DeviceSample d;
+    d.kind = rc::ResourceKind::kDisk;
+    d.busy = disk_->stats().busy_usec;
+    d.wallclock = simr_->now() - disk_->created_at();
+    d.idle = d.wallclock - d.busy;
+    devices.push_back(d);
+  }
+  {
+    verify::ChargeAuditor::DeviceSample d;
+    d.kind = rc::ResourceKind::kLink;
+    d.busy = link_->stats().busy_usec;
+    d.wallclock = simr_->now() - link_->created_at();
+    d.idle = d.wallclock - d.busy;
+    devices.push_back(d);
+  }
+  return auditor_->Check(samples, devices);
 }
 
 void Kernel::ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind) {
@@ -475,9 +511,13 @@ int Kernel::EventPriorityFor(const rc::ContainerRef& c) const {
 }
 
 void Kernel::EmitToWire(net::Packet p) {
-  if (wire_sink_) {
-    wire_sink_(p);
-  }
+  EmitToWire(std::move(p), nullptr);
+}
+
+void Kernel::EmitToWire(net::Packet p, rc::ContainerRef charge_to) {
+  // The link scheduler owns delivery: rate 0 passes straight through to the
+  // wire sink, a real rate queues the packet under `charge_to`'s container.
+  link_->Transmit(std::move(p), std::move(charge_to));
 }
 
 void Kernel::WakeAcceptors(net::ListenSocket& ls) {

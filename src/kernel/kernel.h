@@ -22,6 +22,7 @@
 #include "src/kernel/thread.h"
 #include "src/kernel/trace.h"
 #include "src/common/expected.h"
+#include "src/net/link_sched.h"
 #include "src/net/stack.h"
 #include "src/rc/manager.h"
 #include "src/sim/simulator.h"
@@ -52,6 +53,9 @@ struct KernelConfig {
   IrqSteering irq_steering = IrqSteering::kFlowHash;
   CostModel costs;
   disk::DiskCosts disk_costs;
+  // Outbound-link rate in Mbps; 0 disables the transmit-link model (packets
+  // pass through unscheduled, matching the pre-link behaviour exactly).
+  double link_mbps = 0.0;
 };
 
 // Canonical configurations matching the paper's four evaluated systems.
@@ -71,6 +75,7 @@ class Kernel : public net::StackEnv {
   rc::ContainerManager& containers() { return containers_; }
   net::Stack& stack() { return *stack_; }
   disk::DiskEngine& disk() { return *disk_; }
+  net::LinkScheduler& link() { return *link_; }
   // The multiprocessor, and (for uniprocessor-era call sites) CPU 0.
   SmpEngine& smp() { return *smp_; }
   CpuEngine& cpu() { return smp_->engine(0); }
@@ -203,6 +208,7 @@ class Kernel : public net::StackEnv {
 
   // --- net::StackEnv --------------------------------------------------------
   void EmitToWire(net::Packet p) override;
+  void EmitToWire(net::Packet p, rc::ContainerRef charge_to) override;
   void WakeAcceptors(net::ListenSocket& ls) override;
   void WakeConnection(net::Connection& conn) override;
   void NotifyPendingNetWork(std::uint64_t owner_tag) override;
@@ -229,6 +235,7 @@ class Kernel : public net::StackEnv {
   std::unique_ptr<SmpEngine> smp_;
   std::unique_ptr<net::Stack> stack_;
   std::unique_ptr<disk::DiskEngine> disk_;
+  std::unique_ptr<net::LinkScheduler> link_;
   Tracer tracer_;
 
   telemetry::Registry* telemetry_ = nullptr;

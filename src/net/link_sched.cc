@@ -1,0 +1,135 @@
+#include "src/net/link_sched.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/telemetry/registry.h"
+#include "src/verify/audit.h"
+
+namespace net {
+
+sched::ShareTreeOptions LinkScheduler::TreeOptions(const LinkConfig& config) {
+  sched::ShareTreeOptions options;
+  options.resource = rc::ResourceKind::kLink;
+  options.decay_per_tick = config.decay_per_tick;
+  options.limit_window = config.limit_window;
+  options.capacity = 1;  // one serial link
+  // The CPU scheduler owns the containers' sched_cookie fast path.
+  options.cache_in_container = false;
+  // Background flows keep a weight-1 trickle rather than starving.
+  options.starve_priority_zero = false;
+  return options;
+}
+
+LinkScheduler::LinkScheduler(sim::Simulator* simulator,
+                             rc::ContainerManager* manager,
+                             const LinkConfig& config)
+    : simr_(simulator),
+      manager_(manager),
+      config_(config),
+      tree_(manager, TreeOptions(config)),
+      created_at_(simulator->now()) {
+  RC_CHECK_NE(manager, nullptr);
+}
+
+LinkScheduler::~LinkScheduler() {
+  // Packets still queued at teardown are dropped; free them.
+  for (void* item : tree_.DrainAll()) {
+    delete static_cast<QueuedPacket*>(item);
+  }
+}
+
+sim::Duration LinkScheduler::TxTime(std::uint32_t bytes) const {
+  RC_CHECK(enabled());
+  // 1 Mbps == 1 bit per microsecond, so wire time is bits / mbps.
+  const double usec = static_cast<double>(bytes) * 8.0 / config_.mbps;
+  return std::max<sim::Duration>(1, static_cast<sim::Duration>(std::ceil(usec)));
+}
+
+void LinkScheduler::Transmit(Packet p, rc::ContainerRef charge_to) {
+  if (!enabled()) {
+    if (sink_) {
+      sink_(p);
+    }
+    return;
+  }
+  rc::ResourceContainer* leaf =
+      charge_to ? charge_to.get() : manager_->root().get();
+  auto* queued = new QueuedPacket{std::move(p), std::move(charge_to)};
+  tree_.Push(leaf, queued);
+  MaybeSend();
+}
+
+void LinkScheduler::MaybeSend() {
+  if (busy_ || tree_.queued_total() == 0) {
+    return;
+  }
+  const sim::SimTime now = simr_->now();
+  void* item = tree_.Pop(now);
+  if (item == nullptr) {
+    // Everything queued is limit-throttled; retry when the earliest window
+    // re-opens.
+    if (!retry_armed_) {
+      if (auto next = tree_.NextEligibleTime(now); next.has_value()) {
+        retry_armed_ = true;
+        simr_->At(*next, [this] {
+          retry_armed_ = false;
+          MaybeSend();
+        });
+      }
+    }
+    return;
+  }
+  inflight_.reset(static_cast<QueuedPacket*>(item));
+  busy_ = true;
+
+  const sim::Duration tx = TxTime(inflight_->packet.size_bytes);
+  // Advance the share tree at dispatch so back-to-back picks under
+  // contention interleave by share, not in bursts.
+  rc::ResourceContainer* charged =
+      inflight_->container ? inflight_->container.get() : manager_->root().get();
+  tree_.OnCharge(*charged, tx, now);
+
+  simr_->After(tx, [this, tx] { CompleteInflight(tx); });
+}
+
+void LinkScheduler::CompleteInflight(sim::Duration tx) {
+  RC_CHECK(busy_);
+  RC_CHECK(inflight_ != nullptr);
+  std::unique_ptr<QueuedPacket> qp = std::move(inflight_);
+
+  ++stats_.packets;
+  stats_.busy_usec += tx;
+  stats_.bytes_sent += qp->packet.size_bytes;
+  const bool owned = qp->container != nullptr;
+  if (owned) {
+    if (auditor_ != nullptr) {
+      auditor_->OnResourceCharge(rc::ResourceKind::kLink, *qp->container, tx);
+    }
+    qp->container->ChargeLink(tx, /*packets=*/1);
+  }
+  if (auditor_ != nullptr) {
+    auditor_->OnDeviceWork(rc::ResourceKind::kLink, tx, owned);
+  }
+  busy_ = false;
+  if (sink_) {
+    sink_(qp->packet);
+  }
+  qp.reset();
+  MaybeSend();
+}
+
+void LinkScheduler::RegisterMetrics(telemetry::Registry& registry) {
+  registry.AddProbe("link.packets", "packets",
+                    [this] { return static_cast<double>(stats_.packets); });
+  registry.AddProbe("link.busy_usec", "usec",
+                    [this] { return static_cast<double>(stats_.busy_usec); });
+  registry.AddProbe("link.bytes_sent", "bytes",
+                    [this] { return static_cast<double>(stats_.bytes_sent); });
+  registry.AddProbe("link.queue_depth", "packets",
+                    [this] { return static_cast<double>(queued()); });
+}
+
+}  // namespace net

@@ -1,0 +1,145 @@
+// A rate-limited transmit link scheduled by container shares.
+//
+// Section 4.4 extends containers beyond CPU time to "other system resources";
+// network bandwidth is the canonical server bottleneck after the CPU. This
+// models the machine's outbound NIC as a fixed-rate serial link: packets the
+// stack emits are queued per container and drained through the same
+// hierarchical share tree as the CPU scheduler and the disk (sched::ShareTree
+// over the link attributes — fixed shares are bandwidth guarantees, windowed
+// limits cap a subtree's transmit time), and each packet's wire time is
+// charged to the container whose activity produced it
+// (rc::ResourceUsage::link_busy_usec).
+//
+// A rate of 0 disables the model: packets pass straight through to the sink
+// with no queueing, no charging, and no simulated events, which keeps every
+// existing CPU-only configuration digit-identical.
+//
+// Like the disk (and unlike the CPU), priority 0 is not a starvation class
+// here: background flows keep a weight-1 trickle under saturation.
+#ifndef SRC_NET_LINK_SCHED_H_
+#define SRC_NET_LINK_SCHED_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/net/packet.h"
+#include "src/rc/container.h"
+#include "src/rc/manager.h"
+#include "src/sched/share_tree.h"
+#include "src/sim/simulator.h"
+
+namespace telemetry {
+class Registry;
+}
+namespace verify {
+class ChargeAuditor;
+}
+
+namespace net {
+
+struct LinkConfig {
+  // Link rate in megabits per second; 0 disables the link model entirely
+  // (synchronous pass-through). 1 Mbps == 1 bit per simulated microsecond.
+  double mbps = 0.0;
+  // Decay applied to per-container decayed link usage on every kernel tick.
+  double decay_per_tick = 0.9;
+  // Window length for per-container link limits (attributes().link.limit).
+  sim::Duration limit_window = 100000;
+};
+
+class LinkScheduler {
+ public:
+  LinkScheduler(sim::Simulator* simulator, rc::ContainerManager* manager,
+                const LinkConfig& config);
+  ~LinkScheduler();
+
+  LinkScheduler(const LinkScheduler&) = delete;
+  LinkScheduler& operator=(const LinkScheduler&) = delete;
+
+  // Where transmitted packets go once their wire time elapses (the kernel's
+  // wire sink). Must be set before any Transmit.
+  void set_sink(std::function<void(const Packet&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  bool enabled() const { return config_.mbps > 0.0; }
+
+  // Queues `p` for transmission on behalf of `charge_to` (null: unowned,
+  // queued at the root and charged to nobody). With the model disabled the
+  // packet is handed to the sink synchronously.
+  void Transmit(Packet p, rc::ContainerRef charge_to);
+
+  // Wire time of a packet of `bytes` at the configured rate.
+  sim::Duration TxTime(std::uint32_t bytes) const;
+
+  bool busy() const { return busy_; }
+  int queued() const { return tree_.queued_total(); }
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    sim::Duration busy_usec = 0;
+    std::uint64_t bytes_sent = 0;  // wire bytes, headers included
+  };
+  const Stats& stats() const { return stats_; }
+  // Simulated time at which this link came into existence (audit wallclock).
+  sim::SimTime created_at() const { return created_at_; }
+
+  // Charge-conservation observer for link service intervals (may be null).
+  void set_auditor(verify::ChargeAuditor* auditor) { auditor_ = auditor; }
+
+  // Periodic decay of the share tree's usage (kernel housekeeping tick).
+  void Tick() { tree_.Tick(); }
+
+  // Hierarchy lifecycle, forwarded from the kernel's container observers.
+  void OnContainerDestroyed(rc::ResourceContainer& c) {
+    tree_.OnContainerDestroyed(c);
+  }
+  void OnContainerReparented(rc::ResourceContainer& child,
+                             rc::ResourceContainer* old_parent,
+                             rc::ResourceContainer* new_parent) {
+    tree_.OnContainerReparented(child, old_parent, new_parent);
+  }
+
+  // Test hooks.
+  double DecayedUsage(const rc::ResourceContainer& c) const {
+    return tree_.DecayedUsage(c);
+  }
+  bool IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const {
+    return tree_.IsThrottled(c, now);
+  }
+
+  // Installs pull-based probes for the link counters (link.*) and the
+  // current queue depth; `this` must outlive reads of the registry.
+  void RegisterMetrics(telemetry::Registry& registry);
+
+ private:
+  struct QueuedPacket {
+    Packet packet;
+    rc::ContainerRef container;
+  };
+
+  static sched::ShareTreeOptions TreeOptions(const LinkConfig& config);
+
+  void MaybeSend();
+  void CompleteInflight(sim::Duration tx);
+
+  sim::Simulator* const simr_;
+  rc::ContainerManager* const manager_;
+  const LinkConfig config_;
+
+  sched::ShareTree tree_;
+  std::function<void(const Packet&)> sink_;
+  std::unique_ptr<QueuedPacket> inflight_;
+  bool busy_ = false;
+  // A retry is pending because everything queued was limit-throttled.
+  bool retry_armed_ = false;
+
+  const sim::SimTime created_at_;
+  Stats stats_;
+  verify::ChargeAuditor* auditor_ = nullptr;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_LINK_SCHED_H_

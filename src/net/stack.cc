@@ -109,7 +109,7 @@ void Stack::Send(Connection& conn, std::uint32_t bytes, std::uint64_t response_t
     p.response_to = response_to;
     p.last_segment = (i + 1 == packets);
     ++stats_.packets_out;
-    env_->EmitToWire(p);
+    env_->EmitToWire(p, conn.container());
   }
   ++conn.responses_sent;
   if (conn.container()) {
@@ -130,7 +130,7 @@ void Stack::Close(Connection& conn) {
   fin.dst = conn.client();
   fin.flow_id = conn.flow_id();
   ++stats_.packets_out;
-  env_->EmitToWire(fin);
+  env_->EmitToWire(fin, conn.container());
   Teardown(conn);
 }
 
@@ -349,7 +349,7 @@ void Stack::ApplySyn(const Packet& p) {
   synack.dst = p.src;
   synack.flow_id = p.flow_id;
   ++stats_.packets_out;
-  env_->EmitToWire(synack);
+  env_->EmitToWire(synack, container);
 }
 
 void Stack::ApplyAck(const Packet& p) {

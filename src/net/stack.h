@@ -78,6 +78,16 @@ class StackEnv {
   // models wire latency and delivery).
   virtual void EmitToWire(Packet p) = 0;
 
+  // As above, with the container whose activity produced the packet — the
+  // principal a rate-limited transmit link charges for the wire time.
+  // `charge_to` may be null (e.g. RSTs for connections that no longer
+  // exist). The default forwards to the unattributed overload, so
+  // environments that do not model the link need not override this.
+  virtual void EmitToWire(Packet p, rc::ContainerRef charge_to) {
+    (void)charge_to;
+    EmitToWire(std::move(p));
+  }
+
   // An established connection reached `ls`'s accept queue.
   virtual void WakeAcceptors(ListenSocket& ls) = 0;
 

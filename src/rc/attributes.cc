@@ -6,7 +6,9 @@ using rccommon::Errc;
 using rccommon::Expected;
 using rccommon::MakeUnexpected;
 
-Expected<void> Attributes::Validate() const {
+namespace {
+
+Expected<void> ValidateSched(const SchedParams& sched) {
   if (sched.priority < kMinPriority || sched.priority > kMaxPriority) {
     return MakeUnexpected(Errc::kInvalidArgument);
   }
@@ -16,6 +18,51 @@ Expected<void> Attributes::Validate() const {
     }
   } else if (sched.fixed_share != 0.0) {
     return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  return {};
+}
+
+Expected<void> ValidatePolicy(const ResourcePolicy& policy) {
+  if (policy.override_sched) {
+    if (auto v = ValidateSched(policy.sched); !v.ok()) {
+      return v;
+    }
+  } else if (policy.sched.fixed_share != 0.0 ||
+             policy.sched.priority != kDefaultPriority ||
+             policy.sched.cls != SchedClass::kTimeShare) {
+    // Sched fields are meaningless (and therefore rejected) while the
+    // resource inherits the container's base SchedParams.
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  if (policy.limit < 0.0 || policy.limit > 1.0) {
+    return MakeUnexpected(Errc::kInvalidArgument);
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kDisk:
+      return "disk";
+    case ResourceKind::kLink:
+      return "link";
+  }
+  return "?";
+}
+
+Expected<void> Attributes::Validate() const {
+  if (auto v = ValidateSched(sched); !v.ok()) {
+    return v;
+  }
+  if (auto v = ValidatePolicy(disk); !v.ok()) {
+    return v;
+  }
+  if (auto v = ValidatePolicy(link); !v.ok()) {
+    return v;
   }
   if (cpu_limit < 0.0 || cpu_limit > 1.0) {
     return MakeUnexpected(Errc::kInvalidArgument);

@@ -34,6 +34,33 @@ struct SchedParams {
   double fixed_share = 0.0;         // fraction of parent, for kFixedShare
 };
 
+// The schedulable resources a container's share/limit machinery applies to.
+// kCpu is the paper's CPU scheduler; kDisk and kLink extend the same
+// proportional-share core to disk bandwidth and the transmit link
+// (Section 4.4: "other system resources such as physical memory, disk
+// bandwidth and socket buffers can be conveniently controlled by resource
+// containers").
+enum class ResourceKind {
+  kCpu = 0,
+  kDisk = 1,
+  kLink = 2,
+};
+inline constexpr int kResourceKindCount = 3;
+
+const char* ResourceKindName(ResourceKind kind);
+
+// Per-resource scheduling override. By default a container's disk and link
+// scheduling follow its CPU SchedParams (`Attributes::sched`); setting
+// `override_sched` gives the resource its own class/priority/share — e.g. a
+// CPU-bound time-share container can still hold a fixed disk-bandwidth
+// guarantee. `limit` is a windowed bandwidth cap (fraction of the device),
+// the disk/link analogue of Attributes::cpu_limit; 0 = unlimited.
+struct ResourcePolicy {
+  bool override_sched = false;
+  SchedParams sched;
+  double limit = 0.0;
+};
+
 struct Attributes {
   SchedParams sched;
 
@@ -49,6 +76,12 @@ struct Attributes {
   // pending packets (Section 4.7); -1 means "use sched.priority".
   int network_priority = -1;
 
+  // Disk-bandwidth and transmit-link scheduling (share tree instantiations
+  // over ResourceKind::kDisk / kLink). Defaults follow `sched` with no limit,
+  // so containers that never touch these fields behave exactly as before.
+  ResourcePolicy disk;
+  ResourcePolicy link;
+
   // Checks internal consistency (ranges, share bounds). Cross-container
   // constraints (sibling share sums) are checked by ContainerManager.
   rccommon::Expected<void> Validate() const;
@@ -58,6 +91,34 @@ struct Attributes {
     return network_priority >= 0 ? network_priority : sched.priority;
   }
 };
+
+// The scheduling parameters governing `kind`. For kCpu this is always
+// `a.sched`; for disk/link it is the per-resource override when set, else
+// `a.sched` (inheritance).
+inline const SchedParams& SchedFor(const Attributes& a, ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kDisk:
+      return a.disk.override_sched ? a.disk.sched : a.sched;
+    case ResourceKind::kLink:
+      return a.link.override_sched ? a.link.sched : a.sched;
+    case ResourceKind::kCpu:
+      break;
+  }
+  return a.sched;
+}
+
+// The windowed-limit fraction governing `kind` (0 = unlimited).
+inline double LimitFor(const Attributes& a, ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kDisk:
+      return a.disk.limit;
+    case ResourceKind::kLink:
+      return a.link.limit;
+    case ResourceKind::kCpu:
+      break;
+  }
+  return a.cpu_limit;
+}
 
 }  // namespace rc
 

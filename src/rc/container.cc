@@ -88,12 +88,20 @@ Expected<void> ResourceContainer::SetAttributes(const Attributes& attrs) {
   if (!children_.empty() && attrs.sched.cls != SchedClass::kFixedShare) {
     return MakeUnexpected(Errc::kHasChildren);
   }
-  // Re-check the sibling share budget when this container holds (or takes) a
-  // fixed-share guarantee.
-  if (parent_ != nullptr && attrs.sched.cls == SchedClass::kFixedShare) {
-    const double others = ContainerManager::SiblingFixedShareSum(*parent_, this);
-    if (others + attrs.sched.fixed_share > 1.0 + 1e-9) {
-      return MakeUnexpected(Errc::kLimitExceeded);
+  // Re-check the sibling share budget (per resource) when this container
+  // holds (or takes) a fixed-share guarantee.
+  if (parent_ != nullptr) {
+    for (const ResourceKind kind :
+         {ResourceKind::kCpu, ResourceKind::kDisk, ResourceKind::kLink}) {
+      const SchedParams& sched = SchedFor(attrs, kind);
+      if (sched.cls != SchedClass::kFixedShare) {
+        continue;
+      }
+      const double others =
+          ContainerManager::SiblingFixedShareSum(*parent_, this, kind);
+      if (others + sched.fixed_share > 1.0 + 1e-9) {
+        return MakeUnexpected(Errc::kLimitExceeded);
+      }
     }
   }
   attrs_ = attrs;

@@ -84,6 +84,12 @@ class ResourceContainer {
     usage_.disk_kb += kb;
   }
 
+  // Records a completed transmit-link occupancy (rate-limited link model).
+  void ChargeLink(sim::Duration busy_usec, std::uint64_t packets = 1) {
+    usage_.link_busy_usec += busy_usec;
+    usage_.link_packets += packets;
+  }
+
   void CountPacketReceived(std::uint64_t bytes) {
     ++usage_.packets_received;
     usage_.bytes_received += bytes;

@@ -118,14 +118,16 @@ void ContainerManager::NotifyReparent(ResourceContainer& child,
 }
 
 double ContainerManager::SiblingFixedShareSum(const ResourceContainer& parent,
-                                              const ResourceContainer* exclude) {
+                                              const ResourceContainer* exclude,
+                                              ResourceKind kind) {
   double sum = 0.0;
   parent.ForEachChild([&](ResourceContainer& child) {
     if (&child == exclude) {
       return;
     }
-    if (child.attributes().sched.cls == SchedClass::kFixedShare) {
-      sum += child.attributes().sched.fixed_share;
+    const SchedParams& sched = SchedFor(child.attributes(), kind);
+    if (sched.cls == SchedClass::kFixedShare) {
+      sum += sched.fixed_share;
     }
   });
   return sum;
@@ -145,10 +147,16 @@ Expected<void> ContainerManager::CheckParentEligible(
   if (parent.attributes().sched.cls != SchedClass::kFixedShare) {
     return MakeUnexpected(Errc::kHasChildren);
   }
-  if (child_attrs.sched.cls == SchedClass::kFixedShare) {
-    const double others = SiblingFixedShareSum(parent, exclude);
-    if (others + child_attrs.sched.fixed_share > 1.0 + 1e-9) {
-      return MakeUnexpected(Errc::kLimitExceeded);
+  // Fixed-share budgets are per resource: a child's CPU, disk, and link
+  // guarantees each draw from an independent 100% at the parent.
+  for (const ResourceKind kind :
+       {ResourceKind::kCpu, ResourceKind::kDisk, ResourceKind::kLink}) {
+    const SchedParams& sched = SchedFor(child_attrs, kind);
+    if (sched.cls == SchedClass::kFixedShare) {
+      const double others = SiblingFixedShareSum(parent, exclude, kind);
+      if (others + sched.fixed_share > 1.0 + 1e-9) {
+        return MakeUnexpected(Errc::kLimitExceeded);
+      }
     }
   }
   return {};

@@ -61,10 +61,12 @@ class ContainerManager {
                                               ResourceContainer* new_parent)>;
   void AddReparentObserver(ReparentObserver observer);
 
-  // Sum of fixed shares of `parent`'s fixed-share children, excluding
-  // `exclude` (used when re-validating an attribute change).
+  // Sum of fixed shares of `parent`'s children that are fixed-share for
+  // `kind`, excluding `exclude` (used when re-validating an attribute
+  // change). Disk/link shares are budgeted independently of CPU shares.
   static double SiblingFixedShareSum(const ResourceContainer& parent,
-                                     const ResourceContainer* exclude);
+                                     const ResourceContainer* exclude,
+                                     ResourceKind kind = ResourceKind::kCpu);
 
  private:
   friend class ResourceContainer;

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "src/rc/attributes.h"
 #include "src/sim/time.h"
 
 namespace rc {
@@ -37,6 +38,11 @@ struct ResourceUsage {
   std::int64_t disk_busy_usec = 0;
   std::uint64_t disk_reads = 0;
   std::uint64_t disk_kb = 0;
+
+  // Transmit-link occupancy: time this container's packets held the outbound
+  // link (only accrued when the kernel models a rate-limited link).
+  std::int64_t link_busy_usec = 0;
+  std::uint64_t link_packets = 0;
 
   std::int64_t TotalCpuUsec() const {
     return cpu_user_usec + cpu_kernel_usec + cpu_network_usec;
@@ -73,7 +79,22 @@ struct ResourceUsage {
     disk_busy_usec += other.disk_busy_usec;
     disk_reads += other.disk_reads;
     disk_kb += other.disk_kb;
+    link_busy_usec += other.link_busy_usec;
+    link_packets += other.link_packets;
     return *this;
+  }
+
+  // Busy time this usage record holds for `kind` (audit bookkeeping).
+  std::int64_t BusyUsecFor(ResourceKind kind) const {
+    switch (kind) {
+      case ResourceKind::kDisk:
+        return disk_busy_usec;
+      case ResourceKind::kLink:
+        return link_busy_usec;
+      case ResourceKind::kCpu:
+        break;
+    }
+    return TotalCpuUsec();
   }
 };
 

@@ -1,0 +1,322 @@
+#include "src/sched/share_tree.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace sched {
+
+namespace {
+// Floor for the residual share granted to time-share children when fixed
+// shares (nearly) exhaust the parent; keeps time-share work from starving.
+constexpr double kResidualFloor = 0.02;
+}  // namespace
+
+ShareTree::ShareTree(rc::ContainerManager* manager, const ShareTreeOptions& options)
+    : manager_(manager), options_(options) {}
+
+ShareTree::Node* ShareTree::NodeFor(rc::ResourceContainer& c) {
+  if (options_.cache_in_container) {
+    if (c.sched_cookie() != nullptr) {
+      return static_cast<Node*>(c.sched_cookie());
+    }
+  } else {
+    auto it = nodes_.find(c.id());
+    if (it != nodes_.end()) {
+      return it->second.get();
+    }
+  }
+  auto node = std::make_unique<Node>();
+  node->container = &c;
+  Node* raw = node.get();
+  if (options_.cache_in_container) {
+    c.set_sched_cookie(raw);
+  }
+  nodes_[c.id()] = std::move(node);
+  return raw;
+}
+
+ShareTree::Node* ShareTree::NodeForIfExists(const rc::ResourceContainer& c) const {
+  if (options_.cache_in_container) {
+    return static_cast<Node*>(c.sched_cookie());
+  }
+  auto it = nodes_.find(c.id());
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+double ShareTree::ResidualWeight(const rc::ResourceContainer& parent) const {
+  double fixed_total = 0.0;
+  parent.ForEachChild([&](rc::ResourceContainer& child) {
+    const rc::SchedParams& sched = rc::SchedFor(child.attributes(), options_.resource);
+    if (sched.cls == rc::SchedClass::kFixedShare) {
+      fixed_total += sched.fixed_share;
+    }
+  });
+  return std::max(kResidualFloor, 1.0 - fixed_total);
+}
+
+void ShareTree::AdjustRunnable(rc::ResourceContainer* leaf, int delta) {
+  for (rc::ResourceContainer* c = leaf; c != nullptr; c = c->parent()) {
+    Node* n = NodeFor(*c);
+    const int before = n->runnable;
+    n->runnable += delta;
+    RC_CHECK_GE(n->runnable, 0);
+    rc::ResourceContainer* parent = c->parent();
+    if (parent == nullptr) {
+      continue;
+    }
+    Node* pn = NodeFor(*parent);
+    const bool fixed =
+        rc::SchedFor(c->attributes(), options_.resource).cls == rc::SchedClass::kFixedShare;
+    if (before == 0 && n->runnable == 1) {
+      // (Re)entering the runnable set: no credit for idle time.
+      if (fixed) {
+        n->pass = std::max(n->pass, pn->vtime);
+      } else if (++pn->tshare_runnable_children == 1) {
+        pn->tshare_pass = std::max(pn->tshare_pass, pn->vtime);
+      }
+    } else if (before == 1 && n->runnable == 0) {
+      if (!fixed) {
+        --pn->tshare_runnable_children;
+        RC_CHECK_GE(pn->tshare_runnable_children, 0);
+      }
+    }
+  }
+  total_queued_ += delta;
+}
+
+ShareTree::Node* ShareTree::Push(rc::ResourceContainer* leaf, void* item) {
+  RC_CHECK_NE(leaf, nullptr);
+  RC_CHECK_NE(item, nullptr);
+  Node* node = NodeFor(*leaf);
+  node->queue.push_back(item);
+  AdjustRunnable(leaf, +1);
+  return node;
+}
+
+ShareTree::Node* ShareTree::PickChild(Node* parent, sim::SimTime now,
+                                      bool allow_zero) {
+  // Collect the stride candidates at this level: eligible fixed-share
+  // children, and the time-share group if any of its members is eligible.
+  Node* best_fixed = nullptr;
+  bool group_eligible = false;
+
+  parent->container->ForEachChild([&](rc::ResourceContainer& child) {
+    Node* cn = NodeForIfExists(child);
+    if (cn == nullptr || cn->runnable == 0 || Throttled(*cn, now)) {
+      return;
+    }
+    const rc::SchedParams& sched = rc::SchedFor(child.attributes(), options_.resource);
+    if (sched.cls == rc::SchedClass::kFixedShare) {
+      if (best_fixed == nullptr || cn->pass < best_fixed->pass) {
+        best_fixed = cn;
+      }
+    } else {
+      if (sched.priority <= 0 && !allow_zero) {
+        return;
+      }
+      group_eligible = true;
+    }
+  });
+
+  const bool pick_group =
+      group_eligible && (best_fixed == nullptr || parent->tshare_pass <= best_fixed->pass);
+
+  if (!pick_group && best_fixed == nullptr) {
+    return nullptr;
+  }
+
+  parent->vtime =
+      std::max(parent->vtime, pick_group ? parent->tshare_pass : best_fixed->pass);
+
+  if (!pick_group) {
+    return best_fixed;
+  }
+
+  // Inside the group: decayed usage scaled by numeric priority. In the CPU's
+  // starvation-class mode, positive-priority children always beat
+  // priority-0 ones; otherwise priority 0 is just the weakest weight.
+  Node* best = nullptr;
+  double best_key = 0.0;
+  bool best_positive = false;
+  parent->container->ForEachChild([&](rc::ResourceContainer& child) {
+    Node* cn = NodeForIfExists(child);
+    if (cn == nullptr || cn->runnable == 0 || Throttled(*cn, now)) {
+      return;
+    }
+    const rc::SchedParams& sched = rc::SchedFor(child.attributes(), options_.resource);
+    if (sched.cls == rc::SchedClass::kFixedShare) {
+      return;
+    }
+    const bool positive = sched.priority > 0;
+    if (!positive && !allow_zero) {
+      return;
+    }
+    const double key = cn->decayed / static_cast<double>(std::max(1, sched.priority));
+    bool better;
+    if (options_.starve_priority_zero) {
+      better = best == nullptr || (positive && !best_positive) ||
+               (positive == best_positive && key < best_key);
+    } else {
+      better = best == nullptr || key < best_key;
+    }
+    if (better) {
+      best = cn;
+      best_key = key;
+      best_positive = positive;
+    }
+  });
+  return best;
+}
+
+void* ShareTree::Descend(sim::SimTime now, bool allow_zero) {
+  Node* n = NodeFor(*manager_->root());
+  if (n->runnable == 0) {
+    return nullptr;
+  }
+  while (true) {
+    Node* child = PickChild(n, now, allow_zero);
+    if (child != nullptr) {
+      n = child;
+      continue;
+    }
+    if (n->queue.empty()) {
+      return nullptr;  // everything below is throttled or priority-0
+    }
+    void* item = n->queue.front();
+    n->queue.pop_front();
+    AdjustRunnable(n->container, -1);
+    return item;
+  }
+}
+
+void* ShareTree::Pop(sim::SimTime now) {
+  if (!options_.starve_priority_zero) {
+    return Descend(now, /*allow_zero=*/true);
+  }
+  if (void* item = Descend(now, /*allow_zero=*/false)) {
+    return item;
+  }
+  // Nothing with positive priority: admit the starvation (priority-0) class.
+  return Descend(now, /*allow_zero=*/true);
+}
+
+void ShareTree::Erase(Node* node, void* item) {
+  RC_CHECK_NE(node, nullptr);
+  auto& q = node->queue;
+  q.erase(std::remove(q.begin(), q.end(), item), q.end());
+  AdjustRunnable(node->container, -1);
+}
+
+void ShareTree::OnCharge(rc::ResourceContainer& c, sim::Duration usec,
+                         sim::SimTime now) {
+  for (rc::ResourceContainer* p = &c; p != nullptr; p = p->parent()) {
+    Node* n = NodeFor(*p);
+    n->decayed += static_cast<double>(usec);
+
+    // Stride pass advance at this level.
+    if (rc::ResourceContainer* parent = p->parent()) {
+      Node* pn = NodeFor(*parent);
+      const rc::SchedParams& sched = rc::SchedFor(p->attributes(), options_.resource);
+      if (sched.cls == rc::SchedClass::kFixedShare) {
+        n->pass += static_cast<double>(usec) / std::max(1e-6, sched.fixed_share);
+      } else {
+        pn->tshare_pass += static_cast<double>(usec) / ResidualWeight(*parent);
+      }
+    }
+
+    // Windowed limit, budgeted against the whole device's (or machine's)
+    // capacity.
+    const double limit = rc::LimitFor(p->attributes(), options_.resource);
+    if (limit > 0.0) {
+      n->window.Charge(usec, now, limit, options_.limit_window, options_.capacity);
+    }
+  }
+}
+
+void ShareTree::Tick() {
+  for (auto& [id, node] : nodes_) {
+    node->decayed *= options_.decay_per_tick;
+  }
+}
+
+std::optional<sim::SimTime> ShareTree::NextEligibleTime(sim::SimTime now) const {
+  std::optional<sim::SimTime> earliest;
+  for (const auto& [id, node] : nodes_) {
+    if (node->runnable > 0 && node->window.throttled_until > now) {
+      if (!earliest.has_value() || node->window.throttled_until < *earliest) {
+        earliest = node->window.throttled_until;
+      }
+    }
+  }
+  return earliest;
+}
+
+void ShareTree::OnContainerDestroyed(rc::ResourceContainer& c) {
+  Node* n = NodeForIfExists(c);
+  if (n == nullptr) {
+    return;
+  }
+  // Queued items hold references to their containers, so a container with
+  // queued work can never be destroyed.
+  RC_CHECK(n->queue.empty());
+  if (options_.cache_in_container) {
+    c.set_sched_cookie(nullptr);
+  }
+  nodes_.erase(c.id());
+}
+
+void ShareTree::OnContainerReparented(rc::ResourceContainer& child,
+                                      rc::ResourceContainer* old_parent,
+                                      rc::ResourceContainer* new_parent) {
+  Node* cn = NodeForIfExists(child);
+  if (cn == nullptr || cn->runnable == 0) {
+    return;
+  }
+  const int k = cn->runnable;
+  const bool fixed = rc::SchedFor(child.attributes(), options_.resource).cls ==
+                     rc::SchedClass::kFixedShare;
+  for (rc::ResourceContainer* p = old_parent; p != nullptr; p = p->parent()) {
+    Node* n = NodeForIfExists(*p);
+    if (n != nullptr) {
+      if (p == old_parent && !fixed) {
+        --n->tshare_runnable_children;
+      }
+      n->runnable -= k;
+      RC_CHECK_GE(n->runnable, 0);
+    }
+  }
+  for (rc::ResourceContainer* p = new_parent; p != nullptr; p = p->parent()) {
+    Node* n = NodeFor(*p);
+    if (p == new_parent && !fixed) {
+      ++n->tshare_runnable_children;
+    }
+    n->runnable += k;
+  }
+}
+
+std::vector<void*> ShareTree::DrainAll() {
+  std::vector<void*> items;
+  for (auto& [id, node] : nodes_) {
+    for (void* item : node->queue) {
+      items.push_back(item);
+    }
+    node->queue.clear();
+    node->runnable = 0;
+    node->tshare_runnable_children = 0;
+  }
+  total_queued_ = 0;
+  return items;
+}
+
+double ShareTree::DecayedUsage(const rc::ResourceContainer& c) const {
+  Node* n = NodeForIfExists(c);
+  return n == nullptr ? 0.0 : n->decayed;
+}
+
+bool ShareTree::IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const {
+  Node* n = NodeForIfExists(c);
+  return n != nullptr && Throttled(*n, now);
+}
+
+}  // namespace sched

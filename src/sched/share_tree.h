@@ -1,0 +1,165 @@
+// The resource-generic proportional-share core (Sections 4.3, 4.5, 5.1),
+// extracted from the CPU scheduler so every schedulable resource — CPU time,
+// disk bandwidth, transmit-link bandwidth — arbitrates with the same
+// machinery, keyed by the container hierarchy.
+//
+// At each tree level the share tree arbitrates with *stride scheduling*
+// between
+//
+//   * each fixed-share child (weight = its guaranteed fraction), and
+//   * the set of time-share children, treated as ONE aggregate client whose
+//     weight is the residual fraction left by the fixed shares.
+//
+// Every charge advances the charged client's "pass" by usec/weight; the
+// client with the minimum pass runs next. Clients (re)entering the runnable
+// set are clamped to the level's virtual time, so they get no credit for
+// idle periods. Within the time-share group, siblings are picked by decayed
+// usage scaled by numeric priority.
+//
+// The tree is parameterized over "what a charge is" via ShareTreeOptions:
+// the resource kind selects which of the container's attributes govern it
+// (rc::SchedFor / rc::LimitFor), and `starve_priority_zero` selects the
+// priority-0 semantics:
+//
+//   * true (CPU): priority 0 is the starvation class (Section 4.8) —
+//     selected only when nothing positive-priority is runnable anywhere.
+//   * false (disk, link): priority 0 is simply the weakest weight
+//     (weight 1), so low-priority I/O makes proportional progress instead
+//     of starving behind a saturating high-priority stream.
+//
+// Windowed limits ("resource sand-box", Section 5.6): a container whose
+// windowed subtree usage exceeds its per-resource limit is throttled until
+// the window ends.
+//
+// Queued items are opaque (void*): the CPU adapter queues Thread*, the disk
+// engine queues IoRequest*, the link scheduler queues pending packets. Items
+// queue FIFO per container; Push returns the node, whose pointer is the
+// cookie Erase needs.
+#ifndef SRC_SCHED_SHARE_TREE_H_
+#define SRC_SCHED_SHARE_TREE_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rc/manager.h"
+#include "src/rc/usage.h"
+#include "src/sim/time.h"
+
+namespace sched {
+
+struct ShareTreeOptions {
+  // Which container attributes govern arbitration (rc::SchedFor/LimitFor).
+  rc::ResourceKind resource = rc::ResourceKind::kCpu;
+  // Multiplier applied to decayed usage on every Tick().
+  double decay_per_tick = 1.0;
+  // Length of the windowed-limit budget window.
+  sim::Duration limit_window = 0;
+  // Budget multiplier for limits: a window of length W holds capacity * W of
+  // the resource (CPU: the CPU count; single-server devices: 1).
+  int capacity = 1;
+  // Stash the per-container Node in the container's sched_cookie (fast
+  // path). Valid only for a single tree instance per container tree: per-CPU
+  // scheduler shards and the disk/link trees must leave this false.
+  bool cache_in_container = false;
+  // Priority-0 semantics (see file comment).
+  bool starve_priority_zero = true;
+};
+
+class ShareTree {
+ public:
+  struct Node {
+    rc::ResourceContainer* container = nullptr;
+
+    double decayed = 0.0;  // decayed subtree charge (time-share pick, stats)
+
+    // Stride state. For a fixed-share container: its own pass. As a parent:
+    // the aggregate pass and virtual time of its time-share children.
+    double pass = 0.0;
+    double tshare_pass = 0.0;
+    double vtime = 0.0;
+    int tshare_runnable_children = 0;
+
+    // Windowed-limit state (see rc::UsageWindow).
+    rc::UsageWindow window;
+
+    // Items queued at this node (leaves only, normally).
+    std::deque<void*> queue;
+    // Queued items at or below this node.
+    int runnable = 0;
+  };
+
+  ShareTree(rc::ContainerManager* manager, const ShareTreeOptions& options);
+
+  ShareTree(const ShareTree&) = delete;
+  ShareTree& operator=(const ShareTree&) = delete;
+
+  // Queues `item` under `leaf` (FIFO within the container). Returns the node
+  // holding it — the cookie a later Erase needs.
+  Node* Push(rc::ResourceContainer* leaf, void* item);
+
+  // Removes and returns the next item under the share policy; nullptr when
+  // nothing is eligible (empty, or everything throttled / starvation-class).
+  void* Pop(sim::SimTime now);
+
+  // Removes `item` from `node`'s queue (it must be queued there).
+  void Erase(Node* node, void* item);
+
+  // `usec` of the resource was consumed on behalf of `c`: advances decayed
+  // usage, stride passes, and limit windows on the whole ancestor chain.
+  void OnCharge(rc::ResourceContainer& c, sim::Duration usec, sim::SimTime now);
+
+  // Periodic decay of per-node usage.
+  void Tick();
+
+  // Earliest time a throttled container with queued items becomes eligible
+  // again; nullopt when nothing relevant is throttled.
+  std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) const;
+
+  // Hierarchy lifecycle (wired to ContainerManager observers by the owner).
+  void OnContainerDestroyed(rc::ResourceContainer& c);
+  void OnContainerReparented(rc::ResourceContainer& child,
+                             rc::ResourceContainer* old_parent,
+                             rc::ResourceContainer* new_parent);
+
+  // Total items queued anywhere in the tree.
+  int queued_total() const { return total_queued_; }
+
+  // Removes and returns every queued item, ignoring policy (owner teardown).
+  std::vector<void*> DrainAll();
+
+  // Introspection / test hooks.
+  double DecayedUsage(const rc::ResourceContainer& c) const;
+  bool IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const;
+
+ private:
+  Node* NodeFor(rc::ResourceContainer& c);
+  Node* NodeForIfExists(const rc::ResourceContainer& c) const;
+  bool Throttled(const Node& n, sim::SimTime now) const {
+    return n.window.Throttled(now);
+  }
+
+  // Residual weight left for the time-share group under `parent`.
+  double ResidualWeight(const rc::ResourceContainer& parent) const;
+
+  // Arbitration at `parent`: the eligible child with minimal pass (stride),
+  // descending into the time-share group by decayed/priority. `allow_zero`
+  // admits priority-0 time-share children.
+  Node* PickChild(Node* parent, sim::SimTime now, bool allow_zero);
+
+  // One full descent; nullptr if nothing eligible under this policy pass.
+  void* Descend(sim::SimTime now, bool allow_zero);
+
+  void AdjustRunnable(rc::ResourceContainer* leaf, int delta);
+
+  rc::ContainerManager* const manager_;
+  const ShareTreeOptions options_;
+  std::unordered_map<rc::ContainerId, std::unique_ptr<Node>> nodes_;
+  int total_queued_ = 0;
+};
+
+}  // namespace sched
+
+#endif  // SRC_SCHED_SHARE_TREE_H_

@@ -84,7 +84,9 @@ void EpochSampler::WriteJsonLines(std::ostream& os) const {
          << ",\"packets_dropped\":" << u.packets_dropped
          << ",\"bytes_received\":" << u.bytes_received
          << ",\"bytes_sent\":" << u.bytes_sent
-         << ",\"disk_busy_usec\":" << u.disk_busy_usec << "}\n";
+         << ",\"disk_busy_usec\":" << u.disk_busy_usec
+         << ",\"link_busy_usec\":" << u.link_busy_usec
+         << ",\"link_packets\":" << u.link_packets << "}\n";
     }
     if (s.retired()) {
       os << "{\"container\":" << id << ",\"name\":\"" << EscapeJson(s.name)

@@ -29,9 +29,11 @@ void ChargeAuditor::ObserveHierarchy(rc::ContainerManager* manager) {
     const rc::ResourceContainer* parent = c.parent();
     if (parent != nullptr) {
       // Mirror the kernel: a dying container's accumulated usage (direct and
-      // already-retired) retires into its parent.
+      // already-retired) retires into its parent — for every resource.
       ContainerTally& up = tallies_[parent->id()];
-      up.retired += it->second.direct + it->second.retired;
+      for (std::size_t k = 0; k < rc::kResourceKindCount; ++k) {
+        up.retired[k] += it->second.direct[k] + it->second.retired[k];
+      }
       if (up.name.empty()) {
         up.name = parent->name();
       }
@@ -41,16 +43,28 @@ void ChargeAuditor::ObserveHierarchy(rc::ContainerManager* manager) {
 }
 
 void ChargeAuditor::OnCharge(const rc::ResourceContainer& c, sim::Duration usec) {
+  OnResourceCharge(rc::ResourceKind::kCpu, c, usec);
+}
+
+void ChargeAuditor::OnResourceCharge(rc::ResourceKind kind,
+                                     const rc::ResourceContainer& c,
+                                     sim::Duration usec) {
   ContainerTally& tally = tallies_[c.id()];
-  tally.direct += usec;
+  tally.direct[KindIndex(kind)] += usec;
   if (tally.name.empty()) {
     tally.name = c.name();
   }
   ++charge_events_;
-  charged_total_ += usec;
+  if (kind == rc::ResourceKind::kCpu) {
+    charged_total_ += usec;
+  } else {
+    device_charged_total_[KindIndex(kind)] += usec;
+  }
   if (charge_counter_ != nullptr) {
     charge_counter_->Add();
-    usec_counter_->Add(static_cast<std::uint64_t>(usec));
+    if (kind == rc::ResourceKind::kCpu) {
+      usec_counter_->Add(static_cast<std::uint64_t>(usec));
+    }
   }
 }
 
@@ -70,6 +84,17 @@ void ChargeAuditor::OnInterrupt(int cpu, sim::Duration cost, bool charged) {
     engine_charged_total_ += cost;
   } else {
     tally.irq += cost;
+  }
+}
+
+void ChargeAuditor::OnDeviceWork(rc::ResourceKind kind, sim::Duration busy,
+                                 bool charged) {
+  DeviceTally& tally = devices_[KindIndex(kind)];
+  tally.busy += busy;
+  if (charged) {
+    tally.charged += busy;
+  } else {
+    tally.unowned += busy;
   }
 }
 
@@ -93,7 +118,8 @@ ChargeAuditor::CpuTally& ChargeAuditor::CpuAt(int cpu) {
 }
 
 std::vector<std::string> ChargeAuditor::Check(
-    const std::vector<CpuSample>& cpus) const {
+    const std::vector<CpuSample>& cpus,
+    const std::vector<DeviceSample>& devices) const {
   std::vector<std::string> out;
 
   // 1. Per-CPU: busy + idle == wallclock, and the engine's busy counter
@@ -125,6 +151,42 @@ std::vector<std::string> ChargeAuditor::Check(
     }
   }
 
+  // 1b. Per device (disk, transmit link): the same conservation story. Busy
+  //     and idle partition the device's wallclock, the device's own busy
+  //     counter matches the audited service intervals, and every busy
+  //     microsecond was either charged to a container or explicitly unowned.
+  for (const DeviceSample& s : devices) {
+    const char* dev = rc::ResourceKindName(s.kind);
+    if (s.busy + s.idle != s.wallclock) {
+      out.push_back(std::string("audit: device ") + dev +
+                    Fmt(": busy+idle %lld != wallclock %lld usec",
+                        static_cast<long long>(s.busy + s.idle),
+                        static_cast<long long>(s.wallclock)));
+    }
+    const DeviceTally& tally = devices_[KindIndex(s.kind)];
+    if (tally.busy != s.busy) {
+      out.push_back(std::string("audit: device ") + dev +
+                    Fmt(": engine busy %lld != audited busy %lld usec",
+                        static_cast<long long>(s.busy),
+                        static_cast<long long>(tally.busy)));
+    }
+    if (tally.charged + tally.unowned != tally.busy) {
+      out.push_back(std::string("audit: device ") + dev +
+                    Fmt(": accounted %lld != busy %lld usec",
+                        static_cast<long long>(tally.charged + tally.unowned),
+                        static_cast<long long>(tally.busy)));
+    }
+    // Device-side charged intervals match the container-side charge path.
+    if (tally.charged != device_charged_total_[KindIndex(s.kind)]) {
+      out.push_back(std::string("audit: device ") + dev +
+                    Fmt(": engine charged %lld usec but the container charge "
+                        "path recorded %lld usec",
+                        static_cast<long long>(tally.charged),
+                        static_cast<long long>(
+                            device_charged_total_[KindIndex(s.kind)])));
+    }
+  }
+
   // 3. Engine-side charges and kernel-side charges agree: every microsecond
   //    an engine handed to Kernel::ChargeCpu arrived exactly once.
   if (engine_charged_total_ != charged_total_) {
@@ -138,50 +200,63 @@ std::vector<std::string> ChargeAuditor::Check(
     return out;
   }
 
-  // 4. Per-container: the kernel's usage records match the audit tallies,
-  //    both for direct charges and for usage retired from destroyed
-  //    children. A dropped or duplicated charge shows up here, naming the
-  //    container involved.
-  sim::Duration tally_sum = 0;
+  // 4. Per-container and per-resource: the kernel's usage records match the
+  //    audit tallies, both for direct charges and for usage retired from
+  //    destroyed children. A dropped or duplicated charge shows up here,
+  //    naming the container and resource involved.
+  std::array<sim::Duration, rc::kResourceKindCount> tally_sum{};
   manager_->ForEachLive([&](rc::ResourceContainer& c) {
     auto it = tallies_.find(c.id());
     const ContainerTally tally =
         it != tallies_.end() ? it->second : ContainerTally{};
-    tally_sum += tally.direct + tally.retired;
-    const sim::Duration direct = c.usage().TotalCpuUsec();
-    if (direct != tally.direct) {
-      out.push_back("audit: container '" + c.name() + "' (id " +
-                    std::to_string(c.id()) + ")" +
-                    Fmt(": usage records %lld usec but %lld usec were charged",
-                        static_cast<long long>(direct),
-                        static_cast<long long>(tally.direct)));
-    }
-    const sim::Duration retired = c.retired_usage().TotalCpuUsec();
-    if (retired != tally.retired) {
-      out.push_back("audit: container '" + c.name() + "' (id " +
-                    std::to_string(c.id()) + ")" +
-                    Fmt(": retired usage %lld usec but audit retired %lld usec",
-                        static_cast<long long>(retired),
-                        static_cast<long long>(tally.retired)));
+    for (std::size_t k = 0; k < rc::kResourceKindCount; ++k) {
+      const rc::ResourceKind kind = static_cast<rc::ResourceKind>(k);
+      tally_sum[k] += tally.direct[k] + tally.retired[k];
+      const sim::Duration direct = c.usage().BusyUsecFor(kind);
+      if (direct != tally.direct[k]) {
+        out.push_back("audit: container '" + c.name() + "' (id " +
+                      std::to_string(c.id()) + ") " + rc::ResourceKindName(kind) +
+                      Fmt(": usage records %lld usec but %lld usec were charged",
+                          static_cast<long long>(direct),
+                          static_cast<long long>(tally.direct[k])));
+      }
+      const sim::Duration retired = c.retired_usage().BusyUsecFor(kind);
+      if (retired != tally.retired[k]) {
+        out.push_back("audit: container '" + c.name() + "' (id " +
+                      std::to_string(c.id()) + ") " + rc::ResourceKindName(kind) +
+                      Fmt(": retired usage %lld usec but audit retired %lld usec",
+                          static_cast<long long>(retired),
+                          static_cast<long long>(tally.retired[k])));
+      }
     }
   });
 
   // 5. Hierarchy conservation: the root subtree (parents fold in children
-  //    and retired usage) accounts for every charged microsecond, no more,
-  //    no less.
-  const sim::Duration subtree = manager_->root()->SubtreeUsage().TotalCpuUsec();
-  if (subtree != charged_total_) {
-    out.push_back(Fmt("audit: root subtree records %lld usec but %lld usec "
-                      "were charged machine-wide",
-                      static_cast<long long>(subtree),
-                      static_cast<long long>(charged_total_)));
-  }
-  if (tally_sum != charged_total_) {
-    out.push_back(Fmt("audit: live container tallies sum to %lld usec but "
-                      "%lld usec were charged (a destroyed container leaked "
-                      "its usage)",
-                      static_cast<long long>(tally_sum),
-                      static_cast<long long>(charged_total_)));
+  //    and retired usage) accounts for every charged microsecond of every
+  //    resource, no more, no less.
+  const rc::ResourceUsage subtree = manager_->root()->SubtreeUsage();
+  for (std::size_t k = 0; k < rc::kResourceKindCount; ++k) {
+    const rc::ResourceKind kind = static_cast<rc::ResourceKind>(k);
+    const sim::Duration charged = kind == rc::ResourceKind::kCpu
+                                      ? charged_total_
+                                      : device_charged_total_[k];
+    const sim::Duration recorded = subtree.BusyUsecFor(kind);
+    if (recorded != charged) {
+      out.push_back(std::string("audit: root subtree ") +
+                    rc::ResourceKindName(kind) +
+                    Fmt(" records %lld usec but %lld usec were charged "
+                        "machine-wide",
+                        static_cast<long long>(recorded),
+                        static_cast<long long>(charged)));
+    }
+    if (tally_sum[k] != charged) {
+      out.push_back(std::string("audit: live container ") +
+                    rc::ResourceKindName(kind) +
+                    Fmt(" tallies sum to %lld usec but %lld usec were charged "
+                        "(a destroyed container leaked its usage)",
+                        static_cast<long long>(tally_sum[k]),
+                        static_cast<long long>(charged)));
+    }
   }
 
   return out;

@@ -9,6 +9,13 @@
 // tallies; Check() then compares those tallies against the kernel's own
 // accounting and reports any microsecond that was lost or double-charged.
 //
+// The same conservation argument applies to the scheduled devices: every
+// microsecond the disk or the transmit link is busy must be charged to the
+// container whose request occupied it (or explicitly recorded as unowned),
+// per-container device charges must match the containers' usage records, and
+// busy + idle must equal wallclock per device. OnDeviceWork/OnResourceCharge
+// feed those tallies; Check() takes per-device samples next to the CPU ones.
+//
 // The auditor is opt-in (attach it with kernel::Kernel::AttachAuditor before
 // any simulated work runs) and costs the charge path one null check when
 // detached. It must outlive the kernel it observes: container-destroy
@@ -16,6 +23,7 @@
 #ifndef SRC_VERIFY_AUDIT_H_
 #define SRC_VERIFY_AUDIT_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -58,6 +66,11 @@ class ChargeAuditor {
   // charge; the kernel separately applies it (unless a fault is injected).
   void OnCharge(const rc::ResourceContainer& c, sim::Duration usec);
 
+  // A device engine (or the kernel CPU path, kind == kCpu) is about to
+  // charge `usec` of `kind` to `c`.
+  void OnResourceCharge(rc::ResourceKind kind, const rc::ResourceContainer& c,
+                        sim::Duration usec);
+
   // A CPU engine consumed a thread slice: `overhead` microseconds of
   // context-switch cost plus `work` microseconds charged to a container.
   void OnSlice(int cpu, sim::Duration overhead, sim::Duration work);
@@ -66,6 +79,11 @@ class ChargeAuditor {
   // was charged to a container (early-demux modes) or counted as machine
   // interrupt overhead.
   void OnInterrupt(int cpu, sim::Duration cost, bool charged);
+
+  // A scheduled device (disk, link) was busy for `busy` microseconds
+  // servicing one request; `charged` says whether that time was charged to a
+  // container or the request was unowned.
+  void OnDeviceWork(rc::ResourceKind kind, sim::Duration busy, bool charged);
 
   // --- Fault injection (tests only) --------------------------------------
 
@@ -83,10 +101,22 @@ class ChargeAuditor {
     sim::Duration wallclock = 0;  // now - engine creation time
   };
 
+  // Per-device accounting snapshot (disk, transmit link).
+  struct DeviceSample {
+    rc::ResourceKind kind = rc::ResourceKind::kDisk;
+    sim::Duration busy = 0;
+    sim::Duration idle = 0;
+    sim::Duration wallclock = 0;  // now - device creation time
+  };
+
   // Runs every conservation invariant; returns one human-readable diagnostic
-  // per violation (empty == clean). Diagnostics name the CPU or container
-  // (id and name) involved and both sides of the failed equality.
-  std::vector<std::string> Check(const std::vector<CpuSample>& cpus) const;
+  // per violation (empty == clean). Diagnostics name the CPU, device, or
+  // container (id and name) involved and both sides of the failed equality.
+  std::vector<std::string> Check(const std::vector<CpuSample>& cpus) const {
+    return Check(cpus, {});
+  }
+  std::vector<std::string> Check(const std::vector<CpuSample>& cpus,
+                                 const std::vector<DeviceSample>& devices) const;
 
   // --- Introspection / telemetry ------------------------------------------
 
@@ -100,9 +130,11 @@ class ChargeAuditor {
 
  private:
   struct ContainerTally {
-    sim::Duration direct = 0;   // charges observed for this container
-    sim::Duration retired = 0;  // tallies folded in from destroyed children
-    std::string name;           // for diagnostics after destruction
+    // Charges observed per resource kind, and tallies folded in from
+    // destroyed children, indexed by rc::ResourceKind.
+    std::array<sim::Duration, rc::kResourceKindCount> direct{};
+    std::array<sim::Duration, rc::kResourceKindCount> retired{};
+    std::string name;  // for diagnostics after destruction
   };
 
   struct CpuTally {
@@ -112,16 +144,28 @@ class ChargeAuditor {
     sim::Duration charged = 0;   // work + charged interrupt cost
   };
 
+  struct DeviceTally {
+    sim::Duration busy = 0;      // every service interval observed
+    sim::Duration charged = 0;   // intervals charged to a container
+    sim::Duration unowned = 0;   // intervals with no owning container
+  };
+
   CpuTally& CpuAt(int cpu);
+  static std::size_t KindIndex(rc::ResourceKind kind) {
+    return static_cast<std::size_t>(kind);
+  }
 
   rc::ContainerManager* manager_ = nullptr;
 
   std::unordered_map<rc::ContainerId, ContainerTally> tallies_;
   std::vector<CpuTally> cpus_;
+  std::array<DeviceTally, rc::kResourceKindCount> devices_{};
 
   std::uint64_t charge_events_ = 0;
-  sim::Duration charged_total_ = 0;        // Σ OnCharge (kernel charge path)
+  sim::Duration charged_total_ = 0;        // Σ OnCharge (kernel CPU charge path)
   sim::Duration engine_charged_total_ = 0;  // Σ engine-side charged usec
+  // Σ device charges that reached a container, per kind (container side).
+  std::array<sim::Duration, rc::kResourceKindCount> device_charged_total_{};
 
   AuditFault fault_ = AuditFault::kNone;
   std::uint64_t faults_injected_ = 0;

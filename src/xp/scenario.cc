@@ -126,6 +126,7 @@ void Scenario::RegisterProbes() {
   });
   kernel_->stack().RegisterMetrics(registry_);
   kernel_->disk().RegisterMetrics(registry_);
+  kernel_->link().RegisterMetrics(registry_);
 }
 
 void Scenario::StartServer(rc::ContainerRef guest) {

@@ -1,0 +1,42 @@
+// Conformance lock on the CPU scheduler's event timeline: re-hosting the
+// hierarchical scheduler on the generic share tree (src/sched) must be
+// behavior-preserving, so the FNV-1a digest of a standard RC-kernel run is
+// pinned here, on a uniprocessor and on a 4-CPU sharded configuration. A
+// digest change means the CPU scheduling order changed — if intentional,
+// regenerate the constants below (the failure message prints the new value).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/xp/scenario.h"
+
+namespace {
+
+std::string RunDigest(int cpus) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.kernel_config.cpus = cpus;
+  options.digest = true;
+  options.server_config.use_containers = true;
+  options.server_config.use_event_api = true;
+  xp::Scenario scenario(options);
+  scenario.StartServer();
+  scenario.AddStaticClients(16, net::MakeAddr(10, 1, 0, 0));
+  scenario.StartAllClients();
+  scenario.RunFor(sim::Sec(1));
+  return scenario.digest()->hex();
+}
+
+TEST(DigestConformanceTest, UniprocessorTimelineIsPinned) {
+  EXPECT_EQ(RunDigest(1), "0865f56631f48bc5");
+}
+
+TEST(DigestConformanceTest, SmpTimelineIsPinned) {
+  EXPECT_EQ(RunDigest(4), "f2ab6ed76b0ab00e");
+}
+
+TEST(DigestConformanceTest, SameConfigReproducesSameDigest) {
+  EXPECT_EQ(RunDigest(1), RunDigest(1));
+}
+
+}  // namespace

@@ -21,14 +21,14 @@ class DiskTest : public ::testing::Test {
 };
 
 TEST_F(DiskTest, ServiceTimeIncludesPositioning) {
-  DiskEngine d(&simr_, costs_);
+  DiskEngine d(&simr_, costs_, &manager_);
   EXPECT_EQ(d.ServiceTime(4, /*sequential=*/false),
             costs_.positioning_usec + 4 * costs_.transfer_usec_per_kb);
   EXPECT_EQ(d.ServiceTime(4, /*sequential=*/true), 4 * costs_.transfer_usec_per_kb);
 }
 
 TEST_F(DiskTest, CompletesInServiceTime) {
-  DiskEngine d(&simr_, costs_);
+  DiskEngine d(&simr_, costs_, &manager_);
   sim::SimTime done_at = -1;
   IoRequest req;
   req.kb = 8;
@@ -44,7 +44,7 @@ TEST_F(DiskTest, CompletesInServiceTime) {
 }
 
 TEST_F(DiskTest, SequentialReadsSkipPositioning) {
-  DiskEngine d(&simr_, costs_);
+  DiskEngine d(&simr_, costs_, &manager_);
   sim::SimTime done_at = -1;
   IoRequest a;
   a.block_kb = 0;
@@ -62,7 +62,7 @@ TEST_F(DiskTest, SequentialReadsSkipPositioning) {
 }
 
 TEST_F(DiskTest, HighPriorityContainerJumpsQueue) {
-  DiskEngine d(&simr_, costs_);
+  DiskEngine d(&simr_, costs_, &manager_);
   rc::Attributes hi;
   hi.sched.priority = 40;
   rc::Attributes lo;
@@ -88,7 +88,7 @@ TEST_F(DiskTest, HighPriorityContainerJumpsQueue) {
 }
 
 TEST_F(DiskTest, FifoWithinPriorityClass) {
-  DiskEngine d(&simr_, costs_);
+  DiskEngine d(&simr_, costs_, &manager_);
   auto c = manager_.Create(nullptr, "c").value();
   std::vector<int> order;
   for (int i = 0; i < 4; ++i) {
@@ -103,7 +103,7 @@ TEST_F(DiskTest, FifoWithinPriorityClass) {
 }
 
 TEST_F(DiskTest, ChargesContainerDiskUsage) {
-  DiskEngine d(&simr_, costs_);
+  DiskEngine d(&simr_, costs_, &manager_);
   auto c = manager_.Create(nullptr, "c").value();
   IoRequest r;
   r.kb = 16;
@@ -123,7 +123,7 @@ TEST_F(DiskTest, SubtreeUsageIncludesDisk) {
   fs.sched.fixed_share = 0.5;
   auto parent = manager_.Create(nullptr, "p", fs).value();
   auto child = manager_.Create(parent, "c").value();
-  DiskEngine d(&simr_, costs_);
+  DiskEngine d(&simr_, costs_, &manager_);
   IoRequest r;
   r.kb = 4;
   r.container = child;
@@ -185,6 +185,47 @@ TEST(DiskSyscallTest, PrioritizedReadersUnderContention) {
   const double hi_reads = static_cast<double>(chi->usage().disk_reads);
   const double lo_each = static_cast<double>(clo->usage().disk_reads) / 3.0;
   EXPECT_GT(hi_reads, 2.0 * lo_each);
+}
+
+TEST(DiskSyscallTest, PriorityZeroReadersAreNotStarved) {
+  // Regression test for the share-tree arbitration: under the old strict
+  // priority buckets a priority-0 container's I/O never ran while a saturating
+  // higher-priority stream existed. On the disk (unlike the CPU) priority 0 is
+  // just the weakest weight, so the background reader keeps a proportional
+  // trickle.
+  sim::Simulator simr;
+  kernel::Kernel kern(&simr, kernel::ResourceContainerSystemConfig());
+  rc::Attributes hi;
+  hi.disk.override_sched = true;
+  hi.disk.sched.priority = 40;
+  rc::Attributes zero;
+  zero.disk.override_sched = true;
+  zero.disk.sched.priority = 0;
+  auto chi = kern.containers().Create(nullptr, "hi", hi).value();
+  auto czero = kern.containers().Create(nullptr, "zero", zero).value();
+
+  auto reader = [](kernel::Sys sys) -> kernel::Program {
+    for (int i = 0; i < 5000; ++i) {
+      co_await sys.ReadDisk(static_cast<std::uint64_t>(i) * 100, 4);
+    }
+  };
+  // Three high-priority readers keep the disk queue backlogged (a single
+  // closed-loop reader would leave the queue empty at every decision point);
+  // one background reader competes at priority 0.
+  for (int i = 0; i < 3; ++i) {
+    kernel::Process* ph = kern.CreateProcess("hi-reader", chi);
+    kern.SpawnThread(ph, "t", reader);
+  }
+  kernel::Process* pz = kern.CreateProcess("zero-reader", czero);
+  kern.SpawnThread(pz, "t", reader);
+
+  simr.RunUntil(sim::Sec(2));
+  const auto hi_reads = chi->usage().disk_reads;
+  const auto zero_reads = czero->usage().disk_reads;
+  // Proportional progress: some reads, but far fewer than the 40-weight
+  // stream (a fair split would be ~50/50, starvation would be 0).
+  EXPECT_GT(zero_reads, 0u);
+  EXPECT_GT(hi_reads, 5 * zero_reads);
 }
 
 }  // namespace

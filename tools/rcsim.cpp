@@ -22,6 +22,16 @@
 //   --defend                     adaptive SYN-flood filter defense
 //   --cpus=N                     simulated CPUs (default 1, the paper's
 //                                uniprocessor; N>1 shards the run queues)
+//   --disk-shares=A,B,...        create one fixed-disk-share container per
+//                                percentage (e.g. 50,30,20) with a closed-loop
+//                                disk reader in each, and report how the disk
+//                                bandwidth actually split
+//   --link-mbps=X                model the transmit link as a fixed-rate,
+//                                container-scheduled device (default 0: the
+//                                link is infinitely fast, as before)
+//   --cache-bytes=N              bound the server file cache (LRU eviction,
+//                                resident bytes charged to the server's
+//                                container; default 0 = unbounded)
 //   --irq-steering=fixed|rr|flow interrupt steering policy for --cpus>1
 //                                (default flow: per-connection flow hash)
 //   --seed=N                     root seed for the load generators (default
@@ -48,7 +58,9 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "src/kernel/syscalls.h"
 #include "src/telemetry/bench_io.h"
 #include "src/telemetry/trace_export.h"
 #include "src/xp/scenario.h"
@@ -70,6 +82,9 @@ struct Flags {
   bool defend = false;
   int cpus = 1;
   std::string irq_steering = "flow";
+  std::string disk_shares;
+  double link_mbps = 0.0;
+  long long cache_bytes = 0;
   std::uint64_t seed = 42;
   double warmup = 2.0;
   double seconds = 5.0;
@@ -81,6 +96,25 @@ struct Flags {
   bool audit = false;
   bool digest = false;
 };
+
+// "50,30,20" -> {0.5, 0.3, 0.2}; empty on malformed input.
+std::vector<double> ParseShareList(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = s.size();
+    }
+    const double pct = std::atof(s.substr(pos, comma - pos).c_str());
+    if (pct <= 0.0 || pct > 100.0) {
+      return {};
+    }
+    out.push_back(pct / 100.0);
+    pos = comma + 1;
+  }
+  return out;
+}
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const std::size_t n = std::strlen(name);
@@ -129,6 +163,12 @@ int main(int argc, char** argv) {
       flags.cpus = std::atoi(value.c_str());
     } else if (ParseFlag(a, "--irq-steering", &value)) {
       flags.irq_steering = value;
+    } else if (ParseFlag(a, "--disk-shares", &value)) {
+      flags.disk_shares = value;
+    } else if (ParseFlag(a, "--link-mbps", &value)) {
+      flags.link_mbps = std::atof(value.c_str());
+    } else if (ParseFlag(a, "--cache-bytes", &value)) {
+      flags.cache_bytes = std::atoll(value.c_str());
     } else if (ParseFlag(a, "--seed", &value)) {
       flags.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(a, "--warmup", &value)) {
@@ -191,6 +231,25 @@ int main(int argc, char** argv) {
   options.audit = flags.audit;
   options.digest = flags.digest;
 
+  std::vector<double> disk_shares;
+  if (!flags.disk_shares.empty()) {
+    disk_shares = ParseShareList(flags.disk_shares);
+    double sum = 0.0;
+    for (double s : disk_shares) {
+      sum += s;
+    }
+    if (disk_shares.empty() || sum > 1.0 + 1e-9) {
+      std::fprintf(stderr, "bad --disk-shares value: %s (percentages, sum <= 100)\n",
+                   flags.disk_shares.c_str());
+      return Usage();
+    }
+  }
+  if (flags.link_mbps < 0.0) {
+    std::fprintf(stderr, "--link-mbps must be >= 0\n");
+    return Usage();
+  }
+  options.kernel_config.link_mbps = flags.link_mbps;
+
   if (flags.epoch_ms <= 0) {
     std::fprintf(stderr, "--epoch-ms must be positive\n");
     return Usage();
@@ -208,6 +267,7 @@ int main(int argc, char** argv) {
     server.cgi_sandbox = true;
     server.cgi_share = flags.cgi_cap;
   }
+  server.file_cache_capacity_bytes = flags.cache_bytes;
 
   xp::Scenario scenario(options);
   if (!flags.trace_out.empty()) {
@@ -241,14 +301,65 @@ int main(int argc, char** argv) {
     scenario.AddFlooder(fcfg)->Start();
   }
 
+  // --disk-shares: one fixed-disk-share container per entry, each running a
+  // closed-loop reader (one request always outstanding), so the disk stays
+  // saturated and the share tree decides who gets the bandwidth.
+  std::vector<rc::ContainerRef> disk_cts;
+  for (std::size_t i = 0; i < disk_shares.size(); ++i) {
+    rc::Attributes a;
+    a.disk.override_sched = true;
+    a.disk.sched.cls = rc::SchedClass::kFixedShare;
+    a.disk.sched.fixed_share = disk_shares[i];
+    auto ct = scenario.kernel().containers().Create(
+        nullptr, "disk-" + std::to_string(i), a);
+    if (!ct.ok()) {
+      std::fprintf(stderr, "--disk-shares: %s\n", rccommon::ErrcName(ct.error()));
+      return 1;
+    }
+    disk_cts.push_back(*ct);
+    // Several readers per container keep its disk queue backlogged at every
+    // completion (a single closed-loop reader is always between requests when
+    // the arbitration decision happens).
+    for (int t = 0; t < 4; ++t) {
+      kernel::Process* p =
+          scenario.kernel().CreateProcess("disk-reader-" + std::to_string(i), *ct);
+      scenario.kernel().SpawnThread(p, "reader", [](kernel::Sys sys) -> kernel::Program {
+        for (std::uint64_t n = 0;; ++n) {
+          co_await sys.ReadDisk(n * 9973u * 64, 4);
+        }
+      });
+    }
+  }
+
   scenario.StartAllClients();
   scenario.RunFor(static_cast<sim::Duration>(flags.warmup * sim::kSec));
   scenario.ResetClientStats();
   const auto cpu0 = scenario.SnapshotCpu();
   const sim::Duration cgi0 = scenario.kernel().ExecutedUsecForName("cgi");
+  std::vector<sim::Duration> disk0(disk_cts.size());
+  for (std::size_t i = 0; i < disk_cts.size(); ++i) {
+    disk0[i] = disk_cts[i]->usage().disk_busy_usec;
+  }
+  const sim::Duration link0 = scenario.kernel().link().stats().busy_usec;
   scenario.RunFor(static_cast<sim::Duration>(flags.seconds * sim::kSec));
   const auto cpu1 = scenario.SnapshotCpu();
   const sim::Duration cgi1 = scenario.kernel().ExecutedUsecForName("cgi");
+  std::vector<double> disk_fracs(disk_cts.size(), 0.0);
+  {
+    sim::Duration total = 0;
+    for (std::size_t i = 0; i < disk_cts.size(); ++i) {
+      disk0[i] = disk_cts[i]->usage().disk_busy_usec - disk0[i];
+      total += disk0[i];
+    }
+    for (std::size_t i = 0; i < disk_cts.size(); ++i) {
+      disk_fracs[i] = total > 0 ? static_cast<double>(disk0[i]) /
+                                      static_cast<double>(total)
+                                : 0.0;
+    }
+  }
+  const double link_util =
+      static_cast<double>(scenario.kernel().link().stats().busy_usec - link0) /
+      static_cast<double>(cpu1.at - cpu0.at);
 
   const double secs = sim::ToSeconds(cpu1.at - cpu0.at);
   const double tput = static_cast<double>(scenario.TotalCompleted()) / secs;
@@ -304,6 +415,10 @@ int main(int argc, char** argv) {
     bench.Add("cpu_busy_frac", busy, "fraction", config);
     bench.Add("interrupt_frac", irq, "fraction", config);
     if (flags.cgi > 0) bench.Add("cgi_cpu_share", cgi_share, "fraction", config);
+    for (std::size_t i = 0; i < disk_fracs.size(); ++i) {
+      bench.Add("disk_share_" + std::to_string(i), disk_fracs[i], "fraction", config);
+    }
+    if (flags.link_mbps > 0) bench.Add("link_utilization", link_util, "fraction", config);
     bench.Add("client_timeouts", static_cast<double>(timeouts), "count", config);
     bench.Add("client_failures", static_cast<double>(failures), "count", config);
     if (!bench.Flush()) {
@@ -341,6 +456,14 @@ int main(int argc, char** argv) {
   if (flags.flood > 0) {
     report.AddRow({"flood filters", std::to_string(
                                         scenario.server().stats().flood_filters_installed)});
+  }
+  for (std::size_t i = 0; i < disk_fracs.size(); ++i) {
+    report.AddRow({"disk share " + std::to_string(i) + " (want " +
+                       xp::FormatDouble(100 * disk_shares[i], 0) + "%)",
+                   xp::FormatDouble(100 * disk_fracs[i], 1) + "%"});
+  }
+  if (flags.link_mbps > 0) {
+    report.AddRow({"link utilization", xp::FormatDouble(100 * link_util, 1) + "%"});
   }
   report.AddRow({"client timeouts", std::to_string(timeouts)});
   report.AddRow({"client failures", std::to_string(failures)});
