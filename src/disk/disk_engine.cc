@@ -15,8 +15,6 @@ sched::ShareTreeOptions DiskEngine::TreeOptions(const DiskCosts& costs) {
   options.decay_per_tick = costs.decay_per_tick;
   options.limit_window = costs.limit_window;
   options.capacity = 1;  // one spindle
-  // The CPU scheduler owns the containers' sched_cookie fast path.
-  options.cache_in_container = false;
   // Priority-0 I/O is background work, not a starvation class: it keeps a
   // weight-1 trickle even under saturating higher-priority streams.
   options.starve_priority_zero = false;
@@ -34,11 +32,12 @@ DiskEngine::DiskEngine(sim::Simulator* simulator, const DiskCosts& costs,
 }
 
 DiskEngine::~DiskEngine() {
-  // Requests still queued at teardown are dropped without completion; free
-  // them (they were heap-allocated in Submit).
+  // Requests still queued at teardown are dropped without completion; return
+  // them to the pool (they were pool-allocated in Submit).
   for (void* item : tree_.DrainAll()) {
-    delete static_cast<IoRequest*>(item);
+    pool_.Destroy(static_cast<IoRequest*>(item));
   }
+  pool_.Destroy(inflight_);
 }
 
 sim::Duration DiskEngine::ServiceTime(std::uint32_t kb, bool sequential) const {
@@ -54,7 +53,7 @@ void DiskEngine::Submit(IoRequest request) {
   // eligible, so they cannot crowd out containers with guarantees.
   rc::ResourceContainer* leaf =
       request.container ? request.container.get() : manager_->root().get();
-  tree_.Push(leaf, new IoRequest(std::move(request)));
+  tree_.Push(leaf, pool_.Create(std::move(request)));
   MaybeStart();
 }
 
@@ -78,7 +77,7 @@ void DiskEngine::MaybeStart() {
     }
     return;
   }
-  inflight_.reset(static_cast<IoRequest*>(item));
+  inflight_ = static_cast<IoRequest*>(item);
   busy_ = true;
 
   const bool sequential = inflight_->block_kb == head_pos_kb_;
@@ -100,7 +99,8 @@ void DiskEngine::MaybeStart() {
 void DiskEngine::CompleteInflight(sim::Duration service) {
   RC_CHECK(busy_);
   RC_CHECK(inflight_ != nullptr);
-  std::unique_ptr<IoRequest> req = std::move(inflight_);
+  IoRequest* req = inflight_;
+  inflight_ = nullptr;
 
   ++stats_.requests;
   stats_.busy_usec += service;
@@ -116,9 +116,11 @@ void DiskEngine::CompleteInflight(sim::Duration service) {
     auditor_->OnDeviceWork(rc::ResourceKind::kDisk, service, owned);
   }
   busy_ = false;
-  if (req->done) {
-    auto done = std::move(req->done);
-    req.reset();
+  // Recycle before the callback, matching the previous release order (the
+  // request's container reference must drop before `done` runs).
+  auto done = std::move(req->done);
+  pool_.Destroy(req);
+  if (done) {
     done();
   }
   MaybeStart();

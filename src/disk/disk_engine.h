@@ -25,8 +25,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 
+#include "src/common/object_pool.h"
 #include "src/rc/container.h"
 #include "src/rc/manager.h"
 #include "src/sched/share_tree.h"
@@ -96,6 +96,10 @@ class DiskEngine {
   // Periodic decay of the share tree's usage (kernel housekeeping tick).
   void Tick() { tree_.Tick(); }
 
+  // Forces batched disk charges into the share tree; needed only before
+  // mutating container attributes pending charges were accrued under.
+  void FlushCharges() { tree_.Flush(); }
+
   // Hierarchy lifecycle, forwarded from the kernel's container observers.
   void OnContainerDestroyed(rc::ResourceContainer& c) {
     tree_.OnContainerDestroyed(c);
@@ -129,7 +133,11 @@ class DiskEngine {
   rc::ContainerManager* const manager_;
 
   sched::ShareTree tree_;
-  std::unique_ptr<IoRequest> inflight_;
+  // Queued/inflight requests are pool-allocated (one per Submit on the hot
+  // path); the destructor drains every outstanding request back into the
+  // pool before members die.
+  rccommon::ObjectPool<IoRequest> pool_;
+  IoRequest* inflight_ = nullptr;
   bool busy_ = false;
   // A retry is pending because everything queued was limit-throttled.
   bool retry_armed_ = false;

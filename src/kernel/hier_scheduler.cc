@@ -1,5 +1,7 @@
 #include "src/kernel/hier_scheduler.h"
 
+#include <cstdint>
+
 #include "src/common/check.h"
 #include "src/kernel/process.h"
 #include "src/kernel/thread.h"
@@ -10,16 +12,25 @@ namespace {
 
 sched::ShareTreeOptions CpuTreeOptions(double decay_per_tick,
                                        sim::Duration limit_window,
-                                       int capacity_cpus,
-                                       bool cache_in_container) {
+                                       int capacity_cpus) {
   sched::ShareTreeOptions options;
   options.resource = rc::ResourceKind::kCpu;
   options.decay_per_tick = decay_per_tick;
   options.limit_window = limit_window;
   options.capacity = capacity_cpus;
-  options.cache_in_container = cache_in_container;
   options.starve_priority_zero = true;
   return options;
+}
+
+// A queued thread's sched_cookie carries its share-tree node index, biased by
+// one so a queued thread never reads as nullptr (== not queued).
+void* EncodeCookie(sched::ShareTree::NodeIndex node) {
+  return reinterpret_cast<void*>(static_cast<std::uintptr_t>(node) + 1);
+}
+
+sched::ShareTree::NodeIndex DecodeCookie(void* cookie) {
+  return static_cast<sched::ShareTree::NodeIndex>(
+      reinterpret_cast<std::uintptr_t>(cookie) - 1);
 }
 
 }  // namespace
@@ -27,10 +38,8 @@ sched::ShareTreeOptions CpuTreeOptions(double decay_per_tick,
 HierarchicalScheduler::HierarchicalScheduler(rc::ContainerManager* manager,
                                              double decay_per_tick,
                                              sim::Duration limit_window,
-                                             int capacity_cpus,
-                                             bool cache_in_container)
-    : tree_(manager, CpuTreeOptions(decay_per_tick, limit_window, capacity_cpus,
-                                    cache_in_container)) {}
+                                             int capacity_cpus)
+    : tree_(manager, CpuTreeOptions(decay_per_tick, limit_window, capacity_cpus)) {}
 
 void HierarchicalScheduler::Enqueue(Thread* t, sim::SimTime now) {
   RC_CHECK_EQ(t->sched_cookie, nullptr);
@@ -43,7 +52,7 @@ void HierarchicalScheduler::Enqueue(Thread* t, sim::SimTime now) {
   // have dedicated threads/processes (the paper's CGI sand-box and guest
   // servers); an event-driven server applying caps to a subset of its own
   // connections must cooperate by deferring those connections itself.
-  t->sched_cookie = tree_.Push(leaf.get(), t);
+  t->sched_cookie = EncodeCookie(tree_.Push(leaf.get(), t));
 }
 
 Thread* HierarchicalScheduler::PickNext(sim::SimTime now) {
@@ -59,11 +68,13 @@ void HierarchicalScheduler::OnCharge(rc::ResourceContainer& c, sim::Duration use
   tree_.OnCharge(c, usec, now);
 }
 
+void HierarchicalScheduler::FlushCharges() { tree_.Flush(); }
+
 void HierarchicalScheduler::MigrateQueued(Thread* t, sim::SimTime now) {
   if (t->sched_cookie == nullptr) {
     return;
   }
-  tree_.Erase(static_cast<sched::ShareTree::Node*>(t->sched_cookie), t);
+  tree_.Erase(DecodeCookie(t->sched_cookie), t);
   t->sched_cookie = nullptr;
   Enqueue(t, now);
 }
@@ -72,7 +83,7 @@ void HierarchicalScheduler::Remove(Thread* t) {
   if (t->sched_cookie == nullptr) {
     return;
   }
-  tree_.Erase(static_cast<sched::ShareTree::Node*>(t->sched_cookie), t);
+  tree_.Erase(DecodeCookie(t->sched_cookie), t);
   t->sched_cookie = nullptr;
 }
 

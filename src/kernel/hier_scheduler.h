@@ -27,17 +27,14 @@ class HierarchicalScheduler : public CpuScheduler {
  public:
   // `capacity_cpus` scales CPU-limit budgets to the machine size (a window of
   // length W holds capacity_cpus * W of CPU), so limits stay fractions of the
-  // whole machine under SMP. `cache_in_container` lets the scheduler stash
-  // its per-container node in the container's sched_cookie (fast path, valid
-  // only for a single instance); per-CPU shards must pass false, since N
-  // instances share one container tree and would clobber each other's cookie.
+  // whole machine under SMP.
   HierarchicalScheduler(rc::ContainerManager* manager, double decay_per_tick,
-                        sim::Duration limit_window, int capacity_cpus = 1,
-                        bool cache_in_container = true);
+                        sim::Duration limit_window, int capacity_cpus = 1);
 
   void Enqueue(Thread* t, sim::SimTime now) override;
   Thread* PickNext(sim::SimTime now) override;
   void OnCharge(rc::ResourceContainer& c, sim::Duration usec, sim::SimTime now) override;
+  void FlushCharges() override;
   void MigrateQueued(Thread* t, sim::SimTime now) override;
   void Remove(Thread* t) override;
   void Tick(sim::SimTime now) override;

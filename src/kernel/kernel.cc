@@ -46,7 +46,7 @@ Kernel::Kernel(sim::Simulator* simulator, KernelConfig config)
       case SchedulerKind::kHierarchical:
         return std::make_unique<HierarchicalScheduler>(
             &containers_, config_.costs.decay_per_tick, config_.costs.limit_window,
-            /*capacity_cpus=*/ncpus, /*cache_in_container=*/ncpus == 1);
+            /*capacity_cpus=*/ncpus);
     }
     return nullptr;
   };
@@ -294,6 +294,12 @@ std::vector<std::string> Kernel::AuditCheck() const {
     devices.push_back(d);
   }
   return auditor_->Check(samples, devices);
+}
+
+void Kernel::FlushResourceCharges() {
+  active_sched_->FlushCharges();
+  disk_->FlushCharges();
+  link_->FlushCharges();
 }
 
 void Kernel::ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind) {

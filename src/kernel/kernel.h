@@ -127,6 +127,13 @@ class Kernel : public net::StackEnv {
   // Charges `usec` of CPU to `c` and informs the scheduler (feedback).
   void ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind);
 
+  // Forces batched charges into every share tree (CPU shards, disk, link).
+  // The trees flush themselves before every scheduling decision or read;
+  // this hook exists for the two mutations batching cannot see coming —
+  // SetAttributes and fixed-share container creation — which would otherwise
+  // re-weight charges accrued under the old attributes.
+  void FlushResourceCharges();
+
   // --- Verification (src/verify, opt-in) -----------------------------------
 
   // Attaches the charge-conservation auditor. Must be called before any

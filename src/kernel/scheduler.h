@@ -34,6 +34,13 @@ class CpuScheduler {
   virtual void OnCharge(rc::ResourceContainer& c, sim::Duration usec,
                         sim::SimTime now) = 0;
 
+  // Forces any batched charges into scheduler state. Schedulers flush
+  // implicitly before every decision; callers need this only before external
+  // reads of charge-derived state, or before mutating container attributes
+  // that pending charges were accumulated under. Default: no-op (unbatched
+  // schedulers).
+  virtual void FlushCharges() {}
+
   // Moves an already-queued thread to a new leaf (used when the kernel
   // network thread's highest-priority pending container changes). No-op if
   // the thread is not currently queued.

@@ -104,6 +104,12 @@ void ShardedScheduler::OnCharge(rc::ResourceContainer& c, sim::Duration usec,
   }
 }
 
+void ShardedScheduler::FlushCharges() {
+  for (auto& shard : shards_) {
+    shard->FlushCharges();
+  }
+}
+
 void ShardedScheduler::MigrateQueued(Thread* t, sim::SimTime now) {
   if (t->home_cpu >= 0 && t->home_cpu < cpus()) {
     shards_[static_cast<std::size_t>(t->home_cpu)]->MigrateQueued(t, now);

@@ -53,6 +53,7 @@ class ShardedScheduler : public CpuScheduler {
   void Enqueue(Thread* t, sim::SimTime now) override;
   Thread* PickNext(sim::SimTime now) override { return PickFor(0, now); }
   void OnCharge(rc::ResourceContainer& c, sim::Duration usec, sim::SimTime now) override;
+  void FlushCharges() override;
   void MigrateQueued(Thread* t, sim::SimTime now) override;
   void Remove(Thread* t) override;
   void Tick(sim::SimTime now) override;
@@ -75,6 +76,7 @@ class ShardedScheduler : public CpuScheduler {
                   sim::SimTime now) override {
       owner_->OnCharge(c, usec, now);
     }
+    void FlushCharges() override { owner_->FlushCharges(); }
     void MigrateQueued(Thread* t, sim::SimTime now) override {
       owner_->MigrateQueued(t, now);
     }

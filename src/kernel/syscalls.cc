@@ -54,6 +54,9 @@ Sys::ActionAwaiter<Expected<int>> Sys::CreateContainer(std::string name,
         return MakeUnexpected(Errc::kNotFound);
       }
     }
+    // A fixed-share sibling changes the residual weight of every time-share
+    // container under `parent`; flush charges accrued under the old split.
+    k->FlushResourceCharges();
     auto created = k->containers().Create(parent, name, attrs);
     if (!created.ok()) {
       return MakeUnexpected(created.error());
@@ -207,12 +210,16 @@ Sys::ActionAwaiter<Expected<rc::Attributes>> Sys::GetAttributes(int container_fd
 
 Sys::ActionAwaiter<Expected<void>> Sys::SetAttributes(int container_fd,
                                                       const rc::Attributes& attrs) {
+  Kernel* k = kernel_;
   Thread* t = thread_;
-  auto action = [t, container_fd, attrs]() -> Expected<void> {
+  auto action = [k, t, container_fd, attrs]() -> Expected<void> {
     rc::ContainerRef c = t->process()->fds().Get<rc::ContainerRef>(container_fd);
     if (!c) {
       return MakeUnexpected(Errc::kNotFound);
     }
+    // Batched charges were accrued under the current weights/limits; apply
+    // them before the change so they are not re-weighted retroactively.
+    k->FlushResourceCharges();
     return c->SetAttributes(attrs);
   };
   return {thread_, kernel_->costs().container_set_attr, rc::CpuKind::kKernel,

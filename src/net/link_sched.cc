@@ -16,8 +16,6 @@ sched::ShareTreeOptions LinkScheduler::TreeOptions(const LinkConfig& config) {
   options.decay_per_tick = config.decay_per_tick;
   options.limit_window = config.limit_window;
   options.capacity = 1;  // one serial link
-  // The CPU scheduler owns the containers' sched_cookie fast path.
-  options.cache_in_container = false;
   // Background flows keep a weight-1 trickle rather than starving.
   options.starve_priority_zero = false;
   return options;
@@ -35,10 +33,11 @@ LinkScheduler::LinkScheduler(sim::Simulator* simulator,
 }
 
 LinkScheduler::~LinkScheduler() {
-  // Packets still queued at teardown are dropped; free them.
+  // Packets still queued at teardown are dropped; return them to the pool.
   for (void* item : tree_.DrainAll()) {
-    delete static_cast<QueuedPacket*>(item);
+    pool_.Destroy(static_cast<QueuedPacket*>(item));
   }
+  pool_.Destroy(inflight_);
 }
 
 sim::Duration LinkScheduler::TxTime(std::uint32_t bytes) const {
@@ -57,8 +56,7 @@ void LinkScheduler::Transmit(Packet p, rc::ContainerRef charge_to) {
   }
   rc::ResourceContainer* leaf =
       charge_to ? charge_to.get() : manager_->root().get();
-  auto* queued = new QueuedPacket{std::move(p), std::move(charge_to)};
-  tree_.Push(leaf, queued);
+  tree_.Push(leaf, pool_.Create(std::move(p), std::move(charge_to)));
   MaybeSend();
 }
 
@@ -82,7 +80,7 @@ void LinkScheduler::MaybeSend() {
     }
     return;
   }
-  inflight_.reset(static_cast<QueuedPacket*>(item));
+  inflight_ = static_cast<QueuedPacket*>(item);
   busy_ = true;
 
   const sim::Duration tx = TxTime(inflight_->packet.size_bytes);
@@ -98,7 +96,8 @@ void LinkScheduler::MaybeSend() {
 void LinkScheduler::CompleteInflight(sim::Duration tx) {
   RC_CHECK(busy_);
   RC_CHECK(inflight_ != nullptr);
-  std::unique_ptr<QueuedPacket> qp = std::move(inflight_);
+  QueuedPacket* qp = inflight_;
+  inflight_ = nullptr;
 
   ++stats_.packets;
   stats_.busy_usec += tx;
@@ -117,7 +116,7 @@ void LinkScheduler::CompleteInflight(sim::Duration tx) {
   if (sink_) {
     sink_(qp->packet);
   }
-  qp.reset();
+  pool_.Destroy(qp);
   MaybeSend();
 }
 

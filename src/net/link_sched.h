@@ -21,8 +21,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 
+#include "src/common/object_pool.h"
 #include "src/net/packet.h"
 #include "src/rc/container.h"
 #include "src/rc/manager.h"
@@ -91,6 +91,10 @@ class LinkScheduler {
   // Periodic decay of the share tree's usage (kernel housekeeping tick).
   void Tick() { tree_.Tick(); }
 
+  // Forces batched link charges into the share tree; needed only before
+  // mutating container attributes pending charges were accrued under.
+  void FlushCharges() { tree_.Flush(); }
+
   // Hierarchy lifecycle, forwarded from the kernel's container observers.
   void OnContainerDestroyed(rc::ResourceContainer& c) {
     tree_.OnContainerDestroyed(c);
@@ -129,8 +133,12 @@ class LinkScheduler {
   const LinkConfig config_;
 
   sched::ShareTree tree_;
+  // Queued/inflight packets are pool-allocated (one per Transmit on the hot
+  // path); the destructor drains every outstanding packet back into the
+  // pool before members die.
+  rccommon::ObjectPool<QueuedPacket> pool_;
   std::function<void(const Packet&)> sink_;
-  std::unique_ptr<QueuedPacket> inflight_;
+  QueuedPacket* inflight_ = nullptr;
   bool busy_ = false;
   // A retry is pending because everything queued was limit-throttled.
   bool retry_armed_ = false;

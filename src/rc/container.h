@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/expected.h"
@@ -103,10 +104,35 @@ class ResourceContainer {
 
   // --- Scheduler integration ------------------------------------------
 
-  // Opaque per-container state owned by the CPU scheduler. The scheduler
-  // installs and reclaims it via the manager's destruction observer.
-  void set_sched_cookie(void* cookie) { sched_cookie_ = cookie; }
-  void* sched_cookie() const { return sched_cookie_; }
+  // Per-scheduler slot registry: each share tree (CPU shards, disk, link)
+  // records the index of this container's node in its flat node array, keyed
+  // by the tree's address. A handful of trees exist per simulation, so lookup
+  // is a short linear scan. Returns -1 when `owner` has no slot recorded.
+  std::int32_t SchedSlotFor(const void* owner) const {
+    for (const auto& [key, slot] : sched_slots_) {
+      if (key == owner) {
+        return slot;
+      }
+    }
+    return -1;
+  }
+  void SetSchedSlot(const void* owner, std::int32_t slot) {
+    for (auto& [key, existing] : sched_slots_) {
+      if (key == owner) {
+        existing = slot;
+        return;
+      }
+    }
+    sched_slots_.emplace_back(owner, slot);
+  }
+  void ClearSchedSlot(const void* owner) {
+    for (auto it = sched_slots_.begin(); it != sched_slots_.end(); ++it) {
+      if (it->first == owner) {
+        sched_slots_.erase(it);
+        return;
+      }
+    }
+  }
 
   // Monotonic count of threads whose *current* resource binding is this
   // container; maintained by BindingPoint.
@@ -141,7 +167,7 @@ class ResourceContainer {
   ResourceUsage retired_;
   std::int64_t subtree_memory_bytes_ = 0;
 
-  void* sched_cookie_ = nullptr;
+  std::vector<std::pair<const void*, std::int32_t>> sched_slots_;
   int bound_thread_count_ = 0;
 };
 

@@ -15,33 +15,33 @@ constexpr double kResidualFloor = 0.02;
 ShareTree::ShareTree(rc::ContainerManager* manager, const ShareTreeOptions& options)
     : manager_(manager), options_(options) {}
 
-ShareTree::Node* ShareTree::NodeFor(rc::ResourceContainer& c) {
-  if (options_.cache_in_container) {
-    if (c.sched_cookie() != nullptr) {
-      return static_cast<Node*>(c.sched_cookie());
-    }
-  } else {
-    auto it = nodes_.find(c.id());
-    if (it != nodes_.end()) {
-      return it->second.get();
-    }
+ShareTree::NodeIndex ShareTree::FindNode(const rc::ResourceContainer& c) const {
+  const std::int32_t slot = c.SchedSlotFor(this);
+  // Validate the back-pointer: a slot recorded for a tree that died and was
+  // reallocated at this address must read as absent, not as our node.
+  if (slot < 0 || slot >= static_cast<std::int32_t>(nodes_.size()) ||
+      nodes_[static_cast<std::size_t>(slot)].container != &c) {
+    return kInvalidNode;
   }
-  auto node = std::make_unique<Node>();
-  node->container = &c;
-  Node* raw = node.get();
-  if (options_.cache_in_container) {
-    c.set_sched_cookie(raw);
-  }
-  nodes_[c.id()] = std::move(node);
-  return raw;
+  return slot;
 }
 
-ShareTree::Node* ShareTree::NodeForIfExists(const rc::ResourceContainer& c) const {
-  if (options_.cache_in_container) {
-    return static_cast<Node*>(c.sched_cookie());
+ShareTree::NodeIndex ShareTree::EnsureNode(rc::ResourceContainer& c) {
+  NodeIndex i = FindNode(c);
+  if (i != kInvalidNode) {
+    return i;
   }
-  auto it = nodes_.find(c.id());
-  return it == nodes_.end() ? nullptr : it->second.get();
+  if (free_nodes_.empty()) {
+    i = static_cast<NodeIndex>(nodes_.size());
+    nodes_.emplace_back();
+  } else {
+    i = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[static_cast<std::size_t>(i)] = Node{};
+  }
+  nodes_[static_cast<std::size_t>(i)].container = &c;
+  c.SetSchedSlot(this, i);
+  return i;
 }
 
 double ShareTree::ResidualWeight(const rc::ResourceContainer& parent) const {
@@ -55,61 +55,144 @@ double ShareTree::ResidualWeight(const rc::ResourceContainer& parent) const {
   return std::max(kResidualFloor, 1.0 - fixed_total);
 }
 
+double ShareTree::CachedResidualWeight(NodeIndex parent_index,
+                                       const rc::ResourceContainer& parent) {
+  Node& pn = nodes_[static_cast<std::size_t>(parent_index)];
+  if (!pn.residual_valid) {
+    pn.residual = ResidualWeight(parent);
+    pn.residual_valid = true;
+    residual_cached_.push_back(parent_index);
+  }
+  return pn.residual;
+}
+
+void ShareTree::OnCharge(rc::ResourceContainer& c, sim::Duration usec,
+                         sim::SimTime now) {
+  log_.push_back(LogEntry{EnsureNode(c), usec, now});
+}
+
+void ShareTree::Flush() {
+  if (log_.empty()) {
+    return;
+  }
+  // Replay in arrival order — the same operation sequence eager charging
+  // would have performed, so every pass/decayed/window value (including its
+  // floating-point rounding) is bit-identical to the unbatched tree.
+  for (const LogEntry& e : log_) {
+    const double usec = static_cast<double>(e.usec);
+    for (rc::ResourceContainer* p = nodes_[static_cast<std::size_t>(e.node)].container;
+         p != nullptr; p = p->parent()) {
+      const NodeIndex ni = EnsureNode(*p);
+      nodes_[static_cast<std::size_t>(ni)].decayed += usec;
+
+      // Stride pass advance at this level.
+      if (rc::ResourceContainer* parent = p->parent()) {
+        const NodeIndex pi = EnsureNode(*parent);
+        const rc::SchedParams& sched = rc::SchedFor(p->attributes(), options_.resource);
+        if (sched.cls == rc::SchedClass::kFixedShare) {
+          nodes_[static_cast<std::size_t>(ni)].pass +=
+              usec / std::max(1e-6, sched.fixed_share);
+        } else {
+          nodes_[static_cast<std::size_t>(pi)].tshare_pass +=
+              usec / CachedResidualWeight(pi, *parent);
+        }
+      }
+
+      // Windowed limit, budgeted against the whole device's (or machine's)
+      // capacity.
+      const double limit = rc::LimitFor(p->attributes(), options_.resource);
+      if (limit > 0.0) {
+        nodes_[static_cast<std::size_t>(ni)].window.Charge(
+            e.usec, e.now, limit, options_.limit_window, options_.capacity);
+      }
+    }
+  }
+  log_.clear();
+  for (const NodeIndex ni : residual_cached_) {
+    nodes_[static_cast<std::size_t>(ni)].residual_valid = false;
+  }
+  residual_cached_.clear();
+}
+
 void ShareTree::AdjustRunnable(rc::ResourceContainer* leaf, int delta) {
   for (rc::ResourceContainer* c = leaf; c != nullptr; c = c->parent()) {
-    Node* n = NodeFor(*c);
-    const int before = n->runnable;
-    n->runnable += delta;
-    RC_CHECK_GE(n->runnable, 0);
+    const NodeIndex ni = EnsureNode(*c);
+    const int before = nodes_[static_cast<std::size_t>(ni)].runnable;
+    nodes_[static_cast<std::size_t>(ni)].runnable += delta;
+    RC_CHECK_GE(nodes_[static_cast<std::size_t>(ni)].runnable, 0);
     rc::ResourceContainer* parent = c->parent();
     if (parent == nullptr) {
       continue;
     }
-    Node* pn = NodeFor(*parent);
+    const NodeIndex pi = EnsureNode(*parent);
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    Node& pn = nodes_[static_cast<std::size_t>(pi)];
     const bool fixed =
         rc::SchedFor(c->attributes(), options_.resource).cls == rc::SchedClass::kFixedShare;
-    if (before == 0 && n->runnable == 1) {
+    if (before == 0 && n.runnable == 1) {
       // (Re)entering the runnable set: no credit for idle time.
       if (fixed) {
-        n->pass = std::max(n->pass, pn->vtime);
-      } else if (++pn->tshare_runnable_children == 1) {
-        pn->tshare_pass = std::max(pn->tshare_pass, pn->vtime);
+        n.pass = std::max(n.pass, pn.vtime);
+      } else if (++pn.tshare_runnable_children == 1) {
+        pn.tshare_pass = std::max(pn.tshare_pass, pn.vtime);
       }
-    } else if (before == 1 && n->runnable == 0) {
+    } else if (before == 1 && n.runnable == 0) {
       if (!fixed) {
-        --pn->tshare_runnable_children;
-        RC_CHECK_GE(pn->tshare_runnable_children, 0);
+        --pn.tshare_runnable_children;
+        RC_CHECK_GE(pn.tshare_runnable_children, 0);
       }
     }
   }
   total_queued_ += delta;
 }
 
-ShareTree::Node* ShareTree::Push(rc::ResourceContainer* leaf, void* item) {
+ShareTree::NodeIndex ShareTree::Push(rc::ResourceContainer* leaf, void* item) {
   RC_CHECK_NE(leaf, nullptr);
   RC_CHECK_NE(item, nullptr);
-  Node* node = NodeFor(*leaf);
-  node->queue.push_back(item);
+  Flush();  // runnable-entry clamps read stride state
+  const NodeIndex ni = EnsureNode(*leaf);
+  std::int32_t qs;
+  if (qfree_ >= 0) {
+    qs = qfree_;
+    qfree_ = qslots_[static_cast<std::size_t>(qs)].next;
+  } else {
+    qs = static_cast<std::int32_t>(qslots_.size());
+    qslots_.emplace_back();
+  }
+  qslots_[static_cast<std::size_t>(qs)] = QueueSlot{item, -1};
+  Node& n = nodes_[static_cast<std::size_t>(ni)];
+  if (n.q_tail < 0) {
+    n.q_head = qs;
+  } else {
+    qslots_[static_cast<std::size_t>(n.q_tail)].next = qs;
+  }
+  n.q_tail = qs;
   AdjustRunnable(leaf, +1);
-  return node;
+  return ni;
 }
 
-ShareTree::Node* ShareTree::PickChild(Node* parent, sim::SimTime now,
-                                      bool allow_zero) {
+ShareTree::NodeIndex ShareTree::PickChild(NodeIndex parent, sim::SimTime now,
+                                          bool allow_zero) {
   // Collect the stride candidates at this level: eligible fixed-share
   // children, and the time-share group if any of its members is eligible.
-  Node* best_fixed = nullptr;
+  NodeIndex best_fixed = kInvalidNode;
   bool group_eligible = false;
 
-  parent->container->ForEachChild([&](rc::ResourceContainer& child) {
-    Node* cn = NodeForIfExists(child);
-    if (cn == nullptr || cn->runnable == 0 || Throttled(*cn, now)) {
+  const rc::ResourceContainer* pc = nodes_[static_cast<std::size_t>(parent)].container;
+  pc->ForEachChild([&](rc::ResourceContainer& child) {
+    const NodeIndex ci = FindNode(child);
+    if (ci == kInvalidNode) {
+      return;
+    }
+    const Node& cn = nodes_[static_cast<std::size_t>(ci)];
+    if (cn.runnable == 0 || Throttled(cn, now)) {
       return;
     }
     const rc::SchedParams& sched = rc::SchedFor(child.attributes(), options_.resource);
     if (sched.cls == rc::SchedClass::kFixedShare) {
-      if (best_fixed == nullptr || cn->pass < best_fixed->pass) {
-        best_fixed = cn;
+      if (best_fixed == kInvalidNode ||
+          cn.pass < nodes_[static_cast<std::size_t>(best_fixed)].pass) {
+        best_fixed = ci;
       }
     } else {
       if (sched.priority <= 0 && !allow_zero) {
@@ -119,15 +202,19 @@ ShareTree::Node* ShareTree::PickChild(Node* parent, sim::SimTime now,
     }
   });
 
+  Node& pn = nodes_[static_cast<std::size_t>(parent)];
   const bool pick_group =
-      group_eligible && (best_fixed == nullptr || parent->tshare_pass <= best_fixed->pass);
+      group_eligible &&
+      (best_fixed == kInvalidNode ||
+       pn.tshare_pass <= nodes_[static_cast<std::size_t>(best_fixed)].pass);
 
-  if (!pick_group && best_fixed == nullptr) {
-    return nullptr;
+  if (!pick_group && best_fixed == kInvalidNode) {
+    return kInvalidNode;
   }
 
-  parent->vtime =
-      std::max(parent->vtime, pick_group ? parent->tshare_pass : best_fixed->pass);
+  pn.vtime = std::max(
+      pn.vtime, pick_group ? pn.tshare_pass
+                           : nodes_[static_cast<std::size_t>(best_fixed)].pass);
 
   if (!pick_group) {
     return best_fixed;
@@ -136,12 +223,16 @@ ShareTree::Node* ShareTree::PickChild(Node* parent, sim::SimTime now,
   // Inside the group: decayed usage scaled by numeric priority. In the CPU's
   // starvation-class mode, positive-priority children always beat
   // priority-0 ones; otherwise priority 0 is just the weakest weight.
-  Node* best = nullptr;
+  NodeIndex best = kInvalidNode;
   double best_key = 0.0;
   bool best_positive = false;
-  parent->container->ForEachChild([&](rc::ResourceContainer& child) {
-    Node* cn = NodeForIfExists(child);
-    if (cn == nullptr || cn->runnable == 0 || Throttled(*cn, now)) {
+  pc->ForEachChild([&](rc::ResourceContainer& child) {
+    const NodeIndex ci = FindNode(child);
+    if (ci == kInvalidNode) {
+      return;
+    }
+    const Node& cn = nodes_[static_cast<std::size_t>(ci)];
+    if (cn.runnable == 0 || Throttled(cn, now)) {
       return;
     }
     const rc::SchedParams& sched = rc::SchedFor(child.attributes(), options_.resource);
@@ -152,16 +243,16 @@ ShareTree::Node* ShareTree::PickChild(Node* parent, sim::SimTime now,
     if (!positive && !allow_zero) {
       return;
     }
-    const double key = cn->decayed / static_cast<double>(std::max(1, sched.priority));
+    const double key = cn.decayed / static_cast<double>(std::max(1, sched.priority));
     bool better;
     if (options_.starve_priority_zero) {
-      better = best == nullptr || (positive && !best_positive) ||
+      better = best == kInvalidNode || (positive && !best_positive) ||
                (positive == best_positive && key < best_key);
     } else {
-      better = best == nullptr || key < best_key;
+      better = best == kInvalidNode || key < best_key;
     }
     if (better) {
-      best = cn;
+      best = ci;
       best_key = key;
       best_positive = positive;
     }
@@ -170,27 +261,36 @@ ShareTree::Node* ShareTree::PickChild(Node* parent, sim::SimTime now,
 }
 
 void* ShareTree::Descend(sim::SimTime now, bool allow_zero) {
-  Node* n = NodeFor(*manager_->root());
-  if (n->runnable == 0) {
+  NodeIndex ni = EnsureNode(*manager_->root());
+  if (nodes_[static_cast<std::size_t>(ni)].runnable == 0) {
     return nullptr;
   }
   while (true) {
-    Node* child = PickChild(n, now, allow_zero);
-    if (child != nullptr) {
-      n = child;
+    const NodeIndex child = PickChild(ni, now, allow_zero);
+    if (child != kInvalidNode) {
+      ni = child;
       continue;
     }
-    if (n->queue.empty()) {
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    if (n.q_head < 0) {
       return nullptr;  // everything below is throttled or priority-0
     }
-    void* item = n->queue.front();
-    n->queue.pop_front();
-    AdjustRunnable(n->container, -1);
+    const std::int32_t qs = n.q_head;
+    QueueSlot& slot = qslots_[static_cast<std::size_t>(qs)];
+    void* item = slot.item;
+    n.q_head = slot.next;
+    if (n.q_head < 0) {
+      n.q_tail = -1;
+    }
+    slot = QueueSlot{nullptr, qfree_};
+    qfree_ = qs;
+    AdjustRunnable(n.container, -1);
     return item;
   }
 }
 
 void* ShareTree::Pop(sim::SimTime now) {
+  Flush();
   if (!options_.starve_priority_zero) {
     return Descend(now, /*allow_zero=*/true);
   }
@@ -201,51 +301,54 @@ void* ShareTree::Pop(sim::SimTime now) {
   return Descend(now, /*allow_zero=*/true);
 }
 
-void ShareTree::Erase(Node* node, void* item) {
-  RC_CHECK_NE(node, nullptr);
-  auto& q = node->queue;
-  q.erase(std::remove(q.begin(), q.end(), item), q.end());
-  AdjustRunnable(node->container, -1);
-}
-
-void ShareTree::OnCharge(rc::ResourceContainer& c, sim::Duration usec,
-                         sim::SimTime now) {
-  for (rc::ResourceContainer* p = &c; p != nullptr; p = p->parent()) {
-    Node* n = NodeFor(*p);
-    n->decayed += static_cast<double>(usec);
-
-    // Stride pass advance at this level.
-    if (rc::ResourceContainer* parent = p->parent()) {
-      Node* pn = NodeFor(*parent);
-      const rc::SchedParams& sched = rc::SchedFor(p->attributes(), options_.resource);
-      if (sched.cls == rc::SchedClass::kFixedShare) {
-        n->pass += static_cast<double>(usec) / std::max(1e-6, sched.fixed_share);
+void ShareTree::Erase(NodeIndex node, void* item) {
+  RC_CHECK_GE(node, 0);
+  Flush();
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  std::int32_t prev = -1;
+  std::int32_t qs = n.q_head;
+  bool found = false;
+  while (qs >= 0) {
+    QueueSlot& slot = qslots_[static_cast<std::size_t>(qs)];
+    const std::int32_t next = slot.next;
+    if (slot.item == item) {
+      if (prev < 0) {
+        n.q_head = next;
       } else {
-        pn->tshare_pass += static_cast<double>(usec) / ResidualWeight(*parent);
+        qslots_[static_cast<std::size_t>(prev)].next = next;
       }
+      if (n.q_tail == qs) {
+        n.q_tail = prev;
+      }
+      slot = QueueSlot{nullptr, qfree_};
+      qfree_ = qs;
+      found = true;
+    } else {
+      prev = qs;
     }
-
-    // Windowed limit, budgeted against the whole device's (or machine's)
-    // capacity.
-    const double limit = rc::LimitFor(p->attributes(), options_.resource);
-    if (limit > 0.0) {
-      n->window.Charge(usec, now, limit, options_.limit_window, options_.capacity);
-    }
+    qs = next;
   }
+  RC_CHECK(found);
+  AdjustRunnable(n.container, -1);
 }
 
 void ShareTree::Tick() {
-  for (auto& [id, node] : nodes_) {
-    node->decayed *= options_.decay_per_tick;
+  Flush();
+  for (Node& n : nodes_) {
+    if (n.container != nullptr) {
+      n.decayed *= options_.decay_per_tick;
+    }
   }
 }
 
 std::optional<sim::SimTime> ShareTree::NextEligibleTime(sim::SimTime now) const {
+  // Logically const: pending charges affect window state.
+  const_cast<ShareTree*>(this)->Flush();
   std::optional<sim::SimTime> earliest;
-  for (const auto& [id, node] : nodes_) {
-    if (node->runnable > 0 && node->window.throttled_until > now) {
-      if (!earliest.has_value() || node->window.throttled_until < *earliest) {
-        earliest = node->window.throttled_until;
+  for (const Node& n : nodes_) {
+    if (n.container != nullptr && n.runnable > 0 && n.window.throttled_until > now) {
+      if (!earliest.has_value() || n.window.throttled_until < *earliest) {
+        earliest = n.window.throttled_until;
       }
     }
   }
@@ -253,70 +356,88 @@ std::optional<sim::SimTime> ShareTree::NextEligibleTime(sim::SimTime now) const 
 }
 
 void ShareTree::OnContainerDestroyed(rc::ResourceContainer& c) {
-  Node* n = NodeForIfExists(c);
-  if (n == nullptr) {
+  Flush();  // ancestors must receive this container's pending charges
+  const NodeIndex ni = FindNode(c);
+  if (ni == kInvalidNode) {
     return;
   }
   // Queued items hold references to their containers, so a container with
   // queued work can never be destroyed.
-  RC_CHECK(n->queue.empty());
-  if (options_.cache_in_container) {
-    c.set_sched_cookie(nullptr);
-  }
-  nodes_.erase(c.id());
+  RC_CHECK_LT(nodes_[static_cast<std::size_t>(ni)].q_head, 0);
+  c.ClearSchedSlot(this);
+  nodes_[static_cast<std::size_t>(ni)] = Node{};
+  free_nodes_.push_back(ni);
 }
 
 void ShareTree::OnContainerReparented(rc::ResourceContainer& child,
                                       rc::ResourceContainer* old_parent,
                                       rc::ResourceContainer* new_parent) {
-  Node* cn = NodeForIfExists(child);
-  if (cn == nullptr || cn->runnable == 0) {
+  Flush();  // pending charges must walk the pre-move ancestor chain
+  const NodeIndex ci = FindNode(child);
+  if (ci == kInvalidNode || nodes_[static_cast<std::size_t>(ci)].runnable == 0) {
     return;
   }
-  const int k = cn->runnable;
+  const int k = nodes_[static_cast<std::size_t>(ci)].runnable;
   const bool fixed = rc::SchedFor(child.attributes(), options_.resource).cls ==
                      rc::SchedClass::kFixedShare;
   for (rc::ResourceContainer* p = old_parent; p != nullptr; p = p->parent()) {
-    Node* n = NodeForIfExists(*p);
-    if (n != nullptr) {
+    const NodeIndex ni = FindNode(*p);
+    if (ni != kInvalidNode) {
+      Node& n = nodes_[static_cast<std::size_t>(ni)];
       if (p == old_parent && !fixed) {
-        --n->tshare_runnable_children;
+        --n.tshare_runnable_children;
       }
-      n->runnable -= k;
-      RC_CHECK_GE(n->runnable, 0);
+      n.runnable -= k;
+      RC_CHECK_GE(n.runnable, 0);
     }
   }
   for (rc::ResourceContainer* p = new_parent; p != nullptr; p = p->parent()) {
-    Node* n = NodeFor(*p);
+    const NodeIndex ni = EnsureNode(*p);
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
     if (p == new_parent && !fixed) {
-      ++n->tshare_runnable_children;
+      ++n.tshare_runnable_children;
     }
-    n->runnable += k;
+    n.runnable += k;
   }
 }
 
 std::vector<void*> ShareTree::DrainAll() {
+  // Teardown path: discard un-flushed charges instead of applying them — the
+  // containers they reference may already be destroyed (teardown order), and
+  // a drained tree's share state is never consulted again.
+  log_.clear();
   std::vector<void*> items;
-  for (auto& [id, node] : nodes_) {
-    for (void* item : node->queue) {
-      items.push_back(item);
+  for (Node& n : nodes_) {
+    if (n.container == nullptr) {
+      continue;
     }
-    node->queue.clear();
-    node->runnable = 0;
-    node->tshare_runnable_children = 0;
+    for (std::int32_t qs = n.q_head; qs >= 0;) {
+      QueueSlot& slot = qslots_[static_cast<std::size_t>(qs)];
+      items.push_back(slot.item);
+      const std::int32_t next = slot.next;
+      slot = QueueSlot{nullptr, qfree_};
+      qfree_ = qs;
+      qs = next;
+    }
+    n.q_head = -1;
+    n.q_tail = -1;
+    n.runnable = 0;
+    n.tshare_runnable_children = 0;
   }
   total_queued_ = 0;
   return items;
 }
 
 double ShareTree::DecayedUsage(const rc::ResourceContainer& c) const {
-  Node* n = NodeForIfExists(c);
-  return n == nullptr ? 0.0 : n->decayed;
+  const_cast<ShareTree*>(this)->Flush();
+  const NodeIndex ni = FindNode(c);
+  return ni == kInvalidNode ? 0.0 : nodes_[static_cast<std::size_t>(ni)].decayed;
 }
 
 bool ShareTree::IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const {
-  Node* n = NodeForIfExists(c);
-  return n != nullptr && Throttled(*n, now);
+  const_cast<ShareTree*>(this)->Flush();
+  const NodeIndex ni = FindNode(c);
+  return ni != kInvalidNode && Throttled(nodes_[static_cast<std::size_t>(ni)], now);
 }
 
 }  // namespace sched

@@ -31,17 +31,27 @@
 // windowed subtree usage exceeds its per-resource limit is throttled until
 // the window ends.
 //
+// Hot-path layout: nodes live in one contiguous array indexed by NodeIndex;
+// containers carry a per-tree slot registry so lookup is a short scan, not a
+// hash probe; per-node item queues are intrusive lists threaded through a
+// shared arena. Charges are *batched*: OnCharge only appends to an
+// arrival-order log, and the ancestor walks (stride passes, decayed usage,
+// limit windows) run at the next Flush(), which every read or structural
+// operation performs first. The replay applies the log entry by entry in
+// arrival order — the exact operation sequence of unbatched charging, so the
+// tree observed by any scheduling decision is bit-identical to the eager
+// one — while amortizing the per-level residual-weight computation across
+// the whole batch.
+//
 // Queued items are opaque (void*): the CPU adapter queues Thread*, the disk
 // engine queues IoRequest*, the link scheduler queues pending packets. Items
-// queue FIFO per container; Push returns the node, whose pointer is the
-// cookie Erase needs.
+// queue FIFO per container; Push returns the node's index — the cookie Erase
+// needs.
 #ifndef SRC_SCHED_SHARE_TREE_H_
 #define SRC_SCHED_SHARE_TREE_H_
 
-#include <deque>
-#include <memory>
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/rc/manager.h"
@@ -60,56 +70,43 @@ struct ShareTreeOptions {
   // Budget multiplier for limits: a window of length W holds capacity * W of
   // the resource (CPU: the CPU count; single-server devices: 1).
   int capacity = 1;
-  // Stash the per-container Node in the container's sched_cookie (fast
-  // path). Valid only for a single tree instance per container tree: per-CPU
-  // scheduler shards and the disk/link trees must leave this false.
-  bool cache_in_container = false;
   // Priority-0 semantics (see file comment).
   bool starve_priority_zero = true;
 };
 
 class ShareTree {
  public:
-  struct Node {
-    rc::ResourceContainer* container = nullptr;
-
-    double decayed = 0.0;  // decayed subtree charge (time-share pick, stats)
-
-    // Stride state. For a fixed-share container: its own pass. As a parent:
-    // the aggregate pass and virtual time of its time-share children.
-    double pass = 0.0;
-    double tshare_pass = 0.0;
-    double vtime = 0.0;
-    int tshare_runnable_children = 0;
-
-    // Windowed-limit state (see rc::UsageWindow).
-    rc::UsageWindow window;
-
-    // Items queued at this node (leaves only, normally).
-    std::deque<void*> queue;
-    // Queued items at or below this node.
-    int runnable = 0;
-  };
+  // Index of a container's node in the flat node array. Stable for the
+  // node's lifetime (slots are freelisted, not compacted).
+  using NodeIndex = std::int32_t;
+  static constexpr NodeIndex kInvalidNode = -1;
 
   ShareTree(rc::ContainerManager* manager, const ShareTreeOptions& options);
 
   ShareTree(const ShareTree&) = delete;
   ShareTree& operator=(const ShareTree&) = delete;
 
-  // Queues `item` under `leaf` (FIFO within the container). Returns the node
-  // holding it — the cookie a later Erase needs.
-  Node* Push(rc::ResourceContainer* leaf, void* item);
+  // Queues `item` under `leaf` (FIFO within the container). Returns the index
+  // of the node holding it — the cookie a later Erase needs.
+  NodeIndex Push(rc::ResourceContainer* leaf, void* item);
 
   // Removes and returns the next item under the share policy; nullptr when
   // nothing is eligible (empty, or everything throttled / starvation-class).
   void* Pop(sim::SimTime now);
 
   // Removes `item` from `node`'s queue (it must be queued there).
-  void Erase(Node* node, void* item);
+  void Erase(NodeIndex node, void* item);
 
-  // `usec` of the resource was consumed on behalf of `c`: advances decayed
-  // usage, stride passes, and limit windows on the whole ancestor chain.
+  // `usec` of the resource was consumed on behalf of `c`. Appends to the
+  // charge log only: the ancestor walk (decayed usage, stride passes, limit
+  // windows) is deferred to the next Flush(). O(1).
   void OnCharge(rc::ResourceContainer& c, sim::Duration usec, sim::SimTime now);
+
+  // Applies every accumulated charge to the tree. Called automatically
+  // before any operation that reads or restructures tree state; callers only
+  // need it explicitly around external reads of container attributes that
+  // charges depend on (weights, limits).
+  void Flush();
 
   // Periodic decay of per-node usage.
   void Tick();
@@ -135,19 +132,68 @@ class ShareTree {
   bool IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const;
 
  private:
-  Node* NodeFor(rc::ResourceContainer& c);
-  Node* NodeForIfExists(const rc::ResourceContainer& c) const;
+  struct Node {
+    rc::ResourceContainer* container = nullptr;  // nullptr == free slot
+
+    double decayed = 0.0;  // decayed subtree charge (time-share pick, stats)
+
+    // Stride state. For a fixed-share container: its own pass. As a parent:
+    // the aggregate pass and virtual time of its time-share children.
+    double pass = 0.0;
+    double tshare_pass = 0.0;
+    double vtime = 0.0;
+    int tshare_runnable_children = 0;
+
+    // Windowed-limit state (see rc::UsageWindow).
+    rc::UsageWindow window;
+
+    // Items queued at this node (leaves only, normally): intrusive FIFO
+    // through the shared queue-slot arena.
+    std::int32_t q_head = -1;
+    std::int32_t q_tail = -1;
+    // Queued items at or below this node.
+    int runnable = 0;
+
+    // Residual-weight cache, valid only within one Flush() (weights cannot
+    // change mid-flush, so the cached value is exact).
+    double residual = 0.0;
+    bool residual_valid = false;
+  };
+
+  struct QueueSlot {
+    void* item = nullptr;
+    std::int32_t next = -1;
+  };
+
+  // One charge, in arrival order. Stride passes and limit windows are
+  // order-sensitive (floating-point rounding and window boundaries), so
+  // Flush replays the log in exactly this order.
+  struct LogEntry {
+    NodeIndex node;
+    sim::Duration usec;
+    sim::SimTime now;
+  };
+
+  // Node lookup via the container's per-tree slot registry. Find does not
+  // allocate; Ensure does.
+  NodeIndex FindNode(const rc::ResourceContainer& c) const;
+  NodeIndex EnsureNode(rc::ResourceContainer& c);
+
   bool Throttled(const Node& n, sim::SimTime now) const {
     return n.window.Throttled(now);
   }
 
   // Residual weight left for the time-share group under `parent`.
   double ResidualWeight(const rc::ResourceContainer& parent) const;
+  // Flush-scoped memoization of ResidualWeight (exact: weights are constant
+  // within a flush).
+  double CachedResidualWeight(NodeIndex parent_index,
+                              const rc::ResourceContainer& parent);
 
   // Arbitration at `parent`: the eligible child with minimal pass (stride),
   // descending into the time-share group by decayed/priority. `allow_zero`
   // admits priority-0 time-share children.
-  Node* PickChild(Node* parent, sim::SimTime now, bool allow_zero);
+  NodeIndex PickChild(NodeIndex parent, sim::SimTime now, bool allow_zero);
 
   // One full descent; nullptr if nothing eligible under this policy pass.
   void* Descend(sim::SimTime now, bool allow_zero);
@@ -156,7 +202,16 @@ class ShareTree {
 
   rc::ContainerManager* const manager_;
   const ShareTreeOptions options_;
-  std::unordered_map<rc::ContainerId, std::unique_ptr<Node>> nodes_;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeIndex> free_nodes_;
+
+  std::vector<QueueSlot> qslots_;
+  std::int32_t qfree_ = -1;
+
+  std::vector<LogEntry> log_;
+  std::vector<NodeIndex> residual_cached_;  // scratch, reset after each Flush
+
   int total_queued_ = 0;
 };
 

@@ -1,44 +1,392 @@
 #include "src/sim/event_queue.h"
 
+#include <bit>
 #include <utility>
 
 #include "src/common/check.h"
 
 namespace sim {
 
-EventHandle EventQueue::Schedule(SimTime when, std::function<void()> fn) {
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{when, next_seq_++, std::move(fn), state});
-  return EventHandle(state);
-}
-
-void EventQueue::DropCanceledHead() {
-  while (!heap_.empty() && heap_.top().state->canceled) {
-    heap_.pop();
+void EventHandle::Cancel() {
+  if (queue_ != nullptr) {
+    queue_->CancelSlot(slot_, gen_);
   }
 }
 
-bool EventQueue::empty() {
-  DropCanceledHead();
-  return heap_.empty();
+bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->SlotPending(slot_, gen_);
 }
 
-SimTime EventQueue::NextTime() {
-  DropCanceledHead();
-  RC_CHECK(!heap_.empty());
-  return heap_.top().when;
+EventQueue::EventQueue(Backend backend) : backend_(backend) {}
+
+// --- slab ------------------------------------------------------------------
+
+std::uint32_t EventQueue::AllocEvent(SimTime when, std::function<void()> fn) {
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = events_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(events_.size());
+    events_.emplace_back();
+  }
+  Event& e = events_[idx];
+  e.when = when;
+  e.seq = next_seq_++;
+  e.canceled = false;
+  e.next = kNil;
+  e.fn = std::move(fn);
+  return idx;
+}
+
+void EventQueue::FreeEvent(std::uint32_t idx) {
+  Event& e = events_[idx];
+  ++e.gen;  // invalidate outstanding handles
+  e.canceled = false;
+  e.fn = nullptr;
+  e.next = free_head_;
+  free_head_ = idx;
+}
+
+// --- handle support --------------------------------------------------------
+
+void EventQueue::CancelSlot(std::uint32_t idx, std::uint32_t gen) {
+  if (idx >= events_.size()) {
+    return;
+  }
+  Event& e = events_[idx];
+  if (e.gen != gen || e.canceled) {
+    return;
+  }
+  e.canceled = true;
+  e.fn = nullptr;  // release captured state now, not at reap time
+  RC_CHECK_GT(live_, 0u);
+  --live_;
+  ++canceled_;
+  // The canceled event may have been the cached next; recompute lazily.
+  if (next_valid_ && e.when <= next_time_) {
+    next_valid_ = false;
+  }
+}
+
+bool EventQueue::SlotPending(std::uint32_t idx, std::uint32_t gen) const {
+  if (idx >= events_.size()) {
+    return false;
+  }
+  const Event& e = events_[idx];
+  return e.gen == gen && !e.canceled;
+}
+
+// --- wheel primitives ------------------------------------------------------
+
+void EventQueue::Append(List& list, std::uint32_t idx) {
+  events_[idx].next = kNil;
+  if (list.tail == kNil) {
+    list.head = idx;
+  } else {
+    events_[list.tail].next = idx;
+  }
+  list.tail = idx;
+}
+
+void EventQueue::SetOccupied(int level, std::uint32_t slot) {
+  occupied_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+}
+
+void EventQueue::ClearOccupied(int level, std::uint32_t slot) {
+  occupied_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+}
+
+int EventQueue::FirstOccupied(int level) const {
+  for (std::uint32_t w = 0; w < kBitmapWords; ++w) {
+    std::uint64_t word = occupied_[level][w];
+    if (word != 0) {
+      return static_cast<int>(w * 64 +
+                              static_cast<std::uint32_t>(std::countr_zero(word)));
+    }
+  }
+  return -1;
+}
+
+void EventQueue::WheelInsert(std::uint32_t idx) {
+  const std::uint64_t when = static_cast<std::uint64_t>(events_[idx].when);
+  const std::uint64_t cur = static_cast<std::uint64_t>(cur_);
+  RC_CHECK_GE(events_[idx].when, cur_);
+  int level;
+  if ((when >> 8) == (cur >> 8)) {
+    level = 0;
+  } else if ((when >> 16) == (cur >> 16)) {
+    level = 1;
+  } else if ((when >> 24) == (cur >> 24)) {
+    level = 2;
+  } else if ((when >> 32) == (cur >> 32)) {
+    level = 3;
+  } else {
+    Append(overflow_[events_[idx].when], idx);
+    return;
+  }
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(when >> (kSlotBits * level)) &
+      (kSlotsPerLevel - 1);
+  Append(wheel_[level][slot], idx);
+  SetOccupied(level, slot);
+}
+
+void EventQueue::CascadeSlot(int level, std::uint32_t slot) {
+  List list = wheel_[level][slot];
+  wheel_[level][slot] = List{};
+  ClearOccupied(level, slot);
+  std::uint32_t idx = list.head;
+  while (idx != kNil) {
+    const std::uint32_t next = events_[idx].next;
+    if (events_[idx].canceled) {
+      FreeEvent(idx);
+    } else {
+      WheelInsert(idx);  // in list order, so same-slot FIFO is preserved
+    }
+    idx = next;
+  }
+}
+
+void EventQueue::MigrateOverflowEpoch(std::uint64_t epoch) {
+  while (!overflow_.empty()) {
+    auto it = overflow_.begin();
+    if ((static_cast<std::uint64_t>(it->first) >> 32) != epoch) {
+      break;
+    }
+    std::uint32_t idx = it->second.head;
+    while (idx != kNil) {
+      const std::uint32_t next = events_[idx].next;
+      if (events_[idx].canceled) {
+        FreeEvent(idx);
+      } else {
+        WheelInsert(idx);
+      }
+      idx = next;
+    }
+    overflow_.erase(it);
+  }
+}
+
+void EventQueue::AdvanceTo(SimTime t) {
+  const std::uint64_t target = static_cast<std::uint64_t>(t);
+  // Nothing lives in [cur_, t), so each boundary crossing can jump straight
+  // to the window containing `t` and cascade just that window's source slot.
+  if ((target >> 32) != (static_cast<std::uint64_t>(cur_) >> 32)) {
+    cur_ = static_cast<SimTime>((target >> 32) << 32);
+    MigrateOverflowEpoch(target >> 32);
+  }
+  if ((target >> 24) != (static_cast<std::uint64_t>(cur_) >> 24)) {
+    cur_ = static_cast<SimTime>((target >> 24) << 24);
+    CascadeSlot(3, static_cast<std::uint32_t>(target >> 24) &
+                       (kSlotsPerLevel - 1));
+  }
+  if ((target >> 16) != (static_cast<std::uint64_t>(cur_) >> 16)) {
+    cur_ = static_cast<SimTime>((target >> 16) << 16);
+    CascadeSlot(2, static_cast<std::uint32_t>(target >> 16) &
+                       (kSlotsPerLevel - 1));
+  }
+  if ((target >> 8) != (static_cast<std::uint64_t>(cur_) >> 8)) {
+    cur_ = static_cast<SimTime>((target >> 8) << 8);
+    CascadeSlot(1, static_cast<std::uint32_t>(target >> 8) &
+                       (kSlotsPerLevel - 1));
+  }
+  cur_ = t;
+}
+
+void EventQueue::DropCanceled(List& list) {
+  List kept;
+  std::uint32_t idx = list.head;
+  while (idx != kNil) {
+    const std::uint32_t next = events_[idx].next;
+    if (events_[idx].canceled) {
+      FreeEvent(idx);
+    } else {
+      Append(kept, idx);
+    }
+    idx = next;
+  }
+  list = kept;
+}
+
+// --- core ------------------------------------------------------------------
+
+bool EventQueue::RefreshNext() {
+  if (next_valid_) {
+    return true;
+  }
+  if (live_ == 0) {
+    return false;
+  }
+
+  if (backend_ == Backend::kHeap) {
+    while (!heap_.empty() && events_[heap_.top().slot].canceled) {
+      FreeEvent(heap_.top().slot);
+      heap_.pop();
+    }
+    RC_CHECK(!heap_.empty());
+    next_time_ = heap_.top().when;
+    next_valid_ = true;
+    return true;
+  }
+
+  // Level 0: every occupied slot holds exactly one timestamp, and all
+  // occupied slots are at or after the current index, so the first occupied
+  // slot with a live event is the global earliest.
+  for (int slot = FirstOccupied(0); slot >= 0; slot = FirstOccupied(0)) {
+    List& list = wheel_[0][static_cast<std::uint32_t>(slot)];
+    while (list.head != kNil && events_[list.head].canceled) {
+      const std::uint32_t dead = list.head;
+      list.head = events_[dead].next;
+      if (list.head == kNil) {
+        list.tail = kNil;
+      }
+      FreeEvent(dead);
+    }
+    if (list.head == kNil) {
+      ClearOccupied(0, static_cast<std::uint32_t>(slot));
+      continue;
+    }
+    next_time_ = events_[list.head].when;
+    next_valid_ = true;
+    return true;
+  }
+
+  // Levels 1..3: the first occupied slot bounds every later slot and every
+  // higher level, but spans multiple timestamps — scan its list for the
+  // earliest live event (first occurrence wins, preserving FIFO).
+  for (int level = 1; level < kLevels; ++level) {
+    for (int slot = FirstOccupied(level); slot >= 0;
+         slot = FirstOccupied(level)) {
+      List& list = wheel_[level][static_cast<std::uint32_t>(slot)];
+      DropCanceled(list);
+      if (list.empty()) {
+        ClearOccupied(level, static_cast<std::uint32_t>(slot));
+        continue;
+      }
+      SimTime best = events_[list.head].when;
+      for (std::uint32_t idx = events_[list.head].next; idx != kNil;
+           idx = events_[idx].next) {
+        if (events_[idx].when < best) {
+          best = events_[idx].when;
+        }
+      }
+      next_time_ = best;
+      next_valid_ = true;
+      return true;
+    }
+  }
+
+  while (!overflow_.empty()) {
+    auto it = overflow_.begin();
+    DropCanceled(it->second);
+    if (it->second.empty()) {
+      overflow_.erase(it);
+      continue;
+    }
+    next_time_ = it->first;
+    next_valid_ = true;
+    return true;
+  }
+
+  RC_CHECK(false);  // live_ > 0 but no live event found
+  return false;
+}
+
+EventHandle EventQueue::Schedule(SimTime when, std::function<void()> fn) {
+  const std::uint32_t idx = AllocEvent(when, std::move(fn));
+  if (backend_ == Backend::kHeap) {
+    heap_.push(HeapEntry{when, events_[idx].seq, idx});
+  } else {
+    WheelInsert(idx);
+  }
+  ++live_;
+  if (next_valid_ && when < next_time_) {
+    next_time_ = when;
+  }
+  return EventHandle(this, idx, events_[idx].gen);
+}
+
+SimTime EventQueue::NextTime() const {
+  // Logically const: refreshing reclaims canceled slots and caches the scan.
+  EventQueue* self = const_cast<EventQueue*>(this);
+  RC_CHECK(self->RefreshNext());
+  return next_time_;
 }
 
 SimTime EventQueue::RunNext() {
-  DropCanceledHead();
-  RC_CHECK(!heap_.empty());
-  // Mark fired so a handle kept by the caller reports !pending().
-  heap_.top().state->canceled = true;
-  SimTime when = heap_.top().when;
-  std::function<void()> fn = std::move(heap_.top().fn);
-  heap_.pop();
+  RC_CHECK(RefreshNext());
+  const SimTime when = next_time_;
+
+  std::uint32_t idx;
+  if (backend_ == Backend::kHeap) {
+    idx = heap_.top().slot;  // live: RefreshNext purged canceled heads
+    heap_.pop();
+  } else {
+    AdvanceTo(when);
+    List& list = wheel_[0][static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(when)) &
+                           (kSlotsPerLevel - 1)];
+    idx = list.head;  // live: RefreshNext pruned the canceled prefix
+    RC_CHECK(idx != kNil);
+    list.head = events_[idx].next;
+    if (list.head == kNil) {
+      list.tail = kNil;
+      ClearOccupied(0, static_cast<std::uint32_t>(
+                           static_cast<std::uint64_t>(when)) &
+                           (kSlotsPerLevel - 1));
+    }
+  }
+
+  RC_CHECK(!events_[idx].canceled);
+  RC_CHECK_EQ(events_[idx].when, when);
+  // Free the slot before invoking so a handle kept by the caller reports
+  // !pending() during and after the callback, and the callback may reuse
+  // the slot for new work.
+  std::function<void()> fn = std::move(events_[idx].fn);
+  FreeEvent(idx);
+  RC_CHECK_GT(live_, 0u);
+  --live_;
+  ++dispatched_;
+  next_valid_ = false;
   fn();
   return when;
+}
+
+void EventQueue::PurgeCanceled() {
+  if (backend_ == Backend::kHeap) {
+    std::vector<HeapEntry> kept;
+    kept.reserve(live_);
+    while (!heap_.empty()) {
+      const HeapEntry e = heap_.top();
+      heap_.pop();
+      if (events_[e.slot].canceled) {
+        FreeEvent(e.slot);
+      } else {
+        kept.push_back(e);
+      }
+    }
+    for (const HeapEntry& e : kept) {
+      heap_.push(e);
+    }
+    return;
+  }
+  for (int level = 0; level < kLevels; ++level) {
+    for (std::uint32_t slot = 0; slot < kSlotsPerLevel; ++slot) {
+      List& list = wheel_[level][slot];
+      if (list.empty()) {
+        continue;
+      }
+      DropCanceled(list);
+      if (list.empty()) {
+        ClearOccupied(level, slot);
+      }
+    }
+  }
+  for (auto it = overflow_.begin(); it != overflow_.end();) {
+    DropCanceled(it->second);
+    it = it->second.empty() ? overflow_.erase(it) : std::next(it);
+  }
 }
 
 }  // namespace sim

@@ -1,13 +1,29 @@
-// A cancelable pending-event priority queue for the discrete-event engine.
+// A cancelable pending-event queue for the discrete-event engine.
 //
 // Events at equal timestamps fire in insertion order (FIFO), which keeps
-// simulations deterministic regardless of heap internals.
+// simulations deterministic regardless of queue internals.
+//
+// Two backends share one API and one slab of event records:
+//
+//  - kWheel (default): a 4-level hierarchical timing wheel, 256 slots per
+//    level, 1 us granularity at level 0. Level k buckets times that share the
+//    level-(k+1) window with the wheel's current time; a sorted calendar map
+//    catches timers beyond the 2^32 us (~71.6 min) horizon. Schedule and
+//    cancel are O(1); dispatch is amortized O(1) (occupancy-bitmap scans plus
+//    one cascade per window crossing).
+//  - kHeap: the seed binary-heap ordering, kept as a reference for
+//    differential tests and as the benchmark baseline.
+//
+// Events live in a slab (std::vector) threaded with an intrusive freelist, so
+// steady-state scheduling performs no heap allocation. Handles are
+// generation-counted slot references instead of shared_ptr control blocks.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <memory>
+#include <map>
 #include <queue>
 #include <vector>
 
@@ -15,60 +31,106 @@
 
 namespace sim {
 
+class EventQueue;
+
 // Handle to a scheduled event; lets the scheduler cancel in-flight work
 // (e.g. a CPU slice-completion event when an interrupt preempts the slice).
+//
+// The handle names a slab slot plus the generation stamped when the event was
+// scheduled; a stale handle (slot freed or reused) is detected by generation
+// mismatch, so Cancel/pending are safe after the event fired. A handle must
+// not outlive its EventQueue — engine components satisfy this because the
+// Simulator is declared before (and so destroyed after) everything that
+// stores handles.
 class EventHandle {
  public:
   EventHandle() = default;
 
   // Cancels the event if it has not fired yet. Safe to call repeatedly and
   // after the event fired.
-  void Cancel() {
-    if (auto s = state_.lock()) {
-      s->canceled = true;
-    }
-  }
+  void Cancel();
 
   // True while the event is scheduled and not canceled.
-  bool pending() const {
-    auto s = state_.lock();
-    return s && !s->canceled;
-  }
+  bool pending() const;
 
  private:
   friend class EventQueue;
-  struct State {
-    bool canceled = false;
-  };
-  explicit EventHandle(std::weak_ptr<State> state) : state_(std::move(state)) {}
-  std::weak_ptr<State> state_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t gen)
+      : queue_(queue), slot_(slot), gen_(gen) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
  public:
-  // Schedules `fn` at absolute time `when`. Returns a handle usable to cancel.
+  enum class Backend {
+    kWheel,  // hierarchical timing wheel + calendar overflow (default)
+    kHeap,   // reference binary heap (differential tests, benchmarks)
+  };
+
+  explicit EventQueue(Backend backend = Backend::kWheel);
+
+  // Schedules `fn` at absolute time `when`. Returns a handle usable to
+  // cancel. The wheel backend requires `when` to be no earlier than the last
+  // dispatched timestamp (the simulator's clock never runs backwards).
   EventHandle Schedule(SimTime when, std::function<void()> fn);
 
-  // True when no non-canceled event remains. Purges canceled entries.
-  bool empty();
+  // True when no non-canceled event remains. O(1), no side effects.
+  bool empty() const { return live_ == 0; }
 
   // Time of the earliest non-canceled event. Precondition: !empty().
-  SimTime NextTime();
+  // Logically const: may lazily reclaim canceled slots encountered while
+  // scanning, which is unobservable through this API.
+  SimTime NextTime() const;
 
   // Pops and runs the earliest non-canceled event; returns its timestamp.
   // Precondition: !empty().
   SimTime RunNext();
 
+  // Eagerly reclaims every canceled-but-unreaped slot. Dispatch already
+  // reclaims lazily; this just bounds slab growth after a cancel storm.
+  void PurgeCanceled();
+
+  // --- engine telemetry ----------------------------------------------------
+  std::size_t depth() const { return live_; }            // live pending events
+  std::uint64_t dispatched() const { return dispatched_; }
+  std::uint64_t canceled() const { return canceled_; }
+  Backend backend() const { return backend_; }
+
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr std::uint32_t kSlotsPerLevel = 1u << kSlotBits;  // 256
+  static constexpr std::uint32_t kBitmapWords = kSlotsPerLevel / 64;
+
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // insertion order; orders the heap backend
+    std::uint32_t gen = 0;  // bumped on free; handles must match
+    bool canceled = false;
+    std::uint32_t next = kNil;  // slot-list / freelist link
+    std::function<void()> fn;
+  };
+
+  // Intrusive FIFO list of slab indices (one per wheel slot / calendar key).
+  struct List {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    bool empty() const { return head == kNil; }
+  };
+
+  struct HeapEntry {
     SimTime when;
     std::uint64_t seq;
-    // fn is mutable so it can be moved out of the priority queue's top().
-    mutable std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
@@ -76,10 +138,62 @@ class EventQueue {
     }
   };
 
-  void DropCanceledHead();
+  // --- slab ---------------------------------------------------------------
+  std::uint32_t AllocEvent(SimTime when, std::function<void()> fn);
+  void FreeEvent(std::uint32_t idx);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // --- handle support -----------------------------------------------------
+  void CancelSlot(std::uint32_t idx, std::uint32_t gen);
+  bool SlotPending(std::uint32_t idx, std::uint32_t gen) const;
+
+  // --- wheel --------------------------------------------------------------
+  void Append(List& list, std::uint32_t idx);
+  void SetOccupied(int level, std::uint32_t slot);
+  void ClearOccupied(int level, std::uint32_t slot);
+  // First occupied slot at `level`, or -1. All occupied slots are at or after
+  // the wheel's current index at that level (past windows are always empty).
+  int FirstOccupied(int level) const;
+  // Routes the event into the wheel level whose window (relative to cur_)
+  // contains events_[idx].when, or into the overflow calendar.
+  void WheelInsert(std::uint32_t idx);
+  // Redistributes one slot of `level` into lower levels (order-preserving).
+  void CascadeSlot(int level, std::uint32_t slot);
+  // Moves every overflow-calendar event of `epoch` (when >> 32) into the
+  // wheel. Precondition: cur_ is at the epoch base.
+  void MigrateOverflowEpoch(std::uint64_t epoch);
+  // Advances wheel time to `t` (the timestamp about to dispatch), cascading
+  // higher-level slots across each window boundary crossed.
+  void AdvanceTo(SimTime t);
+  // Rebuilds `list` without its canceled events, freeing them.
+  void DropCanceled(List& list);
+
+  // Ensures next_time_ names the earliest live timestamp. Returns false when
+  // no live event exists. Reclaims canceled slots found while scanning.
+  bool RefreshNext();
+
+  Backend backend_;
+
+  std::vector<Event> events_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t canceled_ = 0;
+
+  // Wheel time: the timestamp of the last dispatched event. Invariant: no
+  // live event is earlier, and every wheel slot before the current index at
+  // each level is empty.
+  SimTime cur_ = 0;
+  List wheel_[kLevels][kSlotsPerLevel];
+  std::uint64_t occupied_[kLevels][kBitmapWords] = {};
+  std::map<SimTime, List> overflow_;
+
+  // Cached earliest live timestamp; invalidated by dispatch and by cancels
+  // at or before it, tightened by earlier schedules.
+  bool next_valid_ = false;
+  SimTime next_time_ = 0;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
 };
 
 }  // namespace sim

@@ -15,6 +15,10 @@ namespace sim {
 
 class Simulator {
  public:
+  explicit Simulator(
+      EventQueue::Backend backend = EventQueue::Backend::kWheel)
+      : queue_(backend) {}
+
   SimTime now() const { return now_; }
 
   // Schedules `fn` at absolute simulated time `when` (>= now()).
@@ -35,6 +39,9 @@ class Simulator {
 
   // Total number of events executed (diagnostics).
   std::uint64_t events_run() const { return events_run_; }
+
+  // Engine telemetry: dispatch/cancel counters and live queue depth.
+  const EventQueue& queue() const { return queue_; }
 
  private:
   SimTime now_ = 0;

@@ -58,6 +58,9 @@ void EpochSampler::Tick() {
 void EpochSampler::SampleNow() {
   const sim::SimTime now = simr_->now();
   ++epochs_;
+  const sim::EventQueue& q = simr_->queue();
+  engine_series_.push_back(EngineSample{now, q.dispatched(), q.canceled(),
+                                        static_cast<std::uint64_t>(q.depth())});
   containers_->ForEachLive([&](rc::ResourceContainer& c) {
     auto [it, inserted] = series_.try_emplace(c.id());
     ContainerSeries& s = it->second;
@@ -92,6 +95,11 @@ void EpochSampler::WriteJsonLines(std::ostream& os) const {
       os << "{\"container\":" << id << ",\"name\":\"" << EscapeJson(s.name)
          << "\",\"retired\":" << s.retired_at << "}\n";
     }
+  }
+  for (const EngineSample& e : engine_series_) {
+    os << "{\"at\":" << e.at << ",\"engine\":{\"events_dispatched\":"
+       << e.events_dispatched << ",\"events_canceled\":" << e.events_canceled
+       << ",\"queue_depth\":" << e.queue_depth << "}}\n";
   }
   os.precision(old_precision);
 }

@@ -6,6 +6,7 @@
 #ifndef SRC_TELEMETRY_SAMPLER_H_
 #define SRC_TELEMETRY_SAMPLER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -21,6 +22,15 @@ namespace telemetry {
 struct UsageSample {
   sim::SimTime at = 0;
   rc::ResourceUsage usage;
+};
+
+// Machine-level event-engine sample, one per epoch: cumulative dispatch and
+// cancel totals plus the live queue depth at the sample instant.
+struct EngineSample {
+  sim::SimTime at = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t events_canceled = 0;
+  std::uint64_t queue_depth = 0;
 };
 
 struct ContainerSeries {
@@ -64,9 +74,13 @@ class EpochSampler {
   // created mid-run starts its series at the first epoch that saw it.
   const std::map<rc::ContainerId, ContainerSeries>& series() const { return series_; }
 
+  // Machine-level engine series, one sample per epoch.
+  const std::vector<EngineSample>& engine_series() const { return engine_series_; }
+
   // JSON Lines: one object per (epoch, container) —
   //   {"at":..,"container":..,"name":..,"cpu_user_usec":..,...}
-  // plus one {"retired":...} line per destroyed container.
+  // plus one {"retired":...} line per destroyed container, plus one
+  // {"at":..,"engine":{...}} machine line per epoch.
   void WriteJsonLines(std::ostream& os) const;
 
  private:
@@ -77,6 +91,7 @@ class EpochSampler {
   const sim::Duration interval_;
 
   std::map<rc::ContainerId, ContainerSeries> series_;
+  std::vector<EngineSample> engine_series_;
   std::size_t epochs_ = 0;
   sim::EventHandle timer_;
   bool running_ = false;

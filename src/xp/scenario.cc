@@ -78,6 +78,17 @@ void Scenario::RegisterProbes() {
                      [this] { return static_cast<double>(simr_.now()); });
   registry_.AddProbe("sim.events_run", "events",
                      [this] { return static_cast<double>(simr_.events_run()); });
+  // Event-engine internals: dispatch/cancel totals and the live queue depth
+  // (timing-wheel occupancy) at sample time.
+  registry_.AddProbe("engine.events_dispatched", "events", [this] {
+    return static_cast<double>(simr_.queue().dispatched());
+  });
+  registry_.AddProbe("engine.events_canceled", "events", [this] {
+    return static_cast<double>(simr_.queue().canceled());
+  });
+  registry_.AddProbe("engine.queue_depth", "events", [this] {
+    return static_cast<double>(simr_.queue().depth());
+  });
   registry_.AddProbe("cpu.busy_usec", "usec",
                      [this] { return static_cast<double>(kernel_->smp().busy_usec()); });
   registry_.AddProbe("cpu.interrupt_usec", "usec", [this] {

@@ -1,0 +1,261 @@
+// Edge-case tests for the timing-wheel event queue: cancellation corners,
+// FIFO preservation across wheel-window rollovers and the overflow calendar,
+// and a randomized differential check against the reference heap backend.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace sim {
+namespace {
+
+TEST(EventQueueEdgeTest, CancelAtHeadAdvancesToNextEvent) {
+  EventQueue q;
+  std::vector<int> fired;
+  EventHandle head = q.Schedule(10, [&] { fired.push_back(1); });
+  q.Schedule(20, [&] { fired.push_back(2); });
+  q.Schedule(10, [&] { fired.push_back(3); });
+
+  head.Cancel();
+  EXPECT_FALSE(head.pending());
+  ASSERT_FALSE(q.empty());
+  // The canceled head must not mask the surviving same-timestamp event.
+  EXPECT_EQ(q.NextTime(), 10);
+  EXPECT_EQ(q.RunNext(), 10);
+  EXPECT_EQ(q.RunNext(), 20);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, (std::vector<int>{3, 2}));
+  EXPECT_EQ(q.canceled(), 1u);
+  EXPECT_EQ(q.dispatched(), 2u);
+}
+
+TEST(EventQueueEdgeTest, CancelEntireHeadTimestampSkipsForward) {
+  EventQueue q;
+  bool late_fired = false;
+  std::vector<EventHandle> heads;
+  for (int i = 0; i < 8; ++i) {
+    heads.push_back(q.Schedule(100, [] { FAIL() << "canceled event fired"; }));
+  }
+  q.Schedule(5000, [&] { late_fired = true; });
+  for (EventHandle& h : heads) {
+    h.Cancel();
+  }
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.NextTime(), 5000);
+  EXPECT_EQ(q.RunNext(), 5000);
+  EXPECT_TRUE(late_fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueEdgeTest, CancelAfterFireIsInertAndHandleNotPending) {
+  EventQueue q;
+  int runs = 0;
+  EventHandle h = q.Schedule(7, [&] { ++runs; });
+  EXPECT_TRUE(h.pending());
+  q.RunNext();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(h.pending());
+
+  // Cancel after fire: no effect, no cancel counted, repeatable.
+  h.Cancel();
+  h.Cancel();
+  EXPECT_EQ(q.canceled(), 0u);
+
+  // Even after the slot is recycled by a new event, the stale handle must
+  // neither read as pending nor cancel the new occupant.
+  bool second_fired = false;
+  q.Schedule(9, [&] { second_fired = true; });
+  EXPECT_FALSE(h.pending());
+  h.Cancel();
+  EXPECT_EQ(q.RunNext(), 9);
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueueEdgeTest, PurgeCanceledReclaimsWithoutDisturbingSurvivors) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) {
+      doomed.push_back(q.Schedule(i * 3, [] { FAIL() << "canceled event fired"; }));
+    } else {
+      q.Schedule(i * 3, [&fired, i] { fired.push_back(i); });
+    }
+  }
+  for (EventHandle& h : doomed) {
+    h.Cancel();
+  }
+  q.PurgeCanceled();
+  EXPECT_EQ(q.depth(), 50u);
+  SimTime prev = -1;
+  while (!q.empty()) {
+    const SimTime at = q.RunNext();
+    EXPECT_GT(at, prev);
+    prev = at;
+  }
+  ASSERT_EQ(fired.size(), 50u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(2 * i + 1));
+  }
+}
+
+// FIFO must survive a level-0 window rollover (256 us): events scheduled at
+// the same timestamp from both sides of the boundary, interleaved with
+// dispatch, still fire in insertion order.
+TEST(EventQueueEdgeTest, FifoAcrossLevel0Rollover) {
+  EventQueue q;
+  std::vector<int> order;
+  const SimTime t = 300;  // beyond the first 256-slot window
+  for (int i = 0; i < 4; ++i) {
+    q.Schedule(t, [&order, i] { order.push_back(i); });
+  }
+  // Dispatch something to roll the wheel past 256, then append more at t.
+  q.Schedule(260, [&] {
+    for (int i = 4; i < 8; ++i) {
+      q.Schedule(t, [&order, i] { order.push_back(i); });
+    }
+  });
+  while (!q.empty()) {
+    q.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// FIFO across a level-1 boundary (65536 us): the first batch is parked in a
+// level-1 slot and cascades down when the wheel crosses the window; events
+// added after the cascade must still fire behind them.
+TEST(EventQueueEdgeTest, FifoAcrossLevel1Cascade) {
+  EventQueue q;
+  std::vector<int> order;
+  const SimTime t = 70000;  // past 2^16
+  for (int i = 0; i < 4; ++i) {
+    q.Schedule(t, [&order, i] { order.push_back(i); });
+  }
+  q.Schedule(66000, [&] {  // fires after the level-1 window crossing
+    for (int i = 4; i < 8; ++i) {
+      q.Schedule(t, [&order, i] { order.push_back(i); });
+    }
+  });
+  while (!q.empty()) {
+    q.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// Timers beyond the 2^32 us wheel horizon land in the overflow calendar and
+// must migrate back preserving both time order and same-timestamp FIFO.
+TEST(EventQueueEdgeTest, FarFutureOverflowCalendar) {
+  EventQueue q;
+  std::vector<std::pair<SimTime, int>> fired;
+  const SimTime horizon = SimTime{1} << 32;           // ~71.6 min
+  const SimTime far = horizon + 12345;                // next epoch
+  const SimTime farther = (SimTime{3} << 32) + 7;     // two epochs later
+
+  q.Schedule(farther, [&] { fired.emplace_back(farther, 30); });
+  for (int i = 0; i < 3; ++i) {
+    q.Schedule(far, [&fired, far, i] { fired.emplace_back(far, i); });
+  }
+  q.Schedule(50, [&] { fired.emplace_back(50, 99); });
+  EXPECT_EQ(q.NextTime(), 50);
+  EXPECT_EQ(q.depth(), 5u);
+
+  while (!q.empty()) {
+    q.RunNext();
+  }
+  ASSERT_EQ(fired.size(), 5u);
+  EXPECT_EQ(fired[0], (std::pair<SimTime, int>{50, 99}));
+  EXPECT_EQ(fired[1], (std::pair<SimTime, int>{far, 0}));
+  EXPECT_EQ(fired[2], (std::pair<SimTime, int>{far, 1}));
+  EXPECT_EQ(fired[3], (std::pair<SimTime, int>{far, 2}));
+  EXPECT_EQ(fired[4], (std::pair<SimTime, int>{farther, 30}));
+}
+
+TEST(EventQueueEdgeTest, CancelInsideOverflowCalendar) {
+  EventQueue q;
+  bool survivor_fired = false;
+  const SimTime far = (SimTime{1} << 32) + 1000;
+  EventHandle h = q.Schedule(far, [] { FAIL() << "canceled event fired"; });
+  q.Schedule(far + 1, [&] { survivor_fired = true; });
+  h.Cancel();
+  EXPECT_EQ(q.NextTime(), far + 1);
+  EXPECT_EQ(q.RunNext(), far + 1);
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_TRUE(q.empty());
+}
+
+// Differential test: the wheel and the reference heap, fed an identical
+// randomized schedule/cancel/dispatch workload, must dispatch the exact same
+// (timestamp, tag) sequence. ~1M operations, spanning level rollovers,
+// same-timestamp bursts, and far-future overflow epochs.
+TEST(EventQueueEdgeTest, RandomizedDifferentialWheelVsHeap) {
+  EventQueue wheel(EventQueue::Backend::kWheel);
+  EventQueue heap(EventQueue::Backend::kHeap);
+
+  struct Queues {
+    std::vector<std::pair<SimTime, int>> fired;
+    std::vector<EventHandle> handles;  // parallel across backends by index
+  };
+  Queues w, h;
+
+  Rng rng(0xC0FFEE);
+  SimTime now = 0;
+  int next_tag = 0;
+  const int kOps = 1'000'000;
+  for (int op = 0; op < kOps; ++op) {
+    const std::uint64_t kind = rng.NextU64() % 100;
+    if (kind < 55 || wheel.empty()) {
+      // Schedule: mostly near-future, sometimes same-instant bursts,
+      // occasionally far past the 2^32 horizon.
+      SimTime delay;
+      const std::uint64_t shape = rng.NextU64() % 100;
+      if (shape < 60) {
+        delay = static_cast<SimTime>(rng.NextU64() % 512);
+      } else if (shape < 85) {
+        delay = static_cast<SimTime>(rng.NextU64() % (1u << 20));
+      } else if (shape < 97) {
+        delay = static_cast<SimTime>(rng.NextU64() % (std::uint64_t{1} << 30));
+      } else {
+        delay = static_cast<SimTime>((std::uint64_t{1} << 32) +
+                                     rng.NextU64() % (std::uint64_t{1} << 33));
+      }
+      const SimTime at = now + delay;
+      const int tag = next_tag++;
+      w.handles.push_back(wheel.Schedule(at, [&w, at, tag] { w.fired.emplace_back(at, tag); }));
+      h.handles.push_back(heap.Schedule(at, [&h, at, tag] { h.fired.emplace_back(at, tag); }));
+    } else if (kind < 75) {
+      // Cancel a random handle (possibly already fired or canceled — the
+      // backends must agree on whether it was still pending).
+      const std::size_t i = rng.NextU64() % w.handles.size();
+      ASSERT_EQ(w.handles[i].pending(), h.handles[i].pending());
+      w.handles[i].Cancel();
+      h.handles[i].Cancel();
+    } else {
+      ASSERT_EQ(wheel.empty(), heap.empty());
+      if (!wheel.empty()) {
+        const SimTime wt = wheel.RunNext();
+        const SimTime ht = heap.RunNext();
+        ASSERT_EQ(wt, ht);
+        now = wt;
+      }
+    }
+    if (op % 200'000 == 0) {
+      wheel.PurgeCanceled();  // exercise eager reclamation mid-stream
+    }
+  }
+  while (!wheel.empty()) {
+    ASSERT_FALSE(heap.empty());
+    ASSERT_EQ(wheel.NextTime(), heap.NextTime());
+    ASSERT_EQ(wheel.RunNext(), heap.RunNext());
+  }
+  EXPECT_TRUE(heap.empty());
+  ASSERT_EQ(w.fired.size(), h.fired.size());
+  EXPECT_EQ(w.fired, h.fired);
+  EXPECT_EQ(wheel.dispatched(), heap.dispatched());
+  EXPECT_EQ(wheel.canceled(), heap.canceled());
+}
+
+}  // namespace
+}  // namespace sim

@@ -208,7 +208,7 @@ TEST_F(ShareTreeTest, EraseAndDrainKeepCountsConsistent) {
   auto b = TimeShare("b", 16);
 
   Item i1, i2, i3;
-  ShareTree::Node* na = tree.Push(a.get(), &i1);
+  ShareTree::NodeIndex na = tree.Push(a.get(), &i1);
   tree.Push(a.get(), &i2);
   tree.Push(b.get(), &i3);
   EXPECT_EQ(tree.queued_total(), 3);

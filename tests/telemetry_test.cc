@@ -184,6 +184,7 @@ TEST(EpochSamplerTest, TracksCreateChargeAndRetire) {
   std::string line;
   std::size_t sample_lines = 0;
   std::size_t retired_lines = 0;
+  std::size_t engine_lines = 0;
   while (std::getline(is, line)) {
     auto doc = ParseJson(line);
     ASSERT_TRUE(doc.has_value()) << line;
@@ -191,12 +192,21 @@ TEST(EpochSamplerTest, TracksCreateChargeAndRetire) {
       ++retired_lines;
       EXPECT_DOUBLE_EQ(doc->NumberOr("retired", 0), sim::Msec(350));
       EXPECT_EQ(doc->StringOr("name", ""), "first");
+    } else if (doc->Find("engine") != nullptr) {
+      ++engine_lines;
     } else {
       ++sample_lines;
     }
   }
   EXPECT_EQ(sample_lines, 3u + 3u + 6u);
   EXPECT_EQ(retired_lines, 1u);
+  EXPECT_EQ(engine_lines, 6u);  // one machine-level engine line per epoch
+  ASSERT_EQ(sampler.engine_series().size(), 6u);
+  // Dispatch totals are cumulative, so the series is non-decreasing.
+  for (std::size_t i = 1; i < sampler.engine_series().size(); ++i) {
+    EXPECT_GE(sampler.engine_series()[i].events_dispatched,
+              sampler.engine_series()[i - 1].events_dispatched);
+  }
 }
 
 TEST(EpochSamplerTest, DestroyObserverSafeAfterSamplerDies) {

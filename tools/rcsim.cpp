@@ -12,7 +12,18 @@
 //   --kernel=unmodified|lrp|rc   which of the paper's systems to run
 //   --containers                 per-connection containers (RC kernel)
 //   --event-api                  scalable event API instead of select()
-//   --clients=N                  static-document clients (default 16)
+//   --clients=N                  static-document clients (default 16; counts
+//                                beyond ~64000 spill into further /16 source
+//                                blocks — 10.1/16, 10.2/16, ... — so
+//                                million-client populations get unique
+//                                addresses)
+//   --bench-events=N             instead of a server scenario, run the raw
+//                                event-core throughput workload from
+//                                bench/bench_engine.cpp (timing wheel,
+//                                --clients concurrent timers, N dispatches)
+//                                and report events/sec; reproduces the
+//                                million-client configuration from the CLI:
+//                                  rcsim --clients=1000000 --bench-events=4000000
 //   --persistent=K               requests per connection (default 1)
 //   --doc-bytes=N                document size (default 1024)
 //   --cgi=N                      concurrent CGI clients (default 0)
@@ -52,6 +63,7 @@
 //   --digest                     print "digest: <16 hex>" — an FNV-1a hash of
 //                                the full event timeline. Same seed + flags
 //                                must reproduce the same digest.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +73,8 @@
 #include <vector>
 
 #include "src/kernel/syscalls.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
 #include "src/telemetry/bench_io.h"
 #include "src/telemetry/trace_export.h"
 #include "src/xp/scenario.h"
@@ -73,6 +87,7 @@ struct Flags {
   bool containers = false;
   bool event_api = false;
   int clients = 16;
+  long long bench_events = 0;
   int persistent = 1;
   std::uint32_t doc_bytes = 1024;
   int cgi = 0;
@@ -130,6 +145,94 @@ int Usage() {
   return 2;
 }
 
+// Source address for static client `i`: 250 hosts per /24, /24 blocks
+// filling 10.1/16 first (the historical layout for counts up to ~64000),
+// then spilling into 10.2/16, 10.3/16, ... so arbitrarily large client
+// populations stay unique. Collides with the CGI block (10.3/16) only past
+// ~128k static clients and the flooder prefix (10.99/16) past ~6.1M.
+net::Addr StaticClientAddr(int i) {
+  const std::uint32_t block = static_cast<std::uint32_t>(i) / 250;
+  return net::Addr{net::MakeAddr(10, 1 + block / 256, block % 256, 0).v +
+                   static_cast<std::uint32_t>(i) % 250 + 1};
+}
+
+// --bench-events: the bench_engine timer workload (wheel backend) driven
+// from the CLI. Each client keeps one live timer (mixed HTTP-like gaps) and
+// one mostly-canceled 30 ms timeout; callbacks are trivial so the number
+// isolates the event core.
+class EngineBench {
+ public:
+  EngineBench(int clients, std::uint64_t seed)
+      : rng_(seed), clients_(static_cast<std::size_t>(clients)) {
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      Arm(i, 0);
+    }
+  }
+
+  sim::SimTime RunEvents(long long total) {
+    sim::SimTime now = 0;
+    while (queue_.dispatched() < static_cast<std::uint64_t>(total) && !queue_.empty()) {
+      now = queue_.RunNext();
+    }
+    return now;
+  }
+
+  const sim::EventQueue& queue() const { return queue_; }
+
+ private:
+  struct Client {
+    sim::EventHandle timeout;
+    sim::SimTime fire_at = 0;
+  };
+
+  sim::Duration NextDelay() {
+    const std::uint64_t shape = rng_.NextU64() % 100;
+    if (shape < 70) {
+      return static_cast<sim::Duration>(100 + rng_.NextU64() % 400);
+    }
+    return static_cast<sim::Duration>(10'000 + rng_.NextU64() % 190'000);
+  }
+
+  void Arm(std::size_t i, sim::SimTime now) {
+    Client& c = clients_[i];
+    c.timeout.Cancel();
+    c.timeout = queue_.Schedule(now + 30'000, [] {});
+    c.fire_at = now + NextDelay();
+    queue_.Schedule(c.fire_at, [this, i] { Arm(i, clients_[i].fire_at); });
+  }
+
+  sim::EventQueue queue_;
+  sim::Rng rng_;
+  std::vector<Client> clients_;
+};
+
+int RunEngineBench(const Flags& flags, int argc, char** argv) {
+  telemetry::BenchReport bench("rcsim", argc, argv);
+  const auto start = std::chrono::steady_clock::now();
+  EngineBench b(flags.clients, flags.seed);
+  const sim::SimTime end_sim = b.RunEvents(flags.bench_events);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double events_per_sec = static_cast<double>(b.queue().dispatched()) / wall;
+  const double sim_seconds = static_cast<double>(end_sim) / 1e6;
+  const double wall_per_sim = sim_seconds > 0 ? wall / sim_seconds : 0;
+  std::printf("engine bench: clients=%d events=%llu wall=%.2fs\n", flags.clients,
+              static_cast<unsigned long long>(b.queue().dispatched()), wall);
+  std::printf("  events/sec       %12.0f\n", events_per_sec);
+  std::printf("  wall per sim-sec %12.3f s\n", wall_per_sim);
+  std::printf("  canceled         %12llu\n",
+              static_cast<unsigned long long>(b.queue().canceled()));
+  const std::string config = "engine,clients=" + std::to_string(flags.clients) +
+                             ",events=" + std::to_string(flags.bench_events);
+  bench.Add("events_per_sec", events_per_sec, "events/s", config);
+  bench.Add("wall_per_sim_sec", wall_per_sim, "s/sim-s", config);
+  if (!bench.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", bench.path().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +248,8 @@ int main(int argc, char** argv) {
       flags.event_api = true;
     } else if (ParseFlag(a, "--clients", &value)) {
       flags.clients = std::atoi(value.c_str());
+    } else if (ParseFlag(a, "--bench-events", &value)) {
+      flags.bench_events = std::atoll(value.c_str());
     } else if (ParseFlag(a, "--persistent", &value)) {
       flags.persistent = std::atoi(value.c_str());
     } else if (ParseFlag(a, "--doc-bytes", &value)) {
@@ -195,6 +300,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return Usage();
     }
+  }
+
+  if (flags.bench_events > 0) {
+    return RunEngineBench(flags, argc, argv);
   }
 
   xp::ScenarioOptions options;
@@ -278,8 +387,7 @@ int main(int argc, char** argv) {
 
   for (int i = 0; i < flags.clients; ++i) {
     load::HttpClient::Config cfg;
-    cfg.addr = net::Addr{net::MakeAddr(10, 1, static_cast<unsigned>(i / 250), 0).v +
-                         static_cast<std::uint32_t>(i % 250) + 1};
+    cfg.addr = StaticClientAddr(i);
     cfg.requests_per_conn = flags.persistent;
     cfg.doc_id = 2;
     cfg.response_bytes = flags.doc_bytes;
