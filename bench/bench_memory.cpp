@@ -1,0 +1,333 @@
+// Memory-scheduling benchmark: the memory share tree under pressure.
+//
+// Two scenarios on an 8 MiB machine (kernel_config.memory_bytes):
+//
+//   squeeze   — a latency tenant holds a working set equal to its guaranteed
+//               resident bytes (fixed memory share 0.25) in the file cache;
+//               a cache-hog tenant then streams 4x machine capacity through
+//               the same cache. The broker must satisfy the hog by evicting
+//               the hog's own LRU documents (over-entitlement first, then
+//               unprotected bytes) and the latency tenant's resident bytes
+//               must never dip below its guarantee — sampled after every
+//               insert batch, the minimum is the headline number.
+//
+//   admission — a hostile tenant grabs *non-reclaimable* connection memory
+//               until refused; a paying tenant (fixed memory share 0.5) then
+//               claims its full guarantee. The guarantee reservation must
+//               have held the hostile tenant at capacity - guarantee, so the
+//               paying tenant sees zero refusals.
+//
+// Both scenarios run with the charge auditor attached, so every epoch also
+// proves resident-byte conservation end to end.
+//
+// Records the results into BENCH_memory.json (--metrics-out). The invariant
+// gates (min resident >= guarantee, zero paying refusals, reclaim actually
+// ran) fail the binary directly; --check-against=FILE additionally compares
+// the deterministic ratios against a committed baseline with --tolerance
+// (default 5%).
+//
+// Flags: --capacity-mib=N (default 8), --metrics-out[=FILE],
+//        --check-against=FILE, --tolerance=F.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/telemetry/bench_io.h"
+#include "src/telemetry/json.h"
+#include "src/xp/scenario.h"
+#include "src/xp/table.h"
+
+namespace {
+
+constexpr std::int64_t kMiB = 1024 * 1024;
+
+rc::ContainerRef MakeTenant(xp::Scenario& scenario, const std::string& name,
+                            double memory_share) {
+  rc::Attributes a;
+  if (memory_share > 0) {
+    a.memory.override_sched = true;
+    a.memory.sched.cls = rc::SchedClass::kFixedShare;
+    a.memory.sched.fixed_share = memory_share;
+  }
+  return scenario.kernel().containers().Create(nullptr, name, a).value();
+}
+
+xp::ScenarioOptions MemoryOptions(std::int64_t capacity) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.kernel_config.memory_bytes = capacity;
+  options.audit = true;
+  options.telemetry = true;
+  return options;
+}
+
+struct SqueezeResult {
+  std::int64_t guarantee = 0;
+  std::int64_t min_resident = 0;
+  std::uint64_t docs_survived = 0;   // of kLatencyDocs
+  std::uint64_t reclaim_evictions = 0;
+  std::int64_t reclaimed_bytes = 0;
+  std::uint64_t latency_refusals = 0;
+  std::uint64_t hog_refusals = 0;
+};
+
+constexpr std::uint32_t kLatencyDocs = 64;
+
+SqueezeResult RunSqueeze(std::int64_t capacity) {
+  xp::Scenario scenario(MemoryOptions(capacity));
+  rc::ContainerRef latency = MakeTenant(scenario, "latency", 0.25);
+  rc::ContainerRef hog = MakeTenant(scenario, "hog", 0.0);
+
+  SqueezeResult r;
+  r.guarantee = scenario.kernel().memory().GuaranteeBytes(*latency);
+
+  // The latency tenant's working set fills its guarantee exactly.
+  const auto doc_bytes = static_cast<std::uint32_t>(r.guarantee / kLatencyDocs);
+  for (std::uint32_t i = 0; i < kLatencyDocs; ++i) {
+    scenario.cache().Insert(1000 + i, doc_bytes, latency);
+  }
+  r.min_resident = latency->usage().memory_bytes;
+
+  // The hog streams 4x machine capacity through the cache in 64 KiB
+  // documents; every insert beyond its entitlement forces a reclaim pass.
+  const auto hog_docs = static_cast<int>(4 * capacity / (64 * 1024));
+  for (int i = 0; i < hog_docs; ++i) {
+    scenario.cache().Insert(100000 + static_cast<std::uint32_t>(i), 64 * 1024, hog);
+    if ((i & 15) == 0) {
+      scenario.RunFor(sim::Msec(1));  // epoch sampling + conservation audit
+      r.min_resident = std::min(r.min_resident, latency->usage().memory_bytes);
+    }
+  }
+  scenario.RunFor(sim::Msec(10));
+  r.min_resident = std::min(r.min_resident, latency->usage().memory_bytes);
+  for (std::uint32_t i = 0; i < kLatencyDocs; ++i) {
+    if (scenario.cache().Lookup(1000 + i).has_value()) {
+      ++r.docs_survived;
+    }
+  }
+  r.reclaim_evictions = scenario.cache().reclaim_evictions();
+  r.reclaimed_bytes = scenario.kernel().memory().stats().reclaimed_bytes;
+  r.latency_refusals = latency->usage().memory_refusals;
+  r.hog_refusals = hog->usage().memory_refusals;
+  return r;
+}
+
+struct AdmissionResult {
+  std::int64_t guarantee = 0;
+  std::int64_t hostile_admitted = 0;
+  std::uint64_t hostile_refusals = 0;
+  std::int64_t paying_resident = 0;
+  std::uint64_t paying_refusals = 0;
+};
+
+AdmissionResult RunAdmission(std::int64_t capacity) {
+  xp::Scenario scenario(MemoryOptions(capacity));
+  rc::ContainerRef paying = MakeTenant(scenario, "paying", 0.5);
+  rc::ContainerRef hostile = MakeTenant(scenario, "hostile", 0.0);
+
+  AdmissionResult r;
+  r.guarantee = scenario.kernel().memory().GuaranteeBytes(*paying);
+
+  // Hostile pressure: non-reclaimable memory (the connection-memory shape —
+  // kOther rather than kConnection, because the auditor pins kConnection to
+  // the stack's own counter), grabbed until the broker refuses. Nothing of
+  // it is in any reclaimer, so only the guarantee reservation can stop it.
+  const std::int64_t chunk = 64 * 1024;
+  while (hostile->ChargeMemory(chunk, rc::MemorySource::kOther).ok()) {
+    r.hostile_admitted += chunk;
+    if (r.hostile_admitted > 2 * capacity) {
+      break;  // defensive: admission control failed open
+    }
+  }
+  r.hostile_refusals = hostile->usage().memory_refusals;
+  scenario.RunFor(sim::Msec(1));
+
+  // The paying tenant claims its full guarantee after the hostile tenant
+  // already squatted on everything else.
+  std::int64_t claimed = 0;
+  while (claimed < r.guarantee &&
+         paying->ChargeMemory(chunk, rc::MemorySource::kOther).ok()) {
+    claimed += chunk;
+  }
+  r.paying_resident = paying->usage().memory_bytes;
+  r.paying_refusals = paying->usage().memory_refusals;
+  scenario.RunFor(sim::Msec(1));
+
+  hostile->ReleaseMemory(r.hostile_admitted, rc::MemorySource::kOther);
+  paying->ReleaseMemory(claimed, rc::MemorySource::kOther);
+  return r;
+}
+
+// Returns the value of `metric` for the entry whose config starts with
+// `config_prefix`, or -1 when absent.
+double BaselineValue(const telemetry::JsonValue& doc, const std::string& metric,
+                     const std::string& config_prefix) {
+  if (!doc.is_array()) {
+    return -1;
+  }
+  for (const telemetry::JsonValue& e : doc.array) {
+    if (e.StringOr("metric", "") == metric &&
+        e.StringOr("config", "").rfind(config_prefix, 0) == 0) {
+      return e.NumberOr("value", -1);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("memory", argc, argv);
+
+  std::int64_t capacity_mib = 8;
+  std::string check_against;
+  double tolerance = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--capacity-mib=", 15) == 0) {
+      capacity_mib = std::atoll(a + 15);
+    } else if (std::strncmp(a, "--check-against=", 16) == 0) {
+      check_against = a + 16;
+    } else if (std::strncmp(a, "--tolerance=", 12) == 0) {
+      tolerance = std::atof(a + 12);
+    }
+  }
+  const std::int64_t capacity = capacity_mib * kMiB;
+
+  std::printf("=== memory scheduling: %lld MiB machine, audited ===\n\n",
+              static_cast<long long>(capacity_mib));
+
+  const SqueezeResult sq = RunSqueeze(capacity);
+  const AdmissionResult ad = RunAdmission(capacity);
+
+  const double min_over_guarantee =
+      sq.guarantee > 0 ? static_cast<double>(sq.min_resident) /
+                             static_cast<double>(sq.guarantee)
+                       : 0;
+  const double survived_frac =
+      static_cast<double>(sq.docs_survived) / kLatencyDocs;
+  const double hostile_admitted_frac =
+      static_cast<double>(ad.hostile_admitted) /
+      static_cast<double>(capacity - ad.guarantee);
+
+  xp::Table table({"scenario", "measure", "value"});
+  table.AddRow({"squeeze", "guarantee (bytes)", std::to_string(sq.guarantee)});
+  table.AddRow({"squeeze", "min resident (bytes)", std::to_string(sq.min_resident)});
+  table.AddRow({"squeeze", "working-set docs survived",
+                std::to_string(sq.docs_survived) + "/" + std::to_string(kLatencyDocs)});
+  table.AddRow({"squeeze", "reclaim evictions", std::to_string(sq.reclaim_evictions)});
+  table.AddRow({"squeeze", "reclaimed (bytes)", std::to_string(sq.reclaimed_bytes)});
+  table.AddRow({"squeeze", "hog refusals", std::to_string(sq.hog_refusals)});
+  table.AddRow({"admission", "guarantee (bytes)", std::to_string(ad.guarantee)});
+  table.AddRow({"admission", "hostile admitted (bytes)",
+                std::to_string(ad.hostile_admitted)});
+  table.AddRow({"admission", "hostile refusals", std::to_string(ad.hostile_refusals)});
+  table.AddRow({"admission", "paying resident (bytes)",
+                std::to_string(ad.paying_resident)});
+  table.AddRow({"admission", "paying refusals", std::to_string(ad.paying_refusals)});
+  table.Print(std::cout);
+
+  const std::string cfg = "capacity_mib=" + std::to_string(capacity_mib);
+  report.Add("guarantee_bytes", static_cast<double>(sq.guarantee), "bytes",
+             "squeeze," + cfg);
+  report.Add("min_resident_bytes", static_cast<double>(sq.min_resident), "bytes",
+             "squeeze," + cfg);
+  report.Add("min_resident_over_guarantee", min_over_guarantee, "ratio",
+             "squeeze," + cfg);
+  report.Add("docs_survived_frac", survived_frac, "ratio", "squeeze," + cfg);
+  report.Add("reclaim_evictions", static_cast<double>(sq.reclaim_evictions),
+             "documents", "squeeze," + cfg);
+  report.Add("reclaimed_bytes", static_cast<double>(sq.reclaimed_bytes), "bytes",
+             "squeeze," + cfg);
+  report.Add("hostile_admitted_frac", hostile_admitted_frac, "ratio",
+             "admission," + cfg);
+  report.Add("hostile_refusals", static_cast<double>(ad.hostile_refusals),
+             "charges", "admission," + cfg);
+  report.Add("paying_refusals", static_cast<double>(ad.paying_refusals),
+             "charges", "admission," + cfg);
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
+
+  // Invariant gates: these hold by construction of the memory share tree, on
+  // any machine, so a violation is a correctness regression, not noise.
+  bool ok = true;
+  if (sq.min_resident < sq.guarantee) {
+    std::fprintf(stderr,
+                 "FAIL: latency tenant dipped below its guarantee (%lld < %lld)\n",
+                 static_cast<long long>(sq.min_resident),
+                 static_cast<long long>(sq.guarantee));
+    ok = false;
+  }
+  if (sq.docs_survived != kLatencyDocs) {
+    std::fprintf(stderr, "FAIL: reclaim evicted guaranteed working-set documents\n");
+    ok = false;
+  }
+  if (sq.reclaim_evictions == 0 || sq.reclaimed_bytes == 0) {
+    std::fprintf(stderr, "FAIL: hog pressure never triggered reclaim\n");
+    ok = false;
+  }
+  if (sq.latency_refusals != 0 || ad.paying_refusals != 0) {
+    std::fprintf(stderr, "FAIL: a guaranteed tenant was refused a charge\n");
+    ok = false;
+  }
+  if (ad.hostile_refusals == 0 || ad.hostile_admitted > capacity - ad.guarantee) {
+    std::fprintf(stderr, "FAIL: admission control failed to reserve the guarantee\n");
+    ok = false;
+  }
+  std::printf("\ninvariants (guarantee floor, reclaim ran, admission held): %s\n",
+              ok ? "OK" : "FAILED");
+  if (!ok) {
+    return 1;
+  }
+
+  if (!check_against.empty()) {
+    std::ifstream in(check_against);
+    if (!in) {
+      std::fprintf(stderr, "--check-against: cannot read %s\n", check_against.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto doc = telemetry::ParseJson(buf.str());
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "--check-against: %s is not valid JSON\n",
+                   check_against.c_str());
+      return 1;
+    }
+    bool gate_ok = true;
+    const struct {
+      const char* metric;
+      const char* prefix;
+      double value;
+    } gates[] = {
+        {"min_resident_over_guarantee", "squeeze", min_over_guarantee},
+        {"docs_survived_frac", "squeeze", survived_frac},
+        {"hostile_admitted_frac", "admission", hostile_admitted_frac},
+    };
+    for (const auto& g : gates) {
+      const double base = BaselineValue(*doc, g.metric, g.prefix);
+      if (base < 0) {
+        std::fprintf(stderr, "--check-against: no %s in %s\n", g.metric,
+                     check_against.c_str());
+        return 1;
+      }
+      const double floor = base * (1.0 - tolerance);
+      std::printf("baseline %s %.3f, floor %.3f: %s\n", g.metric, base, floor,
+                  g.value >= floor ? "OK" : "REGRESSED");
+      if (g.value < floor) {
+        gate_ok = false;
+      }
+    }
+    if (!gate_ok) {
+      return 1;
+    }
+  }
+  return 0;
+}

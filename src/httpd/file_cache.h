@@ -4,12 +4,19 @@
 // accounted.
 //
 // The cache's resident bytes are a server resource like any other
-// (Section 4.4: physical memory consumption belongs to a principal), so a
-// container can be attached: every cached byte is charged to it with
-// ChargeMemory and released on eviction. When a charge would exceed the
-// container's memory limit the cache evicts least-recently-used documents to
-// make room, and refuses the insert if eviction cannot free enough — memory
-// pressure degrades the hit rate instead of blowing the limit.
+// (Section 4.4: physical memory consumption belongs to a principal). Every
+// document is charged to a container — an explicit per-document owner, or
+// the cache's attached container by default — and released on eviction.
+// When a charge would exceed the owner's memory limit the cache evicts
+// least-recently-used documents to make room, and refuses the insert if
+// eviction cannot free enough: memory pressure degrades the hit rate
+// instead of blowing the limit.
+//
+// The cache is also the kernel's first rc::MemoryReclaimer: under machine
+// memory pressure the MemoryBroker asks it to evict LRU documents whose
+// *owning container* is over its share-tree entitlement, so a cache-hog
+// tenant's documents are evicted before anyone else's — not just the
+// attached container's.
 #ifndef SRC_HTTPD_FILE_CACHE_H_
 #define SRC_HTTPD_FILE_CACHE_H_
 
@@ -17,12 +24,14 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "src/rc/container.h"
+#include "src/rc/memory.h"
 
 namespace httpd {
 
-class FileCache {
+class FileCache : public rc::MemoryReclaimer {
  public:
   FileCache() = default;
   // `capacity_bytes` of 0 means unbounded (the default, and the paper's
@@ -30,29 +39,66 @@ class FileCache {
   explicit FileCache(std::int64_t capacity_bytes)
       : capacity_bytes_(capacity_bytes) {}
 
+  // Charges must not outlive the cache.
+  ~FileCache() override {
+    for (auto& [id, e] : docs_) {
+      if (e.charged_to) {
+        e.charged_to->ReleaseMemory(e.bytes, rc::MemorySource::kFileCache);
+      }
+    }
+  }
+
+  FileCache(const FileCache&) = delete;
+  FileCache& operator=(const FileCache&) = delete;
+
   void set_capacity_bytes(std::int64_t bytes) { capacity_bytes_ = bytes; }
 
-  // Attaches the container charged for resident bytes (normally the server's
-  // default container). Already-resident documents are charged immediately,
-  // evicting LRU entries if the container cannot hold them all.
+  // Attaches the container charged for documents without an explicit owner
+  // (normally the server's default container). Already-resident unowned
+  // documents are re-charged to it, evicting LRU unowned entries while the
+  // set does not fit. Gives up — leaving the remainder resident but
+  // uncharged-to-no-one only when empty — once no unowned document is left
+  // to charge or evict; the condition is explicit: unowned resident bytes
+  // have reached zero.
   void AttachContainer(rc::ContainerRef c) {
-    if (container_) {
-      container_->ReleaseMemory(resident_bytes_);
+    for (auto& [id, e] : docs_) {
+      if (!e.owner && e.charged_to) {
+        charged_bytes_ -= e.bytes;
+        e.charged_to->ReleaseMemory(e.bytes, rc::MemorySource::kFileCache);
+        e.charged_to = nullptr;
+      }
     }
     container_ = std::move(c);
     if (!container_) {
       return;
     }
-    while (!container_->ChargeMemory(resident_bytes_).ok()) {
-      if (lru_.empty()) {
-        return;  // nothing left to evict; cache is empty and uncharged
+    while (true) {
+      std::int64_t unowned = 0;
+      for (const auto& [id, e] : docs_) {
+        if (!e.owner) {
+          unowned += e.bytes;
+        }
       }
-      EvictOne(/*release=*/false);
+      if (unowned == 0) {
+        return;  // nothing left to charge (or evict): the explicit give-up
+      }
+      if (container_->ChargeMemory(unowned, rc::MemorySource::kFileCache).ok()) {
+        for (auto& [id, e] : docs_) {
+          if (!e.owner) {
+            e.charged_to = container_;
+          }
+        }
+        charged_bytes_ += unowned;
+        return;
+      }
+      if (!EvictLruUnowned()) {
+        return;  // defensive: positive unowned bytes but nothing evictable
+      }
     }
   }
 
   void AddDocument(std::uint32_t doc_id, std::uint32_t bytes) {
-    Put(doc_id, bytes);
+    Put(doc_id, bytes, nullptr);
   }
 
   // Returns the document size on a hit (and marks it most recently used).
@@ -68,11 +114,46 @@ class FileCache {
   }
 
   // A miss is followed by an insert (the "disk read" populated the cache).
-  void Insert(std::uint32_t doc_id, std::uint32_t bytes) { Put(doc_id, bytes); }
+  // The owner defaults to the attached container; multi-tenant callers pass
+  // the tenant whose activity brought the document in.
+  void Insert(std::uint32_t doc_id, std::uint32_t bytes,
+              rc::ContainerRef owner = nullptr) {
+    Put(doc_id, bytes, std::move(owner));
+  }
+
+  // --- rc::MemoryReclaimer --------------------------------------------
+
+  // Evicts least-recently-used documents whose paying container satisfies
+  // `victim`, until `want` bytes are freed or no candidate remains. The
+  // predicate runs per eviction, so reclaim stops the moment the victim
+  // drops back inside its entitlement.
+  std::int64_t ReclaimMemory(std::int64_t want, const VictimFn& victim) override {
+    std::int64_t freed = 0;
+    auto it = lru_.end();
+    while (it != lru_.begin() && freed < want) {
+      auto cur = std::prev(it);
+      auto dit = docs_.find(*cur);
+      const Entry& e = dit->second;
+      if (e.charged_to && victim(*e.charged_to)) {
+        freed += e.bytes;
+        ++evictions_;
+        ++reclaim_evictions_;
+        Erase(dit);  // invalidates only `cur`; `it` keeps our position
+      } else {
+        it = cur;
+      }
+    }
+    return freed;
+  }
+
+  std::int64_t ReclaimableBytes() const override { return charged_bytes_; }
+
+  // --- Introspection ---------------------------------------------------
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t reclaim_evictions() const { return reclaim_evictions_; }
   std::size_t size() const { return docs_.size(); }
   std::int64_t resident_bytes() const { return resident_bytes_; }
 
@@ -80,49 +161,91 @@ class FileCache {
   struct Entry {
     std::uint32_t bytes = 0;
     std::list<std::uint32_t>::iterator lru_it;
+    rc::ContainerRef owner;       // requested owner; null = attached container
+    rc::ContainerRef charged_to;  // who actually holds the charge; null = none
   };
 
-  void Put(std::uint32_t doc_id, std::uint32_t bytes) {
+  void Put(std::uint32_t doc_id, std::uint32_t bytes, rc::ContainerRef owner) {
     if (auto it = docs_.find(doc_id); it != docs_.end()) {
-      Erase(it, /*release=*/true);
+      Erase(it);
     }
-    // Evict for the byte budget first, then for the container's memory
-    // limit; give up (serve uncached) when the document can never fit.
+    // Evict for the byte budget first, then for the payer's memory limit;
+    // give up (serve uncached) when the document can never fit. No iterator
+    // is held across ChargeMemory: the broker may re-enter this cache to
+    // reclaim mid-charge.
     if (capacity_bytes_ > 0) {
       if (static_cast<std::int64_t>(bytes) > capacity_bytes_) {
         return;
       }
       while (resident_bytes_ + bytes > capacity_bytes_) {
-        EvictOne(/*release=*/true);
+        EvictOne();
       }
     }
-    if (container_) {
-      while (!container_->ChargeMemory(bytes).ok()) {
-        if (lru_.empty()) {
+    // On refusal, make room by evicting the *payer's own* LRU documents —
+    // never another tenant's (the broker already reclaimed whatever policy
+    // allows; raiding a guaranteed tenant's documents here would subvert
+    // it). Give up (serve uncached) once the payer has nothing left cached.
+    rc::ContainerRef payer = owner ? owner : container_;
+    if (payer) {
+      while (!payer->ChargeMemory(bytes, rc::MemorySource::kFileCache).ok()) {
+        if (!EvictLruChargedTo(payer)) {
           return;
         }
-        EvictOne(/*release=*/true);
       }
+      charged_bytes_ += bytes;
     }
     lru_.push_front(doc_id);
-    docs_[doc_id] = Entry{bytes, lru_.begin()};
+    Entry e;
+    e.bytes = bytes;
+    e.lru_it = lru_.begin();
+    e.owner = std::move(owner);
+    e.charged_to = std::move(payer);
+    docs_[doc_id] = std::move(e);
     resident_bytes_ += bytes;
   }
 
-  // `release` is false only while AttachContainer is retrying a bulk charge
-  // (the bytes being evicted were never successfully charged).
-  void EvictOne(bool release) {
+  void EvictOne() {
     auto it = docs_.find(lru_.back());
-    Erase(it, release);
+    Erase(it);
     ++evictions_;
   }
 
-  void Erase(std::unordered_map<std::uint32_t, Entry>::iterator it, bool release) {
-    resident_bytes_ -= it->second.bytes;
-    if (release && container_) {
-      container_->ReleaseMemory(it->second.bytes);
+  // Evicts the least-recently-used document charged to `payer`; false when
+  // none exists (Put's give-up signal on a refused charge).
+  bool EvictLruChargedTo(const rc::ContainerRef& payer) {
+    for (auto lit = lru_.rbegin(); lit != lru_.rend(); ++lit) {
+      auto it = docs_.find(*lit);
+      if (it->second.charged_to == payer) {
+        Erase(it);
+        ++evictions_;
+        return true;
+      }
     }
-    lru_.erase(it->second.lru_it);
+    return false;
+  }
+
+  // Evicts the least-recently-used document with no explicit owner; false
+  // when none exists (AttachContainer's give-up signal).
+  bool EvictLruUnowned() {
+    for (auto lit = lru_.rbegin(); lit != lru_.rend(); ++lit) {
+      auto it = docs_.find(*lit);
+      if (!it->second.owner) {
+        Erase(it);
+        ++evictions_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Erase(std::unordered_map<std::uint32_t, Entry>::iterator it) {
+    Entry& e = it->second;
+    resident_bytes_ -= e.bytes;
+    if (e.charged_to) {
+      charged_bytes_ -= e.bytes;
+      e.charged_to->ReleaseMemory(e.bytes, rc::MemorySource::kFileCache);
+    }
+    lru_.erase(e.lru_it);
     docs_.erase(it);
   }
 
@@ -130,10 +253,12 @@ class FileCache {
   std::unordered_map<std::uint32_t, Entry> docs_;
   std::int64_t capacity_bytes_ = 0;  // 0 = unbounded
   std::int64_t resident_bytes_ = 0;
+  std::int64_t charged_bytes_ = 0;  // resident bytes some container pays for
   rc::ContainerRef container_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t reclaim_evictions_ = 0;
 };
 
 }  // namespace httpd

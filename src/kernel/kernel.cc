@@ -37,6 +37,10 @@ Kernel::Kernel(sim::Simulator* simulator, KernelConfig config)
     : simr_(simulator), config_(config) {
   const int ncpus = std::max(1, config_.cpus);
   config_.cpus = ncpus;
+  // Install the memory arbiter before anything can charge bytes, so every
+  // memory charge in a kernel-owned hierarchy flows through one broker.
+  memory_broker_ =
+      std::make_unique<MemoryBroker>(&containers_, config_.memory_bytes);
   // One policy instance per CPU; on a uniprocessor the single instance is
   // wired directly to the engine (no sharding layer on the hot path).
   auto make_policy = [this, ncpus]() -> std::unique_ptr<CpuScheduler> {
@@ -249,12 +253,14 @@ void Kernel::AttachTelemetry(telemetry::Registry* registry) {
                      [this] { return static_cast<double>(containers_.live_count()); });
   registry->AddProbe("kernel.processes", "processes",
                      [this] { return static_cast<double>(processes_.size()); });
+  memory_broker_->RegisterMetrics(registry);
 }
 
 void Kernel::AttachAuditor(verify::ChargeAuditor* auditor) {
   auditor_ = auditor;
   disk_->set_auditor(auditor);
   link_->set_auditor(auditor);
+  memory_broker_->set_auditor(auditor);
   if (auditor != nullptr) {
     auditor->ObserveHierarchy(&containers_);
   }
@@ -293,7 +299,14 @@ std::vector<std::string> Kernel::AuditCheck() const {
     d.idle = d.wallclock - d.busy;
     devices.push_back(d);
   }
-  return auditor_->Check(samples, devices);
+  // Resident-byte conservation: the broker's running total must equal what
+  // the kernel objects actually hold (reclaimable cache bytes + connection
+  // bytes + everything charged directly).
+  verify::ChargeAuditor::MemorySample memory;
+  memory.broker_resident = memory_broker_->total_bytes();
+  memory.cache_resident = memory_broker_->ReclaimableBytes();
+  memory.connection_bytes = stack_->connection_memory_bytes();
+  return auditor_->Check(samples, devices, &memory);
 }
 
 void Kernel::FlushResourceCharges() {

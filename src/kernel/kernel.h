@@ -15,6 +15,7 @@
 #include "src/disk/disk_engine.h"
 #include "src/kernel/cost_model.h"
 #include "src/kernel/cpu_engine.h"
+#include "src/kernel/memory_broker.h"
 #include "src/kernel/process.h"
 #include "src/kernel/scheduler.h"
 #include "src/kernel/sharded_scheduler.h"
@@ -56,6 +57,10 @@ struct KernelConfig {
   // Outbound-link rate in Mbps; 0 disables the transmit-link model (packets
   // pass through unscheduled, matching the pre-link behaviour exactly).
   double link_mbps = 0.0;
+  // Machine physical memory in bytes; 0 disables the memory broker's
+  // capacity/guarantee/reclaim machinery, leaving pure hierarchical limits
+  // (the pre-broker behaviour exactly).
+  std::int64_t memory_bytes = 0;
 };
 
 // Canonical configurations matching the paper's four evaluated systems.
@@ -76,6 +81,8 @@ class Kernel : public net::StackEnv {
   net::Stack& stack() { return *stack_; }
   disk::DiskEngine& disk() { return *disk_; }
   net::LinkScheduler& link() { return *link_; }
+  MemoryBroker& memory() { return *memory_broker_; }
+  const MemoryBroker& memory() const { return *memory_broker_; }
   // The multiprocessor, and (for uniprocessor-era call sites) CPU 0.
   SmpEngine& smp() { return *smp_; }
   CpuEngine& cpu() { return smp_->engine(0); }
@@ -233,6 +240,10 @@ class Kernel : public net::StackEnv {
   sim::Simulator* const simr_;
   KernelConfig config_;
   rc::ContainerManager containers_;
+  // Declared right after containers_ so it is destroyed after the stack and
+  // devices (their teardown releases memory through the live broker) but
+  // before the manager it deregisters from.
+  std::unique_ptr<MemoryBroker> memory_broker_;
   // cpus == 1: `sched_` is the policy, wired straight to the single engine
   // (bit-identical to the uniprocessor code path). cpus > 1: `sharded_` owns
   // one policy instance per CPU. `active_sched_` points at whichever is live.

@@ -1,0 +1,243 @@
+#include "src/kernel/memory_broker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/telemetry/registry.h"
+#include "src/verify/audit.h"
+
+namespace kernel {
+
+using rccommon::Errc;
+using rccommon::Expected;
+using rccommon::MakeUnexpected;
+
+namespace {
+
+sched::ShareTreeOptions SpaceOptions(std::int64_t capacity_bytes) {
+  sched::ShareTreeOptions options;
+  options.resource = rc::ResourceKind::kMemory;
+  options.space_shared = true;
+  options.capacity_bytes = capacity_bytes;
+  return options;
+}
+
+}  // namespace
+
+MemoryBroker::MemoryBroker(rc::ContainerManager* manager,
+                           std::int64_t capacity_bytes)
+    : manager_(manager), tree_(manager, SpaceOptions(capacity_bytes)) {
+  manager_->set_memory_arbiter(this);
+}
+
+MemoryBroker::~MemoryBroker() {
+  if (manager_->memory_arbiter() == this) {
+    manager_->set_memory_arbiter(nullptr);
+  }
+}
+
+void MemoryBroker::RegisterReclaimer(rc::MemoryReclaimer* reclaimer) {
+  RC_CHECK_NE(reclaimer, nullptr);
+  reclaimers_.push_back(reclaimer);
+}
+
+std::int64_t MemoryBroker::ReclaimableBytes() const {
+  std::int64_t sum = 0;
+  for (const rc::MemoryReclaimer* r : reclaimers_) {
+    sum += r->ReclaimableBytes();
+  }
+  return sum;
+}
+
+bool MemoryBroker::OverEntitled(const rc::ResourceContainer& c) const {
+  // A container is a first-round reclaim victim when its subtree — or any
+  // enclosing subtree — holds more than its demand-weighted entitlement.
+  for (const rc::ResourceContainer* p = &c; p->parent() != nullptr;
+       p = p->parent()) {
+    if (p->subtree_memory_bytes() > tree_.EntitlementBytes(*p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MemoryBroker::WithinGuarantee(const rc::ResourceContainer& c) const {
+  // Protected from the second round when some self-or-ancestor holds a
+  // positive guarantee that still covers its resident bytes.
+  for (const rc::ResourceContainer* p = &c; p->parent() != nullptr;
+       p = p->parent()) {
+    const std::int64_t g = tree_.GuaranteeBytes(*p);
+    if (g > 0 && p->subtree_memory_bytes() <= g) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t MemoryBroker::AvailableFor(const rc::ResourceContainer& c) const {
+  const std::int64_t capacity = tree_.capacity_bytes();
+  // The charger's top-level ancestor draws on its own reservation freely;
+  // every *other* top-level tenant's unmet guarantee is held back from it.
+  const rc::ResourceContainer* top = &c;
+  while (top->parent() != nullptr && !top->parent()->is_root()) {
+    top = top->parent();
+  }
+  std::int64_t reserved = 0;
+  manager_->root()->ForEachChild([&](rc::ResourceContainer& tenant) {
+    if (&tenant == top) {
+      return;
+    }
+    reserved += std::max<std::int64_t>(
+        0, tree_.GuaranteeBytes(tenant) - tenant.subtree_memory_bytes());
+  });
+  return capacity - total_ - reserved;
+}
+
+std::int64_t MemoryBroker::Reclaim(std::int64_t want,
+                                   const rc::MemoryReclaimer::VictimFn& victim) {
+  ++stats_.reclaim_invocations;
+  in_reclaim_ = true;
+  std::int64_t freed = 0;
+  for (rc::MemoryReclaimer* r : reclaimers_) {
+    if (freed >= want) {
+      break;
+    }
+    freed += r->ReclaimMemory(want - freed, victim);
+  }
+  in_reclaim_ = false;
+  return freed;
+}
+
+std::int64_t MemoryBroker::ReclaimOverEntitled(std::int64_t want) {
+  std::int64_t freed = 0;
+  // Subtrees that yielded nothing this round (their bytes are outside every
+  // reclaimer) are skipped when picking the next worst offender. Candidates
+  // are the top-level tenants: round 1 arbitrates machine capacity between
+  // them (matching AvailableFor's reservation granularity), and scanning
+  // only the root's children keeps a reclaim pass cheap no matter how many
+  // per-connection containers are live inside the tenants.
+  std::vector<const rc::ResourceContainer*> barren;
+  while (freed < want) {
+    const rc::ResourceContainer* worst = nullptr;
+    std::int64_t worst_ent = 0;
+    double worst_ratio = 1.0;  // only strictly over-entitled subtrees qualify
+    tree_.ForEachOccupyingTopLevel([&](rc::ResourceContainer& t,
+                                       std::int64_t held, std::int64_t ent) {
+      if (held <= ent) {
+        return;
+      }
+      if (std::find(barren.begin(), barren.end(), &t) != barren.end()) {
+        return;
+      }
+      const double ratio = ent > 0 ? static_cast<double>(held) / static_cast<double>(ent)
+                                   : std::numeric_limits<double>::infinity();
+      if (worst == nullptr || ratio > worst_ratio) {
+        worst_ratio = ratio;
+        worst = &t;
+        worst_ent = ent;
+      }
+    });
+    if (worst == nullptr) {
+      break;
+    }
+    // The predicate stops the pass the moment `worst` is back inside its
+    // entitlement, so reclaim never digs a victim below it. Only `worst`'s
+    // subtree loses bytes during the pass, so every sibling's occupancy — and
+    // with it `worst`'s entitlement — is invariant: the bound is computed
+    // once, keeping each victim check O(depth).
+    const std::int64_t got =
+        Reclaim(want - freed, [worst, worst_ent](const rc::ResourceContainer& v) {
+          if (worst->subtree_memory_bytes() <= worst_ent) {
+            return false;
+          }
+          for (const rc::ResourceContainer* p = &v; p != nullptr; p = p->parent()) {
+            if (p == worst) {
+              return true;
+            }
+          }
+          return false;
+        });
+    if (got == 0) {
+      barren.push_back(worst);
+    } else {
+      freed += got;
+    }
+  }
+  return freed;
+}
+
+Expected<void> MemoryBroker::ChargeMemory(rc::ResourceContainer& c,
+                                          std::int64_t bytes,
+                                          rc::MemorySource source) {
+  RC_CHECK_GE(bytes, 0);
+  if (auto v = tree_.CheckSpaceCharge(c, bytes); !v.ok()) {
+    c.CountMemoryRefusal();
+    ++stats_.refusals;
+    return v;
+  }
+  if (tree_.capacity_bytes() > 0 && bytes > AvailableFor(c)) {
+    // Round 1: evict from containers holding more than their entitlement,
+    // worst offender first.
+    ReclaimOverEntitled(bytes - AvailableFor(c));
+    if (bytes > AvailableFor(c)) {
+      // Round 2: evict anything no guarantee protects.
+      Reclaim(bytes - AvailableFor(c), [this](const rc::ResourceContainer& v) {
+        return !WithinGuarantee(v);
+      });
+    }
+    if (bytes > AvailableFor(c)) {
+      c.CountMemoryRefusal();
+      ++stats_.refusals;
+      return MakeUnexpected(Errc::kLimitExceeded);
+    }
+  }
+  total_ += bytes;
+  by_source_[static_cast<int>(source)] += bytes;
+  c.CommitMemoryCharge(bytes);
+  if (auditor_ != nullptr) {
+    auditor_->OnMemoryCharge(c, bytes, source);
+  }
+  return {};
+}
+
+void MemoryBroker::ReleaseMemory(rc::ResourceContainer& c, std::int64_t bytes,
+                                 rc::MemorySource source) {
+  RC_CHECK_GE(bytes, 0);
+  RC_CHECK_GE(total_, bytes);
+  total_ -= bytes;
+  by_source_[static_cast<int>(source)] -= bytes;
+  RC_DCHECK(by_source_[static_cast<int>(source)] >= 0);
+  c.CommitMemoryRelease(bytes);
+  if (auditor_ != nullptr) {
+    auditor_->OnMemoryRelease(c, bytes, source);
+  }
+  if (in_reclaim_) {
+    // This release was forced by the eviction pass currently running: book
+    // it as reclaim against the victim.
+    c.CountMemoryReclaim(bytes);
+    stats_.reclaimed_bytes += bytes;
+  }
+}
+
+void MemoryBroker::RegisterMetrics(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->AddProbe("memory.broker.total_bytes", "bytes",
+                     [this] { return static_cast<double>(total_); });
+  registry->AddProbe("memory.broker.capacity_bytes", "bytes", [this] {
+    return static_cast<double>(tree_.capacity_bytes());
+  });
+  registry->AddProbe("memory.broker.reclaimable_bytes", "bytes", [this] {
+    return static_cast<double>(ReclaimableBytes());
+  });
+  registry->AddProbe("memory.broker.reclaimed_bytes", "bytes", [this] {
+    return static_cast<double>(stats_.reclaimed_bytes);
+  });
+  registry->AddProbe("memory.broker.refusals", "charges", [this] {
+    return static_cast<double>(stats_.refusals);
+  });
+}
+
+}  // namespace kernel

@@ -1,0 +1,123 @@
+// MemoryBroker: the kernel's physical-memory arbiter. Every
+// ResourceContainer::ChargeMemory/ReleaseMemory in a kernel-owned hierarchy
+// routes here (installed on the ContainerManager as its rc::MemoryArbiter).
+//
+// Policy is the space-shared instantiation of sched::ShareTree over
+// ResourceKind::kMemory: hierarchical byte/fraction limits, per-container
+// entitlements (capacity split down the tree by memory shares), and
+// guarantees (demand-independent resident-byte floors from fixed shares).
+// The broker converts that policy into action:
+//
+//   * a charge that violates an ancestor limit is refused outright;
+//   * a charge that does not fit — machine capacity minus what is resident
+//     minus what is *reserved* for other tenants' unmet guarantees — first
+//     triggers reclaim from registered reclaimers (the file cache), evicting
+//     LRU state of over-entitled containers, then of containers holding
+//     bytes no guarantee protects; if the deficit survives both rounds the
+//     charge is refused (admission control — this is how non-reclaimable
+//     connection memory is kept from squeezing a paying tenant's guarantee).
+//
+// With capacity_bytes == 0 (the default KernelConfig) the broker is inert
+// policy-wise: only the hierarchical limits the legacy ChargeMemory walk
+// enforced apply, entitlements and guarantees are zero, and reclaim never
+// triggers — runs that set no memory policy behave digit-identically.
+#ifndef SRC_KERNEL_MEMORY_BROKER_H_
+#define SRC_KERNEL_MEMORY_BROKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/expected.h"
+#include "src/rc/manager.h"
+#include "src/rc/memory.h"
+#include "src/sched/share_tree.h"
+
+namespace telemetry {
+class Registry;
+}  // namespace telemetry
+
+namespace verify {
+class ChargeAuditor;
+}  // namespace verify
+
+namespace kernel {
+
+class MemoryBroker : public rc::MemoryArbiter {
+ public:
+  MemoryBroker(rc::ContainerManager* manager, std::int64_t capacity_bytes);
+  ~MemoryBroker() override;
+
+  MemoryBroker(const MemoryBroker&) = delete;
+  MemoryBroker& operator=(const MemoryBroker&) = delete;
+
+  // --- rc::MemoryArbiter ----------------------------------------------
+  rccommon::Expected<void> ChargeMemory(rc::ResourceContainer& c,
+                                        std::int64_t bytes,
+                                        rc::MemorySource source) override;
+  void ReleaseMemory(rc::ResourceContainer& c, std::int64_t bytes,
+                     rc::MemorySource source) override;
+
+  // Registers a holder of reclaimable memory. Reclaimers are polled in
+  // registration order and must outlive the broker's last reclaim (they
+  // deregister by the owner tearing them down before the kernel).
+  void RegisterReclaimer(rc::MemoryReclaimer* reclaimer);
+
+  void set_auditor(verify::ChargeAuditor* auditor) { auditor_ = auditor; }
+  void RegisterMetrics(telemetry::Registry* registry);
+
+  // --- Policy introspection -------------------------------------------
+  std::int64_t capacity_bytes() const { return tree_.capacity_bytes(); }
+  std::int64_t total_bytes() const { return total_; }
+  std::int64_t GuaranteeBytes(const rc::ResourceContainer& c) const {
+    return tree_.GuaranteeBytes(c);
+  }
+  std::int64_t EntitlementBytes(const rc::ResourceContainer& c) const {
+    return tree_.EntitlementBytes(c);
+  }
+  // Bytes registered reclaimers currently hold (evictable upper bound).
+  std::int64_t ReclaimableBytes() const;
+  std::int64_t BytesForSource(rc::MemorySource source) const {
+    return by_source_[static_cast<int>(source)];
+  }
+
+  struct Stats {
+    std::uint64_t reclaim_invocations = 0;
+    std::int64_t reclaimed_bytes = 0;
+    std::uint64_t refusals = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // capacity − resident − reservations held for *other* top-level tenants'
+  // unmet guarantees. Reclaim cannot grow this by raiding a guarantee:
+  // victims stop at their entitlement, which never sits below it.
+  std::int64_t AvailableFor(const rc::ResourceContainer& c) const;
+
+  // Evicts up to `want` bytes from registered reclaimers, restricted to
+  // containers satisfying `victim`. Returns bytes actually freed.
+  std::int64_t Reclaim(std::int64_t want, const rc::MemoryReclaimer::VictimFn& victim);
+
+  // Round-1 reclaim: repeatedly evicts from the single most over-entitled
+  // subtree (highest resident/entitlement ratio), stopping each pass when
+  // that subtree falls back to its entitlement. Worst-offender-first makes
+  // sustained contention converge on the share-proportional split instead
+  // of the equal split plain LRU order would produce.
+  std::int64_t ReclaimOverEntitled(std::int64_t want);
+
+  bool OverEntitled(const rc::ResourceContainer& c) const;
+  bool WithinGuarantee(const rc::ResourceContainer& c) const;
+
+  rc::ContainerManager* const manager_;
+  sched::ShareTree tree_;  // space-shared: pure policy math, no nodes
+  std::vector<rc::MemoryReclaimer*> reclaimers_;
+  verify::ChargeAuditor* auditor_ = nullptr;
+
+  std::int64_t total_ = 0;  // resident bytes across every container
+  std::int64_t by_source_[rc::kMemorySourceCount] = {0, 0, 0};
+  bool in_reclaim_ = false;  // releases during reclaim count as reclaimed
+  Stats stats_;
+};
+
+}  // namespace kernel
+
+#endif  // SRC_KERNEL_MEMORY_BROKER_H_

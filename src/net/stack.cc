@@ -29,6 +29,22 @@ Stack::Stack(StackEnv* env, const StackCosts& costs, NetMode mode)
   RC_CHECK_NE(env, nullptr);
 }
 
+Stack::~Stack() {
+  // Connections still open at stack teardown (e.g. clients that never sent
+  // FIN) must release their memory charge like every other teardown path, or
+  // the bytes stay charged to containers forever. Snapshot first: Teardown
+  // erases from pcbs_.
+  std::vector<ConnRef> open;
+  open.reserve(pcbs_.size());
+  for (const auto& [flow, conn] : pcbs_) {
+    open.push_back(conn);
+  }
+  for (const ConnRef& conn : open) {
+    Teardown(*conn);
+  }
+  RC_CHECK_EQ(connection_memory_bytes_, 0);
+}
+
 Expected<ListenRef> Stack::Listen(std::uint16_t port, const CidrFilter& filter,
                                   rc::ContainerRef container, std::uint64_t owner_tag,
                                   int syn_backlog, int accept_backlog) {
@@ -141,11 +157,18 @@ Expected<void> Stack::RebindConnection(Connection& conn, rc::ContainerRef c) {
   if (conn.torn_down()) {
     return MakeUnexpected(Errc::kWrongState);
   }
-  if (auto charged = c->ChargeMemory(costs_.connection_memory_bytes); !charged.ok()) {
+  if (auto charged = c->ChargeMemory(costs_.connection_memory_bytes,
+                                     rc::MemorySource::kConnection);
+      !charged.ok()) {
     return charged;
   }
   if (conn.container()) {
-    conn.container()->ReleaseMemory(costs_.connection_memory_bytes);
+    conn.container()->ReleaseMemory(costs_.connection_memory_bytes,
+                                    rc::MemorySource::kConnection);
+  } else {
+    // The old charge is only dropped when a container held one; a rebind
+    // from "no container" nets one new charge.
+    connection_memory_bytes_ += costs_.connection_memory_bytes;
   }
   conn.set_container(std::move(c));
   return {};
@@ -332,12 +355,16 @@ void Stack::ApplySyn(const Packet& p) {
   }
 
   rc::ContainerRef container = ls->container();
-  if (auto charged = container->ChargeMemory(costs_.connection_memory_bytes);
+  if (auto charged = container->ChargeMemory(costs_.connection_memory_bytes,
+                                             rc::MemorySource::kConnection);
       !charged.ok()) {
+    // Admission control: the PCB + buffer memory cannot be charged (container
+    // limit, or the broker refused non-reclaimable pressure on the machine).
     ++stats_.mem_reject_drops;
     EmitRst(p);
     return;
   }
+  connection_memory_bytes_ += costs_.connection_memory_bytes;
   auto conn = std::make_shared<Connection>(p.flow_id, p.src, p.dst.port, container,
                                            ls->owner_tag());
   pcbs_[p.flow_id] = conn;
@@ -426,8 +453,14 @@ void Stack::Teardown(Connection& conn) {
   }
   conn.set_torn_down();
   conn.set_state(ConnState::kClosed);
+  // Every teardown path funnels here exactly once (torn_down guard above):
+  // application close, client reset, accept-queue overflow, SYN-queue
+  // eviction, listener close, and stack destruction.
   if (conn.container()) {
-    conn.container()->ReleaseMemory(costs_.connection_memory_bytes);
+    conn.container()->ReleaseMemory(costs_.connection_memory_bytes,
+                                    rc::MemorySource::kConnection);
+    connection_memory_bytes_ -= costs_.connection_memory_bytes;
+    RC_DCHECK(connection_memory_bytes_ >= 0);
   }
   pcbs_.erase(conn.flow_id());
 }
@@ -462,6 +495,9 @@ void Stack::RegisterMetrics(telemetry::Registry& registry) {
                     [this] { return static_cast<double>(stats_.mem_reject_drops); });
   registry.AddProbe("net.pcbs", "connections",
                     [this] { return static_cast<double>(pcbs_.size()); });
+  registry.AddProbe("net.connection_memory_bytes", "bytes", [this] {
+    return static_cast<double>(connection_memory_bytes_);
+  });
   registry.AddProbe("net.listeners", "sockets",
                     [this] { return static_cast<double>(listeners_.size()); });
   registry.AddProbe("net.backlog_depth", "packets", [this] {

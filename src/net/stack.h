@@ -105,6 +105,12 @@ class StackEnv {
 class Stack {
  public:
   Stack(StackEnv* env, const StackCosts& costs, NetMode mode);
+  // Tears down every remaining PCB, releasing its connection-memory charge —
+  // the stack must never strand bytes in the containers it charged.
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
 
   NetMode mode() const { return mode_; }
   const StackCosts& costs() const { return costs_; }
@@ -162,6 +168,10 @@ class Stack {
 
   std::size_t pcb_count() const { return pcbs_.size(); }
   std::size_t listen_count() const { return listeners_.size(); }
+
+  // Connection memory currently charged across all live PCBs (the stack's
+  // side of the auditor's resident-byte conservation check).
+  std::int64_t connection_memory_bytes() const { return connection_memory_bytes_; }
 
   struct Stats {
     std::uint64_t packets_in = 0;
@@ -230,6 +240,7 @@ class Stack {
   std::unordered_map<std::uint64_t, OwnerBacklog> backlogs_;
 
   Stats stats_;
+  std::int64_t connection_memory_bytes_ = 0;
 
   static constexpr int kPerContainerBacklogLimit = 256;
 };

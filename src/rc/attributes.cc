@@ -50,6 +50,8 @@ const char* ResourceKindName(ResourceKind kind) {
       return "disk";
     case ResourceKind::kLink:
       return "link";
+    case ResourceKind::kMemory:
+      return "memory";
   }
   return "?";
 }
@@ -62,6 +64,9 @@ Expected<void> Attributes::Validate() const {
     return v;
   }
   if (auto v = ValidatePolicy(link); !v.ok()) {
+    return v;
+  }
+  if (auto v = ValidatePolicy(memory); !v.ok()) {
     return v;
   }
   if (cpu_limit < 0.0 || cpu_limit > 1.0) {

@@ -44,8 +44,9 @@ enum class ResourceKind {
   kCpu = 0,
   kDisk = 1,
   kLink = 2,
+  kMemory = 3,
 };
-inline constexpr int kResourceKindCount = 3;
+inline constexpr int kResourceKindCount = 4;
 
 const char* ResourceKindName(ResourceKind kind);
 
@@ -82,6 +83,13 @@ struct Attributes {
   ResourcePolicy disk;
   ResourcePolicy link;
 
+  // Physical-memory scheduling (ResourceKind::kMemory, space-shared). A
+  // fixed memory share is both a proportional claim on machine memory and a
+  // guarantee of resident bytes (share × parent guarantee, down from machine
+  // capacity); `memory.limit` caps the subtree at a fraction of the machine,
+  // combining with the absolute `memory_limit_bytes` above (tighter wins).
+  ResourcePolicy memory;
+
   // Checks internal consistency (ranges, share bounds). Cross-container
   // constraints (sibling share sums) are checked by ContainerManager.
   rccommon::Expected<void> Validate() const;
@@ -101,6 +109,8 @@ inline const SchedParams& SchedFor(const Attributes& a, ResourceKind kind) {
       return a.disk.override_sched ? a.disk.sched : a.sched;
     case ResourceKind::kLink:
       return a.link.override_sched ? a.link.sched : a.sched;
+    case ResourceKind::kMemory:
+      return a.memory.override_sched ? a.memory.sched : a.sched;
     case ResourceKind::kCpu:
       break;
   }
@@ -114,6 +124,8 @@ inline double LimitFor(const Attributes& a, ResourceKind kind) {
       return a.disk.limit;
     case ResourceKind::kLink:
       return a.link.limit;
+    case ResourceKind::kMemory:
+      return a.memory.limit;
     case ResourceKind::kCpu:
       break;
   }

@@ -92,7 +92,8 @@ Expected<void> ResourceContainer::SetAttributes(const Attributes& attrs) {
   // holds (or takes) a fixed-share guarantee.
   if (parent_ != nullptr) {
     for (const ResourceKind kind :
-         {ResourceKind::kCpu, ResourceKind::kDisk, ResourceKind::kLink}) {
+         {ResourceKind::kCpu, ResourceKind::kDisk, ResourceKind::kLink,
+          ResourceKind::kMemory}) {
       const SchedParams& sched = SchedFor(attrs, kind);
       if (sched.cls != SchedClass::kFixedShare) {
         continue;
@@ -122,21 +123,61 @@ void ResourceContainer::ChargeCpu(sim::Duration usec, CpuKind kind) {
   usage_.AddCpu(usec, kind);
 }
 
-Expected<void> ResourceContainer::ChargeMemory(std::int64_t bytes) {
+Expected<void> ResourceContainer::ChargeMemory(std::int64_t bytes,
+                                               MemorySource source) {
   RC_CHECK_GE(bytes, 0);
-  for (const ResourceContainer* p = this; p != nullptr; p = p->parent_) {
-    const std::int64_t limit = p->attrs_.memory_limit_bytes;
-    if (limit > 0 && p->subtree_memory_bytes_ + bytes > limit) {
-      return MakeUnexpected(Errc::kLimitExceeded);
+  if (*manager_alive_) {
+    if (MemoryArbiter* arbiter = manager_->memory_arbiter(); arbiter != nullptr) {
+      return arbiter->ChargeMemory(*this, bytes, source);
     }
   }
-  usage_.memory_bytes += bytes;
-  usage_.memory_peak_bytes = std::max(usage_.memory_peak_bytes, usage_.memory_bytes);
-  PropagateMemory(bytes);
+  // Legacy path (no broker installed): plain hierarchical limit enforcement.
+  if (auto v = CheckMemoryLimits(bytes, /*capacity_bytes=*/0); !v.ok()) {
+    CountMemoryRefusal();
+    return v;
+  }
+  CommitMemoryCharge(bytes);
   return {};
 }
 
-void ResourceContainer::ReleaseMemory(std::int64_t bytes) {
+void ResourceContainer::ReleaseMemory(std::int64_t bytes, MemorySource source) {
+  RC_CHECK_GE(bytes, 0);
+  if (*manager_alive_) {
+    if (MemoryArbiter* arbiter = manager_->memory_arbiter(); arbiter != nullptr) {
+      arbiter->ReleaseMemory(*this, bytes, source);
+      return;
+    }
+  }
+  CommitMemoryRelease(bytes);
+}
+
+Expected<void> ResourceContainer::CheckMemoryLimits(
+    std::int64_t bytes, std::int64_t capacity_bytes) const {
+  for (const ResourceContainer* p = this; p != nullptr; p = p->parent_) {
+    const std::int64_t would = p->subtree_memory_bytes_ + bytes;
+    const std::int64_t abs_limit = p->attrs_.memory_limit_bytes;
+    if (abs_limit > 0 && would > abs_limit) {
+      return MakeUnexpected(Errc::kLimitExceeded);
+    }
+    // `memory.limit` is a fraction of the machine; it only binds when the
+    // machine size is known (broker installed with capacity > 0).
+    const double frac_limit = p->attrs_.memory.limit;
+    if (capacity_bytes > 0 && frac_limit > 0.0 &&
+        static_cast<double>(would) >
+            frac_limit * static_cast<double>(capacity_bytes)) {
+      return MakeUnexpected(Errc::kLimitExceeded);
+    }
+  }
+  return {};
+}
+
+void ResourceContainer::CommitMemoryCharge(std::int64_t bytes) {
+  usage_.memory_bytes += bytes;
+  usage_.memory_peak_bytes = std::max(usage_.memory_peak_bytes, usage_.memory_bytes);
+  PropagateMemory(bytes);
+}
+
+void ResourceContainer::CommitMemoryRelease(std::int64_t bytes) {
   RC_CHECK_GE(bytes, 0);
   RC_CHECK_GE(usage_.memory_bytes, bytes);
   usage_.memory_bytes -= bytes;

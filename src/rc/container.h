@@ -21,6 +21,7 @@
 
 #include "src/common/expected.h"
 #include "src/rc/attributes.h"
+#include "src/rc/memory.h"
 #include "src/rc/usage.h"
 #include "src/sim/time.h"
 
@@ -70,10 +71,30 @@ class ResourceContainer {
 
   void ChargeCpu(sim::Duration usec, CpuKind kind);
 
-  // Charges `bytes` of memory, enforcing memory limits on this container and
-  // every ancestor (a parent's limit constrains its whole subtree).
-  rccommon::Expected<void> ChargeMemory(std::int64_t bytes);
-  void ReleaseMemory(std::int64_t bytes);
+  // Charges `bytes` of memory. When the manager has a MemoryArbiter installed
+  // (the kernel's MemoryBroker) the charge flows through it — machine
+  // capacity, guarantees and reclaim apply; otherwise the hierarchical limit
+  // walk below is enforced directly. `source` says what kind of kernel object
+  // holds the bytes (reclaimability, auditing).
+  rccommon::Expected<void> ChargeMemory(std::int64_t bytes,
+                                        MemorySource source = MemorySource::kOther);
+  void ReleaseMemory(std::int64_t bytes,
+                     MemorySource source = MemorySource::kOther);
+
+  // --- Memory-arbiter protocol ----------------------------------------
+  // The arbiter decides, then commits through these; they update the books
+  // without re-entering policy. CheckMemoryLimits is the hierarchical
+  // byte-limit walk (memory_limit_bytes and memory.limit × capacity on every
+  // ancestor), shared by the legacy path and the broker.
+  rccommon::Expected<void> CheckMemoryLimits(std::int64_t bytes,
+                                             std::int64_t capacity_bytes) const;
+  void CommitMemoryCharge(std::int64_t bytes);
+  void CommitMemoryRelease(std::int64_t bytes);
+  void CountMemoryReclaim(std::int64_t bytes) {
+    ++usage_.memory_reclaims;
+    usage_.memory_reclaimed_bytes += bytes;
+  }
+  void CountMemoryRefusal() { ++usage_.memory_refusals; }
 
   // Subtree memory currently charged (maintained incrementally).
   std::int64_t subtree_memory_bytes() const { return subtree_memory_bytes_; }

@@ -147,10 +147,12 @@ Expected<void> ContainerManager::CheckParentEligible(
   if (parent.attributes().sched.cls != SchedClass::kFixedShare) {
     return MakeUnexpected(Errc::kHasChildren);
   }
-  // Fixed-share budgets are per resource: a child's CPU, disk, and link
-  // guarantees each draw from an independent 100% at the parent.
+  // Fixed-share budgets are per resource: a child's CPU, disk, link, and
+  // memory guarantees each draw from an independent 100% at the parent —
+  // this is what rejects sibling memory over-guarantee.
   for (const ResourceKind kind :
-       {ResourceKind::kCpu, ResourceKind::kDisk, ResourceKind::kLink}) {
+       {ResourceKind::kCpu, ResourceKind::kDisk, ResourceKind::kLink,
+        ResourceKind::kMemory}) {
     const SchedParams& sched = SchedFor(child_attrs, kind);
     if (sched.cls == SchedClass::kFixedShare) {
       const double others = SiblingFixedShareSum(parent, exclude, kind);

@@ -14,6 +14,8 @@
 
 namespace rc {
 
+class MemoryArbiter;
+
 class ContainerManager {
  public:
   ContainerManager();
@@ -68,6 +70,12 @@ class ContainerManager {
                                      const ResourceContainer* exclude,
                                      ResourceKind kind = ResourceKind::kCpu);
 
+  // Memory policy engine all ChargeMemory/ReleaseMemory calls route through
+  // when set (the kernel installs its MemoryBroker here). Not owned; the
+  // broker clears it on destruction.
+  void set_memory_arbiter(MemoryArbiter* arbiter) { memory_arbiter_ = arbiter; }
+  MemoryArbiter* memory_arbiter() const { return memory_arbiter_; }
+
  private:
   friend class ResourceContainer;
 
@@ -87,6 +95,7 @@ class ContainerManager {
   std::unordered_map<ContainerId, std::weak_ptr<ResourceContainer>> index_;
   std::vector<std::function<void(ResourceContainer&)>> destroy_observers_;
   std::vector<ReparentObserver> reparent_observers_;
+  MemoryArbiter* memory_arbiter_ = nullptr;
 };
 
 }  // namespace rc

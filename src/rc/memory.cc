@@ -1,0 +1,17 @@
+#include "src/rc/memory.h"
+
+namespace rc {
+
+const char* MemorySourceName(MemorySource source) {
+  switch (source) {
+    case MemorySource::kOther:
+      return "other";
+    case MemorySource::kFileCache:
+      return "file-cache";
+    case MemorySource::kConnection:
+      return "connection";
+  }
+  return "unknown";
+}
+
+}  // namespace rc

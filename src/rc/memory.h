@@ -1,0 +1,75 @@
+// Memory as a scheduled resource: the interfaces that connect container
+// memory charges to a kernel-level policy engine without making rc:: depend
+// on the kernel.
+//
+// Physical memory is an *occupancy* resource (Section 4.4: "other system
+// resources such as physical memory ... can be conveniently controlled by
+// resource containers"): a charge holds bytes until released, unlike CPU or
+// disk time which is consumed as a rate. ResourceContainer::ChargeMemory
+// therefore routes through a MemoryArbiter when the ContainerManager has one
+// installed (the kernel's MemoryBroker), which enforces machine capacity,
+// per-container guarantees, and triggers reclaim; without an arbiter the
+// container falls back to the plain hierarchical limit walk (standalone
+// managers, unit tests).
+#ifndef SRC_RC_MEMORY_H_
+#define SRC_RC_MEMORY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/expected.h"
+
+namespace rc {
+
+class ResourceContainer;
+
+// What kind of kernel object holds a memory charge. The split matters for
+// reclaim: file-cache bytes can be evicted under pressure, connection bytes
+// (PCBs, socket buffers) cannot — they are admission-controlled instead.
+enum class MemorySource {
+  kOther = 0,       // direct charges (application state, tests)
+  kFileCache = 1,   // resident cached documents (reclaimable)
+  kConnection = 2,  // per-connection PCB + socket buffers (non-reclaimable)
+};
+inline constexpr int kMemorySourceCount = 3;
+
+const char* MemorySourceName(MemorySource source);
+
+// The policy engine memory charges flow through when installed on the
+// ContainerManager. Implemented by kernel::MemoryBroker; `c` is the charged
+// container. Implementations commit accepted charges with
+// ResourceContainer::CommitMemoryCharge / CommitMemoryRelease.
+class MemoryArbiter {
+ public:
+  virtual ~MemoryArbiter() = default;
+
+  virtual rccommon::Expected<void> ChargeMemory(ResourceContainer& c,
+                                                std::int64_t bytes,
+                                                MemorySource source) = 0;
+  virtual void ReleaseMemory(ResourceContainer& c, std::int64_t bytes,
+                             MemorySource source) = 0;
+};
+
+// A holder of reclaimable memory (the file cache). The arbiter calls
+// ReclaimMemory under pressure; the reclaimer evicts least-recently-used
+// state whose *owning container* satisfies `victim`, releasing the charges as
+// it goes, and returns how many bytes it freed. The predicate is evaluated
+// per eviction, so reclaim self-limits the moment a victim drops back inside
+// its entitlement.
+class MemoryReclaimer {
+ public:
+  using VictimFn = std::function<bool(const ResourceContainer&)>;
+
+  virtual ~MemoryReclaimer() = default;
+
+  virtual std::int64_t ReclaimMemory(std::int64_t bytes, const VictimFn& victim) = 0;
+
+  // Bytes this reclaimer currently holds charged (upper bound on what
+  // ReclaimMemory could ever free). Also the auditor's per-source ground
+  // truth for reclaimable residency.
+  virtual std::int64_t ReclaimableBytes() const = 0;
+};
+
+}  // namespace rc
+
+#endif  // SRC_RC_MEMORY_H_

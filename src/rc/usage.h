@@ -28,6 +28,12 @@ struct ResourceUsage {
   std::int64_t memory_bytes = 0;       // currently charged allocations
   std::int64_t memory_peak_bytes = 0;  // high-water mark
 
+  // Memory-broker outcomes: charges refused (limit/capacity), and bytes this
+  // container lost to reclaim while the broker made room for someone else.
+  std::uint64_t memory_refusals = 0;
+  std::uint64_t memory_reclaims = 0;
+  std::int64_t memory_reclaimed_bytes = 0;
+
   std::uint64_t packets_received = 0;
   std::uint64_t packets_dropped = 0;
   std::uint64_t bytes_received = 0;
@@ -72,6 +78,9 @@ struct ResourceUsage {
     cpu_network_usec += other.cpu_network_usec;
     memory_bytes += other.memory_bytes;
     memory_peak_bytes += other.memory_peak_bytes;
+    memory_refusals += other.memory_refusals;
+    memory_reclaims += other.memory_reclaims;
+    memory_reclaimed_bytes += other.memory_reclaimed_bytes;
     packets_received += other.packets_received;
     packets_dropped += other.packets_dropped;
     bytes_received += other.bytes_received;
@@ -91,6 +100,10 @@ struct ResourceUsage {
         return disk_busy_usec;
       case ResourceKind::kLink:
         return link_busy_usec;
+      case ResourceKind::kMemory:
+        // Memory is space-shared, not rate-consumed: there is no busy time.
+        // Residency conservation is audited separately via memory_bytes.
+        return 0;
       case ResourceKind::kCpu:
         break;
     }

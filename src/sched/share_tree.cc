@@ -440,4 +440,122 @@ bool ShareTree::IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) co
   return ni != kInvalidNode && Throttled(nodes_[static_cast<std::size_t>(ni)], now);
 }
 
+// --- Space-shared (occupancy) mode -----------------------------------
+//
+// A space-shared tree allocates no nodes at all: occupancy lives in the
+// containers themselves (subtree_memory_bytes), so the tree is stateless
+// policy math over the hierarchy plus the configured capacity.
+
+rccommon::Expected<void> ShareTree::CheckSpaceCharge(const rc::ResourceContainer& c,
+                                                     std::int64_t bytes) const {
+  RC_CHECK(options_.space_shared);
+  return c.CheckMemoryLimits(bytes, options_.capacity_bytes);
+}
+
+std::int64_t ShareTree::EntitlementBytes(const rc::ResourceContainer& c) const {
+  RC_CHECK(options_.space_shared);
+  if (options_.capacity_bytes <= 0) {
+    return 0;
+  }
+  // Root→c path (c.depth() levels above c, root last after reversal).
+  std::vector<const rc::ResourceContainer*> path;
+  for (const rc::ResourceContainer* p = &c; p != nullptr; p = p->parent()) {
+    path.push_back(p);
+  }
+  std::reverse(path.begin(), path.end());
+
+  double ent = static_cast<double>(options_.capacity_bytes);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const rc::ResourceContainer* parent = path[i - 1];
+    const rc::ResourceContainer* child = path[i];
+    const rc::SchedParams& sched =
+        rc::SchedFor(child->attributes(), rc::ResourceKind::kMemory);
+    if (sched.cls == rc::SchedClass::kFixedShare) {
+      ent *= sched.fixed_share;
+      continue;
+    }
+    // Time-share link: the parent's residual is split among the time-share
+    // siblings that currently occupy memory (idle siblings cede their cut),
+    // weighted by priority. The path child always counts as occupying — its
+    // entitlement is what a prospective charge is measured against.
+    double weight_total = 0.0;
+    const double child_weight =
+        static_cast<double>(std::max(1, sched.priority));
+    parent->ForEachChild([&](rc::ResourceContainer& sib) {
+      const rc::SchedParams& ss =
+          rc::SchedFor(sib.attributes(), rc::ResourceKind::kMemory);
+      if (ss.cls == rc::SchedClass::kFixedShare) {
+        return;
+      }
+      if (&sib == child || sib.subtree_memory_bytes() > 0) {
+        weight_total += static_cast<double>(std::max(1, ss.priority));
+      }
+    });
+    ent *= ResidualWeight(*parent) * child_weight / std::max(1.0, weight_total);
+  }
+  return static_cast<std::int64_t>(ent);
+}
+
+void ShareTree::ForEachOccupyingTopLevel(
+    const std::function<void(rc::ResourceContainer&, std::int64_t,
+                             std::int64_t)>& fn) const {
+  RC_CHECK(options_.space_shared);
+  if (options_.capacity_bytes <= 0) {
+    return;
+  }
+  const rc::ContainerRef& root = manager_->root();
+  // Pass 1: the fixed-share total (→ residual) and the occupying time-share
+  // weight denominator, both shared by every emitted child.
+  double fixed_total = 0.0;
+  double occ_weight_total = 0.0;
+  root->ForEachChild([&](rc::ResourceContainer& child) {
+    const rc::SchedParams& sched =
+        rc::SchedFor(child.attributes(), options_.resource);
+    if (sched.cls == rc::SchedClass::kFixedShare) {
+      fixed_total += sched.fixed_share;
+    } else if (child.subtree_memory_bytes() > 0) {
+      occ_weight_total += static_cast<double>(std::max(1, sched.priority));
+    }
+  });
+  const double residual = std::max(kResidualFloor, 1.0 - fixed_total);
+  const double capacity = static_cast<double>(options_.capacity_bytes);
+  // Pass 2: each occupying child's entitlement in O(1). An occupying child's
+  // own weight is already in the denominator, so this matches what
+  // EntitlementBytes would compute for it.
+  root->ForEachChild([&](rc::ResourceContainer& child) {
+    const std::int64_t held = child.subtree_memory_bytes();
+    if (held <= 0) {
+      return;
+    }
+    const rc::SchedParams& sched =
+        rc::SchedFor(child.attributes(), options_.resource);
+    double ent;
+    if (sched.cls == rc::SchedClass::kFixedShare) {
+      ent = sched.fixed_share * capacity;
+    } else {
+      const double w = static_cast<double>(std::max(1, sched.priority));
+      ent = residual * capacity * w / std::max(1.0, occ_weight_total);
+    }
+    fn(child, held, static_cast<std::int64_t>(ent));
+  });
+}
+
+std::int64_t ShareTree::GuaranteeBytes(const rc::ResourceContainer& c) const {
+  RC_CHECK(options_.space_shared);
+  if (options_.capacity_bytes <= 0) {
+    return 0;
+  }
+  double fraction = 1.0;
+  for (const rc::ResourceContainer* p = &c; p->parent() != nullptr; p = p->parent()) {
+    const rc::SchedParams& sched =
+        rc::SchedFor(p->attributes(), rc::ResourceKind::kMemory);
+    if (sched.cls != rc::SchedClass::kFixedShare) {
+      return 0;  // a time-share link holds no demand-independent guarantee
+    }
+    fraction *= sched.fixed_share;
+  }
+  return static_cast<std::int64_t>(
+      fraction * static_cast<double>(options_.capacity_bytes));
+}
+
 }  // namespace sched

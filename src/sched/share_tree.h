@@ -51,6 +51,7 @@
 #define SRC_SCHED_SHARE_TREE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -72,6 +73,17 @@ struct ShareTreeOptions {
   int capacity = 1;
   // Priority-0 semantics (see file comment).
   bool starve_priority_zero = true;
+
+  // Space-shared occupancy mode (memory). A space-shared tree arbitrates
+  // *held bytes* instead of consumed time: there is no stride state, no
+  // queue, no decay — the tree is pure policy math over the container
+  // hierarchy's live subtree_memory_bytes(). Only CheckSpaceCharge /
+  // EntitlementBytes / GuaranteeBytes are meaningful; Push/Pop/OnCharge must
+  // not be called on a space-shared tree.
+  bool space_shared = false;
+  // Machine capacity in bytes (space-shared mode). 0 = unknown: hierarchical
+  // byte limits still apply but entitlements and guarantees are all zero.
+  std::int64_t capacity_bytes = 0;
 };
 
 class ShareTree {
@@ -130,6 +142,40 @@ class ShareTree {
   // Introspection / test hooks.
   double DecayedUsage(const rc::ResourceContainer& c) const;
   bool IsThrottled(const rc::ResourceContainer& c, sim::SimTime now) const;
+
+  // --- Space-shared (occupancy) mode ----------------------------------
+  // Valid only when options_.space_shared.
+
+  // Would charging `bytes` to `c` violate any ancestor's byte or fraction
+  // limit? (Capacity pressure is the broker's job, not the tree's.)
+  rccommon::Expected<void> CheckSpaceCharge(const rc::ResourceContainer& c,
+                                            std::int64_t bytes) const;
+
+  // The bytes `c`'s subtree is *entitled* to hold right now: capacity split
+  // down the root→c path — a fixed-share link takes share × parent
+  // entitlement; a time-share link splits the parent's residual among the
+  // currently-occupying time-share siblings by priority weight. Entitlement
+  // is demand-dependent (idle siblings cede their split), which is what makes
+  // "over-entitled" a meaningful reclaim-victim test.
+  std::int64_t EntitlementBytes(const rc::ResourceContainer& c) const;
+
+  // The bytes `c` is *guaranteed* independent of demand: the product of
+  // fixed memory shares along the whole root→c path × capacity; 0 if any
+  // link is time-share (time-share holdings are not protected).
+  std::int64_t GuaranteeBytes(const rc::ResourceContainer& c) const;
+
+  // Batch entitlement walk over the root's *occupying* children (subtree
+  // bytes > 0 — exactly the possible reclaim victims). The residual and the
+  // occupying time-share weight denominator are computed once and shared, so
+  // the whole sweep is O(children) where per-child EntitlementBytes calls
+  // would make it O(children²) — the difference between a bounded reclaim
+  // pass and one that melts under thousands of per-connection containers.
+  // Agrees with EntitlementBytes for every emitted child.
+  void ForEachOccupyingTopLevel(
+      const std::function<void(rc::ResourceContainer& child, std::int64_t held,
+                               std::int64_t entitlement)>& fn) const;
+
+  std::int64_t capacity_bytes() const { return options_.capacity_bytes; }
 
  private:
   struct Node {

@@ -69,7 +69,11 @@ void EpochSampler::SampleNow() {
       s.name = c.name();
       s.first_sample_at = now;
     }
-    s.samples.push_back(UsageSample{now, c.usage()});
+    UsageSample sample{now, c.usage(), 0};
+    if (guarantee_probe_) {
+      sample.guaranteed_bytes = guarantee_probe_(c);
+    }
+    s.samples.push_back(std::move(sample));
   });
 }
 
@@ -83,6 +87,10 @@ void EpochSampler::WriteJsonLines(std::ostream& os) const {
          << ",\"cpu_kernel_usec\":" << u.cpu_kernel_usec
          << ",\"cpu_network_usec\":" << u.cpu_network_usec
          << ",\"memory_bytes\":" << u.memory_bytes
+         << ",\"memory_guaranteed_bytes\":" << sample.guaranteed_bytes
+         << ",\"memory_reclaims\":" << u.memory_reclaims
+         << ",\"memory_reclaimed_bytes\":" << u.memory_reclaimed_bytes
+         << ",\"memory_refusals\":" << u.memory_refusals
          << ",\"packets_received\":" << u.packets_received
          << ",\"packets_dropped\":" << u.packets_dropped
          << ",\"bytes_received\":" << u.bytes_received

@@ -7,6 +7,7 @@
 #define SRC_TELEMETRY_SAMPLER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -22,6 +23,9 @@ namespace telemetry {
 struct UsageSample {
   sim::SimTime at = 0;
   rc::ResourceUsage usage;
+  // Guaranteed resident bytes under the memory share tree at the sample
+  // instant (0 when no memory capacity / guarantee probe is configured).
+  std::int64_t guaranteed_bytes = 0;
 };
 
 // Machine-level event-engine sample, one per epoch: cumulative dispatch and
@@ -66,6 +70,14 @@ class EpochSampler {
   // bracket a measurement window by hand).
   void SampleNow();
 
+  // Optional: evaluated per live container at each epoch to stamp
+  // UsageSample::guaranteed_bytes (the kernel wires this to the memory
+  // broker's GuaranteeBytes). The callee must outlive sampling.
+  void set_memory_guarantee_probe(
+      std::function<std::int64_t(const rc::ResourceContainer&)> probe) {
+    guarantee_probe_ = std::move(probe);
+  }
+
   sim::Duration interval() const { return interval_; }
   std::size_t epochs() const { return epochs_; }
 
@@ -92,6 +104,7 @@ class EpochSampler {
 
   std::map<rc::ContainerId, ContainerSeries> series_;
   std::vector<EngineSample> engine_series_;
+  std::function<std::int64_t(const rc::ResourceContainer&)> guarantee_probe_;
   std::size_t epochs_ = 0;
   sim::EventHandle timer_;
   bool running_ = false;

@@ -34,6 +34,9 @@ void ChargeAuditor::ObserveHierarchy(rc::ContainerManager* manager) {
       for (std::size_t k = 0; k < rc::kResourceKindCount; ++k) {
         up.retired[k] += it->second.direct[k] + it->second.retired[k];
       }
+      // Bytes the dying container still held follow its usage record into
+      // the parent's retired accounting.
+      up.retired_resident += it->second.resident + it->second.retired_resident;
       if (up.name.empty()) {
         up.name = parent->name();
       }
@@ -98,6 +101,25 @@ void ChargeAuditor::OnDeviceWork(rc::ResourceKind kind, sim::Duration busy,
   }
 }
 
+void ChargeAuditor::OnMemoryCharge(const rc::ResourceContainer& c,
+                                   std::int64_t bytes, rc::MemorySource source) {
+  ContainerTally& tally = tallies_[c.id()];
+  tally.resident += bytes;
+  if (tally.name.empty()) {
+    tally.name = c.name();
+  }
+  mem_resident_total_ += bytes;
+  mem_by_source_[static_cast<std::size_t>(source)] += bytes;
+}
+
+void ChargeAuditor::OnMemoryRelease(const rc::ResourceContainer& c,
+                                    std::int64_t bytes, rc::MemorySource source) {
+  ContainerTally& tally = tallies_[c.id()];
+  tally.resident -= bytes;
+  mem_resident_total_ -= bytes;
+  mem_by_source_[static_cast<std::size_t>(source)] -= bytes;
+}
+
 AuditFault ChargeAuditor::TakeFault() {
   const AuditFault f = fault_;
   fault_ = AuditFault::kNone;
@@ -118,8 +140,8 @@ ChargeAuditor::CpuTally& ChargeAuditor::CpuAt(int cpu) {
 }
 
 std::vector<std::string> ChargeAuditor::Check(
-    const std::vector<CpuSample>& cpus,
-    const std::vector<DeviceSample>& devices) const {
+    const std::vector<CpuSample>& cpus, const std::vector<DeviceSample>& devices,
+    const MemorySample* memory) const {
   std::vector<std::string> out;
 
   // 1. Per-CPU: busy + idle == wallclock, and the engine's busy counter
@@ -205,10 +227,35 @@ std::vector<std::string> ChargeAuditor::Check(
   //    destroyed children. A dropped or duplicated charge shows up here,
   //    naming the container and resource involved.
   std::array<sim::Duration, rc::kResourceKindCount> tally_sum{};
+  std::int64_t resident_sum = 0;
   manager_->ForEachLive([&](rc::ResourceContainer& c) {
     auto it = tallies_.find(c.id());
     const ContainerTally tally =
         it != tallies_.end() ? it->second : ContainerTally{};
+    // 4m. Resident-byte occupancy matches the kernel's usage record, for
+    //     held bytes and for bytes retired from destroyed children. Only
+    //     meaningful when a memory sample is provided (broker attached);
+    //     without one the kernel may be charging memory outside the audited
+    //     path (standalone managers).
+    if (memory != nullptr) {
+      resident_sum += tally.resident + tally.retired_resident;
+      if (c.usage().memory_bytes != tally.resident) {
+        out.push_back("audit: container '" + c.name() + "' (id " +
+                      std::to_string(c.id()) +
+                      Fmt(") memory: usage records %lld resident bytes but "
+                          "%lld bytes were charged",
+                          static_cast<long long>(c.usage().memory_bytes),
+                          static_cast<long long>(tally.resident)));
+      }
+      if (c.retired_usage().memory_bytes != tally.retired_resident) {
+        out.push_back("audit: container '" + c.name() + "' (id " +
+                      std::to_string(c.id()) +
+                      Fmt(") memory: retired usage %lld bytes but audit "
+                          "retired %lld bytes",
+                          static_cast<long long>(c.retired_usage().memory_bytes),
+                          static_cast<long long>(tally.retired_resident)));
+      }
+    }
     for (std::size_t k = 0; k < rc::kResourceKindCount; ++k) {
       const rc::ResourceKind kind = static_cast<rc::ResourceKind>(k);
       tally_sum[k] += tally.direct[k] + tally.retired[k];
@@ -256,6 +303,52 @@ std::vector<std::string> ChargeAuditor::Check(
                         "(a destroyed container leaked its usage)",
                         static_cast<long long>(tally_sum[k]),
                         static_cast<long long>(charged)));
+    }
+  }
+
+  // 6. Resident-byte conservation: Σ per-container resident (live + retired)
+  //    == the audited machine total == the broker's running total == what
+  //    the kernel objects actually hold, and the per-source split matches
+  //    each holder exactly. A byte charged twice, released twice, or
+  //    stranded by a teardown path shows up here.
+  if (memory != nullptr) {
+    if (resident_sum != mem_resident_total_) {
+      out.push_back(Fmt("audit: memory: container tallies sum to %lld resident "
+                        "bytes but %lld bytes are charged machine-wide",
+                        static_cast<long long>(resident_sum),
+                        static_cast<long long>(mem_resident_total_)));
+    }
+    if (memory->broker_resident != mem_resident_total_) {
+      out.push_back(Fmt("audit: memory: broker total %lld bytes != audited "
+                        "total %lld bytes",
+                        static_cast<long long>(memory->broker_resident),
+                        static_cast<long long>(mem_resident_total_)));
+    }
+    std::int64_t by_source = 0;
+    for (std::size_t s = 0; s < rc::kMemorySourceCount; ++s) {
+      by_source += mem_by_source_[s];
+    }
+    if (by_source != mem_resident_total_) {
+      out.push_back(Fmt("audit: memory: per-source tallies sum to %lld bytes "
+                        "but %lld bytes are resident",
+                        static_cast<long long>(by_source),
+                        static_cast<long long>(mem_resident_total_)));
+    }
+    const std::int64_t cache_tally =
+        mem_by_source_[static_cast<std::size_t>(rc::MemorySource::kFileCache)];
+    if (memory->cache_resident != cache_tally) {
+      out.push_back(Fmt("audit: memory: reclaimers hold %lld bytes but %lld "
+                        "file-cache bytes were charged",
+                        static_cast<long long>(memory->cache_resident),
+                        static_cast<long long>(cache_tally)));
+    }
+    const std::int64_t conn_tally =
+        mem_by_source_[static_cast<std::size_t>(rc::MemorySource::kConnection)];
+    if (memory->connection_bytes != conn_tally) {
+      out.push_back(Fmt("audit: memory: the stack holds %lld connection bytes "
+                        "but %lld were charged",
+                        static_cast<long long>(memory->connection_bytes),
+                        static_cast<long long>(conn_tally)));
     }
   }
 

@@ -85,6 +85,16 @@ class ChargeAuditor {
   // container or the request was unowned.
   void OnDeviceWork(rc::ResourceKind kind, sim::Duration busy, bool charged);
 
+  // The memory broker committed a resident-byte charge to / release from `c`.
+  // Memory is space-shared, so the auditor keeps *occupancy* tallies (bytes
+  // currently held) rather than cumulative time, per container and per
+  // rc::MemorySource; Check() proves they equal the kernel's usage records,
+  // the broker's running total, and what the kernel objects actually hold.
+  void OnMemoryCharge(const rc::ResourceContainer& c, std::int64_t bytes,
+                      rc::MemorySource source);
+  void OnMemoryRelease(const rc::ResourceContainer& c, std::int64_t bytes,
+                       rc::MemorySource source);
+
   // --- Fault injection (tests only) --------------------------------------
 
   void InjectFault(AuditFault fault) { fault_ = fault; }
@@ -109,6 +119,14 @@ class ChargeAuditor {
     sim::Duration wallclock = 0;  // now - device creation time
   };
 
+  // Resident-memory snapshot (memory broker + the kernel objects holding
+  // bytes), provided by Kernel::AuditCheck.
+  struct MemorySample {
+    std::int64_t broker_resident = 0;   // MemoryBroker::total_bytes()
+    std::int64_t cache_resident = 0;    // Σ registered reclaimers' charged bytes
+    std::int64_t connection_bytes = 0;  // net::Stack connection memory
+  };
+
   // Runs every conservation invariant; returns one human-readable diagnostic
   // per violation (empty == clean). Diagnostics name the CPU, device, or
   // container (id and name) involved and both sides of the failed equality.
@@ -116,7 +134,12 @@ class ChargeAuditor {
     return Check(cpus, {});
   }
   std::vector<std::string> Check(const std::vector<CpuSample>& cpus,
-                                 const std::vector<DeviceSample>& devices) const;
+                                 const std::vector<DeviceSample>& devices) const {
+    return Check(cpus, devices, nullptr);
+  }
+  std::vector<std::string> Check(const std::vector<CpuSample>& cpus,
+                                 const std::vector<DeviceSample>& devices,
+                                 const MemorySample* memory) const;
 
   // --- Introspection / telemetry ------------------------------------------
 
@@ -134,6 +157,10 @@ class ChargeAuditor {
     // destroyed children, indexed by rc::ResourceKind.
     std::array<sim::Duration, rc::kResourceKindCount> direct{};
     std::array<sim::Duration, rc::kResourceKindCount> retired{};
+    // Resident bytes currently held (occupancy, not cumulative), and bytes
+    // destroyed children still held when they retired into this container.
+    std::int64_t resident = 0;
+    std::int64_t retired_resident = 0;
     std::string name;  // for diagnostics after destruction
   };
 
@@ -166,6 +193,10 @@ class ChargeAuditor {
   sim::Duration engine_charged_total_ = 0;  // Σ engine-side charged usec
   // Σ device charges that reached a container, per kind (container side).
   std::array<sim::Duration, rc::kResourceKindCount> device_charged_total_{};
+
+  // Resident-byte occupancy, machine-wide and split by memory source.
+  std::int64_t mem_resident_total_ = 0;
+  std::array<std::int64_t, rc::kMemorySourceCount> mem_by_source_{};
 
   AuditFault fault_ = AuditFault::kNone;
   std::uint64_t faults_injected_ = 0;

@@ -22,6 +22,12 @@ Scenario::Scenario(const ScenarioOptions& options)
   wire_ = std::make_unique<load::Wire>(&simr_, kernel_.get(), options_.wire_latency);
   // The paper's experiments serve a cached 1 KB document (doc id 1).
   cache_.AddDocument(1, 1024);
+  // The cache is the kernel's first memory reclaimer: under machine memory
+  // pressure the broker evicts LRU documents from over-entitlement tenants.
+  // Registered even without a memory capacity so the broker's reclaimable /
+  // resident introspection (and the auditor's conservation check) always
+  // covers cache bytes.
+  kernel_->memory().RegisterReclaimer(&cache_);
   RegisterProbes();
   if (options_.audit || AuditEnvSet()) {
     auditor_ = std::make_unique<verify::ChargeAuditor>();
@@ -38,6 +44,9 @@ Scenario::Scenario(const ScenarioOptions& options)
     }
     sampler_ = std::make_unique<telemetry::EpochSampler>(
         &simr_, &kernel_->containers(), options_.telemetry_interval);
+    sampler_->set_memory_guarantee_probe([this](const rc::ResourceContainer& c) {
+      return kernel_->memory().GuaranteeBytes(c);
+    });
     sampler_->Start();
   }
   kernel_->Start();

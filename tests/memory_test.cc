@@ -1,0 +1,513 @@
+// Tests for memory as a scheduled resource: the memory ResourcePolicy and
+// its validation, sibling guarantee sums, the legacy (arbiter-less) limit
+// walk, space-shared entitlements/guarantees, MemoryBroker reclaim ordering
+// and admission control, FileCache charge give-up paths, connection-memory
+// churn hygiene in the network stack, and epoch-wise resident-byte
+// conservation under the auditor.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/httpd/file_cache.h"
+#include "src/kernel/memory_broker.h"
+#include "src/net/addr.h"
+#include "src/net/stack.h"
+#include "src/rc/attributes.h"
+#include "src/rc/manager.h"
+#include "src/rc/memory.h"
+#include "src/sched/share_tree.h"
+#include "src/xp/scenario.h"
+
+namespace {
+
+constexpr std::int64_t kKiB = 1024;
+
+rc::Attributes FixedMemory(double share) {
+  rc::Attributes a;
+  a.memory.override_sched = true;
+  a.memory.sched.cls = rc::SchedClass::kFixedShare;
+  a.memory.sched.fixed_share = share;
+  return a;
+}
+
+rc::Attributes TimeShareMemory(int priority = rc::kDefaultPriority) {
+  rc::Attributes a;
+  a.memory.override_sched = true;
+  a.memory.sched.cls = rc::SchedClass::kTimeShare;
+  a.memory.sched.priority = priority;
+  return a;
+}
+
+// --- Attributes / policy validation -----------------------------------------
+
+TEST(MemoryPolicyTest, ValidationRejectsBadMemoryPolicies) {
+  EXPECT_TRUE(FixedMemory(0.5).Validate().ok());
+  EXPECT_FALSE(FixedMemory(1.5).Validate().ok());
+  EXPECT_FALSE(FixedMemory(-0.1).Validate().ok());
+
+  // Sched fields without override_sched are meaningless and rejected.
+  rc::Attributes stray;
+  stray.memory.sched.fixed_share = 0.5;
+  EXPECT_FALSE(stray.Validate().ok());
+
+  rc::Attributes bad_limit;
+  bad_limit.memory.limit = 1.5;
+  EXPECT_FALSE(bad_limit.Validate().ok());
+
+  rc::Attributes neg_bytes;
+  neg_bytes.memory_limit_bytes = -1;
+  EXPECT_FALSE(neg_bytes.Validate().ok());
+}
+
+TEST(MemoryPolicyTest, SiblingMemoryGuaranteesCannotExceedTheParent) {
+  rc::ContainerManager manager;
+  auto a = manager.Create(nullptr, "a", FixedMemory(0.6)).value();
+  // 0.6 + 0.5 > 1: the second guarantee would oversubscribe the machine.
+  EXPECT_FALSE(manager.Create(nullptr, "b", FixedMemory(0.5)).ok());
+  auto b = manager.Create(nullptr, "b", FixedMemory(0.4));
+  EXPECT_TRUE(b.ok());
+}
+
+// --- Legacy (no arbiter) charge path ----------------------------------------
+
+TEST(MemoryLegacyTest, AncestorAbsoluteLimitStillBindsWithoutABroker) {
+  rc::ContainerManager manager;
+  rc::Attributes pa;
+  pa.sched.cls = rc::SchedClass::kFixedShare;
+  pa.sched.fixed_share = 1.0;
+  pa.memory_limit_bytes = 1000;
+  auto parent = manager.Create(nullptr, "parent", pa).value();
+  auto child = manager.Create(parent, "child").value();
+
+  EXPECT_TRUE(child->ChargeMemory(800, rc::MemorySource::kOther).ok());
+  // The *ancestor's* limit refuses the child's charge.
+  EXPECT_FALSE(child->ChargeMemory(300, rc::MemorySource::kOther).ok());
+  EXPECT_EQ(child->usage().memory_refusals, 1u);
+  child->ReleaseMemory(500, rc::MemorySource::kOther);
+  EXPECT_TRUE(child->ChargeMemory(300, rc::MemorySource::kOther).ok());
+  EXPECT_EQ(parent->subtree_memory_bytes(), 600);
+  child->ReleaseMemory(600, rc::MemorySource::kOther);
+}
+
+TEST(MemoryLegacyTest, FractionLimitBindsOnlyWhenCapacityIsKnown) {
+  rc::Attributes a;
+  a.memory.limit = 0.5;
+
+  // Standalone manager: machine size unknown, the fraction cannot bind.
+  rc::ContainerManager manager;
+  auto c = manager.Create(nullptr, "c", a).value();
+  EXPECT_TRUE(c->ChargeMemory(900, rc::MemorySource::kOther).ok());
+  c->ReleaseMemory(900, rc::MemorySource::kOther);
+
+  // Broker installed with a 1000-byte machine: 0.5 caps the subtree at 500.
+  kernel::MemoryBroker broker(&manager, 1000);
+  EXPECT_FALSE(c->ChargeMemory(600, rc::MemorySource::kOther).ok());
+  EXPECT_TRUE(c->ChargeMemory(400, rc::MemorySource::kOther).ok());
+  c->ReleaseMemory(400, rc::MemorySource::kOther);
+}
+
+// --- Entitlements and guarantees --------------------------------------------
+
+TEST(MemoryEntitlementTest, GuaranteeIsTheFixedSharePathProduct) {
+  rc::ContainerManager manager;
+  kernel::MemoryBroker broker(&manager, 1000);
+  auto fixed = manager.Create(nullptr, "fixed", FixedMemory(0.25)).value();
+  auto ts = manager.Create(nullptr, "ts", TimeShareMemory()).value();
+
+  EXPECT_EQ(broker.GuaranteeBytes(*fixed), 250);
+  // A time-share link holds no demand-independent guarantee.
+  EXPECT_EQ(broker.GuaranteeBytes(*ts), 0);
+}
+
+TEST(MemoryEntitlementTest, IdleTimeShareSiblingsCedeTheirEntitlement) {
+  rc::ContainerManager manager;
+  kernel::MemoryBroker broker(&manager, 1000);
+  auto t1 = manager.Create(nullptr, "t1", TimeShareMemory()).value();
+  auto t2 = manager.Create(nullptr, "t2", TimeShareMemory()).value();
+
+  ASSERT_TRUE(t1->ChargeMemory(100, rc::MemorySource::kOther).ok());
+  // t2 is idle: t1's entitlement is the whole residual; t2, measured as a
+  // prospective occupant, would split it evenly.
+  EXPECT_EQ(broker.EntitlementBytes(*t1), 1000);
+  EXPECT_EQ(broker.EntitlementBytes(*t2), 500);
+
+  ASSERT_TRUE(t2->ChargeMemory(100, rc::MemorySource::kOther).ok());
+  EXPECT_EQ(broker.EntitlementBytes(*t1), 500);
+  EXPECT_EQ(broker.EntitlementBytes(*t2), 500);
+
+  t1->ReleaseMemory(100, rc::MemorySource::kOther);
+  t2->ReleaseMemory(100, rc::MemorySource::kOther);
+}
+
+TEST(MemoryEntitlementTest, BatchTopLevelWalkMatchesPerContainerEntitlements) {
+  rc::ContainerManager manager;
+  sched::ShareTreeOptions options;
+  options.resource = rc::ResourceKind::kMemory;
+  options.space_shared = true;
+  options.capacity_bytes = 10000;
+  sched::ShareTree tree(&manager, options);
+
+  auto fixed = manager.Create(nullptr, "fixed", FixedMemory(0.25)).value();
+  auto busy = manager.Create(nullptr, "busy", TimeShareMemory(10)).value();
+  auto loud = manager.Create(nullptr, "loud", TimeShareMemory(30)).value();
+  auto idle = manager.Create(nullptr, "idle", TimeShareMemory()).value();
+
+  ASSERT_TRUE(fixed->ChargeMemory(10, rc::MemorySource::kOther).ok());
+  ASSERT_TRUE(busy->ChargeMemory(100, rc::MemorySource::kOther).ok());
+  ASSERT_TRUE(loud->ChargeMemory(50, rc::MemorySource::kOther).ok());
+
+  int emitted = 0;
+  tree.ForEachOccupyingTopLevel([&](rc::ResourceContainer& child,
+                                    std::int64_t held, std::int64_t ent) {
+    ++emitted;
+    EXPECT_GT(held, 0);
+    EXPECT_EQ(held, child.subtree_memory_bytes());
+    // The batch walk's O(1) per-child entitlement must agree with the
+    // per-container recomputation exactly.
+    EXPECT_EQ(ent, tree.EntitlementBytes(child)) << child.name();
+  });
+  EXPECT_EQ(emitted, 3);  // the idle tenant is not a possible reclaim victim
+
+  fixed->ReleaseMemory(10, rc::MemorySource::kOther);
+  busy->ReleaseMemory(100, rc::MemorySource::kOther);
+  loud->ReleaseMemory(50, rc::MemorySource::kOther);
+}
+
+// --- Broker reclaim and admission -------------------------------------------
+
+class MemoryReclaimTest : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kCapacity = 1024 * kKiB;
+
+  MemoryReclaimTest() { broker_.RegisterReclaimer(&cache_); }
+
+  rc::ContainerManager manager_;
+  kernel::MemoryBroker broker_{&manager_, kCapacity};
+  // Declared after the broker: its destructor releases charges through it.
+  httpd::FileCache cache_;
+};
+
+TEST_F(MemoryReclaimTest, OverEntitledTenantIsEvictedBeforeOthers) {
+  auto first = manager_.Create(nullptr, "first", TimeShareMemory()).value();
+  auto second = manager_.Create(nullptr, "second", TimeShareMemory()).value();
+
+  // `first` fills the whole machine while `second` is idle (entitled to it).
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    cache_.Insert(100 + i, 64 * kKiB, first);
+  }
+  EXPECT_EQ(first->usage().memory_bytes, kCapacity);
+
+  // Once `second` occupies, each is entitled to half. Every insert by
+  // `second` must come out of `first` (now over-entitled), oldest first —
+  // `second` loses nothing.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    cache_.Insert(200 + i, 64 * kKiB, second);
+  }
+  EXPECT_EQ(second->usage().memory_bytes, 4 * 64 * kKiB);
+  EXPECT_EQ(first->usage().memory_bytes, 12 * 64 * kKiB);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cache_.Lookup(100 + i).has_value()) << i;  // oldest evicted
+    EXPECT_TRUE(cache_.Lookup(200 + i).has_value()) << i;
+  }
+  EXPECT_TRUE(cache_.Lookup(100 + 4).has_value());
+  EXPECT_EQ(first->usage().memory_reclaims, 4u);
+  EXPECT_EQ(first->usage().memory_reclaimed_bytes, 4 * 64 * kKiB);
+  EXPECT_EQ(second->usage().memory_reclaims, 0u);
+  EXPECT_EQ(broker_.stats().reclaimed_bytes, 4 * 64 * kKiB);
+}
+
+TEST_F(MemoryReclaimTest, ReclaimIsLruWithinTheVictim) {
+  auto hog = manager_.Create(nullptr, "hog", TimeShareMemory()).value();
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    cache_.Insert(100 + i, 64 * kKiB, hog);
+  }
+  // Touch the oldest document: it becomes most recently used.
+  ASSERT_TRUE(cache_.Lookup(100).has_value());
+
+  // The machine is full, so this insert forces an eviction from `hog`
+  // itself — the LRU order says document 101, not the freshly-touched 100.
+  cache_.Insert(500, 64 * kKiB, hog);
+  EXPECT_TRUE(cache_.Lookup(100).has_value());
+  EXPECT_FALSE(cache_.Lookup(101).has_value());
+  EXPECT_TRUE(cache_.Lookup(500).has_value());
+}
+
+TEST_F(MemoryReclaimTest, GuaranteedWorkingSetSurvivesACacheHog) {
+  auto latency = manager_.Create(nullptr, "latency", FixedMemory(0.25)).value();
+  auto hog = manager_.Create(nullptr, "hog", TimeShareMemory()).value();
+  const std::int64_t guarantee = broker_.GuaranteeBytes(*latency);
+  ASSERT_EQ(guarantee, kCapacity / 4);
+
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    cache_.Insert(100 + i, static_cast<std::uint32_t>(guarantee / 8), latency);
+  }
+  // Stream 4x machine capacity through the cache on the hog's behalf.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    cache_.Insert(1000 + i, 64 * kKiB, hog);
+  }
+  EXPECT_EQ(latency->usage().memory_bytes, guarantee);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(cache_.Lookup(100 + i).has_value()) << i;
+  }
+  EXPECT_EQ(latency->usage().memory_refusals, 0u);
+  EXPECT_GT(cache_.reclaim_evictions(), 0u);
+}
+
+TEST_F(MemoryReclaimTest, ChargeIsRefusedWhenNothingIsReclaimable) {
+  auto a = manager_.Create(nullptr, "a", TimeShareMemory()).value();
+  // Non-reclaimable charges fill the machine; no reclaimer holds any of it.
+  ASSERT_TRUE(a->ChargeMemory(kCapacity, rc::MemorySource::kOther).ok());
+  EXPECT_EQ(broker_.ReclaimableBytes(), 0);
+
+  EXPECT_FALSE(a->ChargeMemory(1, rc::MemorySource::kOther).ok());
+  EXPECT_EQ(a->usage().memory_refusals, 1u);
+  EXPECT_EQ(broker_.stats().refusals, 1u);
+  a->ReleaseMemory(kCapacity, rc::MemorySource::kOther);
+}
+
+TEST_F(MemoryReclaimTest, GuaranteeReservationAdmissionControlsHostilePressure) {
+  auto paying = manager_.Create(nullptr, "paying", FixedMemory(0.5)).value();
+  auto hostile = manager_.Create(nullptr, "hostile", TimeShareMemory()).value();
+  const std::int64_t guarantee = broker_.GuaranteeBytes(*paying);
+
+  std::int64_t admitted = 0;
+  while (hostile->ChargeMemory(64 * kKiB, rc::MemorySource::kOther).ok()) {
+    admitted += 64 * kKiB;
+    ASSERT_LE(admitted, kCapacity);
+  }
+  // The paying tenant's untouched guarantee was reserved out of reach.
+  EXPECT_EQ(admitted, kCapacity - guarantee);
+  EXPECT_GE(hostile->usage().memory_refusals, 1u);
+
+  std::int64_t claimed = 0;
+  while (claimed < guarantee) {
+    ASSERT_TRUE(paying->ChargeMemory(64 * kKiB, rc::MemorySource::kOther).ok());
+    claimed += 64 * kKiB;
+  }
+  EXPECT_EQ(paying->usage().memory_refusals, 0u);
+  hostile->ReleaseMemory(admitted, rc::MemorySource::kOther);
+  paying->ReleaseMemory(claimed, rc::MemorySource::kOther);
+}
+
+// --- FileCache charge give-up paths -----------------------------------------
+
+TEST(FileCacheChargeTest, PutEvictsOnlyThePayersOwnDocumentsAndGivesUp) {
+  rc::ContainerManager manager;
+  rc::Attributes limited;
+  limited.memory_limit_bytes = 1000;
+  auto payer = manager.Create(nullptr, "payer", limited).value();
+  auto other = manager.Create(nullptr, "other").value();
+  httpd::FileCache cache;
+
+  cache.Insert(1, 400, other);
+  cache.Insert(2, 600, payer);
+  // 600 + 600 > 1000: the payer's own doc 2 is evicted, never doc 1.
+  cache.Insert(3, 600, payer);
+  EXPECT_TRUE(cache.Lookup(1).has_value());
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  EXPECT_TRUE(cache.Lookup(3).has_value());
+
+  // A document that can never fit: the payer's docs drain, then Put gives
+  // up and serves uncached — doc 1 still must not be touched.
+  cache.Insert(4, 1200, payer);
+  EXPECT_FALSE(cache.Lookup(4).has_value());
+  EXPECT_FALSE(cache.Lookup(3).has_value());
+  EXPECT_TRUE(cache.Lookup(1).has_value());
+  EXPECT_EQ(payer->usage().memory_bytes, 0);
+  EXPECT_EQ(other->usage().memory_bytes, 400);
+}
+
+TEST(FileCacheChargeTest, AttachContainerEvictsUntilTheUnownedSetFits) {
+  rc::ContainerManager manager;
+  rc::Attributes limited;
+  limited.memory_limit_bytes = 500;
+  auto c = manager.Create(nullptr, "c", limited).value();
+  httpd::FileCache cache;
+  cache.AddDocument(1, 400);
+  cache.AddDocument(2, 400);
+  cache.AddDocument(3, 400);
+
+  // 1200 then 800 are refused; after evicting docs 1 and 2 the remaining
+  // 400 fits under the 500-byte limit.
+  cache.AttachContainer(c);
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  EXPECT_TRUE(cache.Lookup(3).has_value());
+  EXPECT_EQ(c->usage().memory_bytes, 400);
+}
+
+TEST(FileCacheChargeTest, AttachContainerGivesUpWhenNoUnownedDocumentRemains) {
+  rc::ContainerManager manager;
+  rc::Attributes limited;
+  limited.memory_limit_bytes = 300;
+  auto c = manager.Create(nullptr, "c", limited).value();
+  auto owner = manager.Create(nullptr, "owner").value();
+  httpd::FileCache cache;
+  cache.AddDocument(1, 400);
+  cache.AddDocument(2, 400);
+  cache.Insert(3, 400, owner);  // explicitly owned: not AttachContainer's to take
+
+  // Nothing unowned can ever fit under 300 bytes: both unowned documents are
+  // evicted and the attach gives up with zero unowned residency, leaving the
+  // owned document alone.
+  cache.AttachContainer(c);
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  EXPECT_TRUE(cache.Lookup(3).has_value());
+  EXPECT_EQ(c->usage().memory_bytes, 0);
+  EXPECT_EQ(owner->usage().memory_bytes, 400);
+}
+
+TEST(FileCacheChargeTest, CacheDestructionReleasesEveryCharge) {
+  rc::ContainerManager manager;
+  auto owner = manager.Create(nullptr, "owner").value();
+  {
+    httpd::FileCache cache;
+    cache.Insert(1, 700, owner);
+    EXPECT_EQ(owner->usage().memory_bytes, 700);
+  }
+  EXPECT_EQ(owner->usage().memory_bytes, 0);
+}
+
+// --- Connection-memory churn hygiene ----------------------------------------
+
+class ChurnEnv : public net::StackEnv {
+ public:
+  void EmitToWire(net::Packet p) override { wire.push_back(p); }
+  void WakeAcceptors(net::ListenSocket&) override {}
+  void WakeConnection(net::Connection&) override {}
+  void NotifyPendingNetWork(std::uint64_t) override {}
+  void OnSynDrop(net::ListenSocket&, net::Addr) override {}
+
+  std::vector<net::Packet> wire;
+};
+
+net::Packet ChurnPacket(net::PacketType type, std::uint64_t flow) {
+  net::Packet p;
+  p.type = type;
+  p.src = net::Endpoint{net::MakeAddr(10, 1, 0, 1), 12345};
+  p.dst = net::Endpoint{net::Addr{0}, 80};
+  p.flow_id = flow;
+  return p;
+}
+
+class ConnectionChurnTest : public ::testing::Test {
+ protected:
+  void Deliver(net::Stack& stack, const net::Packet& p) {
+    auto work = stack.HandleArrival(p);
+    if (work.has_value()) {
+      work->apply();
+    }
+  }
+
+  void Establish(net::Stack& stack, std::uint64_t flow) {
+    Deliver(stack, ChurnPacket(net::PacketType::kSyn, flow));
+    Deliver(stack, ChurnPacket(net::PacketType::kAck, flow));
+  }
+
+  rc::ContainerManager manager_;
+  ChurnEnv env_;
+  net::StackCosts costs_;
+};
+
+TEST_F(ConnectionChurnTest, EveryTeardownPathReturnsConnectionMemory) {
+  auto c = manager_.Create(nullptr, "server").value();
+  {
+    net::Stack stack(&env_, costs_, net::NetMode::kSoftint);
+    auto ls = stack.Listen(80, net::kMatchAll, c, 1, /*syn_backlog=*/2).value();
+
+    // Path 1: client FIN.
+    Establish(stack, 1);
+    Deliver(stack, ChurnPacket(net::PacketType::kFin, 1));
+    // Path 2: client RST.
+    Establish(stack, 2);
+    Deliver(stack, ChurnPacket(net::PacketType::kRst, 2));
+    // Path 3: server-side Close of an accepted connection.
+    Establish(stack, 3);
+    auto conn = stack.Accept(*ls);
+    ASSERT_NE(conn, nullptr);
+    stack.Close(*conn);
+    // Path 4: SYN-queue overflow evicts the oldest half-open victim.
+    Deliver(stack, ChurnPacket(net::PacketType::kSyn, 4));
+    Deliver(stack, ChurnPacket(net::PacketType::kSyn, 5));
+    Deliver(stack, ChurnPacket(net::PacketType::kSyn, 6));  // evicts flow 4
+    // Path 5: CloseListen tears down half-open and accept-queued PCBs.
+    Establish(stack, 7);
+    stack.CloseListen(ls);
+
+    EXPECT_EQ(stack.pcb_count(), 0u);
+    EXPECT_EQ(stack.connection_memory_bytes(), 0);
+    EXPECT_EQ(c->usage().memory_bytes, 0);
+    EXPECT_EQ(c->subtree_memory_bytes(), 0);
+
+    // Path 6: stack destruction with live PCBs (re-listen, leave half-open).
+    auto ls2 = stack.Listen(81, net::kMatchAll, c, 2).value();
+    auto syn = ChurnPacket(net::PacketType::kSyn, 8);
+    syn.dst.port = 81;
+    Deliver(stack, syn);
+    EXPECT_GT(stack.connection_memory_bytes(), 0);
+  }
+  EXPECT_EQ(c->usage().memory_bytes, 0);
+  EXPECT_EQ(c->subtree_memory_bytes(), 0);
+}
+
+TEST_F(ConnectionChurnTest, RefusedConnectionChargeDropsTheSynWithoutResidue) {
+  rc::Attributes tiny;
+  tiny.memory_limit_bytes = costs_.connection_memory_bytes - 1;
+  auto c = manager_.Create(nullptr, "tiny", tiny).value();
+  net::Stack stack(&env_, costs_, net::NetMode::kSoftint);
+  ASSERT_TRUE(stack.Listen(80, net::kMatchAll, c, 1).ok());
+
+  Deliver(stack, ChurnPacket(net::PacketType::kSyn, 1));
+  EXPECT_EQ(stack.stats().mem_reject_drops, 1u);
+  EXPECT_EQ(stack.pcb_count(), 0u);
+  EXPECT_EQ(stack.connection_memory_bytes(), 0);
+  EXPECT_EQ(c->usage().memory_bytes, 0);
+  ASSERT_FALSE(env_.wire.empty());
+  EXPECT_EQ(env_.wire.back().type, net::PacketType::kRst);
+}
+
+// --- Epoch-wise conservation under the auditor ------------------------------
+
+TEST(MemoryConservationTest, AuditedScenarioConservesResidentBytesEveryEpoch) {
+  xp::ScenarioOptions options;
+  options.kernel_config = kernel::ResourceContainerSystemConfig();
+  options.kernel_config.memory_bytes = 8 * 1024 * kKiB;
+  options.audit = true;
+  options.telemetry = true;
+  xp::Scenario scenario(options);
+
+  auto latency =
+      scenario.kernel().containers().Create(nullptr, "latency", FixedMemory(0.25)).value();
+  auto hog =
+      scenario.kernel().containers().Create(nullptr, "hog", TimeShareMemory()).value();
+
+  // Cache pressure with interleaved epochs: every RunFor runs the auditor's
+  // conservation families, including resident-byte conservation (family 6),
+  // fatally on violation.
+  const std::int64_t guarantee = scenario.kernel().memory().GuaranteeBytes(*latency);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    scenario.cache().Insert(100 + i, static_cast<std::uint32_t>(guarantee / 16),
+                            latency);
+  }
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    scenario.cache().Insert(1000 + i, 64 * static_cast<std::uint32_t>(kKiB), hog);
+    if ((i & 7) == 0) {
+      scenario.RunFor(sim::Msec(1));
+    }
+  }
+  // Non-reclaimable pressure and release, audited across epochs too.
+  ASSERT_TRUE(hog->ChargeMemory(64 * kKiB, rc::MemorySource::kOther).ok());
+  scenario.RunFor(sim::Msec(2));
+  hog->ReleaseMemory(64 * kKiB, rc::MemorySource::kOther);
+  scenario.RunFor(sim::Msec(2));
+
+  EXPECT_EQ(scenario.kernel().AuditCheck(), std::vector<std::string>{});
+  EXPECT_GT(scenario.kernel().memory().stats().reclaimed_bytes, 0);
+  EXPECT_GE(latency->usage().memory_bytes, guarantee);
+}
+
+}  // namespace

@@ -40,6 +40,20 @@
 //   --link-mbps=X                model the transmit link as a fixed-rate,
 //                                container-scheduled device (default 0: the
 //                                link is infinitely fast, as before)
+//   --memory-bytes=N             machine physical memory (default 0: memory
+//                                is unscheduled; limits only). Enables the
+//                                memory broker: entitlements, guarantees and
+//                                reclaim from the file cache
+//   --memory-shares=A,B,...      create one fixed-memory-share container per
+//                                percentage, each streaming documents through
+//                                the file cache, and report how resident
+//                                bytes actually split (requires
+//                                --memory-bytes)
+//   --memory-guarantee=P         create a container with a P% fixed memory
+//                                share holding a working set equal to its
+//                                guaranteed resident bytes; report the
+//                                minimum it held across the run (requires
+//                                --memory-bytes)
 //   --cache-bytes=N              bound the server file cache (LRU eviction,
 //                                resident bytes charged to the server's
 //                                container; default 0 = unbounded)
@@ -63,12 +77,15 @@
 //   --digest                     print "digest: <16 hex>" — an FNV-1a hash of
 //                                the full event timeline. Same seed + flags
 //                                must reproduce the same digest.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -99,6 +116,9 @@ struct Flags {
   std::string irq_steering = "flow";
   std::string disk_shares;
   double link_mbps = 0.0;
+  long long memory_bytes = 0;
+  std::string memory_shares;
+  double memory_guarantee = 0.0;  // fraction of machine memory
   long long cache_bytes = 0;
   std::uint64_t seed = 42;
   double warmup = 2.0;
@@ -272,6 +292,12 @@ int main(int argc, char** argv) {
       flags.disk_shares = value;
     } else if (ParseFlag(a, "--link-mbps", &value)) {
       flags.link_mbps = std::atof(value.c_str());
+    } else if (ParseFlag(a, "--memory-bytes", &value)) {
+      flags.memory_bytes = std::atoll(value.c_str());
+    } else if (ParseFlag(a, "--memory-shares", &value)) {
+      flags.memory_shares = value;
+    } else if (ParseFlag(a, "--memory-guarantee", &value)) {
+      flags.memory_guarantee = std::atof(value.c_str()) / 100.0;
     } else if (ParseFlag(a, "--cache-bytes", &value)) {
       flags.cache_bytes = std::atoll(value.c_str());
     } else if (ParseFlag(a, "--seed", &value)) {
@@ -359,6 +385,37 @@ int main(int argc, char** argv) {
   }
   options.kernel_config.link_mbps = flags.link_mbps;
 
+  std::vector<double> memory_shares;
+  if (!flags.memory_shares.empty()) {
+    memory_shares = ParseShareList(flags.memory_shares);
+    double sum = flags.memory_guarantee;
+    for (double s : memory_shares) {
+      sum += s;
+    }
+    if (memory_shares.empty() || sum > 1.0 + 1e-9) {
+      std::fprintf(stderr,
+                   "bad --memory-shares value: %s (percentages, sum with "
+                   "--memory-guarantee <= 100)\n",
+                   flags.memory_shares.c_str());
+      return Usage();
+    }
+  }
+  if (flags.memory_guarantee < 0.0 || flags.memory_guarantee > 1.0) {
+    std::fprintf(stderr, "--memory-guarantee must be in [0, 100]\n");
+    return Usage();
+  }
+  if ((!memory_shares.empty() || flags.memory_guarantee > 0) &&
+      flags.memory_bytes <= 0) {
+    std::fprintf(stderr,
+                 "--memory-shares/--memory-guarantee require --memory-bytes\n");
+    return Usage();
+  }
+  if (flags.memory_bytes < 0) {
+    std::fprintf(stderr, "--memory-bytes must be >= 0\n");
+    return Usage();
+  }
+  options.kernel_config.memory_bytes = flags.memory_bytes;
+
   if (flags.epoch_ms <= 0) {
     std::fprintf(stderr, "--epoch-ms must be positive\n");
     return Usage();
@@ -439,6 +496,81 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Self-rearming simulator timer (runs until the scenario ends).
+  struct Periodic {
+    sim::Simulator* simr;
+    sim::Duration period;
+    std::function<void()> fn;
+    void Arm() {
+      simr->After(period, [this] {
+        fn();
+        Arm();
+      });
+    }
+  };
+  std::vector<std::unique_ptr<Periodic>> periodics;
+  auto every = [&](sim::Duration period, std::function<void()> fn) {
+    periodics.push_back(std::make_unique<Periodic>(
+        Periodic{&scenario.simulator(), period, std::move(fn)}));
+    periodics.back()->Arm();
+  };
+
+  // --memory-guarantee: a tenant whose file-cache working set equals its
+  // guaranteed resident bytes; the report shows the minimum resident bytes
+  // it held while everyone else fought over the rest of the machine.
+  rc::ContainerRef mem_guaranteed;
+  std::int64_t mem_guarantee_bytes = 0;
+  auto mem_guarantee_min = std::make_shared<std::int64_t>(0);
+  if (flags.memory_guarantee > 0) {
+    rc::Attributes a;
+    a.memory.override_sched = true;
+    a.memory.sched.cls = rc::SchedClass::kFixedShare;
+    a.memory.sched.fixed_share = flags.memory_guarantee;
+    auto ct = scenario.kernel().containers().Create(nullptr, "mem-guaranteed", a);
+    if (!ct.ok()) {
+      std::fprintf(stderr, "--memory-guarantee: %s\n", rccommon::ErrcName(ct.error()));
+      return 1;
+    }
+    mem_guaranteed = *ct;
+    mem_guarantee_bytes = scenario.kernel().memory().GuaranteeBytes(*mem_guaranteed);
+    constexpr std::uint32_t kDocs = 32;
+    const auto doc_bytes =
+        static_cast<std::uint32_t>(mem_guarantee_bytes / kDocs);
+    for (std::uint32_t i = 0; i < kDocs && doc_bytes > 0; ++i) {
+      scenario.cache().Insert(900000 + i, doc_bytes, mem_guaranteed);
+    }
+    *mem_guarantee_min = mem_guaranteed->usage().memory_bytes;
+    every(sim::Msec(flags.epoch_ms), [mem_guarantee_min, mem_guaranteed] {
+      *mem_guarantee_min =
+          std::min(*mem_guarantee_min, mem_guaranteed->usage().memory_bytes);
+    });
+  }
+
+  // --memory-shares: one fixed-memory-share container per entry, each
+  // streaming fresh documents through the file cache, so machine memory
+  // stays saturated and the broker decides whose documents stay resident.
+  std::vector<rc::ContainerRef> mem_cts;
+  for (std::size_t i = 0; i < memory_shares.size(); ++i) {
+    rc::Attributes a;
+    a.memory.override_sched = true;
+    a.memory.sched.cls = rc::SchedClass::kFixedShare;
+    a.memory.sched.fixed_share = memory_shares[i];
+    auto ct = scenario.kernel().containers().Create(
+        nullptr, "mem-" + std::to_string(i), a);
+    if (!ct.ok()) {
+      std::fprintf(stderr, "--memory-shares: %s\n", rccommon::ErrcName(ct.error()));
+      return 1;
+    }
+    mem_cts.push_back(*ct);
+    auto next_id = std::make_shared<std::uint32_t>(
+        1000000 + static_cast<std::uint32_t>(i) * 100000);
+    rc::ContainerRef tenant = *ct;
+    xp::Scenario* sc = &scenario;
+    every(sim::Msec(1), [sc, tenant, next_id] {
+      sc->cache().Insert((*next_id)++, 64 * 1024, tenant);
+    });
+  }
+
   scenario.StartAllClients();
   scenario.RunFor(static_cast<sim::Duration>(flags.warmup * sim::kSec));
   scenario.ResetClientStats();
@@ -468,6 +600,18 @@ int main(int argc, char** argv) {
   const double link_util =
       static_cast<double>(scenario.kernel().link().stats().busy_usec - link0) /
       static_cast<double>(cpu1.at - cpu0.at);
+  std::vector<double> mem_fracs(mem_cts.size(), 0.0);
+  {
+    std::int64_t total = 0;
+    for (const auto& ct : mem_cts) {
+      total += ct->usage().memory_bytes;
+    }
+    for (std::size_t i = 0; i < mem_cts.size(); ++i) {
+      mem_fracs[i] = total > 0 ? static_cast<double>(mem_cts[i]->usage().memory_bytes) /
+                                     static_cast<double>(total)
+                               : 0.0;
+    }
+  }
 
   const double secs = sim::ToSeconds(cpu1.at - cpu0.at);
   const double tput = static_cast<double>(scenario.TotalCompleted()) / secs;
@@ -526,6 +670,15 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < disk_fracs.size(); ++i) {
       bench.Add("disk_share_" + std::to_string(i), disk_fracs[i], "fraction", config);
     }
+    for (std::size_t i = 0; i < mem_fracs.size(); ++i) {
+      bench.Add("memory_share_" + std::to_string(i), mem_fracs[i], "fraction", config);
+    }
+    if (flags.memory_guarantee > 0) {
+      bench.Add("memory_guarantee_bytes", static_cast<double>(mem_guarantee_bytes),
+                "bytes", config);
+      bench.Add("memory_guarantee_min_resident",
+                static_cast<double>(*mem_guarantee_min), "bytes", config);
+    }
     if (flags.link_mbps > 0) bench.Add("link_utilization", link_util, "fraction", config);
     bench.Add("client_timeouts", static_cast<double>(timeouts), "count", config);
     bench.Add("client_failures", static_cast<double>(failures), "count", config);
@@ -569,6 +722,16 @@ int main(int argc, char** argv) {
     report.AddRow({"disk share " + std::to_string(i) + " (want " +
                        xp::FormatDouble(100 * disk_shares[i], 0) + "%)",
                    xp::FormatDouble(100 * disk_fracs[i], 1) + "%"});
+  }
+  for (std::size_t i = 0; i < mem_fracs.size(); ++i) {
+    report.AddRow({"memory share " + std::to_string(i) + " (want " +
+                       xp::FormatDouble(100 * memory_shares[i], 0) + "%)",
+                   xp::FormatDouble(100 * mem_fracs[i], 1) + "%"});
+  }
+  if (flags.memory_guarantee > 0) {
+    report.AddRow({"memory guarantee (bytes)", std::to_string(mem_guarantee_bytes)});
+    report.AddRow({"memory min resident (bytes)",
+                   std::to_string(*mem_guarantee_min)});
   }
   if (flags.link_mbps > 0) {
     report.AddRow({"link utilization", xp::FormatDouble(100 * link_util, 1) + "%"});
