@@ -1,0 +1,534 @@
+// Container-lifecycle throughput microbenchmark: creates+destroys/sec on a
+// high-churn connection workload (10k live containers, 2M churned through),
+// fast path vs the seed's lifecycle path.
+//
+// The workload models a busy server: 128 listen classes, each a fixed-share
+// class container, with per-connection containers round-robined across
+// classes. Every connection is time-share for CPU (priority-scheduled, as in
+// the paper's Web server) and carries a tiny fixed memory guarantee — the
+// per-connection reservation the memory share tree arbitrates — so creation
+// exercises the sibling-budget validation. Connections are charged a few
+// microseconds of CPU and destroyed as the live window slides; an epoch
+// sampler snapshots every live container periodically, as rcsim's telemetry
+// does.
+//
+// The "seed" side is an in-bench replica of the pre-fast-path lifecycle
+// semantics (see the seed commit's src/rc/manager.* and telemetry/sampler.*):
+// per-create heap-allocated containers behind `shared_ptr(new ...)` with a
+// per-instance name string, O(siblings) per-kind share-sum validation walks,
+// an id-keyed unordered_map<id, weak_ptr> registry, destroy dispatch through
+// a vector of std::function observers, and a map-based sampler that locks
+// every weak_ptr and sorts per epoch. The fast side is the real
+// rc::ContainerManager (slab arena, dense slots, interned names, incremental
+// share sums, typed listeners, container templates) plus the real
+// telemetry::EpochSampler.
+//
+// Both sides run the identical operation sequence and must agree on the
+// retired-usage totals per class — the comparison is only meaningful if the
+// two paths did the same accounting work.
+//
+// The binary gates itself: the fast path must reach >= 2x the seed path's
+// creates+destroys/sec (both sides measured in the same process, so the
+// gate is independent of runner speed). --check-against=FILE additionally
+// fails if the speedup regressed more than --tolerance (default 10%) below
+// a committed BENCH_lifecycle.json.
+//
+// Flags: --live=N (default 10000), --churn=N (default 2000000),
+//        --classes=N (default 128), --sample-every=N (default 100000),
+//        --seed=N, --metrics-out[=FILE], --check-against=FILE,
+//        --tolerance=F.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/rc/attributes.h"
+#include "src/rc/lifecycle.h"
+#include "src/rc/manager.h"
+#include "src/sim/simulator.h"
+#include "src/telemetry/bench_io.h"
+#include "src/telemetry/json.h"
+#include "src/telemetry/sampler.h"
+#include "src/xp/table.h"
+
+namespace {
+
+struct BenchConfig {
+  int live = 10000;
+  std::uint64_t churn = 2000000;
+  int classes = 128;
+  std::uint64_t sample_every = 100000;
+  std::uint64_t seed = 42;
+};
+
+struct BenchResult {
+  double wall_seconds = 0;
+  double ops_per_sec = 0;  // creates + destroys per wall second
+  std::uint64_t creates = 0;
+  std::uint64_t destroys = 0;
+  std::uint64_t destroy_notifications = 0;
+  // Σ retired cpu_user_usec across the class containers: the accounting
+  // fingerprint both sides must agree on.
+  std::uint64_t retired_cpu_usec = 0;
+};
+
+// How many microseconds connection i is charged before it dies.
+std::uint64_t ChargeFor(std::uint64_t i) { return 1 + (i % 17); }
+
+// Per-connection fixed memory guarantee: tiny, so 10k live siblings stay
+// far under the parent's budget.
+constexpr double kConnMemoryShare = 1e-6;
+
+// ---------------------------------------------------------------------------
+// Seed-path replica (pre-fast-path lifecycle semantics)
+// ---------------------------------------------------------------------------
+
+namespace legacy {
+
+constexpr int kKinds = 4;  // cpu, disk, link, memory — as rc::ResourceKind
+
+struct Attrs {
+  bool fixed[kKinds] = {false, false, false, false};
+  double share[kKinds] = {0, 0, 0, 0};
+  int priority = 5;
+};
+
+struct Usage {
+  std::uint64_t cpu_user_usec = 0;
+  std::uint64_t cpu_kernel_usec = 0;
+  std::int64_t memory_bytes = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t bytes_sent = 0;
+
+  void Add(const Usage& o) {
+    cpu_user_usec += o.cpu_user_usec;
+    cpu_kernel_usec += o.cpu_kernel_usec;
+    memory_bytes += o.memory_bytes;
+    packets_received += o.packets_received;
+    bytes_sent += o.bytes_sent;
+  }
+};
+
+class Manager;
+
+// Mirrors the seed ResourceContainer: individually heap-allocated behind
+// shared_ptr(new ...) — two allocations per container — with a per-instance
+// name string and a children vector.
+struct Container {
+  Container(Manager* m, std::uint64_t id, std::string name, const Attrs& attrs)
+      : manager(m), id(id), name(std::move(name)), attrs(attrs) {}
+  ~Container();
+
+  Manager* manager;
+  std::uint64_t id;
+  std::string name;
+  Attrs attrs;
+  Container* parent = nullptr;
+  std::vector<Container*> children;
+  Usage usage;
+  Usage retired;
+};
+
+using Ref = std::shared_ptr<Container>;
+
+class Manager {
+ public:
+  Manager() {
+    Attrs root_attrs;
+    root_attrs.fixed[0] = true;
+    root_attrs.share[0] = 1.0;
+    root_ = Ref(new Container(this, next_id_++, "root", root_attrs));
+    index_[root_->id] = root_;
+  }
+  ~Manager() {
+    alive_ = false;
+    root_.reset();
+  }
+
+  Ref Create(const Ref& parent, std::string name, const Attrs& attrs) {
+    Container* p = parent ? parent.get() : root_.get();
+    // The seed's CheckParentEligible: one O(children) walk per fixed-share
+    // kind on the child.
+    for (int k = 0; k < kKinds; ++k) {
+      if (!attrs.fixed[k]) {
+        continue;
+      }
+      double sum = 0.0;
+      for (const Container* child : p->children) {
+        if (child->attrs.fixed[k]) {
+          sum += child->attrs.share[k];
+        }
+      }
+      if (sum + attrs.share[k] > 1.0 + 1e-9) {
+        return nullptr;
+      }
+    }
+    Ref c(new Container(this, next_id_++, std::move(name), attrs));
+    c->parent = p;
+    p->children.push_back(c.get());
+    index_[c->id] = c;
+    return c;
+  }
+
+  void AddDestroyObserver(std::function<void(Container&)> observer) {
+    destroy_observers_.push_back(std::move(observer));
+  }
+
+  void OnDestroy(Container& c) {
+    for (auto& observer : destroy_observers_) {
+      observer(c);
+    }
+    index_.erase(c.id);
+  }
+
+  bool alive() const { return alive_; }
+  const Ref& root() const { return root_; }
+  const std::unordered_map<std::uint64_t, std::weak_ptr<Container>>& index() const {
+    return index_;
+  }
+
+ private:
+  bool alive_ = true;
+  Ref root_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::weak_ptr<Container>> index_;
+  std::vector<std::function<void(Container&)>> destroy_observers_;
+};
+
+Container::~Container() {
+  if (manager == nullptr || !manager->alive()) {
+    return;
+  }
+  // Seed destroy sequence: retire usage into the parent, leave the sibling
+  // list, notify observers, drop the index entry.
+  if (parent != nullptr) {
+    parent->retired.Add(usage);
+    parent->retired.Add(retired);
+    auto it = std::find(parent->children.begin(), parent->children.end(), this);
+    if (it != parent->children.end()) {
+      parent->children.erase(it);
+    }
+  }
+  manager->OnDestroy(*this);
+}
+
+// The seed EpochSampler: an id-keyed std::map of series, fed by a ForEachLive
+// that locks every weak_ptr and sorts by id each epoch; destroy observation
+// is a map find per dying container. Series are retained forever.
+class Sampler {
+ public:
+  explicit Sampler(Manager* m) : manager_(m) {
+    manager_->AddDestroyObserver([this](Container& c) {
+      auto it = series_.find(c.id);
+      if (it != series_.end() && it->second.retired_at < 0) {
+        it->second.retired_at = now_;
+      }
+    });
+  }
+
+  void SampleNow() {
+    ++now_;
+    std::vector<Ref> live;
+    live.reserve(manager_->index().size());
+    for (const auto& [id, weak] : manager_->index()) {
+      if (Ref ref = weak.lock()) {
+        live.push_back(std::move(ref));
+      }
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Ref& a, const Ref& b) { return a->id < b->id; });
+    for (const Ref& c : live) {
+      auto [it, inserted] = series_.try_emplace(c->id);
+      if (inserted) {
+        it->second.id = c->id;
+        it->second.name = c->name;
+      }
+      it->second.samples.push_back(c->usage);
+    }
+  }
+
+  std::size_t series_count() const { return series_.size(); }
+
+ private:
+  struct Series {
+    std::uint64_t id = 0;
+    std::string name;
+    std::int64_t retired_at = -1;
+    std::vector<Usage> samples;
+  };
+
+  Manager* manager_;
+  std::int64_t now_ = 0;
+  std::map<std::uint64_t, Series> series_;
+};
+
+}  // namespace legacy
+
+// ---------------------------------------------------------------------------
+// Workload drivers
+// ---------------------------------------------------------------------------
+
+BenchResult RunLegacy(const BenchConfig& cfg) {
+  const auto start = std::chrono::steady_clock::now();
+  legacy::Manager m;
+  legacy::Sampler sampler(&m);
+  // The observer population the seed kernel carried: scheduler, four share
+  // trees (cpu/disk/link/memory) — each a std::function dispatched per
+  // destroy (the sampler's observer makes one more).
+  std::uint64_t notified = 0;  // events seen by the first observer
+  std::uint64_t fanout = 0;    // total callbacks across the other four
+  m.AddDestroyObserver([&notified](legacy::Container&) { ++notified; });
+  for (int i = 0; i < 4; ++i) {
+    m.AddDestroyObserver([&fanout](legacy::Container&) { ++fanout; });
+  }
+
+  std::vector<legacy::Ref> classes;
+  for (int i = 0; i < cfg.classes; ++i) {
+    legacy::Attrs a;
+    a.fixed[0] = true;
+    a.share[0] = 0.9 / cfg.classes;
+    classes.push_back(m.Create(nullptr, "class-" + std::to_string(i), a));
+    RC_CHECK(classes.back() != nullptr);
+  }
+
+  legacy::Attrs conn_attrs;
+  conn_attrs.fixed[3] = true;  // per-connection memory guarantee
+  conn_attrs.share[3] = kConnMemoryShare;
+
+  BenchResult r;
+  std::deque<legacy::Ref> window;
+  for (std::uint64_t i = 0; i < cfg.churn; ++i) {
+    auto c = m.Create(classes[i % cfg.classes], "conn", conn_attrs);
+    RC_CHECK(c != nullptr);
+    c->usage.cpu_user_usec += ChargeFor(i);
+    window.push_back(std::move(c));
+    ++r.creates;
+    if (window.size() > static_cast<std::size_t>(cfg.live)) {
+      window.pop_front();
+      ++r.destroys;
+    }
+    if ((i + 1) % cfg.sample_every == 0) {
+      sampler.SampleNow();
+    }
+  }
+  r.destroys += window.size();
+  window.clear();
+
+  for (const auto& cls : classes) {
+    r.retired_cpu_usec += cls->retired.cpu_user_usec;
+  }
+  r.destroy_notifications = notified;
+  const auto end = std::chrono::steady_clock::now();
+  r.wall_seconds = std::chrono::duration<double>(end - start).count();
+  r.ops_per_sec = static_cast<double>(r.creates + r.destroys) / r.wall_seconds;
+  return r;
+}
+
+struct CountingListener : rc::LifecycleListener {
+  void OnContainerDestroyed(rc::ResourceContainer&) override { ++destroys; }
+  std::uint64_t destroys = 0;
+};
+
+BenchResult RunFast(const BenchConfig& cfg) {
+  const auto start = std::chrono::steady_clock::now();
+  sim::Simulator simr;
+  rc::ContainerManager m;
+  telemetry::EpochSampler sampler(&simr, &m, /*interval=*/1000);
+  // Match the seed side's observer population: five typed listeners (the
+  // kernel's scheduler + four share trees register this way; the sampler
+  // above is the sixth).
+  CountingListener listeners[5];
+  for (auto& l : listeners) {
+    m.AddLifecycleListener(&l);
+  }
+
+  std::vector<rc::ContainerRef> classes;
+  std::vector<rc::ContainerTemplateRef> templates;
+  for (int i = 0; i < cfg.classes; ++i) {
+    rc::Attributes a;
+    a.sched.cls = rc::SchedClass::kFixedShare;
+    a.sched.fixed_share = 0.9 / cfg.classes;
+    classes.push_back(m.Create(nullptr, "class-" + std::to_string(i), a).value());
+    // One pre-validated "conn" recipe per class, as the servers prepare per
+    // listen class.
+    rc::Attributes conn;
+    conn.memory.override_sched = true;
+    conn.memory.sched.cls = rc::SchedClass::kFixedShare;
+    conn.memory.sched.fixed_share = kConnMemoryShare;
+    templates.push_back(m.PrepareTemplate(classes.back(), "conn", conn).value());
+  }
+
+  BenchResult r;
+  std::deque<rc::ContainerRef> window;
+  for (std::uint64_t i = 0; i < cfg.churn; ++i) {
+    auto c = m.CreateFromTemplate(*templates[i % cfg.classes]).value();
+    c->ChargeCpu(static_cast<sim::Duration>(ChargeFor(i)), rc::CpuKind::kUser);
+    window.push_back(std::move(c));
+    ++r.creates;
+    if (window.size() > static_cast<std::size_t>(cfg.live)) {
+      window.pop_front();
+      ++r.destroys;
+    }
+    if ((i + 1) % cfg.sample_every == 0) {
+      sampler.SampleNow();
+    }
+  }
+  r.destroys += window.size();
+  window.clear();
+
+  for (const auto& cls : classes) {
+    r.retired_cpu_usec +=
+        static_cast<std::uint64_t>(cls->retired_usage().cpu_user_usec);
+  }
+  r.destroy_notifications = listeners[0].destroys;
+  const auto end = std::chrono::steady_clock::now();
+  r.wall_seconds = std::chrono::duration<double>(end - start).count();
+  r.ops_per_sec = static_cast<double>(r.creates + r.destroys) / r.wall_seconds;
+  return r;
+}
+
+double BaselineValue(const telemetry::JsonValue& doc, const std::string& metric,
+                     const std::string& config_prefix) {
+  if (!doc.is_array()) {
+    return -1;
+  }
+  for (const telemetry::JsonValue& e : doc.array) {
+    if (e.StringOr("metric", "") == metric &&
+        e.StringOr("config", "").rfind(config_prefix, 0) == 0) {
+      return e.NumberOr("value", -1);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  telemetry::BenchReport report("lifecycle", argc, argv);
+
+  BenchConfig cfg;
+  std::string check_against;
+  double tolerance = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--live=", 7) == 0) {
+      cfg.live = std::atoi(a + 7);
+    } else if (std::strncmp(a, "--churn=", 8) == 0) {
+      cfg.churn = static_cast<std::uint64_t>(std::atoll(a + 8));
+    } else if (std::strncmp(a, "--classes=", 10) == 0) {
+      cfg.classes = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--sample-every=", 15) == 0) {
+      cfg.sample_every = static_cast<std::uint64_t>(std::atoll(a + 15));
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--check-against=", 16) == 0) {
+      check_against = a + 16;
+    } else if (std::strncmp(a, "--tolerance=", 12) == 0) {
+      tolerance = std::atof(a + 12);
+    }
+  }
+
+  std::printf("=== container lifecycle: %d live, %llu churned, %d classes ===\n\n",
+              cfg.live, static_cast<unsigned long long>(cfg.churn), cfg.classes);
+
+  const BenchResult seed = RunLegacy(cfg);
+  const BenchResult fast = RunFast(cfg);
+
+  // Differential: identical operation sequence => identical accounting.
+  if (seed.creates != fast.creates || seed.destroys != fast.destroys ||
+      seed.retired_cpu_usec != fast.retired_cpu_usec) {
+    std::fprintf(stderr,
+                 "path divergence: seed %llu/%llu retired %llu vs fast %llu/%llu "
+                 "retired %llu\n",
+                 static_cast<unsigned long long>(seed.creates),
+                 static_cast<unsigned long long>(seed.destroys),
+                 static_cast<unsigned long long>(seed.retired_cpu_usec),
+                 static_cast<unsigned long long>(fast.creates),
+                 static_cast<unsigned long long>(fast.destroys),
+                 static_cast<unsigned long long>(fast.retired_cpu_usec));
+    return 1;
+  }
+  // Every destroy must have dispatched a notification on both paths.
+  if (seed.destroy_notifications != seed.destroys ||
+      fast.destroy_notifications != fast.destroys) {
+    std::fprintf(stderr, "lost destroy notifications: seed %llu/%llu fast %llu/%llu\n",
+                 static_cast<unsigned long long>(seed.destroy_notifications),
+                 static_cast<unsigned long long>(seed.destroys),
+                 static_cast<unsigned long long>(fast.destroy_notifications),
+                 static_cast<unsigned long long>(fast.destroys));
+    return 1;
+  }
+
+  const double speedup = fast.ops_per_sec / seed.ops_per_sec;
+
+  xp::Table table({"path", "ops/s", "wall s", "creates", "destroys", "retired usec"});
+  auto row = [&](const char* name, const BenchResult& r) {
+    table.AddRow({name, xp::FormatDouble(r.ops_per_sec, 0),
+                  xp::FormatDouble(r.wall_seconds, 2), std::to_string(r.creates),
+                  std::to_string(r.destroys), std::to_string(r.retired_cpu_usec)});
+  };
+  row("seed (map registry, share walk)", seed);
+  row("fast (slab, slots, templates)", fast);
+  table.Print(std::cout);
+  std::printf("speedup (fast vs seed): %.2fx  [target >= 2x]\n", speedup);
+
+  const std::string conf = "live=" + std::to_string(cfg.live) +
+                           ",churn=" + std::to_string(cfg.churn) +
+                           ",classes=" + std::to_string(cfg.classes);
+  report.Add("ops_per_sec", fast.ops_per_sec, "ops/s", "fast," + conf);
+  report.Add("ops_per_sec", seed.ops_per_sec, "ops/s", "seed," + conf);
+  report.Add("speedup", speedup, "ratio", "fast-vs-seed," + conf);
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write %s\n", report.path().c_str());
+    return 1;
+  }
+
+  // In-process gate: the fast path must clear 2x regardless of runner speed.
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "lifecycle fast path below 2x target: %.2fx\n", speedup);
+    return 1;
+  }
+
+  if (!check_against.empty()) {
+    std::ifstream in(check_against);
+    if (!in) {
+      std::fprintf(stderr, "--check-against: cannot read %s\n", check_against.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto doc = telemetry::ParseJson(buf.str());
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "--check-against: %s is not valid JSON\n",
+                   check_against.c_str());
+      return 1;
+    }
+    const double base = BaselineValue(*doc, "speedup", "fast-vs-seed");
+    if (base <= 0) {
+      std::fprintf(stderr, "--check-against: no fast-vs-seed speedup in %s\n",
+                   check_against.c_str());
+      return 1;
+    }
+    const double floor = base * (1.0 - tolerance);
+    std::printf("baseline speedup %.2fx, floor %.2fx (tolerance %.0f%%): %s\n", base,
+                floor, tolerance * 100, speedup >= floor ? "OK" : "REGRESSED");
+    if (speedup < floor) {
+      return 1;
+    }
+  }
+  return 0;
+}

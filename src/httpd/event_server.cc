@@ -48,6 +48,14 @@ kernel::Program EventDrivenServer::Run(Sys sys) {
     a.sched.fixed_share = config_.cgi_share;
     a.cpu_limit = config_.cgi_share;
     cgi_parent_fd_ = (co_await sys.CreateContainer("cgi-parent", a, scope_fd)).value();
+    // Per-request "cgi-req" containers all share one recipe: validate it
+    // once against the sandbox parent (template preparation is setup work,
+    // not a syscall).
+    auto cgi_parent = proc_->fds().Get<rc::ContainerRef>(cgi_parent_fd_);
+    auto tmpl = kernel_->containers().PrepareTemplate(cgi_parent, "cgi-req", {});
+    if (tmpl.ok()) {
+      cgi_req_template_ = *tmpl;
+    }
   }
 
   // One listen socket per client class (the <addr, CIDR-mask> namespace).
@@ -73,7 +81,26 @@ kernel::Program EventDrivenServer::Run(Sys sys) {
                                    config_.accept_backlog);
     RC_CHECK(lfd.ok());
     listen_fds.push_back(*lfd);
-    listen_info_[*lfd] = ListenInfo{cls.priority, class_is_parent ? ct_fd : -1};
+    ListenInfo info;
+    info.priority = cls.priority;
+    info.class_ct_fd = class_is_parent ? ct_fd : -1;
+    if (config_.use_containers) {
+      // Per-connection containers of this class differ only in identity:
+      // validate the attributes once here, then accept via the template
+      // fast path.
+      rc::Attributes conn_attrs;
+      conn_attrs.sched.priority = cls.priority;
+      rc::ContainerRef conn_parent;  // null == top level
+      const int conn_parent_fd = class_is_parent ? ct_fd : scope_fd;
+      if (conn_parent_fd >= 0) {
+        conn_parent = proc_->fds().Get<rc::ContainerRef>(conn_parent_fd);
+      }
+      auto tmpl = kernel_->containers().PrepareTemplate(conn_parent, "conn", conn_attrs);
+      if (tmpl.ok()) {
+        info.conn_template = *tmpl;
+      }
+    }
+    listen_info_[*lfd] = std::move(info);
     if (config_.use_event_api) {
       co_await sys.EventRegister(*lfd);
     }
@@ -172,14 +199,22 @@ kernel::Program EventDrivenServer::Run(Sys sys) {
           ConnCtx ctx;
           ctx.priority = item.priority;
           if (config_.use_containers) {
-            rc::Attributes a;
-            a.sched.priority = ctx.priority;
-            // Nest under the class container when the class has one.
-            const int parent_fd = listen_info_.contains(item.fd) &&
-                                          listen_info_[item.fd].class_ct_fd >= 0
-                                      ? listen_info_[item.fd].class_ct_fd
-                                      : scope_fd;
-            auto ct = co_await sys.CreateContainer("conn", a, parent_fd);
+            rccommon::Expected<int> ct = rccommon::MakeUnexpected(rccommon::Errc::kNotFound);
+            const auto li = listen_info_.find(item.fd);
+            if (li != listen_info_.end() && li->second.conn_template) {
+              ct = co_await sys.CreateContainer(li->second.conn_template);
+            } else {
+              // No prepared template for this socket (e.g. a flood-filter
+              // listen installed at runtime): generic create path.
+              rc::Attributes a;
+              a.sched.priority = ctx.priority;
+              // Nest under the class container when the class has one.
+              const int parent_fd =
+                  li != listen_info_.end() && li->second.class_ct_fd >= 0
+                      ? li->second.class_ct_fd
+                      : scope_fd;
+              ct = co_await sys.CreateContainer("conn", a, parent_fd);
+            }
             if (ct.ok()) {
               ctx.container_fd = *ct;
               co_await sys.BindSocket(cfd, *ct);
@@ -229,7 +264,9 @@ kernel::Program EventDrivenServer::Run(Sys sys) {
           opts.detach = true;
           int request_ct = -1;
           if (config_.use_containers && cgi_parent_fd_ >= 0) {
-            auto ct = co_await sys.CreateContainer("cgi-req", {}, cgi_parent_fd_);
+            auto ct = cgi_req_template_
+                          ? co_await sys.CreateContainer(cgi_req_template_)
+                          : co_await sys.CreateContainer("cgi-req", {}, cgi_parent_fd_);
             if (ct.ok()) {
               request_ct = *ct;
               opts.container_fd = request_ct;

@@ -52,6 +52,10 @@ class EventDrivenServer {
   struct ListenInfo {
     int priority = rc::kDefaultPriority;
     int class_ct_fd = -1;  // parent for per-connection containers, if any
+    // Pre-validated per-class recipe for "conn" containers (attributes
+    // checked once per listen class, reused per connection). Null when
+    // containers are off — fall back to the generic create path.
+    rc::ContainerTemplateRef conn_template;
   };
 
   std::unordered_map<int, ConnCtx> conns_;
@@ -60,6 +64,7 @@ class EventDrivenServer {
   std::unordered_map<std::uint32_t, std::uint64_t> drop_counts_;  // per /24 prefix
   int default_ct_fd_ = -1;
   int cgi_parent_fd_ = -1;
+  rc::ContainerTemplateRef cgi_req_template_;  // "cgi-req" under the sandbox
 
   ServerStats stats_;
   std::uint64_t cgi_completed_ = 0;

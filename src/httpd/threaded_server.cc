@@ -29,6 +29,18 @@ kernel::Program MultiThreadedServer::Init(Sys sys) {
                                  config_.accept_backlog);
   RC_CHECK(lfd.ok());
   listen_fd_ = *lfd;
+  if (config_.use_containers) {
+    // Every connection container uses the same class: validate once, then
+    // workers create through the template fast path.
+    rc::Attributes a;
+    a.sched.priority = cls.priority;
+    rc::ContainerRef parent =
+        config_.nest_under_default ? proc_->default_container() : nullptr;
+    auto tmpl = kernel_->containers().PrepareTemplate(std::move(parent), "conn", a);
+    if (tmpl.ok()) {
+      conn_template_ = *tmpl;
+    }
+  }
   for (int i = 0; i < config_.worker_threads; ++i) {
     kernel_->SpawnThread(proc_, "worker", [this](Sys worker_sys) {
       return Worker(worker_sys);
@@ -52,9 +64,14 @@ kernel::Program MultiThreadedServer::Worker(Sys sys) {
 
     int conn_ct = -1;
     if (config_.use_containers) {
-      rc::Attributes a;
-      a.sched.priority = config_.classes.front().priority;
-      auto ct = co_await sys.CreateContainer("conn", a, scope_fd);
+      rccommon::Expected<int> ct = rccommon::MakeUnexpected(rccommon::Errc::kNotFound);
+      if (conn_template_) {
+        ct = co_await sys.CreateContainer(conn_template_);
+      } else {
+        rc::Attributes a;
+        a.sched.priority = config_.classes.front().priority;
+        ct = co_await sys.CreateContainer("conn", a, scope_fd);
+      }
       if (ct.ok()) {
         conn_ct = *ct;
         co_await sys.BindSocket(cfd, conn_ct);

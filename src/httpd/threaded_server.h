@@ -37,6 +37,9 @@ class MultiThreadedServer {
   const ServerConfig config_;
   kernel::Process* proc_ = nullptr;
   int listen_fd_ = -1;
+  // Pre-validated "conn" recipe shared by every worker (attributes checked
+  // once in Init, reused per accepted connection).
+  rc::ContainerTemplateRef conn_template_;
   ServerStats stats_;
   std::uint64_t cgi_completed_ = 0;
 };

@@ -93,14 +93,4 @@ std::optional<sim::SimTime> HierarchicalScheduler::NextEligibleTime(sim::SimTime
   return tree_.NextEligibleTime(now);
 }
 
-void HierarchicalScheduler::OnContainerDestroyed(rc::ResourceContainer& c) {
-  tree_.OnContainerDestroyed(c);
-}
-
-void HierarchicalScheduler::OnContainerReparented(rc::ResourceContainer& child,
-                                                  rc::ResourceContainer* old_parent,
-                                                  rc::ResourceContainer* new_parent) {
-  tree_.OnContainerReparented(child, old_parent, new_parent);
-}
-
 }  // namespace kernel

@@ -39,9 +39,8 @@ class HierarchicalScheduler : public CpuScheduler {
   void Remove(Thread* t) override;
   void Tick(sim::SimTime now) override;
   std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) override;
-  void OnContainerDestroyed(rc::ResourceContainer& c) override;
-  void OnContainerReparented(rc::ResourceContainer& child, rc::ResourceContainer* old_parent,
-                             rc::ResourceContainer* new_parent) override;
+  // Container lifecycle: the tree registers itself with the manager.
+  void DetachLifecycle() override { tree_.DetachLifecycle(); }
   int runnable_count() const override { return tree_.queued_total(); }
 
   // Test hooks.

@@ -81,27 +81,28 @@ Kernel::Kernel(sim::Simulator* simulator, KernelConfig config)
       wire_sink_(p);
     }
   });
-  containers_.AddDestroyObserver([this](rc::ResourceContainer& c) {
-    if (!shutting_down_) {
-      active_sched_->OnContainerDestroyed(c);
-      disk_->OnContainerDestroyed(c);
-      link_->OnContainerDestroyed(c);
-    }
-  });
-  containers_.AddReparentObserver(
-      [this](rc::ResourceContainer& child, rc::ResourceContainer* old_parent,
-             rc::ResourceContainer* new_parent) {
-        if (!shutting_down_) {
-          active_sched_->OnContainerReparented(child, old_parent, new_parent);
-          disk_->OnContainerReparented(child, old_parent, new_parent);
-          link_->OnContainerReparented(child, old_parent, new_parent);
-        }
-      });
+  // The scheduler/disk/link/memory share trees registered themselves with
+  // the manager above; the kernel listens too, to clean up policies with
+  // private per-container state (decay usage).
+  containers_.AddLifecycleListener(this);
+}
+
+void Kernel::OnContainerDestroyed(rc::ResourceContainer& c) {
+  if (!shutting_down_) {
+    active_sched_->OnContainerDestroyed(c);
+  }
 }
 
 Kernel::~Kernel() {
   Stop();
   shutting_down_ = true;
+  // Unhook the share trees from container lifecycle: processes (and their
+  // threads' container references) die in bulk below, and per-container
+  // scheduler state no longer matters.
+  active_sched_->DetachLifecycle();
+  disk_->DetachLifecycle();
+  link_->DetachLifecycle();
+  memory_broker_->DetachLifecycle();
   // Destroy processes (and their threads' container references) while the
   // scheduler still exists.
   processes_.clear();

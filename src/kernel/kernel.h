@@ -68,7 +68,7 @@ KernelConfig UnmodifiedSystemConfig();        // softint + decay usage
 KernelConfig LrpSystemConfig();               // LRP charging + decay usage
 KernelConfig ResourceContainerSystemConfig(); // RC charging + hierarchical
 
-class Kernel : public net::StackEnv {
+class Kernel : public net::StackEnv, public rc::LifecycleListener {
  public:
   Kernel(sim::Simulator* simulator, KernelConfig config);
   ~Kernel() override;
@@ -227,6 +227,12 @@ class Kernel : public net::StackEnv {
   void WakeConnection(net::Connection& conn) override;
   void NotifyPendingNetWork(std::uint64_t owner_tag) override;
   void OnSynDrop(net::ListenSocket& ls, net::Addr source) override;
+
+  // --- rc::LifecycleListener ------------------------------------------------
+  // Share trees register with the manager themselves; this forwards destroy
+  // events to scheduler policies with private per-container state (decay
+  // usage maps).
+  void OnContainerDestroyed(rc::ResourceContainer& c) override;
 
  private:
   friend class Sys;

@@ -65,6 +65,10 @@ class MemoryBroker : public rc::MemoryArbiter {
   void set_auditor(verify::ChargeAuditor* auditor) { auditor_ = auditor; }
   void RegisterMetrics(telemetry::Registry* registry);
 
+  // The space-shared tree registers itself with the manager for container
+  // lifecycle; this unhooks it early at kernel teardown.
+  void DetachLifecycle() { tree_.DetachLifecycle(); }
+
   // --- Policy introspection -------------------------------------------
   std::int64_t capacity_bytes() const { return tree_.capacity_bytes(); }
   std::int64_t total_bytes() const { return total_; }

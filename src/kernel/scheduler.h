@@ -64,18 +64,15 @@ class CpuScheduler {
   // at which a throttled container becomes eligible again.
   virtual std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) = 0;
 
-  // Drops scheduler state for a destroyed container.
-  virtual void OnContainerDestroyed(rc::ResourceContainer& c) = 0;
+  // Drops scheduler state for a destroyed container. Share-tree-backed
+  // policies register directly with the ContainerManager as
+  // rc::LifecycleListener and need nothing here; the default no-op serves
+  // them. Policies with private per-container state (decay usage) override.
+  virtual void OnContainerDestroyed(rc::ResourceContainer& c) { (void)c; }
 
-  // Keeps hierarchical bookkeeping (runnable counts) consistent when a
-  // container moves in the tree. Default: no-op.
-  virtual void OnContainerReparented(rc::ResourceContainer& child,
-                                     rc::ResourceContainer* old_parent,
-                                     rc::ResourceContainer* new_parent) {
-    (void)child;
-    (void)old_parent;
-    (void)new_parent;
-  }
+  // Unregisters any container-lifecycle listeners the policy holds (kernel
+  // teardown: containers die in bulk and scheduler state no longer matters).
+  virtual void DetachLifecycle() {}
 
   // Number of runnable threads currently queued (diagnostics).
   virtual int runnable_count() const = 0;

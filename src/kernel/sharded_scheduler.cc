@@ -145,11 +145,9 @@ void ShardedScheduler::OnContainerDestroyed(rc::ResourceContainer& c) {
   }
 }
 
-void ShardedScheduler::OnContainerReparented(rc::ResourceContainer& child,
-                                             rc::ResourceContainer* old_parent,
-                                             rc::ResourceContainer* new_parent) {
+void ShardedScheduler::DetachLifecycle() {
   for (auto& shard : shards_) {
-    shard->OnContainerReparented(child, old_parent, new_parent);
+    shard->DetachLifecycle();
   }
 }
 

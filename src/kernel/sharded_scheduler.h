@@ -59,8 +59,7 @@ class ShardedScheduler : public CpuScheduler {
   void Tick(sim::SimTime now) override;
   std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) override;
   void OnContainerDestroyed(rc::ResourceContainer& c) override;
-  void OnContainerReparented(rc::ResourceContainer& child, rc::ResourceContainer* old_parent,
-                             rc::ResourceContainer* new_parent) override;
+  void DetachLifecycle() override;
   int runnable_count() const override;
 
  private:
@@ -89,14 +88,6 @@ class ShardedScheduler : public CpuScheduler {
       // Machine-wide: when any shard's throttled work becomes eligible this
       // CPU can pick it up locally or by stealing.
       return owner_->NextEligibleTime(now);
-    }
-    void OnContainerDestroyed(rc::ResourceContainer& c) override {
-      owner_->OnContainerDestroyed(c);
-    }
-    void OnContainerReparented(rc::ResourceContainer& child,
-                               rc::ResourceContainer* old_parent,
-                               rc::ResourceContainer* new_parent) override {
-      owner_->OnContainerReparented(child, old_parent, new_parent);
     }
     int runnable_count() const override {
       return owner_->shard(cpu_).runnable_count();

@@ -67,6 +67,30 @@ Sys::ActionAwaiter<Expected<int>> Sys::CreateContainer(std::string name,
           std::move(action)};
 }
 
+Sys::ActionAwaiter<Expected<int>> Sys::CreateContainer(rc::ContainerTemplateRef tmpl) {
+  Kernel* k = kernel_;
+  Thread* t = thread_;
+  auto action = [k, t, tmpl = std::move(tmpl)]() -> Expected<int> {
+    if (!tmpl) {
+      return MakeUnexpected(Errc::kInvalidArgument);
+    }
+    if (tmpl->needs_budget_check()) {
+      // A fixed-share sibling changes the residual weight of every
+      // time-share container under the parent; flush charges accrued under
+      // the old split. Time-share templates skip this: they leave the
+      // residual split untouched.
+      k->FlushResourceCharges();
+    }
+    auto created = k->containers().CreateFromTemplate(*tmpl);
+    if (!created.ok()) {
+      return MakeUnexpected(created.error());
+    }
+    return t->process()->fds().Install(*std::move(created));
+  };
+  return {thread_, kernel_->costs().container_create, rc::CpuKind::kKernel,
+          std::move(action)};
+}
+
 Sys::ActionAwaiter<Expected<void>> Sys::CloseFd(int fd) {
   Kernel* k = kernel_;
   Thread* t = thread_;

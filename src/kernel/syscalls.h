@@ -185,6 +185,15 @@ class Sys {
   ActionAwaiter<rccommon::Expected<int>> CreateContainer(
       std::string name, const rc::Attributes& attrs = {}, int parent_fd = -1);
 
+  // The per-connection fast path: creates a container from a template
+  // prepared once per class (ContainerManager::PrepareTemplate — preparation
+  // is a setup-time operation, not a syscall). Charges the same
+  // container_create cost as the generic form but skips per-instance
+  // attribute validation, name interning, and — for time-share classes —
+  // the pre-create charge flush (a time-share sibling does not change the
+  // residual split its siblings were charged under).
+  ActionAwaiter<rccommon::Expected<int>> CreateContainer(rc::ContainerTemplateRef tmpl);
+
   // Releases a descriptor (containers: release reference; sockets: close).
   ActionAwaiter<rccommon::Expected<void>> CloseFd(int fd);
 

@@ -95,15 +95,9 @@ class LinkScheduler {
   // mutating container attributes pending charges were accrued under.
   void FlushCharges() { tree_.Flush(); }
 
-  // Hierarchy lifecycle, forwarded from the kernel's container observers.
-  void OnContainerDestroyed(rc::ResourceContainer& c) {
-    tree_.OnContainerDestroyed(c);
-  }
-  void OnContainerReparented(rc::ResourceContainer& child,
-                             rc::ResourceContainer* old_parent,
-                             rc::ResourceContainer* new_parent) {
-    tree_.OnContainerReparented(child, old_parent, new_parent);
-  }
+  // The share tree registers itself with the manager for container
+  // lifecycle; this unhooks it early at kernel teardown.
+  void DetachLifecycle() { tree_.DetachLifecycle(); }
 
   // Test hooks.
   double DecayedUsage(const rc::ResourceContainer& c) const {

@@ -12,13 +12,25 @@ using rccommon::Errc;
 using rccommon::Expected;
 using rccommon::MakeUnexpected;
 
-ResourceContainer::ResourceContainer(ContainerManager* manager,
-                                     std::shared_ptr<const bool> manager_alive,
-                                     ContainerId id, std::string name, Attributes attrs)
+const std::string* ManagerShared::Intern(std::string name) {
+  auto it = name_index.find(name);
+  if (it != name_index.end()) {
+    return it->second;
+  }
+  names.push_back(std::move(name));
+  const std::string* interned = &names.back();
+  name_index.emplace(std::string_view(*interned), interned);
+  return interned;
+}
+
+ResourceContainer::ResourceContainer(CreateKey, ContainerManager* manager,
+                                     std::shared_ptr<ManagerShared> shared,
+                                     ContainerId id, const std::string* name,
+                                     const Attributes& attrs)
     : manager_(manager),
-      manager_alive_(std::move(manager_alive)),
+      shared_(std::move(shared)),
       id_(id),
-      name_(std::move(name)),
+      name_(name),
       attrs_(attrs) {}
 
 ResourceContainer::~ResourceContainer() {
@@ -26,7 +38,7 @@ ResourceContainer::~ResourceContainer() {
   // the root container. Their subtree memory migrates with them. When the
   // manager itself is being torn down (the dying container IS the root, or
   // the root is already gone), children are simply detached.
-  const bool manager_alive = *manager_alive_;
+  const bool manager_alive = shared_->alive;
   ResourceContainer* root = manager_alive ? manager_->root().get() : nullptr;
   if (root == this) {
     root = nullptr;
@@ -41,6 +53,7 @@ ResourceContainer::~ResourceContainer() {
     child->parent_ = root;
     if (root != nullptr) {
       root->children_.push_back(child);
+      root->AddChildShares(child->attrs_);
       root->PropagateMemory(m);
       manager_->NotifyReparent(*child, /*old_parent=*/this, /*new_parent=*/root);
     }
@@ -104,6 +117,10 @@ Expected<void> ResourceContainer::SetAttributes(const Attributes& attrs) {
         return MakeUnexpected(Errc::kLimitExceeded);
       }
     }
+    parent_->RemoveChildShares(attrs_);
+    attrs_ = attrs;
+    parent_->AddChildShares(attrs_);
+    return {};
   }
   attrs_ = attrs;
   return {};
@@ -126,7 +143,7 @@ void ResourceContainer::ChargeCpu(sim::Duration usec, CpuKind kind) {
 Expected<void> ResourceContainer::ChargeMemory(std::int64_t bytes,
                                                MemorySource source) {
   RC_CHECK_GE(bytes, 0);
-  if (*manager_alive_) {
+  if (shared_->alive) {
     if (MemoryArbiter* arbiter = manager_->memory_arbiter(); arbiter != nullptr) {
       return arbiter->ChargeMemory(*this, bytes, source);
     }
@@ -142,7 +159,7 @@ Expected<void> ResourceContainer::ChargeMemory(std::int64_t bytes,
 
 void ResourceContainer::ReleaseMemory(std::int64_t bytes, MemorySource source) {
   RC_CHECK_GE(bytes, 0);
-  if (*manager_alive_) {
+  if (shared_->alive) {
     if (MemoryArbiter* arbiter = manager_->memory_arbiter(); arbiter != nullptr) {
       arbiter->ReleaseMemory(*this, bytes, source);
       return;
@@ -194,12 +211,38 @@ void ResourceContainer::ForEachChild(
 void ResourceContainer::AdoptChild(ResourceContainer* child) {
   children_.push_back(child);
   child->parent_ = this;
+  AddChildShares(child->attrs_);
 }
 
 void ResourceContainer::RemoveChild(ResourceContainer* child) {
   auto it = std::find(children_.begin(), children_.end(), child);
   RC_CHECK(it != children_.end());
   children_.erase(it);
+  RemoveChildShares(child->attrs_);
+}
+
+void ResourceContainer::AddChildShares(const Attributes& child_attrs) {
+  for (int k = 0; k < kResourceKindCount; ++k) {
+    const SchedParams& sched = SchedFor(child_attrs, static_cast<ResourceKind>(k));
+    if (sched.cls == SchedClass::kFixedShare) {
+      child_fixed_sum_[k] += sched.fixed_share;
+      ++child_fixed_count_[k];
+    }
+  }
+}
+
+void ResourceContainer::RemoveChildShares(const Attributes& child_attrs) {
+  for (int k = 0; k < kResourceKindCount; ++k) {
+    const SchedParams& sched = SchedFor(child_attrs, static_cast<ResourceKind>(k));
+    if (sched.cls == SchedClass::kFixedShare) {
+      RC_DCHECK(child_fixed_count_[k] > 0);
+      --child_fixed_count_[k];
+      // Reset to exactly zero when the last fixed child leaves: unbounded
+      // add/remove churn must not accumulate float drift.
+      child_fixed_sum_[k] =
+          child_fixed_count_[k] == 0 ? 0.0 : child_fixed_sum_[k] - sched.fixed_share;
+    }
+  }
 }
 
 void ResourceContainer::PropagateMemory(std::int64_t delta) {

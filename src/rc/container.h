@@ -9,13 +9,22 @@
 // retired into its parent, and its children are orphaned to the top level
 // ("If the parent P of a container C is destroyed, C's parent is set to
 // 'no parent'").
+//
+// Lifecycle fast path: containers are slab-allocated through the manager's
+// freelist arena (one allocation per container, control block included),
+// registered in a dense slot array with generation counters instead of a
+// hash map, and carry an interned name pointer — per-class names like "conn"
+// exist once per manager, not once per connection.
 #ifndef SRC_RC_CONTAINER_H_
 #define SRC_RC_CONTAINER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -33,15 +42,46 @@ class ResourceContainer;
 using ContainerId = std::uint64_t;
 using ContainerRef = std::shared_ptr<ResourceContainer>;
 
-class ResourceContainer {
+// State shared between the manager and every container it created, with the
+// lifetime of the *longest-lived* of them: containers can outlive the manager
+// (e.g. refs held by queued simulator events at teardown), and both the
+// liveness flag and the interned name storage must stay valid for their
+// destructors and name() accessors.
+struct ManagerShared {
+  bool alive = true;
+  // Interned names. Deque: stable addresses across growth.
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, const std::string*> name_index;
+
+  const std::string* Intern(std::string name);
+};
+
+class ResourceContainer : public std::enable_shared_from_this<ResourceContainer> {
  public:
-  // Containers are created only through ContainerManager.
+  // Containers are created only through ContainerManager; the passkey lets
+  // the manager reach this public constructor through allocate_shared.
+  class CreateKey {
+   private:
+    CreateKey() = default;
+    friend class ContainerManager;
+  };
+  ResourceContainer(CreateKey, ContainerManager* manager,
+                    std::shared_ptr<ManagerShared> shared, ContainerId id,
+                    const std::string* name, const Attributes& attrs);
+
   ResourceContainer(const ResourceContainer&) = delete;
   ResourceContainer& operator=(const ResourceContainer&) = delete;
   ~ResourceContainer();
 
   ContainerId id() const { return id_; }
-  const std::string& name() const { return name_; }
+  const std::string& name() const { return *name_; }
+
+  // Dense index of this container in the manager's slot array, and the
+  // slot's generation at assignment time. Slots are reused after destroy
+  // with a bumped generation, so (slot, generation) uniquely names a
+  // container incarnation.
+  std::uint32_t slot() const { return slot_; }
+  std::uint32_t generation() const { return generation_; }
 
   // Parent in the hierarchy; nullptr only for the root container.
   ResourceContainer* parent() const { return parent_; }
@@ -57,6 +97,13 @@ class ResourceContainer {
 
   // Updates attributes; validated, and sibling fixed-share sums re-checked.
   rccommon::Expected<void> SetAttributes(const Attributes& attrs);
+
+  // Sum of fixed shares of this container's children that are fixed-share
+  // for `kind`. Maintained incrementally on adopt/orphan/SetAttributes, so
+  // per-create share validation is O(1) instead of O(siblings).
+  double ChildFixedShareSum(ResourceKind kind) const {
+    return child_fixed_sum_[static_cast<int>(kind)];
+  }
 
   // --- Accounting -----------------------------------------------------
 
@@ -165,24 +212,30 @@ class ResourceContainer {
   friend class ContainerManager;
   friend class BindingPoint;
 
-  ResourceContainer(ContainerManager* manager, std::shared_ptr<const bool> manager_alive,
-                    ContainerId id, std::string name, Attributes attrs);
-
   void AdoptChild(ResourceContainer* child);
   void RemoveChild(ResourceContainer* child);
   // Adds `delta` to subtree_memory of this node and all ancestors.
   void PropagateMemory(std::int64_t delta);
 
+  // Incremental maintenance of child_fixed_sum_/child_fixed_count_ as
+  // children arrive, leave, or change attributes.
+  void AddChildShares(const Attributes& child_attrs);
+  void RemoveChildShares(const Attributes& child_attrs);
+
   ContainerManager* manager_;
-  // Containers can outlive the manager (e.g. refs held by queued simulator
-  // events at teardown); this flag makes the destructor safe in that case.
-  std::shared_ptr<const bool> manager_alive_;
+  std::shared_ptr<ManagerShared> shared_;
   const ContainerId id_;
-  std::string name_;
+  const std::string* name_;  // interned; storage owned by shared_
   Attributes attrs_;
 
   ResourceContainer* parent_ = nullptr;
   std::vector<ResourceContainer*> children_;
+
+  // Per-kind sum (and count) of children's fixed shares; count-of-zero
+  // resets the sum to exactly 0.0 so float drift cannot accumulate across
+  // unbounded churn.
+  double child_fixed_sum_[kResourceKindCount] = {};
+  std::uint32_t child_fixed_count_[kResourceKindCount] = {};
 
   ResourceUsage usage_;
   ResourceUsage retired_;
@@ -190,6 +243,9 @@ class ResourceContainer {
 
   std::vector<std::pair<const void*, std::int32_t>> sched_slots_;
   int bound_thread_count_ = 0;
+
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 }  // namespace rc

@@ -1,0 +1,48 @@
+// Typed container-lifecycle notification interface. The kernel, every
+// sched::ShareTree instantiation (CPU shards, disk, link, memory), the
+// charge auditor and the epoch sampler all need to drop or retire
+// per-container state when a container dies or moves; at ~2M lifecycle
+// events per million-client run the notification fan-out is hot. A typed
+// listener registered once dispatches as a plain virtual call over a dense
+// pointer array — no std::function indirection, no per-registration heap
+// captures.
+#ifndef SRC_RC_LIFECYCLE_H_
+#define SRC_RC_LIFECYCLE_H_
+
+namespace rc {
+
+class ContainerManager;
+class ResourceContainer;
+
+class LifecycleListener {
+ public:
+  LifecycleListener() = default;
+  LifecycleListener(const LifecycleListener&) = delete;
+  LifecycleListener& operator=(const LifecycleListener&) = delete;
+
+  // Unregisters from the manager it is registered with. Safe in either
+  // destruction order: ~ContainerManager nulls the back-pointer of every
+  // still-registered listener first.
+  virtual ~LifecycleListener();
+
+  // `c` is mid-destruction: its children are already orphaned and its usage
+  // retired, but all fields are still readable.
+  virtual void OnContainerDestroyed(ResourceContainer& /*c*/) {}
+
+  // Explicit SetParent, or orphaning to the top level when the parent dies
+  // (`old_parent` is still a valid object at notification time).
+  virtual void OnContainerReparented(ResourceContainer& /*child*/,
+                                     ResourceContainer* /*old_parent*/,
+                                     ResourceContainer* /*new_parent*/) {}
+
+ private:
+  friend class ContainerManager;
+  // The manager this listener is registered with; maintained by
+  // Add/RemoveLifecycleListener. A listener registers with at most one
+  // manager at a time.
+  ContainerManager* lifecycle_manager_ = nullptr;
+};
+
+}  // namespace rc
+
+#endif  // SRC_RC_LIFECYCLE_H_

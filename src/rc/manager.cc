@@ -11,20 +11,61 @@ using rccommon::Errc;
 using rccommon::Expected;
 using rccommon::MakeUnexpected;
 
-ContainerManager::ContainerManager() : alive_(std::make_shared<bool>(true)) {
+LifecycleListener::~LifecycleListener() {
+  if (lifecycle_manager_ != nullptr) {
+    lifecycle_manager_->RemoveLifecycleListener(this);
+  }
+}
+
+ContainerManager::ContainerManager()
+    : shared_(std::make_shared<ManagerShared>()),
+      pool_(std::make_shared<SlabPool>()) {
   Attributes root_attrs;
   root_attrs.sched.cls = SchedClass::kFixedShare;
   root_attrs.sched.fixed_share = 1.0;
-  root_ = ContainerRef(new ResourceContainer(this, alive_, next_id_++, "root", root_attrs));
-  index_[root_->id()] = root_;
+  root_ = Materialize(nullptr, shared_->Intern("root"), root_attrs);
 }
 
 ContainerManager::~ContainerManager() {
+  // Null every registered listener's back-pointer so listeners that outlive
+  // the manager (declaration order differs across owners) don't unregister
+  // against a dead object.
+  for (LifecycleListener* listener : listeners_) {
+    if (listener != nullptr) {
+      listener->lifecycle_manager_ = nullptr;
+    }
+  }
+  listeners_.clear();
   // Containers still referenced elsewhere (e.g. by queued simulator events)
   // may be destroyed after this point; the shared flag tells their
   // destructors to skip manager interaction.
-  *alive_ = false;
+  shared_->alive = false;
   root_.reset();
+}
+
+ContainerRef ContainerManager::Materialize(ResourceContainer* parent,
+                                           const std::string* name,
+                                           const Attributes& attrs) {
+  ContainerRef c = std::allocate_shared<ResourceContainer>(
+      SlabPoolAllocator<ResourceContainer>(pool_), ResourceContainer::CreateKey{},
+      this, shared_, next_id_++, name, attrs);
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.ptr = c.get();
+  c->slot_ = slot;
+  c->generation_ = s.generation;
+  ++live_;
+  if (parent != nullptr) {
+    parent->AdoptChild(c.get());
+  }
+  return c;
 }
 
 Expected<ContainerRef> ContainerManager::Create(const ContainerRef& parent,
@@ -37,10 +78,42 @@ Expected<ContainerRef> ContainerManager::Create(const ContainerRef& parent,
   if (auto v = CheckParentEligible(*p, attrs, nullptr); !v.ok()) {
     return MakeUnexpected(v.error());
   }
-  ContainerRef c(new ResourceContainer(this, alive_, next_id_++, std::move(name), attrs));
-  p->AdoptChild(c.get());
-  index_[c->id()] = c;
-  return c;
+  return Materialize(p, shared_->Intern(std::move(name)), attrs);
+}
+
+Expected<ContainerTemplateRef> ContainerManager::PrepareTemplate(
+    const ContainerRef& parent, std::string name, const Attributes& attrs) {
+  if (auto v = attrs.Validate(); !v.ok()) {
+    return MakeUnexpected(v.error());
+  }
+  const ContainerRef& p = parent ? parent : root_;
+  if (auto v = CheckParentEligible(*p, attrs, nullptr); !v.ok()) {
+    return MakeUnexpected(v.error());
+  }
+  std::shared_ptr<ContainerTemplate> t(new ContainerTemplate());
+  t->parent_ = p;
+  t->name_ = shared_->Intern(std::move(name));
+  t->shared_ = shared_;
+  t->attrs_ = attrs;
+  for (int k = 0; k < kResourceKindCount; ++k) {
+    if (SchedFor(attrs, static_cast<ResourceKind>(k)).cls == SchedClass::kFixedShare) {
+      t->needs_budget_check_ = true;
+    }
+  }
+  return ContainerTemplateRef(std::move(t));
+}
+
+Expected<ContainerRef> ContainerManager::CreateFromTemplate(const ContainerTemplate& t) {
+  RC_DCHECK(t.shared_ == shared_);  // template belongs to this manager
+  ResourceContainer* p = t.parent_.get();
+  if (t.needs_budget_check_) {
+    if (auto v = CheckParentEligible(*p, t.attrs_, nullptr); !v.ok()) {
+      return MakeUnexpected(v.error());
+    }
+  } else if (p->attributes().sched.cls != SchedClass::kFixedShare) {
+    return MakeUnexpected(Errc::kHasChildren);
+  }
+  return Materialize(p, t.name_, t.attrs_);
 }
 
 Expected<void> ContainerManager::SetParent(const ContainerRef& c,
@@ -72,25 +145,22 @@ Expected<void> ContainerManager::SetParent(const ContainerRef& c,
 }
 
 Expected<ContainerRef> ContainerManager::Lookup(ContainerId id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) {
-    return MakeUnexpected(Errc::kNotFound);
+  for (const Slot& s : slots_) {
+    if (s.ptr != nullptr && s.ptr->id() == id) {
+      return s.ptr->shared_from_this();
+    }
   }
-  ContainerRef ref = it->second.lock();
-  if (!ref) {
-    return MakeUnexpected(Errc::kNotFound);
-  }
-  return ref;
+  return MakeUnexpected(Errc::kNotFound);
 }
 
 void ContainerManager::ForEachLive(
     const std::function<void(ResourceContainer&)>& fn) const {
   // id order keeps telemetry exports deterministic across runs.
   std::vector<ContainerRef> live;
-  live.reserve(index_.size());
-  for (const auto& [id, weak] : index_) {
-    if (ContainerRef ref = weak.lock()) {
-      live.push_back(std::move(ref));
+  live.reserve(live_);
+  for (const Slot& s : slots_) {
+    if (s.ptr != nullptr) {
+      live.push_back(s.ptr->shared_from_this());
     }
   }
   std::sort(live.begin(), live.end(),
@@ -100,44 +170,85 @@ void ContainerManager::ForEachLive(
   }
 }
 
-void ContainerManager::AddDestroyObserver(
-    std::function<void(ResourceContainer&)> observer) {
-  destroy_observers_.push_back(std::move(observer));
+void ContainerManager::AddLifecycleListener(LifecycleListener* listener) {
+  RC_CHECK(listener->lifecycle_manager_ == nullptr);
+  listener->lifecycle_manager_ = this;
+  listeners_.push_back(listener);
 }
 
-void ContainerManager::AddReparentObserver(ReparentObserver observer) {
-  reparent_observers_.push_back(std::move(observer));
+void ContainerManager::RemoveLifecycleListener(LifecycleListener* listener) {
+  if (listener->lifecycle_manager_ != this) {
+    return;
+  }
+  listener->lifecycle_manager_ = nullptr;
+  auto it = std::find(listeners_.begin(), listeners_.end(), listener);
+  RC_CHECK(it != listeners_.end());
+  if (dispatch_depth_ > 0) {
+    // Mid-dispatch: null the entry so the active loops skip it, compact
+    // when the outermost dispatch unwinds.
+    *it = nullptr;
+    listeners_dirty_ = true;
+  } else {
+    listeners_.erase(it);
+  }
 }
 
 void ContainerManager::NotifyReparent(ResourceContainer& child,
                                       ResourceContainer* old_parent,
                                       ResourceContainer* new_parent) {
-  for (auto& observer : reparent_observers_) {
-    observer(child, old_parent, new_parent);
+  ++dispatch_depth_;
+  const std::size_t n = listeners_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (LifecycleListener* listener = listeners_[i]) {
+      listener->OnContainerReparented(child, old_parent, new_parent);
+    }
+  }
+  if (--dispatch_depth_ == 0 && listeners_dirty_) {
+    listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), nullptr),
+                     listeners_.end());
+    listeners_dirty_ = false;
   }
 }
 
 double ContainerManager::SiblingFixedShareSum(const ResourceContainer& parent,
                                               const ResourceContainer* exclude,
                                               ResourceKind kind) {
-  double sum = 0.0;
-  parent.ForEachChild([&](ResourceContainer& child) {
-    if (&child == exclude) {
-      return;
-    }
-    const SchedParams& sched = SchedFor(child.attributes(), kind);
+  const int k = static_cast<int>(kind);
+  double sum = parent.child_fixed_sum_[k];
+  if (exclude != nullptr && exclude->parent_ == &parent) {
+    const SchedParams& sched = SchedFor(exclude->attrs_, kind);
     if (sched.cls == SchedClass::kFixedShare) {
-      sum += sched.fixed_share;
+      // With a single fixed child the remainder is exactly zero — don't let
+      // subtraction rounding manufacture a phantom residual.
+      sum = parent.child_fixed_count_[k] == 1 ? 0.0 : sum - sched.fixed_share;
     }
-  });
+  }
   return sum;
 }
 
 void ContainerManager::OnDestroy(ResourceContainer& c) {
-  for (auto& observer : destroy_observers_) {
-    observer(c);
+  Slot& s = slots_[c.slot_];
+  RC_DCHECK(s.ptr == &c);
+  s.ptr = nullptr;
+  ++s.generation;
+  --live_;
+  // Churn hygiene: every slot is live or free — the registry cannot leak
+  // entries under create/destroy churn. (This slot is freelisted below,
+  // after dispatch, so reentrant creates cannot reuse it mid-notification.)
+  RC_DCHECK_EQ(live_ + free_slots_.size() + 1, slots_.size());
+  ++dispatch_depth_;
+  const std::size_t n = listeners_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (LifecycleListener* listener = listeners_[i]) {
+      listener->OnContainerDestroyed(c);
+    }
   }
-  index_.erase(c.id());
+  if (--dispatch_depth_ == 0 && listeners_dirty_) {
+    listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), nullptr),
+                     listeners_.end());
+    listeners_dirty_ = false;
+  }
+  free_slots_.push_back(c.slot_);
 }
 
 Expected<void> ContainerManager::CheckParentEligible(

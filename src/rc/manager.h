@@ -1,20 +1,61 @@
 // ContainerManager: creates containers, owns the root of the hierarchy, and
 // enforces cross-container invariants (sibling share sums, parenting rules).
+//
+// Lifecycle fast path: container storage comes from a slab/freelist arena
+// (one pooled allocation per container, shared_ptr control block included);
+// the live-container registry is a dense slot array with generation counters
+// instead of an id-keyed hash map; names are interned per class; sibling
+// fixed-share sums are maintained incrementally so per-create validation is
+// O(1); and lifecycle notifications dispatch through the typed
+// LifecycleListener interface. Repeated creations of the same class go
+// through a pre-validated ContainerTemplate, skipping attribute validation
+// and name interning per instance.
 #ifndef SRC_RC_MANAGER_H_
 #define SRC_RC_MANAGER_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/expected.h"
 #include "src/rc/container.h"
+#include "src/rc/lifecycle.h"
+#include "src/rc/slab.h"
 
 namespace rc {
 
 class MemoryArbiter;
+
+// A pre-validated recipe for creating containers of one class ("conn",
+// "cgi-req"): attributes are validated and the name interned once, at
+// preparation time; each CreateFromTemplate then only re-checks the
+// invariants that can drift (parent class, sibling share budget — and the
+// latter only when the template holds fixed shares). The template pins its
+// parent and the interned-name storage, so it stays valid for the manager's
+// lifetime.
+class ContainerTemplate {
+ public:
+  const ContainerRef& parent() const { return parent_; }
+  const std::string& name() const { return *name_; }
+  const Attributes& attributes() const { return attrs_; }
+  // True when the template carries a fixed share for any resource kind, i.e.
+  // creation must re-check the sibling budget.
+  bool needs_budget_check() const { return needs_budget_check_; }
+
+ private:
+  friend class ContainerManager;
+  ContainerTemplate() = default;
+
+  ContainerRef parent_;  // resolved: never null (top level == root)
+  const std::string* name_ = nullptr;
+  std::shared_ptr<ManagerShared> shared_;  // keeps the interned name alive
+  Attributes attrs_;
+  bool needs_budget_check_ = false;
+};
+
+using ContainerTemplateRef = std::shared_ptr<const ContainerTemplate>;
 
 class ContainerManager {
  public:
@@ -35,37 +76,55 @@ class ContainerManager {
   rccommon::Expected<ContainerRef> Create(const ContainerRef& parent, std::string name,
                                           const Attributes& attrs = {});
 
+  // Validates `attrs` and the parent once and returns a reusable creation
+  // recipe for the container class. Fails exactly when Create would.
+  rccommon::Expected<ContainerTemplateRef> PrepareTemplate(
+      const ContainerRef& parent, std::string name, const Attributes& attrs = {});
+
+  // The per-connection fast path: creates a container from a prepared
+  // template, skipping per-instance attribute validation and name interning.
+  // Re-checks the parent's class, and the sibling share budget only when the
+  // template carries fixed shares.
+  rccommon::Expected<ContainerRef> CreateFromTemplate(const ContainerTemplate& t);
+
   // Re-parents `c` (Section 4.6 "Set a container's parent"); `parent` of
   // nullptr means "no parent" (top level). Rejects cycles and
   // oversubscription at the new parent.
   rccommon::Expected<void> SetParent(const ContainerRef& c, const ContainerRef& parent);
 
   // "Obtain handle for existing container" (Table 1). Returns kNotFound when
-  // the id does not name a live container.
+  // the id does not name a live container. Cold path: scans the slot array.
   rccommon::Expected<ContainerRef> Lookup(ContainerId id) const;
 
   // Number of live containers, including the root.
-  std::size_t live_count() const { return index_.size(); }
+  std::size_t live_count() const { return live_; }
 
   // Visits every live container (including the root) in id order. Used by
-  // the telemetry epoch sampler to snapshot per-container usage.
+  // telemetry exports that need run-to-run deterministic order.
   void ForEachLive(const std::function<void(ResourceContainer&)>& fn) const;
 
-  // Registers a callback invoked when any container is destroyed (used by
-  // the CPU scheduler and the network stack to drop per-container state).
-  void AddDestroyObserver(std::function<void(ResourceContainer&)> observer);
+  // Dense slot access for single-pass consumers (the epoch sampler): slots
+  // in [0, slot_capacity()) hold either a live container or nullptr. A
+  // destroyed container's slot is reused by a later create with a bumped
+  // generation.
+  std::size_t slot_capacity() const { return slots_.size(); }
+  ResourceContainer* container_at_slot(std::size_t slot) const {
+    return slots_[slot].ptr;
+  }
 
-  // Registers a callback invoked after a container is re-parented (explicit
-  // SetParent, or orphaning to the top level when the parent is destroyed).
-  // `old_parent` is still a valid object at notification time.
-  using ReparentObserver = std::function<void(ResourceContainer& child,
-                                              ResourceContainer* old_parent,
-                                              ResourceContainer* new_parent)>;
-  void AddReparentObserver(ReparentObserver observer);
+  // Registers `listener` for destroy/reparent notifications. A listener
+  // registers with at most one manager; it is unregistered automatically by
+  // its destructor (or explicitly via RemoveLifecycleListener). Registration
+  // and removal are safe during notification dispatch: a listener removed
+  // mid-dispatch is not called again, one added mid-dispatch is first called
+  // for the next event.
+  void AddLifecycleListener(LifecycleListener* listener);
+  void RemoveLifecycleListener(LifecycleListener* listener);
 
   // Sum of fixed shares of `parent`'s children that are fixed-share for
   // `kind`, excluding `exclude` (used when re-validating an attribute
   // change). Disk/link shares are budgeted independently of CPU shares.
+  // O(1): reads the parent's incrementally maintained per-kind sums.
   static double SiblingFixedShareSum(const ResourceContainer& parent,
                                      const ResourceContainer* exclude,
                                      ResourceKind kind = ResourceKind::kCpu);
@@ -79,6 +138,16 @@ class ContainerManager {
  private:
   friend class ResourceContainer;
 
+  struct Slot {
+    ResourceContainer* ptr = nullptr;  // nullptr == free
+    std::uint32_t generation = 0;
+  };
+
+  // Allocates a container from the arena, assigns the next id and a dense
+  // slot, and adopts it under `parent` (nullptr only for the root itself).
+  ContainerRef Materialize(ResourceContainer* parent, const std::string* name,
+                           const Attributes& attrs);
+
   // Called from ResourceContainer's destructor.
   void OnDestroy(ResourceContainer& c);
 
@@ -89,12 +158,21 @@ class ContainerManager {
                                                const Attributes& child_attrs,
                                                const ResourceContainer* exclude) const;
 
-  std::shared_ptr<bool> alive_;
+  std::shared_ptr<ManagerShared> shared_;
+  std::shared_ptr<SlabPool> pool_;
   ContainerRef root_;
   ContainerId next_id_ = 1;
-  std::unordered_map<ContainerId, std::weak_ptr<ResourceContainer>> index_;
-  std::vector<std::function<void(ResourceContainer&)>> destroy_observers_;
-  std::vector<ReparentObserver> reparent_observers_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+
+  // Dense listener array; removal during dispatch nulls the entry, and the
+  // array is compacted once the outermost dispatch unwinds.
+  std::vector<LifecycleListener*> listeners_;
+  int dispatch_depth_ = 0;
+  bool listeners_dirty_ = false;
+
   MemoryArbiter* memory_arbiter_ = nullptr;
 };
 

@@ -13,7 +13,11 @@ constexpr double kResidualFloor = 0.02;
 }  // namespace
 
 ShareTree::ShareTree(rc::ContainerManager* manager, const ShareTreeOptions& options)
-    : manager_(manager), options_(options) {}
+    : manager_(manager), options_(options) {
+  manager_->AddLifecycleListener(this);
+}
+
+void ShareTree::DetachLifecycle() { manager_->RemoveLifecycleListener(this); }
 
 ShareTree::NodeIndex ShareTree::FindNode(const rc::ResourceContainer& c) const {
   const std::int32_t slot = c.SchedSlotFor(this);
@@ -361,9 +365,21 @@ void ShareTree::OnContainerDestroyed(rc::ResourceContainer& c) {
   if (ni == kInvalidNode) {
     return;
   }
-  // Queued items hold references to their containers, so a container with
-  // queued work can never be destroyed.
-  RC_CHECK_LT(nodes_[static_cast<std::size_t>(ni)].q_head, 0);
+  // Discard any work still queued under the dying container — in steady
+  // state queued items hold container references so this loop never runs;
+  // it fires on teardown paths where a container dies with work pending.
+  while (nodes_[static_cast<std::size_t>(ni)].q_head >= 0) {
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    const std::int32_t qs = n.q_head;
+    n.q_head = qslots_[static_cast<std::size_t>(qs)].next;
+    if (n.q_head < 0) {
+      n.q_tail = -1;
+    }
+    qslots_[static_cast<std::size_t>(qs)] = QueueSlot{nullptr, qfree_};
+    qfree_ = qs;
+    // May grow nodes_ for ancestors: re-index on the next iteration.
+    AdjustRunnable(&c, -1);
+  }
   c.ClearSchedSlot(this);
   nodes_[static_cast<std::size_t>(ni)] = Node{};
   free_nodes_.push_back(ni);

@@ -55,6 +55,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/rc/lifecycle.h"
 #include "src/rc/manager.h"
 #include "src/rc/usage.h"
 #include "src/sim/time.h"
@@ -86,7 +87,7 @@ struct ShareTreeOptions {
   std::int64_t capacity_bytes = 0;
 };
 
-class ShareTree {
+class ShareTree : public rc::LifecycleListener {
  public:
   // Index of a container's node in the flat node array. Stable for the
   // node's lifetime (slots are freelisted, not compacted).
@@ -127,11 +128,18 @@ class ShareTree {
   // again; nullopt when nothing relevant is throttled.
   std::optional<sim::SimTime> NextEligibleTime(sim::SimTime now) const;
 
-  // Hierarchy lifecycle (wired to ContainerManager observers by the owner).
-  void OnContainerDestroyed(rc::ResourceContainer& c);
+  // Hierarchy lifecycle: the tree registers itself with the manager at
+  // construction (rc::LifecycleListener) and drops per-container node state
+  // the moment a container dies or moves. Any work still queued under a
+  // dying container is discarded (teardown paths).
+  void OnContainerDestroyed(rc::ResourceContainer& c) override;
   void OnContainerReparented(rc::ResourceContainer& child,
                              rc::ResourceContainer* old_parent,
-                             rc::ResourceContainer* new_parent);
+                             rc::ResourceContainer* new_parent) override;
+
+  // Unregisters from the manager early (kernel teardown: process/thread
+  // containers die in bulk and their scheduler state no longer matters).
+  void DetachLifecycle();
 
   // Total items queued anywhere in the tree.
   int queued_total() const { return total_queued_; }

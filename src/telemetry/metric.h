@@ -35,6 +35,10 @@ const char* MetricKindName(MetricKind kind);
 // export ("usec", "packets", ...).
 class Metric {
  public:
+  // Metrics are owned and deleted through `std::unique_ptr<Metric>` in the
+  // registry, so the destructor must be virtual.
+  virtual ~Metric() = default;
+
   const std::string& name() const { return name_; }
   const std::string& unit() const { return unit_; }
   MetricKind kind() const { return kind_; }

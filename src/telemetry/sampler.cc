@@ -1,5 +1,6 @@
 #include "src/telemetry/sampler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -7,32 +8,45 @@
 
 namespace telemetry {
 
+void WriteContainerSeriesJsonLines(std::ostream& os, const ContainerSeries& s) {
+  for (const UsageSample& sample : s.samples) {
+    const rc::ResourceUsage& u = sample.usage;
+    os << "{\"at\":" << sample.at << ",\"container\":" << s.id << ",\"name\":\""
+       << EscapeJson(s.name) << "\",\"cpu_user_usec\":" << u.cpu_user_usec
+       << ",\"cpu_kernel_usec\":" << u.cpu_kernel_usec
+       << ",\"cpu_network_usec\":" << u.cpu_network_usec
+       << ",\"memory_bytes\":" << u.memory_bytes
+       << ",\"memory_guaranteed_bytes\":" << sample.guaranteed_bytes
+       << ",\"memory_reclaims\":" << u.memory_reclaims
+       << ",\"memory_reclaimed_bytes\":" << u.memory_reclaimed_bytes
+       << ",\"memory_refusals\":" << u.memory_refusals
+       << ",\"packets_received\":" << u.packets_received
+       << ",\"packets_dropped\":" << u.packets_dropped
+       << ",\"bytes_received\":" << u.bytes_received
+       << ",\"bytes_sent\":" << u.bytes_sent
+       << ",\"disk_busy_usec\":" << u.disk_busy_usec
+       << ",\"link_busy_usec\":" << u.link_busy_usec
+       << ",\"link_packets\":" << u.link_packets << "}\n";
+  }
+  if (s.retired()) {
+    os << "{\"container\":" << s.id << ",\"name\":\"" << EscapeJson(s.name)
+       << "\",\"retired\":" << s.retired_at << "}\n";
+  }
+}
+
 EpochSampler::EpochSampler(sim::Simulator* simulator, rc::ContainerManager* containers,
                            sim::Duration interval)
-    : simr_(simulator),
-      containers_(containers),
-      interval_(interval),
-      self_(std::make_shared<EpochSampler*>(this)) {
+    : simr_(simulator), containers_(containers), interval_(interval) {
   // A non-positive interval would make Tick() reschedule itself at the same
   // instant and pin the simulator at the current time forever.
   RC_CHECK_GT(interval_, 0);
-  // Stamp retirement on destroy so a series is never mistaken for a live
-  // container that merely stopped accumulating.
-  std::weak_ptr<EpochSampler*> weak = self_;
-  containers_->AddDestroyObserver([weak](rc::ResourceContainer& c) {
-    auto self = weak.lock();
-    if (!self) {
-      return;  // sampler destroyed before the manager
-    }
-    EpochSampler& sampler = **self;
-    auto it = sampler.series_.find(c.id());
-    if (it != sampler.series_.end() && !it->second.retired()) {
-      it->second.retired_at = sampler.simr_->now();
-    }
-  });
+  containers_->AddLifecycleListener(this);
 }
 
-EpochSampler::~EpochSampler() { Stop(); }
+EpochSampler::~EpochSampler() {
+  Stop();
+  // ~LifecycleListener unregisters from the manager (if it still exists).
+}
 
 void EpochSampler::Start() {
   if (running_) {
@@ -61,48 +75,96 @@ void EpochSampler::SampleNow() {
   const sim::EventQueue& q = simr_->queue();
   engine_series_.push_back(EngineSample{now, q.dispatched(), q.canceled(),
                                         static_cast<std::uint64_t>(q.depth())});
-  containers_->ForEachLive([&](rc::ResourceContainer& c) {
-    auto [it, inserted] = series_.try_emplace(c.id());
-    ContainerSeries& s = it->second;
-    if (inserted) {
-      s.id = c.id();
-      s.name = c.name();
-      s.first_sample_at = now;
+  // One dense pass over the manager's slot registry. A slot whose occupant
+  // changed since the last epoch (destroy retired the old series and reset
+  // `active`) starts a fresh series in place.
+  const std::size_t cap = containers_->slot_capacity();
+  if (live_.size() < cap) {
+    live_.resize(cap);
+  }
+  for (std::size_t i = 0; i < cap; ++i) {
+    rc::ResourceContainer* c = containers_->container_at_slot(i);
+    if (c == nullptr) {
+      continue;
     }
-    UsageSample sample{now, c.usage(), 0};
+    SlotSeries& ss = live_[i];
+    if (!ss.active) {
+      ss.active = true;
+      ss.series.id = c->id();
+      ss.series.name = c->name();
+      ss.series.first_sample_at = now;
+      ss.series.retired_at = -1;
+      ss.series.samples.clear();
+    }
+    RC_DCHECK_EQ(ss.series.id, c->id());
+    UsageSample sample{now, c->usage(), 0};
     if (guarantee_probe_) {
-      sample.guaranteed_bytes = guarantee_probe_(c);
+      sample.guaranteed_bytes = guarantee_probe_(*c);
     }
-    s.samples.push_back(std::move(sample));
-  });
+    ss.series.samples.push_back(std::move(sample));
+  }
+}
+
+void EpochSampler::OnContainerDestroyed(rc::ResourceContainer& c) {
+  const std::size_t slot = static_cast<std::size_t>(c.slot());
+  if (slot >= live_.size()) {
+    return;  // never sampled
+  }
+  SlotSeries& ss = live_[slot];
+  if (!ss.active || ss.series.id != c.id()) {
+    return;  // never sampled since this slot's last occupant
+  }
+  ss.active = false;
+  ss.series.retired_at = simr_->now();
+  RetireSeries(std::move(ss.series));
+  ss.series = ContainerSeries{};
+}
+
+void EpochSampler::RetireSeries(ContainerSeries&& s) {
+  if (retired_sink_) {
+    retired_sink_(s);
+    return;
+  }
+  retired_.push_back(std::move(s));
+  while (retired_.size() > retired_cap_) {
+    retired_.pop_front();
+    ++retired_dropped_;
+  }
+}
+
+std::map<rc::ContainerId, ContainerSeries> EpochSampler::series() const {
+  std::map<rc::ContainerId, ContainerSeries> out;
+  for (const ContainerSeries& s : retired_) {
+    out.emplace(s.id, s);
+  }
+  for (const SlotSeries& ss : live_) {
+    if (ss.active) {
+      out.emplace(ss.series.id, ss.series);
+    }
+  }
+  return out;
 }
 
 void EpochSampler::WriteJsonLines(std::ostream& os) const {
   const auto old_precision = os.precision(15);
-  for (const auto& [id, s] : series_) {
-    for (const UsageSample& sample : s.samples) {
-      const rc::ResourceUsage& u = sample.usage;
-      os << "{\"at\":" << sample.at << ",\"container\":" << id << ",\"name\":\""
-         << EscapeJson(s.name) << "\",\"cpu_user_usec\":" << u.cpu_user_usec
-         << ",\"cpu_kernel_usec\":" << u.cpu_kernel_usec
-         << ",\"cpu_network_usec\":" << u.cpu_network_usec
-         << ",\"memory_bytes\":" << u.memory_bytes
-         << ",\"memory_guaranteed_bytes\":" << sample.guaranteed_bytes
-         << ",\"memory_reclaims\":" << u.memory_reclaims
-         << ",\"memory_reclaimed_bytes\":" << u.memory_reclaimed_bytes
-         << ",\"memory_refusals\":" << u.memory_refusals
-         << ",\"packets_received\":" << u.packets_received
-         << ",\"packets_dropped\":" << u.packets_dropped
-         << ",\"bytes_received\":" << u.bytes_received
-         << ",\"bytes_sent\":" << u.bytes_sent
-         << ",\"disk_busy_usec\":" << u.disk_busy_usec
-         << ",\"link_busy_usec\":" << u.link_busy_usec
-         << ",\"link_packets\":" << u.link_packets << "}\n";
+  // Emit in container-id order regardless of slot/retirement order so the
+  // output is deterministic and matches the pre-slot-registry format.
+  std::vector<const ContainerSeries*> ordered;
+  ordered.reserve(retired_.size() + live_.size());
+  for (const ContainerSeries& s : retired_) {
+    ordered.push_back(&s);
+  }
+  for (const SlotSeries& ss : live_) {
+    if (ss.active) {
+      ordered.push_back(&ss.series);
     }
-    if (s.retired()) {
-      os << "{\"container\":" << id << ",\"name\":\"" << EscapeJson(s.name)
-         << "\",\"retired\":" << s.retired_at << "}\n";
-    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ContainerSeries* a, const ContainerSeries* b) {
+              return a->id < b->id;
+            });
+  for (const ContainerSeries* s : ordered) {
+    WriteContainerSeriesJsonLines(os, *s);
   }
   for (const EngineSample& e : engine_series_) {
     os << "{\"at\":" << e.at << ",\"engine\":{\"events_dispatched\":"

@@ -3,17 +3,25 @@
 // time-series backbone for Figure 11-14-style plots — attribution over time,
 // per principal — without any instrumentation on the charging hot path (the
 // sampler *reads* usage that containers already maintain).
+//
+// Hot-path layout: series live in a flat array indexed by the manager's
+// dense container slot, so an epoch is a single linear pass — no hash or
+// tree probe per live container, and slots are reused as containers churn.
+// Retired series are bounded: each is offered to an optional sink at
+// retirement (streaming JSONL out), otherwise retained up to a cap — a
+// 2M-connection run no longer holds 2M dead series.
 #ifndef SRC_TELEMETRY_SAMPLER_H_
 #define SRC_TELEMETRY_SAMPLER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
-#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "src/rc/lifecycle.h"
 #include "src/rc/manager.h"
 #include "src/rc/usage.h"
 #include "src/sim/simulator.h"
@@ -48,18 +56,19 @@ struct ContainerSeries {
   bool retired() const { return retired_at >= 0; }
 };
 
-class EpochSampler {
+// Writes one JSON line per sample of `s` (the per-(epoch, container) format
+// of EpochSampler::WriteJsonLines), plus the trailing retired line when the
+// series is retired. This is what a retired-series sink typically calls.
+void WriteContainerSeriesJsonLines(std::ostream& os, const ContainerSeries& s);
+
+class EpochSampler : public rc::LifecycleListener {
  public:
   // Samples every container known to `containers` each `interval` once
-  // started. Both pointers must outlive the sampler's Start()..Stop() span;
-  // the destroy observer registered on the manager is safe even if the
-  // sampler dies first.
+  // started. The simulator must outlive the sampler; manager and sampler may
+  // be destroyed in either order (lifecycle unregistration handles both).
   EpochSampler(sim::Simulator* simulator, rc::ContainerManager* containers,
                sim::Duration interval);
-  ~EpochSampler();
-
-  EpochSampler(const EpochSampler&) = delete;
-  EpochSampler& operator=(const EpochSampler&) = delete;
+  ~EpochSampler() override;
 
   // Begins periodic sampling; the first epoch fires one interval from now.
   void Start();
@@ -78,13 +87,28 @@ class EpochSampler {
     guarantee_probe_ = std::move(probe);
   }
 
+  // Streaming outlet for retired series: when set, every series whose
+  // container is destroyed is handed to the sink at retirement instead of
+  // being retained (WriteJsonLines then covers live series only — the sink
+  // owns the retired ones).
+  void set_retired_sink(std::function<void(const ContainerSeries&)> sink) {
+    retired_sink_ = std::move(sink);
+  }
+
+  // Without a sink, at most `cap` retired series are retained (oldest
+  // dropped first, counted in retired_dropped()).
+  void set_retired_capacity(std::size_t cap) { retired_cap_ = cap; }
+  std::size_t retired_capacity() const { return retired_cap_; }
+  std::size_t retired_count() const { return retired_.size(); }
+  std::uint64_t retired_dropped() const { return retired_dropped_; }
+
   sim::Duration interval() const { return interval_; }
   std::size_t epochs() const { return epochs_; }
 
-  // Per-container series, keyed by container id. A container that was
-  // destroyed keeps its series (with `retired_at` stamped); a container
-  // created mid-run starts its series at the first epoch that saw it.
-  const std::map<rc::ContainerId, ContainerSeries>& series() const { return series_; }
+  // Assembled per-container view, keyed by container id: live series plus
+  // the retained retired ones (with `retired_at` stamped). Built on demand —
+  // introspection/test API, not a hot path.
+  std::map<rc::ContainerId, ContainerSeries> series() const;
 
   // Machine-level engine series, one sample per epoch.
   const std::vector<EngineSample>& engine_series() const { return engine_series_; }
@@ -92,25 +116,40 @@ class EpochSampler {
   // JSON Lines: one object per (epoch, container) —
   //   {"at":..,"container":..,"name":..,"cpu_user_usec":..,...}
   // plus one {"retired":...} line per destroyed container, plus one
-  // {"at":..,"engine":{...}} machine line per epoch.
+  // {"at":..,"engine":{...}} machine line per epoch. Series are emitted in
+  // container-id order (deterministic across runs).
   void WriteJsonLines(std::ostream& os) const;
 
+  // rc::LifecycleListener: stamps retirement so a series is never mistaken
+  // for a live container that merely stopped accumulating.
+  void OnContainerDestroyed(rc::ResourceContainer& c) override;
+
  private:
+  struct SlotSeries {
+    ContainerSeries series;
+    bool active = false;
+  };
+
   void Tick();
+  void RetireSeries(ContainerSeries&& s);
 
   sim::Simulator* const simr_;
   rc::ContainerManager* const containers_;
   const sim::Duration interval_;
 
-  std::map<rc::ContainerId, ContainerSeries> series_;
+  // Indexed by the manager's dense container slot; grown lazily to the
+  // manager's slot capacity.
+  std::vector<SlotSeries> live_;
+  std::deque<ContainerSeries> retired_;
+  std::size_t retired_cap_ = 65536;
+  std::uint64_t retired_dropped_ = 0;
+  std::function<void(const ContainerSeries&)> retired_sink_;
+
   std::vector<EngineSample> engine_series_;
   std::function<std::int64_t(const rc::ResourceContainer&)> guarantee_probe_;
   std::size_t epochs_ = 0;
   sim::EventHandle timer_;
   bool running_ = false;
-  // Outlives `this` inside the manager's destroy observer; the observer
-  // bails out once the sampler is gone.
-  std::shared_ptr<EpochSampler*> self_;
 };
 
 }  // namespace telemetry

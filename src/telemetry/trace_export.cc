@@ -1,6 +1,8 @@
 #include "src/telemetry/trace_export.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
@@ -93,9 +95,15 @@ void WriteChromeTrace(const kernel::Tracer& tracer, const ContainerNameFn& name_
 }
 
 ContainerNameFn ContainerNamesFrom(const rc::ContainerManager& manager) {
-  return [&manager](rc::ContainerId id) -> std::string {
-    auto ref = manager.Lookup(id);
-    return ref.ok() ? (*ref)->name() : std::string();
+  // Snapshot names once: per-id Lookup is a cold-path slot scan, and trace
+  // export resolves one id per track.
+  auto names = std::make_shared<std::map<rc::ContainerId, std::string>>();
+  manager.ForEachLive([&](rc::ResourceContainer& c) {
+    names->emplace(c.id(), c.name());
+  });
+  return [names](rc::ContainerId id) -> std::string {
+    auto it = names->find(id);
+    return it != names->end() ? it->second : std::string();
   };
 }
 

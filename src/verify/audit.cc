@@ -21,28 +21,30 @@ void ChargeAuditor::ObserveHierarchy(rc::ContainerManager* manager) {
   RC_CHECK_EQ(manager_, nullptr);
   RC_CHECK_NE(manager, nullptr);
   manager_ = manager;
-  manager->AddDestroyObserver([this](rc::ResourceContainer& c) {
-    auto it = tallies_.find(c.id());
-    if (it == tallies_.end()) {
-      return;  // never charged and no retired descendants
+  manager->AddLifecycleListener(this);
+}
+
+void ChargeAuditor::OnContainerDestroyed(rc::ResourceContainer& c) {
+  auto it = tallies_.find(c.id());
+  if (it == tallies_.end()) {
+    return;  // never charged and no retired descendants
+  }
+  const rc::ResourceContainer* parent = c.parent();
+  if (parent != nullptr) {
+    // Mirror the kernel: a dying container's accumulated usage (direct and
+    // already-retired) retires into its parent — for every resource.
+    ContainerTally& up = tallies_[parent->id()];
+    for (std::size_t k = 0; k < rc::kResourceKindCount; ++k) {
+      up.retired[k] += it->second.direct[k] + it->second.retired[k];
     }
-    const rc::ResourceContainer* parent = c.parent();
-    if (parent != nullptr) {
-      // Mirror the kernel: a dying container's accumulated usage (direct and
-      // already-retired) retires into its parent — for every resource.
-      ContainerTally& up = tallies_[parent->id()];
-      for (std::size_t k = 0; k < rc::kResourceKindCount; ++k) {
-        up.retired[k] += it->second.direct[k] + it->second.retired[k];
-      }
-      // Bytes the dying container still held follow its usage record into
-      // the parent's retired accounting.
-      up.retired_resident += it->second.resident + it->second.retired_resident;
-      if (up.name.empty()) {
-        up.name = parent->name();
-      }
+    // Bytes the dying container still held follow its usage record into
+    // the parent's retired accounting.
+    up.retired_resident += it->second.resident + it->second.retired_resident;
+    if (up.name.empty()) {
+      up.name = parent->name();
     }
-    tallies_.erase(it);
-  });
+  }
+  tallies_.erase(it);
 }
 
 void ChargeAuditor::OnCharge(const rc::ResourceContainer& c, sim::Duration usec) {

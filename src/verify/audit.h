@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/rc/container.h"
+#include "src/rc/lifecycle.h"
 #include "src/rc/manager.h"
 #include "src/rc/usage.h"
 #include "src/sim/time.h"
@@ -49,16 +50,18 @@ enum class AuditFault {
   kDuplicateCharge,  // the container receives the charge twice
 };
 
-class ChargeAuditor {
+class ChargeAuditor : public rc::LifecycleListener {
  public:
   ChargeAuditor() = default;
-  ChargeAuditor(const ChargeAuditor&) = delete;
-  ChargeAuditor& operator=(const ChargeAuditor&) = delete;
 
   // Mirrors container destruction (usage retires into the parent) so the
   // audit tallies follow the same lifecycle as the kernel's accounting.
   // Called once by Kernel::AttachAuditor.
   void ObserveHierarchy(rc::ContainerManager* manager);
+
+  // rc::LifecycleListener: retires the dying container's tallies into its
+  // parent, mirroring ~ResourceContainer.
+  void OnContainerDestroyed(rc::ResourceContainer& c) override;
 
   // --- Observation hooks (kernel charge paths) ---------------------------
 

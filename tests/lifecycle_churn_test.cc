@@ -1,0 +1,425 @@
+// Lifecycle fast-path tests: slot/generation reuse in the manager's dense
+// registry, name interning identity, listener (un)registration during
+// destroy dispatch, template creation semantics, sampler retired-series
+// retention, and a large create/destroy differential run that pins usage
+// retirement totals against the incremental share-sum bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/rc/container.h"
+#include "src/rc/lifecycle.h"
+#include "src/rc/manager.h"
+#include "src/sim/simulator.h"
+#include "src/telemetry/sampler.h"
+
+namespace rc {
+namespace {
+
+Attributes FixedShare(double share) {
+  Attributes a;
+  a.sched.cls = SchedClass::kFixedShare;
+  a.sched.fixed_share = share;
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Slot / generation reuse
+// ---------------------------------------------------------------------------
+
+TEST(LifecycleSlotTest, SlotsAreReusedWithBumpedGeneration) {
+  ContainerManager m;
+  std::uint32_t slot;
+  std::uint32_t generation;
+  {
+    auto c = m.Create(nullptr, "ephemeral").value();
+    slot = c->slot();
+    generation = c->generation();
+    EXPECT_EQ(m.container_at_slot(slot), c.get());
+  }
+  // The slot frees on destroy...
+  EXPECT_EQ(m.container_at_slot(slot), nullptr);
+  // ...and the next create reuses it with a bumped generation, so a stale
+  // (slot, generation) pair can never alias the new occupant.
+  auto next = m.Create(nullptr, "next").value();
+  EXPECT_EQ(next->slot(), slot);
+  EXPECT_GT(next->generation(), generation);
+}
+
+TEST(LifecycleSlotTest, SlotCapacityTracksPeakNotTotal) {
+  ContainerManager m;
+  const std::size_t base = m.slot_capacity();
+  for (int round = 0; round < 100; ++round) {
+    auto a = m.Create(nullptr, "a").value();
+    auto b = m.Create(nullptr, "b").value();
+  }
+  // 200 containers churned through at most 2 extra slots.
+  EXPECT_LE(m.slot_capacity(), base + 2);
+  EXPECT_EQ(m.live_count(), 1u);  // root only
+}
+
+TEST(LifecycleSlotTest, LiveCountAndLookupStayConsistentUnderChurn) {
+  ContainerManager m;
+  std::vector<ContainerRef> live;
+  std::vector<ContainerId> dead_ids;
+  for (int i = 0; i < 50; ++i) {
+    auto c = m.Create(nullptr, "c").value();
+    if (i % 2 == 0) {
+      live.push_back(c);
+    } else {
+      dead_ids.push_back(c->id());
+    }
+  }
+  EXPECT_EQ(m.live_count(), 1 + live.size());
+  for (const auto& c : live) {
+    auto found = m.Lookup(c->id());
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found->get(), c.get());
+  }
+  for (ContainerId id : dead_ids) {
+    EXPECT_FALSE(m.Lookup(id).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Name interning
+// ---------------------------------------------------------------------------
+
+TEST(LifecycleInternTest, SameClassNameSharesStorage) {
+  ContainerManager m;
+  auto a = m.Create(nullptr, "conn").value();
+  auto b = m.Create(nullptr, "conn").value();
+  // Interned: both containers point at the same string object.
+  EXPECT_EQ(&a->name(), &b->name());
+  auto other = m.Create(nullptr, "cgi-req").value();
+  EXPECT_NE(&a->name(), &other->name());
+  EXPECT_EQ(other->name(), "cgi-req");
+}
+
+TEST(LifecycleInternTest, InternedNameSurvivesChurn) {
+  ContainerManager m;
+  const std::string* stored;
+  {
+    auto a = m.Create(nullptr, "conn").value();
+    stored = &a->name();
+  }
+  auto b = m.Create(nullptr, "conn").value();
+  EXPECT_EQ(&b->name(), stored);
+}
+
+// ---------------------------------------------------------------------------
+// Listener (un)registration during destroy dispatch
+// ---------------------------------------------------------------------------
+
+struct CountingListener : LifecycleListener {
+  void OnContainerDestroyed(ResourceContainer& c) override {
+    ++destroys;
+    last_id = c.id();
+  }
+  int destroys = 0;
+  ContainerId last_id = 0;
+};
+
+// Unregisters itself (and optionally a peer) from inside the destroy
+// notification.
+struct SelfRemovingListener : LifecycleListener {
+  explicit SelfRemovingListener(ContainerManager* m, LifecycleListener* peer = nullptr)
+      : manager(m), peer(peer) {}
+  void OnContainerDestroyed(ResourceContainer&) override {
+    ++destroys;
+    manager->RemoveLifecycleListener(this);
+    if (peer != nullptr) {
+      manager->RemoveLifecycleListener(peer);
+      peer = nullptr;
+    }
+  }
+  ContainerManager* manager;
+  LifecycleListener* peer;
+  int destroys = 0;
+};
+
+// Registers a new listener from inside the destroy notification.
+struct AddingListener : LifecycleListener {
+  explicit AddingListener(ContainerManager* m, LifecycleListener* to_add)
+      : manager(m), to_add(to_add) {}
+  void OnContainerDestroyed(ResourceContainer&) override {
+    if (to_add != nullptr) {
+      manager->AddLifecycleListener(to_add);
+      to_add = nullptr;
+    }
+  }
+  ContainerManager* manager;
+  LifecycleListener* to_add;
+};
+
+TEST(LifecycleListenerTest, SelfRemovalDuringDispatchIsSafe) {
+  ContainerManager m;
+  SelfRemovingListener once(&m);
+  CountingListener after;
+  m.AddLifecycleListener(&once);
+  m.AddLifecycleListener(&after);
+  { auto c = m.Create(nullptr, "x").value(); }
+  { auto c = m.Create(nullptr, "y").value(); }
+  EXPECT_EQ(once.destroys, 1);  // removed itself after the first event
+  EXPECT_EQ(after.destroys, 2);  // the surviving listener saw both
+}
+
+TEST(LifecycleListenerTest, RemovingAPeerMidDispatchSkipsIt) {
+  ContainerManager m;
+  CountingListener victim;
+  SelfRemovingListener remover(&m, &victim);
+  // Registration order matters: the remover runs first and yanks the victim
+  // out of the same dispatch.
+  m.AddLifecycleListener(&remover);
+  m.AddLifecycleListener(&victim);
+  { auto c = m.Create(nullptr, "x").value(); }
+  EXPECT_EQ(remover.destroys, 1);
+  // Removal nulls the victim's entry mid-dispatch: it is never called for
+  // this event even though it was registered when the event began.
+  EXPECT_EQ(victim.destroys, 0);
+  { auto c = m.Create(nullptr, "y").value(); }
+  EXPECT_EQ(victim.destroys, 0);  // still unregistered
+}
+
+TEST(LifecycleListenerTest, ListenerAddedMidDispatchSeesNextEvent) {
+  ContainerManager m;
+  CountingListener late;
+  AddingListener adder(&m, &late);
+  m.AddLifecycleListener(&adder);
+  { auto c = m.Create(nullptr, "x").value(); }
+  EXPECT_EQ(late.destroys, 0);  // not called for the event that added it
+  { auto c = m.Create(nullptr, "y").value(); }
+  EXPECT_EQ(late.destroys, 1);
+}
+
+TEST(LifecycleListenerTest, ListenerDestructorUnregisters) {
+  ContainerManager m;
+  {
+    CountingListener scoped;
+    m.AddLifecycleListener(&scoped);
+    auto c = m.Create(nullptr, "x").value();
+    c.reset();
+    EXPECT_EQ(scoped.destroys, 1);
+  }
+  // The listener died registered; the manager must not touch it now.
+  { auto c = m.Create(nullptr, "y").value(); }
+  EXPECT_EQ(m.live_count(), 1u);
+}
+
+TEST(LifecycleListenerTest, ManagerDestroyedBeforeListenerIsSafe) {
+  CountingListener listener;
+  {
+    ContainerManager m;
+    m.AddLifecycleListener(&listener);
+    auto c = m.Create(nullptr, "x").value();
+  }
+  // ~ContainerManager nulled the back-pointer; ~listener must not unregister
+  // into freed memory. (ASan would catch a violation.)
+  EXPECT_EQ(listener.destroys, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Templates
+// ---------------------------------------------------------------------------
+
+TEST(LifecycleTemplateTest, TemplateCreatesMatchGenericCreates) {
+  ContainerManager m;
+  auto parent = m.Create(nullptr, "class", FixedShare(0.5)).value();
+  Attributes a;
+  a.sched.priority = 7;
+  auto tmpl = m.PrepareTemplate(parent, "conn", a);
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_FALSE((*tmpl)->needs_budget_check());
+
+  auto from_template = m.CreateFromTemplate(**tmpl).value();
+  auto generic = m.Create(parent, "conn", a).value();
+  EXPECT_EQ(from_template->parent(), parent.get());
+  EXPECT_EQ(from_template->name(), generic->name());
+  EXPECT_EQ(&from_template->name(), &generic->name());  // interned identity
+  EXPECT_EQ(from_template->attributes().sched.priority, 7);
+  EXPECT_LT(from_template->id(), generic->id());  // ids stay monotonic
+}
+
+TEST(LifecycleTemplateTest, PrepareRejectsWhatCreateRejects) {
+  ContainerManager m;
+  auto ts_parent = m.Create(nullptr, "leafy").value();  // time-share
+  EXPECT_FALSE(m.PrepareTemplate(ts_parent, "conn", {}).ok());
+
+  Attributes bad;
+  bad.sched.cls = SchedClass::kFixedShare;
+  bad.sched.fixed_share = 1.5;
+  EXPECT_FALSE(m.PrepareTemplate(nullptr, "conn", bad).ok());
+}
+
+TEST(LifecycleTemplateTest, FixedShareTemplateRechecksBudget) {
+  ContainerManager m;
+  auto parent = m.Create(nullptr, "class", FixedShare(0.5)).value();
+  auto tmpl = m.PrepareTemplate(parent, "conn", FixedShare(0.6));
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_TRUE((*tmpl)->needs_budget_check());
+  auto first = m.CreateFromTemplate(**tmpl);
+  ASSERT_TRUE(first.ok());
+  // Children draw from an independent 100% at the parent; a second 0.6
+  // sibling would oversubscribe it, so the template path must still enforce
+  // the budget.
+  auto second = m.CreateFromTemplate(**tmpl);
+  EXPECT_FALSE(second.ok());
+  first->reset();
+  EXPECT_TRUE(m.CreateFromTemplate(**tmpl).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Incremental share sums vs. explicit walk, and usage retirement, at scale
+// ---------------------------------------------------------------------------
+
+double WalkSiblingFixedShareSum(const ContainerManager& m,
+                                const ResourceContainer& parent, ResourceKind kind) {
+  double sum = 0.0;
+  m.ForEachLive([&](ResourceContainer& c) {
+    if (c.parent() != &parent) {
+      return;
+    }
+    const SchedParams& sched = SchedFor(c.attributes(), kind);
+    if (sched.cls == SchedClass::kFixedShare) {
+      sum += sched.fixed_share;
+    }
+  });
+  return sum;
+}
+
+TEST(LifecycleChurnTest, IncrementalShareSumsMatchWalkUnderChurn) {
+  ContainerManager m;
+  auto parent = m.Create(nullptr, "p", FixedShare(0.9)).value();
+  std::vector<ContainerRef> kept;
+  for (int i = 0; i < 500; ++i) {
+    auto c = m.Create(parent, "conn", FixedShare(0.001)).value();
+    if (i % 3 == 0) {
+      kept.push_back(c);
+    }
+    if (i % 7 == 0 && !kept.empty()) {
+      kept.erase(kept.begin());
+    }
+    if (i % 50 == 0) {
+      EXPECT_DOUBLE_EQ(ContainerManager::SiblingFixedShareSum(*parent, nullptr),
+                       WalkSiblingFixedShareSum(m, *parent, ResourceKind::kCpu));
+    }
+  }
+  kept.clear();
+  // Every fixed child is gone: the cached sum must be exactly zero (not FP
+  // residue), so a future full-budget child still fits.
+  EXPECT_EQ(ContainerManager::SiblingFixedShareSum(*parent, nullptr), 0.0);
+  EXPECT_TRUE(m.Create(parent, "full", FixedShare(1.0)).ok());
+}
+
+TEST(LifecycleChurnTest, MillionChurnRetiresEveryMicrosecond) {
+  // The differential test the fast path is gated on: a large create/charge/
+  // destroy run must retire every charged microsecond into the parent, keep
+  // the registry dense, and leave no series/slot debris.
+  constexpr int kChurn = 1000000;
+  constexpr int kLiveWindow = 64;
+  ContainerManager m;
+  auto parent = m.Create(nullptr, "svc", FixedShare(0.5)).value();
+  auto tmpl = m.PrepareTemplate(parent, "conn", {}).value();
+
+  std::vector<ContainerRef> window;
+  window.reserve(kLiveWindow);
+  std::uint64_t charged_total = 0;
+  std::set<ContainerId> ids_sample;
+  for (int i = 0; i < kChurn; ++i) {
+    auto c = m.CreateFromTemplate(*tmpl).value();
+    const std::uint64_t usec = 1 + (i % 17);
+    c->ChargeCpu(static_cast<sim::Duration>(usec), CpuKind::kUser);
+    charged_total += usec;
+    if (i < 1000) {
+      ids_sample.insert(c->id());
+    }
+    window.push_back(std::move(c));
+    if (window.size() == kLiveWindow) {
+      window.erase(window.begin(), window.begin() + kLiveWindow / 2);
+    }
+  }
+  window.clear();
+
+  EXPECT_EQ(ids_sample.size(), 1000u);  // ids unique even under slot reuse
+  EXPECT_EQ(m.live_count(), 2u);        // root + parent
+  EXPECT_LE(m.slot_capacity(), static_cast<std::size_t>(kLiveWindow) + 8);
+  // Conservation: every charged microsecond retired into the parent.
+  EXPECT_EQ(parent->retired_usage().cpu_user_usec,
+            static_cast<sim::Duration>(charged_total));
+  EXPECT_EQ(parent->SubtreeUsage().cpu_user_usec,
+            static_cast<sim::Duration>(charged_total));
+  EXPECT_EQ(ContainerManager::SiblingFixedShareSum(*parent, nullptr), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler retention
+// ---------------------------------------------------------------------------
+
+TEST(SamplerRetentionTest, RetiredSeriesAreBounded) {
+  sim::Simulator simr;
+  ContainerManager m;
+  telemetry::EpochSampler sampler(&simr, &m, sim::Msec(10));
+  sampler.set_retired_capacity(8);
+  for (int i = 0; i < 50; ++i) {
+    auto c = m.Create(nullptr, "conn").value();
+    sampler.SampleNow();
+  }
+  EXPECT_EQ(sampler.retired_count(), 8u);
+  EXPECT_EQ(sampler.retired_dropped(), 42u);
+  // The assembled view holds the root plus the retained retired series.
+  EXPECT_EQ(sampler.series().size(), 1u + 8u);
+}
+
+TEST(SamplerRetentionTest, SinkReceivesRetiredSeriesInsteadOfRetention) {
+  sim::Simulator simr;
+  ContainerManager m;
+  telemetry::EpochSampler sampler(&simr, &m, sim::Msec(10));
+  std::vector<ContainerId> flushed;
+  sampler.set_retired_sink([&](const telemetry::ContainerSeries& s) {
+    EXPECT_TRUE(s.retired());
+    flushed.push_back(s.id);
+  });
+  std::vector<ContainerId> created;
+  for (int i = 0; i < 5; ++i) {
+    auto c = m.Create(nullptr, "conn").value();
+    created.push_back(c->id());
+    sampler.SampleNow();
+  }
+  EXPECT_EQ(flushed, created);
+  EXPECT_EQ(sampler.retired_count(), 0u);
+  EXPECT_EQ(sampler.retired_dropped(), 0u);
+}
+
+TEST(SamplerRetentionTest, SlotReuseStartsFreshSeries) {
+  sim::Simulator simr;
+  ContainerManager m;
+  telemetry::EpochSampler sampler(&simr, &m, sim::Msec(10));
+  ContainerId first_id;
+  std::uint32_t slot;
+  {
+    auto c = m.Create(nullptr, "one").value();
+    first_id = c->id();
+    slot = c->slot();
+    sampler.SampleNow();
+    sampler.SampleNow();
+  }
+  auto reuse = m.Create(nullptr, "two").value();
+  ASSERT_EQ(reuse->slot(), slot);  // same dense slot, new identity
+  sampler.SampleNow();
+  auto series = sampler.series();
+  ASSERT_EQ(series.count(first_id), 1u);
+  ASSERT_EQ(series.count(reuse->id()), 1u);
+  EXPECT_TRUE(series.at(first_id).retired());
+  EXPECT_EQ(series.at(first_id).samples.size(), 2u);
+  EXPECT_EQ(series.at(first_id).name, "one");
+  EXPECT_FALSE(series.at(reuse->id()).retired());
+  EXPECT_EQ(series.at(reuse->id()).samples.size(), 1u);
+  EXPECT_EQ(series.at(reuse->id()).name, "two");
+}
+
+}  // namespace
+}  // namespace rc

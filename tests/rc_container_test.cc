@@ -175,32 +175,46 @@ TEST(ContainerLifetimeTest, RetiredUsageChainsThroughGenerations) {
   EXPECT_EQ(top->retired_usage().cpu_kernel_usec, 500);
 }
 
-TEST(ContainerLifetimeTest, DestroyObserverFires) {
-  ContainerManager m;
+namespace {
+
+struct RecordingListener : rc::LifecycleListener {
+  void OnContainerDestroyed(ResourceContainer& c) override { destroyed = c.id(); }
+  void OnContainerReparented(ResourceContainer& c, ResourceContainer* o,
+                             ResourceContainer* n) override {
+    reparented = c.id();
+    seen_old = o;
+    seen_new = n;
+  }
   ContainerId destroyed = 0;
-  m.AddDestroyObserver([&](ResourceContainer& c) { destroyed = c.id(); });
+  ContainerId reparented = 0;
+  ResourceContainer* seen_old = nullptr;
+  ResourceContainer* seen_new = nullptr;
+};
+
+}  // namespace
+
+TEST(ContainerLifetimeTest, DestroyListenerFires) {
+  ContainerManager m;
+  RecordingListener listener;
+  m.AddLifecycleListener(&listener);
   ContainerId id;
   {
     auto c = m.Create(nullptr, "watched").value();
     id = c->id();
   }
-  EXPECT_EQ(destroyed, id);
+  EXPECT_EQ(listener.destroyed, id);
 }
 
-TEST(ContainerLifetimeTest, ReparentObserverFiresOnExplicitMove) {
+TEST(ContainerLifetimeTest, ReparentListenerFiresOnExplicitMove) {
   ContainerManager m;
   auto a = m.Create(nullptr, "a", FixedShare(0.3)).value();
   auto child = m.Create(a, "child").value();
-  ResourceContainer* seen_old = nullptr;
-  ResourceContainer* seen_new = nullptr;
-  m.AddReparentObserver([&](ResourceContainer& c, ResourceContainer* o,
-                            ResourceContainer* n) {
-    seen_old = o;
-    seen_new = n;
-  });
+  RecordingListener listener;
+  m.AddLifecycleListener(&listener);
   ASSERT_TRUE(m.SetParent(child, nullptr).ok());
-  EXPECT_EQ(seen_old, a.get());
-  EXPECT_EQ(seen_new, m.root().get());
+  EXPECT_EQ(listener.reparented, child->id());
+  EXPECT_EQ(listener.seen_old, a.get());
+  EXPECT_EQ(listener.seen_new, m.root().get());
 }
 
 TEST(ContainerUsageTest, CpuKindsSeparated) {

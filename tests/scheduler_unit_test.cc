@@ -199,11 +199,8 @@ TEST_F(SchedulerUnitTest, ContainerDestroyedDropsSchedulerState) {
     id = c->id();
     sched.OnCharge(*c, 100, 0);
     EXPECT_GT(sched.DecayedUsage(*c), 0.0);
-    // kernel's own observer is registered on the manager used here, but this
-    // scheduler instance needs explicit notification.
-    cm().AddDestroyObserver([&sched](rc::ResourceContainer& dying) {
-      sched.OnContainerDestroyed(dying);
-    });
+    // The scheduler's share tree registers itself as a lifecycle listener on
+    // construction; no manual destroy wiring is needed.
   }
   EXPECT_FALSE(cm().Lookup(id).ok());
 }
