@@ -314,6 +314,8 @@ BenchResult RunLegacy(const BenchConfig& cfg) {
   for (std::uint64_t i = 0; i < cfg.churn; ++i) {
     auto c = m.Create(classes[i % cfg.classes], "conn", conn_attrs);
     RC_CHECK(c != nullptr);
+    // rclint: allow(charging): in-bench replica of the seed's direct-charge
+    // semantics, benchmarked against the real choke-pointed path.
     c->usage.cpu_user_usec += ChargeFor(i);
     window.push_back(std::move(c));
     ++r.creates;

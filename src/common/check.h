@@ -63,6 +63,20 @@ std::string DescribeValue(const T& value) {
 }  // namespace internal
 }  // namespace rccommon
 
+// Marks a function as part of an allocation-free hot path (event dispatch,
+// charging, accept, packet/disk data planes). Two effects: the compiler gets
+// a codegen hint, and tools/rclint statically bans heap allocation (`new`,
+// make_shared/make_unique), std::function construction, and throwing
+// container growth inside the function body — the disciplines PR 6-8's
+// speedups depend on. Violations that are deliberate (placement new into
+// pooled storage, amortized growth of a reserved arena) carry an inline
+// `// rclint: allow(hotpath): <reason>` suppression.
+#if defined(__GNUC__) || defined(__clang__)
+#define RC_HOT_PATH __attribute__((hot))
+#else
+#define RC_HOT_PATH
+#endif
+
 #define RC_CHECK(expr)                                     \
   do {                                                     \
     if (!(expr)) {                                         \

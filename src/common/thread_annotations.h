@@ -1,0 +1,71 @@
+// Clang thread-safety annotations for the simulator's synchronization model.
+//
+// The simulator is single-OS-threaded, but its *simulated* threads interleave
+// at every blocking point, so shared structures have the same discipline
+// requirements as under real concurrency. verify::RaceDetector checks that
+// discipline dynamically (Eraser locksets over simulated acquires); these
+// macros are the static half: state carrying RC_GUARDED_BY can only be
+// touched by code that holds — or explicitly asserts — the guarding
+// capability, and clang's -Wthread-safety analysis (promoted to an error in
+// clang builds, see the top-level CMakeLists) proves it at compile time.
+//
+// Under non-clang compilers every macro expands to nothing.
+//
+// The capability used most here is not a lock but a *serialization domain*:
+// rccommon::Serial represents "running on the owner's serialized event-loop
+// context". Structures confined to the kernel event loop embed a Serial and
+// assert it at the top of every member function that touches guarded state
+// (Serial::AssertHeld, a no-op at runtime). The payoff is choke-point
+// enforcement: a new function that reaches guarded state without declaring
+// itself part of the serialized domain fails the clang build instead of
+// becoming a latent interleaving bug.
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RC_THREAD_ANNOTATION(x)
+#endif
+
+// Class attributes.
+#define RC_CAPABILITY(name) RC_THREAD_ANNOTATION(capability(name))
+#define RC_SCOPED_CAPABILITY RC_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes.
+#define RC_GUARDED_BY(x) RC_THREAD_ANNOTATION(guarded_by(x))
+#define RC_PT_GUARDED_BY(x) RC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes.
+#define RC_REQUIRES(...) RC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RC_REQUIRES_SHARED(...) \
+  RC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define RC_ACQUIRE(...) RC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RC_ACQUIRE_SHARED(...) \
+  RC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RC_RELEASE(...) RC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RC_RELEASE_SHARED(...) \
+  RC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RC_TRY_ACQUIRE(...) \
+  RC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RC_EXCLUDES(...) RC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RC_ASSERT_CAPABILITY(...) \
+  RC_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+#define RC_RETURN_CAPABILITY(x) RC_THREAD_ANNOTATION(lock_returned(x))
+#define RC_NO_THREAD_SAFETY_ANALYSIS \
+  RC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace rccommon {
+
+// A serialization-domain capability (see file comment). Zero size, zero
+// runtime cost: AssertHeld only exists to carry the assert_capability
+// attribute that tells the static analysis "this function runs inside the
+// owner's serialized context".
+class RC_CAPABILITY("serial") Serial {
+ public:
+  void AssertHeld() const RC_ASSERT_CAPABILITY() {}
+};
+
+}  // namespace rccommon
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

@@ -48,7 +48,7 @@ sim::Duration DiskEngine::ServiceTime(std::uint32_t kb, bool sequential) const {
   return std::max<sim::Duration>(t, 1);
 }
 
-void DiskEngine::Submit(IoRequest request) {
+RC_HOT_PATH void DiskEngine::Submit(IoRequest request) {
   // Unowned requests queue at the root: served only when no owned request is
   // eligible, so they cannot crowd out containers with guarantees.
   rc::ResourceContainer* leaf =
@@ -96,7 +96,7 @@ void DiskEngine::MaybeStart() {
   simr_->After(service, [this, service] { CompleteInflight(service); });
 }
 
-void DiskEngine::CompleteInflight(sim::Duration service) {
+RC_HOT_PATH void DiskEngine::CompleteInflight(sim::Duration service) {
   RC_CHECK(busy_);
   RC_CHECK(inflight_ != nullptr);
   IoRequest* req = inflight_;

@@ -316,7 +316,8 @@ void Kernel::FlushResourceCharges() {
   link_->FlushCharges();
 }
 
-void Kernel::ChargeCpu(rc::ResourceContainer& c, sim::Duration usec, rc::CpuKind kind) {
+RC_HOT_PATH void Kernel::ChargeCpu(rc::ResourceContainer& c, sim::Duration usec,
+                                   rc::CpuKind kind) {
   if (auditor_ != nullptr) {
     auditor_->OnCharge(c, usec);
     switch (auditor_->TakeFault()) {

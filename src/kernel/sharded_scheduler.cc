@@ -43,6 +43,7 @@ int ShardedScheduler::HomeFor(Thread* t) const {
 }
 
 void ShardedScheduler::Enqueue(Thread* t, sim::SimTime now) {
+  serial_.AssertHeld();
   const int home = HomeFor(t);
   // home_cpu is the routing key for Remove/MigrateQueued: it must name the
   // shard that holds the thread for as long as the thread is queued.
@@ -54,6 +55,7 @@ void ShardedScheduler::Enqueue(Thread* t, sim::SimTime now) {
 }
 
 Thread* ShardedScheduler::PickFor(int cpu, sim::SimTime now) {
+  serial_.AssertHeld();
   Thread* t = shards_[static_cast<std::size_t>(cpu)]->PickNext(now);
   if (t != nullptr) {
     return t;

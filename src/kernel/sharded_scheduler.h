@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/kernel/scheduler.h"
 
 namespace kernel {
@@ -38,16 +39,25 @@ class ShardedScheduler : public CpuScheduler {
   CpuScheduler* ViewFor(int cpu);
 
   // Underlying policy instance of one shard (tests/diagnostics).
-  CpuScheduler& shard(int cpu) { return *shards_[static_cast<std::size_t>(cpu)]; }
+  CpuScheduler& shard(int cpu) {
+    serial_.AssertHeld();
+    return *shards_[static_cast<std::size_t>(cpu)];
+  }
 
   // Threads migrated by idle stealing since construction.
-  std::uint64_t steals() const { return steals_; }
+  std::uint64_t steals() const {
+    serial_.AssertHeld();
+    return steals_;
+  }
 
   // Called with the home CPU after every enqueue, so the owning engine can
   // re-arbitrate. Without this a thread re-homed at slice end (pin or steal
   // changed its home while it ran elsewhere) would sit in an idle CPU's
   // queue until the next machine-wide wake-up.
-  void set_poke(std::function<void(int cpu)> poke) { poke_ = std::move(poke); }
+  void set_poke(std::function<void(int cpu)> poke) {
+    serial_.AssertHeld();
+    poke_ = std::move(poke);
+  }
 
   // --- CpuScheduler (machine-wide view; PickNext == CPU 0's view) ----------
   void Enqueue(Thread* t, sim::SimTime now) override;
@@ -106,10 +116,16 @@ class ShardedScheduler : public CpuScheduler {
   // home, then the least-loaded shard.
   int HomeFor(Thread* t) const;
 
+  // The machine-wide scheduler state is confined to the kernel's serialized
+  // event-loop domain; Views route into it from every CPU engine, so each
+  // routed entry point re-asserts the domain. shards_/views_ stay unguarded:
+  // their *structure* is frozen after construction (only the shard objects
+  // behind the pointers mutate).
+  rccommon::Serial serial_;
   std::vector<std::unique_ptr<CpuScheduler>> shards_;
   std::vector<std::unique_ptr<View>> views_;
-  std::function<void(int)> poke_;
-  std::uint64_t steals_ = 0;
+  std::function<void(int)> poke_ RC_GUARDED_BY(serial_);
+  std::uint64_t steals_ RC_GUARDED_BY(serial_) = 0;
 };
 
 }  // namespace kernel

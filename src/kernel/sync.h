@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 
+#include "src/common/thread_annotations.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscalls.h"
 #include "src/verify/lockset.h"
@@ -20,6 +21,7 @@ class Semaphore {
   // terms a Post releases the semaphore (a release of a lock the poster never
   // acquired — the hand-off pattern — is a no-op in the detector).
   void Post() {
+    serial_.AssertHeld();
     if (det_ != nullptr) {
       det_->OnRelease(det_->current_thread(), this);
     }
@@ -38,6 +40,7 @@ class Semaphore {
     Semaphore* self = this;
     det_ = sys.kernel().race_detector();
     auto start = [self, t](std::optional<bool>* slot) -> bool {
+      self->serial_.AssertHeld();
       if (self->count_ > 0) {
         --self->count_;
         if (self->det_ != nullptr) {
@@ -49,6 +52,7 @@ class Semaphore {
       self->waiters_.push_back([self, t, slot] {
         // Runs in the poster's context: the semaphore is handed to the
         // *waiting* thread, hence the explicit tid.
+        self->serial_.AssertHeld();
         if (self->det_ != nullptr) {
           self->det_->OnAcquire(t->id(), self, "semaphore");
         }
@@ -60,12 +64,24 @@ class Semaphore {
     return {t, sys.kernel().costs().syscall_base, rc::CpuKind::kKernel, std::move(start)};
   }
 
-  int count() const { return count_; }
-  std::size_t waiter_count() const { return waiters_.size(); }
+  int count() const {
+    serial_.AssertHeld();
+    return count_;
+  }
+  std::size_t waiter_count() const {
+    serial_.AssertHeld();
+    return waiters_.size();
+  }
 
  private:
-  int count_;
-  std::deque<std::function<void()>> waiters_;
+  // Post/Wait interleave only at simulated blocking points, never midway:
+  // the semaphore is confined to the kernel's serialized event-loop domain.
+  // (Wait/Post hand-off is checked dynamically by the lockset detector; a
+  // scope-based ACQUIRE/RELEASE annotation cannot express a lock that is
+  // released by a thread that never acquired it.)
+  rccommon::Serial serial_;
+  int count_ RC_GUARDED_BY(serial_);
+  std::deque<std::function<void()>> waiters_ RC_GUARDED_BY(serial_);
   // Captured from the kernel on Wait; null while verification is off.
   verify::RaceDetector* det_ = nullptr;
 };

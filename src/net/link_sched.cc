@@ -47,7 +47,7 @@ sim::Duration LinkScheduler::TxTime(std::uint32_t bytes) const {
   return std::max<sim::Duration>(1, static_cast<sim::Duration>(std::ceil(usec)));
 }
 
-void LinkScheduler::Transmit(Packet p, rc::ContainerRef charge_to) {
+RC_HOT_PATH void LinkScheduler::Transmit(Packet p, rc::ContainerRef charge_to) {
   if (!enabled()) {
     if (sink_) {
       sink_(p);
@@ -93,7 +93,7 @@ void LinkScheduler::MaybeSend() {
   simr_->After(tx, [this, tx] { CompleteInflight(tx); });
 }
 
-void LinkScheduler::CompleteInflight(sim::Duration tx) {
+RC_HOT_PATH void LinkScheduler::CompleteInflight(sim::Duration tx) {
   RC_CHECK(busy_);
   RC_CHECK(inflight_ != nullptr);
   QueuedPacket* qp = inflight_;

@@ -80,7 +80,7 @@ void Stack::CloseListen(const ListenRef& ls) {
   listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), ls), listeners_.end());
 }
 
-ConnRef Stack::Accept(ListenSocket& ls) {
+RC_HOT_PATH ConnRef Stack::Accept(ListenSocket& ls) {
   while (!ls.accept_queue().empty()) {
     ConnRef conn = ls.accept_queue().front();
     ls.accept_queue().pop_front();
@@ -93,7 +93,7 @@ ConnRef Stack::Accept(ListenSocket& ls) {
   return nullptr;
 }
 
-std::optional<HttpRequestInfo> Stack::Recv(Connection& conn) {
+RC_HOT_PATH std::optional<HttpRequestInfo> Stack::Recv(Connection& conn) {
   if (conn.recv_queue().empty()) {
     return std::nullopt;
   }
@@ -174,7 +174,7 @@ Expected<void> Stack::RebindConnection(Connection& conn, rc::ContainerRef c) {
   return {};
 }
 
-std::optional<ProtocolWork> Stack::HandleArrival(const Packet& p) {
+RC_HOT_PATH std::optional<ProtocolWork> Stack::HandleArrival(const Packet& p) {
   ++stats_.packets_in;
   if (p.type == PacketType::kSyn) {
     ++stats_.syns_in;
@@ -210,6 +210,8 @@ std::optional<ProtocolWork> Stack::HandleArrival(const Packet& p) {
     prio = std::clamp(d.container->attributes().EffectiveNetworkPriority(),
                       rc::kMinPriority, rc::kMaxPriority);
   }
+  // rclint: allow(hotpath): bounded backlog append (kPerContainerBacklogLimit
+  // per container); the deque reuses chunks once the backlog has breathed.
   backlog.buckets[static_cast<std::size_t>(prio)].push_back(
       PendingPacket{p, d.container, key});
   ++count;
@@ -218,7 +220,7 @@ std::optional<ProtocolWork> Stack::HandleArrival(const Packet& p) {
   return std::nullopt;
 }
 
-std::optional<ProtocolWork> Stack::NextPendingWork(std::uint64_t owner_tag) {
+RC_HOT_PATH std::optional<ProtocolWork> Stack::NextPendingWork(std::uint64_t owner_tag) {
   auto it = backlogs_.find(owner_tag);
   if (it == backlogs_.end() || it->second.total == 0) {
     return std::nullopt;

@@ -135,7 +135,7 @@ ResourceUsage ResourceContainer::SubtreeUsage() const {
   return total;
 }
 
-void ResourceContainer::ChargeCpu(sim::Duration usec, CpuKind kind) {
+RC_HOT_PATH void ResourceContainer::ChargeCpu(sim::Duration usec, CpuKind kind) {
   RC_DCHECK(usec >= 0);
   usage_.AddCpu(usec, kind);
 }

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/expected.h"
 #include "src/rc/attributes.h"
 #include "src/rc/memory.h"
@@ -147,24 +148,24 @@ class ResourceContainer : public std::enable_shared_from_this<ResourceContainer>
   std::int64_t subtree_memory_bytes() const { return subtree_memory_bytes_; }
 
   // Records a completed disk transfer (service time + size).
-  void ChargeDisk(sim::Duration busy_usec, std::uint32_t kb) {
+  RC_HOT_PATH void ChargeDisk(sim::Duration busy_usec, std::uint32_t kb) {
     usage_.disk_busy_usec += busy_usec;
     ++usage_.disk_reads;
     usage_.disk_kb += kb;
   }
 
   // Records a completed transmit-link occupancy (rate-limited link model).
-  void ChargeLink(sim::Duration busy_usec, std::uint64_t packets = 1) {
+  RC_HOT_PATH void ChargeLink(sim::Duration busy_usec, std::uint64_t packets = 1) {
     usage_.link_busy_usec += busy_usec;
     usage_.link_packets += packets;
   }
 
-  void CountPacketReceived(std::uint64_t bytes) {
+  RC_HOT_PATH void CountPacketReceived(std::uint64_t bytes) {
     ++usage_.packets_received;
     usage_.bytes_received += bytes;
   }
-  void CountPacketDropped() { ++usage_.packets_dropped; }
-  void CountBytesSent(std::uint64_t bytes) { usage_.bytes_sent += bytes; }
+  RC_HOT_PATH void CountPacketDropped() { ++usage_.packets_dropped; }
+  RC_HOT_PATH void CountBytesSent(std::uint64_t bytes) { usage_.bytes_sent += bytes; }
 
   // --- Hierarchy traversal --------------------------------------------
 

@@ -31,6 +31,7 @@ ShareTree::NodeIndex ShareTree::FindNode(const rc::ResourceContainer& c) const {
 }
 
 ShareTree::NodeIndex ShareTree::EnsureNode(rc::ResourceContainer& c) {
+  serial_.AssertHeld();
   NodeIndex i = FindNode(c);
   if (i != kInvalidNode) {
     return i;
@@ -61,6 +62,7 @@ double ShareTree::ResidualWeight(const rc::ResourceContainer& parent) const {
 
 double ShareTree::CachedResidualWeight(NodeIndex parent_index,
                                        const rc::ResourceContainer& parent) {
+  serial_.AssertHeld();
   Node& pn = nodes_[static_cast<std::size_t>(parent_index)];
   if (!pn.residual_valid) {
     pn.residual = ResidualWeight(parent);
@@ -70,12 +72,16 @@ double ShareTree::CachedResidualWeight(NodeIndex parent_index,
   return pn.residual;
 }
 
-void ShareTree::OnCharge(rc::ResourceContainer& c, sim::Duration usec,
-                         sim::SimTime now) {
+RC_HOT_PATH void ShareTree::OnCharge(rc::ResourceContainer& c,
+                                     sim::Duration usec, sim::SimTime now) {
+  serial_.AssertHeld();
+  // rclint: allow(hotpath): amortized append to the charge log; the vector
+  // keeps its capacity across Flush() clears, so steady state is store+bump.
   log_.push_back(LogEntry{EnsureNode(c), usec, now});
 }
 
 void ShareTree::Flush() {
+  serial_.AssertHeld();
   if (log_.empty()) {
     return;
   }
@@ -119,6 +125,7 @@ void ShareTree::Flush() {
 }
 
 void ShareTree::AdjustRunnable(rc::ResourceContainer* leaf, int delta) {
+  serial_.AssertHeld();
   for (rc::ResourceContainer* c = leaf; c != nullptr; c = c->parent()) {
     const NodeIndex ni = EnsureNode(*c);
     const int before = nodes_[static_cast<std::size_t>(ni)].runnable;
@@ -151,6 +158,7 @@ void ShareTree::AdjustRunnable(rc::ResourceContainer* leaf, int delta) {
 }
 
 ShareTree::NodeIndex ShareTree::Push(rc::ResourceContainer* leaf, void* item) {
+  serial_.AssertHeld();
   RC_CHECK_NE(leaf, nullptr);
   RC_CHECK_NE(item, nullptr);
   Flush();  // runnable-entry clamps read stride state
@@ -265,6 +273,7 @@ ShareTree::NodeIndex ShareTree::PickChild(NodeIndex parent, sim::SimTime now,
 }
 
 void* ShareTree::Descend(sim::SimTime now, bool allow_zero) {
+  serial_.AssertHeld();
   NodeIndex ni = EnsureNode(*manager_->root());
   if (nodes_[static_cast<std::size_t>(ni)].runnable == 0) {
     return nullptr;
@@ -306,6 +315,7 @@ void* ShareTree::Pop(sim::SimTime now) {
 }
 
 void ShareTree::Erase(NodeIndex node, void* item) {
+  serial_.AssertHeld();
   RC_CHECK_GE(node, 0);
   Flush();
   Node& n = nodes_[static_cast<std::size_t>(node)];
@@ -360,6 +370,7 @@ std::optional<sim::SimTime> ShareTree::NextEligibleTime(sim::SimTime now) const 
 }
 
 void ShareTree::OnContainerDestroyed(rc::ResourceContainer& c) {
+  serial_.AssertHeld();
   Flush();  // ancestors must receive this container's pending charges
   const NodeIndex ni = FindNode(c);
   if (ni == kInvalidNode) {
@@ -418,6 +429,7 @@ void ShareTree::OnContainerReparented(rc::ResourceContainer& child,
 }
 
 std::vector<void*> ShareTree::DrainAll() {
+  serial_.AssertHeld();
   // Teardown path: discard un-flushed charges instead of applying them — the
   // containers they reference may already be destroyed (teardown order), and
   // a drained tree's share state is never consulted again.

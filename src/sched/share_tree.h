@@ -55,6 +55,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/rc/lifecycle.h"
 #include "src/rc/manager.h"
 #include "src/rc/usage.h"
@@ -142,7 +143,10 @@ class ShareTree : public rc::LifecycleListener {
   void DetachLifecycle();
 
   // Total items queued anywhere in the tree.
-  int queued_total() const { return total_queued_; }
+  int queued_total() const {
+    serial_.AssertHeld();
+    return total_queued_;
+  }
 
   // Removes and returns every queued item, ignoring policy (owner teardown).
   std::vector<void*> DrainAll();
@@ -257,16 +261,22 @@ class ShareTree : public rc::LifecycleListener {
   rc::ContainerManager* const manager_;
   const ShareTreeOptions options_;
 
+  // The tree is confined to its owner's serialized event-loop context; every
+  // mutating entry point asserts the domain, and clang's -Wthread-safety
+  // rejects new code that reaches the guarded state without doing the same.
+  rccommon::Serial serial_;
+
   std::vector<Node> nodes_;
-  std::vector<NodeIndex> free_nodes_;
+  std::vector<NodeIndex> free_nodes_ RC_GUARDED_BY(serial_);
 
-  std::vector<QueueSlot> qslots_;
-  std::int32_t qfree_ = -1;
+  std::vector<QueueSlot> qslots_ RC_GUARDED_BY(serial_);
+  std::int32_t qfree_ RC_GUARDED_BY(serial_) = -1;
 
-  std::vector<LogEntry> log_;
-  std::vector<NodeIndex> residual_cached_;  // scratch, reset after each Flush
+  std::vector<LogEntry> log_ RC_GUARDED_BY(serial_);
+  // Scratch, reset after each Flush.
+  std::vector<NodeIndex> residual_cached_ RC_GUARDED_BY(serial_);
 
-  int total_queued_ = 0;
+  int total_queued_ RC_GUARDED_BY(serial_) = 0;
 };
 
 }  // namespace sched

@@ -70,6 +70,7 @@ void EpochSampler::Tick() {
 }
 
 void EpochSampler::SampleNow() {
+  serial_.AssertHeld();
   const sim::SimTime now = simr_->now();
   ++epochs_;
   const sim::EventQueue& q = simr_->queue();
@@ -106,6 +107,7 @@ void EpochSampler::SampleNow() {
 }
 
 void EpochSampler::OnContainerDestroyed(rc::ResourceContainer& c) {
+  serial_.AssertHeld();
   const std::size_t slot = static_cast<std::size_t>(c.slot());
   if (slot >= live_.size()) {
     return;  // never sampled
@@ -121,6 +123,7 @@ void EpochSampler::OnContainerDestroyed(rc::ResourceContainer& c) {
 }
 
 void EpochSampler::RetireSeries(ContainerSeries&& s) {
+  serial_.AssertHeld();
   if (retired_sink_) {
     retired_sink_(s);
     return;
@@ -133,6 +136,7 @@ void EpochSampler::RetireSeries(ContainerSeries&& s) {
 }
 
 std::map<rc::ContainerId, ContainerSeries> EpochSampler::series() const {
+  serial_.AssertHeld();
   std::map<rc::ContainerId, ContainerSeries> out;
   for (const ContainerSeries& s : retired_) {
     out.emplace(s.id, s);
@@ -146,6 +150,7 @@ std::map<rc::ContainerId, ContainerSeries> EpochSampler::series() const {
 }
 
 void EpochSampler::WriteJsonLines(std::ostream& os) const {
+  serial_.AssertHeld();
   const auto old_precision = os.precision(15);
   // Emit in container-id order regardless of slot/retirement order so the
   // output is deterministic and matches the pre-slot-registry format.

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/rc/lifecycle.h"
 #include "src/rc/manager.h"
 #include "src/rc/usage.h"
@@ -99,11 +100,20 @@ class EpochSampler : public rc::LifecycleListener {
   // dropped first, counted in retired_dropped()).
   void set_retired_capacity(std::size_t cap) { retired_cap_ = cap; }
   std::size_t retired_capacity() const { return retired_cap_; }
-  std::size_t retired_count() const { return retired_.size(); }
-  std::uint64_t retired_dropped() const { return retired_dropped_; }
+  std::size_t retired_count() const {
+    serial_.AssertHeld();
+    return retired_.size();
+  }
+  std::uint64_t retired_dropped() const {
+    serial_.AssertHeld();
+    return retired_dropped_;
+  }
 
   sim::Duration interval() const { return interval_; }
-  std::size_t epochs() const { return epochs_; }
+  std::size_t epochs() const {
+    serial_.AssertHeld();
+    return epochs_;
+  }
 
   // Assembled per-container view, keyed by container id: live series plus
   // the retained retired ones (with `retired_at` stamped). Built on demand —
@@ -111,7 +121,10 @@ class EpochSampler : public rc::LifecycleListener {
   std::map<rc::ContainerId, ContainerSeries> series() const;
 
   // Machine-level engine series, one sample per epoch.
-  const std::vector<EngineSample>& engine_series() const { return engine_series_; }
+  const std::vector<EngineSample>& engine_series() const {
+    serial_.AssertHeld();
+    return engine_series_;
+  }
 
   // JSON Lines: one object per (epoch, container) —
   //   {"at":..,"container":..,"name":..,"cpu_user_usec":..,...}
@@ -137,17 +150,22 @@ class EpochSampler : public rc::LifecycleListener {
   rc::ContainerManager* const containers_;
   const sim::Duration interval_;
 
+  // Series state is confined to the simulator's serialized event-loop
+  // domain (epoch timer callbacks and lifecycle notifications both run
+  // there); accessors re-assert the domain before touching it.
+  rccommon::Serial serial_;
+
   // Indexed by the manager's dense container slot; grown lazily to the
   // manager's slot capacity.
-  std::vector<SlotSeries> live_;
-  std::deque<ContainerSeries> retired_;
+  std::vector<SlotSeries> live_ RC_GUARDED_BY(serial_);
+  std::deque<ContainerSeries> retired_ RC_GUARDED_BY(serial_);
   std::size_t retired_cap_ = 65536;
-  std::uint64_t retired_dropped_ = 0;
+  std::uint64_t retired_dropped_ RC_GUARDED_BY(serial_) = 0;
   std::function<void(const ContainerSeries&)> retired_sink_;
 
-  std::vector<EngineSample> engine_series_;
+  std::vector<EngineSample> engine_series_ RC_GUARDED_BY(serial_);
   std::function<std::int64_t(const rc::ResourceContainer&)> guarantee_probe_;
-  std::size_t epochs_ = 0;
+  std::size_t epochs_ RC_GUARDED_BY(serial_) = 0;
   sim::EventHandle timer_;
   bool running_ = false;
 };

@@ -6,36 +6,50 @@ namespace verify {
 
 namespace {
 
-// Address used as the implicit kernel-context lock (see header).
-const int kKernelLockTag = 0;
-const void* const kKernelLock = &kKernelLockTag;
+// Id of the implicit kernel-context lock (see header). Real locks get ids
+// from 1 up, in first-acquisition order.
+constexpr RaceDetector::LockId kKernelLockId = 0;
 
 }  // namespace
 
+RaceDetector::LockId RaceDetector::IdFor(const void* lock) {
+  auto [it, inserted] =
+      lock_ids_.emplace(lock, static_cast<LockId>(lock_names_.size() + 1));
+  if (inserted) {
+    lock_names_.emplace_back();
+  }
+  return it->second;
+}
+
 void RaceDetector::OnAcquire(std::uint64_t tid, const void* lock,
                              const char* name) {
-  held_[tid].insert(lock);
-  auto& stored = lock_names_[lock];
+  const LockId id = IdFor(lock);
+  held_[tid].insert(id);
+  std::string& stored = lock_names_[id - 1];
   if (stored.empty()) {
     stored = name;
   }
 }
 
 void RaceDetector::OnRelease(std::uint64_t tid, const void* lock) {
+  auto ids = lock_ids_.find(lock);
+  if (ids == lock_ids_.end()) {
+    return;  // never acquired: releasing is a no-op
+  }
   auto it = held_.find(tid);
   if (it != held_.end()) {
-    it->second.erase(lock);  // releasing an unheld lock is a no-op
+    it->second.erase(ids->second);  // releasing an unheld lock is a no-op
   }
 }
 
-std::set<const void*> RaceDetector::CurrentLocks() const {
-  std::set<const void*> locks;
+std::set<RaceDetector::LockId> RaceDetector::CurrentLocks() const {
+  std::set<LockId> locks;
   auto it = held_.find(current_);
   if (it != held_.end()) {
     locks = it->second;
   }
   if (current_ == kKernelContext) {
-    locks.insert(kKernelLock);
+    locks.insert(kKernelLockId);
   }
   return locks;
 }
@@ -64,8 +78,8 @@ void RaceDetector::OnAccess(const void* addr, const char* name, bool is_write) {
       return;
     case Phase::kShared:
     case Phase::kSharedModified: {
-      const std::set<const void*> locks = CurrentLocks();
-      std::set<const void*> refined;
+      const std::set<LockId> locks = CurrentLocks();
+      std::set<LockId> refined;
       std::set_intersection(var.lockset.begin(), var.lockset.end(),
                             locks.begin(), locks.end(),
                             std::inserter(refined, refined.begin()));

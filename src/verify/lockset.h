@@ -38,6 +38,12 @@ class RaceDetector {
   // The "thread id" of kernel context (interrupts, simulator callbacks).
   static constexpr std::uint64_t kKernelContext = 0;
 
+  // Locks are tracked by a dense id assigned at first acquisition (an event
+  // whose order the simulation fully determines), never by raw address:
+  // locksets are ordered sets, and pointer keys would make their iteration
+  // order — and thus any derived output — depend on address-space layout.
+  using LockId = std::uint32_t;
+
   RaceDetector() = default;
   RaceDetector(const RaceDetector&) = delete;
   RaceDetector& operator=(const RaceDetector&) = delete;
@@ -78,19 +84,23 @@ class RaceDetector {
     Phase phase = Phase::kVirgin;
     std::uint64_t owner = 0;  // exclusive-phase thread
     std::uint64_t last_other = 0;
-    std::set<const void*> lockset;
+    std::set<LockId> lockset;
     bool reported = false;
     std::string name;
   };
 
+  // Dense id for `lock`, assigned on first sight.
+  LockId IdFor(const void* lock);
+
   // The lockset of the current context: held locks, plus the implicit
   // kernel lock in kernel context.
-  std::set<const void*> CurrentLocks() const;
+  std::set<LockId> CurrentLocks() const;
   void MaybeReport(VarState& var, bool is_write);
 
   std::uint64_t current_ = kKernelContext;
-  std::unordered_map<std::uint64_t, std::set<const void*>> held_;
-  std::unordered_map<const void*, std::string> lock_names_;
+  std::unordered_map<std::uint64_t, std::set<LockId>> held_;
+  std::unordered_map<const void*, LockId> lock_ids_;
+  std::vector<std::string> lock_names_;  // indexed by LockId
   std::unordered_map<const void*, VarState> vars_;
   std::vector<Report> reports_;
   std::uint64_t access_count_ = 0;

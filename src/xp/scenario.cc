@@ -10,6 +10,8 @@ namespace xp {
 namespace {
 
 bool AuditEnvSet() {
+  // rclint: allow(determinism): RC_AUDIT toggles the charge auditor on, not a
+  // seed or clock — it cannot perturb the simulated timeline.
   const char* v = std::getenv("RC_AUDIT");
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }

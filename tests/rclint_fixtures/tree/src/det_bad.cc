@@ -1,0 +1,29 @@
+// Determinism fixture: every construct below must fire in src/.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <set>
+
+struct Conn {};
+
+int DetBad() {
+  std::random_device rd;                       // nondeterministic entropy
+  int r = rand();                              // libc PRNG, unseeded state
+  std::srand(42);                              // libc PRNG seeding
+  long t = time(nullptr);                      // wall clock
+  auto now = std::chrono::system_clock::now(); // wall clock
+  auto tick = std::chrono::steady_clock::now(); // host-monotonic clock
+  const char* env = std::getenv("SEED");       // environment-derived input
+  std::map<Conn*, int> by_conn;                // pointer-keyed iteration order
+  std::set<const Conn*> conns;                 // pointer-keyed iteration order
+  (void)rd;
+  (void)r;
+  (void)t;
+  (void)now;
+  (void)tick;
+  (void)env;
+  (void)by_conn;
+  (void)conns;
+  return 0;
+}

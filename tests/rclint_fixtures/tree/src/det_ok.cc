@@ -1,0 +1,26 @@
+// Determinism fixture, negative cases: seeded PRNG, simulated time, id-keyed
+// maps, member functions that merely share a banned name, and a reasoned
+// suppression — none of these may fire.
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <random>
+
+struct Sim {
+  std::uint64_t time() const { return 0; }  // member named `time`, not ::time
+};
+
+int DetOk() {
+  std::mt19937_64 rng(42);       // seeded deterministic PRNG
+  std::map<std::uint64_t, int> by_id;  // value-keyed, stable order
+  Sim sim;
+  std::uint64_t now = sim.time();  // simulated clock, member call
+  // rclint: allow(determinism): fixture replica of the scenario toggle — the
+  // variable gates diagnostics, never the timeline.
+  const char* audit = std::getenv("RC_AUDIT");
+  (void)rng;
+  (void)by_id;
+  (void)now;
+  (void)audit;
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Hot-path fixture: a function annotated RC_HOT_PATH may not allocate,
+// build std::function objects, or grow containers.
+#include <functional>
+#include <memory>
+#include <vector>
+
+#define RC_HOT_PATH
+
+struct Event {
+  int id = 0;
+};
+
+RC_HOT_PATH void HotBad(std::vector<Event>* log, int id) {
+  Event* e = new Event{id};                    // heap allocation
+  auto shared = std::make_shared<Event>();     // heap allocation
+  std::function<void()> fn = [e] { delete e; };  // type-erased callable
+  log->push_back(*e);                          // throwing container growth
+  fn();
+  (void)shared;
+}
+
+// The same constructs outside an annotated function are not rclint's
+// business (the cold path may allocate freely).
+void ColdPath(std::vector<Event>* log) {
+  log->push_back(Event{});
+  Event* e = new Event{};
+  delete e;
+}

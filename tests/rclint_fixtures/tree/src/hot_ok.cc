@@ -1,0 +1,24 @@
+// Hot-path fixture, negative case: placement construction into recycled
+// storage is the sanctioned pooled-allocation idiom, declared with a
+// reasoned suppression.
+#include <new>
+#include <utility>
+#include <vector>
+
+#define RC_HOT_PATH
+
+struct Event {
+  int id = 0;
+};
+
+struct Pool {
+  std::vector<void*> free_;
+
+  RC_HOT_PATH Event* Create(int id) {
+    void* block = free_.back();
+    free_.pop_back();
+    // rclint: allow(hotpath): placement construction into recycled storage —
+    // no heap allocation.
+    return new (block) Event{id};
+  }
+};

@@ -1,0 +1,16 @@
+// Charging fixture: direct mutation of accounting state outside a choke
+// point (src/net/ is not one). Both the field-level write and the
+// whole-record overwrite must fire.
+struct Usage {
+  long cpu_user_usec = 0;
+  long bytes_sent = 0;
+};
+
+struct Container {
+  Usage usage;
+};
+
+void ChargeBad(Container* c, long usec, long bytes) {
+  c->usage.cpu_user_usec += usec;  // field mutation outside a choke point
+  c->usage.bytes_sent = bytes;     // plain assignment counts too
+}

@@ -1,0 +1,16 @@
+// Charging fixture, negative case: byte-for-byte the same mutations as
+// src/net/charge_bad.cc, but src/rc/ is a charging choke point — the one
+// place the books may be written directly.
+struct Usage {
+  long cpu_user_usec = 0;
+  long bytes_sent = 0;
+};
+
+struct Container {
+  Usage usage;
+};
+
+void ChargeOk(Container* c, long usec, long bytes) {
+  c->usage.cpu_user_usec += usec;
+  c->usage.bytes_sent = bytes;
+}

@@ -1,0 +1,5 @@
+// Layering fixture: the container layer is device-agnostic — devices charge
+// containers, never the reverse.
+#include "src/net/stack.h"  // illegal: rc -> net
+
+void RcLayerBad() {}

@@ -1,0 +1,6 @@
+// Layering fixture: src/sim/ is the foundation layer and must not reach up
+// into the kernel or the server.
+#include "src/kernel/kernel.h"  // illegal: sim -> kernel
+#include "src/httpd/server.h"   // illegal: sim -> httpd
+
+void SimLayerBad() {}

@@ -1,0 +1,6 @@
+// Layering fixture, negative case: sim may include common/ and its own
+// headers.
+#include "src/common/check.h"
+#include "src/sim/time.h"
+
+void SimLayerOk() {}

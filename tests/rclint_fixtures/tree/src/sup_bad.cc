@@ -1,0 +1,11 @@
+// Suppression fixture: malformed directives are themselves diagnostics — a
+// suppression that silently failed to parse would hide real findings.
+
+// rclint: allow(determinsm): typo in the rule name
+int a = 0;
+
+// rclint: allow(hotpath)
+int b = 0;  // missing reason — suppressions must say why
+
+// rclint: allow
+int c = 0;  // unparsable directive

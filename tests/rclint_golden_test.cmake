@@ -1,0 +1,49 @@
+# Golden-output test for the rclint CLI: run the binary over the fixture
+# corpus (tests/rclint_fixtures/tree) with --fix-suggestions and diff stdout
+# against expected.txt. Any drift in rule behavior, message wording, or
+# ordering shows up as a diff; to accept an intentional change, regenerate:
+#
+#   ./build/tools/rclint --root=tests/rclint_fixtures/tree --fix-suggestions \
+#       src > tests/rclint_fixtures/expected.txt
+#
+# Invoked by ctest as
+#   cmake -DRCLINT=<binary> -DFIXTURES=<tree dir> -DEXPECTED=<expected.txt>
+#         -DWORKDIR=<scratch dir> -P rclint_golden_test.cmake
+#
+# The fixture tree deliberately contains violations, so the expected exit
+# code is 1 — anything else (0: rules stopped firing; 2: CLI/IO breakage)
+# fails the test before the diff runs.
+
+foreach(var RCLINT FIXTURES EXPECTED WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(actual "${WORKDIR}/rclint_actual.txt")
+
+execute_process(
+  COMMAND "${RCLINT}" "--root=${FIXTURES}" --fix-suggestions src
+  OUTPUT_FILE "${actual}"
+  RESULT_VARIABLE exit_code)
+
+if(NOT exit_code EQUAL 1)
+  message(FATAL_ERROR
+          "rclint exited ${exit_code} over the fixture corpus; expected 1 "
+          "(fixtures contain violations by design)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${EXPECTED}" "${actual}"
+  RESULT_VARIABLE diff_result)
+
+if(NOT diff_result EQUAL 0)
+  file(READ "${EXPECTED}" want)
+  file(READ "${actual}" got)
+  message(FATAL_ERROR
+          "rclint output drifted from the golden file.\n"
+          "--- expected (${EXPECTED}):\n${want}\n"
+          "--- actual (${actual}):\n${got}\n"
+          "If the change is intentional, regenerate expected.txt (see header).")
+endif()

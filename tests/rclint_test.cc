@@ -1,0 +1,207 @@
+// Self-tests for the rclint analyzer (tools/rclint/rclint_lib). Each rule
+// gets a firing case and a quiet case over synthetic file contents; the
+// fixture corpus under tests/rclint_fixtures/ exercises the same rules
+// end-to-end through the CLI (see rclint_golden_test.cmake).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/rclint/rclint_lib.h"
+
+namespace {
+
+using rclint::AnalyzeFile;
+using rclint::Diagnostic;
+using rclint::FileInput;
+using rclint::Rule;
+
+std::vector<Diagnostic> Analyze(const std::string& path,
+                                const std::string& content) {
+  std::vector<Diagnostic> diags;
+  AnalyzeFile(FileInput{path, content}, &diags);
+  return diags;
+}
+
+bool HasRule(const std::vector<Diagnostic>& diags, Rule rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(RclintDeterminismTest, FlagsEntropyAndClockSources) {
+  const auto diags = Analyze("src/x.cc",
+                             "#include <random>\n"
+                             "int f() { std::random_device rd; return rand(); }\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, Rule::kDeterminism);
+  EXPECT_EQ(diags[1].rule, Rule::kDeterminism);
+  EXPECT_EQ(diags[1].line, 2);
+}
+
+TEST(RclintDeterminismTest, FlagsPointerKeyedOrderedContainers) {
+  const auto diags =
+      Analyze("src/x.cc", "std::map<Conn*, int> m;\nstd::set<int> ok;\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, Rule::kDeterminism);
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(RclintDeterminismTest, MemberAndDeclarationUsesAreQuiet) {
+  // x.time() is the simulator's clock; `Duration time()` declares an
+  // unrelated function; `rng.rand()` is someone's member.
+  const auto diags = Analyze("src/x.cc",
+                             "long f(Sim& s) { return s.time(); }\n"
+                             "struct R { Duration time() const; };\n"
+                             "int g(Rng& r) { return r.rand(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RclintDeterminismTest, OnlyAppliesUnderSrc) {
+  // Wall-clock use in bench/tools is legitimate (throughput measurement).
+  const std::string body = "int f() { return rand(); }\n";
+  EXPECT_FALSE(HasRule(Analyze("bench/x.cc", body), Rule::kDeterminism));
+  EXPECT_FALSE(HasRule(Analyze("tools/x.cc", body), Rule::kDeterminism));
+  EXPECT_TRUE(HasRule(Analyze("src/x.cc", body), Rule::kDeterminism));
+}
+
+// --- charging --------------------------------------------------------------
+
+TEST(RclintChargingTest, FlagsDirectCounterMutationOutsideChokePoints) {
+  const std::string body = "void f(C* c) { c->usage.cpu_user_usec += 5; }\n";
+  EXPECT_TRUE(HasRule(Analyze("src/net/x.cc", body), Rule::kCharging));
+  EXPECT_TRUE(HasRule(Analyze("bench/x.cc", body), Rule::kCharging));
+}
+
+TEST(RclintChargingTest, ChokePointsMayMutateDirectly) {
+  const std::string body = "void f(C* c) { c->usage.cpu_user_usec += 5; }\n";
+  EXPECT_TRUE(Analyze("src/rc/container.cc", body).empty());
+  EXPECT_TRUE(Analyze("src/kernel/kernel.cc", body).empty());
+  EXPECT_TRUE(Analyze("src/sched/share_tree.cc", body).empty());
+}
+
+TEST(RclintChargingTest, ReadsOfCountersAreQuiet) {
+  const auto diags = Analyze(
+      "src/net/x.cc", "long f(const C& c) { return c.usage().bytes_sent; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- hotpath ---------------------------------------------------------------
+
+TEST(RclintHotPathTest, FlagsAllocationInAnnotatedFunction) {
+  const auto diags = Analyze("src/x.cc",
+                             "RC_HOT_PATH void f(std::vector<int>* v) {\n"
+                             "  v->push_back(new int);\n"
+                             "}\n");
+  ASSERT_EQ(diags.size(), 2u);  // `new` and `push_back`
+  EXPECT_EQ(diags[0].rule, Rule::kHotPath);
+  EXPECT_EQ(diags[1].rule, Rule::kHotPath);
+}
+
+TEST(RclintHotPathTest, UnannotatedFunctionsMayAllocate) {
+  const auto diags = Analyze(
+      "src/x.cc", "void f(std::vector<int>* v) { v->push_back(new int); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RclintHotPathTest, BodyEndsAtClosingBrace) {
+  const auto diags = Analyze("src/x.cc",
+                             "RC_HOT_PATH int f() { return 0; }\n"
+                             "void g() { auto* p = new int; (void)p; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- layering --------------------------------------------------------------
+
+TEST(RclintLayeringTest, FoundationMayNotReachUp) {
+  EXPECT_TRUE(HasRule(
+      Analyze("src/sim/x.cc", "#include \"src/kernel/kernel.h\"\n"),
+      Rule::kLayering));
+  EXPECT_TRUE(HasRule(
+      Analyze("src/common/x.h", "#include \"src/httpd/server.h\"\n"),
+      Rule::kLayering));
+  EXPECT_TRUE(HasRule(Analyze("src/rc/x.cc", "#include \"src/net/stack.h\"\n"),
+                      Rule::kLayering));
+}
+
+TEST(RclintLayeringTest, DownwardIncludesAreQuiet) {
+  EXPECT_TRUE(
+      Analyze("src/sim/x.cc", "#include \"src/common/check.h\"\n").empty());
+  EXPECT_TRUE(
+      Analyze("src/kernel/x.cc", "#include \"src/sim/time.h\"\n").empty());
+}
+
+// --- suppressions ----------------------------------------------------------
+
+TEST(RclintSuppressionTest, ReasonedSuppressionSilencesNextCodeLine) {
+  const auto diags = Analyze(
+      "src/x.cc",
+      "// rclint: allow(determinism): fixture exercising the suppressor.\n"
+      "int r = rand();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RclintSuppressionTest, SuppressionOnlyCoversItsOwnRule) {
+  const auto diags = Analyze(
+      "src/x.cc",
+      "// rclint: allow(hotpath): wrong rule for this diagnostic.\n"
+      "int r = rand();\n");
+  EXPECT_TRUE(HasRule(diags, Rule::kDeterminism));
+}
+
+TEST(RclintSuppressionTest, MissingReasonIsItselfADiagnostic) {
+  const auto diags = Analyze("src/x.cc", "// rclint: allow(determinism)\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, Rule::kBadSuppression);
+}
+
+TEST(RclintSuppressionTest, UnknownRuleIsItselfADiagnostic) {
+  const auto diags =
+      Analyze("src/x.cc", "// rclint: allow(nosuchrule): reasons.\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, Rule::kBadSuppression);
+}
+
+TEST(RclintSuppressionTest, ProseMentioningTheSyntaxIsNotADirective) {
+  const auto diags = Analyze(
+      "src/x.cc",
+      "// Suppress with `// rclint: allow(<rule>): reason` on the line above.\n"
+      "int x = 0;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- diagnostics surface ---------------------------------------------------
+
+TEST(RclintFormatTest, FormatsPathLineRuleAndOptionalSuggestion) {
+  const auto diags = Analyze("src/x.cc", "int r = rand();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string plain = rclint::FormatDiagnostic(diags[0], false);
+  EXPECT_NE(plain.find("src/x.cc:1: [determinism]"), std::string::npos);
+  EXPECT_EQ(plain.find("suggestion:"), std::string::npos);
+  const std::string with_fix = rclint::FormatDiagnostic(diags[0], true);
+  EXPECT_NE(with_fix.find("suggestion:"), std::string::npos);
+}
+
+TEST(RclintFormatTest, RuleNamesRoundTrip) {
+  for (Rule r : {Rule::kDeterminism, Rule::kCharging, Rule::kHotPath,
+                 Rule::kLayering, Rule::kBadSuppression}) {
+    Rule parsed = Rule::kDeterminism;
+    ASSERT_TRUE(rclint::RuleFromName(rclint::RuleName(r), &parsed));
+    EXPECT_EQ(parsed, r);
+  }
+  Rule ignored = Rule::kDeterminism;
+  EXPECT_FALSE(rclint::RuleFromName("nosuchrule", &ignored));
+}
+
+TEST(RclintLexerTest, CommentsAndStringsAreNotCode) {
+  const auto diags = Analyze("src/x.cc",
+                             "// rand() in a comment\n"
+                             "/* std::random_device in a block */\n"
+                             "const char* s = \"rand()\";\n"
+                             "const char* r = R\"(getenv)\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+}  // namespace

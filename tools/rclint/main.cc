@@ -1,0 +1,138 @@
+// rclint command-line driver.
+//
+// Usage:
+//   rclint [--root=DIR] [--fix-suggestions] [--list-rules] PATH...
+//
+// Each PATH (file or directory, resolved under --root) is scanned; rule
+// scoping keys off the path relative to the root (src/, bench/, tools/).
+// Exits 0 when the tree is clean, 1 when any diagnostic fired, 2 on usage
+// or I/O errors.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/rclint/rclint_lib.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Directories never worth scanning (build trees, VCS metadata).
+bool SkippedDir(const std::string& name) {
+  return name == ".git" || name.rfind("build", 0) == 0;
+}
+
+void CollectFiles(const fs::path& p, std::vector<fs::path>* out) {
+  if (fs::is_regular_file(p)) {
+    if (HasSourceExtension(p)) {
+      out->push_back(p);
+    }
+    return;
+  }
+  if (!fs::is_directory(p)) {
+    return;
+  }
+  for (const auto& entry : fs::directory_iterator(p)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory()) {
+      if (!SkippedDir(name)) {
+        CollectFiles(entry.path(), out);
+      }
+    } else if (entry.is_regular_file() && HasSourceExtension(entry.path())) {
+      out->push_back(entry.path());
+    }
+  }
+}
+
+std::string RelativeTo(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  std::string s = (ec ? file : rel).generic_string();
+  // Paths outside the root (or absolute inputs) keep their given spelling.
+  return s;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rclint [--root=DIR] [--fix-suggestions] [--list-rules] "
+               "PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool fix_suggestions = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--fix-suggestions") {
+      fix_suggestions = true;
+    } else if (arg == "--list-rules") {
+      using rclint::Rule;
+      for (Rule r : {Rule::kDeterminism, Rule::kCharging, Rule::kHotPath,
+                     Rule::kLayering, Rule::kBadSuppression}) {
+        std::printf("%s\n", rclint::RuleName(r));
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    fs::path resolved = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    if (!fs::exists(resolved)) {
+      std::fprintf(stderr, "rclint: no such path: %s\n", resolved.c_str());
+      return 2;
+    }
+    CollectFiles(resolved, &files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<rclint::Diagnostic> diags;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "rclint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    rclint::FileInput input{RelativeTo(file, root), buf.str()};
+    rclint::AnalyzeFile(input, &diags);
+  }
+
+  for (const rclint::Diagnostic& d : diags) {
+    std::cout << rclint::FormatDiagnostic(d, fix_suggestions) << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << "rclint: " << diags.size() << " diagnostic"
+              << (diags.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files\n";
+    return 1;
+  }
+  std::cerr << "rclint: clean (" << files.size() << " files)\n";
+  return 0;
+}

@@ -1,0 +1,756 @@
+#include "tools/rclint/rclint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rclint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer: a minimal C++ tokenizer. Comments and literals are consumed (their
+// content can never violate a rule), suppression comments are collected, and
+// preprocessor lines vanish except for quoted #include paths, which surface
+// as kInclude tokens for the layering rule.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kInclude };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Suppression {
+  int line = 0;
+  std::string rule_name;
+  bool parsed = false;      // the allow(...) form was recognized at all
+  bool has_reason = false;  // a non-empty reason string followed
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Scans comment text for `rclint: allow(<rule>)[: reason]`. The directive
+// must be the comment's leading content — prose that merely *mentions* the
+// syntax (docs, this file) is not a suppression. `comment` includes the
+// opening delimiter.
+void ParseSuppression(std::string_view comment, int line,
+                      std::vector<Suppression>* out) {
+  std::size_t start = 0;
+  while (start < comment.size() &&
+         (comment[start] == '/' || comment[start] == '*' ||
+          std::isspace(static_cast<unsigned char>(comment[start])) != 0)) {
+    ++start;
+  }
+  if (comment.compare(start, 7, "rclint:") != 0) {
+    return;
+  }
+  const std::size_t tag = start;
+  Suppression s;
+  s.line = line;
+  std::string_view rest = comment.substr(tag + 7);
+  const std::size_t allow = rest.find("allow");
+  const std::size_t open = rest.find('(');
+  const std::size_t close = rest.find(')');
+  if (allow == std::string_view::npos || open == std::string_view::npos ||
+      close == std::string_view::npos || close < open) {
+    out->push_back(s);  // unparsable: reported as bad-suppression
+    return;
+  }
+  s.parsed = true;
+  s.rule_name = Trim(rest.substr(open + 1, close - open - 1));
+  std::string_view after = rest.substr(close + 1);
+  const std::size_t colon = after.find(':');
+  if (colon != std::string_view::npos) {
+    s.has_reason = !Trim(after.substr(colon + 1)).empty();
+  }
+  out->push_back(s);
+}
+
+// Multi-character punctuators, longest first (maximal munch).
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",
+};
+
+LexResult Lex(const std::string& src) {
+  LexResult res;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace since the last newline
+
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? src[i + off] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ParseSuppression(std::string_view(src).substr(i, end - i), line,
+                       &res.suppressions);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      ParseSuppression(std::string_view(src).substr(i, end - i), start_line,
+                       &res.suppressions);
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = end == n ? n : end + 2;
+      at_line_start = false;
+      continue;
+    }
+    // Preprocessor line: keep quoted #include paths, drop the rest.
+    if (c == '#' && at_line_start) {
+      std::string logical;
+      while (i < n) {
+        std::size_t end = src.find('\n', i);
+        if (end == std::string::npos) end = n;
+        std::string_view piece = std::string_view(src).substr(i, end - i);
+        i = end;
+        if (!piece.empty() && piece.back() == '\\') {
+          logical.append(piece.substr(0, piece.size() - 1));
+          if (i < n) {
+            ++i;  // consume the newline of the continuation
+            ++line;
+          }
+          continue;
+        }
+        logical.append(piece);
+        break;
+      }
+      std::size_t p = 1;  // past '#'
+      while (p < logical.size() &&
+             std::isspace(static_cast<unsigned char>(logical[p])) != 0) {
+        ++p;
+      }
+      if (logical.compare(p, 7, "include") == 0) {
+        const std::size_t q1 = logical.find('"', p + 7);
+        if (q1 != std::string::npos) {
+          const std::size_t q2 = logical.find('"', q1 + 1);
+          if (q2 != std::string::npos) {
+            res.tokens.push_back(Token{Token::Kind::kInclude,
+                                       logical.substr(q1 + 1, q2 - q1 - 1),
+                                       line});
+          }
+        }
+      }
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal.
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t dstart = i + 2;
+      std::size_t dp = src.find('(', dstart);
+      if (dp == std::string::npos) {
+        ++i;
+        continue;
+      }
+      const std::string closer =
+          ")" + src.substr(dstart, dp - dstart) + "\"";
+      std::size_t end = src.find(closer, dp + 1);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = end == n ? n : end + closer.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      res.tokens.push_back(
+          Token{Token::Kind::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+    // Number (rough: good enough to keep digits out of punct tokens).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
+                       src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      res.tokens.push_back(
+          Token{Token::Kind::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuator: maximal munch.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        res.tokens.push_back(Token{Token::Kind::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      res.tokens.push_back(
+          Token{Token::Kind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Scoping helpers.
+// ---------------------------------------------------------------------------
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool Contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+// Charging choke points: the only files allowed to mutate container
+// accounting state directly.
+bool IsChargingChokePoint(std::string_view path) {
+  return path == "src/kernel/kernel.cc" || path == "src/sched/share_tree.cc" ||
+         StartsWith(path, "src/rc/");
+}
+
+const std::vector<std::string>& AccountingFields() {
+  static const std::vector<std::string> kFields = {
+      "cpu_user_usec",    "cpu_kernel_usec",  "cpu_network_usec",
+      "memory_bytes",     "memory_peak_bytes", "memory_refusals",
+      "memory_reclaims",  "memory_reclaimed_bytes",
+      "packets_received", "packets_dropped",  "bytes_received",
+      "bytes_sent",       "disk_busy_usec",   "disk_reads",
+      "disk_kb",          "link_busy_usec",   "link_packets",
+  };
+  return kFields;
+}
+
+const std::vector<std::string>& UsageBases() {
+  static const std::vector<std::string> kBases = {
+      "usage", "usage_", "retired", "retired_", "retired_usage",
+      "SubtreeUsage"};
+  return kBases;
+}
+
+const std::vector<std::string>& Mutators() {
+  static const std::vector<std::string> kMut = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"};
+  return kMut;
+}
+
+const std::vector<std::string>& GrowthCalls() {
+  static const std::vector<std::string> kGrowth = {
+      "push_back", "emplace_back", "push_front", "emplace_front", "emplace",
+      "insert",    "resize",       "reserve",    "append",        "push"};
+  return kGrowth;
+}
+
+struct Analyzer {
+  const FileInput& input;
+  const std::vector<Token>& toks;
+  std::vector<Diagnostic> diags;
+
+  const Token* At(std::ptrdiff_t i) const {
+    return i >= 0 && i < static_cast<std::ptrdiff_t>(toks.size()) ? &toks[i]
+                                                                  : nullptr;
+  }
+  bool IsPunct(std::ptrdiff_t i, std::string_view text) const {
+    const Token* t = At(i);
+    return t != nullptr && t->kind == Token::Kind::kPunct && t->text == text;
+  }
+  bool IsIdent(std::ptrdiff_t i, std::string_view text) const {
+    const Token* t = At(i);
+    return t != nullptr && t->kind == Token::Kind::kIdent && t->text == text;
+  }
+
+  void Report(Rule rule, int line, std::string message) {
+    diags.push_back(Diagnostic{input.path, line, rule, std::move(message), ""});
+  }
+
+  // --- determinism ---------------------------------------------------------
+
+  void CheckDeterminism() {
+    static const std::vector<std::string> kBannedAlways = {
+        "random_device", "system_clock",  "steady_clock",
+        "high_resolution_clock",          "getenv",
+        "gettimeofday",  "clock_gettime", "srand",
+        "drand48",       "lrand48"};
+    static const std::vector<std::string> kBannedCalls = {"rand", "time"};
+    static const std::vector<std::string> kOrdered = {"map", "set", "multimap",
+                                                      "multiset"};
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(toks.size());
+         ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdent) {
+        continue;
+      }
+      if (Contains(kBannedAlways, t.text)) {
+        Report(Rule::kDeterminism, t.line,
+               "'" + t.text +
+                   "' is a nondeterminism source; the simulation draws "
+                   "entropy from sim::Rng and time from the event clock");
+        continue;
+      }
+      if (Contains(kBannedCalls, t.text) && IsPunct(i + 1, "(")) {
+        // Member calls (x.time(), x->rand()) are someone else's API; a
+        // qualified call only flags for namespace std. A preceding type name
+        // makes this a *declaration* of an unrelated function (`Duration
+        // time()`) — a call expression is never directly preceded by an
+        // identifier other than a flow keyword.
+        const bool member = IsPunct(i - 1, ".") || IsPunct(i - 1, "->");
+        const bool qualified = IsPunct(i - 1, "::");
+        const bool std_qualified = qualified && IsIdent(i - 2, "std");
+        const bool declared =
+            i > 0 && toks[static_cast<std::size_t>(i - 1)].kind ==
+                         Token::Kind::kIdent &&
+            toks[static_cast<std::size_t>(i - 1)].text != "return" &&
+            toks[static_cast<std::size_t>(i - 1)].text != "co_return" &&
+            toks[static_cast<std::size_t>(i - 1)].text != "co_await" &&
+            toks[static_cast<std::size_t>(i - 1)].text != "co_yield";
+        if (!member && !declared && (!qualified || std_qualified)) {
+          Report(Rule::kDeterminism, t.line,
+                 "call to '" + t.text +
+                     "()' is a nondeterminism source; use sim::Rng / the "
+                     "event clock");
+        }
+        continue;
+      }
+      // Pointer-keyed ordered containers: std::map<T*, ...> / std::set<T*>.
+      if (Contains(kOrdered, t.text) && IsIdent(i - 2, "std") &&
+          IsPunct(i - 1, "::") && IsPunct(i + 1, "<")) {
+        int depth = 1;
+        bool key_has_pointer = false;
+        for (std::ptrdiff_t j = i + 2;
+             j < static_cast<std::ptrdiff_t>(toks.size()) && depth > 0; ++j) {
+          const Token& u = toks[j];
+          if (u.kind != Token::Kind::kPunct) {
+            continue;
+          }
+          if (u.text == "<") {
+            ++depth;
+          } else if (u.text == ">") {
+            --depth;
+          } else if (u.text == ">>") {
+            depth -= 2;
+          } else if (u.text == "," && depth == 1) {
+            break;  // end of the key type
+          } else if (u.text == "*" && depth == 1) {
+            key_has_pointer = true;
+          }
+        }
+        if (key_has_pointer) {
+          Report(Rule::kDeterminism, t.line,
+                 "pointer-keyed std::" + t.text +
+                     " iterates in address order, which varies across runs; "
+                     "key by a stable id instead");
+        }
+      }
+    }
+  }
+
+  // --- charging ------------------------------------------------------------
+
+  // Walks a member-access chain leftward from the '.'/'->' at `sep`,
+  // collecting base identifiers (skipping balanced ()/[] groups). Returns the
+  // index of the chain's leftmost token.
+  std::ptrdiff_t WalkChain(std::ptrdiff_t sep,
+                           std::vector<std::string>* bases) const {
+    std::ptrdiff_t j = sep;
+    while (IsPunct(j, ".") || IsPunct(j, "->") || IsPunct(j, "::")) {
+      std::ptrdiff_t k = j - 1;
+      // Skip one balanced () or [] group (call or index).
+      while (IsPunct(k, ")") || IsPunct(k, "]")) {
+        const std::string open = toks[k].text == ")" ? "(" : "[";
+        const std::string close = toks[k].text;
+        int depth = 0;
+        while (k >= 0) {
+          if (IsPunct(k, close)) {
+            ++depth;
+          } else if (IsPunct(k, open)) {
+            --depth;
+            if (depth == 0) {
+              --k;
+              break;
+            }
+          }
+          --k;
+        }
+      }
+      const Token* base = At(k);
+      if (base == nullptr || base->kind != Token::Kind::kIdent) {
+        return k + 1;
+      }
+      bases->push_back(base->text);
+      j = k - 1;
+    }
+    return j + 1;
+  }
+
+  void CheckCharging() {
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(toks.size());
+         ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdent) {
+        continue;
+      }
+      // Whole-record writes: usage_ = ..., retired_ += ...
+      if ((t.text == "usage_" || t.text == "retired_") && IsMutatorAt(i + 1)) {
+        Report(Rule::kCharging, t.line,
+               "direct write to container accounting record '" + t.text +
+                   "' outside a charging choke point");
+        continue;
+      }
+      const bool acct_field = Contains(AccountingFields(), t.text);
+      const bool acct_method = t.text == "AddCpu";
+      if (!acct_field && !acct_method) {
+        continue;
+      }
+      if (!IsPunct(i - 1, ".") && !IsPunct(i - 1, "->")) {
+        continue;  // not a member access
+      }
+      std::vector<std::string> bases;
+      const std::ptrdiff_t chain_start = WalkChain(i - 1, &bases);
+      bool via_usage = false;
+      for (const std::string& b : bases) {
+        if (Contains(UsageBases(), b)) {
+          via_usage = true;
+          break;
+        }
+      }
+      if (!via_usage) {
+        continue;
+      }
+      if (acct_method) {
+        Report(Rule::kCharging, t.line,
+               "usage_.AddCpu() outside a charging choke point; route the "
+               "charge through ResourceContainer::ChargeCpu");
+        continue;
+      }
+      const bool written = IsMutatorAt(i + 1) || IsPunct(chain_start - 1, "++") ||
+                           IsPunct(chain_start - 1, "--");
+      if (written) {
+        Report(Rule::kCharging, t.line,
+               "direct mutation of accounting counter '" + t.text +
+                   "' outside a charging choke point; use the "
+                   "Charge*/Count* APIs");
+      }
+    }
+  }
+
+  bool IsMutatorAt(std::ptrdiff_t i) const {
+    const Token* t = At(i);
+    return t != nullptr && t->kind == Token::Kind::kPunct &&
+           Contains(Mutators(), t->text);
+  }
+
+  // --- hotpath -------------------------------------------------------------
+
+  void CheckHotPath() {
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(toks.size());
+         ++i) {
+      if (!IsIdent(i, "RC_HOT_PATH")) {
+        continue;
+      }
+      // Find the function name and body start (or stop at a declaration).
+      std::string fn = "<function>";
+      int paren_depth = 0;
+      std::ptrdiff_t body_start = -1;
+      for (std::ptrdiff_t j = i + 1;
+           j < static_cast<std::ptrdiff_t>(toks.size()); ++j) {
+        const Token& u = toks[j];
+        if (u.kind == Token::Kind::kPunct) {
+          if (u.text == "(") {
+            if (paren_depth == 0 && j > 0 &&
+                toks[j - 1].kind == Token::Kind::kIdent) {
+              fn = toks[j - 1].text;
+            }
+            ++paren_depth;
+          } else if (u.text == ")") {
+            --paren_depth;
+          } else if (u.text == ";" && paren_depth == 0) {
+            break;  // declaration only: the definition is checked where it is
+          } else if (u.text == "{" && paren_depth == 0) {
+            body_start = j;
+            break;
+          }
+        }
+      }
+      if (body_start < 0) {
+        continue;
+      }
+      ScanHotBody(body_start, fn);
+    }
+  }
+
+  void ScanHotBody(std::ptrdiff_t body_start, const std::string& fn) {
+    int depth = 0;
+    for (std::ptrdiff_t j = body_start;
+         j < static_cast<std::ptrdiff_t>(toks.size()); ++j) {
+      const Token& u = toks[j];
+      if (u.kind == Token::Kind::kPunct) {
+        if (u.text == "{") {
+          ++depth;
+        } else if (u.text == "}") {
+          --depth;
+          if (depth == 0) {
+            return;
+          }
+        }
+        continue;
+      }
+      if (u.kind != Token::Kind::kIdent) {
+        continue;
+      }
+      const std::string in_fn = "' in RC_HOT_PATH function '" + fn + "'";
+      if (u.text == "new") {
+        Report(Rule::kHotPath, u.line,
+               "heap allocation 'new" + in_fn +
+                   "; hot paths recycle via pools/slabs");
+      } else if (u.text == "make_shared" || u.text == "make_unique" ||
+                 u.text == "allocate_shared") {
+        Report(Rule::kHotPath, u.line,
+               "heap allocation '" + u.text + in_fn +
+                   "; hot paths recycle via pools/slabs");
+      } else if (u.text == "function" && IsPunct(j - 1, "::") &&
+                 IsIdent(j - 2, "std")) {
+        Report(Rule::kHotPath, u.line,
+               "std::function construction" + in_fn.substr(1) +
+                   "; use a typed listener or move an existing callable");
+      } else if (Contains(GrowthCalls(), u.text) &&
+                 (IsPunct(j - 1, ".") || IsPunct(j - 1, "->")) &&
+                 IsPunct(j + 1, "(")) {
+        Report(Rule::kHotPath, u.line,
+               "container growth '" + u.text + "()" + in_fn +
+                   "; growth may allocate and throw mid-path");
+      }
+    }
+  }
+
+  // --- layering ------------------------------------------------------------
+
+  void CheckLayering() {
+    struct LayerRule {
+      const char* from;
+      const char* banned;
+    };
+    static constexpr LayerRule kRules[] = {
+        {"src/sim/", "src/kernel/"},  {"src/sim/", "src/httpd/"},
+        {"src/common/", "src/kernel/"}, {"src/common/", "src/httpd/"},
+        {"src/rc/", "src/net/"},      {"src/rc/", "src/disk/"},
+    };
+    for (const Token& t : toks) {
+      if (t.kind != Token::Kind::kInclude) {
+        continue;
+      }
+      for (const LayerRule& r : kRules) {
+        if (StartsWith(input.path, r.from) && StartsWith(t.text, r.banned)) {
+          Report(Rule::kLayering, t.line,
+                 std::string(r.from) + " must not include " + r.banned +
+                     " headers (got \"" + t.text + "\")");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const char* RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kDeterminism:
+      return "determinism";
+    case Rule::kCharging:
+      return "charging";
+    case Rule::kHotPath:
+      return "hotpath";
+    case Rule::kLayering:
+      return "layering";
+    case Rule::kBadSuppression:
+      return "bad-suppression";
+  }
+  return "unknown";
+}
+
+bool RuleFromName(std::string_view name, Rule* out) {
+  static constexpr Rule kAll[] = {Rule::kDeterminism, Rule::kCharging,
+                                  Rule::kHotPath, Rule::kLayering,
+                                  Rule::kBadSuppression};
+  for (Rule r : kAll) {
+    if (name == RuleName(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SuggestionFor(Rule rule) {
+  switch (rule) {
+    case Rule::kDeterminism:
+      return "draw entropy from sim::Rng and time from sim::Simulator::now(); "
+             "key ordered containers by stable ids, not pointers";
+    case Rule::kCharging:
+      return "route the mutation through ResourceContainer::ChargeCpu/"
+             "ChargeMemory/ChargeDisk/ChargeLink/Count* or the share-tree "
+             "OnCharge API so the auditor's books stay balanced";
+    case Rule::kHotPath:
+      return "preallocate outside the hot path (rccommon::ObjectPool, slab "
+             "arenas, reserved capacity) or move the work off the annotated "
+             "path";
+    case Rule::kLayering:
+      return "invert the dependency: lower layers expose interfaces, upper "
+             "layers include them";
+    case Rule::kBadSuppression:
+      return "write '// rclint: allow(<rule>): <reason>' with a real rule "
+             "name and a non-empty reason";
+  }
+  return "";
+}
+
+std::string FormatDiagnostic(const Diagnostic& d, bool fix_suggestions) {
+  std::string out = d.file + ":" + std::to_string(d.line) + ": [" +
+                    RuleName(d.rule) + "] " + d.message;
+  if (fix_suggestions && !d.suggestion.empty()) {
+    out += "\n  suggestion: " + d.suggestion;
+  }
+  return out;
+}
+
+void AnalyzeFile(const FileInput& input, std::vector<Diagnostic>* out) {
+  LexResult lex = Lex(input.content);
+  Analyzer a{input, lex.tokens, {}};
+
+  const bool in_src = StartsWith(input.path, "src/");
+  const bool in_bench_or_tools = StartsWith(input.path, "bench/") ||
+                                 StartsWith(input.path, "tools/");
+
+  if (in_src) {
+    a.CheckDeterminism();
+    a.CheckLayering();
+  }
+  if ((in_src || in_bench_or_tools) && !IsChargingChokePoint(input.path)) {
+    a.CheckCharging();
+  }
+  a.CheckHotPath();
+
+  // Apply suppressions: an allow(<rule>) with a reason covers diagnostics of
+  // that rule on its own line (trailing comment) or on the first code line
+  // below it (comment block directly above the violation — continuation
+  // comment lines in between are fine).
+  std::set<int> token_lines;
+  for (const Token& t : lex.tokens) {
+    token_lines.insert(t.line);
+  }
+  auto covers = [&token_lines](const Suppression& s, int diag_line) {
+    if (s.line > diag_line) {
+      return false;
+    }
+    auto it = token_lines.lower_bound(s.line);
+    return it != token_lines.end() && *it == diag_line;
+  };
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : a.diags) {
+    bool suppressed = false;
+    for (const Suppression& s : lex.suppressions) {
+      Rule named;
+      if (s.parsed && s.has_reason && RuleFromName(s.rule_name, &named) &&
+          named == d.rule && covers(s, d.line)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) {
+      kept.push_back(std::move(d));
+    }
+  }
+
+  // Malformed suppressions are diagnostics in their own right.
+  for (const Suppression& s : lex.suppressions) {
+    Rule named;
+    if (!s.parsed) {
+      kept.push_back(Diagnostic{input.path, s.line, Rule::kBadSuppression,
+                                "unparsable rclint suppression comment", ""});
+    } else if (!RuleFromName(s.rule_name, &named)) {
+      kept.push_back(Diagnostic{input.path, s.line, Rule::kBadSuppression,
+                                "unknown rule '" + s.rule_name +
+                                    "' in rclint suppression",
+                                ""});
+    } else if (!s.has_reason) {
+      kept.push_back(Diagnostic{
+          input.path, s.line, Rule::kBadSuppression,
+          "rclint suppression for '" + s.rule_name +
+              "' is missing its mandatory reason string",
+          ""});
+    }
+  }
+
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Diagnostic& x, const Diagnostic& y) {
+                     return x.line < y.line;
+                   });
+  for (Diagnostic& d : kept) {
+    d.suggestion = SuggestionFor(d.rule);
+    out->push_back(std::move(d));
+  }
+}
+
+}  // namespace rclint

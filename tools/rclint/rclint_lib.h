@@ -1,0 +1,98 @@
+// rclint — a project-specific static analysis pass for the resource
+// containers simulator.
+//
+// The repo's correctness story rests on invariants the test suite can only
+// check *dynamically*: digit-identical determinism digests, charge
+// conservation under the auditor, allocation-free hot paths earned by the
+// PR 6-8 rebuilds. rclint is the static half: a lightweight lexer over the
+// source tree (no libclang) that catches the ways those invariants rot at
+// lint time instead of as a mysterious digest or bench regression.
+//
+// Rules (each suppressible via `// rclint: allow(<rule>): <reason>` on the
+// violating line or the line above; the reason is mandatory):
+//
+//   determinism  (src/ only)
+//     Bans wall-clock and ambient-entropy sources: std::random_device,
+//     rand/srand/drand48, time()/gettimeofday/clock_gettime,
+//     std::chrono::{system,steady,high_resolution}_clock, getenv, and
+//     pointer-keyed ordered containers (std::map/set<T*>), whose iteration
+//     order is address-space layout. The simulation draws all entropy from
+//     sim::Rng and all time from the event clock.
+//
+//   charging  (src/, bench/, tools/; choke-point files exempt)
+//     Direct mutation of ResourceContainer accounting state (writes through
+//     a usage_/retired_/usage path to the ResourceUsage counters, or calls
+//     to usage_.AddCpu) is only legal inside the charging choke points —
+//     src/kernel/kernel.cc, src/sched/share_tree.cc, and src/rc/. Everyone
+//     else goes through ChargeCpu/ChargeMemory/ChargeDisk/ChargeLink and the
+//     share-tree APIs, which is what keeps the auditor's double-entry books
+//     balanced.
+//
+//   hotpath  (any file)
+//     Function bodies annotated RC_HOT_PATH (src/common/check.h) may not
+//     contain `new` (including placement new — suppress with the pool
+//     rationale if intended), make_shared/make_unique/allocate_shared,
+//     std::function construction, or throwing container growth
+//     (push_back/emplace/insert/resize/reserve/...).
+//
+//   layering  (src/ only)
+//     Include hygiene between layers: src/sim/ and src/common/ must not
+//     include src/kernel/ or src/httpd/ headers; src/rc/ must not include
+//     src/net/ or src/disk/.
+//
+//   bad-suppression
+//     A suppression comment that names an unknown rule or omits the reason
+//     string is itself a diagnostic — silent blanket waivers defeat the
+//     point.
+#ifndef TOOLS_RCLINT_RCLINT_LIB_H_
+#define TOOLS_RCLINT_RCLINT_LIB_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rclint {
+
+enum class Rule {
+  kDeterminism,
+  kCharging,
+  kHotPath,
+  kLayering,
+  kBadSuppression,
+};
+
+// Stable rule name used in output and in allow() comments.
+const char* RuleName(Rule rule);
+
+// Parses a rule name; returns false for unknown names.
+bool RuleFromName(std::string_view name, Rule* out);
+
+struct Diagnostic {
+  std::string file;  // root-relative path, '/'-separated
+  int line = 0;
+  Rule rule = Rule::kDeterminism;
+  std::string message;
+  std::string suggestion;  // populated for --fix-suggestions
+};
+
+struct FileInput {
+  // Path relative to the project root ('/'-separated) — rule scoping keys
+  // off the leading directory (src/, bench/, tools/).
+  std::string path;
+  std::string content;
+};
+
+// Runs every applicable rule over one file, appending diagnostics in line
+// order. Suppressed diagnostics are dropped; malformed suppressions are
+// reported as bad-suppression.
+void AnalyzeFile(const FileInput& input, std::vector<Diagnostic>* out);
+
+// Canned fix suggestion for a rule (what --fix-suggestions prints).
+std::string SuggestionFor(Rule rule);
+
+// Formats one diagnostic as "path:line: [rule] message".
+std::string FormatDiagnostic(const Diagnostic& d, bool fix_suggestions);
+
+}  // namespace rclint
+
+#endif  // TOOLS_RCLINT_RCLINT_LIB_H_
