@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/httpd/file_cache.h"
+#include "src/httpd/server.h"
 #include "src/httpd/server_config.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscalls.h"
@@ -21,20 +22,20 @@ class Registry;
 
 namespace httpd {
 
-class EventDrivenServer {
+class EventDrivenServer : public Server {
  public:
   EventDrivenServer(kernel::Kernel* kernel, FileCache* cache, ServerConfig config);
 
   // Creates the server process (optionally with a caller-provided default
   // container, e.g. a fixed-share guest container) and starts the server.
-  void Start(rc::ContainerRef default_container = nullptr);
+  void Start(rc::ContainerRef default_container = nullptr) override;
 
   kernel::Process* process() const { return proc_; }
-  const ServerStats& stats() const { return stats_; }
+  const ServerStats& stats() const override { return stats_; }
   std::uint64_t cgi_responses_completed() const { return cgi_completed_; }
 
   // Installs the httpd.* probes (server counters + file cache) on `registry`.
-  void RegisterMetrics(telemetry::Registry& registry);
+  void RegisterMetrics(telemetry::Registry& registry) override;
 
  private:
   struct ConnCtx {

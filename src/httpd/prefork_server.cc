@@ -16,9 +16,9 @@ PreforkServer::PreforkServer(kernel::Kernel* kernel, FileCache* cache,
   RC_CHECK_GT(config_.worker_processes, 0);
 }
 
-void PreforkServer::Start() {
+void PreforkServer::Start(rc::ContainerRef default_container) {
   RC_CHECK_EQ(master_, nullptr);
-  master_ = kernel_->CreateProcess("httpd-master");
+  master_ = kernel_->CreateProcess("httpd-master", std::move(default_container));
   kernel_->SpawnThread(master_, "master", [this](Sys sys) { return Master(sys); });
 }
 

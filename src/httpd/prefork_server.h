@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/httpd/file_cache.h"
+#include "src/httpd/server.h"
 #include "src/httpd/server_config.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/sync.h"
@@ -22,17 +23,20 @@ class Registry;
 
 namespace httpd {
 
-class PreforkServer {
+class PreforkServer : public Server {
  public:
   PreforkServer(kernel::Kernel* kernel, FileCache* cache, ServerConfig config);
 
-  void Start();
+  // `default_container` becomes the master process's default container (the
+  // workers inherit nothing from it — each forked worker is its own
+  // principal, as on a stock kernel).
+  void Start(rc::ContainerRef default_container = nullptr) override;
 
-  const ServerStats& stats() const { return stats_; }
+  const ServerStats& stats() const override { return stats_; }
   kernel::Process* master() const { return master_; }
 
   // Installs the httpd.* probes (server counters + file cache) on `registry`.
-  void RegisterMetrics(telemetry::Registry& registry);
+  void RegisterMetrics(telemetry::Registry& registry) override;
 
  private:
   struct WorkerState {

@@ -1,0 +1,36 @@
+// The architecture-independent server interface. The paper evaluates three
+// server structures (Figures 1-3: pre-forked processes, one event-driven
+// process, a kernel-thread pool); scenario composition picks between them at
+// run time, so everything above this layer talks to the common surface:
+// start under an optional guest container, expose ServerStats, publish
+// telemetry.
+#ifndef SRC_HTTPD_SERVER_H_
+#define SRC_HTTPD_SERVER_H_
+
+#include "src/httpd/server_config.h"
+#include "src/rc/container.h"
+
+namespace telemetry {
+class Registry;
+}
+
+namespace httpd {
+
+class Server {
+ public:
+  virtual ~Server() = default;
+
+  // Creates the server's process(es) and begins serving. `default_container`
+  // optionally supplies the process's default container (e.g. a fixed-share
+  // guest in virtual-server setups).
+  virtual void Start(rc::ContainerRef default_container = nullptr) = 0;
+
+  virtual const ServerStats& stats() const = 0;
+
+  // Installs the httpd.* probes (server counters + file cache) on `registry`.
+  virtual void RegisterMetrics(telemetry::Registry& registry) = 0;
+};
+
+}  // namespace httpd
+
+#endif  // SRC_HTTPD_SERVER_H_

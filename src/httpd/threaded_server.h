@@ -6,6 +6,7 @@
 #define SRC_HTTPD_THREADED_SERVER_H_
 
 #include "src/httpd/file_cache.h"
+#include "src/httpd/server.h"
 #include "src/httpd/server_config.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscalls.h"
@@ -16,17 +17,17 @@ class Registry;
 
 namespace httpd {
 
-class MultiThreadedServer {
+class MultiThreadedServer : public Server {
  public:
   MultiThreadedServer(kernel::Kernel* kernel, FileCache* cache, ServerConfig config);
 
-  void Start(rc::ContainerRef default_container = nullptr);
+  void Start(rc::ContainerRef default_container = nullptr) override;
 
   kernel::Process* process() const { return proc_; }
-  const ServerStats& stats() const { return stats_; }
+  const ServerStats& stats() const override { return stats_; }
 
   // Installs the httpd.* probes (server counters + file cache) on `registry`.
-  void RegisterMetrics(telemetry::Registry& registry);
+  void RegisterMetrics(telemetry::Registry& registry) override;
 
  private:
   kernel::Program Init(kernel::Sys sys);

@@ -1,0 +1,112 @@
+// Connection hoarder (slowloris-style attack): completes TCP handshakes but
+// never sends a request, pinning server connection state — accept-queue
+// slots, file descriptors, per-connection kernel memory — until the server
+// times the connection out or runs dry. Optionally cycles: each held
+// connection is reset after `hold` and reopened, defeating naive idle
+// reaping.
+#ifndef SRC_LOAD_CONN_HOARDER_H_
+#define SRC_LOAD_CONN_HOARDER_H_
+
+#include <cstdint>
+
+#include "src/load/wire.h"
+
+namespace load {
+
+class ConnHoarder : public PacketSink {
+ public:
+  struct Config {
+    net::Addr addr = net::MakeAddr(10, 66, 0, 1);  // single attacker host
+    std::uint16_t server_port = 80;
+    int connections = 100;                    // target number held at once
+    sim::Duration open_interval = sim::Msec(10);  // ramp: one SYN per interval
+    sim::Duration hold = 0;                   // 0 = hold forever; else RST+reopen
+  };
+
+  ConnHoarder(sim::Simulator* simulator, Wire* wire, Config config)
+      : simr_(simulator), wire_(wire), config_(config) {
+    wire_->Attach(config_.addr, this);
+  }
+
+  void Start(sim::SimTime at = 0) {
+    running_ = true;
+    simr_->At(at, [this] { OpenNext(); });
+  }
+
+  void Stop() { running_ = false; }
+
+  std::uint64_t attempted() const { return attempted_; }
+  std::uint64_t established() const { return established_; }
+
+  void OnPacket(const net::Packet& p) override {
+    if (p.type != net::PacketType::kSynAck) {
+      return;  // ignore FIN/RST — a reaped connection is simply lost
+    }
+    ++established_;
+    net::Packet ack;
+    ack.type = net::PacketType::kAck;
+    ack.src = net::Endpoint{config_.addr, PortFor(p.flow_id)};
+    ack.dst = net::Endpoint{net::Addr{0}, config_.server_port};
+    ack.flow_id = p.flow_id;
+    wire_->ToServer(ack);
+    // ...and then silence: no request ever follows.
+    if (config_.hold > 0) {
+      const std::uint64_t flow = p.flow_id;
+      simr_->After(config_.hold, [this, flow] { Recycle(flow); });
+    }
+  }
+
+ private:
+  // Hoarder flows live in their own id space (bit 62; bit 63 marks SYN
+  // flooders) so they never collide with HttpClient flows.
+  static constexpr std::uint64_t kFlowBase = 1ULL << 62;
+
+  std::uint16_t PortFor(std::uint64_t flow_id) const {
+    return static_cast<std::uint16_t>(20000 + (flow_id & 0x3fff));
+  }
+
+  void OpenNext() {
+    if (!running_ || opened_ >= config_.connections) {
+      return;
+    }
+    ++opened_;
+    SendSyn(kFlowBase | next_flow_seq_++);
+    simr_->After(config_.open_interval, [this] { OpenNext(); });
+  }
+
+  void Recycle(std::uint64_t flow) {
+    if (!running_) {
+      return;
+    }
+    net::Packet rst;
+    rst.type = net::PacketType::kRst;
+    rst.src = net::Endpoint{config_.addr, PortFor(flow)};
+    rst.dst = net::Endpoint{net::Addr{0}, config_.server_port};
+    rst.flow_id = flow;
+    wire_->ToServer(rst);
+    SendSyn(kFlowBase | next_flow_seq_++);
+  }
+
+  void SendSyn(std::uint64_t flow) {
+    net::Packet syn;
+    syn.type = net::PacketType::kSyn;
+    syn.src = net::Endpoint{config_.addr, PortFor(flow)};
+    syn.dst = net::Endpoint{net::Addr{0}, config_.server_port};
+    syn.flow_id = flow;
+    wire_->ToServer(syn);
+    ++attempted_;
+  }
+
+  sim::Simulator* const simr_;
+  Wire* const wire_;
+  const Config config_;
+  bool running_ = false;
+  int opened_ = 0;
+  std::uint64_t next_flow_seq_ = 0;
+  std::uint64_t attempted_ = 0;
+  std::uint64_t established_ = 0;
+};
+
+}  // namespace load
+
+#endif  // SRC_LOAD_CONN_HOARDER_H_

@@ -1,0 +1,79 @@
+// Response-size distributions for synthetic file sets. The paper's
+// experiments serve one cached 1 KB document; capacity-planning scenarios
+// compose realistic mixes: fixed sizes, empirical tables (SPECweb-style
+// class mixes), and the bounded Pareto tail observed in Web traces
+// (Crovella & Bestavros '96).
+#ifndef SRC_LOAD_DISTS_H_
+#define SRC_LOAD_DISTS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/sim/rng.h"
+
+namespace load {
+
+struct SizeDist {
+  enum class Kind {
+    kFixed,   // every document is `fixed_bytes`
+    kTable,   // empirical table: {bytes, weight} entries
+    kPareto,  // bounded Pareto on [pareto_min_bytes, pareto_max_bytes]
+  };
+
+  struct Entry {
+    std::uint32_t bytes = 0;
+    double weight = 0.0;
+  };
+
+  Kind kind = Kind::kFixed;
+  std::uint32_t fixed_bytes = 1024;
+  std::vector<Entry> table;
+  double pareto_alpha = 1.2;
+  std::uint32_t pareto_min_bytes = 256;
+  std::uint32_t pareto_max_bytes = 1 << 20;
+
+  // Draws one document size. Deterministic given the rng stream.
+  std::uint32_t Sample(sim::Rng& rng) const {
+    switch (kind) {
+      case Kind::kFixed:
+        return fixed_bytes;
+      case Kind::kTable: {
+        RC_CHECK(!table.empty());
+        double total = 0.0;
+        for (const Entry& e : table) {
+          total += e.weight;
+        }
+        double u = rng.NextDouble() * total;
+        for (const Entry& e : table) {
+          u -= e.weight;
+          if (u <= 0.0) {
+            return e.bytes;
+          }
+        }
+        return table.back().bytes;  // floating-point slop on the last entry
+      }
+      case Kind::kPareto: {
+        // Inverse CDF of the bounded Pareto: mass ~ x^(-alpha-1) on [L, H].
+        const double a = pareto_alpha;
+        const double la = std::pow(static_cast<double>(pareto_min_bytes), a);
+        const double ha = std::pow(static_cast<double>(pareto_max_bytes), a);
+        const double u = rng.NextDouble();
+        const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / a);
+        if (x <= static_cast<double>(pareto_min_bytes)) {
+          return pareto_min_bytes;
+        }
+        if (x >= static_cast<double>(pareto_max_bytes)) {
+          return pareto_max_bytes;
+        }
+        return static_cast<std::uint32_t>(x);
+      }
+    }
+    return fixed_bytes;
+  }
+};
+
+}  // namespace load
+
+#endif  // SRC_LOAD_DISTS_H_

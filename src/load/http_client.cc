@@ -6,20 +6,35 @@ namespace load {
 
 HttpClient::HttpClient(sim::Simulator* simulator, Wire* wire, std::uint32_t client_id,
                        Config config)
-    : simr_(simulator), wire_(wire), client_id_(client_id), config_(config) {
+    : simr_(simulator),
+      wire_(wire),
+      client_id_(client_id),
+      config_(std::move(config)),
+      doc_rng_(config_.doc_seed) {
   RC_CHECK_GE(config_.requests_per_conn, 1);
   wire_->Attach(config_.addr, this);
 }
 
 void HttpClient::Start(sim::SimTime at) {
+  stopped_ = false;
+  conns_this_activation_ = 0;
   if (at <= simr_->now()) {
-    BeginConnect();
+    MaybeBegin();
   } else {
     simr_->At(at, [this] {
       if (!stopped_) {
-        BeginConnect();
+        MaybeBegin();
       }
     });
+  }
+}
+
+void HttpClient::MaybeBegin() {
+  // Only kick off a new connection from a quiescent state; a client resumed
+  // mid-flight (Stop() then Start() before it parked) just continues its
+  // loop with the stop flag cleared.
+  if (state_ == State::kIdle || state_ == State::kStopped) {
+    BeginConnect();
   }
 }
 
@@ -77,6 +92,9 @@ void HttpClient::OnRequestTimeout(std::uint64_t request) {
     state_ = State::kStopped;
     return;
   }
+  if (ConnectionEnded()) {
+    return;
+  }
   BeginConnect();
 }
 
@@ -98,8 +116,32 @@ void HttpClient::Failure() {
     state_ = State::kStopped;
     return;
   }
+  if (ConnectionEnded()) {
+    return;
+  }
   state_ = State::kThinking;
   ScheduleNext(config_.retry_backoff);
+}
+
+bool HttpClient::ConnectionEnded() {
+  if (config_.conns_per_activation <= 0) {
+    return false;
+  }
+  if (++conns_this_activation_ < config_.conns_per_activation) {
+    return false;
+  }
+  Park();
+  return true;
+}
+
+void HttpClient::Park() {
+  timeout_.Cancel();
+  request_timeout_.Cancel();
+  state_ = State::kStopped;
+  stopped_ = true;
+  if (config_.on_park) {
+    config_.on_park(this);
+  }
 }
 
 void HttpClient::ScheduleNext(sim::Duration delay) {
@@ -125,6 +167,15 @@ void HttpClient::SendRequest() {
         simr_->After(config_.request_timeout, [this, request] { OnRequestTimeout(request); });
   }
 
+  std::uint32_t doc_id = config_.doc_id;
+  std::uint32_t response_bytes = config_.response_bytes;
+  if (config_.doc_set != nullptr && !config_.doc_set->empty()) {
+    const auto& pick = (*config_.doc_set)[static_cast<std::size_t>(doc_rng_.UniformInt(
+        0, static_cast<std::int64_t>(config_.doc_set->size()) - 1))];
+    doc_id = pick.doc_id;
+    response_bytes = pick.response_bytes;
+  }
+
   net::Packet data;
   data.type = net::PacketType::kData;
   data.src = net::Endpoint{config_.addr, static_cast<std::uint16_t>(10000 + client_id_ % 50000)};
@@ -132,8 +183,8 @@ void HttpClient::SendRequest() {
   data.flow_id = current_flow_;
   data.size_bytes = 300;  // typical HTTP GET
   data.request.request_id = current_request_;
-  data.request.doc_id = config_.doc_id;
-  data.request.response_bytes = config_.response_bytes;
+  data.request.doc_id = doc_id;
+  data.request.response_bytes = response_bytes;
   data.request.is_cgi = config_.is_cgi;
   data.request.cgi_cpu_usec = config_.cgi_cpu_usec;
   data.request.keep_alive = requests_done_on_conn_ + 1 < config_.requests_per_conn;
@@ -189,6 +240,9 @@ void HttpClient::OnPacket(const net::Packet& p) {
       }
       // Connection exhausted; the server closes it (connection-per-request)
       // or we simply open a fresh one.
+      if (ConnectionEnded()) {
+        return;
+      }
       state_ = State::kThinking;
       ScheduleNext(config_.think_time);
       return;

@@ -6,6 +6,8 @@
 #define SRC_LOAD_HTTP_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "src/load/wire.h"
 #include "src/sim/rng.h"
@@ -15,12 +17,24 @@ namespace load {
 
 class HttpClient : public PacketSink {
  public:
+  // One entry of a shared document set; clients holding a `doc_set` pick
+  // uniformly per request (heavy-tailed file sets, load::SizeDist).
+  struct DocChoice {
+    std::uint32_t doc_id = 1;
+    std::uint32_t response_bytes = 1024;
+  };
+
   struct Config {
     net::Addr addr;                   // this client's address
     std::uint16_t server_port = 80;
     int requests_per_conn = 1;        // > 1 => persistent connections
     std::uint32_t doc_id = 1;
     std::uint32_t response_bytes = 1024;
+    // When non-null and non-empty, each request picks a document uniformly
+    // from this set (seeded by `doc_seed`) instead of the fixed `doc_id`.
+    // The set must outlive the client.
+    const std::vector<DocChoice>* doc_set = nullptr;
+    std::uint64_t doc_seed = 0;
     bool is_cgi = false;
     sim::Duration cgi_cpu_usec = 0;
     int client_class = 0;
@@ -32,12 +46,19 @@ class HttpClient : public PacketSink {
     // The client resets the connection and retries.
     sim::Duration request_timeout = sim::Sec(10);
     sim::Duration retry_backoff = sim::Msec(10);
+    // Open-loop mode: park after this many finished connections per Start()
+    // (0 = closed loop, reconnect forever). A parked client stops issuing
+    // work and reports via `on_park`; a later Start() reactivates it.
+    int conns_per_activation = 0;
+    std::function<void(HttpClient*)> on_park;
   };
 
   HttpClient(sim::Simulator* simulator, Wire* wire, std::uint32_t client_id,
              Config config);
 
-  // Begins issuing requests at `at` (absolute simulated time).
+  // Begins issuing requests at `at` (absolute simulated time). Also
+  // reactivates a stopped or parked client; a no-op if the client is still
+  // mid-connection (clearing the stop flag lets it continue its loop).
   void Start(sim::SimTime at = 0);
   // Stops issuing new requests (in-flight work completes).
   void Stop();
@@ -47,6 +68,7 @@ class HttpClient : public PacketSink {
   std::uint64_t completed() const { return completed_; }
   std::uint64_t failures() const { return failures_; }
   std::uint64_t timeouts() const { return timeouts_; }
+  bool parked() const { return state_ == State::kStopped; }
 
   // Response times in milliseconds.
   sim::SampleSet& latencies() { return latencies_; }
@@ -66,12 +88,18 @@ class HttpClient : public PacketSink {
   };
 
   void BeginConnect();
+  void MaybeBegin();
   void SendRequest();
   void OnRequestTimeout(std::uint64_t request);
   void SendRst();
   void ScheduleNext(sim::Duration delay);
   void OnConnectTimeout(std::uint64_t flow);
   void Failure();
+  // End of one connection (served, aborted, or failed). Parks the client
+  // when its per-activation connection budget is exhausted; returns true if
+  // it parked (callers must not issue further work).
+  bool ConnectionEnded();
+  void Park();
 
   sim::Simulator* const simr_;
   Wire* const wire_;
@@ -80,6 +108,8 @@ class HttpClient : public PacketSink {
 
   State state_ = State::kIdle;
   bool stopped_ = false;
+  int conns_this_activation_ = 0;
+  sim::Rng doc_rng_;
 
   std::uint64_t flow_seq_ = 0;
   std::uint64_t request_seq_ = 0;

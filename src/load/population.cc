@@ -1,0 +1,160 @@
+#include "src/load/population.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace load {
+
+Population::Population(sim::Simulator* simulator, Wire* wire, PopulationConfig config)
+    : simr_(simulator), wire_(wire), config_(std::move(config)), rng_(config_.seed) {
+  RC_CHECK_GT(config_.clients, 0);
+  clients_.reserve(static_cast<std::size_t>(config_.clients));
+  for (int i = 0; i < config_.clients; ++i) {
+    HttpClient::Config cc = config_.client;
+    cc.addr = AddrFor(i);
+    cc.doc_set = config_.doc_set;
+    cc.doc_seed = rng_.NextU64();
+    if (config_.arrival == PopulationConfig::Arrival::kOpenLoop) {
+      cc.conns_per_activation = config_.conns_per_session;
+      cc.on_park = [this](HttpClient* c) {
+        if (!stopped_) {
+          parked_.push_back(c);
+        }
+      };
+    }
+    clients_.push_back(std::make_unique<HttpClient>(
+        simr_, wire_, config_.client_id_base + static_cast<std::uint32_t>(i), std::move(cc)));
+  }
+}
+
+net::Addr Population::AddrFor(int index) const {
+  switch (config_.layout) {
+    case PopulationConfig::AddressLayout::kFlat:
+      return net::Addr{config_.base_addr.v + static_cast<std::uint32_t>(index) + 1};
+    case PopulationConfig::AddressLayout::kBlocks250: {
+      // 250 hosts per /24 block; successive blocks advance the third octet
+      // (carrying into the second), so CIDR filters see distinct prefixes.
+      const std::uint32_t block = static_cast<std::uint32_t>(index) / 250;
+      const std::uint32_t host = static_cast<std::uint32_t>(index) % 250 + 1;
+      return net::Addr{config_.base_addr.v + (block << 8) + host};
+    }
+  }
+  return config_.base_addr;
+}
+
+void Population::Start(sim::SimTime at) {
+  stopped_ = false;
+  switch (config_.arrival) {
+    case PopulationConfig::Arrival::kClosedLoop:
+      StartClosedLoop(at);
+      return;
+    case PopulationConfig::Arrival::kOpenLoop: {
+      parked_.clear();
+      // Members activate lazily: all start parked and wake per arrival.
+      for (auto it = clients_.rbegin(); it != clients_.rend(); ++it) {
+        parked_.push_back(it->get());
+      }
+      simr_->At(at, [this] { ScheduleArrival(); });
+      return;
+    }
+    case PopulationConfig::Arrival::kOnOff:
+      ScheduleOnPhase(at);
+      return;
+  }
+}
+
+void Population::StartClosedLoop(sim::SimTime at) {
+  sim::SimTime t = at;
+  for (auto& c : clients_) {
+    c->Start(t);
+    t += config_.stagger;
+  }
+}
+
+void Population::ScheduleArrival() {
+  if (stopped_) {
+    return;
+  }
+  // Draw the gap first so the RNG stream is independent of pool occupancy.
+  const sim::Duration gap = rng_.PoissonGap(config_.rate_per_sec);
+  if (parked_.empty()) {
+    ++shed_arrivals_;
+  } else {
+    HttpClient* c = parked_.back();
+    parked_.pop_back();
+    c->Start(simr_->now());
+  }
+  simr_->After(gap, [this] { ScheduleArrival(); });
+}
+
+void Population::ScheduleOnPhase(sim::SimTime at) {
+  if (stopped_) {
+    return;
+  }
+  simr_->At(at, [this] {
+    if (stopped_) {
+      return;
+    }
+    StartClosedLoop(simr_->now());
+    ScheduleOffPhase(simr_->now() + config_.on_period);
+  });
+}
+
+void Population::ScheduleOffPhase(sim::SimTime at) {
+  simr_->At(at, [this] {
+    if (stopped_) {
+      return;
+    }
+    for (auto& c : clients_) {
+      c->Stop();
+    }
+    ScheduleOnPhase(simr_->now() + config_.off_period);
+  });
+}
+
+void Population::Stop() {
+  stopped_ = true;
+  for (auto& c : clients_) {
+    c->Stop();
+  }
+}
+
+std::uint64_t Population::completed() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    n += c->completed();
+  }
+  return n;
+}
+
+std::uint64_t Population::failures() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    n += c->failures();
+  }
+  return n;
+}
+
+std::uint64_t Population::timeouts() const {
+  std::uint64_t n = 0;
+  for (const auto& c : clients_) {
+    n += c->timeouts();
+  }
+  return n;
+}
+
+void Population::MergeLatencies(sim::SampleSet& out) const {
+  for (const auto& c : clients_) {
+    out.Merge(c->latencies());
+  }
+}
+
+void Population::ResetStats() {
+  shed_arrivals_ = 0;
+  for (auto& c : clients_) {
+    c->ResetStats();
+  }
+}
+
+}  // namespace load

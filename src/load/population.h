@@ -1,0 +1,115 @@
+// Client populations: named groups of HTTP clients driven by a pluggable
+// arrival process. The paper's experiments use closed-loop S-Clients; the
+// scenario library adds open-loop Poisson arrivals (flash crowds, diurnal
+// load) and on-off bursts, all behind one interface so the scenario
+// compiler composes them declaratively.
+#ifndef SRC_LOAD_POPULATION_H_
+#define SRC_LOAD_POPULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/load/dists.h"
+#include "src/load/http_client.h"
+#include "src/load/wire.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace load {
+
+struct PopulationConfig {
+  std::string name = "clients";
+
+  enum class Arrival {
+    kClosedLoop,  // `clients` S-Clients, each looping forever
+    kOpenLoop,    // Poisson session arrivals at `rate_per_sec` over a pool
+    kOnOff,       // closed loop that alternates fixed on/off periods
+  };
+  Arrival arrival = Arrival::kClosedLoop;
+
+  int clients = 1;  // population size (open loop: concurrency pool cap)
+
+  // Open loop: mean session arrival rate. Each session runs one client
+  // activation (`conns_per_session` connections, then the client parks).
+  // Arrivals finding every pool member busy are shed and counted.
+  double rate_per_sec = 100.0;
+  int conns_per_session = 1;
+
+  // On-off: fixed-length activity bursts separated by silences.
+  sim::Duration on_period = sim::Sec(1);
+  sim::Duration off_period = sim::Sec(1);
+
+  // Template for every member; `addr`, `doc_seed`, `conns_per_activation`
+  // and `on_park` are filled in per client by the population.
+  HttpClient::Config client;
+
+  // When non-null, every member shares this document set (the pointee must
+  // outlive the population).
+  const std::vector<HttpClient::DocChoice>* doc_set = nullptr;
+
+  // Client addresses: kFlat packs them linearly above `base_addr`;
+  // kBlocks250 spreads them over /24 blocks of 250 hosts each, so CIDR
+  // listen filters see distinct prefixes (rcsim's classic layout).
+  enum class AddressLayout { kFlat, kBlocks250 };
+  AddressLayout layout = AddressLayout::kFlat;
+  net::Addr base_addr = net::MakeAddr(10, 0, 0, 0);
+
+  std::uint32_t client_id_base = 0;  // first client id (must be unique per wire)
+  std::uint64_t seed = 1;            // per-population RNG stream
+
+  // Delay between successive client starts (closed loop / on-off).
+  sim::Duration stagger = sim::Msec(1);
+};
+
+// A named group of clients sharing one arrival process. Construction
+// attaches every member to the wire; Start() begins issuing load.
+class Population {
+ public:
+  Population(sim::Simulator* simulator, Wire* wire, PopulationConfig config);
+
+  Population(const Population&) = delete;
+  Population& operator=(const Population&) = delete;
+
+  void Start(sim::SimTime at);
+  void Stop();
+
+  const std::string& name() const { return config_.name; }
+  const PopulationConfig& config() const { return config_; }
+  std::size_t size() const { return clients_.size(); }
+
+  // --- Aggregate statistics -------------------------------------------
+
+  std::uint64_t completed() const;
+  std::uint64_t failures() const;
+  std::uint64_t timeouts() const;
+  // Arrivals shed because the open-loop pool was exhausted.
+  std::uint64_t shed_arrivals() const { return shed_arrivals_; }
+
+  // Merges every member's response times (milliseconds) into `out`.
+  void MergeLatencies(sim::SampleSet& out) const;
+
+  void ResetStats();
+
+ private:
+  void StartClosedLoop(sim::SimTime at);
+  void ScheduleArrival();   // open loop
+  void ScheduleOnPhase(sim::SimTime at);
+  void ScheduleOffPhase(sim::SimTime at);
+  net::Addr AddrFor(int index) const;
+
+  sim::Simulator* const simr_;
+  Wire* const wire_;
+  PopulationConfig config_;
+  sim::Rng rng_;
+
+  std::vector<std::unique_ptr<HttpClient>> clients_;
+  std::vector<HttpClient*> parked_;  // open-loop free pool
+  bool stopped_ = false;
+  std::uint64_t shed_arrivals_ = 0;
+};
+
+}  // namespace load
+
+#endif  // SRC_LOAD_POPULATION_H_

@@ -43,6 +43,14 @@ class SampleSet {
   std::size_t count() const { return samples_.size(); }
   double mean() const;
 
+  // Raw samples, for merging sets at aggregation boundaries.
+  const std::vector<double>& samples() const { return samples_; }
+
+  void Merge(const SampleSet& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+  }
+
   // Percentile with linear interpolation between closest ranks (the
   // numpy/Excel "inclusive" definition); p in [0, 100]. Sorts lazily, so
   // the first call after an Add is O(n log n) and repeats are O(1).

@@ -1,0 +1,597 @@
+#include "src/xp/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "src/common/expected.h"
+#include "src/kernel/syscalls.h"
+#include "src/load/dists.h"
+
+namespace xp {
+
+namespace {
+
+sim::Duration UsecFromMs(double ms) {
+  return static_cast<sim::Duration>(std::llround(ms * 1000.0));
+}
+
+sim::Duration UsecFromSec(double s) {
+  return static_cast<sim::Duration>(std::llround(s * 1e6));
+}
+
+std::uint32_t BytesFromKb(double kb) {
+  return static_cast<std::uint32_t>(std::llround(kb * 1024.0));
+}
+
+load::SizeDist MakeSizeDist(const SizeDistSpec& s) {
+  load::SizeDist d;
+  if (s.dist == "table") {
+    d.kind = load::SizeDist::Kind::kTable;
+    for (const SizeDistSpec::TableEntry& e : s.table) {
+      d.table.push_back({BytesFromKb(e.kb), e.weight});
+    }
+  } else if (s.dist == "pareto") {
+    d.kind = load::SizeDist::Kind::kPareto;
+    d.pareto_alpha = s.pareto_alpha;
+    d.pareto_min_bytes = BytesFromKb(s.pareto_min_kb);
+    d.pareto_max_bytes = BytesFromKb(s.pareto_max_kb);
+  } else {
+    d.kind = load::SizeDist::Kind::kFixed;
+    d.fixed_bytes = BytesFromKb(s.fixed_kb);
+  }
+  return d;
+}
+
+kernel::KernelConfig MakeKernelConfig(const Spec& spec) {
+  kernel::KernelConfig k;
+  switch (spec.system) {
+    case SystemKind::kUnmodified:
+      k = kernel::UnmodifiedSystemConfig();
+      break;
+    case SystemKind::kLrp:
+      k = kernel::LrpSystemConfig();
+      break;
+    case SystemKind::kResourceContainer:
+      k = kernel::ResourceContainerSystemConfig();
+      break;
+  }
+  k.cpus = spec.machine.cpus;
+  if (spec.machine.irq_steering == "cpu0") {
+    k.irq_steering = kernel::IrqSteering::kFixed;
+  } else if (spec.machine.irq_steering == "round_robin") {
+    k.irq_steering = kernel::IrqSteering::kRoundRobin;
+  } else {
+    k.irq_steering = kernel::IrqSteering::kFlowHash;
+  }
+  k.link_mbps = spec.machine.link_mbps;
+  k.memory_bytes =
+      static_cast<std::int64_t>(std::llround(spec.machine.memory_mb * 1024.0 * 1024.0));
+  return k;
+}
+
+// A free coroutine so `kb` lives in the coroutine frame, independent of the
+// std::function wrapper's lifetime.
+kernel::Program DiskReaderBody(kernel::Sys sys, std::uint32_t kb) {
+  // Stride the block addresses so successive reads never coalesce.
+  for (std::uint64_t n = 0;; ++n) {
+    co_await sys.ReadDisk(n * 9973u * 64, kb);
+  }
+}
+
+}  // namespace
+
+const double* RunResult::Find(const std::string& name) const {
+  for (const auto& [n, v] : metrics) {
+    if (n == name) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+CompiledScenario::~CompiledScenario() = default;
+
+rc::ContainerRef CompiledScenario::FindContainer(const std::string& name) const {
+  for (const auto& [n, ref] : containers_) {
+    if (n == name) {
+      return ref;
+    }
+  }
+  return nullptr;
+}
+
+CompileResult Compile(const Spec& spec, const CompileOptions& options) {
+  CompileResult result;
+  std::unique_ptr<CompiledScenario> cs(new CompiledScenario());
+  cs->spec_ = spec;
+
+  ScenarioOptions opts;
+  opts.kernel_config = MakeKernelConfig(spec);
+  opts.seed = spec.seed;
+  opts.wire_latency = static_cast<sim::Duration>(std::llround(spec.wire_latency_usec));
+  opts.telemetry = spec.telemetry || options.telemetry;
+  if (options.telemetry_interval_ms > 0) {
+    opts.telemetry_interval = UsecFromMs(options.telemetry_interval_ms);
+  }
+  opts.audit = options.audit;
+  opts.digest = options.digest;
+  cs->scenario_ = std::make_unique<Scenario>(opts);
+  Scenario& sc = *cs->scenario_;
+
+  auto every = [&cs, &sc](sim::Duration period, std::function<void()> fn) {
+    auto p = std::make_unique<CompiledScenario::Periodic>();
+    p->simr = &sc.simulator();
+    p->period = period;
+    p->fn = std::move(fn);
+    p->Arm();
+    cs->periodics_.push_back(std::move(p));
+  };
+
+  // --- Container policy tree (spec order; parents validated by the parser) --
+  for (const ContainerSpec& c : spec.containers) {
+    rc::ContainerRef parent;
+    if (!c.parent.empty()) {
+      parent = cs->FindContainer(c.parent);
+    }
+    auto ref = sc.kernel().containers().Create(parent, c.name, c.attrs);
+    if (!ref.ok()) {
+      result.error =
+          "container \"" + c.name + "\": " + rccommon::ErrcName(ref.error());
+      return result;
+    }
+    cs->containers_.emplace_back(c.name, *ref);
+  }
+
+  // --- File sets (before server start, so the servers' cache-container
+  // attachment sees the whole catalog, like the classic binaries) -----------
+  std::map<std::uint32_t, std::uint32_t> doc_bytes;
+  {
+    // One dedicated stream: the file set is a pure function of the spec.
+    sim::Rng fs_rng(spec.seed ^ 0xD6E8FEB86659FD93ULL);
+    for (const FileSetSpec& fs : spec.files) {
+      load::SizeDist dist = MakeSizeDist(fs.size);
+      for (int i = 0; i < fs.count; ++i) {
+        const std::uint32_t id = fs.first_doc_id + static_cast<std::uint32_t>(i);
+        const std::uint32_t bytes = std::max(1u, dist.Sample(fs_rng));
+        sc.cache().AddDocument(id, bytes);
+        doc_bytes[id] = bytes;
+      }
+    }
+  }
+  for (const PopulationSpec& p : spec.populations) {
+    if (p.docs_count > 0) {
+      continue;  // draws from a file set
+    }
+    const std::uint32_t bytes = BytesFromKb(p.response_kb);
+    auto it = doc_bytes.find(p.doc_id);
+    if (it == doc_bytes.end()) {
+      sc.cache().AddDocument(p.doc_id, bytes);
+      doc_bytes[p.doc_id] = bytes;
+    } else if (it->second != bytes) {
+      result.error = "population \"" + p.name + "\": doc " +
+                     std::to_string(p.doc_id) +
+                     " already has a different size in this spec";
+      return result;
+    }
+  }
+
+  // --- Servers --------------------------------------------------------------
+  for (const ServerSpec& s : spec.servers) {
+    httpd::ServerConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(s.port);
+    if (!s.classes.empty()) {
+      if (s.classes.size() > static_cast<std::size_t>(httpd::kMaxClientClasses)) {
+        result.error = "server " + std::to_string(s.port) + ": more than " +
+                       std::to_string(httpd::kMaxClientClasses) + " listen classes";
+        return result;
+      }
+      cfg.classes.clear();
+      for (const ListenClassSpec& lc : s.classes) {
+        httpd::ListenClass out;
+        out.filter = net::CidrFilter{net::Addr{lc.filter.base.value},
+                                     lc.filter.prefix_len, lc.filter.negate};
+        out.priority = lc.priority;
+        out.name = lc.name;
+        out.fixed_share = lc.fixed_share;
+        out.cpu_limit = lc.cpu_limit;
+        cfg.classes.push_back(out);
+      }
+    }
+    cfg.use_containers = s.use_containers;
+    cfg.use_event_api = s.use_event_api;
+    cfg.sort_ready_by_priority = s.sort_ready_by_priority;
+    cfg.nest_under_default = s.nest_under_default;
+    cfg.cgi_sandbox = s.cgi_sandbox;
+    cfg.cgi_share = s.cgi_share;
+    cfg.cgi_new_principal = s.cgi_new_principal;
+    cfg.syn_defense = s.syn_defense;
+    cfg.syn_defense_threshold = static_cast<std::uint64_t>(s.syn_defense_threshold);
+    cfg.syn_backlog = s.syn_backlog;
+    cfg.accept_backlog = s.accept_backlog;
+    cfg.file_cache_capacity_bytes =
+        static_cast<std::int64_t>(std::llround(s.cache_capacity_mb * 1024.0 * 1024.0));
+    cfg.file_miss_penalty =
+        static_cast<sim::Duration>(std::llround(s.file_miss_penalty_usec));
+    cfg.use_disk_model = s.use_disk_model;
+    cfg.worker_threads = s.worker_threads;
+    cfg.worker_processes = s.worker_processes;
+
+    ServerKind kind = ServerKind::kEvent;
+    if (s.arch == "threaded") {
+      kind = ServerKind::kThreaded;
+    } else if (s.arch == "prefork") {
+      kind = ServerKind::kPrefork;
+    }
+    rc::ContainerRef guest;
+    if (!s.container.empty()) {
+      guest = cs->FindContainer(s.container);
+    }
+    cs->servers_.push_back(sc.AddServer(kind, cfg, std::move(guest)));
+  }
+
+  // --- Populations ----------------------------------------------------------
+  // start_s == 0 populations chain onto one global stagger (the classic
+  // StartAllClients ramp across every such population, in spec order).
+  sim::SimTime chain = 0;
+  for (std::size_t i = 0; i < spec.populations.size(); ++i) {
+    const PopulationSpec& p = spec.populations[i];
+    load::PopulationConfig pc;
+    pc.name = p.name;
+    pc.arrival = load::PopulationConfig::Arrival::kClosedLoop;
+    if (p.arrival == "open_loop") {
+      pc.arrival = load::PopulationConfig::Arrival::kOpenLoop;
+    } else if (p.arrival == "on_off") {
+      pc.arrival = load::PopulationConfig::Arrival::kOnOff;
+    }
+    pc.clients = p.clients;
+    pc.rate_per_sec = p.rate_per_sec;
+    pc.conns_per_session = p.conns_per_session;
+    pc.on_period = UsecFromSec(p.on_s);
+    pc.off_period = UsecFromSec(p.off_s);
+    pc.layout = p.layout == "blocks250"
+                    ? load::PopulationConfig::AddressLayout::kBlocks250
+                    : load::PopulationConfig::AddressLayout::kFlat;
+    pc.base_addr = net::Addr{p.base_addr.value};
+    pc.seed = spec.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
+    pc.stagger = UsecFromMs(p.stagger_ms);
+
+    load::HttpClient::Config& cc = pc.client;
+    cc.server_port = static_cast<std::uint16_t>(p.port);
+    cc.requests_per_conn = p.requests_per_conn;
+    cc.client_class = p.client_class;
+    cc.is_cgi = p.is_cgi;
+    cc.cgi_cpu_usec = UsecFromMs(p.cgi_cpu_ms);
+    cc.think_time = UsecFromMs(p.think_ms);
+    cc.connect_timeout = UsecFromMs(p.connect_timeout_ms);
+    cc.request_timeout = UsecFromSec(p.request_timeout_s);
+    cc.retry_backoff = UsecFromMs(p.retry_backoff_ms);
+    if (p.docs_count > 0) {
+      auto set = std::make_unique<std::vector<load::HttpClient::DocChoice>>();
+      set->reserve(static_cast<std::size_t>(p.docs_count));
+      for (int d = 0; d < p.docs_count; ++d) {
+        const std::uint32_t id = p.docs_first_id + static_cast<std::uint32_t>(d);
+        set->push_back({id, doc_bytes[id]});
+      }
+      pc.doc_set = set.get();
+      cs->doc_sets_.push_back(std::move(set));
+    } else {
+      cc.doc_id = p.doc_id;
+      cc.response_bytes = BytesFromKb(p.response_kb);
+    }
+
+    load::Population* pop = sc.AddPopulation(std::move(pc));
+    cs->populations_.push_back(pop);
+    sim::SimTime start = 0;
+    if (p.start_s > 0) {
+      start = UsecFromSec(p.start_s);
+    } else {
+      start = chain;
+      if (pc.arrival != load::PopulationConfig::Arrival::kOpenLoop) {
+        chain += static_cast<sim::Duration>(p.clients) * UsecFromMs(p.stagger_ms);
+      }
+    }
+    pop->Start(start);
+    if (p.stop_s > 0) {
+      sc.simulator().At(UsecFromSec(p.stop_s), [pop] { pop->Stop(); });
+    }
+  }
+
+  // --- Background workloads -------------------------------------------------
+  int stream_idx = 0;
+  int pin_idx = 0;
+  for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+    const WorkloadSpec& w = spec.workloads[i];
+    rc::ContainerRef ct = cs->FindContainer(w.container);
+    const std::string name =
+        w.name.empty() ? w.kind + "-" + std::to_string(i) : w.name;
+    if (w.kind == "disk_reader") {
+      // Several readers per container keep its disk queue backlogged at
+      // every completion, so the share tree always has a real choice.
+      const std::uint32_t kb =
+          std::max(1u, static_cast<std::uint32_t>(std::llround(w.read_kb)));
+      for (int t = 0; t < w.threads; ++t) {
+        kernel::Process* proc = sc.kernel().CreateProcess(name, ct);
+        sc.kernel().SpawnThread(proc, "reader",
+                                [kb](kernel::Sys sys) -> kernel::Program {
+                                  return DiskReaderBody(sys, kb);
+                                });
+      }
+    } else if (w.kind == "cache_stream") {
+      const std::uint32_t first =
+          w.first_doc_id != 0
+              ? w.first_doc_id
+              : 1000000 + 100000 * static_cast<std::uint32_t>(stream_idx);
+      ++stream_idx;
+      auto next_id = std::make_shared<std::uint32_t>(first);
+      const std::uint32_t bytes = BytesFromKb(w.bytes_kb);
+      Scenario* scp = &sc;
+      every(UsecFromMs(w.period_ms), [scp, next_id, bytes, ct] {
+        scp->cache().Insert((*next_id)++, bytes, ct);
+      });
+    } else {  // cache_pin
+      const std::int64_t guarantee = sc.kernel().memory().GuaranteeBytes(*ct);
+      const std::int64_t bytes =
+          w.doc_bytes_kb > 0
+              ? static_cast<std::int64_t>(std::llround(w.doc_bytes_kb * 1024.0))
+              : (w.docs > 0 ? guarantee / w.docs : 0);
+      const std::uint32_t first =
+          w.first_doc_id != 0
+              ? w.first_doc_id
+              : 900000 + 10000 * static_cast<std::uint32_t>(pin_idx);
+      ++pin_idx;
+      for (int d = 0; d < w.docs && bytes > 0; ++d) {
+        sc.cache().Insert(first + static_cast<std::uint32_t>(d),
+                          static_cast<std::uint32_t>(bytes), ct);
+      }
+      auto min_resident = std::make_shared<std::int64_t>(ct->usage().memory_bytes);
+      every(UsecFromMs(w.sample_period_ms), [min_resident, ct] {
+        *min_resident = std::min(*min_resident, ct->usage().memory_bytes);
+      });
+      cs->pins_.push_back({name, guarantee, min_resident});
+    }
+  }
+
+  // --- Attack injections ----------------------------------------------------
+  const auto target_port = static_cast<std::uint16_t>(spec.servers.front().port);
+  for (std::size_t i = 0; i < spec.attacks.size(); ++i) {
+    const AttackSpec& a = spec.attacks[i];
+    const sim::SimTime start = UsecFromSec(a.start_s);
+    if (a.kind == "syn_flood") {
+      load::SynFlooder::Config fc;
+      fc.prefix = net::Addr{a.prefix.value};
+      fc.server_port = target_port;
+      fc.rate_per_sec = a.rate_per_sec;
+      fc.seed = spec.seed + static_cast<std::uint64_t>(i);
+      load::SynFlooder* fl = sc.AddFlooder(fc);
+      fl->Start(start);
+      if (a.stop_s > 0) {
+        sc.simulator().At(UsecFromSec(a.stop_s), [fl] { fl->Stop(); });
+      }
+    } else {  // conn_hoard
+      load::ConnHoarder::Config hc;
+      hc.addr = net::Addr{a.addr.value};
+      hc.server_port = target_port;
+      hc.connections = a.connections;
+      hc.open_interval = UsecFromMs(a.open_interval_ms);
+      hc.hold = UsecFromSec(a.hold_s);
+      load::ConnHoarder* h = sc.AddHoarder(hc);
+      h->Start(start);
+      if (a.stop_s > 0) {
+        sc.simulator().At(UsecFromSec(a.stop_s), [h] { h->Stop(); });
+      }
+    }
+  }
+
+  result.compiled = std::move(cs);
+  return result;
+}
+
+RunResult CompiledScenario::Run(std::ostream* out) {
+  RunResult rr;
+  Scenario& sc = *scenario_;
+  const PhaseSpec& ph = spec_.phases;
+
+  sc.RunFor(UsecFromSec(ph.warmup_s));
+  sc.ResetClientStats();
+
+  // Measurement-window baselines.
+  const CpuSnapshot cpu0 = sc.SnapshotCpu();
+  const sim::Duration cgi0 = sc.kernel().ExecutedUsecForName("cgi");
+  const sim::Duration link0 = sc.kernel().link().stats().busy_usec;
+  struct CtBase {
+    std::int64_t cpu = 0;
+    std::int64_t disk = 0;
+  };
+  std::vector<CtBase> ct0(containers_.size());
+  for (std::size_t i = 0; i < containers_.size(); ++i) {
+    const rc::ResourceUsage u = containers_[i].second->SubtreeUsage();
+    ct0[i] = {u.TotalCpuUsec(), u.disk_busy_usec};
+  }
+  struct SrvBase {
+    std::uint64_t static_served = 0;
+    std::uint64_t cgi_started = 0;
+  };
+  std::vector<SrvBase> srv0(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    srv0[i] = {servers_[i]->stats().static_served, servers_[i]->stats().cgi_started};
+  }
+
+  const sim::Duration measure = UsecFromSec(ph.measure_s);
+  if (ph.report_every_s > 0 && out != nullptr) {
+    const sim::Duration step0 = UsecFromSec(ph.report_every_s);
+    std::uint64_t last = sc.TotalCompleted();
+    sim::Duration done = 0;
+    while (done < measure) {
+      const sim::Duration step = std::min(step0, measure - done);
+      sc.RunFor(step);
+      done += step;
+      const std::uint64_t total = sc.TotalCompleted();
+      std::uint64_t filters = 0;
+      for (const httpd::Server* s : servers_) {
+        filters += s->stats().flood_filters_installed;
+      }
+      char line[128];
+      std::snprintf(line, sizeof(line), "t=%.1fs goodput=%.1f req/s filters=%llu\n",
+                    sim::ToSeconds(sc.simulator().now()),
+                    static_cast<double>(total - last) / sim::ToSeconds(step),
+                    static_cast<unsigned long long>(filters));
+      (*out) << line;
+      last = total;
+    }
+  } else {
+    sc.RunFor(measure);
+  }
+
+  const CpuSnapshot cpu1 = sc.SnapshotCpu();
+  const auto elapsed = static_cast<double>(cpu1.at - cpu0.at);
+  const double secs = sim::ToSeconds(cpu1.at - cpu0.at);
+  auto add = [&rr](const std::string& name, double value) {
+    rr.metrics.emplace_back(name, value);
+  };
+
+  // Machine-wide metrics.
+  add("throughput_rps", static_cast<double>(sc.TotalCompleted()) / secs);
+  sim::SampleSet lat;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+  for (const load::Population* p : populations_) {
+    p->MergeLatencies(lat);
+    timeouts += p->timeouts();
+    failures += p->failures();
+  }
+  add("mean_latency_ms", lat.mean());
+  add("p95_latency_ms", lat.count() > 0 ? lat.Percentile(95.0) : 0.0);
+  add("cpu_busy_frac", static_cast<double>(cpu1.busy - cpu0.busy) / elapsed);
+  add("interrupt_frac", static_cast<double>(cpu1.interrupt - cpu0.interrupt) / elapsed);
+  add("client_timeouts", static_cast<double>(timeouts));
+  add("client_failures", static_cast<double>(failures));
+  bool any_cgi = false;
+  for (const PopulationSpec& p : spec_.populations) {
+    any_cgi = any_cgi || p.is_cgi;
+  }
+  if (any_cgi) {
+    const sim::Duration cgi1 = sc.kernel().ExecutedUsecForName("cgi");
+    add("cgi_cpu_share", static_cast<double>(cgi1 - cgi0) / elapsed);
+  }
+  if (spec_.machine.link_mbps > 0) {
+    const sim::Duration link1 = sc.kernel().link().stats().busy_usec;
+    add("link_utilization", static_cast<double>(link1 - link0) / elapsed);
+  }
+
+  // Per-population metrics.
+  for (std::size_t i = 0; i < populations_.size(); ++i) {
+    const load::Population* p = populations_[i];
+    const std::string prefix = "pop/" + p->name() + "/";
+    add(prefix + "throughput_rps", static_cast<double>(p->completed()) / secs);
+    sim::SampleSet pl;
+    p->MergeLatencies(pl);
+    add(prefix + "mean_latency_ms", pl.mean());
+    add(prefix + "p95_latency_ms", pl.count() > 0 ? pl.Percentile(95.0) : 0.0);
+    add(prefix + "completed", static_cast<double>(p->completed()));
+    add(prefix + "timeouts", static_cast<double>(p->timeouts()));
+    add(prefix + "failures", static_cast<double>(p->failures()));
+    if (spec_.populations[i].arrival == "open_loop") {
+      add(prefix + "shed_arrivals", static_cast<double>(p->shed_arrivals()));
+    }
+  }
+
+  // Per-container metrics (spec-declared containers only).
+  std::vector<std::int64_t> cpu_delta(containers_.size());
+  std::vector<std::int64_t> disk_delta(containers_.size());
+  std::vector<std::int64_t> mem_now(containers_.size());
+  std::int64_t disk_total = 0;
+  std::int64_t mem_total = 0;
+  for (std::size_t i = 0; i < containers_.size(); ++i) {
+    const rc::ResourceUsage u = containers_[i].second->SubtreeUsage();
+    cpu_delta[i] = u.TotalCpuUsec() - ct0[i].cpu;
+    disk_delta[i] = u.disk_busy_usec - ct0[i].disk;
+    mem_now[i] = u.memory_bytes;
+    disk_total += disk_delta[i];
+    mem_total += mem_now[i];
+  }
+  for (std::size_t i = 0; i < containers_.size(); ++i) {
+    add("container/" + containers_[i].first + "/cpu_share",
+        static_cast<double>(cpu_delta[i]) / elapsed);
+  }
+  if (disk_total > 0) {
+    for (std::size_t i = 0; i < containers_.size(); ++i) {
+      add("container/" + containers_[i].first + "/disk_share",
+          static_cast<double>(disk_delta[i]) / static_cast<double>(disk_total));
+    }
+  }
+  if (mem_total > 0) {
+    for (std::size_t i = 0; i < containers_.size(); ++i) {
+      add("container/" + containers_[i].first + "/memory_frac",
+          static_cast<double>(mem_now[i]) / static_cast<double>(mem_total));
+    }
+  }
+
+  // Pinned-set (cache_pin) workloads.
+  for (const PinnedSet& pin : pins_) {
+    add("workload/" + pin.name + "/guarantee_mb",
+        static_cast<double>(pin.guarantee_bytes) / (1024.0 * 1024.0));
+    add("workload/" + pin.name + "/min_resident_mb",
+        static_cast<double>(*pin.min_resident) / (1024.0 * 1024.0));
+  }
+
+  // Per-server metrics.
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const httpd::ServerStats& st = servers_[i]->stats();
+    const std::string prefix =
+        "server/" + std::to_string(spec_.servers[i].port) + "/";
+    add(prefix + "static_rps",
+        static_cast<double>(st.static_served - srv0[i].static_served) / secs);
+    add(prefix + "cgi_started",
+        static_cast<double>(st.cgi_started - srv0[i].cgi_started));
+    add(prefix + "flood_filters", static_cast<double>(st.flood_filters_installed));
+  }
+
+  if (sc.digest() != nullptr) {
+    rr.digest_hex = sc.digest()->hex();
+  }
+
+  // Assertions.
+  for (const AssertSpec& a : spec_.asserts) {
+    AssertionResult ar;
+    ar.metric = a.metric;
+    const double* v = rr.Find(a.metric);
+    char buf[192];
+    if (v == nullptr) {
+      ar.passed = false;
+      ar.detail = a.metric + ": metric not produced by this run";
+    } else {
+      ar.value = *v;
+      ar.passed = true;
+      if (a.min.has_value() && *v < *a.min) {
+        ar.passed = false;
+        std::snprintf(buf, sizeof(buf), "%s = %g < min %g", a.metric.c_str(), *v,
+                      *a.min);
+        ar.detail = buf;
+      } else if (a.max.has_value() && *v > *a.max) {
+        ar.passed = false;
+        std::snprintf(buf, sizeof(buf), "%s = %g > max %g", a.metric.c_str(), *v,
+                      *a.max);
+        ar.detail = buf;
+      } else if (a.approx.has_value()) {
+        const double tol = a.tol + a.tol_frac * std::fabs(*a.approx);
+        if (std::fabs(*v - *a.approx) > tol) {
+          ar.passed = false;
+          std::snprintf(buf, sizeof(buf), "%s = %g not within %g of %g",
+                        a.metric.c_str(), *v, tol, *a.approx);
+          ar.detail = buf;
+        }
+      }
+      if (ar.passed) {
+        std::snprintf(buf, sizeof(buf), "%s = %g", a.metric.c_str(), *v);
+        ar.detail = buf;
+      }
+    }
+    rr.ok = rr.ok && ar.passed;
+    rr.assertions.push_back(ar);
+  }
+  return rr;
+}
+
+}  // namespace xp

@@ -1,0 +1,128 @@
+// The scenario compiler: xp::Compile maps a validated xp::Spec onto a live
+// xp::Scenario — kernel variant, servers, container tree, file sets, client
+// populations, background workloads and attack injections — and returns a
+// CompiledScenario whose Run() executes the spec's phases, computes the
+// run's metric namespace (docs/SCENARIOS.md) and evaluates its assertions.
+// This is the single construction path from declarative specs to running
+// experiments; rcsim and the scenario-suite CI job both go through it.
+#ifndef SRC_XP_RUNNER_H_
+#define SRC_XP_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/xp/scenario.h"
+#include "src/xp/spec.h"
+
+namespace xp {
+
+struct CompileOptions {
+  // Charge-conservation auditing and the timeline digest (src/verify).
+  bool audit = false;
+  bool digest = false;
+  // Forces push-side telemetry on even when the spec leaves it off.
+  bool telemetry = false;
+  // Epoch-sampler interval when telemetry is on; 0 = the scenario default.
+  double telemetry_interval_ms = 0.0;
+};
+
+struct AssertionResult {
+  std::string metric;
+  double value = 0.0;
+  bool passed = false;
+  std::string detail;  // human-readable, e.g. "throughput_rps = 81.6 < min 2000"
+};
+
+// Outcome of CompiledScenario::Run: the full metric namespace (insertion
+// order: machine-wide, per-population, per-container, per-workload,
+// per-server) plus the evaluated assertions.
+struct RunResult {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<AssertionResult> assertions;
+  bool ok = true;          // every assertion passed
+  std::string digest_hex;  // non-empty when the digest was enabled
+
+  // Null when the metric was not produced by this run.
+  const double* Find(const std::string& name) const;
+};
+
+class CompiledScenario;
+
+struct CompileResult {
+  bool ok() const { return error.empty(); }
+  std::unique_ptr<CompiledScenario> compiled;
+  std::string error;
+};
+
+// Builds the scenario a spec describes. Never dies on a bad spec: resource
+// errors the parser cannot see (share oversubscription against the live
+// container manager, class table overflow) come back as `error`.
+CompileResult Compile(const Spec& spec, const CompileOptions& options = {});
+
+// A spec made runnable: the scenario plus everything the spec layered on
+// top of it (containers by name, populations with their start plan, pinned
+// workload bookkeeping). Owns the simulation; destroy to tear it down.
+class CompiledScenario {
+ public:
+  ~CompiledScenario();
+
+  CompiledScenario(const CompiledScenario&) = delete;
+  CompiledScenario& operator=(const CompiledScenario&) = delete;
+
+  Scenario& scenario() { return *scenario_; }
+  const Spec& spec() const { return spec_; }
+
+  // Executes the spec's phases — warmup, client-stat reset, measurement —
+  // then computes metrics and evaluates assertions. When
+  // phases.report_every_s > 0 and `out` is non-null, per-interval goodput
+  // lines are streamed to `out` during measurement (timeline experiments).
+  // Call once per CompiledScenario.
+  RunResult Run(std::ostream* out = nullptr);
+
+ private:
+  friend CompileResult Compile(const Spec& spec, const CompileOptions& options);
+
+  CompiledScenario() = default;
+
+  // Self-rearming simulator timer (runs until the simulation ends).
+  struct Periodic {
+    sim::Simulator* simr = nullptr;
+    sim::Duration period = 0;
+    std::function<void()> fn;
+    void Arm() {
+      simr->After(period, [this] {
+        fn();
+        Arm();
+      });
+    }
+  };
+
+  // cache_pin workload bookkeeping: the tenant's guaranteed resident bytes
+  // and the minimum it actually held (sampled every sample_period_ms).
+  struct PinnedSet {
+    std::string name;
+    std::int64_t guarantee_bytes = 0;
+    std::shared_ptr<std::int64_t> min_resident;
+  };
+
+  rc::ContainerRef FindContainer(const std::string& name) const;
+
+  Spec spec_;
+  // Declared before the scenario: populations (owned by the scenario) hold
+  // pointers into these document sets for their whole lifetime.
+  std::vector<std::unique_ptr<std::vector<load::HttpClient::DocChoice>>> doc_sets_;
+  std::unique_ptr<Scenario> scenario_;
+  std::vector<std::pair<std::string, rc::ContainerRef>> containers_;  // spec order
+  std::vector<load::Population*> populations_;  // parallel to spec_.populations
+  std::vector<httpd::Server*> servers_;         // parallel to spec_.servers
+  std::vector<std::unique_ptr<Periodic>> periodics_;
+  std::vector<PinnedSet> pins_;
+};
+
+}  // namespace xp
+
+#endif  // SRC_XP_RUNNER_H_

@@ -137,12 +137,18 @@ void Scenario::RegisterProbes() {
     for (const auto& c : clients_) {
       n += c->timeouts();
     }
+    for (const auto& p : populations_) {
+      n += p->timeouts();
+    }
     return static_cast<double>(n);
   });
   registry_.AddProbe("clients.failures", "requests", [this] {
     std::uint64_t n = 0;
     for (const auto& c : clients_) {
       n += c->failures();
+    }
+    for (const auto& p : populations_) {
+      n += p->failures();
     }
     return static_cast<double>(n);
   });
@@ -152,11 +158,33 @@ void Scenario::RegisterProbes() {
 }
 
 void Scenario::StartServer(rc::ContainerRef guest) {
-  RC_CHECK_EQ(server_, nullptr);
-  server_ = std::make_unique<httpd::EventDrivenServer>(kernel_.get(), &cache_,
-                                                       options_.server_config);
-  server_->RegisterMetrics(registry_);
-  server_->Start(std::move(guest));
+  RC_CHECK(servers_.empty());
+  AddServer(ServerKind::kEvent, options_.server_config, std::move(guest));
+}
+
+httpd::Server* Scenario::AddServer(ServerKind kind, const httpd::ServerConfig& config,
+                                   rc::ContainerRef guest) {
+  std::unique_ptr<httpd::Server> server;
+  switch (kind) {
+    case ServerKind::kEvent:
+      server = std::make_unique<httpd::EventDrivenServer>(kernel_.get(), &cache_, config);
+      break;
+    case ServerKind::kThreaded:
+      server = std::make_unique<httpd::MultiThreadedServer>(kernel_.get(), &cache_, config);
+      break;
+    case ServerKind::kPrefork:
+      server = std::make_unique<httpd::PreforkServer>(kernel_.get(), &cache_, config);
+      break;
+  }
+  if (kind == ServerKind::kEvent && event_server_ == nullptr) {
+    event_server_ = static_cast<httpd::EventDrivenServer*>(server.get());
+  }
+  if (servers_.empty()) {
+    server->RegisterMetrics(registry_);  // httpd.* names belong to server 0
+  }
+  server->Start(std::move(guest));
+  servers_.push_back(std::move(server));
+  return servers_.back().get();
 }
 
 load::HttpClient* Scenario::AddClient(const load::HttpClient::Config& config) {
@@ -180,6 +208,22 @@ std::vector<load::HttpClient*> Scenario::AddStaticClients(int n, net::Addr base,
     out.push_back(AddClient(cfg));
   }
   return out;
+}
+
+load::Population* Scenario::AddPopulation(load::PopulationConfig config) {
+  config.client_id_base = next_client_id_;
+  next_client_id_ += static_cast<std::uint32_t>(config.clients);
+  auto pop = std::make_unique<load::Population>(&simr_, wire_.get(), std::move(config));
+  load::Population* raw = pop.get();
+  populations_.push_back(std::move(pop));
+  return raw;
+}
+
+load::ConnHoarder* Scenario::AddHoarder(const load::ConnHoarder::Config& config) {
+  auto hoarder = std::make_unique<load::ConnHoarder>(&simr_, wire_.get(), config);
+  load::ConnHoarder* raw = hoarder.get();
+  hoarders_.push_back(std::move(hoarder));
+  return raw;
 }
 
 load::SynFlooder* Scenario::AddFlooder(const load::SynFlooder::Config& config) {
@@ -206,12 +250,18 @@ void Scenario::ResetClientStats() {
   for (auto& c : clients_) {
     c->ResetStats();
   }
+  for (auto& p : populations_) {
+    p->ResetStats();
+  }
 }
 
 std::uint64_t Scenario::TotalCompleted() const {
   std::uint64_t total = 0;
   for (const auto& c : clients_) {
     total += c->completed();
+  }
+  for (const auto& p : populations_) {
+    total += p->completed();
   }
   return total;
 }

@@ -9,8 +9,13 @@
 
 #include "src/httpd/event_server.h"
 #include "src/httpd/file_cache.h"
+#include "src/httpd/prefork_server.h"
+#include "src/httpd/server.h"
+#include "src/httpd/threaded_server.h"
 #include "src/kernel/kernel.h"
+#include "src/load/conn_hoarder.h"
 #include "src/load/http_client.h"
+#include "src/load/population.h"
 #include "src/load/syn_flood.h"
 #include "src/load/wire.h"
 #include "src/sim/rng.h"
@@ -46,6 +51,13 @@ struct ScenarioOptions {
   bool digest = false;
 };
 
+// Which server architecture a scenario runs (Section 6 compares all three).
+enum class ServerKind {
+  kEvent,
+  kThreaded,
+  kPrefork,
+};
+
 // Snapshot of machine-level CPU accounting (for utilization/share series).
 struct CpuSnapshot {
   sim::SimTime at = 0;
@@ -63,7 +75,8 @@ class Scenario {
   kernel::Kernel& kernel() { return *kernel_; }
   load::Wire& wire() { return *wire_; }
   httpd::FileCache& cache() { return cache_; }
-  httpd::EventDrivenServer& server() { return *server_; }
+  // The first event-driven server (the classic single-server accessor).
+  httpd::EventDrivenServer& server() { return *event_server_; }
 
   // The scenario-wide metrics registry; every layer (kernel, stack, disk,
   // server, clients) publishes here, and the tables/exporters read it.
@@ -89,7 +102,28 @@ class Scenario {
   // supplies a fixed-share default container (virtual-server experiments).
   void StartServer(rc::ContainerRef guest = nullptr);
 
+  // Constructs and starts a server of the given architecture. The first
+  // server added owns the httpd.* metric names; later servers are read via
+  // their stats() directly. Scenarios may run several (virtual hosting).
+  httpd::Server* AddServer(ServerKind kind, const httpd::ServerConfig& config,
+                           rc::ContainerRef guest = nullptr);
+
+  const std::vector<std::unique_ptr<httpd::Server>>& servers() const {
+    return servers_;
+  }
+
   load::HttpClient* AddClient(const load::HttpClient::Config& config);
+
+  // A named client population behind an arrival process (src/load). Client
+  // ids are allocated from the scenario-wide counter so populations and
+  // ad-hoc clients never collide.
+  load::Population* AddPopulation(load::PopulationConfig config);
+
+  const std::vector<std::unique_ptr<load::Population>>& populations() const {
+    return populations_;
+  }
+
+  load::ConnHoarder* AddHoarder(const load::ConnHoarder::Config& config);
 
   // N identical static-document clients with consecutive addresses
   // base+1 ... base+n.
@@ -140,9 +174,12 @@ class Scenario {
   std::unique_ptr<kernel::Kernel> kernel_;
   std::unique_ptr<load::Wire> wire_;
   httpd::FileCache cache_;
-  std::unique_ptr<httpd::EventDrivenServer> server_;
+  std::vector<std::unique_ptr<httpd::Server>> servers_;
+  httpd::EventDrivenServer* event_server_ = nullptr;  // first kEvent server
   std::vector<std::unique_ptr<load::HttpClient>> clients_;
+  std::vector<std::unique_ptr<load::Population>> populations_;
   std::vector<std::unique_ptr<load::SynFlooder>> flooders_;
+  std::vector<std::unique_ptr<load::ConnHoarder>> hoarders_;
   std::unique_ptr<telemetry::EpochSampler> sampler_;
   std::uint32_t next_client_id_ = 1;
 };

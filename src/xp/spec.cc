@@ -1,0 +1,1843 @@
+#include "src/xp/spec.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace xp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON-subset document tree
+// ---------------------------------------------------------------------------
+
+struct JMember;
+
+struct JValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  using Member = JMember;
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JMember> members;  // kObject
+  std::vector<JValue> items;     // kArray
+  int line = 0;
+  int col = 0;
+};
+
+struct JMember {
+  std::string key;
+  int key_line = 0;
+  int key_col = 0;
+  JValue value;
+};
+
+const char* JKindName(JValue::Kind k) {
+  switch (k) {
+    case JValue::Kind::kNull:
+      return "null";
+    case JValue::Kind::kBool:
+      return "a boolean";
+    case JValue::Kind::kNumber:
+      return "a number";
+    case JValue::Kind::kString:
+      return "a string";
+    case JValue::Kind::kObject:
+      return "an object";
+    case JValue::Kind::kArray:
+      return "an array";
+  }
+  return "?";
+}
+
+// Shared parse/validate state: source text (for excerpts) plus the first
+// diagnostic. Fail-fast: once `error` is set, everything else no-ops.
+struct Ctx {
+  std::string filename;
+  std::vector<std::string> lines;
+  std::string error;
+
+  bool failed() const { return !error.empty(); }
+
+  void Fail(int line, int col, const std::string& message) {
+    if (failed()) {
+      return;
+    }
+    std::ostringstream os;
+    os << filename << ":" << line << ":" << col << ": " << message;
+    if (line >= 1 && static_cast<std::size_t>(line) <= lines.size()) {
+      os << "\n  " << line << " | " << lines[static_cast<std::size_t>(line) - 1];
+    }
+    error = os.str();
+  }
+};
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer + recursive-descent parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const std::string& text, Ctx* ctx) : text_(text), ctx_(ctx) {}
+
+  JValue ParseDocument() {
+    SkipWs();
+    JValue v = ParseValue();
+    SkipWs();
+    if (!ctx_->failed() && pos_ < text_.size()) {
+      ctx_->Fail(line_, Col(), "trailing content after the top-level value");
+    }
+    return v;
+  }
+
+ private:
+  int Col() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      line_start_ = pos_ + 1;
+    }
+    ++pos_;
+  }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  JValue ParseValue() {
+    JValue v;
+    if (ctx_->failed()) {
+      return v;
+    }
+    if (AtEnd()) {
+      ctx_->Fail(line_, Col(), "unexpected end of input (expected a value)");
+      return v;
+    }
+    v.line = line_;
+    v.col = Col();
+    const char c = Peek();
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      v.kind = JValue::Kind::kString;
+      v.str = ParseString();
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      v.kind = JValue::Kind::kNumber;
+      v.num = ParseNumber();
+      return v;
+    }
+    if (ConsumeWord("true")) {
+      v.kind = JValue::Kind::kBool;
+      v.b = true;
+      return v;
+    }
+    if (ConsumeWord("false")) {
+      v.kind = JValue::Kind::kBool;
+      v.b = false;
+      return v;
+    }
+    if (ConsumeWord("null")) {
+      v.kind = JValue::Kind::kNull;
+      return v;
+    }
+    ctx_->Fail(line_, Col(), std::string("unexpected character '") + c + "'");
+    return v;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) {
+      return false;
+    }
+    // Must not be a prefix of a longer identifier.
+    if (pos_ + n < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[pos_ + n])) || text_[pos_ + n] == '_')) {
+      return false;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Advance();
+    }
+    return true;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    Advance();  // opening quote
+    while (true) {
+      if (AtEnd() || Peek() == '\n') {
+        ctx_->Fail(line_, Col(), "unterminated string");
+        return out;
+      }
+      char c = Peek();
+      if (c == '"') {
+        Advance();
+        return out;
+      }
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) {
+          ctx_->Fail(line_, Col(), "unterminated string");
+          return out;
+        }
+        const char e = Peek();
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          default:
+            ctx_->Fail(line_, Col(), std::string("unsupported string escape '\\") + e + "'");
+            return out;
+        }
+        Advance();
+        continue;
+      }
+      out.push_back(c);
+      Advance();
+    }
+  }
+
+  double ParseNumber() {
+    const std::size_t start = pos_;
+    const int start_line = line_;
+    const int start_col = Col();
+    if (Peek() == '-') {
+      Advance();
+    }
+    while (!AtEnd()) {
+      const char c = Peek();
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || token.empty()) {
+      ctx_->Fail(start_line, start_col, "malformed number \"" + token + "\"");
+      return 0.0;
+    }
+    return v;
+  }
+
+  JValue ParseObject() {
+    JValue v;
+    v.kind = JValue::Kind::kObject;
+    v.line = line_;
+    v.col = Col();
+    Advance();  // '{'
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      Advance();
+      return v;
+    }
+    while (true) {
+      SkipWs();
+      if (ctx_->failed()) {
+        return v;
+      }
+      if (AtEnd() || Peek() != '"') {
+        ctx_->Fail(line_, Col(), "expected a quoted key");
+        return v;
+      }
+      JValue::Member m;
+      m.key_line = line_;
+      m.key_col = Col();
+      m.key = ParseString();
+      SkipWs();
+      if (AtEnd() || Peek() != ':') {
+        ctx_->Fail(line_, Col(), "expected ':' after key \"" + m.key + "\"");
+        return v;
+      }
+      Advance();  // ':'
+      SkipWs();
+      m.value = ParseValue();
+      if (ctx_->failed()) {
+        return v;
+      }
+      for (const auto& prev : v.members) {
+        if (prev.key == m.key) {
+          ctx_->Fail(m.key_line, m.key_col, "duplicate key \"" + m.key + "\"");
+          return v;
+        }
+      }
+      v.members.push_back(std::move(m));
+      SkipWs();
+      if (AtEnd()) {
+        ctx_->Fail(line_, Col(), "unterminated object (expected ',' or '}')");
+        return v;
+      }
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      if (Peek() == '}') {
+        Advance();
+        return v;
+      }
+      ctx_->Fail(line_, Col(), "expected ',' or '}' in object");
+      return v;
+    }
+  }
+
+  JValue ParseArray() {
+    JValue v;
+    v.kind = JValue::Kind::kArray;
+    v.line = line_;
+    v.col = Col();
+    Advance();  // '['
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      Advance();
+      return v;
+    }
+    while (true) {
+      SkipWs();
+      v.items.push_back(ParseValue());
+      if (ctx_->failed()) {
+        return v;
+      }
+      SkipWs();
+      if (AtEnd()) {
+        ctx_->Fail(line_, Col(), "unterminated array (expected ',' or ']')");
+        return v;
+      }
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      if (Peek() == ']') {
+        Advance();
+        return v;
+      }
+      ctx_->Fail(line_, Col(), "expected ',' or ']' in array");
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  Ctx* const ctx_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema mapping
+// ---------------------------------------------------------------------------
+
+// Reads one object's members by name, tracking consumption so that Finish()
+// can reject unknown keys — the diagnostic points at the key itself.
+class ObjReader {
+ public:
+  ObjReader(Ctx* ctx, const JValue& v, std::string path)
+      : ctx_(ctx), v_(v), path_(std::move(path)) {
+    if (v_.kind != JValue::Kind::kObject) {
+      ctx_->Fail(v_.line, v_.col,
+                 path_ + " must be an object, got " + JKindName(v_.kind));
+    } else {
+      consumed_.assign(v_.members.size(), false);
+    }
+  }
+
+  const std::string& path() const { return path_; }
+
+  const JValue* Get(const char* key) {
+    if (v_.kind != JValue::Kind::kObject) {
+      return nullptr;
+    }
+    for (std::size_t i = 0; i < v_.members.size(); ++i) {
+      if (v_.members[i].key == key) {
+        consumed_[i] = true;
+        return &v_.members[i].value;
+      }
+    }
+    return nullptr;
+  }
+
+  void Bool(const char* key, bool* out) {
+    const JValue* j = Get(key);
+    if (j == nullptr || ctx_->failed()) {
+      return;
+    }
+    if (j->kind != JValue::Kind::kBool) {
+      TypeError(key, *j, "a boolean");
+      return;
+    }
+    *out = j->b;
+  }
+
+  void Num(const char* key, double* out) {
+    const JValue* j = Get(key);
+    if (j == nullptr || ctx_->failed()) {
+      return;
+    }
+    if (j->kind != JValue::Kind::kNumber) {
+      TypeError(key, *j, "a number");
+      return;
+    }
+    *out = j->num;
+  }
+
+  void Int(const char* key, int* out) {
+    const JValue* j = Get(key);
+    if (j == nullptr || ctx_->failed()) {
+      return;
+    }
+    if (j->kind != JValue::Kind::kNumber || j->num != std::floor(j->num)) {
+      TypeError(key, *j, "an integer");
+      return;
+    }
+    *out = static_cast<int>(j->num);
+  }
+
+  void I64(const char* key, std::int64_t* out) {
+    const JValue* j = Get(key);
+    if (j == nullptr || ctx_->failed()) {
+      return;
+    }
+    if (j->kind != JValue::Kind::kNumber || j->num != std::floor(j->num)) {
+      TypeError(key, *j, "an integer");
+      return;
+    }
+    *out = static_cast<std::int64_t>(j->num);
+  }
+
+  void U32(const char* key, std::uint32_t* out) {
+    const JValue* j = Get(key);
+    if (j == nullptr || ctx_->failed()) {
+      return;
+    }
+    if (j->kind != JValue::Kind::kNumber || j->num != std::floor(j->num) || j->num < 0) {
+      TypeError(key, *j, "a non-negative integer");
+      return;
+    }
+    *out = static_cast<std::uint32_t>(j->num);
+  }
+
+  void U64(const char* key, std::uint64_t* out) {
+    const JValue* j = Get(key);
+    if (j == nullptr || ctx_->failed()) {
+      return;
+    }
+    if (j->kind != JValue::Kind::kNumber || j->num != std::floor(j->num) || j->num < 0) {
+      TypeError(key, *j, "a non-negative integer");
+      return;
+    }
+    *out = static_cast<std::uint64_t>(j->num);
+  }
+
+  void Str(const char* key, std::string* out) {
+    const JValue* j = Get(key);
+    if (j == nullptr || ctx_->failed()) {
+      return;
+    }
+    if (j->kind != JValue::Kind::kString) {
+      TypeError(key, *j, "a string");
+      return;
+    }
+    *out = j->str;
+  }
+
+  // Enum-style string: value must be one of `allowed` (nullptr-terminated).
+  void Enum(const char* key, std::string* out, const char* const* allowed) {
+    const JValue* j = Get(key);
+    if (j == nullptr || ctx_->failed()) {
+      return;
+    }
+    if (j->kind != JValue::Kind::kString) {
+      TypeError(key, *j, "a string");
+      return;
+    }
+    for (const char* const* a = allowed; *a != nullptr; ++a) {
+      if (j->str == *a) {
+        *out = j->str;
+        return;
+      }
+    }
+    std::string expected;
+    for (const char* const* a = allowed; *a != nullptr; ++a) {
+      if (!expected.empty()) {
+        expected += (*(a + 1) == nullptr) ? ", or " : ", ";
+      }
+      expected += std::string("\"") + *a + "\"";
+    }
+    ctx_->Fail(j->line, j->col,
+               "invalid value \"" + j->str + "\" for \"" + key + "\" in " + path_ +
+                   " (expected " + expected + ")");
+  }
+
+  void Finish() {
+    if (ctx_->failed() || v_.kind != JValue::Kind::kObject) {
+      return;
+    }
+    for (std::size_t i = 0; i < v_.members.size(); ++i) {
+      if (!consumed_[i]) {
+        ctx_->Fail(v_.members[i].key_line, v_.members[i].key_col,
+                   "unknown key \"" + v_.members[i].key + "\" in " + path_);
+        return;
+      }
+    }
+  }
+
+  void Fail(const char* key, const std::string& message) {
+    const JValue* j = nullptr;
+    for (std::size_t i = 0; i < v_.members.size(); ++i) {
+      if (v_.members[i].key == key) {
+        j = &v_.members[i].value;
+        break;
+      }
+    }
+    ctx_->Fail(j != nullptr ? j->line : v_.line, j != nullptr ? j->col : v_.col, message);
+  }
+
+ private:
+  void TypeError(const char* key, const JValue& j, const char* want) {
+    ctx_->Fail(j.line, j.col, std::string("\"") + key + "\" in " + path_ + " must be " +
+                                  want + ", got " + JKindName(j.kind));
+  }
+
+  Ctx* const ctx_;
+  const JValue& v_;
+  const std::string path_;
+  std::vector<bool> consumed_;
+};
+
+// ---------------------------------------------------------------------------
+// Field parsers
+// ---------------------------------------------------------------------------
+
+bool ParseDottedQuad(const std::string& s, std::uint32_t* out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = '\0';
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4) {
+    return false;
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) {
+    return false;
+  }
+  *out = (static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | static_cast<std::uint32_t>(d);
+  return true;
+}
+
+void ReadAddr(Ctx* ctx, ObjReader& r, const char* key, AddrSpec* out) {
+  std::string text;
+  r.Str(key, &text);
+  if (ctx->failed() || text.empty()) {
+    return;
+  }
+  std::uint32_t v = 0;
+  if (!ParseDottedQuad(text, &v)) {
+    r.Fail(key, "\"" + text + "\" is not a dotted-quad IPv4 address");
+    return;
+  }
+  out->text = text;
+  out->value = v;
+}
+
+void ReadFilter(Ctx* ctx, ObjReader& r, const char* key, FilterSpec* out) {
+  std::string text;
+  r.Str(key, &text);
+  if (ctx->failed() || text.empty()) {
+    return;
+  }
+  std::string body = text;
+  out->negate = false;
+  if (!body.empty() && body[0] == '!') {
+    out->negate = true;
+    body = body.substr(1);
+  }
+  const std::size_t slash = body.find('/');
+  if (slash == std::string::npos) {
+    r.Fail(key, "filter \"" + text + "\" must look like \"10.1.0.0/16\" (optional leading '!')");
+    return;
+  }
+  const std::string addr = body.substr(0, slash);
+  const std::string len = body.substr(slash + 1);
+  std::uint32_t v = 0;
+  char* end = nullptr;
+  const long n = std::strtol(len.c_str(), &end, 10);
+  if (!ParseDottedQuad(addr, &v) || end == nullptr || *end != '\0' || n < 0 || n > 32) {
+    r.Fail(key, "filter \"" + text + "\" must look like \"10.1.0.0/16\" (optional leading '!')");
+    return;
+  }
+  out->base.text = addr;
+  out->base.value = v;
+  out->prefix_len = static_cast<int>(n);
+}
+
+// Range guards. Each produces a deterministic one-line diagnostic.
+void RequireRange(ObjReader& r, const char* key, double v, double lo, double hi) {
+  if (v < lo || v > hi) {
+    std::ostringstream os;
+    os << "\"" << key << "\" in " << r.path() << " must be in [" << lo << ", " << hi
+       << "], got " << v;
+    r.Fail(key, os.str());
+  }
+}
+
+void RequireMin(ObjReader& r, const char* key, double v, double lo) {
+  if (v < lo) {
+    std::ostringstream os;
+    os << "\"" << key << "\" in " << r.path() << " must be >= " << lo << ", got " << v;
+    r.Fail(key, os.str());
+  }
+}
+
+constexpr const char* kSchedClassNames[] = {"time_share", "fixed_share", nullptr};
+
+void ReadSchedFields(Ctx* ctx, ObjReader& r, rc::SchedParams* out) {
+  std::string cls = out->cls == rc::SchedClass::kFixedShare ? "fixed_share" : "time_share";
+  r.Enum("class", &cls, kSchedClassNames);
+  if (ctx->failed()) {
+    return;
+  }
+  out->cls = cls == "fixed_share" ? rc::SchedClass::kFixedShare : rc::SchedClass::kTimeShare;
+  r.Int("priority", &out->priority);
+  r.Num("share", &out->fixed_share);
+  if (ctx->failed()) {
+    return;
+  }
+  RequireRange(r, "priority", out->priority, rc::kMinPriority, rc::kMaxPriority);
+  RequireRange(r, "share", out->fixed_share, 0.0, 1.0);
+  if (!ctx->failed() && out->cls == rc::SchedClass::kFixedShare && out->fixed_share <= 0.0) {
+    r.Fail("class", "a fixed_share container needs \"share\" > 0 in " + r.path());
+  }
+}
+
+void ReadResourcePolicy(Ctx* ctx, ObjReader& parent, const char* key, rc::ResourcePolicy* out) {
+  const JValue* j = parent.Get(key);
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  ObjReader r(ctx, *j, parent.path() + "." + key);
+  if (r.Get("class") != nullptr || r.Get("priority") != nullptr || r.Get("share") != nullptr) {
+    out->override_sched = true;
+  }
+  // Re-read through the typed accessors (Get above already marked them).
+  ObjReader r2(ctx, *j, parent.path() + "." + key);
+  ReadSchedFields(ctx, r2, &out->sched);
+  r2.Num("limit", &out->limit);
+  if (!ctx->failed()) {
+    RequireRange(r2, "limit", out->limit, 0.0, 1.0);
+  }
+  r2.Finish();
+}
+
+void ReadAttributes(Ctx* ctx, ObjReader& r, rc::Attributes* out) {
+  ReadSchedFields(ctx, r, &out->sched);
+  r.Num("cpu_limit", &out->cpu_limit);
+  double memory_limit_mb =
+      static_cast<double>(out->memory_limit_bytes) / (1024.0 * 1024.0);
+  r.Num("memory_limit_mb", &memory_limit_mb);
+  r.Int("network_priority", &out->network_priority);
+  if (ctx->failed()) {
+    return;
+  }
+  out->memory_limit_bytes = static_cast<std::int64_t>(std::llround(memory_limit_mb * 1024.0 * 1024.0));
+  RequireRange(r, "cpu_limit", out->cpu_limit, 0.0, 1.0);
+  RequireMin(r, "memory_limit_mb", memory_limit_mb, 0.0);
+  RequireRange(r, "network_priority", out->network_priority, -1, rc::kMaxPriority);
+  ReadResourcePolicy(ctx, r, "disk", &out->disk);
+  ReadResourcePolicy(ctx, r, "link", &out->link);
+  ReadResourcePolicy(ctx, r, "memory", &out->memory);
+}
+
+void ReadSizeDist(Ctx* ctx, ObjReader& parent, const char* key, SizeDistSpec* out) {
+  const JValue* j = parent.Get(key);
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  ObjReader r(ctx, *j, parent.path() + "." + key);
+  static constexpr const char* kDists[] = {"fixed", "table", "pareto", nullptr};
+  r.Enum("dist", &out->dist, kDists);
+  r.Num("fixed_kb", &out->fixed_kb);
+  r.Num("alpha", &out->pareto_alpha);
+  r.Num("min_kb", &out->pareto_min_kb);
+  r.Num("max_kb", &out->pareto_max_kb);
+  const JValue* table = r.Get("table");
+  if (table != nullptr && !ctx->failed()) {
+    if (table->kind != JValue::Kind::kArray) {
+      ctx->Fail(table->line, table->col, "\"table\" in " + r.path() + " must be an array");
+      return;
+    }
+    out->table.clear();
+    for (std::size_t i = 0; i < table->items.size(); ++i) {
+      ObjReader e(ctx, table->items[i],
+                  r.path() + ".table[" + std::to_string(i) + "]");
+      SizeDistSpec::TableEntry entry;
+      e.Num("kb", &entry.kb);
+      e.Num("weight", &entry.weight);
+      e.Finish();
+      if (ctx->failed()) {
+        return;
+      }
+      out->table.push_back(entry);
+    }
+  }
+  r.Finish();
+  if (ctx->failed()) {
+    return;
+  }
+  if (out->dist == "table" && out->table.empty()) {
+    ctx->Fail(j->line, j->col, "\"table\" dist in " + r.path() + " needs a non-empty \"table\"");
+    return;
+  }
+  if (out->dist == "pareto" &&
+      (out->pareto_alpha <= 0.0 || out->pareto_min_kb <= 0.0 ||
+       out->pareto_max_kb < out->pareto_min_kb)) {
+    ctx->Fail(j->line, j->col,
+              "\"pareto\" dist in " + r.path() +
+                  " needs alpha > 0 and 0 < min_kb <= max_kb");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Section parsers
+// ---------------------------------------------------------------------------
+
+void ReadMachine(Ctx* ctx, ObjReader& top, MachineSpec* out) {
+  const JValue* j = top.Get("machine");
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  ObjReader r(ctx, *j, "machine");
+  r.Int("cpus", &out->cpus);
+  static constexpr const char* kSteering[] = {"flow_hash", "cpu0", "round_robin",
+                                              nullptr};
+  r.Enum("irq_steering", &out->irq_steering, kSteering);
+  r.Num("link_mbps", &out->link_mbps);
+  r.Num("memory_mb", &out->memory_mb);
+  r.Finish();
+  if (ctx->failed()) {
+    return;
+  }
+  RequireRange(r, "cpus", out->cpus, 1, 64);
+  RequireMin(r, "link_mbps", out->link_mbps, 0.0);
+  RequireMin(r, "memory_mb", out->memory_mb, 0.0);
+}
+
+void ReadContainers(Ctx* ctx, ObjReader& top, Spec* spec) {
+  const JValue* j = top.Get("containers");
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  if (j->kind != JValue::Kind::kArray) {
+    ctx->Fail(j->line, j->col, "\"containers\" must be an array");
+    return;
+  }
+  for (std::size_t i = 0; i < j->items.size(); ++i) {
+    const std::string path = "containers[" + std::to_string(i) + "]";
+    ObjReader r(ctx, j->items[i], path);
+    ContainerSpec c;
+    r.Str("name", &c.name);
+    r.Str("parent", &c.parent);
+    ReadAttributes(ctx, r, &c.attrs);
+    r.Finish();
+    if (ctx->failed()) {
+      return;
+    }
+    if (c.name.empty()) {
+      ctx->Fail(j->items[i].line, j->items[i].col, path + " needs a non-empty \"name\"");
+      return;
+    }
+    for (const ContainerSpec& prev : spec->containers) {
+      if (prev.name == c.name) {
+        ctx->Fail(j->items[i].line, j->items[i].col,
+                  "duplicate container name \"" + c.name + "\"");
+        return;
+      }
+    }
+    if (!c.parent.empty()) {
+      bool found = false;
+      for (const ContainerSpec& prev : spec->containers) {
+        found = found || prev.name == c.parent;
+      }
+      if (!found) {
+        ctx->Fail(j->items[i].line, j->items[i].col,
+                  path + ": parent \"" + c.parent +
+                      "\" is not a previously declared container");
+        return;
+      }
+    }
+    spec->containers.push_back(std::move(c));
+  }
+}
+
+void ReadOneServer(Ctx* ctx, const JValue& j, const std::string& path, Spec* spec) {
+  ObjReader r(ctx, j, path);
+  ServerSpec s;
+  static constexpr const char* kArchs[] = {"event", "threaded", "prefork", nullptr};
+  r.Enum("arch", &s.arch, kArchs);
+  r.Int("port", &s.port);
+  r.Str("container", &s.container);
+  r.Bool("use_containers", &s.use_containers);
+  r.Bool("use_event_api", &s.use_event_api);
+  r.Bool("sort_ready_by_priority", &s.sort_ready_by_priority);
+  r.Bool("nest_under_default", &s.nest_under_default);
+  r.Bool("cgi_sandbox", &s.cgi_sandbox);
+  r.Num("cgi_share", &s.cgi_share);
+  r.Bool("cgi_new_principal", &s.cgi_new_principal);
+  r.Bool("syn_defense", &s.syn_defense);
+  r.I64("syn_defense_threshold", &s.syn_defense_threshold);
+  r.Int("syn_backlog", &s.syn_backlog);
+  r.Int("accept_backlog", &s.accept_backlog);
+  r.Num("cache_capacity_mb", &s.cache_capacity_mb);
+  r.Num("file_miss_penalty_usec", &s.file_miss_penalty_usec);
+  r.Bool("use_disk_model", &s.use_disk_model);
+  r.Int("worker_threads", &s.worker_threads);
+  r.Int("worker_processes", &s.worker_processes);
+  const JValue* classes = r.Get("classes");
+  if (classes != nullptr && !ctx->failed()) {
+    if (classes->kind != JValue::Kind::kArray) {
+      ctx->Fail(classes->line, classes->col, "\"classes\" in " + path + " must be an array");
+      return;
+    }
+    for (std::size_t k = 0; k < classes->items.size(); ++k) {
+      const std::string cpath = path + ".classes[" + std::to_string(k) + "]";
+      ObjReader cr(ctx, classes->items[k], cpath);
+      ListenClassSpec cls;
+      cr.Str("name", &cls.name);
+      ReadFilter(ctx, cr, "filter", &cls.filter);
+      cr.Int("priority", &cls.priority);
+      cr.Num("fixed_share", &cls.fixed_share);
+      cr.Num("cpu_limit", &cls.cpu_limit);
+      cr.Finish();
+      if (ctx->failed()) {
+        return;
+      }
+      RequireRange(cr, "priority", cls.priority, rc::kMinPriority, rc::kMaxPriority);
+      RequireRange(cr, "fixed_share", cls.fixed_share, 0.0, 1.0);
+      RequireRange(cr, "cpu_limit", cls.cpu_limit, 0.0, 1.0);
+      if (ctx->failed()) {
+        return;
+      }
+      s.classes.push_back(std::move(cls));
+    }
+  }
+  r.Finish();
+  if (ctx->failed()) {
+    return;
+  }
+  RequireRange(r, "port", s.port, 1, 65535);
+  RequireRange(r, "cgi_share", s.cgi_share, 0.0, 1.0);
+  RequireMin(r, "syn_backlog", s.syn_backlog, 1);
+  RequireMin(r, "accept_backlog", s.accept_backlog, 1);
+  RequireMin(r, "cache_capacity_mb", s.cache_capacity_mb, 0.0);
+  RequireMin(r, "file_miss_penalty_usec", s.file_miss_penalty_usec, 0.0);
+  RequireMin(r, "worker_threads", s.worker_threads, 1);
+  RequireMin(r, "worker_processes", s.worker_processes, 1);
+  if (ctx->failed()) {
+    return;
+  }
+  if (!s.container.empty()) {
+    bool found = false;
+    for (const ContainerSpec& c : spec->containers) {
+      found = found || c.name == s.container;
+    }
+    if (!found) {
+      ctx->Fail(j.line, j.col,
+                path + ": container \"" + s.container + "\" is not declared in \"containers\"");
+      return;
+    }
+  }
+  for (const ServerSpec& prev : spec->servers) {
+    if (prev.port == s.port) {
+      ctx->Fail(j.line, j.col, path + ": duplicate server port " + std::to_string(s.port));
+      return;
+    }
+  }
+  spec->servers.push_back(std::move(s));
+}
+
+void ReadServers(Ctx* ctx, ObjReader& top, Spec* spec) {
+  const JValue* one = top.Get("server");
+  const JValue* many = top.Get("servers");
+  if (ctx->failed()) {
+    return;
+  }
+  if (one != nullptr && many != nullptr) {
+    ctx->Fail(many->line, many->col, "use either \"server\" or \"servers\", not both");
+    return;
+  }
+  if (one != nullptr) {
+    ReadOneServer(ctx, *one, "server", spec);
+    return;
+  }
+  if (many != nullptr) {
+    if (many->kind != JValue::Kind::kArray) {
+      ctx->Fail(many->line, many->col, "\"servers\" must be an array");
+      return;
+    }
+    for (std::size_t i = 0; i < many->items.size(); ++i) {
+      ReadOneServer(ctx, many->items[i], "servers[" + std::to_string(i) + "]", spec);
+      if (ctx->failed()) {
+        return;
+      }
+    }
+  }
+}
+
+void ReadFiles(Ctx* ctx, ObjReader& top, Spec* spec) {
+  const JValue* j = top.Get("files");
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  if (j->kind != JValue::Kind::kArray) {
+    ctx->Fail(j->line, j->col, "\"files\" must be an array");
+    return;
+  }
+  for (std::size_t i = 0; i < j->items.size(); ++i) {
+    const std::string path = "files[" + std::to_string(i) + "]";
+    ObjReader r(ctx, j->items[i], path);
+    FileSetSpec f;
+    r.U32("first_doc_id", &f.first_doc_id);
+    r.Int("count", &f.count);
+    ReadSizeDist(ctx, r, "size", &f.size);
+    r.Finish();
+    if (ctx->failed()) {
+      return;
+    }
+    RequireMin(r, "first_doc_id", f.first_doc_id, 1);
+    RequireMin(r, "count", f.count, 1);
+    if (ctx->failed()) {
+      return;
+    }
+    spec->files.push_back(std::move(f));
+  }
+}
+
+void ReadPopulations(Ctx* ctx, ObjReader& top, Spec* spec) {
+  const JValue* j = top.Get("populations");
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  if (j->kind != JValue::Kind::kArray) {
+    ctx->Fail(j->line, j->col, "\"populations\" must be an array");
+    return;
+  }
+  for (std::size_t i = 0; i < j->items.size(); ++i) {
+    const std::string path = "populations[" + std::to_string(i) + "]";
+    ObjReader r(ctx, j->items[i], path);
+    PopulationSpec p;
+    r.Str("name", &p.name);
+    static constexpr const char* kArrivals[] = {"closed_loop", "open_loop", "on_off", nullptr};
+    r.Enum("arrival", &p.arrival, kArrivals);
+    r.Int("clients", &p.clients);
+    r.Num("rate_per_sec", &p.rate_per_sec);
+    r.Int("conns_per_session", &p.conns_per_session);
+    r.Num("on_s", &p.on_s);
+    r.Num("off_s", &p.off_s);
+    static constexpr const char* kLayouts[] = {"flat", "blocks250", nullptr};
+    r.Enum("layout", &p.layout, kLayouts);
+    ReadAddr(ctx, r, "base_addr", &p.base_addr);
+    r.Int("class", &p.client_class);
+    r.Int("requests_per_conn", &p.requests_per_conn);
+    r.U32("doc_id", &p.doc_id);
+    r.Num("response_kb", &p.response_kb);
+    r.U32("docs_first_id", &p.docs_first_id);
+    r.Int("docs_count", &p.docs_count);
+    r.Bool("is_cgi", &p.is_cgi);
+    r.Num("cgi_cpu_ms", &p.cgi_cpu_ms);
+    r.Num("think_ms", &p.think_ms);
+    r.Num("connect_timeout_ms", &p.connect_timeout_ms);
+    r.Num("request_timeout_s", &p.request_timeout_s);
+    r.Num("retry_backoff_ms", &p.retry_backoff_ms);
+    r.Int("port", &p.port);
+    r.Num("start_s", &p.start_s);
+    r.Num("stagger_ms", &p.stagger_ms);
+    r.Num("stop_s", &p.stop_s);
+    r.Finish();
+    if (ctx->failed()) {
+      return;
+    }
+    RequireMin(r, "clients", p.clients, 1);
+    RequireMin(r, "rate_per_sec", p.rate_per_sec, 0.001);
+    RequireMin(r, "conns_per_session", p.conns_per_session, 1);
+    RequireMin(r, "on_s", p.on_s, 0.001);
+    RequireMin(r, "off_s", p.off_s, 0.001);
+    RequireRange(r, "class", p.client_class, 0, 7);
+    RequireMin(r, "requests_per_conn", p.requests_per_conn, 1);
+    RequireMin(r, "response_kb", p.response_kb, 0.001);
+    RequireMin(r, "cgi_cpu_ms", p.cgi_cpu_ms, 0.0);
+    RequireMin(r, "think_ms", p.think_ms, 0.0);
+    RequireMin(r, "connect_timeout_ms", p.connect_timeout_ms, 0.001);
+    RequireMin(r, "request_timeout_s", p.request_timeout_s, 0.0);
+    RequireMin(r, "retry_backoff_ms", p.retry_backoff_ms, 0.0);
+    RequireMin(r, "stagger_ms", p.stagger_ms, 0.0);
+    RequireMin(r, "start_s", p.start_s, 0.0);
+    RequireMin(r, "stop_s", p.stop_s, 0.0);
+    if (ctx->failed()) {
+      return;
+    }
+    for (const PopulationSpec& prev : spec->populations) {
+      if (prev.name == p.name) {
+        ctx->Fail(j->items[i].line, j->items[i].col,
+                  "duplicate population name \"" + p.name + "\"");
+        return;
+      }
+    }
+    if (p.docs_count > 0) {
+      bool covered = false;
+      for (const FileSetSpec& f : spec->files) {
+        covered = covered ||
+                  (p.docs_first_id >= f.first_doc_id &&
+                   p.docs_first_id + static_cast<std::uint32_t>(p.docs_count) <=
+                       f.first_doc_id + static_cast<std::uint32_t>(f.count));
+      }
+      if (!covered) {
+        ctx->Fail(j->items[i].line, j->items[i].col,
+                  path + ": docs_first_id/docs_count do not lie inside any \"files\" range");
+        return;
+      }
+    }
+    spec->populations.push_back(std::move(p));
+  }
+}
+
+void ReadWorkloads(Ctx* ctx, ObjReader& top, Spec* spec) {
+  const JValue* j = top.Get("workloads");
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  if (j->kind != JValue::Kind::kArray) {
+    ctx->Fail(j->line, j->col, "\"workloads\" must be an array");
+    return;
+  }
+  for (std::size_t i = 0; i < j->items.size(); ++i) {
+    const std::string path = "workloads[" + std::to_string(i) + "]";
+    ObjReader r(ctx, j->items[i], path);
+    WorkloadSpec w;
+    static constexpr const char* kKinds[] = {"disk_reader", "cache_stream", "cache_pin",
+                                             nullptr};
+    r.Enum("kind", &w.kind, kKinds);
+    r.Str("name", &w.name);
+    r.Str("container", &w.container);
+    r.Int("threads", &w.threads);
+    r.Num("read_kb", &w.read_kb);
+    r.Num("period_ms", &w.period_ms);
+    r.Num("bytes_kb", &w.bytes_kb);
+    r.Int("docs", &w.docs);
+    r.Num("doc_bytes_kb", &w.doc_bytes_kb);
+    r.Num("sample_period_ms", &w.sample_period_ms);
+    r.U32("first_doc_id", &w.first_doc_id);
+    r.Finish();
+    if (ctx->failed()) {
+      return;
+    }
+    RequireMin(r, "threads", w.threads, 1);
+    RequireMin(r, "read_kb", w.read_kb, 0.001);
+    RequireMin(r, "period_ms", w.period_ms, 0.001);
+    RequireMin(r, "bytes_kb", w.bytes_kb, 0.001);
+    RequireMin(r, "docs", w.docs, 1);
+    RequireMin(r, "doc_bytes_kb", w.doc_bytes_kb, 0.0);
+    RequireMin(r, "sample_period_ms", w.sample_period_ms, 0.001);
+    if (ctx->failed()) {
+      return;
+    }
+    if (w.name.empty()) {
+      ctx->Fail(j->items[i].line, j->items[i].col, path + " needs a non-empty \"name\"");
+      return;
+    }
+    for (const WorkloadSpec& prev : spec->workloads) {
+      if (prev.name == w.name) {
+        ctx->Fail(j->items[i].line, j->items[i].col,
+                  "duplicate workload name \"" + w.name + "\"");
+        return;
+      }
+    }
+    bool found = false;
+    for (const ContainerSpec& c : spec->containers) {
+      found = found || c.name == w.container;
+    }
+    if (!found) {
+      ctx->Fail(j->items[i].line, j->items[i].col,
+                path + ": container \"" + w.container +
+                    "\" is not declared in \"containers\"");
+      return;
+    }
+    spec->workloads.push_back(std::move(w));
+  }
+}
+
+void ReadAttacks(Ctx* ctx, ObjReader& top, Spec* spec) {
+  const JValue* j = top.Get("attacks");
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  if (j->kind != JValue::Kind::kArray) {
+    ctx->Fail(j->line, j->col, "\"attacks\" must be an array");
+    return;
+  }
+  for (std::size_t i = 0; i < j->items.size(); ++i) {
+    const std::string path = "attacks[" + std::to_string(i) + "]";
+    ObjReader r(ctx, j->items[i], path);
+    AttackSpec a;
+    a.prefix = AddrSpec{"10.99.0.0", (10u << 24) | (99u << 16)};
+    a.addr = AddrSpec{"10.66.0.1", (10u << 24) | (66u << 16) | 1u};
+    static constexpr const char* kKinds[] = {"syn_flood", "conn_hoard", nullptr};
+    r.Enum("kind", &a.kind, kKinds);
+    r.Str("name", &a.name);
+    ReadAddr(ctx, r, "prefix", &a.prefix);
+    r.Num("rate_per_sec", &a.rate_per_sec);
+    ReadAddr(ctx, r, "addr", &a.addr);
+    r.Int("connections", &a.connections);
+    r.Num("open_interval_ms", &a.open_interval_ms);
+    r.Num("hold_s", &a.hold_s);
+    r.Num("start_s", &a.start_s);
+    r.Num("stop_s", &a.stop_s);
+    r.Finish();
+    if (ctx->failed()) {
+      return;
+    }
+    RequireMin(r, "rate_per_sec", a.rate_per_sec, 0.001);
+    RequireMin(r, "connections", a.connections, 1);
+    RequireMin(r, "open_interval_ms", a.open_interval_ms, 0.001);
+    RequireMin(r, "hold_s", a.hold_s, 0.0);
+    RequireMin(r, "start_s", a.start_s, 0.0);
+    RequireMin(r, "stop_s", a.stop_s, 0.0);
+    if (ctx->failed()) {
+      return;
+    }
+    if (a.name.empty()) {
+      a.name = a.kind + "-" + std::to_string(i);
+    }
+    spec->attacks.push_back(std::move(a));
+  }
+}
+
+void ReadPhases(Ctx* ctx, ObjReader& top, PhaseSpec* out) {
+  const JValue* j = top.Get("phases");
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  ObjReader r(ctx, *j, "phases");
+  r.Num("warmup_s", &out->warmup_s);
+  r.Num("measure_s", &out->measure_s);
+  r.Num("report_every_s", &out->report_every_s);
+  r.Finish();
+  if (ctx->failed()) {
+    return;
+  }
+  RequireMin(r, "warmup_s", out->warmup_s, 0.0);
+  RequireMin(r, "measure_s", out->measure_s, 0.001);
+  RequireMin(r, "report_every_s", out->report_every_s, 0.0);
+}
+
+void ReadAsserts(Ctx* ctx, ObjReader& top, Spec* spec) {
+  const JValue* j = top.Get("assert");
+  if (j == nullptr || ctx->failed()) {
+    return;
+  }
+  if (j->kind != JValue::Kind::kArray) {
+    ctx->Fail(j->line, j->col, "\"assert\" must be an array");
+    return;
+  }
+  for (std::size_t i = 0; i < j->items.size(); ++i) {
+    const std::string path = "assert[" + std::to_string(i) + "]";
+    ObjReader r(ctx, j->items[i], path);
+    AssertSpec a;
+    r.Str("metric", &a.metric);
+    double v = 0.0;
+    if (r.Get("min") != nullptr) {
+      ObjReader r2(ctx, j->items[i], path);
+      r2.Num("min", &v);
+      a.min = v;
+    }
+    if (r.Get("max") != nullptr) {
+      ObjReader r2(ctx, j->items[i], path);
+      r2.Num("max", &v);
+      a.max = v;
+    }
+    if (r.Get("approx") != nullptr) {
+      ObjReader r2(ctx, j->items[i], path);
+      r2.Num("approx", &v);
+      a.approx = v;
+    }
+    r.Num("tol", &a.tol);
+    r.Num("tol_frac", &a.tol_frac);
+    r.Finish();
+    if (ctx->failed()) {
+      return;
+    }
+    if (a.metric.empty()) {
+      ctx->Fail(j->items[i].line, j->items[i].col, path + " needs a \"metric\"");
+      return;
+    }
+    if (!a.min.has_value() && !a.max.has_value() && !a.approx.has_value()) {
+      ctx->Fail(j->items[i].line, j->items[i].col,
+                path + " needs at least one of \"min\", \"max\", \"approx\"");
+      return;
+    }
+    if (a.approx.has_value() && a.tol <= 0.0 && a.tol_frac <= 0.0) {
+      ctx->Fail(j->items[i].line, j->items[i].col,
+                path + ": \"approx\" needs \"tol\" or \"tol_frac\" > 0");
+      return;
+    }
+    spec->asserts.push_back(std::move(a));
+  }
+}
+
+void CrossValidate(Ctx* ctx, const JValue& root, Spec* spec) {
+  if (ctx->failed()) {
+    return;
+  }
+  for (std::size_t i = 0; i < spec->populations.size(); ++i) {
+    bool found = false;
+    for (const ServerSpec& s : spec->servers) {
+      found = found || s.port == spec->populations[i].port;
+    }
+    if (!found) {
+      ctx->Fail(root.line, root.col,
+                "populations[" + std::to_string(i) + "] (\"" + spec->populations[i].name +
+                    "\") targets port " + std::to_string(spec->populations[i].port) +
+                    " but no server listens there");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kUnmodified:
+      return "unmodified";
+    case SystemKind::kLrp:
+      return "lrp";
+    case SystemKind::kResourceContainer:
+      return "rc";
+  }
+  return "?";
+}
+
+std::string FilterSpec::ToString() const {
+  return (negate ? "!" : "") + base.text + "/" + std::to_string(prefix_len);
+}
+
+SpecParseResult ParseSpec(const std::string& text, const std::string& filename) {
+  SpecParseResult result;
+  Ctx ctx;
+  ctx.filename = filename;
+  ctx.lines = SplitLines(text);
+
+  Parser parser(text, &ctx);
+  const JValue root = parser.ParseDocument();
+  if (!ctx.failed() && root.kind != JValue::Kind::kObject) {
+    ctx.Fail(root.line, root.col, "the top-level value must be an object");
+  }
+  if (ctx.failed()) {
+    result.error = ctx.error;
+    return result;
+  }
+
+  Spec& spec = result.spec;
+  ObjReader top(&ctx, root, "the top level");
+  top.Str("name", &spec.name);
+  top.Str("comment", &spec.comment);
+  static constexpr const char* kSystems[] = {"unmodified", "lrp", "rc", nullptr};
+  std::string system = "rc";
+  top.Enum("system", &system, kSystems);
+  if (!ctx.failed()) {
+    spec.system = system == "unmodified" ? SystemKind::kUnmodified
+                  : system == "lrp"      ? SystemKind::kLrp
+                                         : SystemKind::kResourceContainer;
+  }
+  top.U64("seed", &spec.seed);
+  top.Num("wire_latency_usec", &spec.wire_latency_usec);
+  top.Bool("telemetry", &spec.telemetry);
+
+  ReadMachine(&ctx, top, &spec.machine);
+  ReadContainers(&ctx, top, &spec);
+  ReadServers(&ctx, top, &spec);
+  ReadFiles(&ctx, top, &spec);
+  ReadPopulations(&ctx, top, &spec);
+  ReadWorkloads(&ctx, top, &spec);
+  ReadAttacks(&ctx, top, &spec);
+  ReadPhases(&ctx, top, &spec.phases);
+  ReadAsserts(&ctx, top, &spec);
+  top.Finish();
+
+  if (!ctx.failed() && spec.name.empty()) {
+    ctx.Fail(root.line, root.col, "missing required key \"name\"");
+  }
+  if (!ctx.failed()) {
+    RequireMin(top, "wire_latency_usec", spec.wire_latency_usec, 0.0);
+  }
+  CrossValidate(&ctx, root, &spec);
+
+  if (ctx.failed()) {
+    result.error = ctx.error;
+    result.spec = Spec{};
+  }
+  return result;
+}
+
+SpecParseResult ParseSpecFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    SpecParseResult result;
+    result.error = path + ": cannot open file";
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSpec(buf.str(), path);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical dump
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Shortest representation that parses back to the same double.
+std::string FormatNum(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<std::int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+// Tiny structured writer so every section dumps with the same style.
+class Dumper {
+ public:
+  explicit Dumper(std::ostringstream* os) : os_(os) {}
+
+  void Open(const char* brace) {
+    Pad();
+    *os_ << brace << "\n";
+    ++indent_;
+    first_in_level_ = true;
+  }
+
+  void OpenField(const std::string& key, const char* brace) {
+    Key(key);
+    *os_ << brace << "\n";
+    ++indent_;
+    first_in_level_ = true;
+  }
+
+  void Close(const char* brace) {
+    *os_ << "\n";
+    --indent_;
+    Pad();
+    *os_ << brace;
+    first_in_level_ = false;
+  }
+
+  void Field(const std::string& key, const std::string& raw) {
+    Key(key);
+    *os_ << raw;
+    first_in_level_ = false;
+  }
+
+  void Str(const std::string& key, const std::string& v) { Field(key, Quote(v)); }
+  void Num(const std::string& key, double v) { Field(key, FormatNum(v)); }
+  void Bool(const std::string& key, bool v) { Field(key, v ? "true" : "false"); }
+
+  void Item() {
+    if (!first_in_level_) {
+      *os_ << ",\n";
+    }
+    first_in_level_ = true;  // the upcoming Open() emits its own padding
+  }
+
+ private:
+  void Key(const std::string& key) {
+    if (!first_in_level_) {
+      *os_ << ",\n";
+    }
+    Pad();
+    *os_ << Quote(key) << ": ";
+    first_in_level_ = false;
+  }
+
+  void Pad() {
+    for (int i = 0; i < indent_; ++i) {
+      *os_ << "  ";
+    }
+  }
+
+  std::ostringstream* const os_;
+  int indent_ = 0;
+  bool first_in_level_ = true;
+};
+
+void DumpSched(Dumper& d, const rc::SchedParams& s) {
+  d.Str("class", s.cls == rc::SchedClass::kFixedShare ? "fixed_share" : "time_share");
+  d.Num("priority", s.priority);
+  d.Num("share", s.fixed_share);
+}
+
+void DumpPolicy(Dumper& d, const std::string& key, const rc::ResourcePolicy& p) {
+  if (!p.override_sched && p.limit == 0.0) {
+    return;  // default policy: inherit CPU sched, no cap — omit entirely
+  }
+  d.OpenField(key, "{");
+  if (p.override_sched) {
+    DumpSched(d, p.sched);
+  }
+  d.Num("limit", p.limit);
+  d.Close("}");
+}
+
+void DumpServerBody(Dumper& d, const ServerSpec& s) {
+  d.Str("arch", s.arch);
+  d.Num("port", s.port);
+  if (!s.container.empty()) {
+    d.Str("container", s.container);
+  }
+  d.Bool("use_containers", s.use_containers);
+  d.Bool("use_event_api", s.use_event_api);
+  d.Bool("sort_ready_by_priority", s.sort_ready_by_priority);
+  d.Bool("nest_under_default", s.nest_under_default);
+  d.Bool("cgi_sandbox", s.cgi_sandbox);
+  d.Num("cgi_share", s.cgi_share);
+  d.Bool("cgi_new_principal", s.cgi_new_principal);
+  d.Bool("syn_defense", s.syn_defense);
+  d.Num("syn_defense_threshold", static_cast<double>(s.syn_defense_threshold));
+  d.Num("syn_backlog", s.syn_backlog);
+  d.Num("accept_backlog", s.accept_backlog);
+  d.Num("cache_capacity_mb", s.cache_capacity_mb);
+  d.Num("file_miss_penalty_usec", s.file_miss_penalty_usec);
+  d.Bool("use_disk_model", s.use_disk_model);
+  d.Num("worker_threads", s.worker_threads);
+  d.Num("worker_processes", s.worker_processes);
+  if (!s.classes.empty()) {
+    d.OpenField("classes", "[");
+    for (const ListenClassSpec& c : s.classes) {
+      d.Item();
+      d.Open("{");
+      d.Str("name", c.name);
+      d.Str("filter", c.filter.ToString());
+      d.Num("priority", c.priority);
+      d.Num("fixed_share", c.fixed_share);
+      d.Num("cpu_limit", c.cpu_limit);
+      d.Close("}");
+    }
+    d.Close("]");
+  }
+}
+
+void DumpSizeDist(Dumper& d, const std::string& key, const SizeDistSpec& s) {
+  d.OpenField(key, "{");
+  d.Str("dist", s.dist);
+  if (s.dist == "fixed") {
+    d.Num("fixed_kb", s.fixed_kb);
+  } else if (s.dist == "table") {
+    d.OpenField("table", "[");
+    for (const SizeDistSpec::TableEntry& e : s.table) {
+      d.Item();
+      d.Open("{");
+      d.Num("kb", e.kb);
+      d.Num("weight", e.weight);
+      d.Close("}");
+    }
+    d.Close("]");
+  } else {
+    d.Num("alpha", s.pareto_alpha);
+    d.Num("min_kb", s.pareto_min_kb);
+    d.Num("max_kb", s.pareto_max_kb);
+  }
+  d.Close("}");
+}
+
+}  // namespace
+
+std::string DumpSpec(const Spec& spec) {
+  std::ostringstream os;
+  Dumper d(&os);
+  d.Open("{");
+  d.Str("name", spec.name);
+  if (!spec.comment.empty()) {
+    d.Str("comment", spec.comment);
+  }
+  d.Str("system", SystemKindName(spec.system));
+  d.OpenField("machine", "{");
+  d.Num("cpus", spec.machine.cpus);
+  d.Str("irq_steering", spec.machine.irq_steering);
+  d.Num("link_mbps", spec.machine.link_mbps);
+  d.Num("memory_mb", spec.machine.memory_mb);
+  d.Close("}");
+  d.Num("seed", static_cast<double>(spec.seed));
+  d.Num("wire_latency_usec", spec.wire_latency_usec);
+  d.Bool("telemetry", spec.telemetry);
+
+  if (!spec.containers.empty()) {
+    d.OpenField("containers", "[");
+    for (const ContainerSpec& c : spec.containers) {
+      d.Item();
+      d.Open("{");
+      d.Str("name", c.name);
+      if (!c.parent.empty()) {
+        d.Str("parent", c.parent);
+      }
+      DumpSched(d, c.attrs.sched);
+      d.Num("cpu_limit", c.attrs.cpu_limit);
+      d.Num("memory_limit_mb",
+            static_cast<double>(c.attrs.memory_limit_bytes) / (1024.0 * 1024.0));
+      d.Num("network_priority", c.attrs.network_priority);
+      DumpPolicy(d, "disk", c.attrs.disk);
+      DumpPolicy(d, "link", c.attrs.link);
+      DumpPolicy(d, "memory", c.attrs.memory);
+      d.Close("}");
+    }
+    d.Close("]");
+  }
+
+  if (spec.servers.size() == 1) {
+    d.OpenField("server", "{");
+    DumpServerBody(d, spec.servers.front());
+    d.Close("}");
+  } else if (!spec.servers.empty()) {
+    d.OpenField("servers", "[");
+    for (const ServerSpec& s : spec.servers) {
+      d.Item();
+      d.Open("{");
+      DumpServerBody(d, s);
+      d.Close("}");
+    }
+    d.Close("]");
+  }
+
+  if (!spec.files.empty()) {
+    d.OpenField("files", "[");
+    for (const FileSetSpec& f : spec.files) {
+      d.Item();
+      d.Open("{");
+      d.Num("first_doc_id", f.first_doc_id);
+      d.Num("count", f.count);
+      DumpSizeDist(d, "size", f.size);
+      d.Close("}");
+    }
+    d.Close("]");
+  }
+
+  if (!spec.populations.empty()) {
+    d.OpenField("populations", "[");
+    for (const PopulationSpec& p : spec.populations) {
+      d.Item();
+      d.Open("{");
+      d.Str("name", p.name);
+      d.Str("arrival", p.arrival);
+      d.Num("clients", p.clients);
+      if (p.arrival == "open_loop") {
+        d.Num("rate_per_sec", p.rate_per_sec);
+        d.Num("conns_per_session", p.conns_per_session);
+      }
+      if (p.arrival == "on_off") {
+        d.Num("on_s", p.on_s);
+        d.Num("off_s", p.off_s);
+      }
+      d.Str("layout", p.layout);
+      d.Str("base_addr", p.base_addr.text);
+      d.Num("class", p.client_class);
+      d.Num("requests_per_conn", p.requests_per_conn);
+      if (p.docs_count > 0) {
+        d.Num("docs_first_id", p.docs_first_id);
+        d.Num("docs_count", p.docs_count);
+      } else {
+        d.Num("doc_id", p.doc_id);
+        d.Num("response_kb", p.response_kb);
+      }
+      d.Bool("is_cgi", p.is_cgi);
+      if (p.is_cgi) {
+        d.Num("cgi_cpu_ms", p.cgi_cpu_ms);
+      }
+      d.Num("think_ms", p.think_ms);
+      d.Num("connect_timeout_ms", p.connect_timeout_ms);
+      d.Num("request_timeout_s", p.request_timeout_s);
+      d.Num("retry_backoff_ms", p.retry_backoff_ms);
+      d.Num("port", p.port);
+      d.Num("start_s", p.start_s);
+      d.Num("stagger_ms", p.stagger_ms);
+      d.Num("stop_s", p.stop_s);
+      d.Close("}");
+    }
+    d.Close("]");
+  }
+
+  if (!spec.workloads.empty()) {
+    d.OpenField("workloads", "[");
+    for (const WorkloadSpec& w : spec.workloads) {
+      d.Item();
+      d.Open("{");
+      d.Str("kind", w.kind);
+      d.Str("name", w.name);
+      d.Str("container", w.container);
+      if (w.kind == "disk_reader") {
+        d.Num("threads", w.threads);
+        d.Num("read_kb", w.read_kb);
+      } else if (w.kind == "cache_stream") {
+        d.Num("period_ms", w.period_ms);
+        d.Num("bytes_kb", w.bytes_kb);
+      } else {
+        d.Num("docs", w.docs);
+        d.Num("doc_bytes_kb", w.doc_bytes_kb);
+        d.Num("sample_period_ms", w.sample_period_ms);
+      }
+      if (w.first_doc_id != 0) {
+        d.Num("first_doc_id", w.first_doc_id);
+      }
+      d.Close("}");
+    }
+    d.Close("]");
+  }
+
+  if (!spec.attacks.empty()) {
+    d.OpenField("attacks", "[");
+    for (const AttackSpec& a : spec.attacks) {
+      d.Item();
+      d.Open("{");
+      d.Str("kind", a.kind);
+      d.Str("name", a.name);
+      if (a.kind == "syn_flood") {
+        d.Str("prefix", a.prefix.text);
+        d.Num("rate_per_sec", a.rate_per_sec);
+      } else {
+        d.Str("addr", a.addr.text);
+        d.Num("connections", a.connections);
+        d.Num("open_interval_ms", a.open_interval_ms);
+        d.Num("hold_s", a.hold_s);
+      }
+      d.Num("start_s", a.start_s);
+      d.Num("stop_s", a.stop_s);
+      d.Close("}");
+    }
+    d.Close("]");
+  }
+
+  d.OpenField("phases", "{");
+  d.Num("warmup_s", spec.phases.warmup_s);
+  d.Num("measure_s", spec.phases.measure_s);
+  d.Num("report_every_s", spec.phases.report_every_s);
+  d.Close("}");
+
+  if (!spec.asserts.empty()) {
+    d.OpenField("assert", "[");
+    for (const AssertSpec& a : spec.asserts) {
+      d.Item();
+      d.Open("{");
+      d.Str("metric", a.metric);
+      if (a.min.has_value()) {
+        d.Num("min", *a.min);
+      }
+      if (a.max.has_value()) {
+        d.Num("max", *a.max);
+      }
+      if (a.approx.has_value()) {
+        d.Num("approx", *a.approx);
+        if (a.tol > 0.0) {
+          d.Num("tol", a.tol);
+        }
+        if (a.tol_frac > 0.0) {
+          d.Num("tol_frac", a.tol_frac);
+        }
+      }
+      d.Close("}");
+    }
+    d.Close("]");
+  }
+
+  d.Close("}");
+  os << "\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Overlay
+// ---------------------------------------------------------------------------
+
+std::string ApplyOverlay(Spec& spec, const SpecOverlay& overlay) {
+  if (overlay.cpus.has_value()) {
+    if (*overlay.cpus < 1 || *overlay.cpus > 64) {
+      return "--cpus: must be in [1, 64]";
+    }
+    spec.machine.cpus = *overlay.cpus;
+  }
+  if (overlay.system.has_value()) {
+    spec.system = *overlay.system;
+  }
+  if (overlay.seed.has_value()) {
+    spec.seed = *overlay.seed;
+  }
+  if (overlay.telemetry.has_value()) {
+    spec.telemetry = *overlay.telemetry;
+  }
+  if (overlay.warmup_s.has_value()) {
+    if (*overlay.warmup_s < 0.0) {
+      return "--warmup: must be >= 0";
+    }
+    spec.phases.warmup_s = *overlay.warmup_s;
+  }
+  if (overlay.measure_s.has_value()) {
+    if (*overlay.measure_s <= 0.0) {
+      return "--duration: must be > 0";
+    }
+    spec.phases.measure_s = *overlay.measure_s;
+  }
+  if (overlay.static_clients.has_value()) {
+    PopulationSpec* target = nullptr;
+    for (PopulationSpec& p : spec.populations) {
+      if (p.name == "static") {
+        target = &p;
+      }
+    }
+    if (target == nullptr) {
+      return "--clients: spec has no population named \"static\"";
+    }
+    if (*overlay.static_clients < 1) {
+      return "--clients: must be >= 1";
+    }
+    target->clients = *overlay.static_clients;
+  }
+  if (overlay.cgi_clients.has_value()) {
+    if (*overlay.cgi_clients < 0) {
+      return "--cgi: must be >= 0";
+    }
+    std::size_t idx = spec.populations.size();
+    for (std::size_t i = 0; i < spec.populations.size(); ++i) {
+      if (spec.populations[i].name == "cgi") {
+        idx = i;
+      }
+    }
+    if (idx == spec.populations.size()) {
+      return "--cgi: spec has no population named \"cgi\"";
+    }
+    if (*overlay.cgi_clients == 0) {
+      spec.populations.erase(spec.populations.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      spec.populations[idx].clients = *overlay.cgi_clients;
+    }
+  }
+  if (overlay.flood_rate.has_value()) {
+    if (*overlay.flood_rate < 0.0) {
+      return "--flood: must be >= 0";
+    }
+    if (*overlay.flood_rate == 0.0) {
+      for (std::size_t i = spec.attacks.size(); i > 0; --i) {
+        if (spec.attacks[i - 1].kind == "syn_flood") {
+          spec.attacks.erase(spec.attacks.begin() + static_cast<std::ptrdiff_t>(i - 1));
+        }
+      }
+    } else {
+      AttackSpec* target = nullptr;
+      for (AttackSpec& a : spec.attacks) {
+        if (a.kind == "syn_flood" && target == nullptr) {
+          target = &a;
+        }
+      }
+      if (target == nullptr) {
+        AttackSpec a;
+        a.kind = "syn_flood";
+        a.name = "flood";
+        a.prefix = AddrSpec{"10.99.1.0", (10u << 24) | (99u << 16) | (1u << 8)};
+        a.addr = AddrSpec{"10.66.0.1", (10u << 24) | (66u << 16) | 1u};
+        spec.attacks.push_back(std::move(a));
+        target = &spec.attacks.back();
+      }
+      target->rate_per_sec = *overlay.flood_rate;
+    }
+  }
+  return "";
+}
+
+}  // namespace xp

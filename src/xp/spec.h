@@ -1,0 +1,329 @@
+// Declarative experiment specs: the scenario compiler's input language.
+//
+// A spec file is a JSON-subset document (objects, arrays, strings, numbers,
+// booleans; `//` line comments allowed) describing one complete experiment:
+// the simulated machine and kernel variant, the server architecture(s), the
+// container policy tree, the file set, client populations with their arrival
+// processes, background workloads, fault/attack injections, run phases, and
+// expected-outcome assertions. ParseSpec validates eagerly — unknown keys,
+// bad ranges, and dangling references are hard errors carrying file:line
+// plus the offending source line — so every downstream consumer can trust a
+// Spec. Compile (src/xp/runner.h) is the single path from a Spec to a
+// running xp::Scenario.
+//
+// This layer deliberately knows nothing about the simulator's internals: it
+// speaks plain values (seconds, megabytes, dotted-quad strings) plus
+// rc::Attributes, and the compiler does the mapping. rclint enforces that
+// spec.{h,cc} never include kernel/, net/, or disk/ headers.
+#ifndef SRC_XP_SPEC_H_
+#define SRC_XP_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/rc/attributes.h"
+
+namespace xp {
+
+// ---------------------------------------------------------------------------
+// Spec vocabulary
+// ---------------------------------------------------------------------------
+
+// Which evaluated system runs the experiment (EXPERIMENTS.md's three
+// kernels: unmodified softint, LRP, resource containers).
+enum class SystemKind {
+  kUnmodified,
+  kLrp,
+  kResourceContainer,
+};
+
+struct MachineSpec {
+  int cpus = 1;
+  // "flow_hash" | "cpu0" | "round_robin": which CPU device interrupts land
+  // on (cpus > 1).
+  std::string irq_steering = "flow_hash";
+  double link_mbps = 0.0;    // 0 = transmit-link model off
+  double memory_mb = 0.0;    // 0 = memory broker off
+};
+
+// A dotted-quad IPv4 address, stored parsed (host byte order) plus the
+// original text for round-tripping.
+struct AddrSpec {
+  std::string text = "0.0.0.0";
+  std::uint32_t value = 0;
+};
+
+// "<addr>/<prefix_len>" with optional leading '!' (complement filter).
+struct FilterSpec {
+  AddrSpec base;
+  int prefix_len = 0;
+  bool negate = false;
+  std::string ToString() const;
+};
+
+// One listen class of a server (Section 4.8 <port, filter> bindings).
+struct ListenClassSpec {
+  std::string name = "default";
+  FilterSpec filter;  // default: match-all
+  int priority = rc::kDefaultPriority;
+  double fixed_share = 0.0;
+  double cpu_limit = 0.0;
+};
+
+struct ServerSpec {
+  // "event" | "threaded" | "prefork".
+  std::string arch = "event";
+  int port = 80;
+  std::vector<ListenClassSpec> classes;  // empty = one match-all default class
+
+  // Name of a container from Spec::containers to run the server in (the
+  // virtual-server guest); empty = the kernel's root default container.
+  std::string container;
+
+  bool use_containers = false;
+  bool use_event_api = false;
+  bool sort_ready_by_priority = true;
+  bool nest_under_default = false;
+
+  bool cgi_sandbox = false;
+  double cgi_share = 0.30;
+  bool cgi_new_principal = true;
+
+  bool syn_defense = false;
+  std::int64_t syn_defense_threshold = 100;
+
+  int syn_backlog = 1024;
+  int accept_backlog = 128;
+
+  double cache_capacity_mb = 0.0;  // 0 = unbounded file cache
+  double file_miss_penalty_usec = 200.0;
+  bool use_disk_model = false;
+
+  int worker_threads = 16;    // threaded arch
+  int worker_processes = 8;   // prefork arch
+};
+
+// One node of the container policy tree, created before servers start.
+// `attrs` covers all four resources (CPU sched/limit, disk, link, memory).
+struct ContainerSpec {
+  std::string name;
+  std::string parent;  // empty = top-level
+  rc::Attributes attrs;
+};
+
+// Document sizes for generated file sets.
+struct SizeDistSpec {
+  // "fixed" | "table" | "pareto".
+  std::string dist = "fixed";
+  double fixed_kb = 1.0;
+  struct TableEntry {
+    double kb = 0.0;
+    double weight = 0.0;
+  };
+  std::vector<TableEntry> table;
+  double pareto_alpha = 1.2;
+  double pareto_min_kb = 0.25;
+  double pareto_max_kb = 1024.0;
+};
+
+// A run of documents pre-loaded into the file cache. Sizes are drawn from
+// `size` with the spec's root seed, so a file set is a pure function of the
+// spec.
+struct FileSetSpec {
+  std::uint32_t first_doc_id = 1;
+  int count = 1;
+  SizeDistSpec size;
+};
+
+struct PopulationSpec {
+  std::string name = "clients";
+  // "closed_loop" | "open_loop" | "on_off".
+  std::string arrival = "closed_loop";
+  int clients = 1;
+
+  double rate_per_sec = 100.0;  // open_loop session arrival rate
+  int conns_per_session = 1;    // open_loop connections per session
+  double on_s = 1.0;            // on_off burst length
+  double off_s = 1.0;           // on_off silence length
+
+  // "flat" | "blocks250".
+  std::string layout = "flat";
+  AddrSpec base_addr;  // default 10.0.0.0
+
+  int client_class = 0;
+  int requests_per_conn = 1;
+
+  // Fixed document (when `docs` empty) ...
+  std::uint32_t doc_id = 1;
+  double response_kb = 1.0;
+  // ... or a reference into a FileSetSpec id range: each request picks
+  // uniformly among [first_doc_id, first_doc_id+count).
+  std::uint32_t docs_first_id = 0;
+  int docs_count = 0;
+
+  bool is_cgi = false;
+  double cgi_cpu_ms = 20.0;
+
+  double think_ms = 0.0;
+  double connect_timeout_ms = 500.0;
+  double request_timeout_s = 10.0;
+  double retry_backoff_ms = 10.0;
+
+  // Which server this population targets (port of Spec::servers entry).
+  int port = 80;
+
+  // start_s == 0 chains onto the global 1 ms client stagger (all such
+  // populations start back-to-back at t=0, like StartAllClients); > 0 is an
+  // absolute start. stop_s > 0 stops the population mid-run (flash crowds).
+  double start_s = 0.0;
+  double stagger_ms = 1.0;
+  double stop_s = 0.0;
+};
+
+// Non-HTTP background workloads (rcsim's disk / memory experiments).
+struct WorkloadSpec {
+  // "disk_reader": `threads` closed-loop threads issuing `read_kb` reads
+  //     against distinct file blocks, in container `container`.
+  // "cache_stream": inserts a `bytes_kb` document into the file cache every
+  //     `period_ms`, charged to `container` (memory-pressure generator).
+  // "cache_pin": loads `docs` documents of `doc_bytes_kb` once (0 = size
+  //     them so the set equals the container's guaranteed resident bytes)
+  //     and samples resident bytes every `sample_period_ms`, tracking the
+  //     minimum held across the run (memory-guarantee victim).
+  std::string kind = "disk_reader";
+  std::string name;
+  std::string container;  // reference into Spec::containers (required)
+
+  int threads = 4;            // disk_reader
+  double read_kb = 64.0;      // disk_reader
+  double period_ms = 1.0;     // cache_stream
+  double bytes_kb = 64.0;     // cache_stream
+  int docs = 32;              // cache_pin
+  double doc_bytes_kb = 0.0;  // cache_pin; 0 = guarantee / docs
+  double sample_period_ms = 100.0;  // cache_pin
+  std::uint32_t first_doc_id = 0;  // 0 = auto-allocated above the file set
+};
+
+struct AttackSpec {
+  // "syn_flood" | "conn_hoard".
+  std::string kind = "syn_flood";
+  std::string name;
+
+  // syn_flood: bogus SYNs from random hosts inside `prefix`/24.
+  AddrSpec prefix;  // default 10.99.0.0
+  double rate_per_sec = 10000.0;
+
+  // conn_hoard: handshakes that never send a request.
+  AddrSpec addr;  // default 10.66.0.1
+  int connections = 100;
+  double open_interval_ms = 10.0;
+  double hold_s = 0.0;  // 0 = hold forever
+
+  double start_s = 0.0;
+  double stop_s = 0.0;  // 0 = never stop
+};
+
+struct PhaseSpec {
+  double warmup_s = 2.0;   // run, then reset client stats
+  double measure_s = 10.0;  // measured interval
+  // > 0: print per-interval goodput lines during measurement (timeline
+  // experiments like the SYN-flood defense trace).
+  double report_every_s = 0.0;
+};
+
+// An expected-outcome assertion over the run's metric namespace (see
+// docs/SCENARIOS.md for the metric names). Any combination of bounds may be
+// present; `approx` requires `tol` or `tol_frac`.
+struct AssertSpec {
+  std::string metric;
+  std::optional<double> min;
+  std::optional<double> max;
+  std::optional<double> approx;
+  double tol = 0.0;       // absolute tolerance for approx
+  double tol_frac = 0.0;  // relative tolerance for approx
+};
+
+struct Spec {
+  std::string name;
+  std::string comment;
+
+  SystemKind system = SystemKind::kResourceContainer;
+  MachineSpec machine;
+  std::uint64_t seed = 42;
+  double wire_latency_usec = 100.0;
+  bool telemetry = false;
+
+  std::vector<ContainerSpec> containers;
+  std::vector<ServerSpec> servers;
+  std::vector<FileSetSpec> files;
+  std::vector<PopulationSpec> populations;
+  std::vector<WorkloadSpec> workloads;
+  std::vector<AttackSpec> attacks;
+  PhaseSpec phases;
+  std::vector<AssertSpec> asserts;
+};
+
+// ---------------------------------------------------------------------------
+// Parsing / serialization
+// ---------------------------------------------------------------------------
+
+// Outcome of parsing: either a validated Spec or one formatted diagnostic.
+// Errors look like
+//   scenarios/foo.json:12:7: unknown key "clents" in populations[0]
+//     12 |     "clents": 300,
+// and parsing is fail-fast (first error wins).
+struct SpecParseResult {
+  bool ok() const { return error.empty(); }
+  Spec spec;
+  std::string error;
+};
+
+// Parses and validates `text`. `filename` is used in diagnostics only.
+SpecParseResult ParseSpec(const std::string& text, const std::string& filename);
+
+// Reads `path` and parses it. A missing/unreadable file is a parse error.
+SpecParseResult ParseSpecFile(const std::string& path);
+
+// Canonical serialization: parse(DumpSpec(s)) == s, and dumping twice is
+// byte-identical (round-trip tests pin this).
+std::string DumpSpec(const Spec& spec);
+
+// ---------------------------------------------------------------------------
+// Command-line overlay
+// ---------------------------------------------------------------------------
+
+// Values from rcsim flags layered over a loaded Spec — flags win over the
+// file. Every overlay either takes effect or fails loudly: targeting a
+// population/workload the spec does not define is an error, never a silent
+// no-op.
+struct SpecOverlay {
+  std::optional<int> cpus;
+  std::optional<SystemKind> system;
+  std::optional<std::uint64_t> seed;
+  std::optional<bool> telemetry;
+  std::optional<double> warmup_s;
+  std::optional<double> measure_s;
+  // Resizes the population named "static" (rcsim --clients).
+  std::optional<int> static_clients;
+  // Resizes the population named "cgi" (rcsim --cgi); 0 removes it.
+  std::optional<int> cgi_clients;
+  // Sets the rate of the first syn_flood attack (rcsim --flood), adding one
+  // with defaults if the spec has none; 0 removes them all.
+  std::optional<double> flood_rate;
+};
+
+// Applies `overlay` to `spec`. Returns a non-empty diagnostic on failure
+// (e.g. "--clients: spec has no population named \"static\"").
+std::string ApplyOverlay(Spec& spec, const SpecOverlay& overlay);
+
+// ---------------------------------------------------------------------------
+// Helpers shared with the compiler
+// ---------------------------------------------------------------------------
+
+const char* SystemKindName(SystemKind kind);
+
+}  // namespace xp
+
+#endif  // SRC_XP_SPEC_H_

@@ -1,0 +1,6 @@
+// Layering fixture, negative case: the scenario compiler (everything in
+// src/xp/ except spec*) is exactly where simulator internals belong.
+#include "src/kernel/kernel.h"
+#include "src/net/addr.h"
+
+void RunnerLayerOk() {}

@@ -1,0 +1,7 @@
+// Layering fixture: the spec layer (src/xp/spec*) speaks plain values and
+// rc::Attributes only; reaching into simulator internals is illegal.
+#include "src/kernel/kernel.h"  // illegal: spec -> kernel
+#include "src/net/addr.h"       // illegal: spec -> net
+#include "src/disk/disk.h"      // illegal: spec -> disk
+
+void SpecLayerBad() {}

@@ -133,6 +133,26 @@ TEST(RclintLayeringTest, DownwardIncludesAreQuiet) {
       Analyze("src/kernel/x.cc", "#include \"src/sim/time.h\"\n").empty());
 }
 
+TEST(RclintLayeringTest, SpecLayerMayNotTouchSimulatorInternals) {
+  EXPECT_TRUE(HasRule(
+      Analyze("src/xp/spec.cc", "#include \"src/kernel/kernel.h\"\n"),
+      Rule::kLayering));
+  EXPECT_TRUE(HasRule(Analyze("src/xp/spec.h", "#include \"src/net/addr.h\"\n"),
+                      Rule::kLayering));
+  EXPECT_TRUE(HasRule(
+      Analyze("src/xp/spec.cc", "#include \"src/disk/disk.h\"\n"),
+      Rule::kLayering));
+}
+
+TEST(RclintLayeringTest, CompilerMayTouchSimulatorInternals) {
+  // Only spec.{h,cc} is value-only; the scenario compiler next to it does
+  // the mapping onto the live simulator.
+  EXPECT_TRUE(
+      Analyze("src/xp/runner.cc", "#include \"src/kernel/kernel.h\"\n").empty());
+  EXPECT_TRUE(
+      Analyze("src/xp/spec.cc", "#include \"src/rc/attributes.h\"\n").empty());
+}
+
 // --- suppressions ----------------------------------------------------------
 
 TEST(RclintSuppressionTest, ReasonedSuppressionSilencesNextCodeLine) {

@@ -1,0 +1,322 @@
+// The spec layer's contract: diagnostics carry file:line:col plus the
+// offending source line, unknown keys are hard errors, DumpSpec round-trips
+// byte-for-byte, defaults are pinned, the flag overlay either takes effect
+// or fails loudly, and compiling the same spec twice reproduces the same
+// timeline digest.
+#include <gtest/gtest.h>
+
+#include "src/xp/runner.h"
+#include "src/xp/spec.h"
+
+namespace {
+
+xp::SpecParseResult Parse(const std::string& text) {
+  return xp::ParseSpec(text, "test.json");
+}
+
+// --- diagnostics ------------------------------------------------------------
+
+TEST(SpecDiagnosticsTest, UnknownKeyIsAHardErrorWithLocationAndExcerpt) {
+  const auto r = Parse(
+      "{\n"
+      "  \"name\": \"x\",\n"
+      "  \"populations\": [\n"
+      "    {\"clents\": 300}\n"
+      "  ]\n"
+      "}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error,
+            "test.json:4:6: unknown key \"clents\" in populations[0]\n"
+            "  4 |     {\"clents\": 300}");
+}
+
+TEST(SpecDiagnosticsTest, DuplicateKeyIsAnError) {
+  const auto r = Parse("{\"name\": \"x\", \"name\": \"y\"}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("duplicate key \"name\""), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("test.json:1:"), std::string::npos) << r.error;
+}
+
+TEST(SpecDiagnosticsTest, BadEnumValueListsTheChoices) {
+  const auto r = Parse("{\"name\": \"x\", \"system\": \"windows\"}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("invalid value \"windows\""), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("unmodified"), std::string::npos) << r.error;
+}
+
+TEST(SpecDiagnosticsTest, MalformedJsonPointsAtTheOffendingLine) {
+  const auto r = Parse(
+      "{\n"
+      "  \"name\": \"x\"\n"
+      "  \"seed\": 1\n"
+      "}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("test.json:3:"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("3 |"), std::string::npos) << r.error;
+}
+
+TEST(SpecDiagnosticsTest, DanglingContainerReferenceIsAnError) {
+  const auto r = Parse(
+      "{\"name\": \"x\", \"workloads\": ["
+      "{\"kind\": \"disk_reader\", \"name\": \"w\", \"container\": \"nope\"}]}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("\"nope\""), std::string::npos) << r.error;
+}
+
+TEST(SpecDiagnosticsTest, MissingNameIsAnError) {
+  const auto r = Parse("{\"seed\": 7}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("missing required key \"name\""), std::string::npos)
+      << r.error;
+}
+
+TEST(SpecDiagnosticsTest, RangeViolationNamesTheKeyAndPath) {
+  const auto r = Parse("{\"name\": \"x\", \"machine\": {\"cpus\": 0}}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("\"cpus\""), std::string::npos) << r.error;
+}
+
+TEST(SpecDiagnosticsTest, CommentsAreAllowed) {
+  const auto r = Parse(
+      "// a scenario\n"
+      "{\"name\": \"x\"}  // trailing\n");
+  EXPECT_TRUE(r.ok()) << r.error;
+}
+
+// --- round-trip -------------------------------------------------------------
+
+TEST(SpecRoundTripTest, DumpParseDumpIsByteIdentical) {
+  const auto r = Parse(
+      "{\n"
+      "  \"name\": \"rt\", \"system\": \"rc\", \"seed\": 7,\n"
+      "  \"machine\": {\"cpus\": 2, \"link_mbps\": 20, \"memory_mb\": 16},\n"
+      "  \"containers\": [\n"
+      "    {\"name\": \"a\", \"class\": \"fixed_share\", \"share\": 0.5,\n"
+      "     \"disk\": {\"class\": \"fixed_share\", \"share\": 0.3}},\n"
+      "    {\"name\": \"b\", \"parent\": \"a\"}\n"
+      "  ],\n"
+      "  \"servers\": [{\"port\": 80, \"container\": \"a\", \"syn_defense\": true,\n"
+      "    \"classes\": [{\"name\": \"gold\", \"filter\": \"10.1.0.0/16\","
+      " \"priority\": 48}]}],\n"
+      "  \"files\": [{\"first_doc_id\": 5, \"count\": 10,\n"
+      "    \"size\": {\"dist\": \"pareto\", \"alpha\": 1.1, \"min_kb\": 1,"
+      " \"max_kb\": 64}}],\n"
+      "  \"populations\": [{\"name\": \"p\", \"arrival\": \"open_loop\","
+      " \"clients\": 4, \"rate_per_sec\": 10, \"docs_first_id\": 5,"
+      " \"docs_count\": 10}],\n"
+      "  \"workloads\": [{\"kind\": \"cache_pin\", \"name\": \"w\","
+      " \"container\": \"a\", \"docs\": 8}],\n"
+      "  \"attacks\": [{\"kind\": \"conn_hoard\", \"addr\": \"10.66.0.9\","
+      " \"connections\": 5, \"start_s\": 1}],\n"
+      "  \"phases\": {\"warmup_s\": 1, \"measure_s\": 2, \"report_every_s\": 1},\n"
+      "  \"assert\": [{\"metric\": \"throughput_rps\", \"min\": 1},\n"
+      "    {\"metric\": \"cpu_busy_frac\", \"approx\": 0.5, \"tol\": 0.1}]\n"
+      "}\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const std::string once = xp::DumpSpec(r.spec);
+  const auto r2 = xp::ParseSpec(once, "dump.json");
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(once, xp::DumpSpec(r2.spec));
+}
+
+TEST(SpecRoundTripTest, MinimalSpecRoundTrips) {
+  const auto r = Parse("{\"name\": \"m\"}");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const std::string once = xp::DumpSpec(r.spec);
+  const auto r2 = xp::ParseSpec(once, "dump.json");
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(once, xp::DumpSpec(r2.spec));
+}
+
+// --- defaults ---------------------------------------------------------------
+
+TEST(SpecDefaultsTest, TopLevelDefaultsArePinned) {
+  const auto r = Parse("{\"name\": \"d\"}");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const xp::Spec& s = r.spec;
+  EXPECT_EQ(s.system, xp::SystemKind::kResourceContainer);
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_DOUBLE_EQ(s.wire_latency_usec, 100.0);
+  EXPECT_FALSE(s.telemetry);
+  EXPECT_EQ(s.machine.cpus, 1);
+  EXPECT_EQ(s.machine.irq_steering, "flow_hash");
+  EXPECT_DOUBLE_EQ(s.machine.link_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(s.machine.memory_mb, 0.0);
+  EXPECT_DOUBLE_EQ(s.phases.warmup_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.phases.measure_s, 10.0);
+  EXPECT_DOUBLE_EQ(s.phases.report_every_s, 0.0);
+  EXPECT_TRUE(s.servers.empty());
+  EXPECT_TRUE(s.populations.empty());
+}
+
+TEST(SpecDefaultsTest, ServerAndPopulationDefaultsArePinned) {
+  const auto r = Parse(
+      "{\"name\": \"d\", \"server\": {}, \"populations\": [{}]}");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const xp::ServerSpec& srv = r.spec.servers.at(0);
+  EXPECT_EQ(srv.arch, "event");
+  EXPECT_EQ(srv.port, 80);
+  EXPECT_FALSE(srv.use_containers);
+  EXPECT_FALSE(srv.use_event_api);
+  EXPECT_TRUE(srv.sort_ready_by_priority);
+  EXPECT_DOUBLE_EQ(srv.cgi_share, 0.30);
+  EXPECT_EQ(srv.syn_defense_threshold, 100);
+  EXPECT_EQ(srv.syn_backlog, 1024);
+  EXPECT_EQ(srv.accept_backlog, 128);
+  EXPECT_DOUBLE_EQ(srv.file_miss_penalty_usec, 200.0);
+  EXPECT_EQ(srv.worker_threads, 16);
+  EXPECT_EQ(srv.worker_processes, 8);
+  const xp::PopulationSpec& pop = r.spec.populations.at(0);
+  EXPECT_EQ(pop.name, "clients");
+  EXPECT_EQ(pop.arrival, "closed_loop");
+  EXPECT_EQ(pop.clients, 1);
+  EXPECT_EQ(pop.layout, "flat");
+  EXPECT_EQ(pop.client_class, 0);
+  EXPECT_EQ(pop.requests_per_conn, 1);
+  EXPECT_EQ(pop.doc_id, 1u);
+  EXPECT_DOUBLE_EQ(pop.response_kb, 1.0);
+  EXPECT_DOUBLE_EQ(pop.connect_timeout_ms, 500.0);
+  EXPECT_DOUBLE_EQ(pop.request_timeout_s, 10.0);
+  EXPECT_DOUBLE_EQ(pop.stagger_ms, 1.0);
+  EXPECT_EQ(pop.port, 80);
+}
+
+TEST(SpecDefaultsTest, AttackDefaultsArePinned) {
+  const auto r = Parse("{\"name\": \"d\", \"attacks\": [{}]}");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const xp::AttackSpec& a = r.spec.attacks.at(0);
+  EXPECT_EQ(a.kind, "syn_flood");
+  EXPECT_EQ(a.prefix.text, "10.99.0.0");
+  EXPECT_DOUBLE_EQ(a.rate_per_sec, 10000.0);
+  EXPECT_EQ(a.addr.text, "10.66.0.1");
+  EXPECT_EQ(a.connections, 100);
+  EXPECT_DOUBLE_EQ(a.start_s, 0.0);
+}
+
+// --- overlay ----------------------------------------------------------------
+
+xp::Spec BaseSpec() {
+  const auto r = Parse(
+      "{\"name\": \"o\", \"system\": \"unmodified\", \"seed\": 1,\n"
+      " \"server\": {},\n"
+      " \"populations\": [\n"
+      "   {\"name\": \"static\", \"clients\": 16},\n"
+      "   {\"name\": \"cgi\", \"clients\": 2, \"is_cgi\": true}\n"
+      " ],\n"
+      " \"phases\": {\"warmup_s\": 2, \"measure_s\": 5}}");
+  EXPECT_TRUE(r.ok()) << r.error;
+  return r.spec;
+}
+
+TEST(SpecOverlayTest, FlagsWinOverTheFile) {
+  xp::Spec spec = BaseSpec();
+  xp::SpecOverlay o;
+  o.cpus = 4;
+  o.system = xp::SystemKind::kResourceContainer;
+  o.seed = 99;
+  o.warmup_s = 1.0;
+  o.measure_s = 3.0;
+  o.static_clients = 32;
+  o.cgi_clients = 4;
+  ASSERT_EQ(xp::ApplyOverlay(spec, o), "");
+  EXPECT_EQ(spec.machine.cpus, 4);
+  EXPECT_EQ(spec.system, xp::SystemKind::kResourceContainer);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_DOUBLE_EQ(spec.phases.warmup_s, 1.0);
+  EXPECT_DOUBLE_EQ(spec.phases.measure_s, 3.0);
+  EXPECT_EQ(spec.populations.at(0).clients, 32);
+  EXPECT_EQ(spec.populations.at(1).clients, 4);
+}
+
+TEST(SpecOverlayTest, EmptyOverlayChangesNothing) {
+  xp::Spec spec = BaseSpec();
+  const std::string before = xp::DumpSpec(spec);
+  ASSERT_EQ(xp::ApplyOverlay(spec, xp::SpecOverlay{}), "");
+  EXPECT_EQ(xp::DumpSpec(spec), before);
+}
+
+TEST(SpecOverlayTest, TargetingAMissingPopulationFailsLoudly) {
+  xp::Spec spec = BaseSpec();
+  spec.populations.erase(spec.populations.begin());  // drop "static"
+  xp::SpecOverlay o;
+  o.static_clients = 8;
+  const std::string err = xp::ApplyOverlay(spec, o);
+  EXPECT_NE(err.find("static"), std::string::npos) << err;
+}
+
+TEST(SpecOverlayTest, ZeroCgiClientsRemovesThePopulation) {
+  xp::Spec spec = BaseSpec();
+  xp::SpecOverlay o;
+  o.cgi_clients = 0;
+  ASSERT_EQ(xp::ApplyOverlay(spec, o), "");
+  ASSERT_EQ(spec.populations.size(), 1u);
+  EXPECT_EQ(spec.populations.at(0).name, "static");
+}
+
+TEST(SpecOverlayTest, FloodRateAddsAnAttackWhenTheSpecHasNone) {
+  xp::Spec spec = BaseSpec();
+  xp::SpecOverlay o;
+  o.flood_rate = 20000.0;
+  ASSERT_EQ(xp::ApplyOverlay(spec, o), "");
+  ASSERT_EQ(spec.attacks.size(), 1u);
+  EXPECT_EQ(spec.attacks.at(0).kind, "syn_flood");
+  EXPECT_DOUBLE_EQ(spec.attacks.at(0).rate_per_sec, 20000.0);
+
+  o.flood_rate = 0.0;
+  ASSERT_EQ(xp::ApplyOverlay(spec, o), "");
+  EXPECT_TRUE(spec.attacks.empty());
+}
+
+// --- determinism ------------------------------------------------------------
+
+std::string RunDigest(const xp::Spec& spec) {
+  xp::CompileOptions opts;
+  opts.digest = true;
+  xp::CompileResult c = xp::Compile(spec, opts);
+  EXPECT_TRUE(c.ok()) << c.error;
+  if (!c.ok()) {
+    return "";
+  }
+  return c.compiled->Run().digest_hex;
+}
+
+TEST(SpecDeterminismTest, SameSpecAndSeedReproduceTheSameDigest) {
+  const auto r = Parse(
+      "{\"name\": \"det\", \"system\": \"rc\",\n"
+      " \"server\": {\"use_containers\": true, \"use_event_api\": true},\n"
+      " \"populations\": [{\"name\": \"static\", \"clients\": 4}],\n"
+      " \"attacks\": [{\"kind\": \"syn_flood\", \"rate_per_sec\": 2000}],\n"
+      " \"phases\": {\"warmup_s\": 0.5, \"measure_s\": 1}}");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const std::string a = RunDigest(r.spec);
+  const std::string b = RunDigest(r.spec);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+
+  xp::Spec reseeded = r.spec;
+  reseeded.seed = r.spec.seed + 1;
+  EXPECT_NE(RunDigest(reseeded), a);
+}
+
+TEST(SpecDeterminismTest, RunEvaluatesAssertionsAgainstTheMetricNamespace) {
+  const auto r = Parse(
+      "{\"name\": \"asrt\", \"server\": {},\n"
+      " \"populations\": [{\"name\": \"static\", \"clients\": 2}],\n"
+      " \"phases\": {\"warmup_s\": 0.5, \"measure_s\": 1},\n"
+      " \"assert\": [\n"
+      "   {\"metric\": \"pop/static/failures\", \"max\": 0},\n"
+      "   {\"metric\": \"throughput_rps\", \"min\": 1e9},\n"
+      "   {\"metric\": \"no/such/metric\", \"min\": 0}\n"
+      " ]}");
+  ASSERT_TRUE(r.ok()) << r.error;
+  xp::CompileResult c = xp::Compile(r.spec);
+  ASSERT_TRUE(c.ok()) << c.error;
+  const xp::RunResult rr = c.compiled->Run();
+  ASSERT_EQ(rr.assertions.size(), 3u);
+  EXPECT_TRUE(rr.assertions[0].passed);
+  EXPECT_FALSE(rr.assertions[1].passed);   // absurd bound misses
+  EXPECT_FALSE(rr.assertions[2].passed);   // unknown metric is a failure
+  EXPECT_FALSE(rr.ok);
+}
+
+}  // namespace

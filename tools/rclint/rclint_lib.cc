@@ -596,6 +596,10 @@ struct Analyzer {
         {"src/sim/", "src/kernel/"},  {"src/sim/", "src/httpd/"},
         {"src/common/", "src/kernel/"}, {"src/common/", "src/httpd/"},
         {"src/rc/", "src/net/"},      {"src/rc/", "src/disk/"},
+        // The spec layer speaks plain values; only the compiler (runner.cc)
+        // may touch simulator internals.
+        {"src/xp/spec", "src/kernel/"}, {"src/xp/spec", "src/net/"},
+        {"src/xp/spec", "src/disk/"},
     };
     for (const Token& t : toks) {
       if (t.kind != Token::Kind::kInclude) {

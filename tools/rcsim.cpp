@@ -1,14 +1,30 @@
 // rcsim — command-line driver for the simulated server machine.
 //
-// Runs a configurable scenario and prints a report, so experiments beyond
-// the canned benchmarks can be run without writing C++:
+// Every run goes through the scenario compiler (src/xp/spec.h + runner.h):
+// either a declarative spec file (--scenario) or an xp::Spec assembled from
+// the classic flags below. Flags and specs compose — with --scenario, the
+// overlay flags (--kernel, --cpus, --seed, --warmup, --seconds, --clients,
+// --cgi, --flood) override the corresponding spec values, and a flag that
+// cannot take effect (e.g. --clients when the spec has no population named
+// "static") is a hard error, never a silent no-op. Workload-shaping flags
+// (--containers, --disk-shares, ...) are flag-mode only; edit the spec
+// instead.
 //
 //   rcsim --kernel=rc --containers --event-api --clients=24 --seconds=5
 //   rcsim --kernel=unmodified --clients=16 --cgi=4 --cgi-seconds=2
-//   rcsim --kernel=rc --containers --event-api --defend --flood=50000
-//   rcsim --kernel=lrp --clients=64 --persistent=100 --csv
+//   rcsim --scenario=scenarios/synflood_defended.json --audit --digest
+//   rcsim --scenario=scenarios/web_hosting.json --seconds=20 --csv
+//   rcsim --list-scenarios
 //
-// Flags:
+// Scenario flags:
+//   --scenario=FILE              run a declarative spec (see docs/SCENARIOS.md)
+//   --list-scenarios[=DIR]       list the specs under DIR (default scenarios/)
+//   --describe=FILE              parse FILE and print its canonical form with
+//                                every field (including defaults) made explicit
+//   --validate=FILE              parse and compile FILE without running; exit
+//                                nonzero with a diagnostic if it is invalid
+//
+// Workload flags (flag mode):
 //   --kernel=unmodified|lrp|rc   which of the paper's systems to run
 //   --containers                 per-connection containers (RC kernel)
 //   --event-api                  scalable event API instead of select()
@@ -59,6 +75,8 @@
 //                                container; default 0 = unbounded)
 //   --irq-steering=fixed|rr|flow interrupt steering policy for --cpus>1
 //                                (default flow: per-connection flow hash)
+//
+// Run control and output (both modes):
 //   --seed=N                     root seed for the load generators (default
 //                                42; same seed + flags => same run)
 //   --warmup=S --seconds=S       warm-up / measured simulated seconds
@@ -77,24 +95,29 @@
 //   --digest                     print "digest: <16 hex>" — an FNV-1a hash of
 //                                the full event timeline. Same seed + flags
 //                                must reproduce the same digest.
+//
+// A run whose spec declares assertions prints each verdict and exits
+// nonzero when any fails.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
-#include <functional>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
-#include "src/kernel/syscalls.h"
+#include "src/net/addr.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
 #include "src/telemetry/bench_io.h"
 #include "src/telemetry/trace_export.h"
-#include "src/xp/scenario.h"
+#include "src/xp/runner.h"
+#include "src/xp/spec.h"
 #include "src/xp/table.h"
 
 namespace {
@@ -130,6 +153,12 @@ struct Flags {
   bool print_metrics = false;
   bool audit = false;
   bool digest = false;
+
+  std::string scenario;
+  bool list_scenarios = false;
+  std::string scenario_dir = "scenarios";
+  std::string describe;
+  std::string validate;
 };
 
 // "50,30,20" -> {0.5, 0.3, 0.2}; empty on malformed input.
@@ -163,17 +192,6 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 int Usage() {
   std::fprintf(stderr, "see the header of tools/rcsim.cpp for flag reference\n");
   return 2;
-}
-
-// Source address for static client `i`: 250 hosts per /24, /24 blocks
-// filling 10.1/16 first (the historical layout for counts up to ~64000),
-// then spilling into 10.2/16, 10.3/16, ... so arbitrarily large client
-// populations stay unique. Collides with the CGI block (10.3/16) only past
-// ~128k static clients and the flooder prefix (10.99/16) past ~6.1M.
-net::Addr StaticClientAddr(int i) {
-  const std::uint32_t block = static_cast<std::uint32_t>(i) / 250;
-  return net::Addr{net::MakeAddr(10, 1 + block / 256, block % 256, 0).v +
-                   static_cast<std::uint32_t>(i) % 250 + 1};
 }
 
 // --bench-events: the bench_engine timer workload (wheel backend) driven
@@ -253,13 +271,187 @@ int RunEngineBench(const Flags& flags, int argc, char** argv) {
   return 0;
 }
 
+xp::AddrSpec MakeAddrSpec(int a, int b, int c, int d) {
+  xp::AddrSpec s;
+  s.text = std::to_string(a) + "." + std::to_string(b) + "." + std::to_string(c) +
+           "." + std::to_string(d);
+  s.value = net::MakeAddr(a, b, c, d).v;
+  return s;
+}
+
+xp::SystemKind SystemFromKernelFlag(const std::string& kernel) {
+  if (kernel == "lrp") {
+    return xp::SystemKind::kLrp;
+  }
+  if (kernel == "rc") {
+    return xp::SystemKind::kResourceContainer;
+  }
+  return xp::SystemKind::kUnmodified;
+}
+
+// The classic rcsim workload as a Spec: one event-driven server on port 80,
+// a "static" population on the historic 250-hosts-per-/24 layout above
+// 10.1.0.0, an optional "cgi" population, and the disk/memory/flood extras.
+xp::Spec BuildSpecFromFlags(const Flags& flags, const std::vector<double>& disk_shares,
+                            const std::vector<double>& memory_shares) {
+  xp::Spec spec;
+  spec.name = "rcsim";
+  spec.system = SystemFromKernelFlag(flags.kernel);
+  spec.machine.cpus = flags.cpus;
+  spec.machine.irq_steering = flags.irq_steering == "fixed" ? "cpu0"
+                              : flags.irq_steering == "rr"  ? "round_robin"
+                                                            : "flow_hash";
+  spec.machine.link_mbps = flags.link_mbps;
+  spec.machine.memory_mb =
+      static_cast<double>(flags.memory_bytes) / (1024.0 * 1024.0);
+  spec.seed = flags.seed;
+  spec.phases.warmup_s = flags.warmup;
+  spec.phases.measure_s = flags.seconds;
+
+  xp::ServerSpec srv;
+  srv.use_containers = flags.containers;
+  srv.use_event_api = flags.event_api || flags.defend;
+  srv.syn_defense = flags.defend;
+  if (flags.containers && flags.cgi > 0) {
+    srv.cgi_sandbox = true;
+    srv.cgi_share = flags.cgi_cap;
+  }
+  srv.cache_capacity_mb = static_cast<double>(flags.cache_bytes) / (1024.0 * 1024.0);
+  spec.servers.push_back(srv);
+
+  if (flags.clients > 0) {
+    xp::PopulationSpec st;
+    st.name = "static";
+    st.clients = flags.clients;
+    st.layout = "blocks250";
+    st.base_addr = MakeAddrSpec(10, 1, 0, 0);
+    st.requests_per_conn = flags.persistent;
+    st.doc_id = 2;
+    st.response_kb = static_cast<double>(flags.doc_bytes) / 1024.0;
+    spec.populations.push_back(st);
+  }
+  if (flags.cgi > 0) {
+    xp::PopulationSpec cg;
+    cg.name = "cgi";
+    cg.clients = flags.cgi;
+    cg.base_addr = MakeAddrSpec(10, 3, 0, 0);
+    cg.client_class = 2;
+    cg.is_cgi = true;
+    cg.cgi_cpu_ms = flags.cgi_seconds * 1000.0;
+    cg.request_timeout_s = 0.0;  // CGI responses are legitimately slow
+    spec.populations.push_back(cg);
+  }
+
+  for (std::size_t i = 0; i < disk_shares.size(); ++i) {
+    xp::ContainerSpec ct;
+    ct.name = "disk-" + std::to_string(i);
+    ct.attrs.disk.override_sched = true;
+    ct.attrs.disk.sched.cls = rc::SchedClass::kFixedShare;
+    ct.attrs.disk.sched.fixed_share = disk_shares[i];
+    spec.containers.push_back(ct);
+    xp::WorkloadSpec w;
+    w.kind = "disk_reader";
+    w.name = "disk-reader-" + std::to_string(i);
+    w.container = ct.name;
+    w.threads = 4;
+    w.read_kb = 4.0;
+    spec.workloads.push_back(w);
+  }
+
+  if (flags.memory_guarantee > 0) {
+    xp::ContainerSpec ct;
+    ct.name = "mem-guaranteed";
+    ct.attrs.memory.override_sched = true;
+    ct.attrs.memory.sched.cls = rc::SchedClass::kFixedShare;
+    ct.attrs.memory.sched.fixed_share = flags.memory_guarantee;
+    spec.containers.push_back(ct);
+    xp::WorkloadSpec w;
+    w.kind = "cache_pin";
+    w.name = "mem-guaranteed";
+    w.container = ct.name;
+    w.docs = 32;
+    w.doc_bytes_kb = 0.0;  // size the set to the container's guarantee
+    w.sample_period_ms = static_cast<double>(flags.epoch_ms);
+    spec.workloads.push_back(w);
+  }
+  for (std::size_t i = 0; i < memory_shares.size(); ++i) {
+    xp::ContainerSpec ct;
+    ct.name = "mem-" + std::to_string(i);
+    ct.attrs.memory.override_sched = true;
+    ct.attrs.memory.sched.cls = rc::SchedClass::kFixedShare;
+    ct.attrs.memory.sched.fixed_share = memory_shares[i];
+    spec.containers.push_back(ct);
+    xp::WorkloadSpec w;
+    w.kind = "cache_stream";
+    w.name = "mem-stream-" + std::to_string(i);
+    w.container = ct.name;
+    w.period_ms = 1.0;
+    w.bytes_kb = 64.0;
+    spec.workloads.push_back(w);
+  }
+
+  if (flags.flood > 0) {
+    xp::AttackSpec atk;
+    atk.kind = "syn_flood";
+    atk.name = "flood";
+    atk.prefix = MakeAddrSpec(10, 99, 0, 0);
+    atk.rate_per_sec = flags.flood;
+    spec.attacks.push_back(atk);
+  }
+  return spec;
+}
+
+int ListScenarios(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".json") {
+      paths.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot list %s: %s\n", dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+  xp::Table table({"scenario", "name", "summary"});
+  for (const auto& path : paths) {
+    const xp::SpecParseResult r = xp::ParseSpecFile(path.string());
+    if (!r.ok()) {
+      table.AddRow({path.filename().string(), "(invalid)", r.error.substr(0, 60)});
+      continue;
+    }
+    std::string summary = r.spec.comment.substr(0, r.spec.comment.find('\n'));
+    if (summary.size() > 72) {
+      summary = summary.substr(0, 69) + "...";
+    }
+    table.AddRow({path.filename().string(), r.spec.name, summary});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+double MetricOr(const xp::RunResult& rr, const std::string& name, double fallback) {
+  const double* v = rr.Find(name);
+  return v != nullptr ? *v : fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     const char* a = argv[i];
+    {
+      std::string name = a;
+      const std::size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        name = name.substr(0, eq);
+      }
+      seen.insert(name);
+    }
     if (ParseFlag(a, "--kernel", &value)) {
       flags.kernel = value;
     } else if (std::strcmp(a, "--containers") == 0) {
@@ -322,322 +514,200 @@ int main(int argc, char** argv) {
       flags.audit = true;
     } else if (std::strcmp(a, "--digest") == 0) {
       flags.digest = true;
+    } else if (ParseFlag(a, "--scenario", &value)) {
+      flags.scenario = value;
+    } else if (std::strcmp(a, "--list-scenarios") == 0) {
+      flags.list_scenarios = true;
+    } else if (ParseFlag(a, "--list-scenarios", &value)) {
+      flags.list_scenarios = true;
+      flags.scenario_dir = value;
+    } else if (ParseFlag(a, "--describe", &value)) {
+      flags.describe = value;
+    } else if (ParseFlag(a, "--validate", &value)) {
+      flags.validate = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return Usage();
     }
   }
 
+  if (flags.list_scenarios) {
+    return ListScenarios(flags.scenario_dir);
+  }
+  if (!flags.describe.empty()) {
+    const xp::SpecParseResult r = xp::ParseSpecFile(flags.describe);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.error.c_str());
+      return 1;
+    }
+    std::fputs(xp::DumpSpec(r.spec).c_str(), stdout);
+    return 0;
+  }
+  if (!flags.validate.empty()) {
+    const xp::SpecParseResult r = xp::ParseSpecFile(flags.validate);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.error.c_str());
+      return 1;
+    }
+    const xp::CompileResult c = xp::Compile(r.spec);
+    if (!c.ok()) {
+      std::fprintf(stderr, "%s: %s\n", flags.validate.c_str(), c.error.c_str());
+      return 1;
+    }
+    std::printf("%s: ok (spec \"%s\")\n", flags.validate.c_str(), r.spec.name.c_str());
+    return 0;
+  }
+
   if (flags.bench_events > 0) {
     return RunEngineBench(flags, argc, argv);
   }
 
-  xp::ScenarioOptions options;
-  if (flags.kernel == "unmodified") {
-    options.kernel_config = kernel::UnmodifiedSystemConfig();
-  } else if (flags.kernel == "lrp") {
-    options.kernel_config = kernel::LrpSystemConfig();
-  } else if (flags.kernel == "rc") {
-    options.kernel_config = kernel::ResourceContainerSystemConfig();
-  } else {
+  if (flags.kernel != "unmodified" && flags.kernel != "lrp" && flags.kernel != "rc") {
     std::fprintf(stderr, "bad --kernel value: %s\n", flags.kernel.c_str());
-    return Usage();
-  }
-  if ((flags.containers || flags.defend) && flags.kernel != "rc") {
-    std::fprintf(stderr, "--containers/--defend require --kernel=rc\n");
     return Usage();
   }
   if (flags.cpus < 1) {
     std::fprintf(stderr, "--cpus must be >= 1\n");
     return Usage();
   }
-  options.kernel_config.cpus = flags.cpus;
-  if (flags.irq_steering == "fixed") {
-    options.kernel_config.irq_steering = kernel::IrqSteering::kFixed;
-  } else if (flags.irq_steering == "rr") {
-    options.kernel_config.irq_steering = kernel::IrqSteering::kRoundRobin;
-  } else if (flags.irq_steering == "flow") {
-    options.kernel_config.irq_steering = kernel::IrqSteering::kFlowHash;
-  } else {
-    std::fprintf(stderr, "bad --irq-steering value: %s\n", flags.irq_steering.c_str());
-    return Usage();
-  }
-  options.seed = flags.seed;
-  options.audit = flags.audit;
-  options.digest = flags.digest;
-
-  std::vector<double> disk_shares;
-  if (!flags.disk_shares.empty()) {
-    disk_shares = ParseShareList(flags.disk_shares);
-    double sum = 0.0;
-    for (double s : disk_shares) {
-      sum += s;
-    }
-    if (disk_shares.empty() || sum > 1.0 + 1e-9) {
-      std::fprintf(stderr, "bad --disk-shares value: %s (percentages, sum <= 100)\n",
-                   flags.disk_shares.c_str());
-      return Usage();
-    }
-  }
-  if (flags.link_mbps < 0.0) {
-    std::fprintf(stderr, "--link-mbps must be >= 0\n");
-    return Usage();
-  }
-  options.kernel_config.link_mbps = flags.link_mbps;
-
-  std::vector<double> memory_shares;
-  if (!flags.memory_shares.empty()) {
-    memory_shares = ParseShareList(flags.memory_shares);
-    double sum = flags.memory_guarantee;
-    for (double s : memory_shares) {
-      sum += s;
-    }
-    if (memory_shares.empty() || sum > 1.0 + 1e-9) {
-      std::fprintf(stderr,
-                   "bad --memory-shares value: %s (percentages, sum with "
-                   "--memory-guarantee <= 100)\n",
-                   flags.memory_shares.c_str());
-      return Usage();
-    }
-  }
-  if (flags.memory_guarantee < 0.0 || flags.memory_guarantee > 1.0) {
-    std::fprintf(stderr, "--memory-guarantee must be in [0, 100]\n");
-    return Usage();
-  }
-  if ((!memory_shares.empty() || flags.memory_guarantee > 0) &&
-      flags.memory_bytes <= 0) {
-    std::fprintf(stderr,
-                 "--memory-shares/--memory-guarantee require --memory-bytes\n");
-    return Usage();
-  }
-  if (flags.memory_bytes < 0) {
-    std::fprintf(stderr, "--memory-bytes must be >= 0\n");
-    return Usage();
-  }
-  options.kernel_config.memory_bytes = flags.memory_bytes;
-
   if (flags.epoch_ms <= 0) {
     std::fprintf(stderr, "--epoch-ms must be positive\n");
     return Usage();
   }
-  if (!flags.series_out.empty() || flags.print_metrics) {
-    options.telemetry = true;
-    options.telemetry_interval = sim::Msec(flags.epoch_ms);
+
+  xp::Spec spec;
+  if (!flags.scenario.empty()) {
+    // Workload shape comes from the spec; only the overlay flags compose.
+    static constexpr const char* kFlagModeOnly[] = {
+        "--containers",    "--event-api",  "--defend",       "--persistent",
+        "--doc-bytes",     "--cgi-seconds", "--cgi-cap",     "--irq-steering",
+        "--disk-shares",   "--link-mbps",  "--memory-bytes", "--memory-shares",
+        "--memory-guarantee", "--cache-bytes"};
+    for (const char* f : kFlagModeOnly) {
+      if (seen.count(f) > 0) {
+        std::fprintf(stderr, "%s is not compatible with --scenario; edit the spec\n",
+                     f);
+        return Usage();
+      }
+    }
+    const xp::SpecParseResult r = xp::ParseSpecFile(flags.scenario);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.error.c_str());
+      return 1;
+    }
+    spec = r.spec;
+    xp::SpecOverlay overlay;
+    if (seen.count("--kernel") > 0) {
+      overlay.system = SystemFromKernelFlag(flags.kernel);
+    }
+    if (seen.count("--cpus") > 0) {
+      overlay.cpus = flags.cpus;
+    }
+    if (seen.count("--seed") > 0) {
+      overlay.seed = flags.seed;
+    }
+    if (seen.count("--warmup") > 0) {
+      overlay.warmup_s = flags.warmup;
+    }
+    if (seen.count("--seconds") > 0) {
+      overlay.measure_s = flags.seconds;
+    }
+    if (seen.count("--clients") > 0) {
+      overlay.static_clients = flags.clients;
+    }
+    if (seen.count("--cgi") > 0) {
+      overlay.cgi_clients = flags.cgi;
+    }
+    if (seen.count("--flood") > 0) {
+      overlay.flood_rate = flags.flood;
+    }
+    const std::string err = xp::ApplyOverlay(spec, overlay);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return Usage();
+    }
+  } else {
+    if ((flags.containers || flags.defend) && flags.kernel != "rc") {
+      std::fprintf(stderr, "--containers/--defend require --kernel=rc\n");
+      return Usage();
+    }
+    if (flags.irq_steering != "fixed" && flags.irq_steering != "rr" &&
+        flags.irq_steering != "flow") {
+      std::fprintf(stderr, "bad --irq-steering value: %s\n",
+                   flags.irq_steering.c_str());
+      return Usage();
+    }
+    std::vector<double> disk_shares;
+    if (!flags.disk_shares.empty()) {
+      disk_shares = ParseShareList(flags.disk_shares);
+      double sum = 0.0;
+      for (double s : disk_shares) {
+        sum += s;
+      }
+      if (disk_shares.empty() || sum > 1.0 + 1e-9) {
+        std::fprintf(stderr, "bad --disk-shares value: %s (percentages, sum <= 100)\n",
+                     flags.disk_shares.c_str());
+        return Usage();
+      }
+    }
+    if (flags.link_mbps < 0.0) {
+      std::fprintf(stderr, "--link-mbps must be >= 0\n");
+      return Usage();
+    }
+    std::vector<double> memory_shares;
+    if (!flags.memory_shares.empty()) {
+      memory_shares = ParseShareList(flags.memory_shares);
+      double sum = flags.memory_guarantee;
+      for (double s : memory_shares) {
+        sum += s;
+      }
+      if (memory_shares.empty() || sum > 1.0 + 1e-9) {
+        std::fprintf(stderr,
+                     "bad --memory-shares value: %s (percentages, sum with "
+                     "--memory-guarantee <= 100)\n",
+                     flags.memory_shares.c_str());
+        return Usage();
+      }
+    }
+    if (flags.memory_guarantee < 0.0 || flags.memory_guarantee > 1.0) {
+      std::fprintf(stderr, "--memory-guarantee must be in [0, 100]\n");
+      return Usage();
+    }
+    if ((!memory_shares.empty() || flags.memory_guarantee > 0) &&
+        flags.memory_bytes <= 0) {
+      std::fprintf(stderr,
+                   "--memory-shares/--memory-guarantee require --memory-bytes\n");
+      return Usage();
+    }
+    if (flags.memory_bytes < 0) {
+      std::fprintf(stderr, "--memory-bytes must be >= 0\n");
+      return Usage();
+    }
+    spec = BuildSpecFromFlags(flags, disk_shares, memory_shares);
   }
 
-  httpd::ServerConfig& server = options.server_config;
-  server.use_containers = flags.containers;
-  server.use_event_api = flags.event_api || flags.defend;
-  server.syn_defense = flags.defend;
-  if (flags.containers && flags.cgi > 0) {
-    server.cgi_sandbox = true;
-    server.cgi_share = flags.cgi_cap;
+  xp::CompileOptions copts;
+  copts.audit = flags.audit;
+  copts.digest = flags.digest;
+  copts.telemetry = !flags.series_out.empty() || flags.print_metrics;
+  copts.telemetry_interval_ms = static_cast<double>(flags.epoch_ms);
+  xp::CompileResult compiled = xp::Compile(spec, copts);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.error.c_str());
+    return 1;
   }
-  server.file_cache_capacity_bytes = flags.cache_bytes;
-
-  xp::Scenario scenario(options);
+  xp::CompiledScenario& cs = *compiled.compiled;
   if (!flags.trace_out.empty()) {
-    scenario.kernel().tracer().Enable();
-  }
-  scenario.cache().AddDocument(2, flags.doc_bytes);
-  scenario.StartServer();
-
-  for (int i = 0; i < flags.clients; ++i) {
-    load::HttpClient::Config cfg;
-    cfg.addr = StaticClientAddr(i);
-    cfg.requests_per_conn = flags.persistent;
-    cfg.doc_id = 2;
-    cfg.response_bytes = flags.doc_bytes;
-    scenario.AddClient(cfg);
-  }
-  for (int i = 0; i < flags.cgi; ++i) {
-    load::HttpClient::Config cgi;
-    cgi.addr = net::Addr{net::MakeAddr(10, 3, 0, 0).v + static_cast<std::uint32_t>(i) + 1};
-    cgi.is_cgi = true;
-    cgi.cgi_cpu_usec = static_cast<sim::Duration>(flags.cgi_seconds * sim::kSec);
-    cgi.client_class = 2;
-    cgi.request_timeout = 0;
-    scenario.AddClient(cgi);
-  }
-  if (flags.flood > 0) {
-    load::SynFlooder::Config fcfg;
-    fcfg.rate_per_sec = flags.flood;
-    fcfg.seed = flags.seed;
-    scenario.AddFlooder(fcfg)->Start();
+    cs.scenario().kernel().tracer().Enable();
   }
 
-  // --disk-shares: one fixed-disk-share container per entry, each running a
-  // closed-loop reader (one request always outstanding), so the disk stays
-  // saturated and the share tree decides who gets the bandwidth.
-  std::vector<rc::ContainerRef> disk_cts;
-  for (std::size_t i = 0; i < disk_shares.size(); ++i) {
-    rc::Attributes a;
-    a.disk.override_sched = true;
-    a.disk.sched.cls = rc::SchedClass::kFixedShare;
-    a.disk.sched.fixed_share = disk_shares[i];
-    auto ct = scenario.kernel().containers().Create(
-        nullptr, "disk-" + std::to_string(i), a);
-    if (!ct.ok()) {
-      std::fprintf(stderr, "--disk-shares: %s\n", rccommon::ErrcName(ct.error()));
-      return 1;
-    }
-    disk_cts.push_back(*ct);
-    // Several readers per container keep its disk queue backlogged at every
-    // completion (a single closed-loop reader is always between requests when
-    // the arbitration decision happens).
-    for (int t = 0; t < 4; ++t) {
-      kernel::Process* p =
-          scenario.kernel().CreateProcess("disk-reader-" + std::to_string(i), *ct);
-      scenario.kernel().SpawnThread(p, "reader", [](kernel::Sys sys) -> kernel::Program {
-        for (std::uint64_t n = 0;; ++n) {
-          co_await sys.ReadDisk(n * 9973u * 64, 4);
-        }
-      });
-    }
-  }
-
-  // Self-rearming simulator timer (runs until the scenario ends).
-  struct Periodic {
-    sim::Simulator* simr;
-    sim::Duration period;
-    std::function<void()> fn;
-    void Arm() {
-      simr->After(period, [this] {
-        fn();
-        Arm();
-      });
-    }
-  };
-  std::vector<std::unique_ptr<Periodic>> periodics;
-  auto every = [&](sim::Duration period, std::function<void()> fn) {
-    periodics.push_back(std::make_unique<Periodic>(
-        Periodic{&scenario.simulator(), period, std::move(fn)}));
-    periodics.back()->Arm();
-  };
-
-  // --memory-guarantee: a tenant whose file-cache working set equals its
-  // guaranteed resident bytes; the report shows the minimum resident bytes
-  // it held while everyone else fought over the rest of the machine.
-  rc::ContainerRef mem_guaranteed;
-  std::int64_t mem_guarantee_bytes = 0;
-  auto mem_guarantee_min = std::make_shared<std::int64_t>(0);
-  if (flags.memory_guarantee > 0) {
-    rc::Attributes a;
-    a.memory.override_sched = true;
-    a.memory.sched.cls = rc::SchedClass::kFixedShare;
-    a.memory.sched.fixed_share = flags.memory_guarantee;
-    auto ct = scenario.kernel().containers().Create(nullptr, "mem-guaranteed", a);
-    if (!ct.ok()) {
-      std::fprintf(stderr, "--memory-guarantee: %s\n", rccommon::ErrcName(ct.error()));
-      return 1;
-    }
-    mem_guaranteed = *ct;
-    mem_guarantee_bytes = scenario.kernel().memory().GuaranteeBytes(*mem_guaranteed);
-    constexpr std::uint32_t kDocs = 32;
-    const auto doc_bytes =
-        static_cast<std::uint32_t>(mem_guarantee_bytes / kDocs);
-    for (std::uint32_t i = 0; i < kDocs && doc_bytes > 0; ++i) {
-      scenario.cache().Insert(900000 + i, doc_bytes, mem_guaranteed);
-    }
-    *mem_guarantee_min = mem_guaranteed->usage().memory_bytes;
-    every(sim::Msec(flags.epoch_ms), [mem_guarantee_min, mem_guaranteed] {
-      *mem_guarantee_min =
-          std::min(*mem_guarantee_min, mem_guaranteed->usage().memory_bytes);
-    });
-  }
-
-  // --memory-shares: one fixed-memory-share container per entry, each
-  // streaming fresh documents through the file cache, so machine memory
-  // stays saturated and the broker decides whose documents stay resident.
-  std::vector<rc::ContainerRef> mem_cts;
-  for (std::size_t i = 0; i < memory_shares.size(); ++i) {
-    rc::Attributes a;
-    a.memory.override_sched = true;
-    a.memory.sched.cls = rc::SchedClass::kFixedShare;
-    a.memory.sched.fixed_share = memory_shares[i];
-    auto ct = scenario.kernel().containers().Create(
-        nullptr, "mem-" + std::to_string(i), a);
-    if (!ct.ok()) {
-      std::fprintf(stderr, "--memory-shares: %s\n", rccommon::ErrcName(ct.error()));
-      return 1;
-    }
-    mem_cts.push_back(*ct);
-    auto next_id = std::make_shared<std::uint32_t>(
-        1000000 + static_cast<std::uint32_t>(i) * 100000);
-    rc::ContainerRef tenant = *ct;
-    xp::Scenario* sc = &scenario;
-    every(sim::Msec(1), [sc, tenant, next_id] {
-      sc->cache().Insert((*next_id)++, 64 * 1024, tenant);
-    });
-  }
-
-  scenario.StartAllClients();
-  scenario.RunFor(static_cast<sim::Duration>(flags.warmup * sim::kSec));
-  scenario.ResetClientStats();
-  const auto cpu0 = scenario.SnapshotCpu();
-  const sim::Duration cgi0 = scenario.kernel().ExecutedUsecForName("cgi");
-  std::vector<sim::Duration> disk0(disk_cts.size());
-  for (std::size_t i = 0; i < disk_cts.size(); ++i) {
-    disk0[i] = disk_cts[i]->usage().disk_busy_usec;
-  }
-  const sim::Duration link0 = scenario.kernel().link().stats().busy_usec;
-  scenario.RunFor(static_cast<sim::Duration>(flags.seconds * sim::kSec));
-  const auto cpu1 = scenario.SnapshotCpu();
-  const sim::Duration cgi1 = scenario.kernel().ExecutedUsecForName("cgi");
-  std::vector<double> disk_fracs(disk_cts.size(), 0.0);
-  {
-    sim::Duration total = 0;
-    for (std::size_t i = 0; i < disk_cts.size(); ++i) {
-      disk0[i] = disk_cts[i]->usage().disk_busy_usec - disk0[i];
-      total += disk0[i];
-    }
-    for (std::size_t i = 0; i < disk_cts.size(); ++i) {
-      disk_fracs[i] = total > 0 ? static_cast<double>(disk0[i]) /
-                                      static_cast<double>(total)
-                                : 0.0;
-    }
-  }
-  const double link_util =
-      static_cast<double>(scenario.kernel().link().stats().busy_usec - link0) /
-      static_cast<double>(cpu1.at - cpu0.at);
-  std::vector<double> mem_fracs(mem_cts.size(), 0.0);
-  {
-    std::int64_t total = 0;
-    for (const auto& ct : mem_cts) {
-      total += ct->usage().memory_bytes;
-    }
-    for (std::size_t i = 0; i < mem_cts.size(); ++i) {
-      mem_fracs[i] = total > 0 ? static_cast<double>(mem_cts[i]->usage().memory_bytes) /
-                                     static_cast<double>(total)
-                               : 0.0;
-    }
-  }
-
-  const double secs = sim::ToSeconds(cpu1.at - cpu0.at);
-  const double tput = static_cast<double>(scenario.TotalCompleted()) / secs;
-  double mean_ms = 0;
-  std::size_t samples = 0;
-  std::uint64_t timeouts = 0;
-  std::uint64_t failures = 0;
-  for (const auto& c : scenario.clients()) {
-    mean_ms += c->latencies().mean() * static_cast<double>(c->latencies().count());
-    samples += c->latencies().count();
-    timeouts += c->timeouts();
-    failures += c->failures();
-  }
-  mean_ms = samples ? mean_ms / static_cast<double>(samples) : 0;
-  const double busy = static_cast<double>(cpu1.busy - cpu0.busy) /
-                      static_cast<double>(cpu1.at - cpu0.at);
-  const double irq = static_cast<double>(cpu1.interrupt - cpu0.interrupt) /
-                     static_cast<double>(cpu1.at - cpu0.at);
-  const double cgi_share =
-      static_cast<double>(cgi1 - cgi0) / static_cast<double>(cpu1.at - cpu0.at);
+  const xp::RunResult rr = cs.Run(&std::cout);
 
   if (!flags.trace_out.empty()) {
     std::ofstream os(flags.trace_out);
-    telemetry::WriteChromeTrace(scenario.kernel().tracer(),
-                                telemetry::ContainerNamesFrom(scenario.kernel().containers()),
-                                os);
+    telemetry::WriteChromeTrace(
+        cs.scenario().kernel().tracer(),
+        telemetry::ContainerNamesFrom(cs.scenario().kernel().containers()), os);
     if (!os) {
       std::fprintf(stderr, "failed to write %s\n", flags.trace_out.c_str());
       return 1;
@@ -645,43 +715,55 @@ int main(int argc, char** argv) {
   }
   if (!flags.series_out.empty()) {
     std::ofstream os(flags.series_out);
-    scenario.sampler()->WriteJsonLines(os);
+    cs.scenario().sampler()->WriteJsonLines(os);
     if (!os) {
       std::fprintf(stderr, "failed to write %s\n", flags.series_out.c_str());
       return 1;
     }
   }
 
+  const double tput = MetricOr(rr, "throughput_rps", 0);
+  const double mean_ms = MetricOr(rr, "mean_latency_ms", 0);
+  const double busy = MetricOr(rr, "cpu_busy_frac", 0);
+  const double irq = MetricOr(rr, "interrupt_frac", 0);
+  const double cgi_share = MetricOr(rr, "cgi_cpu_share", 0);
+  const auto timeouts = static_cast<std::uint64_t>(MetricOr(rr, "client_timeouts", 0));
+  const auto failures = static_cast<std::uint64_t>(MetricOr(rr, "client_failures", 0));
+
   telemetry::BenchReport bench("rcsim", argc, argv);
   {
-    std::string config = "kernel=" + flags.kernel +
-                         ",clients=" + std::to_string(flags.clients) +
-                         ",persistent=" + std::to_string(flags.persistent);
-    if (flags.cpus > 1) config += ",cpus=" + std::to_string(flags.cpus);
-    if (flags.cgi > 0) config += ",cgi=" + std::to_string(flags.cgi);
-    if (flags.flood > 0) {
-      config += ",flood=" + std::to_string(static_cast<long>(flags.flood));
+    std::string config;
+    if (flags.scenario.empty()) {
+      config = "kernel=" + flags.kernel + ",clients=" + std::to_string(flags.clients) +
+               ",persistent=" + std::to_string(flags.persistent);
+      if (flags.cpus > 1) config += ",cpus=" + std::to_string(flags.cpus);
+      if (flags.cgi > 0) config += ",cgi=" + std::to_string(flags.cgi);
+      if (flags.flood > 0) {
+        config += ",flood=" + std::to_string(static_cast<long>(flags.flood));
+      }
+    } else {
+      config = "scenario=" + spec.name;
     }
     bench.Add("throughput", tput, "req/s", config);
     bench.Add("mean_latency", mean_ms, "ms", config);
     bench.Add("cpu_busy_frac", busy, "fraction", config);
     bench.Add("interrupt_frac", irq, "fraction", config);
-    if (flags.cgi > 0) bench.Add("cgi_cpu_share", cgi_share, "fraction", config);
-    for (std::size_t i = 0; i < disk_fracs.size(); ++i) {
-      bench.Add("disk_share_" + std::to_string(i), disk_fracs[i], "fraction", config);
+    if (rr.Find("cgi_cpu_share") != nullptr) {
+      bench.Add("cgi_cpu_share", cgi_share, "fraction", config);
     }
-    for (std::size_t i = 0; i < mem_fracs.size(); ++i) {
-      bench.Add("memory_share_" + std::to_string(i), mem_fracs[i], "fraction", config);
+    if (const double* v = rr.Find("link_utilization")) {
+      bench.Add("link_utilization", *v, "fraction", config);
     }
-    if (flags.memory_guarantee > 0) {
-      bench.Add("memory_guarantee_bytes", static_cast<double>(mem_guarantee_bytes),
-                "bytes", config);
-      bench.Add("memory_guarantee_min_resident",
-                static_cast<double>(*mem_guarantee_min), "bytes", config);
-    }
-    if (flags.link_mbps > 0) bench.Add("link_utilization", link_util, "fraction", config);
     bench.Add("client_timeouts", static_cast<double>(timeouts), "count", config);
     bench.Add("client_failures", static_cast<double>(failures), "count", config);
+    // Everything the metric namespace adds beyond the headline numbers —
+    // per-population, per-container, per-workload, per-server — under its
+    // namespace name.
+    for (const auto& [name, value] : rr.metrics) {
+      if (name.find('/') != std::string::npos) {
+        bench.Add(name, value, "", config);
+      }
+    }
     if (!bench.Flush()) {
       std::fprintf(stderr, "failed to write %s\n", bench.path().c_str());
       return 1;
@@ -689,12 +771,26 @@ int main(int argc, char** argv) {
   }
 
   if (flags.print_metrics) {
-    xp::MetricsTable(scenario.metrics()).Print(std::cout);
+    xp::MetricsTable(cs.scenario().metrics()).Print(std::cout);
     std::printf("\n");
   }
 
   if (flags.digest) {
-    std::printf("digest: %s\n", scenario.digest()->hex().c_str());
+    std::printf("digest: %s\n", rr.digest_hex.c_str());
+  }
+
+  int exit_code = 0;
+  if (!rr.assertions.empty()) {
+    for (const xp::AssertionResult& ar : rr.assertions) {
+      std::printf("assert %s: %s\n", ar.passed ? "PASS" : "FAIL", ar.detail.c_str());
+    }
+    if (!rr.ok) {
+      std::fprintf(stderr, "%zu assertion(s) failed\n",
+                   static_cast<std::size_t>(std::count_if(
+                       rr.assertions.begin(), rr.assertions.end(),
+                       [](const xp::AssertionResult& ar) { return !ar.passed; })));
+      exit_code = 1;
+    }
   }
 
   if (flags.csv) {
@@ -702,42 +798,34 @@ int main(int argc, char** argv) {
     std::printf("%.1f,%.3f,%.4f,%.4f,%.4f,%llu,%llu\n", tput, mean_ms, busy, irq,
                 cgi_share, static_cast<unsigned long long>(timeouts),
                 static_cast<unsigned long long>(failures));
-    return 0;
+    return exit_code;
   }
 
   xp::Table report({"metric", "value"});
-  report.AddRow({"kernel", flags.kernel});
+  if (flags.scenario.empty()) {
+    report.AddRow({"kernel", flags.kernel});
+  } else {
+    report.AddRow({"scenario", spec.name});
+    report.AddRow({"system", xp::SystemKindName(spec.system)});
+  }
   report.AddRow({"throughput", xp::FormatDouble(tput, 0) + " req/s"});
   report.AddRow({"mean latency", xp::FormatDouble(mean_ms, 2) + " ms"});
   report.AddRow({"CPU busy", xp::FormatDouble(100 * busy, 1) + "%"});
   report.AddRow({"interrupt time", xp::FormatDouble(100 * irq, 1) + "%"});
-  if (flags.cgi > 0) {
+  if (rr.Find("cgi_cpu_share") != nullptr) {
     report.AddRow({"CGI CPU share", xp::FormatDouble(100 * cgi_share, 1) + "%"});
   }
-  if (flags.flood > 0) {
-    report.AddRow({"flood filters", std::to_string(
-                                        scenario.server().stats().flood_filters_installed)});
+  if (const double* v = rr.Find("link_utilization")) {
+    report.AddRow({"link utilization", xp::FormatDouble(100 * *v, 1) + "%"});
   }
-  for (std::size_t i = 0; i < disk_fracs.size(); ++i) {
-    report.AddRow({"disk share " + std::to_string(i) + " (want " +
-                       xp::FormatDouble(100 * disk_shares[i], 0) + "%)",
-                   xp::FormatDouble(100 * disk_fracs[i], 1) + "%"});
-  }
-  for (std::size_t i = 0; i < mem_fracs.size(); ++i) {
-    report.AddRow({"memory share " + std::to_string(i) + " (want " +
-                       xp::FormatDouble(100 * memory_shares[i], 0) + "%)",
-                   xp::FormatDouble(100 * mem_fracs[i], 1) + "%"});
-  }
-  if (flags.memory_guarantee > 0) {
-    report.AddRow({"memory guarantee (bytes)", std::to_string(mem_guarantee_bytes)});
-    report.AddRow({"memory min resident (bytes)",
-                   std::to_string(*mem_guarantee_min)});
-  }
-  if (flags.link_mbps > 0) {
-    report.AddRow({"link utilization", xp::FormatDouble(100 * link_util, 1) + "%"});
+  // The namespaced metrics (populations, containers, workloads, servers).
+  for (const auto& [name, value] : rr.metrics) {
+    if (name.find('/') != std::string::npos) {
+      report.AddRow({name, xp::FormatDouble(value, 4)});
+    }
   }
   report.AddRow({"client timeouts", std::to_string(timeouts)});
   report.AddRow({"client failures", std::to_string(failures)});
   report.Print(std::cout);
-  return 0;
+  return exit_code;
 }
